@@ -1,0 +1,503 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 5) plus the ablation studies called out in DESIGN.md. Each
+// BenchmarkFigN prints the same rows/series the paper reports (once, via
+// b.Log) and exposes the headline numbers as custom benchmark metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+//
+// Corpus sizes are scaled down from the paper's 100-application/600-instance
+// studies to keep the default run in seconds; cmd/laarexp exposes flags to
+// run them at full scale.
+package laar_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"laar"
+	"laar/internal/engine"
+	"laar/internal/experiments"
+	"laar/internal/ftsearch"
+	"laar/internal/rtree"
+)
+
+// runtimeState lazily builds the shared runtime corpus and its experiment
+// matrix (figures 9–12 reuse it).
+var runtimeState struct {
+	once   sync.Once
+	corpus []*experiments.AppRun
+	rr     *experiments.RuntimeResults
+	err    error
+}
+
+func runtimeResults(b *testing.B) ([]*experiments.AppRun, *experiments.RuntimeResults) {
+	b.Helper()
+	runtimeState.once.Do(func() {
+		runtimeState.corpus, runtimeState.err = experiments.BuildCorpus(experiments.CorpusParams{
+			NumApps:        8,
+			NumPEs:         16,
+			NumHosts:       4,
+			Seed:           42,
+			SolverDeadline: 2 * time.Second,
+		})
+		if runtimeState.err != nil {
+			return
+		}
+		runtimeState.rr, runtimeState.err = experiments.RunAll(runtimeState.corpus, engine.Config{}, 0)
+	})
+	if runtimeState.err != nil {
+		b.Fatal(runtimeState.err)
+	}
+	return runtimeState.corpus, runtimeState.rr
+}
+
+// solverState lazily runs the shared solver corpus (figures 4–6).
+var solverState struct {
+	once sync.Once
+	runs []experiments.SolverRun
+	err  error
+}
+
+func solverRuns(b *testing.B) []experiments.SolverRun {
+	b.Helper()
+	solverState.once.Do(func() {
+		solverState.runs, solverState.err = experiments.RunSolverCorpus(experiments.SolverCorpusParams{
+			NumApps:  12,
+			Deadline: 500 * time.Millisecond,
+			Seed:     7,
+		})
+	})
+	if solverState.err != nil {
+		b.Fatal(solverState.err)
+	}
+	return solverState.runs
+}
+
+// BenchmarkFig3PipelineAdaptation reproduces Figure 3: the two-PE pipeline
+// under a load peak, static replication versus LAAR.
+func BenchmarkFig3PipelineAdaptation(b *testing.B) {
+	var rep *experiments.Fig3Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Static.DroppedTotal, "static_dropped")
+	b.ReportMetric(rep.LAAR.DroppedTotal, "laar_dropped")
+	b.ReportMetric(rep.Static.CPUSecondsTotal, "static_cpu_s")
+	b.ReportMetric(rep.LAAR.CPUSecondsTotal, "laar_cpu_s")
+}
+
+// BenchmarkFig4SolutionTypes reproduces Figure 4: FT-Search outcome mix
+// (BST/SOL/NUL/TMO) as the IC constraint grows from 0.5 to 0.9.
+func BenchmarkFig4SolutionTypes(b *testing.B) {
+	runs := solverRuns(b)
+	b.ResetTimer()
+	var rep *experiments.Fig4Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig4(runs)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(float64(rep.Counts[0.5][ftsearch.Optimal]), "BST_at_0.5")
+	b.ReportMetric(float64(rep.Counts[0.9][ftsearch.Infeasible]), "NUL_at_0.9")
+}
+
+// BenchmarkFig5FirstSolutionQuality reproduces Figure 5: the first-solution
+// cost ratio (paper mean 1.057) and time ratio (paper mean 0.37) against
+// the proven optimum.
+func BenchmarkFig5FirstSolutionQuality(b *testing.B) {
+	runs := solverRuns(b)
+	b.ResetTimer()
+	var rep *experiments.Fig5Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig5(runs)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.CostMean, "cost_ratio_mean")
+	b.ReportMetric(rep.TimeMean, "time_ratio_mean")
+}
+
+// BenchmarkFig6PruningEffectiveness reproduces Figure 6: how often each of
+// the four pruning strategies fires and how large the cut branches are.
+func BenchmarkFig6PruningEffectiveness(b *testing.B) {
+	runs := solverRuns(b)
+	b.ResetTimer()
+	var rep *experiments.Fig6Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig6(runs)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Share[ftsearch.PruneIC], "COMPL_share")
+	b.ReportMetric(rep.Share[ftsearch.PruneCPU], "CPU_share")
+	b.ReportMetric(rep.AvgHeight[ftsearch.PruneCPU], "CPU_avg_height")
+}
+
+// BenchmarkFig9BestCaseCPUAndDrops reproduces Figure 9: total CPU time and
+// tuples dropped per variant in the best-case scenario, normalised to NR.
+func BenchmarkFig9BestCaseCPUAndDrops(b *testing.B) {
+	_, rr := runtimeResults(b)
+	b.ResetTimer()
+	var rep *experiments.Fig9Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig9(rr)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.CPU[experiments.SR].Mean, "SR_cpu_vs_NR")
+	b.ReportMetric(rep.CPU[experiments.GRD].Mean, "GRD_cpu_vs_NR")
+	b.ReportMetric(rep.CPU[experiments.L5].Mean, "L5_cpu_vs_NR")
+	b.ReportMetric(rep.CPU[experiments.L7].Mean, "L7_cpu_vs_NR")
+	b.ReportMetric(rep.RawDrops[experiments.SR].Mean, "SR_drops")
+	b.ReportMetric(rep.RawDrops[experiments.L5].Mean, "L5_drops")
+}
+
+// BenchmarkFig10PeakOutputRate reproduces Figure 10: application output
+// rate during load peaks, normalised to NR.
+func BenchmarkFig10PeakOutputRate(b *testing.B) {
+	corpus, rr := runtimeResults(b)
+	b.ResetTimer()
+	var rep *experiments.Fig10Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig10(corpus, rr)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Rate[experiments.SR].Mean, "SR_rate_vs_NR")
+	b.ReportMetric(rep.Rate[experiments.GRD].Mean, "GRD_rate_vs_NR")
+	b.ReportMetric(rep.Rate[experiments.L7].Mean, "L7_rate_vs_NR")
+}
+
+// BenchmarkFig11WorstCaseIC reproduces Figure 11: tuples processed under
+// the pessimistic worst-case model (top) and under a single host crash with
+// 16-second recovery (bottom), normalised to the failure-free NR volume.
+func BenchmarkFig11WorstCaseIC(b *testing.B) {
+	_, rr := runtimeResults(b)
+	b.ResetTimer()
+	var rep *experiments.Fig11Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig11(rr)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.WorstIC[experiments.NR].Mean, "NR_worst_IC")
+	b.ReportMetric(rep.WorstIC[experiments.L5].Mean, "L5_worst_IC")
+	b.ReportMetric(rep.WorstIC[experiments.L7].Mean, "L7_worst_IC")
+	b.ReportMetric(rep.CrashIC[experiments.L5].Mean, "L5_crash_IC")
+	b.ReportMetric(rep.MaxViolation, "max_violation")
+}
+
+// BenchmarkFig12Summary reproduces Figure 12: mean drops, IC and cost per
+// variant normalised to static replication.
+func BenchmarkFig12Summary(b *testing.B) {
+	_, rr := runtimeResults(b)
+	b.ResetTimer()
+	var rep *experiments.Fig12Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig12(rr)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Cost[experiments.L5], "L5_cost_vs_SR")
+	b.ReportMetric(rep.Cost[experiments.L7], "L7_cost_vs_SR")
+	b.ReportMetric(rep.IC[experiments.L7], "L7_IC_vs_SR")
+}
+
+// BenchmarkExtFailureModels evaluates the alternative-failure-model
+// extension (paper Section 6.i): IC estimates under pessimistic,
+// single-survivor and independent models against the measured worst-case
+// and host-crash values.
+func BenchmarkExtFailureModels(b *testing.B) {
+	corpus, rr := runtimeResults(b)
+	b.ResetTimer()
+	var rep *experiments.FailureModelsReport
+	for i := 0; i < b.N; i++ {
+		rep = experiments.FailureModels(corpus, rr)
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Estimates["pessimistic"].Mean, "pessimistic_mean")
+	b.ReportMetric(rep.Estimates["single-survivor"].Mean, "survivor_mean")
+	b.ReportMetric(rep.MeasuredWorst.Mean, "measured_worst_mean")
+	b.ReportMetric(rep.MeasuredCrash.Mean, "measured_crash_mean")
+	b.ReportMetric(float64(rep.PessimisticSound), "bound_violations")
+}
+
+// BenchmarkExtCheckpointVsReplication quantifies the related-work
+// trade-off of Section 2 on a generated application: active replication's
+// constant CPU overhead and zero-outage masking versus checkpoint/restore's
+// low best-case cost and 16-second recovery loss per crash.
+func BenchmarkExtCheckpointVsReplication(b *testing.B) {
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 12, NumHosts: 4, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grd, err := laar.GreedyStrategy(gen.Rates, gen.Assignment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nr := laar.NonReplicatedStrategy(grd, gen.HighCfg)
+	tr, err := laar.AlternatingTrace(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crash := []laar.FailureEvent{{Time: 120, Kind: laar.ReplicaDown, PE: 0, Replica: 0}}
+	run := func(s *laar.Strategy, cfg laar.SimConfig) *laar.Metrics {
+		sim, err := laar.NewSimulation(gen.Desc, gen.Assignment, s, tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.InjectAll(crash); err != nil {
+			b.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	var repl, ckpt *laar.Metrics
+	for i := 0; i < b.N; i++ {
+		// GRD is the replication comparator: dynamic deactivation keeps it
+		// from saturating during peaks, so the only difference left is how
+		// the two techniques absorb the crash.
+		repl = run(grd, laar.SimConfig{})
+		ckpt = run(nr, laar.SimConfig{
+			CheckpointInterval: 5, CheckpointCycles: 1e7,
+			RecoverAfter: 16, RestoreCycles: 5e7,
+		})
+	}
+	b.ReportMetric(repl.CPUSecondsTotal, "replication_cpu_s")
+	b.ReportMetric(ckpt.CPUSecondsTotal, "checkpoint_cpu_s")
+	b.ReportMetric(repl.SinkTotal, "replication_sink")
+	b.ReportMetric(ckpt.SinkTotal, "checkpoint_sink")
+	b.ReportMetric(ckpt.OverheadCyclesTotal/1e9, "checkpoint_overhead_gcycles")
+}
+
+// ablationInstance builds a fixed mid-size solver instance for the pruning
+// and ordering ablations.
+func ablationInstance(b *testing.B) (*laar.Rates, *laar.Assignment) {
+	b.Helper()
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 8, NumHosts: 3, Seed: 1234})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Rates, gen.Assignment
+}
+
+// benchSolve runs the solver with the given options, reporting nodes
+// explored per operation.
+func benchSolve(b *testing.B, opts laar.SolveOptions) {
+	b.Helper()
+	r, asg := ablationInstance(b)
+	var nodes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := laar.Solve(r, asg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != laar.Optimal {
+			b.Fatalf("ablation instance not solved to optimality: %v", res.Outcome)
+		}
+		nodes = res.Stats.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes/op")
+}
+
+// BenchmarkAblationPruningAll is the baseline with all four prunings on.
+func BenchmarkAblationPruningAll(b *testing.B) {
+	benchSolve(b, laar.SolveOptions{ICMin: 0.6})
+}
+
+// BenchmarkAblationPruningNoCPU disables CPU-constraint pruning.
+func BenchmarkAblationPruningNoCPU(b *testing.B) {
+	opts := laar.SolveOptions{ICMin: 0.6}
+	opts.Disable[laar.PruneCPU] = true
+	benchSolve(b, opts)
+}
+
+// BenchmarkAblationPruningNoIC disables IC upper-bound (COMPL) pruning.
+func BenchmarkAblationPruningNoIC(b *testing.B) {
+	opts := laar.SolveOptions{ICMin: 0.6}
+	opts.Disable[laar.PruneIC] = true
+	benchSolve(b, opts)
+}
+
+// BenchmarkAblationPruningNoCost disables cost lower-bound pruning.
+func BenchmarkAblationPruningNoCost(b *testing.B) {
+	opts := laar.SolveOptions{ICMin: 0.6}
+	opts.Disable[laar.PruneCost] = true
+	benchSolve(b, opts)
+}
+
+// BenchmarkAblationPruningNoDOM disables forward domain propagation.
+func BenchmarkAblationPruningNoDOM(b *testing.B) {
+	opts := laar.SolveOptions{ICMin: 0.6}
+	opts.Disable[laar.PruneDOM] = true
+	benchSolve(b, opts)
+}
+
+// BenchmarkAblationConfigOrder uses descriptor order instead of the
+// most-resource-hungry-first exploration heuristic.
+func BenchmarkAblationConfigOrder(b *testing.B) {
+	benchSolve(b, laar.SolveOptions{ICMin: 0.6, NaturalConfigOrder: true})
+}
+
+// BenchmarkSolverParallel4 runs the same instance with 4 workers.
+func BenchmarkSolverParallel4(b *testing.B) {
+	benchSolve(b, laar.SolveOptions{ICMin: 0.6, Workers: 4})
+}
+
+// BenchmarkAblationPlacement compares the LPT placement against the naive
+// round-robin baseline by the optimal cost FT-Search can achieve on top of
+// each (same application, same IC target). A poor placement concentrates
+// load and inflates the feasible-activation cost — or destroys feasibility
+// outright.
+func BenchmarkAblationPlacement(b *testing.B) {
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 8, NumHosts: 3, Seed: 1234})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := laar.PlaceRoundRobin(gen.Desc.App.NumPEs(), laar.DefaultReplication, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lptCost, rrCost float64
+	for i := 0; i < b.N; i++ {
+		lpt, err := laar.Solve(gen.Rates, gen.Assignment, laar.SolveOptions{ICMin: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rrRes, err := laar.Solve(gen.Rates, rr, laar.SolveOptions{ICMin: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lptCost = lpt.Cost
+		if rrRes.Strategy != nil {
+			rrCost = rrRes.Cost
+		} else {
+			rrCost = -1 // infeasible under round-robin
+		}
+	}
+	b.ReportMetric(lptCost, "lpt_cost")
+	b.ReportMetric(rrCost, "roundrobin_cost")
+}
+
+// BenchmarkAblationConfigLookupRTree measures the HAController's R-tree
+// dominating-nearest lookup against BenchmarkAblationConfigLookupLinear's
+// scan, on a 4-source, 256-configuration rate space.
+func BenchmarkAblationConfigLookupRTree(b *testing.B) {
+	tr, queries := lookupFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		tr.NearestDominating(q)
+	}
+}
+
+// BenchmarkAblationConfigLookupLinear is the brute-force comparator.
+func BenchmarkAblationConfigLookupLinear(b *testing.B) {
+	_, queries := lookupFixture()
+	pts := lookupPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		best, bestD := -1, 1e300
+		for j, p := range pts {
+			dom := true
+			var d float64
+			for x := range q {
+				if p[x] < q[x] {
+					dom = false
+					break
+				}
+				d += (p[x] - q[x]) * (p[x] - q[x])
+			}
+			if dom && d < bestD {
+				best, bestD = j, d
+			}
+		}
+		_ = best
+	}
+}
+
+func lookupPoints() []rtree.Point {
+	// 4 sources × 4 rates each = 256 joint configurations.
+	rates := []float64{4, 8, 12, 16}
+	var pts []rtree.Point
+	for _, a := range rates {
+		for _, b := range rates {
+			for _, c := range rates {
+				for _, d := range rates {
+					pts = append(pts, rtree.Point{a, b, c, d})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func lookupFixture() (*rtree.Tree, []rtree.Point) {
+	pts := lookupPoints()
+	tr := rtree.New(4)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	queries := make([]rtree.Point, 64)
+	for i := range queries {
+		queries[i] = rtree.Point{
+			float64(1 + i%16), float64(1 + (i*7)%16),
+			float64(1 + (i*3)%16), float64(1 + (i*5)%16),
+		}
+	}
+	return tr, queries
+}
+
+// BenchmarkExtLatencySLA traces the latency/cost frontier of the
+// maximum-latency SLA extension on a fixed generated application.
+func BenchmarkExtLatencySLA(b *testing.B) {
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 8, NumHosts: 3, Seed: 55})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := []float64{math.Inf(1), 3, 1, 0.3}
+	var rep *experiments.LatencyReport
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.LatencySweep(gen, 0.5, bounds, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + rep.String())
+	b.ReportMetric(rep.Points[0].Latency, "unconstrained_latency_s")
+	feasible := 0
+	for _, p := range rep.Points {
+		if p.Outcome == laar.Optimal || p.Outcome == laar.Feasible {
+			feasible++
+		}
+	}
+	b.ReportMetric(float64(feasible), "feasible_bounds")
+}
+
+// BenchmarkAblationValueOrder compares the replication-first exploration
+// (the default behind the Figure 5 first-solution quality) against
+// singles-first exploration on a fixed instance: same optimum, different
+// first-solution dynamics.
+func BenchmarkAblationValueOrder(b *testing.B) {
+	r, asg := ablationInstance(b)
+	var def, alt *laar.SolveResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		def, err = laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alt, err = laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6, SinglesFirst: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(def.FirstCost/def.Cost, "replfirst_first_cost_ratio")
+	b.ReportMetric(alt.FirstCost/alt.Cost, "singlesfirst_first_cost_ratio")
+	b.ReportMetric(float64(def.Stats.Nodes), "replfirst_nodes")
+	b.ReportMetric(float64(alt.Stats.Nodes), "singlesfirst_nodes")
+}

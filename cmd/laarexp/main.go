@@ -1,0 +1,131 @@
+// Command laarexp regenerates the paper's evaluation figures (Section 5)
+// on the simulated DSPS: the pipeline adaptation time series (Figure 3),
+// the FT-Search outcome, first-solution and pruning studies (Figures 4–6),
+// and the six-variant runtime comparison (Figures 9–12).
+//
+// Usage:
+//
+//	laarexp -experiment all
+//	laarexp -experiment fig9 -apps 100 -pes 24 -hosts 5
+//	laarexp -experiment fig4 -solver-apps 600 -deadline 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"laar/internal/appgen"
+	"laar/internal/engine"
+	"laar/internal/experiments"
+)
+
+func main() {
+	var (
+		which      = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|failmodels|latency|all")
+		apps       = flag.Int("apps", 20, "runtime corpus size (the paper uses 100)")
+		pes        = flag.Int("pes", 24, "PEs per application")
+		hosts      = flag.Int("hosts", 5, "hosts per deployment")
+		solverApps = flag.Int("solver-apps", 30, "solver corpus size (the paper uses 600)")
+		deadline   = flag.Duration("deadline", 2*time.Second, "FT-Search deadline per run")
+		workers    = flag.Int("workers", runtime.NumCPU(), "FT-Search workers")
+		seed       = flag.Int64("seed", 42, "corpus seed")
+		crashApps  = flag.Int("crash-apps", 0, "apps in the host-crash subset (0 = 40% of corpus, as in the paper)")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+
+	if want("fig3") {
+		rep, err := experiments.Fig3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if want("fig4") || want("fig5") || want("fig6") {
+		fmt.Fprintf(os.Stderr, "running FT-Search corpus (%d instances × 5 IC values)...\n", *solverApps)
+		runs, err := experiments.RunSolverCorpus(experiments.SolverCorpusParams{
+			NumApps:  *solverApps,
+			Deadline: *deadline,
+			Workers:  *workers,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig4") {
+			fmt.Println(experiments.Fig4(runs))
+		}
+		if want("fig5") {
+			fmt.Println(experiments.Fig5(runs))
+		}
+		if want("fig6") {
+			fmt.Println(experiments.Fig6(runs))
+		}
+	}
+
+	if want("latency") {
+		gen, err := appgen.Generate(appgen.Params{NumPEs: *pes / 2, NumHosts: *hosts, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := experiments.LatencySweep(gen, 0.5,
+			[]float64{math.Inf(1), 10, 3, 1, 0.3, 0.1, 0.03}, *deadline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if want("fig9") || want("fig10") || want("fig11") || want("fig12") || want("failmodels") {
+		fmt.Fprintf(os.Stderr, "building runtime corpus (%d apps × %d PEs on %d hosts)...\n", *apps, *pes, *hosts)
+		corpus, err := experiments.BuildCorpus(experiments.CorpusParams{
+			NumApps:        *apps,
+			NumPEs:         *pes,
+			NumHosts:       *hosts,
+			Seed:           *seed,
+			SolverDeadline: *deadline,
+			SolverWorkers:  *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		nCrash := *crashApps
+		if nCrash == 0 {
+			nCrash = len(corpus) * 2 / 5 // the paper re-runs a 40-of-100 subset
+			if nCrash == 0 {
+				nCrash = len(corpus)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "running %d apps × 6 variants × scenarios...\n", len(corpus))
+		rr, err := experiments.RunAll(corpus, engine.Config{}, nCrash)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig9") {
+			fmt.Println(experiments.Fig9(rr))
+		}
+		if want("fig10") {
+			fmt.Println(experiments.Fig10(corpus, rr))
+		}
+		if want("fig11") {
+			fmt.Println(experiments.Fig11(rr))
+		}
+		if want("fig12") {
+			fmt.Println(experiments.Fig12(rr))
+		}
+		if want("failmodels") {
+			fmt.Println(experiments.FailureModels(corpus, rr))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laarexp:", err)
+	os.Exit(1)
+}

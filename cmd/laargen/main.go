@@ -1,0 +1,68 @@
+// Command laargen generates a synthetic stream processing application with
+// the paper's corpus characteristics (Section 5.2) and writes its
+// application descriptor as JSON.
+//
+// Usage:
+//
+//	laargen -pes 24 -hosts 5 -seed 1 -o app.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"laar"
+)
+
+func main() {
+	var (
+		pes    = flag.Int("pes", 24, "number of processing elements")
+		srcs   = flag.Int("sources", 1, "number of external sources (2^s input configurations)")
+		hosts  = flag.Int("hosts", 5, "number of deployment hosts")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		degree = flag.Float64("degree", 2.25, "target average PE out-degree")
+		out    = flag.String("o", "", "output file (default stdout)")
+		format = flag.String("format", "json", "output format: json | spl")
+	)
+	flag.Parse()
+
+	gen, err := laar.GenerateApp(laar.GenParams{
+		NumPEs:       *pes,
+		NumSources:   *srcs,
+		NumHosts:     *hosts,
+		Seed:         *seed,
+		AvgOutDegree: *degree,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var data []byte
+	switch *format {
+	case "json":
+		var err error
+		data, err = laar.MarshalDescriptor(gen.Desc)
+		if err != nil {
+			fatal(err)
+		}
+	case "spl":
+		data = []byte(laar.FormatSPL(gen.Desc))
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d PEs, %d hosts, Low=%.2f t/s, High=%.2f t/s\n",
+		*out, gen.Desc.App.NumPEs(), *hosts,
+		gen.Desc.Configs[gen.LowCfg].Rates[0], gen.Desc.Configs[gen.HighCfg].Rates[0])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laargen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command laarsearch runs the FT-Search optimiser on an application
+// descriptor: it places the replicated PEs on hosts, solves for a
+// minimum-cost replica activation strategy meeting the IC constraint, and
+// writes the strategy as JSON (the file the HAController is initialised
+// with).
+//
+// Usage:
+//
+//	laarsearch -desc app.json -ic 0.7 -hosts 5 -deadline 10s -o strategy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"laar"
+)
+
+func main() {
+	var (
+		descPath = flag.String("desc", "", "application descriptor JSON (required)")
+		ic       = flag.Float64("ic", 0.5, "internal-completeness SLA constraint")
+		hosts    = flag.Int("hosts", 5, "number of deployment hosts")
+		deadline = flag.Duration("deadline", 10*time.Second, "solver deadline (0 = unlimited)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel search workers")
+		lambda   = flag.Float64("penalty", 0, "penalty per unit IC shortfall (0 = hard constraint)")
+		maxLat   = flag.Float64("max-latency", 0, "maximum-latency SLA bound in seconds (0 = none)")
+		fuse     = flag.Bool("fuse", false, "apply operator fusion before placement and solving")
+		fuseMax  = flag.Float64("fuse-max", 0, "per-PE cost ceiling for fusion (cycles/tuple, 0 = unlimited)")
+		out      = flag.String("o", "", "strategy output file (default stdout)")
+	)
+	flag.Parse()
+	if *descPath == "" {
+		fatal(fmt.Errorf("missing -desc"))
+	}
+	d, err := laar.LoadDescriptorFile(*descPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *fuse {
+		res, err := laar.Fuse(d, laar.FuseOptions{MaxCostCycles: *fuseMax})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fusion: %d merges, %d PEs -> %d PEs\n",
+			res.Fusions, d.App.NumPEs(), res.Desc.App.NumPEs())
+		d = res.Desc
+	}
+	rates := laar.NewRates(d)
+	asg, err := laar.PlaceLPT(rates, laar.DefaultReplication, *hosts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := laar.Solve(rates, asg, laar.SolveOptions{
+		ICMin:         *ic,
+		Deadline:      *deadline,
+		Workers:       *workers,
+		PenaltyLambda: *lambda,
+		MaxLatency:    *maxLat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "outcome=%v elapsed=%v nodes=%d\n", res.Outcome, res.Elapsed.Round(time.Millisecond), res.Stats.Nodes)
+	if res.Strategy == nil {
+		fmt.Fprintf(os.Stderr, "no strategy: %v\n", res.Outcome)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "cost=%.4g cycles  IC=%.4f  first/optimal cost=%.3f  active=%d/%d\n",
+		res.Cost, res.IC, res.FirstCost/res.Cost,
+		res.Strategy.TotalActive(), res.Strategy.NumConfigs()*res.Strategy.NumPEs()*res.Strategy.K)
+	for p := laar.PruneCPU; p <= laar.PruneDOM; p++ {
+		fmt.Fprintf(os.Stderr, "pruning %-5s: fired %d times, avg height %.1f\n",
+			p, res.Stats.Prunes[p], res.Stats.AvgPruneHeight(p))
+	}
+	enc, err := json.MarshalIndent(res.Strategy, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laarsearch:", err)
+	os.Exit(1)
+}

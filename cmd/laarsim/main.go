@@ -1,0 +1,128 @@
+// Command laarsim executes one simulated experiment: an application
+// descriptor plus a replica activation strategy (from laarsearch, or one of
+// the built-in baseline variants) driven by an alternating input trace
+// under a chosen failure scenario.
+//
+// Usage:
+//
+//	laarsim -desc app.json -strategy strategy.json -scenario worst
+//	laarsim -desc app.json -variant sr -duration 300 -scenario best
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"laar"
+)
+
+func main() {
+	var (
+		descPath  = flag.String("desc", "", "application descriptor JSON (required)")
+		stratPath = flag.String("strategy", "", "strategy JSON from laarsearch")
+		variant   = flag.String("variant", "", "built-in variant instead of -strategy: sr | nr | grd")
+		hosts     = flag.Int("hosts", 5, "number of deployment hosts")
+		duration  = flag.Float64("duration", 300, "trace duration in seconds")
+		period    = flag.Float64("period", 90, "trace period; High is active one third of each period")
+		scenario  = flag.String("scenario", "best", "failure scenario: best | worst | crash")
+		crashHost = flag.Int("crash-host", 0, "host to crash in the crash scenario")
+		glitch    = flag.Float64("glitch", 0, "source-rate glitch amplitude in [0, 1)")
+		seed      = flag.Int64("seed", 0, "glitch noise seed")
+	)
+	flag.Parse()
+	if *descPath == "" {
+		fatal(fmt.Errorf("missing -desc"))
+	}
+	d, err := laar.LoadDescriptorFile(*descPath)
+	if err != nil {
+		fatal(err)
+	}
+	rates := laar.NewRates(d)
+	asg, err := laar.PlaceLPT(rates, laar.DefaultReplication, *hosts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var strat *laar.Strategy
+	switch {
+	case *stratPath != "":
+		raw, err := os.ReadFile(*stratPath)
+		if err != nil {
+			fatal(err)
+		}
+		strat = &laar.Strategy{}
+		if err := json.Unmarshal(raw, strat); err != nil {
+			fatal(err)
+		}
+	case *variant == "sr":
+		strat = laar.StaticStrategy(d, laar.DefaultReplication)
+	case *variant == "grd":
+		strat, err = laar.GreedyStrategy(rates, asg)
+		if err != nil {
+			fatal(err)
+		}
+	case *variant == "nr":
+		grd, err := laar.GreedyStrategy(rates, asg)
+		if err != nil {
+			fatal(err)
+		}
+		strat = laar.NonReplicatedStrategy(grd, highCfg(d))
+	default:
+		fatal(fmt.Errorf("provide -strategy FILE or -variant sr|nr|grd"))
+	}
+
+	tr, err := laar.AlternatingTrace(*duration, *period, 1.0/3.0, lowCfg(d), highCfg(d))
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := laar.NewSimulation(d, asg, strat, tr, laar.SimConfig{GlitchAmplitude: *glitch, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	switch *scenario {
+	case "best":
+	case "worst":
+		if err := sim.InjectAll(laar.WorstCasePlan(rates, strat)); err != nil {
+			fatal(err)
+		}
+	case "crash":
+		if err := sim.InjectAll(laar.HostCrashPlan(*crashHost, *duration/2, 16)); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+	m, err := sim.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("duration        %.0f s\n", m.Duration)
+	fmt.Printf("emitted         %.0f tuples\n", m.EmittedTotal)
+	fmt.Printf("processed (PEs) %.0f tuples\n", m.ProcessedTotal)
+	fmt.Printf("sink output     %.0f tuples\n", m.SinkTotal)
+	fmt.Printf("dropped         %.0f tuples\n", m.DroppedTotal)
+	fmt.Printf("cpu             %.1f cpu-seconds (%.3g cycles)\n", m.CPUSecondsTotal, m.CPUCyclesTotal)
+	fmt.Printf("config switches %d\n", m.ConfigSwitches)
+	fmt.Printf("model IC        %.4f (pessimistic bound)\n", laar.IC(rates, strat, laar.Pessimistic{}))
+}
+
+func lowCfg(d *laar.Descriptor) int {
+	if i := d.ConfigByName("Low"); i >= 0 {
+		return i
+	}
+	return 0
+}
+
+func highCfg(d *laar.Descriptor) int {
+	if i := d.ConfigByName("High"); i >= 0 {
+		return i
+	}
+	return len(d.Configs) - 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laarsim:", err)
+	os.Exit(1)
+}

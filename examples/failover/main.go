@@ -1,0 +1,96 @@
+// Failover studies how the replication variants survive infrastructure
+// failures on a generated application: a host crashes mid-peak and recovers
+// after 16 seconds (the Streams detection-and-migration time the paper
+// measures), and — separately — the pessimistic worst case permanently
+// removes one replica of every PE. The example contrasts the measured
+// internal completeness of NR, GRD, SR and a LAAR IC ≥ 0.6 strategy against
+// their a-priori guarantees.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"laar"
+)
+
+func main() {
+	// A 12-PE synthetic application on 4 hosts, with the paper's corpus
+	// characteristics.
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 12, NumHosts: 4, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	desc, rates, asg := gen.Desc, gen.Rates, gen.Assignment
+	fmt.Printf("application: %d PEs on %d hosts, Low=%.1f t/s, High=%.1f t/s\n",
+		desc.App.NumPEs(), asg.NumHosts,
+		desc.Configs[gen.LowCfg].Rates[0], desc.Configs[gen.HighCfg].Rates[0])
+
+	// Build the variants.
+	laarRes, err := laar.Solve(rates, asg, laar.SolveOptions{
+		ICMin:    0.6,
+		Deadline: 5 * time.Second,
+		Workers:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if laarRes.Strategy == nil {
+		log.Fatalf("LAAR 0.6 unsolvable: %v", laarRes.Outcome)
+	}
+	grd, err := laar.GreedyStrategy(rates, asg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		s    *laar.Strategy
+	}{
+		{"NR", laar.NonReplicatedStrategy(laarRes.Strategy, gen.HighCfg)},
+		{"SR", laar.StaticStrategy(desc, laar.DefaultReplication)},
+		{"GRD", grd},
+		{"L.6", laarRes.Strategy},
+	}
+
+	// A 5-minute trace with High active one third of the time.
+	tr, err := laar.AlternatingTrace(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(s *laar.Strategy, plan []laar.FailureEvent) *laar.Metrics {
+		sim, err := laar.NewSimulation(desc, asg, s, tr, laar.SimConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
+			log.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	// Reference: failure-free NR processing volume (the BIC analogue).
+	ref := run(variants[0].s, nil).ProcessedTotal
+
+	fmt.Println("\nscenario 1 — host 0 crashes at t=62s (mid-peak), recovers after 16 s:")
+	fmt.Println("variant   guaranteed IC   measured IC   dropped")
+	for _, v := range variants {
+		m := run(v.s, laar.HostCrashPlan(0, 62, 16))
+		fmt.Printf("%-7s   %13.3f   %11.3f   %7.0f\n",
+			v.name, laar.IC(rates, v.s, laar.Pessimistic{}), m.ProcessedTotal/ref, m.DroppedTotal)
+	}
+
+	fmt.Println("\nscenario 2 — pessimistic worst case (adversarial permanent survivor per PE):")
+	fmt.Println("variant   guaranteed IC   measured IC")
+	for _, v := range variants {
+		m := run(v.s, laar.WorstCasePlan(rates, v.s))
+		fmt.Printf("%-7s   %13.3f   %11.3f\n",
+			v.name, laar.IC(rates, v.s, laar.Pessimistic{}), m.ProcessedTotal/ref)
+	}
+	fmt.Println("\nThe guarantee is the pessimistic floor: recoverable failures land far")
+	fmt.Println("above it, and even the adversarial worst case never falls below it.")
+}

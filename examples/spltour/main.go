@@ -1,0 +1,111 @@
+// Spltour demonstrates the textual workflow: an application written in
+// LAAR-SPL (the dialect mirroring the role SPL plays for InfoSphere
+// Streams), compiled through operator fusion into fewer PEs, solved under
+// both an IC and a maximum-latency SLA, and verified in simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"laar"
+)
+
+const appSPL = `
+# A log-analytics pipeline: parse and sessionize cheap operators, then
+# score sessions and aggregate alerts.
+app log-analytics
+host capacity 1e9
+billing period 600
+
+source logs rates 50@0.7 120@0.3
+pe parse
+pe sessionize
+pe score
+pe alerts
+sink dashboard
+
+connect logs -> parse sel 0.9 cost 8e5     # 10% of lines are malformed
+connect parse -> sessionize sel 0.2 cost 1.2e6
+connect sessionize -> score sel 1 cost 6e6
+connect score -> alerts sel 0.05 cost 2e6
+connect alerts -> dashboard
+`
+
+func main() {
+	d, err := laar.ParseSPL(appSPL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %q: %d PEs, %d configurations\n",
+		d.App.Name(), d.App.NumPEs(), len(d.Configs))
+
+	// Compile: fuse cheap linear chains into single PEs, as the Streams
+	// compiler would, capping any fused PE at 2e6 cycles/tuple.
+	fused, err := laar.Fuse(d, laar.FuseOptions{MaxCostCycles: 2e6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fusion: %d merges -> %d PEs\n", fused.Fusions, fused.Desc.App.NumPEs())
+	for _, c := range fused.Desc.App.Components() {
+		if c.Kind == laar.KindPE {
+			fmt.Printf("  PE %s\n", c.Name)
+		}
+	}
+	d = fused.Desc
+
+	rates := laar.NewRates(d)
+	asg, err := laar.PlaceLPT(rates, laar.DefaultReplication, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve with both SLA clauses: IC ≥ 0.7 and end-to-end latency ≤ 1 s.
+	res, err := laar.Solve(rates, asg, laar.SolveOptions{
+		ICMin:      0.7,
+		MaxLatency: 1.0,
+		Deadline:   10 * time.Second,
+		Workers:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Strategy == nil {
+		log.Fatalf("no strategy: %v", res.Outcome)
+	}
+	fmt.Printf("solved: %v, IC %.3f, est. latency %.3f s, cost %.3g cycles\n",
+		res.Outcome, res.IC, laar.MaxLatency(rates, res.Strategy, asg), res.Cost)
+
+	// Verify in simulation: trace matching the declared 70/30 mix.
+	tr, err := laar.AlternatingTrace(600, 100, 0.3, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(worst bool) *laar.Metrics {
+		sim, err := laar.NewSimulation(d, asg, res.Strategy, tr, laar.SimConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if worst {
+			if err := sim.InjectAll(laar.WorstCasePlan(rates, res.Strategy)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		m, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	best := run(false)
+	worst := run(true)
+	fmt.Printf("best case:  %.0f tuples processed, %.0f dropped, max queue latency %.3f s\n",
+		best.ProcessedTotal, best.DroppedTotal, best.MaxLatencyEst())
+	fmt.Printf("worst case: %.0f tuples processed -> measured IC %.3f (guaranteed %.3f)\n",
+		worst.ProcessedTotal, worst.ProcessedTotal/best.ProcessedTotal, res.IC)
+
+	// Round-trip: the deployed application can be exported back to SPL.
+	fmt.Println("\nfused application as LAAR-SPL:")
+	fmt.Print(laar.FormatSPL(d))
+}

@@ -1,0 +1,3 @@
+module laar
+
+go 1.22

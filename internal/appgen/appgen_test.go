@@ -1,0 +1,267 @@
+package appgen
+
+import (
+	"testing"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+	"laar/internal/ftsearch"
+	"laar/internal/strategy"
+	"laar/internal/trace"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	g, err := Generate(Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Desc.App.NumPEs() != 24 {
+		t.Errorf("NumPEs = %d, want 24", g.Desc.App.NumPEs())
+	}
+	if g.Assignment.NumHosts != 5 {
+		t.Errorf("NumHosts = %d, want 5", g.Assignment.NumHosts)
+	}
+	if err := g.Assignment.Validate(true); err != nil {
+		t.Errorf("placement violates anti-affinity: %v", err)
+	}
+	if len(g.Desc.Configs) != 2 {
+		t.Fatalf("configs = %d, want 2", len(g.Desc.Configs))
+	}
+	low := g.Desc.Configs[g.LowCfg].Rates[0]
+	high := g.Desc.Configs[g.HighCfg].Rates[0]
+	if high <= low {
+		t.Errorf("High rate %v not above Low rate %v", high, low)
+	}
+}
+
+func TestGenerateCalibrationConditions(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := Generate(Params{Seed: seed, NumPEs: 12, NumHosts: 3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sr := core.AllActive(2, g.Desc.App.NumPEs(), 2)
+		lowLoads := core.HostLoads(g.Rates, sr, g.Assignment, g.LowCfg)
+		for h, l := range lowLoads {
+			if l >= g.Desc.HostCapacity {
+				t.Errorf("seed %d: host %d overloaded at Low with all replicas (%v)", seed, h, l)
+			}
+		}
+		highLoads := core.HostLoads(g.Rates, sr, g.Assignment, g.HighCfg)
+		for h, l := range highLoads {
+			if l <= g.Desc.HostCapacity {
+				t.Errorf("seed %d: host %d NOT overloaded at High with all replicas (%v)", seed, h, l)
+			}
+		}
+	}
+}
+
+func TestGeneratedGreedyAndNRFeasible(t *testing.T) {
+	// The corpus must admit the paper's baselines: greedy must resolve the
+	// High overload, and the derived NR deployment must never overload.
+	for seed := int64(20); seed < 26; seed++ {
+		g, err := Generate(Params{Seed: seed, NumPEs: 16, NumHosts: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		grd, err := strategy.Greedy(g.Rates, g.Assignment)
+		if err != nil {
+			t.Fatalf("seed %d: greedy stuck: %v", seed, err)
+		}
+		if _, _, _, ok := strategy.Feasible(g.Rates, grd, g.Assignment); !ok {
+			t.Errorf("seed %d: greedy result overloaded", seed)
+		}
+		nr := strategy.NonReplicated(grd, g.HighCfg)
+		if _, _, _, ok := strategy.Feasible(g.Rates, nr, g.Assignment); !ok {
+			t.Errorf("seed %d: NR deployment overloaded", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(Params{Seed: 7, NumPEs: 8, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(Params{Seed: 7, NumPEs: 8, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Desc.App.Edges(), g2.Desc.App.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	if g1.Desc.Configs[0].Rates[0] != g2.Desc.Configs[0].Rates[0] {
+		t.Fatal("rates differ between same-seed runs")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	g1, err := Generate(Params{Seed: 1, NumPEs: 8, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(Params{Seed: 2, NumPEs: 8, NumHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Desc.Configs[0].Rates[0] == g2.Desc.Configs[0].Rates[0] {
+		t.Fatal("different seeds produced identical Low rates")
+	}
+}
+
+func TestGenerateOutDegreeInRange(t *testing.T) {
+	g, err := Generate(Params{Seed: 3, NumPEs: 30, NumHosts: 5, AvgOutDegree: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := g.Desc.App
+	// Count outgoing edges of PE nodes (including sink edges).
+	var out int
+	for _, id := range app.PEs() {
+		out += len(app.Out(id))
+	}
+	avg := float64(out) / float64(app.NumPEs())
+	if avg < 1 || avg > 3.5 {
+		t.Errorf("average PE out-degree = %v, want within [1, 3.5]", avg)
+	}
+}
+
+func TestGenerateSelectivityBounds(t *testing.T) {
+	g, err := Generate(Params{Seed: 11, NumPEs: 20, NumHosts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := g.Desc.App
+	for _, e := range app.Edges() {
+		if app.Component(e.To).Kind != core.KindPE {
+			continue
+		}
+		if e.Selectivity < 0.5 || e.Selectivity > 1.5 {
+			t.Errorf("selectivity %v outside [0.5, 1.5]", e.Selectivity)
+		}
+		if e.CostCycles <= 0 {
+			t.Errorf("non-positive cost on edge into %v", e.To)
+		}
+	}
+}
+
+func TestGenerateParamErrors(t *testing.T) {
+	cases := []Params{
+		{NumPEs: 1, NumHosts: 3},
+		{NumPEs: 4, NumHosts: 1},
+		{NumPEs: 4, NumHosts: 3, AvgOutDegree: 0.5},
+		{NumPEs: 4, NumHosts: 3, SelMin: -1, SelMax: 2},
+		{NumPEs: 4, NumHosts: 3, RateMin: 5, RateMax: 2},
+		{NumPEs: 4, NumHosts: 3, RatioMin: 0.9, RatioMax: 2},
+		{NumPEs: 4, NumHosts: 3, HighShare: 1.5},
+	}
+	for i, p := range cases {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateMultiSource(t *testing.T) {
+	g, err := Generate(Params{Seed: 3, NumPEs: 12, NumHosts: 4, NumSources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Desc.App.NumSources() != 2 {
+		t.Fatalf("sources = %d, want 2", g.Desc.App.NumSources())
+	}
+	if len(g.Desc.Configs) != 4 {
+		t.Fatalf("configs = %d, want 4 (cross product)", len(g.Desc.Configs))
+	}
+	if g.LowCfg != 0 || g.HighCfg != 3 {
+		t.Fatalf("corner configs = (%d, %d), want (0, 3)", g.LowCfg, g.HighCfg)
+	}
+	// All-Low dominates nothing; all-High dominates everything.
+	lo := g.Desc.Configs[g.LowCfg].Rates
+	hi := g.Desc.Configs[g.HighCfg].Rates
+	for i := range lo {
+		if hi[i] <= lo[i] {
+			t.Fatalf("source %d: High rate %v not above Low %v", i, hi[i], lo[i])
+		}
+	}
+	// Generation conditions at the corners.
+	sr := core.AllActive(4, g.Desc.App.NumPEs(), 2)
+	for h, l := range core.HostLoads(g.Rates, sr, g.Assignment, g.LowCfg) {
+		if l >= g.Desc.HostCapacity {
+			t.Errorf("host %d overloaded at all-Low (%v)", h, l)
+		}
+	}
+	for h, l := range core.HostLoads(g.Rates, sr, g.Assignment, g.HighCfg) {
+		if l <= g.Desc.HostCapacity {
+			t.Errorf("host %d NOT overloaded at all-High (%v)", h, l)
+		}
+	}
+	// Probabilities cover the cross product.
+	var sum float64
+	for _, c := range g.Desc.Configs {
+		sum += c.Prob
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("config probabilities sum to %v", sum)
+	}
+}
+
+func TestGenerateMultiSourceSolvesAndSimulates(t *testing.T) {
+	// End-to-end over 4 joint configurations: solve an IC target and run
+	// the strategy through the engine on a trace visiting every corner,
+	// exercising the R-tree controller in 2-D rate space.
+	g, err := Generate(Params{Seed: 8, NumPEs: 8, NumHosts: 3, NumSources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ftsearch.Solve(g.Rates, g.Assignment, ftsearch.Options{ICMin: 0.5, Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == nil {
+		t.Skipf("instance unsolvable at 0.5: %v", res.Outcome)
+	}
+	segs := []trace.Segment{
+		{Start: 0, End: 30, Config: 0},
+		{Start: 30, End: 60, Config: 1},
+		{Start: 60, End: 90, Config: 2},
+		{Start: 90, End: 120, Config: 3},
+	}
+	tr, err := trace.New(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := engine.New(g.Desc, g.Assignment, res.Strategy, tr, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must settle on each joint configuration in turn.
+	for i, at := range []int{15, 45, 75, 105} {
+		if got := m.Series[at].Config; got != i {
+			t.Errorf("config at t=%d is %d, want %d", at, got, i)
+		}
+	}
+	if m.DroppedTotal > 0.02*m.EmittedTotal {
+		t.Errorf("dropped %v of %v emitted", m.DroppedTotal, m.EmittedTotal)
+	}
+}
+
+func TestGenerateRejectsBadSourceCounts(t *testing.T) {
+	if _, err := Generate(Params{NumPEs: 8, NumHosts: 3, NumSources: 5}); err == nil {
+		t.Error("accepted 5 sources")
+	}
+	if _, err := Generate(Params{NumPEs: 2, NumHosts: 3, NumSources: 3}); err == nil {
+		t.Error("accepted more sources than PEs")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Assignment is the replicated placement ϑ: P̃ → H (Eq. 3). It maps every
+// replica of every PE to the host it is deployed on. Hosts are identified by
+// dense indices 0..NumHosts-1.
+type Assignment struct {
+	// NumHosts is |H|.
+	NumHosts int
+	// K is the replication factor.
+	K int
+	// Host[peIdx][replica] is the host index the replica is deployed on.
+	Host [][]int
+}
+
+// NewAssignment returns an assignment with all replicas on host 0.
+func NewAssignment(numPEs, k, numHosts int) *Assignment {
+	a := &Assignment{NumHosts: numHosts, K: k, Host: make([][]int, numPEs)}
+	for p := range a.Host {
+		a.Host[p] = make([]int, k)
+	}
+	return a
+}
+
+// NumPEs returns the number of PEs the assignment covers.
+func (a *Assignment) NumPEs() int { return len(a.Host) }
+
+// HostOf returns ϑ(x̃_{peIdx,replica}).
+func (a *Assignment) HostOf(peIdx, replica int) int { return a.Host[peIdx][replica] }
+
+// ReplicasOn returns the (peIdx, replica) pairs deployed on the host
+// (ϑ⁻¹(h)). Pairs are returned in PE order.
+func (a *Assignment) ReplicasOn(host int) [][2]int {
+	var out [][2]int
+	for p := range a.Host {
+		for r, h := range a.Host[p] {
+			if h == host {
+				out = append(out, [2]int{p, r})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks host indices are in range and, when antiAffinity is set,
+// that no two replicas of the same PE share a host (a prerequisite for
+// replication to actually tolerate host failures).
+func (a *Assignment) Validate(antiAffinity bool) error {
+	for p := range a.Host {
+		seen := make(map[int]bool, a.K)
+		for r, h := range a.Host[p] {
+			if h < 0 || h >= a.NumHosts {
+				return fmt.Errorf("core: replica (%d,%d) assigned to invalid host %d of %d", p, r, h, a.NumHosts)
+			}
+			if antiAffinity && seen[h] {
+				return fmt.Errorf("core: PE %d has multiple replicas on host %d", p, h)
+			}
+			seen[h] = true
+		}
+	}
+	return nil
+}

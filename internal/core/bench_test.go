@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDescriptor builds a 32-PE layered application with 4 configurations.
+func benchDescriptor(b *testing.B) *Descriptor {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bd := NewBuilder("bench")
+	src := bd.AddSource("src")
+	sink := bd.AddSink("sink")
+	var pes []ComponentID
+	for i := 0; i < 32; i++ {
+		pe := bd.AddPE("")
+		if i == 0 || rng.Float64() < 0.3 {
+			bd.Connect(src, pe, 1, 1e6*(1+rng.Float64()))
+		} else {
+			bd.Connect(pes[rng.Intn(len(pes))], pe, 0.5+rng.Float64(), 1e6*(1+rng.Float64()))
+		}
+		pes = append(pes, pe)
+	}
+	for _, pe := range pes {
+		bd.Connect(pe, sink, 0, 0)
+	}
+	app, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &Descriptor{
+		App: app,
+		Configs: []InputConfig{
+			{Name: "a", Rates: []float64{4}, Prob: 0.4},
+			{Name: "b", Rates: []float64{8}, Prob: 0.3},
+			{Name: "c", Rates: []float64{12}, Prob: 0.2},
+			{Name: "d", Rates: []float64{16}, Prob: 0.1},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkNewRates(b *testing.B) {
+	d := benchDescriptor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRates(d)
+	}
+}
+
+func BenchmarkIC(b *testing.B) {
+	d := benchDescriptor(b)
+	r := NewRates(d)
+	s := AllActive(4, 32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IC(r, s, Pessimistic{})
+	}
+}
+
+func BenchmarkCost(b *testing.B) {
+	d := benchDescriptor(b)
+	r := NewRates(d)
+	s := AllActive(4, 32, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cost(r, s)
+	}
+}
+
+func BenchmarkHostLoads(b *testing.B) {
+	d := benchDescriptor(b)
+	r := NewRates(d)
+	s := AllActive(4, 32, 2)
+	asg := NewAssignment(32, 2, 8)
+	for p := 0; p < 32; p++ {
+		asg.Host[p][0] = p % 8
+		asg.Host[p][1] = (p + 1) % 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HostLoads(r, s, asg, i%4)
+	}
+}
+
+func BenchmarkStageLatency(b *testing.B) {
+	d := benchDescriptor(b)
+	r := NewRates(d)
+	s := AllActive(4, 32, 2)
+	asg := NewAssignment(32, 2, 8)
+	for p := 0; p < 32; p++ {
+		asg.Host[p][0] = p % 8
+		asg.Host[p][1] = (p + 1) % 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StageLatency(r, s, asg, i%4)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+// Cost returns the execution cost of a strategy (Eq. 13): the total CPU time
+// (in cycles) consumed by all active PE replicas over one billing period T,
+// weighted by configuration probabilities. Because the cost of an active
+// replica does not depend on which replica it is, the cost reduces to
+//
+//	T · Σ_c P_C(c) · Σ_pe unitLoad(pe, c) · numActive(pe, c).
+func Cost(r *Rates, s *Strategy) float64 {
+	d := r.Descriptor()
+	var sum float64
+	for c, cfg := range d.Configs {
+		if cfg.Prob == 0 {
+			continue
+		}
+		var per float64
+		for p := 0; p < d.App.NumPEs(); p++ {
+			per += r.UnitLoad(p, c) * float64(s.NumActive(c, p))
+		}
+		sum += cfg.Prob * per
+	}
+	return d.BillingPeriod * sum
+}
+
+// HostLoad returns the CPU cycles per second demanded on a host in a
+// configuration: the sum of the unit loads of the active replicas assigned
+// to it (left-hand side of Eq. 11).
+func HostLoad(r *Rates, s *Strategy, asg *Assignment, host, cfg int) float64 {
+	var load float64
+	for p := range asg.Host {
+		for rep, h := range asg.Host[p] {
+			if h == host && s.IsActive(cfg, p, rep) {
+				load += r.UnitLoad(p, cfg)
+			}
+		}
+	}
+	return load
+}
+
+// Overloaded reports whether any host exceeds its capacity K in any input
+// configuration under the strategy (violation of Eq. 11), returning the
+// first offending (host, cfg) pair.
+func Overloaded(r *Rates, s *Strategy, asg *Assignment) (host, cfg int, overloaded bool) {
+	d := r.Descriptor()
+	for c := range d.Configs {
+		for h := 0; h < asg.NumHosts; h++ {
+			if HostLoad(r, s, asg, h, c) >= d.HostCapacity {
+				return h, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// HostLoads returns the per-host loads for one configuration.
+func HostLoads(r *Rates, s *Strategy, asg *Assignment, cfg int) []float64 {
+	loads := make([]float64, asg.NumHosts)
+	for p := range asg.Host {
+		for rep, h := range asg.Host[p] {
+			if s.IsActive(cfg, p, rep) {
+				loads[h] += r.UnitLoad(p, cfg)
+			}
+		}
+	}
+	return loads
+}

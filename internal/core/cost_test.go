@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// pipelineAssignment mirrors Fig. 2a: two hosts, replica r of each PE on
+// host r.
+func pipelineAssignment() *Assignment {
+	asg := NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return asg
+}
+
+func TestCostPipelineStatic(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := AllActive(2, 2, 2)
+	// cost = T·Σ_c P(c)·Σ_pe unitLoad·2
+	//      = 300·(0.8·(4e8+4e8)·2·... ) per PE both replicas:
+	// Low: (4e8+4e8)·2 = 1.6e9; High: (8e8+8e8)·2 = 3.2e9.
+	// cost = 300·(0.8·1.6e9 + 0.2·3.2e9) = 300·1.92e9 = 5.76e11.
+	if got := Cost(r, s); !almostEqual(got, 5.76e11) {
+		t.Fatalf("Cost = %v, want 5.76e11", got)
+	}
+}
+
+func TestCostLAARCheaperThanStatic(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	static := AllActive(2, 2, 2)
+	laar := laarPipelineStrategy()
+	if Cost(r, laar) >= Cost(r, static) {
+		t.Fatalf("Cost(laar)=%v not below Cost(static)=%v", Cost(r, laar), Cost(r, static))
+	}
+}
+
+func TestHostLoadPipeline(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	asg := pipelineAssignment()
+	s := AllActive(2, 2, 2)
+	// All replicas active, High: each host runs one replica of each PE,
+	// load = 8e8 + 8e8 = 1.6e9 > K = 1e9 → overloaded.
+	if got := HostLoad(r, s, asg, 0, 1); !almostEqual(got, 1.6e9) {
+		t.Fatalf("HostLoad(host0, High) = %v, want 1.6e9", got)
+	}
+	if _, _, over := Overloaded(r, s, asg); !over {
+		t.Fatal("static replication at High should be overloaded")
+	}
+	// LAAR strategy deactivates PE1 replica 1 (host 1) and PE2 replica 0
+	// (host 0) at High: each host load = 8e8 < K.
+	laar := laarPipelineStrategy()
+	if got := HostLoad(r, laar, asg, 0, 1); !almostEqual(got, 8e8) {
+		t.Fatalf("HostLoad(host0, High, laar) = %v, want 8e8", got)
+	}
+	if h, c, over := Overloaded(r, laar, asg); over {
+		t.Fatalf("LAAR strategy overloaded at host %d config %d", h, c)
+	}
+}
+
+func TestHostLoadsSumMatchesPerHostQueries(t *testing.T) {
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	asg := NewAssignment(4, 2, 3)
+	for p := 0; p < 4; p++ {
+		asg.Host[p][0] = p % 3
+		asg.Host[p][1] = (p + 1) % 3
+	}
+	s := AllActive(2, 4, 2)
+	for c := 0; c < 2; c++ {
+		loads := HostLoads(r, s, asg, c)
+		for h := range loads {
+			if got := HostLoad(r, s, asg, h, c); !almostEqual(got, loads[h]) {
+				t.Errorf("cfg %d host %d: HostLoad=%v, HostLoads=%v", c, h, got, loads[h])
+			}
+		}
+	}
+}
+
+func TestCostMonotoneInActivationQuick(t *testing.T) {
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	f := func(bits uint16, cfg, pe uint8) bool {
+		s := NewStrategy(2, 4, 2)
+		i := 0
+		for c := 0; c < 2; c++ {
+			for p := 0; p < 4; p++ {
+				s.Set(c, p, 0, true)
+				s.Set(c, p, 1, bits&(1<<i) != 0)
+				i++
+			}
+		}
+		c, p := int(cfg)%2, int(pe)%4
+		if s.IsActive(c, p, 1) {
+			return true
+		}
+		s2 := s.Clone()
+		s2.Set(c, p, 1, true)
+		return Cost(r, s2) >= Cost(r, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	asg := NewAssignment(2, 2, 2)
+	asg.Host[0][0], asg.Host[0][1] = 0, 1
+	asg.Host[1][0], asg.Host[1][1] = 1, 0
+	if err := asg.Validate(true); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	asg.Host[1][1] = 1 // both replicas of PE 1 on host 1
+	if err := asg.Validate(true); err == nil {
+		t.Fatal("Validate(antiAffinity) accepted co-located replicas")
+	}
+	if err := asg.Validate(false); err != nil {
+		t.Fatalf("Validate(false): %v", err)
+	}
+	asg.Host[0][0] = 7
+	if err := asg.Validate(false); err == nil {
+		t.Fatal("Validate accepted out-of-range host")
+	}
+}
+
+func TestReplicasOn(t *testing.T) {
+	asg := pipelineAssignment()
+	on0 := asg.ReplicasOn(0)
+	if len(on0) != 2 {
+		t.Fatalf("ReplicasOn(0) = %v, want 2 replicas", on0)
+	}
+	for _, pr := range on0 {
+		if pr[1] != 0 {
+			t.Errorf("host 0 hosts replica %v, want replica index 0", pr)
+		}
+	}
+}

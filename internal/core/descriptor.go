@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// InputConfig is one discrete input configuration c ∈ C: a joint assignment
+// of a production rate (tuples per second) to every data source, together
+// with the probability of the configuration being active (P_C of the paper).
+type InputConfig struct {
+	// Name is a human-readable label ("Low", "High", ...).
+	Name string
+	// Rates holds one rate per source, aligned with App.Sources().
+	Rates []float64
+	// Prob is the probability mass of this configuration.
+	Prob float64
+}
+
+// Descriptor is the application descriptor of the service model (Section 3):
+// the application graph plus the statistical characterisation of its input
+// and the deployment parameters needed by the optimisation.
+type Descriptor struct {
+	App *App
+	// Configs enumerates the possible input configurations. Probabilities
+	// must sum to 1 (within a small tolerance).
+	Configs []InputConfig
+	// HostCapacity is K: the CPU cycles per second available at each
+	// deployment host (Eq. 11).
+	HostCapacity float64
+	// BillingPeriod is T, in seconds (Section 3).
+	BillingPeriod float64
+}
+
+// probTolerance bounds the accepted deviation of the configuration
+// probability mass from 1.
+const probTolerance = 1e-9
+
+// Validate checks the descriptor for internal consistency.
+func (d *Descriptor) Validate() error {
+	if d.App == nil {
+		return errors.New("core: descriptor has no application")
+	}
+	if len(d.Configs) == 0 {
+		return errors.New("core: descriptor has no input configurations")
+	}
+	if d.HostCapacity <= 0 {
+		return fmt.Errorf("core: non-positive host capacity %v", d.HostCapacity)
+	}
+	if d.BillingPeriod <= 0 {
+		return fmt.Errorf("core: non-positive billing period %v", d.BillingPeriod)
+	}
+	sum := 0.0
+	for i, c := range d.Configs {
+		if len(c.Rates) != d.App.NumSources() {
+			return fmt.Errorf("core: config %d (%s) has %d rates for %d sources",
+				i, c.Name, len(c.Rates), d.App.NumSources())
+		}
+		for j, r := range c.Rates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return fmt.Errorf("core: config %d (%s) has invalid rate %v for source %d", i, c.Name, r, j)
+			}
+		}
+		if c.Prob < 0 || c.Prob > 1 || math.IsNaN(c.Prob) {
+			return fmt.Errorf("core: config %d (%s) has invalid probability %v", i, c.Name, c.Prob)
+		}
+		sum += c.Prob
+	}
+	if math.Abs(sum-1) > probTolerance {
+		return fmt.Errorf("core: configuration probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// NumConfigs returns the number of input configurations.
+func (d *Descriptor) NumConfigs() int { return len(d.Configs) }
+
+// ConfigByName returns the index of the configuration with the given name,
+// or -1 if absent.
+func (d *Descriptor) ConfigByName(name string) int {
+	for i, c := range d.Configs {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SourceRate returns Δ(x_i, c) for a source component in configuration cfg.
+func (d *Descriptor) SourceRate(id ComponentID, cfg int) float64 {
+	si := d.App.SourceIndex(id)
+	if si < 0 {
+		panic(fmt.Sprintf("core: component %d is not a source", id))
+	}
+	return d.Configs[cfg].Rates[si]
+}
+
+// CrossConfigs builds the full Cartesian product C = R_1 × … × R_t from
+// per-source rate alternatives. rates[i] lists the possible rates of source
+// i (aligned with App.Sources()); probs[i][j] is the marginal probability of
+// source i producing at rates[i][j]. Sources are assumed independent, as in
+// the binning construction of Section 3. Configuration names are formed by
+// joining the per-source alternative indices.
+func CrossConfigs(rates [][]float64, probs [][]float64) ([]InputConfig, error) {
+	if len(rates) != len(probs) {
+		return nil, fmt.Errorf("core: %d rate lists but %d probability lists", len(rates), len(probs))
+	}
+	for i := range rates {
+		if len(rates[i]) == 0 {
+			return nil, fmt.Errorf("core: source %d has no rate alternatives", i)
+		}
+		if len(rates[i]) != len(probs[i]) {
+			return nil, fmt.Errorf("core: source %d has %d rates but %d probabilities", i, len(rates[i]), len(probs[i]))
+		}
+	}
+	total := 1
+	for i := range rates {
+		total *= len(rates[i])
+	}
+	out := make([]InputConfig, 0, total)
+	idx := make([]int, len(rates))
+	for {
+		cfg := InputConfig{Prob: 1, Rates: make([]float64, len(rates))}
+		name := ""
+		for i, j := range idx {
+			cfg.Rates[i] = rates[i][j]
+			cfg.Prob *= probs[i][j]
+			if i > 0 {
+				name += "/"
+			}
+			name += fmt.Sprintf("%d", j)
+		}
+		cfg.Name = name
+		out = append(out, cfg)
+		// Advance the mixed-radix counter.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(rates[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescriptorValidateErrors(t *testing.T) {
+	app, good := buildPipeline(t)
+	cases := []struct {
+		name   string
+		mutate func(d *Descriptor)
+		want   string
+	}{
+		{"no app", func(d *Descriptor) { d.App = nil }, "no application"},
+		{"no configs", func(d *Descriptor) { d.Configs = nil }, "no input configurations"},
+		{"bad capacity", func(d *Descriptor) { d.HostCapacity = 0 }, "capacity"},
+		{"bad period", func(d *Descriptor) { d.BillingPeriod = -1 }, "billing period"},
+		{"rate arity", func(d *Descriptor) { d.Configs[0].Rates = []float64{1, 2} }, "rates"},
+		{"negative rate", func(d *Descriptor) { d.Configs[0].Rates = []float64{-3} }, "invalid rate"},
+		{"bad prob", func(d *Descriptor) { d.Configs[0].Prob = 1.5 }, "invalid probability"},
+		{"prob sum", func(d *Descriptor) { d.Configs[0].Prob = 0.5 }, "sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &Descriptor{
+				App:           app,
+				Configs:       []InputConfig{{Name: "Low", Rates: []float64{4}, Prob: 0.8}, {Name: "High", Rates: []float64{8}, Prob: 0.2}},
+				HostCapacity:  good.HostCapacity,
+				BillingPeriod: good.BillingPeriod,
+			}
+			tc.mutate(d)
+			err := d.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	_, d := buildPipeline(t)
+	if got := d.ConfigByName("High"); got != 1 {
+		t.Errorf("ConfigByName(High) = %d, want 1", got)
+	}
+	if got := d.ConfigByName("absent"); got != -1 {
+		t.Errorf("ConfigByName(absent) = %d, want -1", got)
+	}
+}
+
+func TestCrossConfigs(t *testing.T) {
+	rates := [][]float64{{1, 2}, {10, 20, 30}}
+	probs := [][]float64{{0.4, 0.6}, {0.2, 0.3, 0.5}}
+	cfgs, err := CrossConfigs(rates, probs)
+	if err != nil {
+		t.Fatalf("CrossConfigs: %v", err)
+	}
+	if len(cfgs) != 6 {
+		t.Fatalf("got %d configs, want 6", len(cfgs))
+	}
+	var sum float64
+	for _, c := range cfgs {
+		sum += c.Prob
+		if len(c.Rates) != 2 {
+			t.Fatalf("config %s has %d rates", c.Name, len(c.Rates))
+		}
+	}
+	if !almostEqual(sum, 1) {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// First config is (1, 10) with prob 0.4·0.2 = 0.08.
+	if cfgs[0].Rates[0] != 1 || cfgs[0].Rates[1] != 10 || !almostEqual(cfgs[0].Prob, 0.08) {
+		t.Errorf("first config = %+v", cfgs[0])
+	}
+	// Last config is (2, 30) with prob 0.6·0.5 = 0.3.
+	last := cfgs[len(cfgs)-1]
+	if last.Rates[0] != 2 || last.Rates[1] != 30 || !almostEqual(last.Prob, 0.3) {
+		t.Errorf("last config = %+v", last)
+	}
+}
+
+func TestCrossConfigsErrors(t *testing.T) {
+	if _, err := CrossConfigs([][]float64{{1}}, [][]float64{}); err == nil {
+		t.Error("mismatched list counts accepted")
+	}
+	if _, err := CrossConfigs([][]float64{{}}, [][]float64{{}}); err == nil {
+		t.Error("empty rate list accepted")
+	}
+	if _, err := CrossConfigs([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("mismatched rate/prob lengths accepted")
+	}
+}
+
+func TestSourceRatePanicsOnNonSource(t *testing.T) {
+	app, d := buildPipeline(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SourceRate did not panic for a PE")
+		}
+	}()
+	d.SourceRate(app.PEs()[0], 0)
+}
+
+func TestConfigsByLoadDesc(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	order := r.ConfigsByLoadDesc()
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("ConfigsByLoadDesc = %v, want [1 0] (High first)", order)
+	}
+	if got := r.MaxConfig(); got != 1 {
+		t.Fatalf("MaxConfig = %d, want 1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import "math"
+
+// FailureModel describes the function φ(x_i, c, s): the probability that at
+// least one replica of a PE is alive and active when the input configuration
+// is c and the replica activation strategy is s (Section 4.3).
+type FailureModel interface {
+	// Phi returns φ for the PE with dense index peIdx in configuration cfg
+	// under strategy s. Implementations must return a value in [0, 1].
+	Phi(s *Strategy, cfg, peIdx int) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Pessimistic is the paper's pessimistic failure model (Eq. 14): in any
+// failure scenario all replicas of a PE fail except one, the survivor is
+// chosen adversarially among the inactive replicas whenever some replica is
+// inactive, and failed replicas never recover. Hence φ = 1 only when all k
+// replicas are active, 0 otherwise. The IC computed under this model is a
+// lower bound on the IC observed on a real deployment.
+type Pessimistic struct{}
+
+// Phi implements FailureModel.
+func (Pessimistic) Phi(s *Strategy, cfg, peIdx int) float64 {
+	if s.NumActive(cfg, peIdx) < s.K {
+		return 0
+	}
+	return 1
+}
+
+// Name implements FailureModel.
+func (Pessimistic) Name() string { return "pessimistic" }
+
+// NoFailure is the best-case model: every PE always processes its input.
+// Under it FIC = BIC, so IC = 1 for every strategy satisfying Eq. 12.
+type NoFailure struct{}
+
+// Phi implements FailureModel.
+func (NoFailure) Phi(*Strategy, int, int) float64 { return 1 }
+
+// Name implements FailureModel.
+func (NoFailure) Name() string { return "no-failure" }
+
+// Independent is an alternative failure model (paper Section 6, future work
+// direction i): each replica is independently failed with probability P at
+// any point in time, and a PE processes its input as long as at least one of
+// its *active* replicas is alive: φ = 1 − P^numActive. For small P it gives
+// far less pessimistic IC estimates on partially replicated configurations;
+// unlike Pessimistic it also accounts for the (unlikely) event that every
+// replica fails at once, so the two models are not comparable in general.
+type Independent struct {
+	// P is the per-replica failure probability, in [0, 1].
+	P float64
+}
+
+// Phi implements FailureModel.
+func (m Independent) Phi(s *Strategy, cfg, peIdx int) float64 {
+	n := s.NumActive(cfg, peIdx)
+	if n == 0 {
+		return 0
+	}
+	return 1 - math.Pow(m.P, float64(n))
+}
+
+// Name implements FailureModel.
+func (m Independent) Name() string { return "independent" }
+
+// SingleSurvivor is a parametric variant of the pessimistic model in which
+// the surviving replica is chosen uniformly at random among all replicas
+// rather than adversarially among the inactive ones: φ equals the fraction
+// of replicas that are active. It sits between Pessimistic and NoFailure and
+// is useful to study the looseness of the pessimistic bound.
+type SingleSurvivor struct{}
+
+// Phi implements FailureModel.
+func (SingleSurvivor) Phi(s *Strategy, cfg, peIdx int) float64 {
+	return float64(s.NumActive(cfg, peIdx)) / float64(s.K)
+}
+
+// Name implements FailureModel.
+func (SingleSurvivor) Name() string { return "single-survivor" }

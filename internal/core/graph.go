@@ -1,0 +1,337 @@
+// Package core implements the LAAR application model: data-flow graphs of
+// sources, processing elements (PEs) and sinks, application descriptors with
+// per-edge selectivity and per-tuple CPU cost, discrete input configurations
+// with a probability mass function, replica activation strategies, and the
+// internal-completeness (IC), cost and host-load mathematics of the paper
+// (Bellavista et al., EDBT 2014, Sections 3 and 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the three component roles of an application graph.
+type Kind int
+
+const (
+	// KindSource produces tuples from the external world at one of a
+	// finite set of rates.
+	KindSource Kind = iota
+	// KindPE transforms input streams into an output stream.
+	KindPE
+	// KindSink consumes tuples and delivers them externally.
+	KindSink
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindPE:
+		return "pe"
+	case KindSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ComponentID identifies a component within its App. IDs are dense indices
+// assigned in insertion order, usable to index App-wide slices.
+type ComponentID int
+
+// Component is a vertex of the application graph.
+type Component struct {
+	ID   ComponentID
+	Name string
+	Kind Kind
+}
+
+// Edge is a directed stream connection between two components, annotated
+// with the destination PE's selectivity and per-tuple CPU cost with respect
+// to this input (the δ and γ functions of the paper).
+type Edge struct {
+	From ComponentID
+	To   ComponentID
+	// Selectivity is the number of output tuples the destination produces
+	// per input tuple received on this edge (δ).
+	Selectivity float64
+	// CostCycles is the CPU cycles needed by the destination to process
+	// one tuple arriving on this edge (γ).
+	CostCycles float64
+}
+
+// App is an immutable application graph: a DAG of sources, PEs and sinks.
+// Build one with a Builder.
+type App struct {
+	name       string
+	components []Component
+	edges      []Edge
+	preds      [][]int // indices into edges, grouped by destination
+	succs      [][]int // indices into edges, grouped by origin
+	sources    []ComponentID
+	pes        []ComponentID
+	sinks      []ComponentID
+	peIndex    []int // componentID -> dense PE index, -1 for non-PEs
+	srcIndex   []int // componentID -> dense source index, -1 otherwise
+	topo       []ComponentID
+}
+
+// Builder incrementally constructs an App. The zero value is not usable;
+// create one with NewBuilder.
+type Builder struct {
+	name       string
+	components []Component
+	edges      []Edge
+	err        error
+}
+
+// NewBuilder returns a Builder for an application with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+func (b *Builder) add(name string, kind Kind) ComponentID {
+	id := ComponentID(len(b.components))
+	if name == "" {
+		name = fmt.Sprintf("%s%d", kind, id)
+	}
+	b.components = append(b.components, Component{ID: id, Name: name, Kind: kind})
+	return id
+}
+
+// AddSource adds a data source and returns its ID.
+func (b *Builder) AddSource(name string) ComponentID { return b.add(name, KindSource) }
+
+// AddPE adds a processing element and returns its ID.
+func (b *Builder) AddPE(name string) ComponentID { return b.add(name, KindPE) }
+
+// AddSink adds a data sink and returns its ID.
+func (b *Builder) AddSink(name string) ComponentID { return b.add(name, KindSink) }
+
+// Connect adds a stream from one component to another. Selectivity and
+// per-tuple cost describe the destination PE's behaviour on this input; for
+// edges into sinks both values are ignored and may be zero.
+func (b *Builder) Connect(from, to ComponentID, selectivity, costCycles float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	switch {
+	case int(from) >= len(b.components) || from < 0:
+		b.err = fmt.Errorf("core: connect: unknown origin component %d", from)
+	case int(to) >= len(b.components) || to < 0:
+		b.err = fmt.Errorf("core: connect: unknown destination component %d", to)
+	case b.components[from].Kind == KindSink:
+		b.err = fmt.Errorf("core: connect: sink %q cannot have outgoing edges", b.components[from].Name)
+	case b.components[to].Kind == KindSource:
+		b.err = fmt.Errorf("core: connect: source %q cannot have incoming edges", b.components[to].Name)
+	case b.components[to].Kind == KindPE && selectivity < 0:
+		b.err = fmt.Errorf("core: connect: negative selectivity %v into %q", selectivity, b.components[to].Name)
+	case b.components[to].Kind == KindPE && costCycles < 0:
+		b.err = fmt.Errorf("core: connect: negative cost %v into %q", costCycles, b.components[to].Name)
+	default:
+		b.edges = append(b.edges, Edge{From: from, To: to, Selectivity: selectivity, CostCycles: costCycles})
+	}
+	return b
+}
+
+// Build validates the graph and returns the immutable App. The graph must be
+// a DAG with at least one source, one PE and one sink; every PE must have at
+// least one predecessor and at least one successor, sources must have at
+// least one outgoing edge and sinks at least one incoming edge, and duplicate
+// edges are rejected.
+func (b *Builder) Build() (*App, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	a := &App{
+		name:       b.name,
+		components: append([]Component(nil), b.components...),
+		edges:      append([]Edge(nil), b.edges...),
+	}
+	n := len(a.components)
+	a.preds = make([][]int, n)
+	a.succs = make([][]int, n)
+	seen := make(map[[2]ComponentID]bool, len(a.edges))
+	for i, e := range a.edges {
+		key := [2]ComponentID{e.From, e.To}
+		if seen[key] {
+			return nil, fmt.Errorf("core: duplicate edge %s -> %s",
+				a.components[e.From].Name, a.components[e.To].Name)
+		}
+		seen[key] = true
+		a.preds[e.To] = append(a.preds[e.To], i)
+		a.succs[e.From] = append(a.succs[e.From], i)
+	}
+	a.peIndex = make([]int, n)
+	a.srcIndex = make([]int, n)
+	for i := range a.peIndex {
+		a.peIndex[i] = -1
+		a.srcIndex[i] = -1
+	}
+	for _, c := range a.components {
+		switch c.Kind {
+		case KindSource:
+			a.srcIndex[c.ID] = len(a.sources)
+			a.sources = append(a.sources, c.ID)
+			if len(a.succs[c.ID]) == 0 {
+				return nil, fmt.Errorf("core: source %q has no outgoing edges", c.Name)
+			}
+		case KindPE:
+			a.peIndex[c.ID] = len(a.pes)
+			a.pes = append(a.pes, c.ID)
+			if len(a.preds[c.ID]) == 0 {
+				return nil, fmt.Errorf("core: PE %q has no incoming edges", c.Name)
+			}
+			if len(a.succs[c.ID]) == 0 {
+				return nil, fmt.Errorf("core: PE %q has no outgoing edges", c.Name)
+			}
+		case KindSink:
+			a.sinks = append(a.sinks, c.ID)
+			if len(a.preds[c.ID]) == 0 {
+				return nil, fmt.Errorf("core: sink %q has no incoming edges", c.Name)
+			}
+		}
+	}
+	if len(a.sources) == 0 {
+		return nil, errors.New("core: application has no sources")
+	}
+	if len(a.pes) == 0 {
+		return nil, errors.New("core: application has no PEs")
+	}
+	if len(a.sinks) == 0 {
+		return nil, errors.New("core: application has no sinks")
+	}
+	topo, err := a.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	a.topo = topo
+	return a, nil
+}
+
+// topoSort returns the components in a topological order (Kahn's algorithm),
+// or an error if the graph contains a cycle.
+func (a *App) topoSort() ([]ComponentID, error) {
+	n := len(a.components)
+	indeg := make([]int, n)
+	for i := range a.components {
+		indeg[i] = len(a.preds[i])
+	}
+	queue := make([]ComponentID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, ComponentID(i))
+		}
+	}
+	order := make([]ComponentID, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ei := range a.succs[id] {
+			to := a.edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("core: application graph contains a cycle")
+	}
+	return order, nil
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+// NumComponents returns the total number of graph vertices.
+func (a *App) NumComponents() int { return len(a.components) }
+
+// Component returns the component with the given ID.
+func (a *App) Component(id ComponentID) Component { return a.components[id] }
+
+// Components returns all components in insertion order. The returned slice
+// must not be modified.
+func (a *App) Components() []Component { return a.components }
+
+// Edges returns all edges. The returned slice must not be modified.
+func (a *App) Edges() []Edge { return a.edges }
+
+// Sources returns the IDs of all data sources, in insertion order.
+func (a *App) Sources() []ComponentID { return a.sources }
+
+// PEs returns the IDs of all processing elements, in insertion order.
+func (a *App) PEs() []ComponentID { return a.pes }
+
+// Sinks returns the IDs of all data sinks, in insertion order.
+func (a *App) Sinks() []ComponentID { return a.sinks }
+
+// NumPEs returns the number of processing elements.
+func (a *App) NumPEs() int { return len(a.pes) }
+
+// NumSources returns the number of data sources.
+func (a *App) NumSources() int { return len(a.sources) }
+
+// PEIndex returns the dense PE index (0..NumPEs-1) of the component, or -1
+// if the component is not a PE.
+func (a *App) PEIndex(id ComponentID) int { return a.peIndex[id] }
+
+// SourceIndex returns the dense source index of the component, or -1 if the
+// component is not a source.
+func (a *App) SourceIndex(id ComponentID) int { return a.srcIndex[id] }
+
+// In returns the edges entering the component. The slice must not be modified.
+func (a *App) In(id ComponentID) []Edge {
+	out := make([]Edge, len(a.preds[id]))
+	for i, ei := range a.preds[id] {
+		out[i] = a.edges[ei]
+	}
+	return out
+}
+
+// Out returns the edges leaving the component.
+func (a *App) Out(id ComponentID) []Edge {
+	out := make([]Edge, len(a.succs[id]))
+	for i, ei := range a.succs[id] {
+		out[i] = a.edges[ei]
+	}
+	return out
+}
+
+// Preds returns the IDs of the predecessor components of id (the pred
+// function of the paper, Eq. 1).
+func (a *App) Preds(id ComponentID) []ComponentID {
+	out := make([]ComponentID, len(a.preds[id]))
+	for i, ei := range a.preds[id] {
+		out[i] = a.edges[ei].From
+	}
+	return out
+}
+
+// Succs returns the IDs of the successor components of id.
+func (a *App) Succs(id ComponentID) []ComponentID {
+	out := make([]ComponentID, len(a.succs[id]))
+	for i, ei := range a.succs[id] {
+		out[i] = a.edges[ei].To
+	}
+	return out
+}
+
+// Topo returns the components in a topological order. The returned slice
+// must not be modified.
+func (a *App) Topo() []ComponentID { return a.topo }
+
+// TopoPEs returns the dense PE indices in topological order.
+func (a *App) TopoPEs() []int {
+	out := make([]int, 0, len(a.pes))
+	for _, id := range a.topo {
+		if pi := a.peIndex[id]; pi >= 0 {
+			out = append(out, pi)
+		}
+	}
+	return out
+}

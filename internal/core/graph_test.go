@@ -1,0 +1,256 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPipeline constructs the paper's Fig. 1 application: one source, two
+// PEs in a pipeline (δ = 1, 100 ms per tuple on a 1 GHz host), one sink.
+func buildPipeline(t *testing.T) (*App, *Descriptor) {
+	t.Helper()
+	b := NewBuilder("fig1-pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	d := &Descriptor{
+		App: app,
+		Configs: []InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return app, d
+}
+
+func TestBuilderPipeline(t *testing.T) {
+	app, _ := buildPipeline(t)
+	if got := app.NumComponents(); got != 4 {
+		t.Fatalf("NumComponents = %d, want 4", got)
+	}
+	if got := app.NumPEs(); got != 2 {
+		t.Errorf("NumPEs = %d, want 2", got)
+	}
+	if got := app.NumSources(); got != 1 {
+		t.Errorf("NumSources = %d, want 1", got)
+	}
+	if got := len(app.Sinks()); got != 1 {
+		t.Errorf("Sinks = %d, want 1", got)
+	}
+	pe1 := app.PEs()[0]
+	if got := app.Preds(pe1); len(got) != 1 || app.Component(got[0]).Kind != KindSource {
+		t.Errorf("Preds(PE1) = %v, want one source", got)
+	}
+	if got := app.Succs(pe1); len(got) != 1 || app.Component(got[0]).Name != "PE2" {
+		t.Errorf("Succs(PE1) = %v, want PE2", got)
+	}
+}
+
+func TestBuilderNamesDefaulted(t *testing.T) {
+	b := NewBuilder("x")
+	src := b.AddSource("")
+	pe := b.AddPE("")
+	sink := b.AddSink("")
+	b.Connect(src, pe, 1, 1).Connect(pe, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, c := range app.Components() {
+		if c.Name == "" {
+			t.Errorf("component %d has empty name", c.ID)
+		}
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder("cycle")
+	src := b.AddSource("s")
+	p1 := b.AddPE("p1")
+	p2 := b.AddPE("p2")
+	sink := b.AddSink("k")
+	b.Connect(src, p1, 1, 1)
+	b.Connect(p1, p2, 1, 1)
+	b.Connect(p2, p1, 1, 1)
+	b.Connect(p2, sink, 0, 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Build = %v, want cycle error", err)
+	}
+}
+
+func TestBuilderRejectsEdgeIntoSource(t *testing.T) {
+	b := NewBuilder("bad")
+	src := b.AddSource("s")
+	pe := b.AddPE("p")
+	b.Connect(pe, src, 1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted edge into source")
+	}
+}
+
+func TestBuilderRejectsEdgeFromSink(t *testing.T) {
+	b := NewBuilder("bad")
+	sink := b.AddSink("k")
+	pe := b.AddPE("p")
+	b.Connect(sink, pe, 1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted edge out of sink")
+	}
+}
+
+func TestBuilderRejectsDuplicateEdge(t *testing.T) {
+	b := NewBuilder("dup")
+	src := b.AddSource("s")
+	pe := b.AddPE("p")
+	sink := b.AddSink("k")
+	b.Connect(src, pe, 1, 1)
+	b.Connect(src, pe, 1, 1)
+	b.Connect(pe, sink, 0, 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Build = %v, want duplicate edge error", err)
+	}
+}
+
+func TestBuilderRejectsDanglingPE(t *testing.T) {
+	b := NewBuilder("dangling")
+	src := b.AddSource("s")
+	p1 := b.AddPE("p1")
+	b.AddPE("orphan")
+	sink := b.AddSink("k")
+	b.Connect(src, p1, 1, 1)
+	b.Connect(p1, sink, 0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted PE with no edges")
+	}
+}
+
+func TestBuilderRejectsNegativeAttributes(t *testing.T) {
+	b := NewBuilder("neg")
+	src := b.AddSource("s")
+	pe := b.AddPE("p")
+	b.Connect(src, pe, -1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted negative selectivity")
+	}
+	b = NewBuilder("neg2")
+	src = b.AddSource("s")
+	pe = b.AddPE("p")
+	b.Connect(src, pe, 1, -5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted negative cost")
+	}
+}
+
+func TestBuilderRejectsMissingKinds(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { // no source
+			p := b.AddPE("p")
+			k := b.AddSink("k")
+			b.Connect(p, k, 0, 0)
+		},
+		func(b *Builder) { // no PE
+			s := b.AddSource("s")
+			k := b.AddSink("k")
+			b.Connect(s, k, 0, 0)
+		},
+	}
+	for i, f := range cases {
+		b := NewBuilder("missing")
+		f(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: Build accepted incomplete application", i)
+		}
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	app, _ := buildDiamond(t)
+	pos := make(map[ComponentID]int)
+	for i, id := range app.Topo() {
+		pos[id] = i
+	}
+	for _, e := range app.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("topo order violates edge %d -> %d", e.From, e.To)
+		}
+	}
+}
+
+// buildDiamond constructs a diamond-shaped graph: src -> A -> {B, C} -> D -> sink.
+func buildDiamond(t *testing.T) (*App, *Descriptor) {
+	t.Helper()
+	b := NewBuilder("diamond")
+	src := b.AddSource("src")
+	a := b.AddPE("A")
+	bb := b.AddPE("B")
+	c := b.AddPE("C")
+	dd := b.AddPE("D")
+	sink := b.AddSink("sink")
+	b.Connect(src, a, 1, 2e7)
+	b.Connect(a, bb, 0.5, 3e7)
+	b.Connect(a, c, 2, 1e7)
+	b.Connect(bb, dd, 1, 4e7)
+	b.Connect(c, dd, 0.25, 2e7)
+	b.Connect(dd, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	d := &Descriptor{
+		App: app,
+		Configs: []InputConfig{
+			{Name: "Low", Rates: []float64{10}, Prob: 0.7},
+			{Name: "High", Rates: []float64{20}, Prob: 0.3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return app, d
+}
+
+func TestTopoPEs(t *testing.T) {
+	app, _ := buildDiamond(t)
+	topoPEs := app.TopoPEs()
+	if len(topoPEs) != app.NumPEs() {
+		t.Fatalf("TopoPEs has %d entries, want %d", len(topoPEs), app.NumPEs())
+	}
+	// A (index 0) must come first; D (index 3) must come last.
+	if topoPEs[0] != 0 {
+		t.Errorf("first topo PE = %d, want 0 (A)", topoPEs[0])
+	}
+	if topoPEs[len(topoPEs)-1] != 3 {
+		t.Errorf("last topo PE = %d, want 3 (D)", topoPEs[len(topoPEs)-1])
+	}
+}
+
+func TestInOutEdges(t *testing.T) {
+	app, _ := buildDiamond(t)
+	dID := app.PEs()[3]
+	in := app.In(dID)
+	if len(in) != 2 {
+		t.Fatalf("In(D) returned %d edges, want 2", len(in))
+	}
+	var totalSel float64
+	for _, e := range in {
+		totalSel += e.Selectivity
+	}
+	if totalSel != 1.25 {
+		t.Errorf("selectivities into D sum to %v, want 1.25", totalSel)
+	}
+}

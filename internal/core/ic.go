@@ -1,0 +1,74 @@
+package core
+
+// BIC returns the best-case internal completeness (Eq. 5): the number of
+// tuples statistically expected to be processed by all application PEs
+// during one billing period T in absence of failures.
+func BIC(r *Rates) float64 {
+	d := r.Descriptor()
+	var sum float64
+	for c, cfg := range d.Configs {
+		var per float64
+		for p := range d.App.PEs() {
+			per += r.InRate(p, c)
+		}
+		sum += cfg.Prob * per
+	}
+	return d.BillingPeriod * sum
+}
+
+// FIC returns the failure internal completeness (Eq. 6): the expected number
+// of tuples processed during T given failure model φ and activation
+// strategy s. The expected output Δ̂ of each PE (Eq. 7) is computed
+// recursively along the topological order.
+func FIC(r *Rates, s *Strategy, model FailureModel) float64 {
+	d := r.Descriptor()
+	app := d.App
+	var sum float64
+	hat := make([]float64, app.NumComponents())
+	for c, cfg := range d.Configs {
+		if cfg.Prob == 0 {
+			continue
+		}
+		// Δ̂ for this configuration.
+		for _, id := range app.Topo() {
+			switch app.Component(id).Kind {
+			case KindSource:
+				hat[id] = d.SourceRate(id, c)
+			case KindPE:
+				var in float64
+				for _, e := range app.In(id) {
+					in += e.Selectivity * hat[e.From]
+				}
+				hat[id] = model.Phi(s, c, app.PEIndex(id)) * in
+			case KindSink:
+				hat[id] = 0
+			}
+		}
+		var per float64
+		for _, id := range app.PEs() {
+			phi := model.Phi(s, c, app.PEIndex(id))
+			if phi == 0 {
+				continue
+			}
+			var in float64
+			for _, e := range app.In(id) {
+				in += hat[e.From]
+			}
+			per += phi * in
+		}
+		sum += cfg.Prob * per
+	}
+	return d.BillingPeriod * sum
+}
+
+// IC returns the internal completeness metric (Eq. 8): FIC(s)/BIC, the
+// fraction of the failure-free tuple-processing volume that survives under
+// the failure model. Returns 1 when BIC is zero (an application with no
+// input processes everything there is to process).
+func IC(r *Rates, s *Strategy, model FailureModel) float64 {
+	b := BIC(r)
+	if b == 0 {
+		return 1
+	}
+	return FIC(r, s, model) / b
+}

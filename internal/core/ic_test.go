@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// laarPipelineStrategy returns the strategy LAAR uses in the Fig. 2b
+// scenario: both replicas active at Low, one replica per PE at High.
+func laarPipelineStrategy() *Strategy {
+	s := AllActive(2, 2, 2)
+	s.Set(1, 0, 1, false) // High: deactivate PE1 replica 1
+	s.Set(1, 1, 0, false) // High: deactivate PE2 replica 0
+	return s
+}
+
+func TestRatesPipeline(t *testing.T) {
+	app, d := buildPipeline(t)
+	r := NewRates(d)
+	pe1, pe2 := app.PEs()[0], app.PEs()[1]
+	if got := r.Rate(pe1, 0); got != 4 {
+		t.Errorf("Δ(PE1, Low) = %v, want 4", got)
+	}
+	if got := r.Rate(pe2, 1); got != 8 {
+		t.Errorf("Δ(PE2, High) = %v, want 8", got)
+	}
+	if got := r.UnitLoad(0, 0); got != 4e8 {
+		t.Errorf("unitLoad(PE1, Low) = %v, want 4e8", got)
+	}
+	if got := r.UnitLoad(1, 1); got != 8e8 {
+		t.Errorf("unitLoad(PE2, High) = %v, want 8e8", got)
+	}
+	if got := r.InRate(0, 1); got != 8 {
+		t.Errorf("inRate(PE1, High) = %v, want 8", got)
+	}
+}
+
+func TestRatesDiamond(t *testing.T) {
+	app, d := buildDiamond(t)
+	r := NewRates(d)
+	// Low: src=10; A = 10; B = 0.5·10 = 5; C = 2·10 = 20; D = 1·5 + 0.25·20 = 10.
+	ids := app.PEs()
+	want := []float64{10, 5, 20, 10}
+	for i, id := range ids {
+		if got := r.Rate(id, 0); !almostEqual(got, want[i]) {
+			t.Errorf("Δ(%s, Low) = %v, want %v", app.Component(id).Name, got, want[i])
+		}
+	}
+	// Sink input rate = D's output.
+	if got := r.Rate(app.Sinks()[0], 0); !almostEqual(got, 10) {
+		t.Errorf("sink rate = %v, want 10", got)
+	}
+	// unitLoad(D, Low) = 4e7·5 + 2e7·20 = 6e8.
+	if got := r.UnitLoad(3, 0); !almostEqual(got, 6e8) {
+		t.Errorf("unitLoad(D, Low) = %v, want 6e8", got)
+	}
+	// inRate(D, Low) = 5 + 20 = 25.
+	if got := r.InRate(3, 0); !almostEqual(got, 25) {
+		t.Errorf("inRate(D, Low) = %v, want 25", got)
+	}
+}
+
+func TestBICPipeline(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	// BIC = T·(0.8·(4+4) + 0.2·(8+8)) = 300·9.6 = 2880.
+	if got := BIC(r); !almostEqual(got, 2880) {
+		t.Fatalf("BIC = %v, want 2880", got)
+	}
+}
+
+func TestICPipelinePessimistic(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := laarPipelineStrategy()
+	// Under the pessimistic model the High configuration contributes
+	// nothing, so IC = 0.8·8 / 9.6 = 2/3.
+	if got := IC(r, s, Pessimistic{}); !almostEqual(got, 2.0/3.0) {
+		t.Fatalf("IC = %v, want 2/3", got)
+	}
+}
+
+func TestICAllActiveIsOne(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := AllActive(2, 2, 2)
+	if got := IC(r, s, Pessimistic{}); !almostEqual(got, 1) {
+		t.Fatalf("IC(all-active, pessimistic) = %v, want 1", got)
+	}
+}
+
+func TestICNoFailureIsOneForAnyLiveStrategy(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := laarPipelineStrategy()
+	if got := IC(r, s, NoFailure{}); !almostEqual(got, 1) {
+		t.Fatalf("IC(no-failure) = %v, want 1", got)
+	}
+}
+
+func TestICSingleReplicaEverywhereIsZeroPessimistic(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := NewStrategy(2, 2, 2)
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 2; p++ {
+			s.Set(c, p, 0, true)
+		}
+	}
+	if got := IC(r, s, Pessimistic{}); got != 0 {
+		t.Fatalf("IC = %v, want 0", got)
+	}
+}
+
+func TestICCascadePropagation(t *testing.T) {
+	// If an upstream PE loses replication in a configuration, downstream
+	// PEs in that configuration process nothing under the pessimistic
+	// model, even when fully replicated themselves (Eq. 7 recursion).
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	s := AllActive(2, 2, 2)
+	s.Set(1, 0, 0, false) // PE1 single-active at High; PE2 stays replicated.
+	// High contribution: PE1 processes nothing (φ=0). PE2 has φ=1 but
+	// Δ̂(PE1, High) = 0, so it contributes 0 too.
+	// IC = 0.8·8 / 9.6 = 2/3.
+	if got := IC(r, s, Pessimistic{}); !almostEqual(got, 2.0/3.0) {
+		t.Fatalf("IC = %v, want 2/3", got)
+	}
+}
+
+func TestICDiamondPartial(t *testing.T) {
+	// Deactivate replication only for PE B in the High configuration and
+	// check the exact IC value against a hand computation.
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	s := AllActive(2, 4, 2)
+	s.Set(1, 1, 0, false) // B single-active at High.
+	// High rates: src=20, A=20, B=10, C=40, D hat: φ(D)=1, in = 1·Δ̂(B) +
+	// 0.25·Δ̂(C) = 0 + 10 = 10 (Δ̂(B)=0 since φ(B)=0).
+	// FIC(High)/T·P = A:20 + B:0 + C:20 + D: Δ̂(B)+Δ̂(C) = 0+40 → 80... but
+	// the per-PE contribution sums Δ̂ over preds: A gets 20 (src), B gets 0
+	// (φ=0 kills the whole term), C gets 20 (Δ̂(A)), D gets Δ̂(B)+Δ̂(C) =
+	// 0+40 = 40. Total = 80.
+	// Failure-free High total = A:20 + B:20 + C:20 + D:(10+40)=50 → 110.
+	// Low total (all replicated, φ=1) = A:10 + B:10 + C:10 + D:(5+20)=25 → 55.
+	// BIC/T = 0.7·55 + 0.3·110 = 38.5 + 33 = 71.5.
+	// FIC/T = 0.7·55 + 0.3·80 = 38.5 + 24 = 62.5.
+	want := 62.5 / 71.5
+	if got := IC(r, s, Pessimistic{}); !almostEqual(got, want) {
+		t.Fatalf("IC = %v, want %v", got, want)
+	}
+}
+
+func TestICBoundsQuick(t *testing.T) {
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	f := func(bits uint16) bool {
+		// Decode 16 bits into a 2-config × 4-PE × 2-replica strategy,
+		// forcing replica 0 active so Eq. 12 holds.
+		s := NewStrategy(2, 4, 2)
+		i := 0
+		for c := 0; c < 2; c++ {
+			for p := 0; p < 4; p++ {
+				s.Set(c, p, 0, true)
+				s.Set(c, p, 1, bits&(1<<i) != 0)
+				i++
+			}
+		}
+		icPess := IC(r, s, Pessimistic{})
+		icInd := IC(r, s, Independent{P: 0.3})
+		icSurv := IC(r, s, SingleSurvivor{})
+		icNone := IC(r, s, NoFailure{})
+		// 0 ≤ pessimistic ≤ single-survivor ≤ no-failure = 1, and every
+		// model stays within [0, 1]. (Pessimistic and Independent are not
+		// comparable: Independent admits the all-replicas-fail event even
+		// when every replica is active.)
+		return icPess >= 0 && icPess <= icSurv+1e-12 &&
+			icInd >= 0 && icInd <= icNone+1e-12 &&
+			icSurv <= 1+1e-12 && almostEqual(icNone, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMonotoneInActivation(t *testing.T) {
+	// Activating one more replica can never decrease IC under any of the
+	// implemented failure models.
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	models := []FailureModel{Pessimistic{}, Independent{P: 0.5}, SingleSurvivor{}}
+	f := func(bits uint16, cfg, pe uint8) bool {
+		s := NewStrategy(2, 4, 2)
+		i := 0
+		for c := 0; c < 2; c++ {
+			for p := 0; p < 4; p++ {
+				s.Set(c, p, 0, true)
+				s.Set(c, p, 1, bits&(1<<i) != 0)
+				i++
+			}
+		}
+		c, p := int(cfg)%2, int(pe)%4
+		if s.IsActive(c, p, 1) {
+			return true // nothing to activate
+		}
+		s2 := s.Clone()
+		s2.Set(c, p, 1, true)
+		for _, m := range models {
+			if IC(r, s2, m) < IC(r, s, m)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFICZeroProbConfigSkipped(t *testing.T) {
+	_, d := buildPipeline(t)
+	d.Configs[0].Prob = 1
+	d.Configs[1].Prob = 0
+	r := NewRates(d)
+	s := laarPipelineStrategy()
+	// Only Low matters now; everything replicated at Low, so IC = 1.
+	if got := IC(r, s, Pessimistic{}); !almostEqual(got, 1) {
+		t.Fatalf("IC = %v, want 1", got)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// descriptorJSON is the serialised application-descriptor format used by the
+// command-line tools. It mirrors the contract artefacts of Section 3: the
+// graph, the per-edge concise attributes, and the input-rate distribution.
+type descriptorJSON struct {
+	Name          string          `json:"name"`
+	Components    []componentJSON `json:"components"`
+	Edges         []edgeJSON      `json:"edges"`
+	Configs       []configJSON    `json:"configs"`
+	HostCapacity  float64         `json:"host_capacity"`
+	BillingPeriod float64         `json:"billing_period"`
+}
+
+type componentJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type edgeJSON struct {
+	From        int     `json:"from"`
+	To          int     `json:"to"`
+	Selectivity float64 `json:"selectivity,omitempty"`
+	CostCycles  float64 `json:"cost_cycles,omitempty"`
+}
+
+type configJSON struct {
+	Name  string    `json:"name"`
+	Rates []float64 `json:"rates"`
+	Prob  float64   `json:"prob"`
+}
+
+// MarshalDescriptor serialises a descriptor to JSON.
+func MarshalDescriptor(d *Descriptor) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	raw := descriptorJSON{
+		Name:          d.App.Name(),
+		HostCapacity:  d.HostCapacity,
+		BillingPeriod: d.BillingPeriod,
+	}
+	for _, c := range d.App.Components() {
+		raw.Components = append(raw.Components, componentJSON{Name: c.Name, Kind: c.Kind.String()})
+	}
+	for _, e := range d.App.Edges() {
+		raw.Edges = append(raw.Edges, edgeJSON{
+			From: int(e.From), To: int(e.To),
+			Selectivity: e.Selectivity, CostCycles: e.CostCycles,
+		})
+	}
+	for _, c := range d.Configs {
+		raw.Configs = append(raw.Configs, configJSON{Name: c.Name, Rates: c.Rates, Prob: c.Prob})
+	}
+	return json.MarshalIndent(raw, "", "  ")
+}
+
+// UnmarshalDescriptor parses a descriptor from JSON and validates it.
+func UnmarshalDescriptor(data []byte) (*Descriptor, error) {
+	var raw descriptorJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("core: parsing descriptor: %w", err)
+	}
+	b := NewBuilder(raw.Name)
+	for _, c := range raw.Components {
+		switch c.Kind {
+		case "source":
+			b.AddSource(c.Name)
+		case "pe":
+			b.AddPE(c.Name)
+		case "sink":
+			b.AddSink(c.Name)
+		default:
+			return nil, fmt.Errorf("core: unknown component kind %q", c.Kind)
+		}
+	}
+	for _, e := range raw.Edges {
+		b.Connect(ComponentID(e.From), ComponentID(e.To), e.Selectivity, e.CostCycles)
+	}
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	d := &Descriptor{
+		App:           app,
+		HostCapacity:  raw.HostCapacity,
+		BillingPeriod: raw.BillingPeriod,
+	}
+	for _, c := range raw.Configs {
+		d.Configs = append(d.Configs, InputConfig{Name: c.Name, Rates: c.Rates, Prob: c.Prob})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

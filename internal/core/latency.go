@@ -1,0 +1,105 @@
+package core
+
+import "math"
+
+// This file estimates per-tuple processing latency under a strategy — the
+// model behind the maximum-latency SLA clause of Section 3. Each host is
+// approximated as an egalitarian processor-sharing server: a tuple whose
+// processing needs x CPU cycles on a host with capacity K and utilisation
+// ρ < 1 finishes after roughly x/(K·(1−ρ)) seconds. The estimate is
+// deliberately conservative: a PE's per-stage latency in a configuration is
+// taken on the most utilised host among its active replicas, because after
+// any single failure the survivor may be the replica on the busier host.
+//
+// The approximation is only meaningful for non-overloaded deployments; an
+// overloaded (host, configuration) pair yields +Inf, which is also the
+// correct SLA answer (queues grow without bound).
+
+// StageLatency returns, for every PE (dense index), the estimated per-tuple
+// latency in seconds in the given configuration under the strategy and
+// placement. PEs with no active replica report +Inf.
+func StageLatency(r *Rates, s *Strategy, asg *Assignment, cfg int) []float64 {
+	d := r.Descriptor()
+	app := d.App
+	loads := HostLoads(r, s, asg, cfg)
+	out := make([]float64, app.NumPEs())
+	for p := range out {
+		// Mean service demand per tuple: unit load over input rate.
+		in := r.InRate(p, cfg)
+		var cycles float64
+		if in > 0 {
+			cycles = r.UnitLoad(p, cfg) / in
+		}
+		worst := math.Inf(-1)
+		any := false
+		for rep := 0; rep < asg.K; rep++ {
+			if !s.IsActive(cfg, p, rep) {
+				continue
+			}
+			any = true
+			h := asg.HostOf(p, rep)
+			free := d.HostCapacity - loads[h]
+			var lat float64
+			switch {
+			case in == 0:
+				lat = 0
+			case free <= 0:
+				lat = math.Inf(1)
+			default:
+				lat = cycles / free
+			}
+			if lat > worst {
+				worst = lat
+			}
+		}
+		if !any {
+			worst = math.Inf(1)
+		}
+		out[p] = worst
+	}
+	return out
+}
+
+// PathLatency returns the estimated worst-case end-to-end latency in the
+// configuration: the maximum, over all source-to-sink paths, of the sum of
+// the stage latencies along the path. Computed by dynamic programming over
+// the topological order.
+func PathLatency(r *Rates, s *Strategy, asg *Assignment, cfg int) float64 {
+	app := r.Descriptor().App
+	stage := StageLatency(r, s, asg, cfg)
+	acc := make([]float64, app.NumComponents())
+	worst := 0.0
+	for _, id := range app.Topo() {
+		var in float64
+		for _, e := range app.In(id) {
+			if acc[e.From] > in {
+				in = acc[e.From]
+			}
+		}
+		switch app.Component(id).Kind {
+		case KindPE:
+			acc[id] = in + stage[app.PEIndex(id)]
+		case KindSink:
+			acc[id] = in
+			if in > worst {
+				worst = in
+			}
+		default:
+			acc[id] = in
+		}
+	}
+	return worst
+}
+
+// MaxLatency returns the worst estimated end-to-end latency across all
+// input configurations — the value to check against a maximum-latency SLA
+// clause.
+func MaxLatency(r *Rates, s *Strategy, asg *Assignment) float64 {
+	worst := 0.0
+	for c := range r.Descriptor().Configs {
+		if l := PathLatency(r, s, asg, c); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}

@@ -1,0 +1,68 @@
+package core
+
+// This file implements the alternative fault-tolerance metrics Section 4.3
+// mentions alongside internal completeness — output completeness and the
+// average replication factor — so the three can be compared empirically.
+
+// OutputCompleteness measures, under a failure model and strategy, the
+// expected fraction of tuples delivered to the data sinks relative to the
+// failure-free deliveries. Unlike IC it only observes the application
+// boundary: divergence of internal PE state is invisible to it, which is
+// why the paper prefers IC.
+func OutputCompleteness(r *Rates, s *Strategy, model FailureModel) float64 {
+	d := r.Descriptor()
+	app := d.App
+	var num, den float64
+	hat := make([]float64, app.NumComponents())
+	for c, cfg := range d.Configs {
+		if cfg.Prob == 0 {
+			continue
+		}
+		for _, id := range app.Topo() {
+			switch app.Component(id).Kind {
+			case KindSource:
+				hat[id] = d.SourceRate(id, c)
+			case KindPE:
+				var in float64
+				for _, e := range app.In(id) {
+					in += e.Selectivity * hat[e.From]
+				}
+				hat[id] = model.Phi(s, c, app.PEIndex(id)) * in
+			}
+		}
+		for _, id := range app.Sinks() {
+			var in, inFF float64
+			for _, e := range app.In(id) {
+				in += hat[e.From]
+				inFF += r.Rate(e.From, c)
+			}
+			num += cfg.Prob * in
+			den += cfg.Prob * inFF
+		}
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// AvgReplicationFactor returns the expected number of active replicas per
+// PE, weighted by configuration probability — the naive "how replicated is
+// this deployment" measure. It carries no information about which PEs are
+// protected when, so two strategies with equal average replication can have
+// wildly different IC values.
+func AvgReplicationFactor(d *Descriptor, s *Strategy) float64 {
+	numPEs := d.App.NumPEs()
+	if numPEs == 0 {
+		return 0
+	}
+	var sum float64
+	for c, cfg := range d.Configs {
+		var act int
+		for p := 0; p < numPEs; p++ {
+			act += s.NumActive(c, p)
+		}
+		sum += cfg.Prob * float64(act)
+	}
+	return sum / float64(numPEs)
+}

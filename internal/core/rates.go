@@ -1,0 +1,129 @@
+package core
+
+// Rates caches the failure-free expected tuple rates Δ(x, c) for every
+// component and input configuration of a descriptor, and the derived
+// per-PE "unit loads" used throughout the optimisation:
+//
+//	unitLoad(pe, c) = Σ_{xj ∈ pred(pe)} γ(xj, pe) · Δ(xj, c)
+//
+// which is the CPU cycles per second one active replica of the PE consumes
+// in configuration c, and
+//
+//	inRate(pe, c) = Σ_{xj ∈ pred(pe)} Δ(xj, c)
+//
+// the tuples per second one replica processes. Both follow from the linear
+// load model of Section 3.
+type Rates struct {
+	desc *Descriptor
+	// rate[cfg][component] = Δ(component, cfg)
+	rate [][]float64
+	// unitLoad[cfg][peIdx] = cycles/s of one active replica
+	unitLoad [][]float64
+	// inRate[cfg][peIdx] = tuples/s processed by one replica
+	inRate [][]float64
+}
+
+// NewRates computes Δ for every component in every configuration by a single
+// topological pass per configuration.
+func NewRates(d *Descriptor) *Rates {
+	app := d.App
+	n := app.NumComponents()
+	r := &Rates{
+		desc:     d,
+		rate:     make([][]float64, d.NumConfigs()),
+		unitLoad: make([][]float64, d.NumConfigs()),
+		inRate:   make([][]float64, d.NumConfigs()),
+	}
+	for c := range d.Configs {
+		rates := make([]float64, n)
+		ul := make([]float64, app.NumPEs())
+		ir := make([]float64, app.NumPEs())
+		for _, id := range app.Topo() {
+			switch app.Component(id).Kind {
+			case KindSource:
+				rates[id] = d.SourceRate(id, c)
+			case KindPE:
+				pi := app.PEIndex(id)
+				var out, load, in float64
+				for _, e := range app.In(id) {
+					out += e.Selectivity * rates[e.From]
+					load += e.CostCycles * rates[e.From]
+					in += rates[e.From]
+				}
+				rates[id] = out
+				ul[pi] = load
+				ir[pi] = in
+			case KindSink:
+				var in float64
+				for _, e := range app.In(id) {
+					in += rates[e.From]
+				}
+				rates[id] = in
+			}
+		}
+		r.rate[c] = rates
+		r.unitLoad[c] = ul
+		r.inRate[c] = ir
+	}
+	return r
+}
+
+// Descriptor returns the descriptor the rates were computed from.
+func (r *Rates) Descriptor() *Descriptor { return r.desc }
+
+// Rate returns Δ(id, cfg): the failure-free expected output rate of the
+// component in tuples per second (for sinks, the input rate).
+func (r *Rates) Rate(id ComponentID, cfg int) float64 { return r.rate[cfg][id] }
+
+// UnitLoad returns the CPU cycles per second consumed by one active replica
+// of the PE with dense index peIdx in configuration cfg.
+func (r *Rates) UnitLoad(peIdx, cfg int) float64 { return r.unitLoad[cfg][peIdx] }
+
+// InRate returns the tuples per second processed by one replica of the PE
+// with dense index peIdx in configuration cfg (the Σ Δ(pred) term).
+func (r *Rates) InRate(peIdx, cfg int) float64 { return r.inRate[cfg][peIdx] }
+
+// MaxConfig returns the index of the configuration with the highest total
+// single-replica CPU demand Σ_pe unitLoad(pe, c) — the most resource-hungry
+// configuration, used by FT-Search's exploration-order heuristic.
+func (r *Rates) MaxConfig() int {
+	best, bestLoad := 0, -1.0
+	for c := range r.unitLoad {
+		var tot float64
+		for _, l := range r.unitLoad[c] {
+			tot += l
+		}
+		if tot > bestLoad {
+			best, bestLoad = c, tot
+		}
+	}
+	return best
+}
+
+// ConfigsByLoadDesc returns configuration indices ordered from the most to
+// the least resource-hungry (total single-replica CPU demand).
+func (r *Rates) ConfigsByLoadDesc() []int {
+	type cl struct {
+		cfg  int
+		load float64
+	}
+	items := make([]cl, len(r.unitLoad))
+	for c := range r.unitLoad {
+		var tot float64
+		for _, l := range r.unitLoad[c] {
+			tot += l
+		}
+		items[c] = cl{cfg: c, load: tot}
+	}
+	// Insertion sort: configuration counts are tiny.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].load > items[j-1].load; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.cfg
+	}
+	return out
+}

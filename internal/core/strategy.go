@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DefaultReplication is the replication factor used throughout the paper's
+// evaluation (twofold replication, k = 2).
+const DefaultReplication = 2
+
+// Strategy is a replica activation strategy s: P̃ × C → {0, 1} (Eq. 4). It
+// records, for every input configuration and every PE replica, whether the
+// replica is active.
+type Strategy struct {
+	// K is the replication factor (replicas per PE).
+	K int
+	// Active[cfg][peIdx][replica] reports whether the replica is active in
+	// the configuration.
+	Active [][][]bool
+}
+
+// NewStrategy returns a strategy with numPEs·k replica slots per
+// configuration, all inactive.
+func NewStrategy(numConfigs, numPEs, k int) *Strategy {
+	s := &Strategy{K: k, Active: make([][][]bool, numConfigs)}
+	for c := range s.Active {
+		s.Active[c] = make([][]bool, numPEs)
+		for p := range s.Active[c] {
+			s.Active[c][p] = make([]bool, k)
+		}
+	}
+	return s
+}
+
+// AllActive returns the static active replication strategy: every replica
+// active in every configuration.
+func AllActive(numConfigs, numPEs, k int) *Strategy {
+	s := NewStrategy(numConfigs, numPEs, k)
+	for c := range s.Active {
+		for p := range s.Active[c] {
+			for r := range s.Active[c][p] {
+				s.Active[c][p][r] = true
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the strategy.
+func (s *Strategy) Clone() *Strategy {
+	out := NewStrategy(len(s.Active), len(s.Active[0]), s.K)
+	for c := range s.Active {
+		for p := range s.Active[c] {
+			copy(out.Active[c][p], s.Active[c][p])
+		}
+	}
+	return out
+}
+
+// NumConfigs returns the number of configurations the strategy covers.
+func (s *Strategy) NumConfigs() int { return len(s.Active) }
+
+// NumPEs returns the number of PEs the strategy covers.
+func (s *Strategy) NumPEs() int {
+	if len(s.Active) == 0 {
+		return 0
+	}
+	return len(s.Active[0])
+}
+
+// NumActive returns how many replicas of the PE are active in the
+// configuration.
+func (s *Strategy) NumActive(cfg, peIdx int) int {
+	n := 0
+	for _, a := range s.Active[cfg][peIdx] {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// IsActive reports whether the given replica of the PE is active in the
+// configuration.
+func (s *Strategy) IsActive(cfg, peIdx, replica int) bool {
+	return s.Active[cfg][peIdx][replica]
+}
+
+// Set assigns the activation state of one replica in one configuration.
+func (s *Strategy) Set(cfg, peIdx, replica int, active bool) {
+	s.Active[cfg][peIdx][replica] = active
+}
+
+// TotalActive returns the total number of active replica-configuration
+// pairs, a crude size measure used in tests and reports.
+func (s *Strategy) TotalActive() int {
+	n := 0
+	for c := range s.Active {
+		for p := range s.Active[c] {
+			n += s.NumActive(c, p)
+		}
+	}
+	return n
+}
+
+// Validate checks the liveness constraint of Eq. 12: at least one replica of
+// every PE is active in every configuration.
+func (s *Strategy) Validate() error {
+	for c := range s.Active {
+		for p := range s.Active[c] {
+			if s.NumActive(c, p) == 0 {
+				return fmt.Errorf("core: strategy leaves PE %d with no active replica in config %d", p, c)
+			}
+		}
+	}
+	return nil
+}
+
+// strategyJSON is the on-disk representation consumed by the HAController
+// (the paper customises the controller with a JSON strategy file).
+type strategyJSON struct {
+	K      int        `json:"replication"`
+	Active [][][]bool `json:"active"`
+}
+
+// MarshalJSON encodes the strategy in the HAController file format.
+func (s *Strategy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(strategyJSON{K: s.K, Active: s.Active})
+}
+
+// UnmarshalJSON decodes the HAController file format.
+func (s *Strategy) UnmarshalJSON(data []byte) error {
+	var raw strategyJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.K <= 0 {
+		return fmt.Errorf("core: strategy with non-positive replication %d", raw.K)
+	}
+	for c := range raw.Active {
+		for p := range raw.Active[c] {
+			if len(raw.Active[c][p]) != raw.K {
+				return fmt.Errorf("core: strategy config %d PE %d has %d replicas, want %d",
+					c, p, len(raw.Active[c][p]), raw.K)
+			}
+		}
+	}
+	s.K = raw.K
+	s.Active = raw.Active
+	return nil
+}

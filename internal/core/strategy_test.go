@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStrategyBasics(t *testing.T) {
+	s := NewStrategy(2, 3, 2)
+	if s.NumConfigs() != 2 || s.NumPEs() != 3 || s.K != 2 {
+		t.Fatalf("dims = (%d,%d,%d)", s.NumConfigs(), s.NumPEs(), s.K)
+	}
+	if s.TotalActive() != 0 {
+		t.Fatalf("fresh strategy has %d active replicas", s.TotalActive())
+	}
+	s.Set(1, 2, 0, true)
+	if !s.IsActive(1, 2, 0) || s.NumActive(1, 2) != 1 {
+		t.Fatal("Set/IsActive/NumActive mismatch")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted a strategy with dead PEs")
+	}
+}
+
+func TestAllActiveValidates(t *testing.T) {
+	s := AllActive(3, 4, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := s.TotalActive(); got != 3*4*2 {
+		t.Fatalf("TotalActive = %d, want 24", got)
+	}
+}
+
+func TestStrategyCloneIsDeep(t *testing.T) {
+	s := AllActive(2, 2, 2)
+	c := s.Clone()
+	c.Set(0, 0, 0, false)
+	if !s.IsActive(0, 0, 0) {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestStrategyJSONRoundTrip(t *testing.T) {
+	s := AllActive(2, 2, 2)
+	s.Set(1, 0, 1, false)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Strategy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.K != 2 || back.IsActive(1, 0, 1) || !back.IsActive(1, 0, 0) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestStrategyJSONRejectsBadShapes(t *testing.T) {
+	var s Strategy
+	if err := json.Unmarshal([]byte(`{"replication":0,"active":[]}`), &s); err == nil {
+		t.Error("accepted zero replication")
+	}
+	if err := json.Unmarshal([]byte(`{"replication":2,"active":[[[true]]]}`), &s); err == nil {
+		t.Error("accepted replica arity mismatch")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &s); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestDescriptorJSONRoundTrip(t *testing.T) {
+	_, d := buildDiamond(t)
+	data, err := MarshalDescriptor(d)
+	if err != nil {
+		t.Fatalf("MarshalDescriptor: %v", err)
+	}
+	back, err := UnmarshalDescriptor(data)
+	if err != nil {
+		t.Fatalf("UnmarshalDescriptor: %v", err)
+	}
+	if back.App.Name() != d.App.Name() {
+		t.Errorf("name = %q, want %q", back.App.Name(), d.App.Name())
+	}
+	if back.App.NumComponents() != d.App.NumComponents() {
+		t.Errorf("components = %d, want %d", back.App.NumComponents(), d.App.NumComponents())
+	}
+	if len(back.Configs) != len(d.Configs) {
+		t.Fatalf("configs = %d, want %d", len(back.Configs), len(d.Configs))
+	}
+	// Rates must be preserved exactly: compare Δ on both.
+	r1, r2 := NewRates(d), NewRates(back)
+	for c := range d.Configs {
+		for _, id := range d.App.Components() {
+			if !almostEqual(r1.Rate(id.ID, c), r2.Rate(id.ID, c)) {
+				t.Errorf("rate mismatch for %s in cfg %d", id.Name, c)
+			}
+		}
+	}
+}
+
+func TestUnmarshalDescriptorErrors(t *testing.T) {
+	if _, err := UnmarshalDescriptor([]byte(`{`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+	if _, err := UnmarshalDescriptor([]byte(`{"components":[{"name":"x","kind":"widget"}]}`)); err == nil {
+		t.Error("accepted unknown component kind")
+	}
+	// Structurally broken graph (source only).
+	if _, err := UnmarshalDescriptor([]byte(`{"components":[{"name":"s","kind":"source"}],"configs":[{"rates":[1],"prob":1}],"host_capacity":1,"billing_period":1}`)); err == nil {
+		t.Error("accepted sourceless-PE graph")
+	}
+}

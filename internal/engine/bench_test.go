@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"testing"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/strategy"
+	"laar/internal/trace"
+)
+
+// BenchmarkSimulationRun measures end-to-end simulation throughput for a
+// 24-PE, 5-host application over a 5-minute trace (the paper's experiment
+// unit — one cell of the Figure 9–12 matrix).
+func BenchmarkSimulationRun(b *testing.B) {
+	gen, err := appgen.Generate(appgen.Params{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grd, err := strategy.Greedy(gen.Rates, gen.Assignment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(gen.Desc, gen.Assignment, grd, tr, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationTick isolates the per-tick cost on the same
+// deployment with a finer tick.
+func BenchmarkSimulationTick(b *testing.B) {
+	gen, err := appgen.Generate(appgen.Params{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := core.AllActive(2, gen.Desc.App.NumPEs(), 2)
+	tr, err := trace.Alternating(10, 10, 0.5, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(gen.Desc, gen.Assignment, sr, tr, Config{Tick: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// 10 s at a 10 ms tick = 1000 ticks per iteration.
+	b.ReportMetric(1000, "ticks/op")
+}

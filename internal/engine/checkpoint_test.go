@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+)
+
+func TestCheckpointOverheadCharged(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	base, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBase, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint every 2 s at 1e7 cycles: 2 active replicas × 49 events ×
+	// 1e7 ≈ 9.8e8 cycles of overhead.
+	ck, err := New(d, asg, nrStrategy(), tr, Config{CheckpointInterval: 2, CheckpointCycles: 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCk, err := ck.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mCk.OverheadCyclesTotal <= 0 {
+		t.Fatal("no checkpoint overhead recorded")
+	}
+	wantOverhead := 2.0 * 49 * 1e7
+	if math.Abs(mCk.OverheadCyclesTotal-wantOverhead) > 0.1*wantOverhead {
+		t.Errorf("OverheadCyclesTotal = %v, want ≈ %v", mCk.OverheadCyclesTotal, wantOverhead)
+	}
+	if mCk.CPUCyclesTotal <= mBase.CPUCyclesTotal {
+		t.Errorf("checkpointed run used %v cycles, baseline %v", mCk.CPUCyclesTotal, mBase.CPUCyclesTotal)
+	}
+	// The deployment has headroom at Low, so the overhead must not cost
+	// throughput.
+	if mCk.SinkTotal < mBase.SinkTotal-5 {
+		t.Errorf("checkpointing lost throughput: %v vs %v", mCk.SinkTotal, mBase.SinkTotal)
+	}
+	if mBase.OverheadCyclesTotal != 0 {
+		t.Errorf("baseline recorded overhead %v", mBase.OverheadCyclesTotal)
+	}
+}
+
+func TestAutoRecoveryRestoresUnreplicatedPE(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	// Unreplicated deployment with checkpoint/restore recovery: crash the
+	// only active replica of PE1 at t=40; it must come back 8 s later and
+	// resume output, paying the restore overhead.
+	sim, err := New(d, asg, nrStrategy(), tr, Config{
+		RecoverAfter:  8,
+		RestoreCycles: 5e7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: 40, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := m.PeakOutputRate(func(t float64) bool { return t > 42 && t < 47 })
+	if during > 0.5 {
+		t.Errorf("output during outage = %v, want ≈ 0", during)
+	}
+	after := m.PeakOutputRate(func(t float64) bool { return t > 55 && t < 115 })
+	if after < 3.5 {
+		t.Errorf("output after recovery = %v, want ≈ 4", after)
+	}
+	if m.OverheadCyclesTotal < 5e7*0.99 {
+		t.Errorf("restore overhead %v, want ≥ 5e7", m.OverheadCyclesTotal)
+	}
+	// Without auto-recovery the same crash silences the rest of the run.
+	sim2, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim2.Inject(FailureEvent{Time: 40, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sim2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := m2.PeakOutputRate(func(t float64) bool { return t > 55 }); rate > 0.5 {
+		t.Errorf("unrecovered output = %v, want 0", rate)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	if _, err := New(d, asg, nrStrategy(), tr, Config{CheckpointInterval: 2}); err == nil {
+		t.Error("accepted checkpoint interval without cycles")
+	}
+	if _, err := New(d, asg, nrStrategy(), tr, Config{CheckpointInterval: -1, CheckpointCycles: 1}); err == nil {
+		t.Error("accepted negative checkpoint interval")
+	}
+	if _, err := New(d, asg, nrStrategy(), tr, Config{RecoverAfter: -1}); err == nil {
+		t.Error("accepted negative recovery delay")
+	}
+}
+
+// TestReplicationVsCheckpointTradeoff is the related-work comparison the
+// paper's Section 2 sets up: active replication pays a constant best-case
+// CPU overhead but masks failures with zero outage; checkpointing is cheap
+// in the best case but loses the recovery window's tuples on every crash.
+func TestReplicationVsCheckpointTradeoff(t *testing.T) {
+	d, r, asg := pipelineSetup(t)
+	tr := constantTrace(t, 200, 0)
+	crash := []FailureEvent{{Time: 80, Kind: ReplicaDown, PE: 0, Replica: 0}}
+
+	run := func(strat *core.Strategy, cfg Config, plan []FailureEvent) *Metrics {
+		sim, err := New(d, asg, strat, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	_ = r
+	ckCfg := Config{CheckpointInterval: 5, CheckpointCycles: 1e7, RecoverAfter: 16, RestoreCycles: 5e7}
+	repl := run(core.AllActive(2, 2, 2), Config{}, crash)
+	ckpt := run(nrStrategy(), ckCfg, crash)
+
+	// Best-case cost: replication runs 4 replicas, checkpointing 2 (+small
+	// overhead) — replication must cost substantially more CPU.
+	if repl.CPUCyclesTotal < 1.5*ckpt.CPUCyclesTotal {
+		t.Errorf("replication cycles %v not ≫ checkpointing cycles %v", repl.CPUCyclesTotal, ckpt.CPUCyclesTotal)
+	}
+	// Availability: replication masks the crash completely; checkpointing
+	// loses the 16-second recovery window.
+	if repl.SinkTotal < ckpt.SinkTotal+40 {
+		t.Errorf("replication delivered %v, checkpointing %v: expected ≈ 64-tuple outage gap",
+			repl.SinkTotal, ckpt.SinkTotal)
+	}
+	lost := 800 - ckpt.SinkTotal // 200 s × 4 t/s input
+	if lost < 50 || lost > 110 {
+		t.Errorf("checkpointing lost %v tuples, want ≈ 64 (16 s × 4 t/s)", lost)
+	}
+}

@@ -1,0 +1,125 @@
+// Package engine simulates a distributed stream processing system executing
+// a replicated LAAR application: hosts with finite CPU capacity, PE replicas
+// with bounded per-port input queues, active replication with primary
+// election, the Rate Monitor and HAController middleware PEs (Section 4.6),
+// and failure injection. It substitutes for the paper's IBM InfoSphere
+// Streams deployment: tuple flows are simulated as deterministic fluid
+// quantities on a virtual clock, so experiments reproduce the evaluation
+// metrics (CPU time, queue drops, output rate, tuples processed) exactly
+// and in milliseconds instead of cluster-minutes.
+package engine
+
+import "fmt"
+
+// Config holds the simulation parameters.
+type Config struct {
+	// Tick is the processing quantum in seconds. Smaller ticks model CPU
+	// sharing and queue dynamics more finely. Default 0.1.
+	Tick float64
+	// SampleInterval is the metrics sampling period in seconds (the
+	// resolution of the Figure 3 time series). Default 1.
+	SampleInterval float64
+	// MonitorInterval is the Rate Monitor measurement period in seconds.
+	// Default 1.
+	MonitorInterval float64
+	// CommandLatency is the delay between the HAController deciding on a
+	// replica configuration change and the activation/deactivation
+	// commands taking effect. Default 0 (commands are reliable and fast in
+	// a cluster-local network).
+	CommandLatency float64
+	// QueueSeconds sizes each input-port queue to hold this many seconds
+	// of tuples at the port's highest expected rate (the paper uses
+	// queues "long enough to hold 2 seconds of tuples in the High input
+	// configuration"). Default 2.
+	QueueSeconds float64
+	// GlitchAmplitude adds uniform multiplicative noise in
+	// [−GlitchAmplitude, +GlitchAmplitude] to each source's per-tick
+	// emission, modelling the input-rate glitches the paper observes.
+	// Default 0.
+	GlitchAmplitude float64
+	// Seed drives the glitch noise. Runs with equal seeds are identical.
+	Seed int64
+
+	// Checkpointing models the alternative fault-tolerance technique the
+	// paper's related work contrasts with active replication (and the only
+	// one InfoSphere Streams supported natively, Section 5.1): when
+	// CheckpointInterval > 0, every live active replica spends
+	// CheckpointCycles of CPU every CheckpointInterval seconds persisting
+	// its state. The overhead is charged through the normal CPU-sharing
+	// path, so checkpointing steals capacity from tuple processing exactly
+	// as it would on a real host.
+	CheckpointInterval float64
+	CheckpointCycles   float64
+	// RecoverAfter, when positive, automatically recovers every
+	// ReplicaDown failure after this many seconds (detection + restart +
+	// state restore), charging RestoreCycles of CPU on resumption. It
+	// models checkpoint/restore recovery for unreplicated deployments;
+	// explicit ReplicaUp events in the failure plan are unaffected.
+	RecoverAfter  float64
+	RestoreCycles float64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 0.1
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 1
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 1
+	}
+	if c.QueueSeconds <= 0 {
+		c.QueueSeconds = 2
+	}
+	return c
+}
+
+// validate rejects nonsensical parameter combinations.
+func (c Config) validate() error {
+	if c.Tick > c.SampleInterval {
+		return fmt.Errorf("engine: tick %v exceeds sample interval %v", c.Tick, c.SampleInterval)
+	}
+	if c.CommandLatency < 0 {
+		return fmt.Errorf("engine: negative command latency %v", c.CommandLatency)
+	}
+	if c.GlitchAmplitude < 0 || c.GlitchAmplitude >= 1 {
+		return fmt.Errorf("engine: glitch amplitude %v outside [0, 1)", c.GlitchAmplitude)
+	}
+	if c.CheckpointInterval < 0 || c.CheckpointCycles < 0 {
+		return fmt.Errorf("engine: negative checkpoint parameters (%v, %v)", c.CheckpointInterval, c.CheckpointCycles)
+	}
+	if c.CheckpointInterval > 0 && c.CheckpointCycles <= 0 {
+		return fmt.Errorf("engine: checkpoint interval set but cycles per checkpoint is %v", c.CheckpointCycles)
+	}
+	if c.RecoverAfter < 0 || c.RestoreCycles < 0 {
+		return fmt.Errorf("engine: negative recovery parameters (%v, %v)", c.RecoverAfter, c.RestoreCycles)
+	}
+	return nil
+}
+
+// FailureKind enumerates injectable failure events.
+type FailureKind int
+
+const (
+	// ReplicaDown permanently or temporarily crashes one PE replica.
+	ReplicaDown FailureKind = iota
+	// ReplicaUp recovers a crashed replica (its state is re-synchronised
+	// from a live replica; queues restart empty).
+	ReplicaUp
+	// HostDown crashes a host: every replica on it stops until HostUp.
+	HostDown
+	// HostUp recovers a host.
+	HostUp
+)
+
+// FailureEvent is one scheduled failure-plan entry.
+type FailureEvent struct {
+	Time float64
+	Kind FailureKind
+	// PE and Replica address a replica for ReplicaDown/ReplicaUp.
+	PE, Replica int
+	// Host addresses a host for HostDown/HostUp.
+	Host int
+}

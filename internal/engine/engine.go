@@ -1,0 +1,620 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"laar/internal/core"
+	"laar/internal/rtree"
+	"laar/internal/sim"
+	"laar/internal/trace"
+)
+
+// port is one bounded input queue of a replica, fed by one upstream
+// component. Tuple quantities are simulated as fluid amounts.
+type port struct {
+	from    core.ComponentID
+	sel     float64
+	cost    float64
+	queue   float64
+	cap     float64
+	dropped float64
+}
+
+// enqueue adds tuples, dropping the overflow beyond capacity.
+func (p *port) enqueue(n float64) (dropped float64) {
+	p.queue += n
+	if p.queue > p.cap {
+		dropped = p.queue - p.cap
+		p.queue = p.cap
+		p.dropped += dropped
+	}
+	return dropped
+}
+
+// replica is one deployed copy of a PE.
+type replica struct {
+	pe, idx int
+	host    int
+	active  bool // replica activation state (HAController command)
+	alive   bool // failure-injection state
+	ports   []port
+
+	cycles          float64 // cumulative CPU cycles consumed
+	cyclesWindow    float64 // cycles since the last metrics sample
+	processedWindow float64 // tuples processed since the last sample
+	overheadCycles  float64 // pending checkpoint/restore work
+
+	processedTick float64 // tuples processed during the current tick
+	producedTick  float64 // tuples produced during the current tick
+}
+
+// clearQueues discards buffered input (used on deactivation and crashes;
+// the tuples are duplicates of input also delivered to sibling replicas, so
+// they are not counted as application-level drops).
+func (r *replica) clearQueues() {
+	for i := range r.ports {
+		r.ports[i].queue = 0
+	}
+}
+
+// host is one deployment machine.
+type host struct {
+	capacity float64
+	up       bool
+}
+
+// source produces tuples according to the input trace.
+type source struct {
+	comp          core.ComponentID
+	srcIdx        int
+	emitted       float64 // cumulative
+	monitorWindow float64 // since the last Rate Monitor scan
+}
+
+// routeTo addresses one destination port.
+type routeTo struct {
+	pe   int // dense PE index
+	port int // port index within the replica
+}
+
+// Simulation is one configured experiment run. Create it with New, inject
+// failures with Inject, then call Run once.
+type Simulation struct {
+	cfg   Config
+	d     *core.Descriptor
+	r     *core.Rates
+	asg   *core.Assignment
+	strat *core.Strategy
+	tr    *trace.Trace
+
+	kern *sim.Engine
+	rng  *rand.Rand
+
+	hosts []*host
+	reps  [][]*replica // [pe][replica]
+	srcs  []*source
+
+	// routes[comp] lists the PE ports fed by component comp;
+	// sinkEdges[comp] counts edges from comp into sinks.
+	routes    map[core.ComponentID][]routeTo
+	sinkEdges map[core.ComponentID]int
+
+	lookup     *rtree.Tree
+	appliedCfg int
+
+	failures []FailureEvent
+	ran      bool
+
+	m             *Metrics
+	emittedSample float64 // source tuples since the last sample
+	sinkSample    float64 // sink tuples since the last sample
+}
+
+// New builds a simulation of the application described by d, deployed per
+// asg with activation strategy strat, driven by the input trace tr.
+func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *trace.Trace, cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	app := d.App
+	if asg.NumPEs() != app.NumPEs() {
+		return nil, fmt.Errorf("engine: assignment covers %d PEs, application has %d", asg.NumPEs(), app.NumPEs())
+	}
+	if err := asg.Validate(false); err != nil {
+		return nil, err
+	}
+	if strat.NumConfigs() != d.NumConfigs() || strat.NumPEs() != app.NumPEs() || strat.K != asg.K {
+		return nil, fmt.Errorf("engine: strategy shape (%d cfgs, %d PEs, k=%d) does not match deployment (%d, %d, k=%d)",
+			strat.NumConfigs(), strat.NumPEs(), strat.K, d.NumConfigs(), app.NumPEs(), asg.K)
+	}
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumConfigs() > d.NumConfigs() {
+		return nil, fmt.Errorf("engine: trace uses config %d, descriptor has %d configs", tr.NumConfigs()-1, d.NumConfigs())
+	}
+	s := &Simulation{
+		cfg:        cfg,
+		d:          d,
+		r:          core.NewRates(d),
+		asg:        asg,
+		strat:      strat,
+		tr:         tr,
+		kern:       &sim.Engine{},
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		routes:     make(map[core.ComponentID][]routeTo),
+		sinkEdges:  make(map[core.ComponentID]int),
+		appliedCfg: -1,
+	}
+	s.hosts = make([]*host, asg.NumHosts)
+	for h := range s.hosts {
+		s.hosts[h] = &host{capacity: d.HostCapacity, up: true}
+	}
+	for _, id := range app.Sources() {
+		s.srcs = append(s.srcs, &source{comp: id, srcIdx: app.SourceIndex(id)})
+	}
+	s.reps = make([][]*replica, app.NumPEs())
+	for _, id := range app.PEs() {
+		pe := app.PEIndex(id)
+		in := app.In(id)
+		s.reps[pe] = make([]*replica, asg.K)
+		for k := 0; k < asg.K; k++ {
+			rep := &replica{pe: pe, idx: k, host: asg.HostOf(pe, k), alive: true, ports: make([]port, len(in))}
+			for pi, e := range in {
+				rep.ports[pi] = port{from: e.From, sel: e.Selectivity, cost: e.CostCycles, cap: s.portCapacity(e.From)}
+			}
+			s.reps[pe][k] = rep
+		}
+		for pi, e := range in {
+			s.routes[e.From] = append(s.routes[e.From], routeTo{pe: pe, port: pi})
+		}
+	}
+	for _, e := range app.Edges() {
+		if app.Component(e.To).Kind == core.KindSink {
+			s.sinkEdges[e.From]++
+		}
+	}
+	// R-tree over the configuration rate points for the HAController.
+	s.lookup = rtree.New(app.NumSources())
+	for c, ic := range d.Configs {
+		s.lookup.Insert(rtree.Point(ic.Rates), c)
+	}
+	s.m = &Metrics{
+		PerPEProcessed:   make([]float64, app.NumPEs()),
+		PerPEDropped:     make([]float64, app.NumPEs()),
+		PerReplicaCycles: make([][]float64, app.NumPEs()),
+	}
+	for pe := range s.m.PerReplicaCycles {
+		s.m.PerReplicaCycles[pe] = make([]float64, asg.K)
+	}
+	return s, nil
+}
+
+// portCapacity sizes a queue to QueueSeconds of the feeding component's
+// highest expected rate, with a minimum of one tuple.
+func (s *Simulation) portCapacity(from core.ComponentID) float64 {
+	maxRate := 0.0
+	for c := range s.d.Configs {
+		if rate := s.r.Rate(from, c); rate > maxRate {
+			maxRate = rate
+		}
+	}
+	cap := s.cfg.QueueSeconds * maxRate
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// Inject adds a failure event to the plan. It must be called before Run.
+func (s *Simulation) Inject(ev FailureEvent) error {
+	if s.ran {
+		return fmt.Errorf("engine: cannot inject failures after Run")
+	}
+	if ev.Time < 0 {
+		return fmt.Errorf("engine: failure at negative time %v", ev.Time)
+	}
+	switch ev.Kind {
+	case ReplicaDown, ReplicaUp:
+		if ev.PE < 0 || ev.PE >= len(s.reps) || ev.Replica < 0 || ev.Replica >= s.asg.K {
+			return fmt.Errorf("engine: failure addresses unknown replica (%d, %d)", ev.PE, ev.Replica)
+		}
+	case HostDown, HostUp:
+		if ev.Host < 0 || ev.Host >= len(s.hosts) {
+			return fmt.Errorf("engine: failure addresses unknown host %d", ev.Host)
+		}
+	default:
+		return fmt.Errorf("engine: unknown failure kind %d", ev.Kind)
+	}
+	s.failures = append(s.failures, ev)
+	return nil
+}
+
+// InjectAll adds every event of a failure plan.
+func (s *Simulation) InjectAll(plan []FailureEvent) error {
+	for _, ev := range plan {
+		if err := s.Inject(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the simulation over the full input trace and returns the
+// collected metrics. Run may be called only once.
+func (s *Simulation) Run() (*Metrics, error) {
+	if s.ran {
+		return nil, fmt.Errorf("engine: Run called twice")
+	}
+	s.ran = true
+	duration := s.tr.Duration()
+
+	// Apply the initial replica configuration: the HAController is
+	// initialised with the strategy and the configuration active at
+	// deployment time.
+	s.applyConfig(s.tr.ConfigAt(0))
+
+	for _, ev := range s.failures {
+		ev := ev
+		s.kern.At(ev.Time, func() { s.applyFailure(ev) })
+	}
+	// Recurring events re-arm themselves with integer indices so that
+	// floating-point accumulation can never add or lose an occurrence.
+	// The tick at i·Tick processes the interval [i·Tick, (i+1)·Tick).
+	numTicks := int(duration/s.cfg.Tick + 0.5)
+	var tick func(i int)
+	tick = func(i int) {
+		s.doTick(s.cfg.Tick)
+		if i+1 < numTicks {
+			s.kern.At(float64(i+1)*s.cfg.Tick, func() { tick(i + 1) })
+		}
+	}
+	s.kern.At(0, func() { tick(0) })
+	var monitor func(i int)
+	monitor = func(i int) {
+		s.doMonitor()
+		if next := float64(i+1) * s.cfg.MonitorInterval; next <= duration {
+			s.kern.At(next, func() { monitor(i + 1) })
+		}
+	}
+	s.kern.At(s.cfg.MonitorInterval, func() { monitor(1) })
+	var sample func(i int)
+	sample = func(i int) {
+		s.doSample()
+		if next := float64(i+1) * s.cfg.SampleInterval; next <= duration {
+			s.kern.At(next, func() { sample(i + 1) })
+		}
+	}
+	s.kern.At(s.cfg.SampleInterval, func() { sample(1) })
+	if s.cfg.CheckpointInterval > 0 {
+		var checkpoint func(i int)
+		checkpoint = func(i int) {
+			for _, reps := range s.reps {
+				for _, rep := range reps {
+					if rep.alive && rep.active && s.hosts[rep.host].up {
+						rep.overheadCycles += s.cfg.CheckpointCycles
+					}
+				}
+			}
+			if next := float64(i+1) * s.cfg.CheckpointInterval; next < duration {
+				s.kern.At(next, func() { checkpoint(i + 1) })
+			}
+		}
+		s.kern.At(s.cfg.CheckpointInterval, func() { checkpoint(1) })
+	}
+
+	s.kern.Run(duration)
+	s.m.Duration = duration
+	s.m.CPUSecondsTotal = s.m.CPUCyclesTotal / s.d.HostCapacity
+	return s.m, nil
+}
+
+// doTick advances the data flow by dt seconds: sources emit, hosts share
+// CPU among runnable replicas, replicas process, primaries forward.
+func (s *Simulation) doTick(dt float64) {
+	now := s.kern.Now()
+	cfg := s.tr.ConfigAt(now)
+
+	// Source emission with optional glitch noise.
+	for _, src := range s.srcs {
+		rate := s.d.Configs[cfg].Rates[src.srcIdx]
+		if s.cfg.GlitchAmplitude > 0 {
+			rate *= 1 + s.cfg.GlitchAmplitude*(2*s.rng.Float64()-1)
+		}
+		n := rate * dt
+		src.emitted += n
+		src.monitorWindow += n
+		s.emittedSample += n
+		s.m.EmittedTotal += n
+		s.deliver(src.comp, n)
+	}
+
+	// CPU allocation and processing, host by host.
+	for h, hst := range s.hosts {
+		if !hst.up {
+			continue
+		}
+		s.processHost(h, dt)
+	}
+
+	// Primary election and output forwarding. Outputs land in successor
+	// queues after processing, so they are consumed starting next tick.
+	app := s.d.App
+	for _, id := range app.PEs() {
+		pe := app.PEIndex(id)
+		prim := s.primary(pe)
+		if prim == nil {
+			continue
+		}
+		s.m.ProcessedTotal += prim.processedTick
+		s.m.PerPEProcessed[pe] += prim.processedTick
+		if prim.producedTick > 0 {
+			s.deliver(id, prim.producedTick)
+			if n := s.sinkEdges[id]; n > 0 {
+				out := prim.producedTick * float64(n)
+				s.m.SinkTotal += out
+				s.sinkSample += out
+			}
+		}
+	}
+	for _, reps := range s.reps {
+		for _, rep := range reps {
+			rep.processedTick = 0
+			rep.producedTick = 0
+		}
+	}
+}
+
+// deliver enqueues n tuples from component comp into every live, active
+// replica of each successor PE, counting overflow drops per PE.
+func (s *Simulation) deliver(comp core.ComponentID, n float64) {
+	for _, rt := range s.routes[comp] {
+		for _, rep := range s.reps[rt.pe] {
+			if !rep.alive || !rep.active || !s.hosts[rep.host].up {
+				continue
+			}
+			if dropped := rep.ports[rt.port].enqueue(n); dropped > 0 {
+				s.m.DroppedTotal += dropped
+				s.m.PerPEDropped[rt.pe] += dropped
+			}
+		}
+	}
+}
+
+// processHost water-fills the host's cycle budget across its runnable
+// replicas and lets each drain its queues proportionally.
+func (s *Simulation) processHost(h int, dt float64) {
+	type runnable struct {
+		rep    *replica
+		demand float64
+	}
+	var run []runnable
+	for _, pr := range s.asg.ReplicasOn(h) {
+		rep := s.reps[pr[0]][pr[1]]
+		if !rep.alive || !rep.active {
+			continue
+		}
+		demand := rep.overheadCycles
+		for i := range rep.ports {
+			demand += rep.ports[i].queue * rep.ports[i].cost
+		}
+		if demand > 0 {
+			run = append(run, runnable{rep: rep, demand: demand})
+		}
+	}
+	if len(run) == 0 {
+		return
+	}
+	// Exact water-filling: ascending demands, equal share of the rest.
+	sort.Slice(run, func(a, b int) bool {
+		if run[a].demand != run[b].demand {
+			return run[a].demand < run[b].demand
+		}
+		// Deterministic tie-break.
+		if run[a].rep.pe != run[b].rep.pe {
+			return run[a].rep.pe < run[b].rep.pe
+		}
+		return run[a].rep.idx < run[b].rep.idx
+	})
+	budget := s.hosts[h].capacity * dt
+	for i := range run {
+		share := budget / float64(len(run)-i)
+		alloc := run[i].demand
+		if alloc > share {
+			alloc = share
+		}
+		budget -= alloc
+		s.processReplica(run[i].rep, alloc, run[i].demand)
+	}
+}
+
+// processReplica spends alloc CPU cycles: pending checkpoint/restore
+// overhead is paid first (it blocks tuple processing, as persisting state
+// does on a real operator), then the ports drain proportionally to their
+// queued work.
+func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
+	if alloc <= 0 {
+		return
+	}
+	if rep.overheadCycles > 0 {
+		pay := alloc
+		if pay > rep.overheadCycles {
+			pay = rep.overheadCycles
+		}
+		rep.overheadCycles -= pay
+		alloc -= pay
+		demand -= pay
+		rep.cycles += pay
+		rep.cyclesWindow += pay
+		s.m.CPUCyclesTotal += pay
+		s.m.OverheadCyclesTotal += pay
+		s.m.PerReplicaCycles[rep.pe][rep.idx] += pay
+		if alloc <= 0 || demand <= 0 {
+			return
+		}
+	}
+	frac := alloc / demand
+	if frac > 1 {
+		frac = 1
+	}
+	for i := range rep.ports {
+		p := &rep.ports[i]
+		if p.queue == 0 {
+			continue
+		}
+		processed := p.queue * frac
+		p.queue -= processed
+		rep.processedTick += processed
+		rep.processedWindow += processed
+		rep.producedTick += processed * p.sel
+	}
+	used := demand * frac
+	rep.cycles += used
+	rep.cyclesWindow += used
+	s.m.CPUCyclesTotal += used
+	s.m.PerReplicaCycles[rep.pe][rep.idx] += used
+}
+
+// primary returns the PE's current primary replica: the lowest-indexed one
+// that is alive, active and on a live host, or nil when the PE is dark.
+func (s *Simulation) primary(pe int) *replica {
+	for _, rep := range s.reps[pe] {
+		if rep.alive && rep.active && s.hosts[rep.host].up {
+			return rep
+		}
+	}
+	return nil
+}
+
+// doMonitor is the Rate Monitor + HAController step: measure source rates
+// over the last interval, select the nearest input configuration dominating
+// the measurement, and (when it changed) issue activation commands.
+func (s *Simulation) doMonitor() {
+	measured := make(rtree.Point, len(s.srcs))
+	for i, src := range s.srcs {
+		// The tiny relative discount absorbs float accumulation error:
+		// without it a measured rate can exceed the configuration's exact
+		// rate by one ulp and spuriously fail the domination test.
+		measured[i] = src.monitorWindow / s.cfg.MonitorInterval * (1 - 1e-9)
+		src.monitorWindow = 0
+	}
+	_, cfg, ok := s.lookup.NearestDominating(measured)
+	if !ok {
+		// Measured rates exceed every known configuration (e.g. glitch
+		// overshoot): fall back to the most resource-hungry configuration,
+		// which never underestimates the load.
+		cfg = s.r.MaxConfig()
+	}
+	if cfg == s.appliedCfg {
+		return
+	}
+	if s.cfg.CommandLatency > 0 {
+		s.kern.After(s.cfg.CommandLatency, func() { s.applyConfig(cfg) })
+	} else {
+		s.applyConfig(cfg)
+	}
+}
+
+// applyConfig issues the activation/deactivation commands for an input
+// configuration. Deactivated replicas discard buffered input and go idle;
+// activated replicas re-synchronise (instantaneous for the stateless
+// operators simulated here) and resume.
+func (s *Simulation) applyConfig(cfg int) {
+	if cfg == s.appliedCfg {
+		return
+	}
+	if s.appliedCfg >= 0 {
+		s.m.ConfigSwitches++
+	}
+	s.appliedCfg = cfg
+	for pe := range s.reps {
+		for k, rep := range s.reps[pe] {
+			want := s.strat.IsActive(cfg, pe, k)
+			if rep.active == want {
+				continue
+			}
+			rep.active = want
+			if !want {
+				rep.clearQueues()
+			}
+		}
+	}
+}
+
+// applyFailure executes one failure-plan event.
+func (s *Simulation) applyFailure(ev FailureEvent) {
+	switch ev.Kind {
+	case ReplicaDown:
+		rep := s.reps[ev.PE][ev.Replica]
+		rep.alive = false
+		rep.clearQueues()
+		rep.overheadCycles = 0
+		if s.cfg.RecoverAfter > 0 {
+			pe, k := ev.PE, ev.Replica
+			s.kern.After(s.cfg.RecoverAfter, func() {
+				s.applyFailure(FailureEvent{Kind: ReplicaUp, PE: pe, Replica: k})
+			})
+		}
+	case ReplicaUp:
+		rep := s.reps[ev.PE][ev.Replica]
+		rep.alive = true
+		rep.overheadCycles += s.cfg.RestoreCycles
+	case HostDown:
+		s.hosts[ev.Host].up = false
+		for _, pr := range s.asg.ReplicasOn(ev.Host) {
+			s.reps[pr[0]][pr[1]].clearQueues()
+		}
+	case HostUp:
+		s.hosts[ev.Host].up = true
+	}
+}
+
+// doSample appends one point to the per-second time series.
+func (s *Simulation) doSample() {
+	interval := s.cfg.SampleInterval
+	sm := Sample{
+		Time:       s.kern.Now(),
+		InputRate:  s.emittedSample / interval,
+		OutputRate: s.sinkSample / interval,
+		Config:     s.appliedCfg,
+	}
+	s.emittedSample = 0
+	s.sinkSample = 0
+	sm.ReplicaUtil = make([][]float64, len(s.reps))
+	sm.QueueTuples = make([]float64, len(s.reps))
+	sm.LatencyEst = make([]float64, len(s.reps))
+	for pe := range s.reps {
+		sm.ReplicaUtil[pe] = make([]float64, len(s.reps[pe]))
+		for k, rep := range s.reps[pe] {
+			sm.ReplicaUtil[pe][k] = rep.cyclesWindow / (s.d.HostCapacity * interval)
+			rep.cyclesWindow = 0
+		}
+		if prim := s.primary(pe); prim != nil {
+			var queued float64
+			for i := range prim.ports {
+				queued += prim.ports[i].queue
+			}
+			sm.QueueTuples[pe] = queued
+			rate := prim.processedWindow / interval
+			switch {
+			case queued == 0:
+				sm.LatencyEst[pe] = 0
+			case rate == 0:
+				sm.LatencyEst[pe] = math.Inf(1)
+			default:
+				sm.LatencyEst[pe] = queued / rate
+			}
+		}
+		for _, rep := range s.reps[pe] {
+			rep.processedWindow = 0
+		}
+	}
+	s.m.Series = append(s.m.Series, sm)
+}

@@ -1,0 +1,438 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+// pipelineSetup builds the Fig. 1/2 deployment: two PEs on two single-core
+// hosts, Low = 4 t/s, High = 8 t/s.
+func pipelineSetup(t *testing.T) (*core.Descriptor, *core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 2.0 / 3.0},
+			{Name: "High", Rates: []float64{8}, Prob: 1.0 / 3.0},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return d, core.NewRates(d), asg
+}
+
+// laarStrategy is the Fig. 2b strategy: full replication at Low, one
+// replica per PE at High (PE1 keeps replica 0, PE2 keeps replica 1).
+func laarStrategy() *core.Strategy {
+	s := core.AllActive(2, 2, 2)
+	s.Set(1, 0, 1, false)
+	s.Set(1, 1, 0, false)
+	return s
+}
+
+// nrStrategy keeps only replica 0 of each PE active, always.
+func nrStrategy() *core.Strategy {
+	s := core.NewStrategy(2, 2, 2)
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 2; p++ {
+			s.Set(c, p, 0, true)
+		}
+	}
+	return s
+}
+
+func constantTrace(t *testing.T, duration float64, cfg int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.New([]trace.Segment{{Start: 0, End: duration, Config: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSteadyLowNoDrops(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedTotal != 0 {
+		t.Errorf("DroppedTotal = %v, want 0", m.DroppedTotal)
+	}
+	if math.Abs(m.EmittedTotal-400) > 1e-6 {
+		t.Errorf("EmittedTotal = %v, want 400", m.EmittedTotal)
+	}
+	// Sink receives everything except the in-flight pipeline tail.
+	if m.SinkTotal < 398 || m.SinkTotal > 400.0001 {
+		t.Errorf("SinkTotal = %v, want ≈ 400", m.SinkTotal)
+	}
+	// Each PE processes ~400 tuples at 1e8 cycles each: ~8e10 cycles.
+	if math.Abs(m.CPUCyclesTotal-8e10) > 2e9 {
+		t.Errorf("CPUCyclesTotal = %v, want ≈ 8e10", m.CPUCyclesTotal)
+	}
+	if math.Abs(m.CPUSecondsTotal-80) > 2 {
+		t.Errorf("CPUSecondsTotal = %v, want ≈ 80", m.CPUSecondsTotal)
+	}
+	// Only replica 0 of each PE ever ran.
+	for pe := 0; pe < 2; pe++ {
+		if m.PerReplicaCycles[pe][1] != 0 {
+			t.Errorf("inactive replica (%d,1) consumed %v cycles", pe, m.PerReplicaCycles[pe][1])
+		}
+	}
+	if len(m.Series) != 100 {
+		t.Errorf("Series has %d samples, want 100", len(m.Series))
+	}
+}
+
+func TestStaticReplicationSaturatesAtHigh(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 1) // pure High
+	sr := core.AllActive(2, 2, 2)
+	sim, err := New(d, asg, sr, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-active at High demands 1.6 GHz per 1 GHz host: queues fill and
+	// tuples drop; output rate falls well below the 8 t/s input.
+	if m.DroppedTotal == 0 {
+		t.Error("static replication at High dropped nothing")
+	}
+	peak := m.PeakOutputRate(func(t float64) bool { return t > 20 })
+	if peak > 6.5 {
+		t.Errorf("saturated output rate = %v, want well below 8", peak)
+	}
+	// CPU is pinned at capacity: ~2 hosts × 120 s of cycles.
+	if m.CPUSecondsTotal < 220 {
+		t.Errorf("CPUSecondsTotal = %v, want ≈ 240 (saturated)", m.CPUSecondsTotal)
+	}
+}
+
+func TestLAARAdaptsToLoadPeak(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(d, asg, laarStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConfigSwitches < 5 {
+		t.Errorf("ConfigSwitches = %d, want ≥ 5 over 3+ periods", m.ConfigSwitches)
+	}
+	// Adaptation bounds drops to the 1-second detection window around each
+	// switch: far less than a full High phase worth of loss.
+	if m.DroppedTotal > 40 {
+		t.Errorf("DroppedTotal = %v, want small transition losses only", m.DroppedTotal)
+	}
+	// Output keeps up with input during the steady part of the peak.
+	peak := m.PeakOutputRate(func(tm float64) bool {
+		return (tm > 70 && tm < 89) || (tm > 160 && tm < 179) || (tm > 250 && tm < 269)
+	})
+	if peak < 7 {
+		t.Errorf("peak output rate = %v, want ≈ 8", peak)
+	}
+	// Compare with static replication on the same trace.
+	simSR, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSR, err := simSR.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSR.DroppedTotal <= m.DroppedTotal {
+		t.Errorf("SR dropped %v, LAAR dropped %v: SR should drop more", mSR.DroppedTotal, m.DroppedTotal)
+	}
+	if mSR.CPUSecondsTotal <= m.CPUSecondsTotal {
+		t.Errorf("SR used %v cpu-s, LAAR %v: SR should cost more", mSR.CPUSecondsTotal, m.CPUSecondsTotal)
+	}
+}
+
+func TestWorstCaseNRProducesNothing(t *testing.T) {
+	d, r, asg := pipelineSetup(t)
+	tr := constantTrace(t, 60, 0)
+	nr := nrStrategy()
+	sim, err := New(d, asg, nr, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(WorstCasePlan(r, nr)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SinkTotal != 0 || m.ProcessedTotal != 0 {
+		t.Fatalf("worst-case NR processed %v, sank %v; want 0", m.ProcessedTotal, m.SinkTotal)
+	}
+}
+
+func TestWorstCaseLAARMeetsModelIC(t *testing.T) {
+	d, r, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := laarStrategy()
+
+	runWith := func(plan []FailureEvent) *Metrics {
+		sim, err := New(d, asg, strat, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	best := runWith(nil)
+	worst := runWith(WorstCasePlan(r, strat))
+	measuredIC := worst.ProcessedTotal / best.ProcessedTotal
+	// Model IC with P(Low) = 2/3: FIC/BIC = (2/3·8)/(2/3·8 + 1/3·16) = 0.5.
+	// The measured value may exceed the bound slightly (detection windows)
+	// but must not fall below it by more than transition noise.
+	modelIC := core.IC(r, strat, core.Pessimistic{})
+	if measuredIC < modelIC-0.05 {
+		t.Fatalf("measured IC %v below model bound %v", measuredIC, modelIC)
+	}
+	if measuredIC > 0.75 {
+		t.Fatalf("measured IC %v implausibly high for this strategy", measuredIC)
+	}
+}
+
+func TestHostCrashRecovery(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	sr := core.AllActive(2, 2, 2)
+	sim, err := New(d, asg, sr, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash host 0 (replica 0 of both PEs) at t=40 for 16 s: replication
+	// masks the failure, output continues via host 1.
+	if err := sim.InjectAll(HostCrashPlan(0, 40, 16)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := m.PeakOutputRate(func(t float64) bool { return t > 42 && t < 56 })
+	if during < 3.5 {
+		t.Errorf("output rate during masked host crash = %v, want ≈ 4", during)
+	}
+	// Without replication the same crash silences the output.
+	sim2, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim2.InjectAll(HostCrashPlan(0, 40, 16)); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sim2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	durNR := m2.PeakOutputRate(func(t float64) bool { return t > 42 && t < 56 })
+	if durNR > 0.5 {
+		t.Errorf("NR output during host crash = %v, want ≈ 0", durNR)
+	}
+	after := m2.PeakOutputRate(func(t float64) bool { return t > 60 && t < 110 })
+	if after < 3.5 {
+		t.Errorf("NR output after recovery = %v, want ≈ 4", after)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(120, 60, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Metrics {
+		sim, err := New(d, asg, laarStrategy(), tr, Config{GlitchAmplitude: 0.1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := run(), run()
+	if m1.EmittedTotal != m2.EmittedTotal || m1.SinkTotal != m2.SinkTotal ||
+		m1.DroppedTotal != m2.DroppedTotal || m1.CPUCyclesTotal != m2.CPUCyclesTotal {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestGlitchTriggersNoUnderestimation(t *testing.T) {
+	// With glitch noise the controller may overshoot to High, but must
+	// never pick a configuration below the measured rates, so sustained
+	// drops stay minimal at Low.
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	sim, err := New(d, asg, laarStrategy(), tr, Config{GlitchAmplitude: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedTotal > 10 {
+		t.Errorf("DroppedTotal = %v under glitchy Low input", m.DroppedTotal)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	if _, err := New(d, asg, core.AllActive(3, 2, 2), tr, Config{}); err == nil {
+		t.Error("accepted strategy with wrong config count")
+	}
+	if _, err := New(d, core.NewAssignment(1, 2, 2), laarStrategy(), tr, Config{}); err == nil {
+		t.Error("accepted assignment with wrong PE count")
+	}
+	badTrace := constantTrace(t, 10, 5)
+	if _, err := New(d, asg, laarStrategy(), badTrace, Config{}); err == nil {
+		t.Error("accepted trace referencing unknown config")
+	}
+	dead := core.NewStrategy(2, 2, 2)
+	if _, err := New(d, asg, dead, tr, Config{}); err == nil {
+		t.Error("accepted strategy violating liveness")
+	}
+	if _, err := New(d, asg, laarStrategy(), tr, Config{GlitchAmplitude: 2}); err == nil {
+		t.Error("accepted glitch amplitude ≥ 1")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	sim, err := New(d, asg, laarStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: -1, Kind: HostDown}); err == nil {
+		t.Error("accepted negative failure time")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: ReplicaDown, PE: 9}); err == nil {
+		t.Error("accepted unknown PE")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: HostDown, Host: 7}); err == nil {
+		t.Error("accepted unknown host")
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: HostDown, Host: 0}); err == nil {
+		t.Error("accepted injection after Run")
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Error("accepted second Run")
+	}
+}
+
+func TestCommandLatencyDelaysSwitch(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(120, 60, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := New(d, asg, laarStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFast, err := fast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(d, asg, laarStrategy(), tr, Config{CommandLatency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSlow, err := slow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSlow.DroppedTotal < mFast.DroppedTotal {
+		t.Errorf("slower commands dropped less (%v < %v)", mSlow.DroppedTotal, mFast.DroppedTotal)
+	}
+}
+
+func TestWorstCasePlanAdversarialChoice(t *testing.T) {
+	_, r, _ := pipelineSetup(t)
+	plan := WorstCasePlan(r, laarStrategy())
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d events, want 2 (one crash per PE)", len(plan))
+	}
+	// PE1's survivor must be replica 1 (inactive at High), so replica 0
+	// is crashed; PE2's survivor is replica 0, so replica 1 is crashed.
+	for _, ev := range plan {
+		if ev.Kind != ReplicaDown || ev.Time != 0 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		switch ev.PE {
+		case 0:
+			if ev.Replica != 0 {
+				t.Errorf("PE1 crash hit replica %d, want 0", ev.Replica)
+			}
+		case 1:
+			if ev.Replica != 1 {
+				t.Errorf("PE2 crash hit replica %d, want 1", ev.Replica)
+			}
+		}
+	}
+	// Fully static strategies leave no adversarial leverage: survivor 0.
+	plan = WorstCasePlan(r, core.AllActive(2, 2, 2))
+	for _, ev := range plan {
+		if ev.Replica != 1 {
+			t.Errorf("static strategy: crash hit replica %d, want 1 (survivor 0)", ev.Replica)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+func TestLatencyMetricsSaturationVsAdaptation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 1) // pure High
+	// Static replication saturates: queues fill to capacity (2 s of High
+	// input = 16 tuples) and the latency estimate grows accordingly.
+	simSR, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSR, err := simSR.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := mSR.MaxQueueTuples(); q < 10 {
+		t.Errorf("saturated max queue = %v tuples, want near the 16-tuple cap", q)
+	}
+	if l := mSR.MaxLatencyEst(); l < 1 {
+		t.Errorf("saturated latency estimate = %v s, want ≥ 1", l)
+	}
+	// LAAR at High runs single replicas below capacity: queues stay small.
+	simL, err := New(d, asg, laarStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mL, err := simL.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := mL.MaxQueueTuples(); q > 4 {
+		t.Errorf("adapted max queue = %v tuples, want small", q)
+	}
+	if l := mL.MaxLatencyEst(); math.IsInf(l, 1) || l > 0.5 {
+		t.Errorf("adapted latency estimate = %v s, want well below saturation", l)
+	}
+}
+
+// TestCycleConservation checks the engine's internal bookkeeping: the CPU
+// cycles consumed must exactly equal the per-replica sums, and no host may
+// exceed its capacity×duration budget.
+func TestCycleConservation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(120, 60, 0.5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perReplica float64
+	for pe := range m.PerReplicaCycles {
+		for _, c := range m.PerReplicaCycles[pe] {
+			perReplica += c
+		}
+	}
+	if math.Abs(perReplica-m.CPUCyclesTotal) > 1e-6*m.CPUCyclesTotal {
+		t.Fatalf("cycle ledger mismatch: per-replica %v vs total %v", perReplica, m.CPUCyclesTotal)
+	}
+	budget := float64(asg.NumHosts) * d.HostCapacity * m.Duration
+	if m.CPUCyclesTotal > budget*(1+1e-9) {
+		t.Fatalf("consumed %v cycles, cluster budget %v", m.CPUCyclesTotal, budget)
+	}
+}
+
+// TestTupleConservation checks that the PE-level processed totals follow
+// from the emitted tuples: in a loss-free run of the identity pipeline,
+// each of the two PEs processes every emitted tuple (modulo the in-flight
+// pipeline tail).
+func TestTupleConservation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedTotal != 0 {
+		t.Fatalf("unexpected drops: %v", m.DroppedTotal)
+	}
+	for pe, proc := range m.PerPEProcessed {
+		if proc > m.EmittedTotal || proc < m.EmittedTotal-2 {
+			t.Errorf("PE %d processed %v of %v emitted", pe, proc, m.EmittedTotal)
+		}
+	}
+	sum := m.PerPEProcessed[0] + m.PerPEProcessed[1]
+	if math.Abs(sum-m.ProcessedTotal) > 1e-9*m.ProcessedTotal {
+		t.Fatalf("processed ledger mismatch: %v vs %v", sum, m.ProcessedTotal)
+	}
+}
+
+// multiSourceSetup builds a two-source application with four joint input
+// configurations, exercising the R-tree controller in 2-D rate space.
+func multiSourceSetup(t *testing.T) (*core.Descriptor, *core.Assignment, *core.Strategy) {
+	t.Helper()
+	b := core.NewBuilder("twosrc")
+	s1 := b.AddSource("sensors")
+	s2 := b.AddSource("vehicles")
+	j := b.AddPE("join")
+	agg := b.AddPE("agg")
+	sink := b.AddSink("sink")
+	b.Connect(s1, j, 1, 3e7)
+	b.Connect(s2, j, 1, 3e7)
+	b.Connect(j, agg, 0.5, 2e7)
+	b.Connect(agg, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs, err := core.CrossConfigs(
+		[][]float64{{4, 8}, {3, 9}},
+		[][]float64{{0.7, 0.3}, {0.6, 0.4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       configs,
+		HostCapacity:  1e9,
+		BillingPeriod: 120,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		asg.Host[p][1] = 1
+	}
+	strat := core.AllActive(len(configs), 2, 2)
+	return d, asg, strat
+}
+
+func TestMultiSourceControllerTracksJointConfig(t *testing.T) {
+	d, asg, strat := multiSourceSetup(t)
+	// Configs enumerate (s1, s2) ∈ {4,8}×{3,9} in row-major order:
+	// 0:(4,3) 1:(4,9) 2:(8,3) 3:(8,9). Drive each phase for 30 s.
+	tr, err := trace.New([]trace.Segment{
+		{Start: 0, End: 30, Config: 0},
+		{Start: 30, End: 60, Config: 3},
+		{Start: 60, End: 90, Config: 1},
+		{Start: 90, End: 120, Config: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(d, asg, strat, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller must have visited each configuration: sample the
+	// applied config in the middle of each phase.
+	want := []int{0, 3, 1, 2}
+	for i, at := range []float64{15, 45, 75, 105} {
+		idx := int(at) - 1 // samples are 1-indexed by second
+		if got := m.Series[idx].Config; got != want[i] {
+			t.Errorf("applied config at t=%v is %d, want %d", at, got, want[i])
+		}
+	}
+	if m.ConfigSwitches != 3 {
+		t.Errorf("ConfigSwitches = %d, want 3", m.ConfigSwitches)
+	}
+	if m.DroppedTotal != 0 {
+		t.Errorf("drops = %v, want 0 (deployment never overloaded)", m.DroppedTotal)
+	}
+}
+
+func TestThreefoldReplicationEngine(t *testing.T) {
+	// The engine is k-generic even though FT-Search is specialised to
+	// k = 2: run the pipeline with three replicas per PE and crash two of
+	// them; the third keeps the output flowing.
+	b := core.NewBuilder("k3")
+	src := b.AddSource("src")
+	pe := b.AddPE("PE")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe, 1, 1e7)
+	b.Connect(pe, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{10}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(1, 3, 3)
+	for r := 0; r < 3; r++ {
+		asg.Host[0][r] = r
+	}
+	strat := core.AllActive(1, 1, 3)
+	tr := constantTrace(t, 60, 0)
+	sim, err := New(d, asg, strat, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll([]FailureEvent{
+		{Time: 10, Kind: ReplicaDown, PE: 0, Replica: 0},
+		{Time: 20, Kind: ReplicaDown, PE: 0, Replica: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m.PeakOutputRate(func(t float64) bool { return t > 25 })
+	if after < 9.5 {
+		t.Fatalf("output after double failure = %v, want ≈ 10", after)
+	}
+}

@@ -1,0 +1,109 @@
+package engine
+
+// Sample is one point of the per-second time series (Figure 3): input and
+// output rates plus the CPU utilisation of every replica during the sample
+// interval.
+type Sample struct {
+	// Time is the end of the sample interval, in seconds.
+	Time float64
+	// InputRate is the total source emission rate over the interval, in
+	// tuples per second.
+	InputRate float64
+	// OutputRate is the sink delivery rate over the interval.
+	OutputRate float64
+	// ReplicaUtil[pe][replica] is the fraction of one host CPU the replica
+	// consumed during the interval.
+	ReplicaUtil [][]float64
+	// QueueTuples[pe] is the tuples buffered at the PE's primary replica
+	// at sample time (0 when the PE is dark).
+	QueueTuples []float64
+	// LatencyEst[pe] estimates the queueing latency at the PE's primary
+	// replica in seconds (queue length over the interval's processing
+	// rate, by Little's law); +Inf when the queue is non-empty but nothing
+	// was processed.
+	LatencyEst []float64
+	// Config is the input configuration the HAController had applied at
+	// sample time (-1 before the first decision).
+	Config int
+}
+
+// Metrics aggregates everything an experiment measures.
+type Metrics struct {
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// EmittedTotal counts tuples produced by all sources.
+	EmittedTotal float64
+	// SinkTotal counts tuples delivered to all sinks.
+	SinkTotal float64
+	// ProcessedTotal counts tuples processed at the PE level: the tuples
+	// consumed by each PE's primary replica. This is the measured
+	// counterpart of the FIC tuple count (Section 4.3).
+	ProcessedTotal float64
+	// DroppedTotal counts tuples dropped at full input queues of active,
+	// live replicas.
+	DroppedTotal float64
+	// CPUCyclesTotal is the CPU consumed by all PE replicas, in cycles.
+	CPUCyclesTotal float64
+	// CPUSecondsTotal is CPUCyclesTotal divided by the host capacity: the
+	// total CPU-seconds of (single-host) compute used.
+	CPUSecondsTotal float64
+	// OverheadCyclesTotal is the share of CPUCyclesTotal spent on
+	// checkpoint and restore work rather than tuple processing.
+	OverheadCyclesTotal float64
+	// PerPEProcessed[pe] is the PE-level processed count.
+	PerPEProcessed []float64
+	// PerReplicaCycles[pe][replica] is the per-replica CPU consumption.
+	PerReplicaCycles [][]float64
+	// PerPEDropped[pe] counts queue-overflow drops at the PE's replicas.
+	PerPEDropped []float64
+	// ConfigSwitches counts HAController replica-configuration changes.
+	ConfigSwitches int
+	// Series is the per-second time series.
+	Series []Sample
+}
+
+// MaxQueueTuples returns the largest primary-replica queue observed for
+// any PE across the sample series.
+func (m *Metrics) MaxQueueTuples() float64 {
+	var max float64
+	for _, s := range m.Series {
+		for _, q := range s.QueueTuples {
+			if q > max {
+				max = q
+			}
+		}
+	}
+	return max
+}
+
+// MaxLatencyEst returns the largest per-PE latency estimate observed across
+// the sample series (possibly +Inf for a stalled non-empty queue).
+func (m *Metrics) MaxLatencyEst() float64 {
+	var max float64
+	for _, s := range m.Series {
+		for _, l := range s.LatencyEst {
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}
+
+// PeakOutputRate returns the mean output rate over the samples for which
+// the predicate on sample time holds (used to measure output rate during
+// load peaks, Figure 10). Returns 0 when no sample matches.
+func (m *Metrics) PeakOutputRate(during func(t float64) bool) float64 {
+	var sum float64
+	var n int
+	for _, s := range m.Series {
+		if during(s.Time) {
+			sum += s.OutputRate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

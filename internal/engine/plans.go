@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"laar/internal/core"
+)
+
+// WorstCasePlan builds the pessimistic failure-model plan used in the
+// worst-case experiments (Section 5.3, Figure 11 top): for every PE, all
+// replicas but one are permanently crashed at time zero, and the survivor
+// is chosen adversarially — among the replicas the strategy leaves inactive
+// whenever possible, minimising the tuples the PE can process. Failed
+// replicas never recover.
+func WorstCasePlan(r *core.Rates, strat *core.Strategy) []FailureEvent {
+	var plan []FailureEvent
+	for pe := 0; pe < strat.NumPEs(); pe++ {
+		survivor := adversarialSurvivor(r, strat, pe)
+		for k := 0; k < strat.K; k++ {
+			if k == survivor {
+				continue
+			}
+			plan = append(plan, FailureEvent{Time: 0, Kind: ReplicaDown, PE: pe, Replica: k})
+		}
+	}
+	return plan
+}
+
+// adversarialSurvivor picks the replica whose survival lets the PE process
+// the least expected input: the replica minimising
+// Σ_c P_C(c)·[active in c]·inRate(pe, c). When the strategy keeps every
+// replica active everywhere the choice is irrelevant and replica 0 is
+// returned.
+func adversarialSurvivor(r *core.Rates, strat *core.Strategy, pe int) int {
+	d := r.Descriptor()
+	best, bestVal := 0, -1.0
+	for k := 0; k < strat.K; k++ {
+		var val float64
+		for c, cfg := range d.Configs {
+			if strat.IsActive(c, pe, k) {
+				val += cfg.Prob * r.InRate(pe, c)
+			}
+		}
+		if bestVal < 0 || val < bestVal {
+			best, bestVal = k, val
+		}
+	}
+	return best
+}
+
+// HostCrashPlan crashes one host at the given time and recovers it after
+// the given downtime — the single-server crash-with-recovery model of
+// Figure 11 (bottom); the paper uses a 16-second downtime, the time Streams
+// needs to detect the failure and migrate the PEs.
+func HostCrashPlan(hostIdx int, at, downtime float64) []FailureEvent {
+	return []FailureEvent{
+		{Time: at, Kind: HostDown, Host: hostIdx},
+		{Time: at + downtime, Kind: HostUp, Host: hostIdx},
+	}
+}

@@ -1,0 +1,210 @@
+// Package experiments reproduces the paper's evaluation (Section 5): it
+// generates the synthetic application corpus, computes the six replication
+// variants (L.5, L.6, L.7, NR, SR, GRD), runs them through the simulated
+// DSPS under the best-case, pessimistic worst-case and host-crash failure
+// scenarios, and produces the data behind every figure (3–12).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/ftsearch"
+	"laar/internal/strategy"
+	"laar/internal/trace"
+)
+
+// Variant identifies one replication approach of Section 5.2.
+type Variant int
+
+const (
+	// L5, L6, L7 are LAAR with IC requirements 0.5, 0.6 and 0.7.
+	L5 Variant = iota
+	L6
+	L7
+	// NR is the non-replicated deployment derived from L5's High
+	// activations.
+	NR
+	// SR is static active replication.
+	SR
+	// GRD is the greedy dynamic strategy.
+	GRD
+	numVariants
+)
+
+// Variants lists all variants in presentation order (the paper's figures
+// order them NR, SR, GRD, L.5, L.6, L.7).
+var Variants = []Variant{NR, SR, GRD, L5, L6, L7}
+
+// String returns the paper's label for the variant.
+func (v Variant) String() string {
+	switch v {
+	case L5:
+		return "L.5"
+	case L6:
+		return "L.6"
+	case L7:
+		return "L.7"
+	case NR:
+		return "NR"
+	case SR:
+		return "SR"
+	case GRD:
+		return "GRD"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// ICTarget returns the IC requirement of a LAAR variant, or 0 otherwise.
+func (v Variant) ICTarget() float64 {
+	switch v {
+	case L5:
+		return 0.5
+	case L6:
+		return 0.6
+	case L7:
+		return 0.7
+	default:
+		return 0
+	}
+}
+
+// CorpusParams sizes the runtime-experiment corpus.
+type CorpusParams struct {
+	// NumApps is the number of applications to keep. Default 20 (the
+	// paper uses 100; scale up via cmd/laarexp flags).
+	NumApps int
+	// NumPEs per application. Default 24 (as in the paper).
+	NumPEs int
+	// NumHosts per deployment. Default 5.
+	NumHosts int
+	// Seed drives generation.
+	Seed int64
+	// SolverDeadline bounds each FT-Search run. Default 2s.
+	SolverDeadline time.Duration
+	// SolverWorkers parallelises FT-Search. Default 1 (deterministic).
+	SolverWorkers int
+	// TraceDuration and TracePeriod shape the input trace: the High
+	// configuration is active for one third of every period. Defaults 300
+	// and 90 seconds.
+	TraceDuration, TracePeriod float64
+}
+
+func (p CorpusParams) withDefaults() CorpusParams {
+	if p.NumApps == 0 {
+		p.NumApps = 20
+	}
+	if p.NumPEs == 0 {
+		p.NumPEs = 24
+	}
+	if p.NumHosts == 0 {
+		p.NumHosts = 5
+	}
+	if p.SolverDeadline == 0 {
+		p.SolverDeadline = 2 * time.Second
+	}
+	if p.SolverWorkers == 0 {
+		p.SolverWorkers = 1
+	}
+	if p.TraceDuration == 0 {
+		p.TraceDuration = 300
+	}
+	if p.TracePeriod == 0 {
+		p.TracePeriod = 90
+	}
+	return p
+}
+
+// AppRun is one corpus application with its six variant strategies and the
+// input trace all variants are driven by.
+type AppRun struct {
+	Gen        *appgen.Generated
+	Strategies map[Variant]*core.Strategy
+	Trace      *trace.Trace
+}
+
+// BuildCorpus generates applications until NumApps of them admit all six
+// variants (an app is discarded when FT-Search proves one of the LAAR IC
+// targets infeasible or times out without a solution, or when greedy cannot
+// resolve the High overload — mirroring the paper's use of 100 successfully
+// deployed applications).
+func BuildCorpus(p CorpusParams) ([]*AppRun, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var corpus []*AppRun
+	attempts := 0
+	maxAttempts := p.NumApps*6 + 20
+	for len(corpus) < p.NumApps && attempts < maxAttempts {
+		attempts++
+		app, err := buildOne(p, rng.Int63())
+		if err != nil {
+			continue
+		}
+		corpus = append(corpus, app)
+	}
+	if len(corpus) < p.NumApps {
+		return nil, fmt.Errorf("experiments: only %d of %d applications admitted all variants after %d attempts",
+			len(corpus), p.NumApps, attempts)
+	}
+	return corpus, nil
+}
+
+func buildOne(p CorpusParams, seed int64) (*AppRun, error) {
+	gen, err := appgen.Generate(appgen.Params{
+		NumPEs:   p.NumPEs,
+		NumHosts: p.NumHosts,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := &AppRun{Gen: gen, Strategies: make(map[Variant]*core.Strategy)}
+	for _, v := range []Variant{L5, L6, L7} {
+		res, err := ftsearch.Solve(gen.Rates, gen.Assignment, ftsearch.Options{
+			ICMin:    v.ICTarget(),
+			Deadline: p.SolverDeadline,
+			Workers:  p.SolverWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Strategy == nil {
+			return nil, fmt.Errorf("experiments: %v has no strategy (%v)", v, res.Outcome)
+		}
+		run.Strategies[v] = res.Strategy
+	}
+	run.Strategies[SR] = strategy.Static(gen.Desc, core.DefaultReplication)
+	run.Strategies[NR] = strategy.NonReplicated(run.Strategies[L5], gen.HighCfg)
+	grd, err := strategy.Greedy(gen.Rates, gen.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	run.Strategies[GRD] = grd
+	tr, err := trace.Alternating(p.TraceDuration, p.TracePeriod, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		return nil, err
+	}
+	run.Trace = tr
+	return run, nil
+}
+
+// HighWindows returns the steady parts of the trace's High segments
+// (skipping the first margin seconds of each, where the controller is still
+// reacting), as [start, end) pairs — the "load peak" windows of Figure 10.
+func (a *AppRun) HighWindows(margin float64) [][2]float64 {
+	var out [][2]float64
+	for _, seg := range a.Trace.Segments() {
+		if seg.Config != a.Gen.HighCfg {
+			continue
+		}
+		s, e := seg.Start+margin, seg.End
+		if e > s {
+			out = append(out, [2]float64{s, e})
+		}
+	}
+	return out
+}

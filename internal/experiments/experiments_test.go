@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"laar/internal/engine"
+	"laar/internal/ftsearch"
+)
+
+// testCorpus builds a small deterministic corpus shared by the tests.
+func testCorpus(t *testing.T) []*AppRun {
+	t.Helper()
+	corpus, err := BuildCorpus(CorpusParams{
+		NumApps:        4,
+		NumPEs:         10,
+		NumHosts:       3,
+		Seed:           42,
+		SolverDeadline: 2 * time.Second,
+		TraceDuration:  150,
+		TracePeriod:    45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+func testResults(t *testing.T, corpus []*AppRun) *RuntimeResults {
+	t.Helper()
+	rr, err := RunAll(corpus, engine.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func TestBuildCorpusShape(t *testing.T) {
+	corpus := testCorpus(t)
+	if len(corpus) != 4 {
+		t.Fatalf("corpus size = %d, want 4", len(corpus))
+	}
+	for i, app := range corpus {
+		if len(app.Strategies) != 6 {
+			t.Errorf("app %d has %d variants, want 6", i, len(app.Strategies))
+		}
+		for _, v := range Variants {
+			s, ok := app.Strategies[v]
+			if !ok {
+				t.Fatalf("app %d lacks %v", i, v)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("app %d %v: %v", i, v, err)
+			}
+		}
+		// LAAR variants must meet their model IC targets.
+		for _, v := range []Variant{L5, L6, L7} {
+			if ic := modelIC(app, v); ic < v.ICTarget()-1e-9 {
+				t.Errorf("app %d %v: model IC %v below target %v", i, v, ic, v.ICTarget())
+			}
+		}
+		// NR keeps exactly one replica active everywhere.
+		nr := app.Strategies[NR]
+		for c := 0; c < nr.NumConfigs(); c++ {
+			for p := 0; p < nr.NumPEs(); p++ {
+				if nr.NumActive(c, p) != 1 {
+					t.Fatalf("app %d: NR has %d active replicas", i, nr.NumActive(c, p))
+				}
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	corpus := testCorpus(t)
+	rr := testResults(t, corpus)
+	rep := Fig9(rr)
+	// NR is the reference: ratio exactly 1.
+	if math.Abs(rep.CPU[NR].Mean-1) > 1e-9 {
+		t.Errorf("CPU[NR] mean = %v, want 1", rep.CPU[NR].Mean)
+	}
+	// Paper ordering: SR most expensive, then GRD, then L.7 ≥ L.6 ≥ L.5.
+	if !(rep.CPU[SR].Mean > rep.CPU[GRD].Mean) {
+		t.Errorf("CPU: SR (%v) not above GRD (%v)", rep.CPU[SR].Mean, rep.CPU[GRD].Mean)
+	}
+	if !(rep.CPU[GRD].Mean > rep.CPU[L5].Mean) {
+		t.Errorf("CPU: GRD (%v) not above L.5 (%v)", rep.CPU[GRD].Mean, rep.CPU[L5].Mean)
+	}
+	if rep.CPU[L7].Mean < rep.CPU[L6].Mean-0.02 || rep.CPU[L6].Mean < rep.CPU[L5].Mean-0.02 {
+		t.Errorf("CPU: LAAR cost not monotone in IC: L5=%v L6=%v L7=%v",
+			rep.CPU[L5].Mean, rep.CPU[L6].Mean, rep.CPU[L7].Mean)
+	}
+	// SR must drop far more than every dynamic variant.
+	for _, v := range []Variant{NR, GRD, L5, L6, L7} {
+		if rep.RawDrops[SR].Mean <= rep.RawDrops[v].Mean {
+			t.Errorf("drops: SR (%v) not above %v (%v)", rep.RawDrops[SR].Mean, v, rep.RawDrops[v].Mean)
+		}
+	}
+	if !strings.Contains(rep.String(), "Figure 9") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	corpus := testCorpus(t)
+	rr := testResults(t, corpus)
+	rep := Fig10(corpus, rr)
+	if math.Abs(rep.Rate[NR].Mean-1) > 1e-9 {
+		t.Errorf("Rate[NR] mean = %v, want 1", rep.Rate[NR].Mean)
+	}
+	// SR's output during peaks lags well behind NR; LAAR keeps up.
+	if rep.Rate[SR].Mean > 0.9 {
+		t.Errorf("Rate[SR] mean = %v, want well below 1", rep.Rate[SR].Mean)
+	}
+	for _, v := range []Variant{L5, L6, L7} {
+		if rep.Rate[v].Mean < 0.85 {
+			t.Errorf("Rate[%v] mean = %v, want ≥ 0.85", v, rep.Rate[v].Mean)
+		}
+	}
+	if !strings.Contains(rep.String(), "Figure 10") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	corpus := testCorpus(t)
+	rr := testResults(t, corpus)
+	rep := Fig11(rr)
+	// NR processes nothing in the worst case.
+	if rep.WorstIC[NR].Mean != 0 {
+		t.Errorf("WorstIC[NR] mean = %v, want 0", rep.WorstIC[NR].Mean)
+	}
+	// SR keeps processing everything (both replicas always active, one
+	// survivor suffices).
+	if rep.WorstIC[SR].Mean < 0.9 {
+		t.Errorf("WorstIC[SR] mean = %v, want ≈ 1", rep.WorstIC[SR].Mean)
+	}
+	// LAAR variants satisfy their guarantees up to transition noise (the
+	// paper tolerates violations below 4.7%).
+	for _, v := range []Variant{L5, L6, L7} {
+		if b, ok := rep.WorstIC[v]; ok {
+			if b.Mean < v.ICTarget()-0.05 {
+				t.Errorf("WorstIC[%v] mean = %v, target %v", v, b.Mean, v.ICTarget())
+			}
+		}
+	}
+	if rep.MaxViolation > 0.06 {
+		t.Errorf("MaxViolation = %v, want ≤ 0.06", rep.MaxViolation)
+	}
+	// Under a recoverable single-host crash the LAAR variants do better
+	// than their worst case. (SR is excluded: killing one replica of every
+	// PE relieves the High-phase saturation SR suffers when fully
+	// replicated, so SR can process slightly MORE in the "worst" case than
+	// in the crash scenario — an artifact of measuring through real queues
+	// rather than the fluid model.)
+	for _, v := range []Variant{L5, L6, L7} {
+		if rep.CrashIC[v].Mean < rep.WorstIC[v].Mean-1e-9 {
+			t.Errorf("CrashIC[%v] (%v) below WorstIC (%v)", v, rep.CrashIC[v].Mean, rep.WorstIC[v].Mean)
+		}
+	}
+	if rep.CrashIC[SR].Mean < 0.85 {
+		t.Errorf("CrashIC[SR] mean = %v, want ≈ 1", rep.CrashIC[SR].Mean)
+	}
+	if !strings.Contains(rep.String(), "Figure 11") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	corpus := testCorpus(t)
+	rr := testResults(t, corpus)
+	rep := Fig12(rr)
+	if math.Abs(rep.Cost[SR]-1) > 1e-9 || math.Abs(rep.Drops[SR]-1) > 1e-9 {
+		t.Errorf("SR reference not 1: cost=%v drops=%v", rep.Cost[SR], rep.Drops[SR])
+	}
+	// Cost ordering vs SR: NR < L5 ≤ L6 ≤ L7 < 1, GRD < 1.
+	if !(rep.Cost[NR] < rep.Cost[L5]) {
+		t.Errorf("cost: NR (%v) not below L.5 (%v)", rep.Cost[NR], rep.Cost[L5])
+	}
+	for _, v := range []Variant{NR, GRD, L5, L6, L7} {
+		if rep.Cost[v] >= 1 {
+			t.Errorf("cost[%v] = %v, want < 1 (cheaper than SR)", v, rep.Cost[v])
+		}
+		if rep.Drops[v] >= 1 {
+			t.Errorf("drops[%v] = %v, want < 1", v, rep.Drops[v])
+		}
+	}
+	if !strings.Contains(rep.String(), "Figure 12") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestFig3Report(t *testing.T) {
+	rep, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static replication saturates during the High phase and drops tuples;
+	// LAAR sheds replicas instead and keeps the output close to the input.
+	if rep.Static.DroppedTotal == 0 {
+		t.Error("static run dropped nothing during the peak")
+	}
+	if rep.LAAR.DroppedTotal >= rep.Static.DroppedTotal {
+		t.Errorf("LAAR dropped %v, static %v", rep.LAAR.DroppedTotal, rep.Static.DroppedTotal)
+	}
+	// During the steady peak (60–85 s), LAAR's output tracks the 8 t/s
+	// input while the static run lags.
+	during := func(t float64) bool { return t > 60 && t < 85 }
+	if got := rep.LAAR.PeakOutputRate(during); got < 7.5 {
+		t.Errorf("LAAR peak output = %v, want ≈ 8", got)
+	}
+	if got := rep.Static.PeakOutputRate(during); got > 7 {
+		t.Errorf("static peak output = %v, want saturated below 7", got)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "(a) static") || !strings.Contains(out, "(b) LAAR") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestSolverCorpusAndFigs(t *testing.T) {
+	runs, err := RunSolverCorpus(SolverCorpusParams{
+		NumApps:  6,
+		Deadline: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 6*5 {
+		t.Fatalf("runs = %d, want 30 (6 apps × 5 IC values)", len(runs))
+	}
+	f4 := Fig4(runs)
+	total := 0
+	for _, ic := range f4.ICValues {
+		for _, n := range f4.Counts[ic] {
+			total += n
+		}
+	}
+	if total != len(runs) {
+		t.Errorf("Fig4 accounts for %d runs, want %d", total, len(runs))
+	}
+	// Feasibility can only shrink as IC grows: NUL counts are monotone
+	// non-decreasing in IC on a fixed instance set (deadline permitting).
+	nul05 := f4.Counts[0.5][ftsearch.Infeasible]
+	nul09 := f4.Counts[0.9][ftsearch.Infeasible]
+	if nul09 < nul05 {
+		t.Errorf("NUL(0.9)=%d below NUL(0.5)=%d", nul09, nul05)
+	}
+	f5 := Fig5(runs)
+	if f5.N > 0 {
+		if f5.CostMean < 1 {
+			t.Errorf("Fig5 cost ratio mean = %v, want ≥ 1", f5.CostMean)
+		}
+		if f5.TimeMean > 1.0001 {
+			t.Errorf("Fig5 time ratio mean = %v, want ≤ 1", f5.TimeMean)
+		}
+	}
+	f6 := Fig6(runs)
+	if f6.Total == 0 {
+		t.Fatal("no prunings recorded across the corpus")
+	}
+	var share float64
+	for _, s := range f6.Share {
+		share += s
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("pruning shares sum to %v", share)
+	}
+	for _, rep := range []interface{ String() string }{f4, f5, f6} {
+		if rep.String() == "" {
+			t.Error("empty report")
+		}
+	}
+}
+
+func TestFailureModelsReport(t *testing.T) {
+	corpus := testCorpus(t)
+	rr := testResults(t, corpus)
+	rep := FailureModels(corpus, rr)
+	if rep.PessimisticSound != 0 {
+		t.Fatalf("pessimistic bound violated in %d cells", rep.PessimisticSound)
+	}
+	pess := rep.Estimates["pessimistic"]
+	surv := rep.Estimates["single-survivor"]
+	ind := rep.Estimates["independent(p=0.1)"]
+	// Pessimistic is the floor; the alternatives estimate higher IC, and
+	// the measured worst case lands between the pessimistic bound and the
+	// optimistic alternatives.
+	if pess.Mean > rep.MeasuredWorst.Mean {
+		t.Errorf("pessimistic mean %v above measured worst %v", pess.Mean, rep.MeasuredWorst.Mean)
+	}
+	if surv.Mean <= pess.Mean {
+		t.Errorf("single-survivor mean %v not above pessimistic %v", surv.Mean, pess.Mean)
+	}
+	if ind.Mean <= surv.Mean {
+		t.Errorf("independent(0.1) mean %v not above single-survivor %v", ind.Mean, surv.Mean)
+	}
+	// Recoverable crashes land far above the worst case, in the territory
+	// the optimistic models predict.
+	if rep.MeasuredCrash.Mean <= rep.MeasuredWorst.Mean {
+		t.Errorf("crash mean %v not above worst-case mean %v", rep.MeasuredCrash.Mean, rep.MeasuredWorst.Mean)
+	}
+	if !strings.Contains(rep.String(), "alternative failure models") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestHighWindowsSkipMargin(t *testing.T) {
+	corpus := testCorpus(t)
+	app := corpus[0]
+	windows := app.HighWindows(5)
+	if len(windows) == 0 {
+		t.Fatal("no High windows found")
+	}
+	for _, w := range windows {
+		if w[1] <= w[0] {
+			t.Fatalf("empty window %v", w)
+		}
+		if app.Trace.ConfigAt(w[0]+0.1) != app.Gen.HighCfg {
+			t.Fatalf("window %v does not start inside a High segment", w)
+		}
+	}
+	// An enormous margin swallows every window.
+	if got := app.HighWindows(1e9); len(got) != 0 {
+		t.Fatalf("HighWindows(1e9) = %v, want none", got)
+	}
+}
+
+func TestRunVariantUnknownVariant(t *testing.T) {
+	corpus := testCorpus(t)
+	app := corpus[0]
+	delete(app.Strategies, GRD)
+	if _, err := RunVariant(app, GRD, BestCase, 0, engine.Config{}); err == nil {
+		t.Fatal("accepted missing variant")
+	}
+	app.Strategies[GRD] = app.Strategies[SR] // restore for other tests
+}
+
+func TestScenarioAndVariantStrings(t *testing.T) {
+	if BestCase.String() != "best-case" || WorstCase.String() != "worst-case" || HostCrash.String() != "host-crash" {
+		t.Error("scenario labels changed")
+	}
+	want := []string{"NR", "SR", "GRD", "L.5", "L.6", "L.7"}
+	for i, v := range Variants {
+		if v.String() != want[i] {
+			t.Errorf("variant %d label %q, want %q", i, v.String(), want[i])
+		}
+	}
+	if L5.ICTarget() != 0.5 || L6.ICTarget() != 0.6 || L7.ICTarget() != 0.7 || SR.ICTarget() != 0 {
+		t.Error("IC targets changed")
+	}
+}

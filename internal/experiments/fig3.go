@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+	"laar/internal/trace"
+)
+
+// Pipeline builds the paper's running example (Figures 1–3): a two-PE
+// pipeline with unit selectivities and 100 ms per-tuple cost on 1 GHz
+// hosts, a single source with Low = 4 t/s (probability 0.8) and High =
+// 8 t/s (probability 0.2), deployed twofold-replicated on two hosts
+// (replica r of each PE on host r).
+func Pipeline() (*core.Descriptor, *core.Rates, *core.Assignment, error) {
+	b := core.NewBuilder("fig1-pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return d, core.NewRates(d), asg, nil
+}
+
+// PipelineLAARStrategy is the Figure 2b activation strategy: full
+// replication at Low; at High, PE1 keeps only replica 0 and PE2 only
+// replica 1 (one replica deactivated per host).
+func PipelineLAARStrategy() *core.Strategy {
+	s := core.AllActive(2, 2, 2)
+	s.Set(1, 0, 1, false)
+	s.Set(1, 1, 0, false)
+	return s
+}
+
+// Fig3Report holds the two time-series runs of Figure 3: static active
+// replication (a) and LAAR dynamic deactivation (b) on the same input
+// trace that switches to High around 50 seconds in.
+type Fig3Report struct {
+	Static *engine.Metrics
+	LAAR   *engine.Metrics
+}
+
+// Fig3 reproduces the experiment: a 120-second trace with Low for the
+// first 50 seconds, then High for 40 seconds, then Low again.
+func Fig3() (*Fig3Report, error) {
+	d, _, asg, err := Pipeline()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.New([]trace.Segment{
+		{Start: 0, End: 50, Config: 0},
+		{Start: 50, End: 90, Config: 1},
+		{Start: 90, End: 120, Config: 0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func(strat *core.Strategy) (*engine.Metrics, error) {
+		sim, err := engine.New(d, asg, strat, tr, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
+	}
+	static, err := run(core.AllActive(2, 2, 2))
+	if err != nil {
+		return nil, err
+	}
+	laar, err := run(PipelineLAARStrategy())
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Report{Static: static, LAAR: laar}, nil
+}
+
+// String renders both time series as aligned columns: per second, the CPU
+// utilisation of the four replicas and the input/output rates.
+func (r *Fig3Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — pipeline under a load peak (50s–90s High)\n")
+	render := func(title string, m *engine.Metrics) {
+		fmt.Fprintf(&sb, "%s\n", title)
+		sb.WriteString("  t(s)  cpu(PE1r0) cpu(PE1r1) cpu(PE2r0) cpu(PE2r1)   in(t/s) out(t/s)\n")
+		for i, s := range m.Series {
+			if i%5 != 4 { // print every 5th second to keep the table compact
+				continue
+			}
+			fmt.Fprintf(&sb, "  %4.0f  %9.2f %10.2f %10.2f %10.2f   %7.2f %8.2f\n",
+				s.Time, s.ReplicaUtil[0][0], s.ReplicaUtil[0][1],
+				s.ReplicaUtil[1][0], s.ReplicaUtil[1][1], s.InputRate, s.OutputRate)
+		}
+		fmt.Fprintf(&sb, "  totals: dropped=%.0f cpu=%.1fs\n", m.DroppedTotal, m.CPUSecondsTotal)
+	}
+	render("(a) static active replication:", r.Static)
+	render("(b) LAAR dynamic deactivation:", r.LAAR)
+	return sb.String()
+}

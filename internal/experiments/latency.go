@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/ftsearch"
+)
+
+// LatencyPoint is one row of the latency-SLA sweep.
+type LatencyPoint struct {
+	// Bound is the MaxLatency SLA value in seconds (Inf = unconstrained).
+	Bound float64
+	// Outcome is the solver verdict under the bound.
+	Outcome ftsearch.Outcome
+	// Cost is the optimal cost (0 when no strategy exists).
+	Cost float64
+	// Latency is the estimated worst end-to-end latency of the returned
+	// strategy.
+	Latency float64
+}
+
+// LatencyReport sweeps the maximum-latency SLA clause (Section 3) on one
+// generated application: as the bound tightens, the solver must spread load
+// (higher cost) until no strategy fits, tracing the latency/cost frontier.
+type LatencyReport struct {
+	ICMin  float64
+	Points []LatencyPoint
+}
+
+// LatencySweep solves the instance for each latency bound.
+func LatencySweep(gen *appgen.Generated, icMin float64, bounds []float64, deadline time.Duration) (*LatencyReport, error) {
+	rep := &LatencyReport{ICMin: icMin}
+	for _, b := range bounds {
+		opts := ftsearch.Options{ICMin: icMin, Deadline: deadline}
+		if !math.IsInf(b, 1) {
+			opts.MaxLatency = b
+		}
+		res, err := ftsearch.Solve(gen.Rates, gen.Assignment, opts)
+		if err != nil {
+			return nil, err
+		}
+		pt := LatencyPoint{Bound: b, Outcome: res.Outcome}
+		if res.Strategy != nil {
+			pt.Cost = res.Cost
+			pt.Latency = core.MaxLatency(gen.Rates, res.Strategy, gen.Assignment)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// String renders the frontier.
+func (r *LatencyReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension — latency-SLA frontier (IC ≥ %.2f)\n", r.ICMin)
+	sb.WriteString("  bound(s)   outcome   cost(cycles)   est. latency(s)\n")
+	for _, p := range r.Points {
+		bound := "∞"
+		if !math.IsInf(p.Bound, 1) {
+			bound = fmt.Sprintf("%.3f", p.Bound)
+		}
+		if p.Outcome == ftsearch.Optimal || p.Outcome == ftsearch.Feasible {
+			fmt.Fprintf(&sb, "  %8s   %-7v   %12.4g   %15.3f\n", bound, p.Outcome, p.Cost, p.Latency)
+		} else {
+			fmt.Fprintf(&sb, "  %8s   %-7v   %12s   %15s\n", bound, p.Outcome, "—", "—")
+		}
+	}
+	return sb.String()
+}

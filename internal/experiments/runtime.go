@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+)
+
+// Scenario enumerates the failure scenarios of Section 5.3.
+type Scenario int
+
+const (
+	// BestCase injects no failures.
+	BestCase Scenario = iota
+	// WorstCase permanently crashes all replicas but an adversarially
+	// chosen survivor of every PE (the pessimistic failure model).
+	WorstCase
+	// HostCrash crashes one host during a High phase and recovers it
+	// after 16 seconds (the Streams detection-and-migration time).
+	HostCrash
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case BestCase:
+		return "best-case"
+	case WorstCase:
+		return "worst-case"
+	case HostCrash:
+		return "host-crash"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// hostCrashDowntime is the 16-second failure duration the paper derives
+// from Streams' detection and migration latency.
+const hostCrashDowntime = 16
+
+// RunVariant executes one (application, variant, scenario) cell and returns
+// the engine metrics. appIdx seeds deterministic per-app choices such as
+// which host crashes.
+func RunVariant(app *AppRun, v Variant, sc Scenario, appIdx int, cfg engine.Config) (*engine.Metrics, error) {
+	strat, ok := app.Strategies[v]
+	if !ok {
+		return nil, fmt.Errorf("experiments: application lacks variant %v", v)
+	}
+	sim, err := engine.New(app.Gen.Desc, app.Gen.Assignment, strat, app.Trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch sc {
+	case WorstCase:
+		if err := sim.InjectAll(engine.WorstCasePlan(app.Gen.Rates, strat)); err != nil {
+			return nil, err
+		}
+	case HostCrash:
+		host := appIdx % app.Gen.Assignment.NumHosts
+		at := crashTime(app)
+		if err := sim.InjectAll(engine.HostCrashPlan(host, at, hostCrashDowntime)); err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run()
+}
+
+// crashTime places the host failure 2 seconds into a High segment (the
+// paper forces crashes during High configurations, where LAAR's guarantees
+// are weakest), preferring the second High phase so the system is warm.
+func crashTime(app *AppRun) float64 {
+	var highs [][2]float64
+	for _, seg := range app.Trace.Segments() {
+		if seg.Config == app.Gen.HighCfg {
+			highs = append(highs, [2]float64{seg.Start, seg.End})
+		}
+	}
+	if len(highs) == 0 {
+		return app.Trace.Duration() / 2
+	}
+	pick := highs[0]
+	if len(highs) > 1 {
+		pick = highs[1]
+	}
+	return pick[0] + 2
+}
+
+// RuntimeResults holds the metrics of every (app, variant) cell per
+// scenario.
+type RuntimeResults struct {
+	Best  []map[Variant]*engine.Metrics
+	Worst []map[Variant]*engine.Metrics
+	Crash []map[Variant]*engine.Metrics
+}
+
+// RunAll executes the full runtime experiment matrix over the corpus. The
+// crash scenario can be restricted to the first crashApps applications
+// (the paper re-runs a 40-app subset); crashApps ≤ 0 runs it on all.
+func RunAll(corpus []*AppRun, cfg engine.Config, crashApps int) (*RuntimeResults, error) {
+	if crashApps <= 0 || crashApps > len(corpus) {
+		crashApps = len(corpus)
+	}
+	rr := &RuntimeResults{
+		Best:  make([]map[Variant]*engine.Metrics, len(corpus)),
+		Worst: make([]map[Variant]*engine.Metrics, len(corpus)),
+		Crash: make([]map[Variant]*engine.Metrics, crashApps),
+	}
+	for i, app := range corpus {
+		rr.Best[i] = make(map[Variant]*engine.Metrics, len(Variants))
+		rr.Worst[i] = make(map[Variant]*engine.Metrics, len(Variants))
+		for _, v := range Variants {
+			m, err := RunVariant(app, v, BestCase, i, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("app %d %v best-case: %w", i, v, err)
+			}
+			rr.Best[i][v] = m
+			m, err = RunVariant(app, v, WorstCase, i, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("app %d %v worst-case: %w", i, v, err)
+			}
+			rr.Worst[i][v] = m
+		}
+		if i < crashApps {
+			rr.Crash[i] = make(map[Variant]*engine.Metrics, len(Variants))
+			for _, v := range Variants {
+				m, err := RunVariant(app, v, HostCrash, i, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("app %d %v host-crash: %w", i, v, err)
+				}
+				rr.Crash[i][v] = m
+			}
+		}
+	}
+	return rr, nil
+}
+
+// peakRate returns the mean output rate within the app's steady High
+// windows.
+func peakRate(app *AppRun, m *engine.Metrics) float64 {
+	windows := app.HighWindows(5)
+	return m.PeakOutputRate(func(t float64) bool {
+		for _, w := range windows {
+			if t > w[0] && t <= w[1] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// modelIC returns the pessimistic-model IC of a variant's strategy.
+func modelIC(app *AppRun, v Variant) float64 {
+	return core.IC(app.Gen.Rates, app.Strategies[v], core.Pessimistic{})
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"laar/internal/appgen"
+	"laar/internal/ftsearch"
+	"laar/internal/stats"
+)
+
+// SolverCorpusParams sizes the FT-Search evaluation corpus (Figures 4–6).
+// The paper tests 600 applications on 1–12 hosts with 2–12 PEs per host
+// under a 10-minute deadline; the defaults here scale that down to a corpus
+// that runs in seconds and can be grown via cmd/laarexp flags.
+type SolverCorpusParams struct {
+	// NumApps is the number of solver instances. Default 30.
+	NumApps int
+	// MinHosts/MaxHosts bound the host-count draw. Defaults 2 and 5
+	// (twofold replication needs at least 2 hosts).
+	MinHosts, MaxHosts int
+	// MinPEsPerHost/MaxPEsPerHost bound the PE density. Defaults 2 and 5.
+	MinPEsPerHost, MaxPEsPerHost int
+	// Deadline bounds each solver run. Default 500 ms.
+	Deadline time.Duration
+	// Workers parallelises each run. Default 1.
+	Workers int
+	// ICValues lists the IC constraints to sweep. Default 0.5–0.9.
+	ICValues []float64
+	// Seed drives instance generation.
+	Seed int64
+}
+
+func (p SolverCorpusParams) withDefaults() SolverCorpusParams {
+	if p.NumApps == 0 {
+		p.NumApps = 30
+	}
+	if p.MinHosts == 0 {
+		p.MinHosts = 2
+	}
+	if p.MaxHosts == 0 {
+		p.MaxHosts = 5
+	}
+	if p.MinPEsPerHost == 0 {
+		p.MinPEsPerHost = 2
+	}
+	if p.MaxPEsPerHost == 0 {
+		p.MaxPEsPerHost = 5
+	}
+	if p.Deadline == 0 {
+		p.Deadline = 500 * time.Millisecond
+	}
+	if p.Workers == 0 {
+		p.Workers = 1
+	}
+	if len(p.ICValues) == 0 {
+		p.ICValues = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	return p
+}
+
+// SolverRun is one (instance, IC constraint) solver execution.
+type SolverRun struct {
+	AppSeed  int64
+	NumPEs   int
+	NumHosts int
+	ICMin    float64
+	Result   *ftsearch.Result
+}
+
+// RunSolverCorpus generates solver instances and executes FT-Search for
+// every IC constraint in the sweep, collecting outcome, first-solution and
+// pruning statistics.
+func RunSolverCorpus(p SolverCorpusParams) ([]SolverRun, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var runs []SolverRun
+	for i := 0; i < p.NumApps; i++ {
+		hosts := p.MinHosts + rng.Intn(p.MaxHosts-p.MinHosts+1)
+		perHost := p.MinPEsPerHost + rng.Intn(p.MaxPEsPerHost-p.MinPEsPerHost+1)
+		seed := rng.Int63()
+		gen, err := appgen.Generate(appgen.Params{
+			NumPEs:   hosts * perHost,
+			NumHosts: hosts,
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: solver instance %d: %w", i, err)
+		}
+		for _, ic := range p.ICValues {
+			res, err := ftsearch.Solve(gen.Rates, gen.Assignment, ftsearch.Options{
+				ICMin:    ic,
+				Deadline: p.Deadline,
+				Workers:  p.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, SolverRun{
+				AppSeed:  seed,
+				NumPEs:   hosts * perHost,
+				NumHosts: hosts,
+				ICMin:    ic,
+				Result:   res,
+			})
+		}
+	}
+	return runs, nil
+}
+
+// Fig4Report counts solver outcomes per IC constraint (Figure 4).
+type Fig4Report struct {
+	ICValues []float64
+	// Counts[ic][outcome] with outcomes indexed BST, SOL, NUL, TMO.
+	Counts map[float64]map[ftsearch.Outcome]int
+}
+
+// Fig4 tabulates the outcome mix.
+func Fig4(runs []SolverRun) *Fig4Report {
+	rep := &Fig4Report{Counts: make(map[float64]map[ftsearch.Outcome]int)}
+	seen := make(map[float64]bool)
+	for _, r := range runs {
+		if !seen[r.ICMin] {
+			seen[r.ICMin] = true
+			rep.ICValues = append(rep.ICValues, r.ICMin)
+			rep.Counts[r.ICMin] = make(map[ftsearch.Outcome]int)
+		}
+		rep.Counts[r.ICMin][r.Result.Outcome]++
+	}
+	return rep
+}
+
+// String renders the outcome table.
+func (r *Fig4Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — FT-Search solution types per IC constraint\n")
+	sb.WriteString("   IC    BST   SOL   NUL   TMO\n")
+	for _, ic := range r.ICValues {
+		c := r.Counts[ic]
+		fmt.Fprintf(&sb, "  %.2f  %4d  %4d  %4d  %4d\n",
+			ic, c[ftsearch.Optimal], c[ftsearch.Feasible], c[ftsearch.Infeasible], c[ftsearch.Timeout])
+	}
+	return sb.String()
+}
+
+// Fig5Report summarises first-solution quality (Figure 5): for instances
+// solved to proven optimality, the ratio of the first feasible solution's
+// cost to the optimal cost (paper mean 1.057) and the ratio of the time to
+// the first solution to the time to the optimum (paper mean 0.37).
+type Fig5Report struct {
+	CostRatios *stats.Histogram
+	TimeRatios *stats.Histogram
+	CostMean   float64
+	TimeMean   float64
+	N          int
+}
+
+// Fig5 computes the ratio distributions over all BST runs.
+func Fig5(runs []SolverRun) *Fig5Report {
+	rep := &Fig5Report{
+		CostRatios: stats.NewHistogram(1.0, 2.0, 20),
+		TimeRatios: stats.NewHistogram(0, 1, 20),
+	}
+	var costs, times []float64
+	for _, r := range runs {
+		res := r.Result
+		if res.Outcome != ftsearch.Optimal || res.Cost == 0 || res.BestTime == 0 {
+			continue
+		}
+		costs = append(costs, res.FirstCost/res.Cost)
+		times = append(times, float64(res.FirstTime)/float64(res.BestTime))
+	}
+	rep.CostRatios.AddAll(costs)
+	rep.TimeRatios.AddAll(times)
+	rep.CostMean = stats.Mean(costs)
+	rep.TimeMean = stats.Mean(times)
+	rep.N = len(costs)
+	return rep
+}
+
+// String renders both histograms.
+func (r *Fig5Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — first solution vs optimum over %d BST instances\n", r.N)
+	fmt.Fprintf(&sb, "(a) cost ratio first/optimum, mean %.3f (paper: 1.057)\n%s", r.CostMean, r.CostRatios)
+	fmt.Fprintf(&sb, "(b) time ratio first/optimum, mean %.3f (paper: 0.37)\n%s", r.TimeMean, r.TimeRatios)
+	return sb.String()
+}
+
+// Fig6Report summarises pruning effectiveness (Figure 6): the share of
+// prunings attributed to each strategy and the average height of the
+// branches each strategy cut.
+type Fig6Report struct {
+	Share     map[ftsearch.Pruning]float64
+	AvgHeight map[ftsearch.Pruning]float64
+	Total     int64
+}
+
+// Fig6 aggregates pruning statistics over all runs.
+func Fig6(runs []SolverRun) *Fig6Report {
+	rep := &Fig6Report{
+		Share:     make(map[ftsearch.Pruning]float64),
+		AvgHeight: make(map[ftsearch.Pruning]float64),
+	}
+	var prunes [4]int64
+	var heights [4]int64
+	for _, r := range runs {
+		for p := 0; p < 4; p++ {
+			prunes[p] += r.Result.Stats.Prunes[p]
+			heights[p] += r.Result.Stats.PruneHeights[p]
+		}
+	}
+	for p := 0; p < 4; p++ {
+		rep.Total += prunes[p]
+	}
+	for p := 0; p < 4; p++ {
+		if rep.Total > 0 {
+			rep.Share[ftsearch.Pruning(p)] = float64(prunes[p]) / float64(rep.Total)
+		}
+		if prunes[p] > 0 {
+			rep.AvgHeight[ftsearch.Pruning(p)] = float64(heights[p]) / float64(prunes[p])
+		}
+	}
+	return rep
+}
+
+// String renders the pruning table.
+func (r *Fig6Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — pruning effectiveness\n")
+	sb.WriteString("strategy   share of prunings   avg pruned-branch height\n")
+	for p := 0; p < 4; p++ {
+		pr := ftsearch.Pruning(p)
+		fmt.Fprintf(&sb, "  %-6s   %16.3f   %24.2f\n", pr, r.Share[pr], r.AvgHeight[pr])
+	}
+	return sb.String()
+}

@@ -1,0 +1,34 @@
+package ftsearch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func solveBench(b *testing.B, numPEs, numHosts int, opts Options) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	r, asg := randomInstance(b, rng, numPEs, numHosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(r, asg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B) {
+	solveBench(b, 4, 2, Options{ICMin: 0.5})
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	solveBench(b, 8, 3, Options{ICMin: 0.5})
+}
+
+func BenchmarkSolveMediumParallel(b *testing.B) {
+	solveBench(b, 8, 3, Options{ICMin: 0.5, Workers: 4})
+}
+
+func BenchmarkSolvePenalty(b *testing.B) {
+	solveBench(b, 6, 3, Options{ICMin: 0.7, PenaltyLambda: 1e12})
+}

@@ -1,0 +1,240 @@
+// Package ftsearch implements FT-Search (Section 4.5): a depth-first
+// constraint-programming search with backtracking that computes a minimum-
+// cost replica activation strategy subject to the internal-completeness SLA
+// constraint (Eq. 10), the per-host CPU capacity constraint (Eq. 11) and the
+// liveness constraint (Eq. 12), under the pessimistic failure model
+// (Eq. 14).
+//
+// The search considers twofold replication (k = 2), so each (PE, input
+// configuration) pair has three possible activation states — replica 0 only,
+// replica 1 only, or both — and the space has size 3^(|P|·|C|). Branches are
+// pruned with the paper's four strategies: CPU-constraint pruning, IC
+// upper-bound pruning, cost lower-bound pruning, and forward domain
+// propagation of the no-replication-forwarding condition. Exploration
+// assigns configurations from the most to the least resource-hungry and PEs
+// in topological order, which both keeps partial IC terms exact and makes
+// the CPU and IC constraints fail early.
+package ftsearch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"laar/internal/core"
+)
+
+// Replication is the replication factor FT-Search supports. The three-state
+// encoding of activation values is specific to k = 2.
+const Replication = 2
+
+// value encodes the activation state of one (PE, configuration) pair.
+type value int8
+
+const (
+	valueR0   value = iota // only replica 0 active
+	valueR1                // only replica 1 active
+	valueBoth              // both replicas active
+	numValues
+	valueUnassigned value = -1
+)
+
+// domain bits; bit v set means value v is still available.
+const (
+	domR0   uint8 = 1 << 0
+	domR1   uint8 = 1 << 1
+	domBoth uint8 = 1 << 2
+	domAll  uint8 = domR0 | domR1 | domBoth
+)
+
+// Pruning identifies one of the four pruning strategies for statistics and
+// ablation.
+type Pruning int
+
+const (
+	// PruneCPU is pruning on the per-host CPU constraint.
+	PruneCPU Pruning = iota
+	// PruneIC is pruning on the internal-completeness upper bound (COMPL).
+	PruneIC
+	// PruneCost is pruning on the cost lower bound against the incumbent.
+	PruneCost
+	// PruneDOM is forward domain propagation (no replication forwarding).
+	PruneDOM
+	numPrunings
+)
+
+// String returns the paper's label for the strategy.
+func (p Pruning) String() string {
+	switch p {
+	case PruneCPU:
+		return "CPU"
+	case PruneIC:
+		return "COMPL"
+	case PruneCost:
+		return "COST"
+	case PruneDOM:
+		return "DOM"
+	default:
+		return fmt.Sprintf("pruning(%d)", int(p))
+	}
+}
+
+// Outcome classifies how a search run terminated (Figure 4).
+type Outcome int
+
+const (
+	// Optimal (BST): the search space was exhausted and the returned
+	// strategy is a proven optimum.
+	Optimal Outcome = iota
+	// Feasible (SOL): the deadline expired after at least one feasible
+	// strategy was found; the returned strategy is the best known.
+	Feasible
+	// Infeasible (NUL): the search space was exhausted without finding any
+	// feasible strategy — the instance provably has no solution.
+	Infeasible
+	// Timeout (TMO): the deadline expired before any feasible strategy was
+	// found; nothing is known about the instance.
+	Timeout
+)
+
+// String returns the paper's label for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Optimal:
+		return "BST"
+	case Feasible:
+		return "SOL"
+	case Infeasible:
+		return "NUL"
+	case Timeout:
+		return "TMO"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Options configures a search run.
+type Options struct {
+	// ICMin is the SLA internal-completeness constraint in [0, 1].
+	ICMin float64
+	// Deadline bounds the search wall-clock time; zero means unlimited.
+	Deadline time.Duration
+	// Workers is the number of parallel search goroutines; values < 2 run
+	// the deterministic sequential search.
+	Workers int
+	// Disable turns off individual pruning strategies (for the ablation
+	// experiments). Disabling PruneCPU only disables *pruning before
+	// descending*; constraint violations still invalidate leaves, so
+	// results stay correct.
+	Disable [numPrunings]bool
+	// NaturalConfigOrder explores input configurations in descriptor order
+	// instead of the most-resource-hungry-first heuristic (ablation).
+	NaturalConfigOrder bool
+	// SinglesFirst explores single-replica activation values before full
+	// replication (ablation). The default replication-first order reaches
+	// IC-feasible leaves quickly (good first solutions, see Figure 5);
+	// singles-first reaches cheap leaves quickly but must climb towards
+	// feasibility, trading first-solution time against cost.
+	SinglesFirst bool
+	// MaxLatency, when positive, adds the maximum-latency SLA clause of
+	// Section 3 as a feasibility constraint: the estimated worst-case
+	// end-to-end latency (processor-sharing host model, worst active
+	// replica per stage — see core.MaxLatency) must not exceed this bound
+	// in any input configuration. The constraint is enforced on complete
+	// assignments; the CPU pruning already removes the overloaded (and
+	// hence infinite-latency) subtrees early.
+	MaxLatency float64
+	// PenaltyLambda, when positive, switches the solver to the penalty
+	// model of the paper's future work (Section 6): instead of enforcing
+	// IC ≥ ICMin as a hard constraint, the objective becomes
+	//
+	//	cost(s) + PenaltyLambda · max(0, ICMin − IC(s))
+	//
+	// with PenaltyLambda expressed in the same units as cost (CPU cycles
+	// over the billing period) per unit of IC shortfall. The CPU capacity
+	// constraint remains hard. IC upper-bound pruning is replaced by an
+	// objective lower bound, so the Disable[PruneIC] flag is ignored.
+	PenaltyLambda float64
+}
+
+// Stats aggregates search instrumentation: node counts and, per pruning
+// strategy, how many times it fired and the cumulative height (number of
+// unassigned variables below the pruned node, a proxy for the size of the
+// cut subtree) — the data behind Figure 6.
+type Stats struct {
+	Nodes        int64
+	Prunes       [numPrunings]int64
+	PruneHeights [numPrunings]int64
+	DomRemovals  int64
+}
+
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.Nodes += other.Nodes
+	s.DomRemovals += other.DomRemovals
+	for i := range s.Prunes {
+		s.Prunes[i] += other.Prunes[i]
+		s.PruneHeights[i] += other.PruneHeights[i]
+	}
+}
+
+// AvgPruneHeight returns the mean height of branches cut by the strategy,
+// or 0 when it never fired.
+func (s *Stats) AvgPruneHeight(p Pruning) float64 {
+	if s.Prunes[p] == 0 {
+		return 0
+	}
+	return float64(s.PruneHeights[p]) / float64(s.Prunes[p])
+}
+
+// Result reports the outcome of a search run.
+type Result struct {
+	Outcome  Outcome
+	Strategy *core.Strategy // nil unless Outcome is Optimal or Feasible
+	// Cost is the strategy's execution cost (Eq. 13), in CPU cycles over
+	// the billing period.
+	Cost float64
+	// IC is the strategy's internal completeness under the pessimistic
+	// model.
+	IC float64
+	// Objective is the optimised objective value: equal to Cost for the
+	// hard-constraint solver, cost plus the IC-shortfall penalty when
+	// Options.PenaltyLambda is set.
+	Objective float64
+	// FirstCost and FirstTime record the first feasible solution found
+	// (Figure 5); FirstTime is measured from search start.
+	FirstCost float64
+	FirstTime time.Duration
+	// BestTime is when the returned strategy was found.
+	BestTime time.Duration
+	// Elapsed is the total search time.
+	Elapsed time.Duration
+	Stats   Stats
+}
+
+// Solve runs FT-Search on the instance defined by the rates and the
+// replicated assignment. The assignment must use k = 2.
+func Solve(r *core.Rates, asg *core.Assignment, opts Options) (*Result, error) {
+	if asg.K != Replication {
+		return nil, fmt.Errorf("ftsearch: replication factor %d not supported, want %d", asg.K, Replication)
+	}
+	if asg.NumPEs() != r.Descriptor().App.NumPEs() {
+		return nil, fmt.Errorf("ftsearch: assignment covers %d PEs, descriptor has %d",
+			asg.NumPEs(), r.Descriptor().App.NumPEs())
+	}
+	if opts.ICMin < 0 || opts.ICMin > 1 {
+		return nil, fmt.Errorf("ftsearch: IC constraint %v outside [0, 1]", opts.ICMin)
+	}
+	if err := asg.Validate(false); err != nil {
+		return nil, err
+	}
+	inst := newInstance(r, asg, opts)
+	if opts.Workers > 1 {
+		return inst.solveParallel(opts.Workers)
+	}
+	return inst.solveSequential()
+}
+
+// ErrNoSolution is a sentinel callers can use to detect proven-infeasible
+// instances when they treat them as errors.
+var ErrNoSolution = errors.New("ftsearch: no feasible strategy exists")

@@ -1,0 +1,489 @@
+package ftsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// pipelineInstance builds the Fig. 1/2 pipeline: two PEs, two single-core
+// hosts, Low = 4 t/s (p = 0.8), High = 8 t/s (p = 0.2), 100 ms per tuple.
+func pipelineInstance(t *testing.T) (*core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return core.NewRates(d), asg
+}
+
+func TestSolvePipelineOptimal(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	// Optimum: full replication at Low (required for IC ≥ 0.6), single
+	// replicas at High (capacity forces it):
+	// cost = 300·(0.8·4e8·4 + 0.2·8e8·2) = 4.8e11; IC = 2/3.
+	if math.Abs(res.Cost-4.8e11) > 1e-3 {
+		t.Errorf("Cost = %v, want 4.8e11", res.Cost)
+	}
+	if math.Abs(res.IC-2.0/3.0) > 1e-9 {
+		t.Errorf("IC = %v, want 2/3", res.IC)
+	}
+	if err := res.Strategy.Validate(); err != nil {
+		t.Errorf("returned strategy invalid: %v", err)
+	}
+	// Cross-check the solver's accounting against the core math.
+	if got := core.Cost(r, res.Strategy); math.Abs(got-res.Cost) > 1e-3 {
+		t.Errorf("core.Cost = %v, solver Cost = %v", got, res.Cost)
+	}
+	if got := core.IC(r, res.Strategy, core.Pessimistic{}); math.Abs(got-res.IC) > 1e-9 {
+		t.Errorf("core.IC = %v, solver IC = %v", got, res.IC)
+	}
+	if _, _, over := core.Overloaded(r, res.Strategy, asg); over {
+		t.Error("optimal strategy overloads a host")
+	}
+}
+
+func TestSolvePipelineInfeasible(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Infeasible {
+		t.Fatalf("Outcome = %v, want NUL (max achievable IC is 2/3)", res.Outcome)
+	}
+	if res.Strategy != nil {
+		t.Error("infeasible result carries a strategy")
+	}
+}
+
+func TestSolveZeroICGivesMinimalCost(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v", res.Outcome)
+	}
+	// All-single everywhere: cost = 300·(0.8·8e8 + 0.2·1.6e9) = 2.88e11.
+	if math.Abs(res.Cost-2.88e11) > 1e-3 {
+		t.Errorf("Cost = %v, want 2.88e11", res.Cost)
+	}
+}
+
+func TestSolveRejectsBadInputs(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	if _, err := Solve(r, asg, Options{ICMin: 1.5}); err == nil {
+		t.Error("accepted ICMin > 1")
+	}
+	bad := core.NewAssignment(2, 3, 2)
+	if _, err := Solve(r, bad, Options{}); err == nil {
+		t.Error("accepted k = 3 assignment")
+	}
+	short := core.NewAssignment(1, 2, 2)
+	if _, err := Solve(r, short, Options{}); err == nil {
+		t.Error("accepted assignment with wrong PE count")
+	}
+}
+
+// randomInstance builds a small random layered application for brute-force
+// cross-validation.
+func randomInstance(t testing.TB, rng *rand.Rand, numPEs, numHosts int) (*core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("rand")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	pes := make([]core.ComponentID, numPEs)
+	for i := range pes {
+		pes[i] = b.AddPE("")
+	}
+	// Ensure connectivity: PE i gets an edge from a random earlier PE or
+	// the source; every PE also feeds either a later PE or the sink.
+	used := make(map[[2]core.ComponentID]bool)
+	for i, pe := range pes {
+		var from core.ComponentID
+		if i == 0 || rng.Float64() < 0.4 {
+			from = src
+		} else {
+			from = pes[rng.Intn(i)]
+		}
+		used[[2]core.ComponentID{from, pe}] = true
+		b.Connect(from, pe, 0.5+rng.Float64(), (1+rng.Float64()*4)*1e7)
+	}
+	for i, pe := range pes {
+		if i == numPEs-1 || rng.Float64() < 0.5 {
+			b.Connect(pe, sink, 0, 0)
+			continue
+		}
+		to := pes[i+1+rng.Intn(numPEs-i-1)]
+		if used[[2]core.ComponentID{pe, to}] {
+			b.Connect(pe, sink, 0, 0)
+			continue
+		}
+		used[[2]core.ComponentID{pe, to}] = true
+		b.Connect(pe, to, 0.5+rng.Float64(), (1+rng.Float64()*4)*1e7)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{2 + rng.Float64()*4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8 + rng.Float64()*8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(numPEs, 2, numHosts)
+	for p := 0; p < numPEs; p++ {
+		h := rng.Intn(numHosts)
+		asg.Host[p][0] = h
+		asg.Host[p][1] = (h + 1 + rng.Intn(numHosts-1)) % numHosts
+	}
+	return r, asg
+}
+
+// bruteForce enumerates all 3^(|P|·|C|) strategies and returns the minimum
+// feasible cost, or ok=false when none is feasible. It goes through the
+// core package only, providing an independent oracle for the solver.
+func bruteForce(r *core.Rates, asg *core.Assignment, icMin float64) (bestCost float64, ok bool) {
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	numCfgs := d.NumConfigs()
+	n := numPEs * numCfgs
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 3
+	}
+	bestCost = math.Inf(1)
+	for code := 0; code < total; code++ {
+		s := core.NewStrategy(numCfgs, numPEs, 2)
+		x := code
+		for c := 0; c < numCfgs; c++ {
+			for p := 0; p < numPEs; p++ {
+				switch x % 3 {
+				case 0:
+					s.Set(c, p, 0, true)
+				case 1:
+					s.Set(c, p, 1, true)
+				case 2:
+					s.Set(c, p, 0, true)
+					s.Set(c, p, 1, true)
+				}
+				x /= 3
+			}
+		}
+		if _, _, over := core.Overloaded(r, s, asg); over {
+			continue
+		}
+		if core.IC(r, s, core.Pessimistic{}) < icMin-1e-9 {
+			continue
+		}
+		if c := core.Cost(r, s); c < bestCost {
+			bestCost, ok = c, true
+		}
+	}
+	return bestCost, ok
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 12; trial++ {
+		numPEs := 2 + rng.Intn(3) // 2..4 PEs → at most 3^8 strategies
+		r, asg := randomInstance(t, rng, numPEs, 2+rng.Intn(2))
+		for _, icMin := range []float64{0, 0.5, 0.8} {
+			want, feasible := bruteForce(r, asg, icMin)
+			res, err := Solve(r, asg, Options{ICMin: icMin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if feasible {
+				if res.Outcome != Optimal {
+					t.Fatalf("trial %d ic=%v: Outcome = %v, want BST", trial, icMin, res.Outcome)
+				}
+				if math.Abs(res.Cost-want) > 1e-6*want {
+					t.Fatalf("trial %d ic=%v: Cost = %v, brute force = %v", trial, icMin, res.Cost, want)
+				}
+			} else if res.Outcome != Infeasible {
+				t.Fatalf("trial %d ic=%v: Outcome = %v, want NUL", trial, icMin, res.Outcome)
+			}
+		}
+	}
+}
+
+func TestSolveAblationsPreserveOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	r, asg := randomInstance(t, rng, 4, 3)
+	base, err := Solve(r, asg, Options{ICMin: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := PruneCPU; p < numPrunings; p++ {
+		opts := Options{ICMin: 0.5}
+		opts.Disable[p] = true
+		res, err := Solve(r, asg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != base.Outcome {
+			t.Errorf("disabling %v changed outcome: %v vs %v", p, res.Outcome, base.Outcome)
+		}
+		if base.Outcome == Optimal && math.Abs(res.Cost-base.Cost) > 1e-6*base.Cost {
+			t.Errorf("disabling %v changed optimum: %v vs %v", p, res.Cost, base.Cost)
+		}
+		if res.Stats.Nodes < base.Stats.Nodes {
+			t.Errorf("disabling %v explored fewer nodes (%d < %d)", p, res.Stats.Nodes, base.Stats.Nodes)
+		}
+	}
+	// Natural config order must not change the optimum either.
+	res, err := Solve(r, asg, Options{ICMin: 0.5, NaturalConfigOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Outcome == Optimal && math.Abs(res.Cost-base.Cost) > 1e-6*base.Cost {
+		t.Errorf("natural config order changed optimum: %v vs %v", res.Cost, base.Cost)
+	}
+}
+
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		r, asg := randomInstance(t, rng, 5, 3)
+		seq, err := Solve(r, asg, Options{ICMin: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve(r, asg, Options{ICMin: 0.5, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Outcome != par.Outcome {
+			t.Fatalf("trial %d: outcomes differ: %v vs %v", trial, seq.Outcome, par.Outcome)
+		}
+		if seq.Outcome == Optimal && math.Abs(seq.Cost-par.Cost) > 1e-6*seq.Cost {
+			t.Fatalf("trial %d: costs differ: %v vs %v", trial, seq.Cost, par.Cost)
+		}
+		if par.Strategy != nil {
+			if _, _, over := core.Overloaded(r, par.Strategy, asg); over {
+				t.Fatalf("trial %d: parallel strategy overloaded", trial)
+			}
+		}
+	}
+}
+
+func TestSolveDeadline(t *testing.T) {
+	// A wide fan of 16 near-symmetric PEs with ample capacity: no CPU or
+	// IC pruning can cut the tree down, so the 3^32 space cannot be
+	// exhausted within the deadline, yet feasible leaves abound.
+	rng := rand.New(rand.NewSource(5))
+	b := core.NewBuilder("fan")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	for i := 0; i < 16; i++ {
+		pe := b.AddPE("")
+		b.Connect(src, pe, 1, (1+rng.Float64())*1e6)
+		b.Connect(pe, sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e12,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(16, 2, 4)
+	for p := 0; p < 16; p++ {
+		asg.Host[p][0] = p % 4
+		asg.Host[p][1] = (p + 1) % 4
+	}
+	res, err := Solve(r, asg, Options{ICMin: 0.55, Deadline: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Timeout && res.Outcome != Feasible {
+		t.Fatalf("Outcome = %v, want TMO or SOL under a 10ms deadline", res.Outcome)
+	}
+	if res.Elapsed > time.Second {
+		t.Fatalf("deadline overshot: elapsed %v", res.Elapsed)
+	}
+}
+
+func TestFirstSolutionRecorded(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstCost < res.Cost {
+		t.Fatalf("first solution cost %v below optimum %v", res.FirstCost, res.Cost)
+	}
+	if res.FirstTime > res.Elapsed || res.BestTime > res.Elapsed {
+		t.Fatalf("solution timestamps exceed elapsed time")
+	}
+}
+
+func TestDOMPropagationFires(t *testing.T) {
+	// A three-stage pipeline on tight hosts: once the head PE is bound to
+	// single replication, DOM must strip "both" from downstream domains.
+	b := core.NewBuilder("chain")
+	src := b.AddSource("src")
+	p1 := b.AddPE("p1")
+	p2 := b.AddPE("p2")
+	p3 := b.AddPE("p3")
+	sink := b.AddSink("sink")
+	b.Connect(src, p1, 1, 1e8)
+	b.Connect(p1, p2, 1, 1e8)
+	b.Connect(p2, p3, 1, 1e8)
+	b.Connect(p3, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{5}, Prob: 1}},
+		HostCapacity:  1.2e9, // two single replicas fit on a host; three do not
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(3, 2, 2)
+	for p := 0; p < 3; p++ {
+		asg.Host[p][1] = 1
+	}
+	res, err := Solve(r, asg, Options{ICMin: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DomRemovals == 0 {
+		t.Error("DOM propagation never fired on a pipeline instance")
+	}
+	if res.Outcome != Optimal {
+		t.Errorf("Outcome = %v", res.Outcome)
+	}
+}
+
+func TestStatsAvgPruneHeight(t *testing.T) {
+	var s Stats
+	if got := s.AvgPruneHeight(PruneCPU); got != 0 {
+		t.Fatalf("AvgPruneHeight(empty) = %v", got)
+	}
+	s.Prunes[PruneIC] = 4
+	s.PruneHeights[PruneIC] = 10
+	if got := s.AvgPruneHeight(PruneIC); got != 2.5 {
+		t.Fatalf("AvgPruneHeight = %v, want 2.5", got)
+	}
+}
+
+func TestPruningAndOutcomeStrings(t *testing.T) {
+	if PruneCPU.String() != "CPU" || PruneIC.String() != "COMPL" ||
+		PruneCost.String() != "COST" || PruneDOM.String() != "DOM" {
+		t.Error("pruning labels do not match the paper")
+	}
+	if Optimal.String() != "BST" || Feasible.String() != "SOL" ||
+		Infeasible.String() != "NUL" || Timeout.String() != "TMO" {
+		t.Error("outcome labels do not match the paper")
+	}
+}
+
+func TestSinglesFirstPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 5; trial++ {
+		r, asg := randomInstance(t, rng, 4, 3)
+		base, err := Solve(r, asg, Options{ICMin: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt, err := Solve(r, asg, Options{ICMin: 0.5, SinglesFirst: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Outcome != alt.Outcome {
+			t.Fatalf("trial %d: outcomes differ: %v vs %v", trial, base.Outcome, alt.Outcome)
+		}
+		if base.Outcome == Optimal && math.Abs(base.Cost-alt.Cost) > 1e-6*base.Cost {
+			t.Fatalf("trial %d: optimum changed: %v vs %v", trial, base.Cost, alt.Cost)
+		}
+		// Ordering affects first-solution dynamics, not correctness: a
+		// singles-first first solution can never cost more than the
+		// replication-first one (it starts from the cheap corner).
+		if alt.Strategy != nil && base.Strategy != nil && alt.FirstCost > base.FirstCost*(1+1e-9) {
+			t.Logf("trial %d: singles-first first solution costlier (%v vs %v) — allowed but unusual",
+				trial, alt.FirstCost, base.FirstCost)
+		}
+	}
+}
+
+func TestSinglesFirstParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(217))
+	r, asg := randomInstance(t, rng, 5, 3)
+	seq, err := Solve(r, asg, Options{ICMin: 0.5, SinglesFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(r, asg, Options{ICMin: 0.5, SinglesFirst: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Outcome != par.Outcome {
+		t.Fatalf("outcomes differ: %v vs %v", seq.Outcome, par.Outcome)
+	}
+	if seq.Outcome == Optimal && math.Abs(seq.Cost-par.Cost) > 1e-6*seq.Cost {
+		t.Fatalf("costs differ: %v vs %v", seq.Cost, par.Cost)
+	}
+}

@@ -1,0 +1,189 @@
+package ftsearch
+
+import (
+	"laar/internal/core"
+)
+
+// predRef describes one PE-predecessor of a PE inside the search instance.
+type predRef struct {
+	pe  int // dense PE index of the predecessor
+	sel float64
+}
+
+// instance is the immutable, preprocessed form of a search problem. All
+// searcher workers share one instance.
+type instance struct {
+	r    *core.Rates
+	asg  *core.Assignment
+	opts Options
+
+	numPEs  int
+	numCfgs int
+	numVars int
+
+	// Variable order: configurations by decreasing resource demand (unless
+	// the ablation requests natural order), PEs in topological order.
+	varCfg []int // variable -> configuration index
+	varPE  []int // variable -> dense PE index
+	varIdx [][]int
+
+	// Per-variable cost of one active replica, P_C(c)·unitLoad(pe,c); the
+	// billing period T is factored out and re-applied in Result.Cost.
+	w []float64
+	// Per-variable maximum FIC contribution, P_C(c)·inRate(pe,c).
+	ficMax []float64
+	// Suffix sums over the variable order, indexed so suffix[i] covers
+	// variables i..numVars-1 (suffix[numVars] = 0).
+	suffixFICMax  []float64
+	suffixCostMin []float64
+
+	// bicNorm is BIC with the billing period factored out.
+	bicNorm  float64
+	icTarget float64 // ICMin·bicNorm
+	icEps    float64 // absolute feasibility tolerance
+
+	// Penalty-model parameters (Options.PenaltyLambda > 0): the objective
+	// becomes cost + lamPerFic·max(0, icTarget − fic), with lamPerFic
+	// converting an un-normalised FIC shortfall into cost units.
+	penalty   bool
+	lamPerFic float64
+
+	capacity float64
+	// hostOf[pe] lists the hosts of replicas 0 and 1.
+	hostOf [][2]int
+
+	// Graph structure restricted to PEs, by dense index.
+	predsPE [][]predRef
+	succsPE [][]int
+	// srcIn[cfg][pe]: tuples/s arriving from source predecessors.
+	// srcSel[cfg][pe]: selectivity-weighted rate from source predecessors.
+	srcIn  [][]float64
+	srcSel [][]float64
+
+	// Latency-constraint support (Options.MaxLatency): mean CPU cycles per
+	// tuple for each (cfg, pe), and the dense PE indices in topological
+	// order for the path recursion.
+	cyclesPT [][]float64
+	topoPEs  []int
+}
+
+func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
+	d := r.Descriptor()
+	app := d.App
+	inst := &instance{
+		r:        r,
+		asg:      asg,
+		opts:     opts,
+		numPEs:   app.NumPEs(),
+		numCfgs:  d.NumConfigs(),
+		capacity: d.HostCapacity,
+	}
+	inst.numVars = inst.numPEs * inst.numCfgs
+
+	cfgOrder := r.ConfigsByLoadDesc()
+	if opts.NaturalConfigOrder {
+		for i := range cfgOrder {
+			cfgOrder[i] = i
+		}
+	}
+	topo := app.TopoPEs()
+	inst.varCfg = make([]int, 0, inst.numVars)
+	inst.varPE = make([]int, 0, inst.numVars)
+	inst.varIdx = make([][]int, inst.numCfgs)
+	for c := range inst.varIdx {
+		inst.varIdx[c] = make([]int, inst.numPEs)
+	}
+	for _, c := range cfgOrder {
+		for _, pe := range topo {
+			inst.varIdx[c][pe] = len(inst.varCfg)
+			inst.varCfg = append(inst.varCfg, c)
+			inst.varPE = append(inst.varPE, pe)
+		}
+	}
+
+	inst.w = make([]float64, inst.numVars)
+	inst.ficMax = make([]float64, inst.numVars)
+	for i := 0; i < inst.numVars; i++ {
+		c, pe := inst.varCfg[i], inst.varPE[i]
+		p := d.Configs[c].Prob
+		inst.w[i] = p * r.UnitLoad(pe, c)
+		inst.ficMax[i] = p * r.InRate(pe, c)
+		inst.bicNorm += inst.ficMax[i]
+	}
+	inst.icTarget = opts.ICMin * inst.bicNorm
+	inst.icEps = 1e-9 * (1 + inst.bicNorm)
+	if opts.PenaltyLambda > 0 {
+		inst.penalty = true
+		T := d.BillingPeriod
+		if inst.bicNorm > 0 {
+			inst.lamPerFic = opts.PenaltyLambda / (T * inst.bicNorm)
+		}
+	}
+
+	inst.suffixFICMax = make([]float64, inst.numVars+1)
+	inst.suffixCostMin = make([]float64, inst.numVars+1)
+	for i := inst.numVars - 1; i >= 0; i-- {
+		inst.suffixFICMax[i] = inst.suffixFICMax[i+1] + inst.ficMax[i]
+		inst.suffixCostMin[i] = inst.suffixCostMin[i+1] + inst.w[i]
+	}
+
+	inst.hostOf = make([][2]int, inst.numPEs)
+	for pe := 0; pe < inst.numPEs; pe++ {
+		inst.hostOf[pe] = [2]int{asg.HostOf(pe, 0), asg.HostOf(pe, 1)}
+	}
+
+	inst.predsPE = make([][]predRef, inst.numPEs)
+	inst.succsPE = make([][]int, inst.numPEs)
+	inst.srcIn = make([][]float64, inst.numCfgs)
+	inst.srcSel = make([][]float64, inst.numCfgs)
+	for c := range inst.srcIn {
+		inst.srcIn[c] = make([]float64, inst.numPEs)
+		inst.srcSel[c] = make([]float64, inst.numPEs)
+	}
+	inst.topoPEs = topo
+	if opts.MaxLatency > 0 {
+		inst.cyclesPT = make([][]float64, inst.numCfgs)
+		for c := range inst.cyclesPT {
+			inst.cyclesPT[c] = make([]float64, inst.numPEs)
+			for pe := 0; pe < inst.numPEs; pe++ {
+				if in := r.InRate(pe, c); in > 0 {
+					inst.cyclesPT[c][pe] = r.UnitLoad(pe, c) / in
+				}
+			}
+		}
+	}
+	for _, id := range app.PEs() {
+		pe := app.PEIndex(id)
+		for _, e := range app.In(id) {
+			if pi := app.PEIndex(e.From); pi >= 0 {
+				inst.predsPE[pe] = append(inst.predsPE[pe], predRef{pe: pi, sel: e.Selectivity})
+				inst.succsPE[pi] = append(inst.succsPE[pi], pe)
+			} else {
+				for c := 0; c < inst.numCfgs; c++ {
+					rate := r.Rate(e.From, c)
+					inst.srcIn[c][pe] += rate
+					inst.srcSel[c][pe] += e.Selectivity * rate
+				}
+			}
+		}
+	}
+	return inst
+}
+
+// strategyOf converts a full assignment vector into a core.Strategy.
+func (inst *instance) strategyOf(assign []value) *core.Strategy {
+	s := core.NewStrategy(inst.numCfgs, inst.numPEs, Replication)
+	for i, v := range assign {
+		c, pe := inst.varCfg[i], inst.varPE[i]
+		switch v {
+		case valueR0:
+			s.Set(c, pe, 0, true)
+		case valueR1:
+			s.Set(c, pe, 1, true)
+		case valueBoth:
+			s.Set(c, pe, 0, true)
+			s.Set(c, pe, 1, true)
+		}
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package ftsearch
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+)
+
+func TestLatencyConstraintInfeasibleWithIC(t *testing.T) {
+	// On the pipeline, IC ≥ 0.6 forces full replication at Low, which
+	// loads both hosts to 0.8 GHz and makes the end-to-end latency 1 s
+	// (two 0.5 s stages). A 0.9 s bound is therefore unreachable together
+	// with the IC constraint.
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.6, MaxLatency: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Infeasible {
+		t.Fatalf("Outcome = %v, want NUL", res.Outcome)
+	}
+	// Relaxing the bound past 1 s restores the IC-constrained optimum.
+	res, err = Solve(r, asg, Options{ICMin: 0.6, MaxLatency: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	if math.Abs(res.Cost-4.8e11) > 1e-3 {
+		t.Fatalf("Cost = %v, want the unconstrained IC-0.6 optimum", res.Cost)
+	}
+	if got := core.MaxLatency(r, res.Strategy, asg); got > 1.1 {
+		t.Fatalf("core.MaxLatency = %v exceeds the bound", got)
+	}
+}
+
+func TestLatencyConstraintForcesSpreading(t *testing.T) {
+	// Without an IC constraint the solver is free to choose replicas; all
+	// single-replica strategies cost the same, but their latency differs:
+	// co-locating both PEs on one host leaves 0.2 GHz free at High
+	// (latency 0.5 s/stage), spreading them leaves 0.2+... — at High,
+	// single replicas on distinct hosts face 8 t/s · 1e8 = 0.8 GHz load
+	// each, free 0.2 GHz → 0.5 s/stage, while co-located they'd be
+	// overloaded. A 1.05 s bound (two 0.5 s stages + slack) is achievable;
+	// a 0.3 s bound is not, because Low-config full-capacity sharing
+	// cannot get stages below ~0.167 s... verify both directions against
+	// core.MaxLatency.
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0, MaxLatency: 1.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	if got := core.MaxLatency(r, res.Strategy, asg); got > 1.05 {
+		t.Fatalf("returned strategy violates the bound: %v", got)
+	}
+	// An impossible bound: even the best spread needs ≥ 2·(1e8/1e9) = 0.2s
+	// with empty hosts, but single-replica High load leaves 0.2 GHz free →
+	// 0.5 s/stage, so anything below 1 s fails... unless replicas split
+	// across hosts per PE (PE1 on h0, PE2 on h1): each host carries one
+	// PE at 0.8 GHz → same 0.5 s. Bound 0.35 is provably unreachable.
+	res, err = Solve(r, asg, Options{ICMin: 0, MaxLatency: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Infeasible {
+		t.Fatalf("Outcome = %v, want NUL under a 0.35 s bound", res.Outcome)
+	}
+}
+
+func TestLatencyConstraintBruteForceAgreement(t *testing.T) {
+	// Cross-validate the latency-constrained optimum against enumeration
+	// with the independent core implementation.
+	r, asg := pipelineInstance(t)
+	bound := 1.2
+	best := math.Inf(1)
+	found := false
+	total := 81 // 3^4
+	for code := 0; code < total; code++ {
+		s := core.NewStrategy(2, 2, 2)
+		x := code
+		for c := 0; c < 2; c++ {
+			for p := 0; p < 2; p++ {
+				switch x % 3 {
+				case 0:
+					s.Set(c, p, 0, true)
+				case 1:
+					s.Set(c, p, 1, true)
+				case 2:
+					s.Set(c, p, 0, true)
+					s.Set(c, p, 1, true)
+				}
+				x /= 3
+			}
+		}
+		if _, _, over := core.Overloaded(r, s, asg); over {
+			continue
+		}
+		if core.IC(r, s, core.Pessimistic{}) < 0.6-1e-9 {
+			continue
+		}
+		if core.MaxLatency(r, s, asg) > bound {
+			continue
+		}
+		if c := core.Cost(r, s); c < best {
+			best, found = c, true
+		}
+	}
+	res, err := Solve(r, asg, Options{ICMin: 0.6, MaxLatency: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		if res.Outcome != Infeasible {
+			t.Fatalf("Outcome = %v, brute force says NUL", res.Outcome)
+		}
+		return
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	if math.Abs(res.Cost-best) > 1e-6*best {
+		t.Fatalf("Cost = %v, brute force = %v", res.Cost, best)
+	}
+}

@@ -1,0 +1,143 @@
+package ftsearch
+
+import (
+	"sync"
+	"time"
+)
+
+// solveParallel runs the search with root-level work splitting, the Go
+// counterpart of the paper's Fork/Join implementation: the top of the tree
+// is expanded into prefix tasks, and workers race through them sharing the
+// incumbent bound, so a cheap solution found by one worker immediately
+// tightens the cost pruning of all others.
+func (inst *instance) solveParallel(workers int) (*Result, error) {
+	start := time.Now()
+	coord := newCoordinator()
+
+	// Choose a prefix depth that yields comfortably more tasks than
+	// workers (3^depth branches), capped to keep task generation trivial.
+	depth := 1
+	for pow := 3; pow < 4*workers && depth < inst.numVars && depth < 6; depth++ {
+		pow *= 3
+	}
+	if depth > inst.numVars {
+		depth = inst.numVars
+	}
+	order := valueOrder
+	if inst.opts.SinglesFirst {
+		order = valueOrderSingles
+	}
+	tasks := enumeratePrefixes(depth, order)
+
+	taskCh := make(chan []value)
+	var wg sync.WaitGroup
+	results := make([]*searcher, workers)
+	for w := 0; w < workers; w++ {
+		s := newSearcher(inst, coord, start)
+		results[w] = s
+		wg.Add(1)
+		go func(s *searcher) {
+			defer wg.Done()
+			for prefix := range taskCh {
+				s.runPrefix(prefix)
+				if s.timedOut {
+					// Keep draining so the producer never blocks, but do
+					// no further work.
+					continue
+				}
+			}
+		}(s)
+	}
+	for _, p := range tasks {
+		taskCh <- p
+	}
+	close(taskCh)
+	wg.Wait()
+
+	var stats Stats
+	timedOut := false
+	for _, s := range results {
+		stats.add(s.stats)
+		timedOut = timedOut || s.timedOut
+	}
+	return inst.result(coord, timedOut, stats, time.Since(start)), nil
+}
+
+// enumeratePrefixes lists every value sequence of the given length, in the
+// same value order the sequential search uses, so the parallel exploration
+// covers exactly the same tree.
+func enumeratePrefixes(depth int, order [numValues]value) [][]value {
+	prefixes := [][]value{nil}
+	for d := 0; d < depth; d++ {
+		next := make([][]value, 0, len(prefixes)*int(numValues))
+		for _, p := range prefixes {
+			for _, v := range order {
+				np := make([]value, len(p)+1)
+				copy(np, p)
+				np[len(p)] = v
+				next = append(next, np)
+			}
+		}
+		prefixes = next
+	}
+	return prefixes
+}
+
+// runPrefix replays a prefix assignment, applying the same constraint
+// checks and prunings the sequential search would, and explores the subtree
+// below it. The searcher state is fully restored afterwards.
+func (s *searcher) runPrefix(prefix []value) {
+	if s.timedOut {
+		return
+	}
+	inst := s.inst
+	marks := make([]int, 0, len(prefix))
+	placed := 0
+	pruned := false
+	for i, v := range prefix {
+		if s.domain[i]&(1<<uint(v)) == 0 {
+			pruned = true
+			break
+		}
+		s.stats.Nodes++
+		s.checkDeadline()
+		if s.timedOut {
+			break
+		}
+		height := int64(inst.numVars - i - 1)
+		marks = append(marks, len(s.trail))
+		violated := s.place(i, v)
+		placed++
+		switch {
+		case violated && !inst.opts.Disable[PruneCPU]:
+			s.stats.Prunes[PruneCPU]++
+			s.stats.PruneHeights[PruneCPU] += height
+			pruned = true
+		case inst.penalty:
+			if !inst.opts.Disable[PruneCost] && s.objectiveLB(i+1) >= s.coord.bestCost() {
+				s.stats.Prunes[PruneCost]++
+				s.stats.PruneHeights[PruneCost] += height
+				pruned = true
+			}
+		case !inst.opts.Disable[PruneIC] &&
+			s.fic+inst.suffixFICMax[i+1] < inst.icTarget-inst.icEps:
+			s.stats.Prunes[PruneIC]++
+			s.stats.PruneHeights[PruneIC] += height
+			pruned = true
+		case !inst.opts.Disable[PruneCost] &&
+			s.cost+inst.suffixCostMin[i+1] >= s.coord.bestCost():
+			s.stats.Prunes[PruneCost]++
+			s.stats.PruneHeights[PruneCost] += height
+			pruned = true
+		}
+		if pruned {
+			break
+		}
+	}
+	if !pruned && !s.timedOut {
+		s.search(len(prefix))
+	}
+	for i := placed - 1; i >= 0; i-- {
+		s.unplace(i, prefix[i], marks[i])
+	}
+}

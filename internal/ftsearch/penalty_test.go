@@ -1,0 +1,162 @@
+package ftsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// bruteForcePenalty enumerates all strategies and returns the minimum
+// penalty objective cost(s) + λ·max(0, icMin − IC(s)) over CPU-feasible
+// strategies.
+func bruteForcePenalty(r *core.Rates, asg *core.Assignment, icMin, lambda float64) (best float64, ok bool) {
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	numCfgs := d.NumConfigs()
+	n := numPEs * numCfgs
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 3
+	}
+	best = math.Inf(1)
+	for code := 0; code < total; code++ {
+		s := core.NewStrategy(numCfgs, numPEs, 2)
+		x := code
+		for c := 0; c < numCfgs; c++ {
+			for p := 0; p < numPEs; p++ {
+				switch x % 3 {
+				case 0:
+					s.Set(c, p, 0, true)
+				case 1:
+					s.Set(c, p, 1, true)
+				case 2:
+					s.Set(c, p, 0, true)
+					s.Set(c, p, 1, true)
+				}
+				x /= 3
+			}
+		}
+		if _, _, over := core.Overloaded(r, s, asg); over {
+			continue
+		}
+		shortfall := icMin - core.IC(r, s, core.Pessimistic{})
+		if shortfall < 0 {
+			shortfall = 0
+		}
+		if obj := core.Cost(r, s) + lambda*shortfall; obj < best {
+			best, ok = obj, true
+		}
+	}
+	return best, ok
+}
+
+func TestPenaltyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 8; trial++ {
+		r, asg := randomInstance(t, rng, 3, 2)
+		for _, lambda := range []float64{1e10, 1e12, 1e14} {
+			want, feasible := bruteForcePenalty(r, asg, 0.7, lambda)
+			res, err := Solve(r, asg, Options{ICMin: 0.7, PenaltyLambda: lambda})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !feasible {
+				if res.Outcome != Infeasible {
+					t.Fatalf("trial %d λ=%v: Outcome = %v, want NUL", trial, lambda, res.Outcome)
+				}
+				continue
+			}
+			if res.Outcome != Optimal {
+				t.Fatalf("trial %d λ=%v: Outcome = %v, want BST", trial, lambda, res.Outcome)
+			}
+			if math.Abs(res.Objective-want) > 1e-6*(1+want) {
+				t.Fatalf("trial %d λ=%v: Objective = %v, brute force = %v", trial, lambda, res.Objective, want)
+			}
+		}
+	}
+}
+
+func TestPenaltyHugeLambdaMatchesHardConstraint(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	hard, err := Solve(r, asg, Options{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := Solve(r, asg, Options{ICMin: 0.6, PenaltyLambda: 1e18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an enormous penalty, the soft solver pays the full replication
+	// cost rather than any shortfall, matching the hard optimum.
+	if math.Abs(soft.Cost-hard.Cost) > 1e-6*hard.Cost {
+		t.Fatalf("soft cost %v, hard cost %v", soft.Cost, hard.Cost)
+	}
+	if math.Abs(soft.IC-hard.IC) > 1e-9 {
+		t.Fatalf("soft IC %v, hard IC %v", soft.IC, hard.IC)
+	}
+}
+
+func TestPenaltyTinyLambdaPrefersShortfall(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.6, PenaltyLambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-cycle-per-IC-unit penalty is negligible against ~1e11-cycle
+	// costs: the optimum drops all replication and accepts IC = 0.
+	if res.IC != 0 {
+		t.Fatalf("IC = %v, want 0 under negligible penalty", res.IC)
+	}
+	if math.Abs(res.Cost-2.88e11) > 1e-3 {
+		t.Fatalf("Cost = %v, want the unreplicated minimum 2.88e11", res.Cost)
+	}
+	// Objective = cost + λ·0.6 shortfall.
+	if math.Abs(res.Objective-(res.Cost+0.6)) > 1e-3 {
+		t.Fatalf("Objective = %v, want cost + 0.6", res.Objective)
+	}
+}
+
+func TestPenaltySolvesBeyondHardInfeasibility(t *testing.T) {
+	// ICMin = 0.7 is infeasible for the pipeline as a hard constraint; the
+	// penalty solver must still return the best trade-off.
+	r, asg := pipelineInstance(t)
+	hard, err := Solve(r, asg, Options{ICMin: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Outcome != Infeasible {
+		t.Fatalf("hard outcome = %v, want NUL", hard.Outcome)
+	}
+	soft, err := Solve(r, asg, Options{ICMin: 0.7, PenaltyLambda: 1e13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.Outcome != Optimal {
+		t.Fatalf("soft outcome = %v, want BST", soft.Outcome)
+	}
+	// Best achievable IC is 2/3, so the shortfall is at least 0.7 − 2/3.
+	if soft.IC > 2.0/3.0+1e-9 {
+		t.Fatalf("soft IC = %v exceeds the feasibility ceiling 2/3", soft.IC)
+	}
+}
+
+func TestPenaltyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	r, asg := randomInstance(t, rng, 4, 3)
+	seq, err := Solve(r, asg, Options{ICMin: 0.8, PenaltyLambda: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(r, asg, Options{ICMin: 0.8, PenaltyLambda: 1e12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Outcome != par.Outcome {
+		t.Fatalf("outcomes differ: %v vs %v", seq.Outcome, par.Outcome)
+	}
+	if seq.Outcome == Optimal && math.Abs(seq.Objective-par.Objective) > 1e-6*(1+seq.Objective) {
+		t.Fatalf("objectives differ: %v vs %v", seq.Objective, par.Objective)
+	}
+}

@@ -1,0 +1,478 @@
+package ftsearch
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laar/internal/core"
+)
+
+// coordinator is the state shared between search workers: the incumbent
+// solution (used by the cost lower-bound pruning) and the first-solution
+// record for Figure 5.
+type coordinator struct {
+	bestCostBits atomic.Uint64 // math.Float64bits of the incumbent cost
+
+	mu        sync.Mutex
+	best      []value
+	bestFIC   float64
+	bestTime  time.Duration
+	haveFirst bool
+	firstCost float64
+	firstTime time.Duration
+}
+
+func newCoordinator() *coordinator {
+	c := &coordinator{}
+	c.bestCostBits.Store(math.Float64bits(math.Inf(1)))
+	return c
+}
+
+// bestCost returns the incumbent cost (+Inf when no solution is known).
+func (c *coordinator) bestCost() float64 {
+	return math.Float64frombits(c.bestCostBits.Load())
+}
+
+// offer records a feasible leaf. It returns whether the leaf improved the
+// incumbent.
+func (c *coordinator) offer(assign []value, cost, fic float64, at time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haveFirst {
+		c.haveFirst = true
+		c.firstCost = cost
+		c.firstTime = at
+	}
+	if cost >= c.bestCost() {
+		return false
+	}
+	c.bestCostBits.Store(math.Float64bits(cost))
+	c.best = append(c.best[:0], assign...)
+	c.bestFIC = fic
+	c.bestTime = at
+	return true
+}
+
+// trailEntry records a domain mutation for backtracking.
+type trailEntry struct {
+	varIdx int
+	old    uint8
+}
+
+// searcher holds the mutable depth-first state of one worker.
+type searcher struct {
+	inst  *instance
+	coord *coordinator
+
+	assign   []value
+	domain   []uint8
+	hostLoad [][]float64 // [cfg][host]
+	deltaHat [][]float64 // [cfg][pe], defined for assigned variables
+	fic      float64
+	cost     float64
+	// overCount tracks (cfg, host) pairs currently at or above capacity;
+	// it is only non-zero when CPU pruning is disabled (ablation), in
+	// which case leaves with overCount > 0 are rejected.
+	overCount int
+
+	trail []trailEntry
+	stats Stats
+
+	start       time.Time
+	deadline    time.Time
+	hasDeadline bool
+	timedOut    bool
+	nodeBudget  int // nodes until the next deadline check
+}
+
+const deadlineCheckInterval = 4096
+
+func newSearcher(inst *instance, coord *coordinator, start time.Time) *searcher {
+	s := &searcher{
+		inst:       inst,
+		coord:      coord,
+		assign:     make([]value, inst.numVars),
+		domain:     make([]uint8, inst.numVars),
+		hostLoad:   make([][]float64, inst.numCfgs),
+		deltaHat:   make([][]float64, inst.numCfgs),
+		start:      start,
+		nodeBudget: deadlineCheckInterval,
+	}
+	for i := range s.assign {
+		s.assign[i] = valueUnassigned
+		s.domain[i] = domAll
+	}
+	for c := 0; c < inst.numCfgs; c++ {
+		s.hostLoad[c] = make([]float64, inst.asg.NumHosts)
+		s.deltaHat[c] = make([]float64, inst.numPEs)
+	}
+	if inst.opts.Deadline > 0 {
+		s.hasDeadline = true
+		s.deadline = start.Add(inst.opts.Deadline)
+	}
+	return s
+}
+
+// checkDeadline flips timedOut once the deadline has passed. It is called
+// every deadlineCheckInterval nodes to keep the hot loop cheap.
+func (s *searcher) checkDeadline() {
+	s.nodeBudget--
+	if s.nodeBudget > 0 {
+		return
+	}
+	s.nodeBudget = deadlineCheckInterval
+	if s.hasDeadline && time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+}
+
+// valueOrder fixes the default exploration order of activation states:
+// replication first, so that IC-feasible solutions are found early.
+// Options.SinglesFirst selects valueOrderSingles instead.
+var (
+	valueOrder        = [numValues]value{valueBoth, valueR0, valueR1}
+	valueOrderSingles = [numValues]value{valueR0, valueR1, valueBoth}
+)
+
+// values returns the exploration order for this searcher's options.
+func (s *searcher) values() [numValues]value {
+	if s.inst.opts.SinglesFirst {
+		return valueOrderSingles
+	}
+	return valueOrder
+}
+
+// search explores variable i and deeper. Constraint state reflects the
+// assignment of variables 0..i-1.
+func (s *searcher) search(i int) {
+	if s.timedOut {
+		return
+	}
+	inst := s.inst
+	if i == inst.numVars {
+		s.leaf()
+		return
+	}
+	height := int64(inst.numVars - i - 1)
+	for _, v := range s.values() {
+		if s.domain[i]&(1<<uint(v)) == 0 {
+			continue
+		}
+		s.stats.Nodes++
+		s.checkDeadline()
+		if s.timedOut {
+			return
+		}
+		mark := len(s.trail)
+		violated := s.place(i, v)
+		switch {
+		case violated && !inst.opts.Disable[PruneCPU]:
+			s.stats.Prunes[PruneCPU]++
+			s.stats.PruneHeights[PruneCPU] += height
+		case inst.penalty:
+			// Penalty mode: prune on the objective lower bound only.
+			if !inst.opts.Disable[PruneCost] && s.objectiveLB(i+1) >= s.coord.bestCost() {
+				s.stats.Prunes[PruneCost]++
+				s.stats.PruneHeights[PruneCost] += height
+			} else {
+				s.search(i + 1)
+			}
+		case !inst.opts.Disable[PruneIC] &&
+			s.fic+inst.suffixFICMax[i+1] < inst.icTarget-inst.icEps:
+			s.stats.Prunes[PruneIC]++
+			s.stats.PruneHeights[PruneIC] += height
+		case !inst.opts.Disable[PruneCost] &&
+			s.cost+inst.suffixCostMin[i+1] >= s.coord.bestCost():
+			s.stats.Prunes[PruneCost]++
+			s.stats.PruneHeights[PruneCost] += height
+		default:
+			s.search(i + 1)
+		}
+		s.unplace(i, v, mark)
+		if s.timedOut {
+			return
+		}
+	}
+}
+
+// leaf validates and reports a complete assignment.
+func (s *searcher) leaf() {
+	if s.overCount > 0 {
+		return // only reachable with CPU pruning disabled
+	}
+	if s.inst.opts.MaxLatency > 0 && s.estMaxLatency() > s.inst.opts.MaxLatency {
+		return
+	}
+	if s.inst.penalty {
+		s.coord.offer(s.assign, s.objective(), s.fic, time.Since(s.start))
+		return
+	}
+	if s.fic < s.inst.icTarget-s.inst.icEps {
+		return
+	}
+	s.coord.offer(s.assign, s.cost, s.fic, time.Since(s.start))
+}
+
+// estMaxLatency estimates the worst end-to-end latency of the current
+// complete assignment across all configurations, using the searcher's
+// incrementally maintained host loads: per stage, the processor-sharing
+// latency on the busiest host carrying an active replica; per
+// configuration, the longest source-to-sink path of stage latencies.
+func (s *searcher) estMaxLatency() float64 {
+	inst := s.inst
+	worst := 0.0
+	acc := make([]float64, inst.numPEs)
+	for c := 0; c < inst.numCfgs; c++ {
+		for _, pe := range inst.topoPEs {
+			stage := 0.0
+			v := s.assign[inst.varIdx[c][pe]]
+			for rep := 0; rep < Replication; rep++ {
+				if v != valueBoth && int(v) != rep {
+					continue
+				}
+				free := inst.capacity - s.hostLoad[c][inst.hostOf[pe][rep]]
+				var lat float64
+				switch {
+				case inst.cyclesPT[c][pe] == 0:
+					lat = 0
+				case free <= 0:
+					return math.Inf(1)
+				default:
+					lat = inst.cyclesPT[c][pe] / free
+				}
+				if lat > stage {
+					stage = lat
+				}
+			}
+			in := 0.0
+			for _, pr := range inst.predsPE[pe] {
+				if acc[pr.pe] > in {
+					in = acc[pr.pe]
+				}
+			}
+			acc[pe] = in + stage
+			if acc[pe] > worst {
+				worst = acc[pe]
+			}
+		}
+	}
+	return worst
+}
+
+// objective returns the penalty-mode objective of the current complete
+// assignment: cost plus the weighted IC shortfall.
+func (s *searcher) objective() float64 {
+	shortfall := s.inst.icTarget - s.fic
+	if shortfall < 0 {
+		shortfall = 0
+	}
+	return s.cost + s.inst.lamPerFic*shortfall
+}
+
+// objectiveLB returns a lower bound on the penalty-mode objective of any
+// completion of the current partial assignment: every remaining variable
+// contributes at least one replica of cost, and FIC can grow by at most the
+// failure-free contributions of the remaining variables.
+func (s *searcher) objectiveLB(next int) float64 {
+	shortfall := s.inst.icTarget - (s.fic + s.inst.suffixFICMax[next])
+	if shortfall < 0 {
+		shortfall = 0
+	}
+	return s.cost + s.inst.suffixCostMin[next] + s.inst.lamPerFic*shortfall
+}
+
+// place assigns value v to variable i, updating host loads, cost, the FIC
+// partial sum, Δ̂, and (when the value forces single replication) running
+// forward domain propagation. It reports whether the assignment drove some
+// host of the variable's configuration to or above capacity.
+func (s *searcher) place(i int, v value) (violated bool) {
+	inst := s.inst
+	c, pe := inst.varCfg[i], inst.varPE[i]
+	s.assign[i] = v
+	u := inst.r.UnitLoad(pe, c)
+	switch v {
+	case valueR0:
+		violated = s.addLoad(c, inst.hostOf[pe][0], u)
+		s.cost += inst.w[i]
+	case valueR1:
+		violated = s.addLoad(c, inst.hostOf[pe][1], u)
+		s.cost += inst.w[i]
+	case valueBoth:
+		violated = s.addLoad(c, inst.hostOf[pe][0], u)
+		if s.addLoad(c, inst.hostOf[pe][1], u) {
+			violated = true
+		}
+		s.cost += 2 * inst.w[i]
+	}
+	// Δ̂ and FIC contribution under the pessimistic model: φ = 1 only for
+	// twofold replication.
+	if v == valueBoth {
+		in := inst.srcIn[c][pe]
+		hat := inst.srcSel[c][pe]
+		for _, pr := range inst.predsPE[pe] {
+			in += s.deltaHat[c][pr.pe]
+			hat += pr.sel * s.deltaHat[c][pr.pe]
+		}
+		contrib := inst.r.Descriptor().Configs[c].Prob * in
+		s.fic += contrib
+		s.deltaHat[c][pe] = hat
+	} else {
+		s.deltaHat[c][pe] = 0
+		if !inst.opts.Disable[PruneDOM] {
+			s.propagateDOM(c, pe)
+		}
+	}
+	return violated
+}
+
+// unplace reverses place, restoring domains recorded past mark.
+func (s *searcher) unplace(i int, v value, mark int) {
+	inst := s.inst
+	c, pe := inst.varCfg[i], inst.varPE[i]
+	u := inst.r.UnitLoad(pe, c)
+	switch v {
+	case valueR0:
+		s.removeLoad(c, inst.hostOf[pe][0], u)
+		s.cost -= inst.w[i]
+	case valueR1:
+		s.removeLoad(c, inst.hostOf[pe][1], u)
+		s.cost -= inst.w[i]
+	case valueBoth:
+		s.removeLoad(c, inst.hostOf[pe][0], u)
+		s.removeLoad(c, inst.hostOf[pe][1], u)
+		s.cost -= 2 * inst.w[i]
+		in := inst.srcIn[c][pe]
+		for _, pr := range inst.predsPE[pe] {
+			in += s.deltaHat[c][pr.pe]
+		}
+		s.fic -= inst.r.Descriptor().Configs[c].Prob * in
+	}
+	s.deltaHat[c][pe] = 0
+	for len(s.trail) > mark {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.domain[e.varIdx] = e.old
+	}
+	s.assign[i] = valueUnassigned
+}
+
+// addLoad adds u cycles/s to a host in a configuration and reports whether
+// the host is now at or above capacity (Eq. 11 is strict).
+func (s *searcher) addLoad(c, host int, u float64) bool {
+	before := s.hostLoad[c][host]
+	after := before + u
+	s.hostLoad[c][host] = after
+	if after >= s.inst.capacity {
+		if before < s.inst.capacity {
+			s.overCount++
+		}
+		return true
+	}
+	return false
+}
+
+func (s *searcher) removeLoad(c, host int, u float64) {
+	before := s.hostLoad[c][host]
+	after := before - u
+	s.hostLoad[c][host] = after
+	if before >= s.inst.capacity && after < s.inst.capacity {
+		s.overCount--
+	}
+}
+
+// propagateDOM implements forward domain propagation: starting from a PE
+// just bound to single replication in configuration c, successors whose
+// every predecessor provably delivers no tuples under the pessimistic model
+// (each predecessor is an assigned PE with Δ̂ = 0, an unassigned PE whose
+// domain no longer allows twofold replication, or a silent source) lose the
+// "both replicas" value from their domain — replicating them cannot improve
+// IC but would increase cost and load.
+func (s *searcher) propagateDOM(c, start int) {
+	inst := s.inst
+	queue := append([]int(nil), inst.succsPE[start]...)
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		vi := inst.varIdx[c][q]
+		if s.assign[vi] != valueUnassigned || s.domain[vi]&domBoth == 0 {
+			continue
+		}
+		if !s.noReplicationForwarding(c, q) {
+			continue
+		}
+		s.trail = append(s.trail, trailEntry{varIdx: vi, old: s.domain[vi]})
+		s.domain[vi] &^= domBoth
+		s.stats.DomRemovals++
+		s.stats.Prunes[PruneDOM]++
+		s.stats.PruneHeights[PruneDOM] += int64(inst.numVars - vi - 1)
+		queue = append(queue, inst.succsPE[q]...)
+	}
+}
+
+// noReplicationForwarding reports whether PE q in configuration c can
+// receive no tuples in any completion of the current partial assignment.
+func (s *searcher) noReplicationForwarding(c, q int) bool {
+	inst := s.inst
+	if inst.srcIn[c][q] > 0 {
+		return false
+	}
+	for _, pr := range inst.predsPE[q] {
+		pv := inst.varIdx[c][pr.pe]
+		if s.assign[pv] != valueUnassigned {
+			if s.deltaHat[c][pr.pe] != 0 {
+				return false
+			}
+		} else if s.domain[pv]&domBoth != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// result assembles the final Result from the coordinator state.
+func (inst *instance) result(coord *coordinator, timedOut bool, stats Stats, elapsed time.Duration) *Result {
+	coord.mu.Lock()
+	defer coord.mu.Unlock()
+	res := &Result{Stats: stats, Elapsed: elapsed}
+	T := inst.r.Descriptor().BillingPeriod
+	if coord.best != nil {
+		res.Strategy = inst.strategyOf(coord.best)
+		res.Objective = coord.bestCost() * T
+		if inst.penalty {
+			// In penalty mode the coordinator tracks the objective; report
+			// the plain execution cost separately.
+			res.Cost = core.Cost(inst.r, res.Strategy)
+		} else {
+			res.Cost = res.Objective
+		}
+		if inst.bicNorm > 0 {
+			res.IC = coord.bestFIC / inst.bicNorm
+		} else {
+			res.IC = 1
+		}
+		res.FirstCost = coord.firstCost * T
+		res.FirstTime = coord.firstTime
+		res.BestTime = coord.bestTime
+		if timedOut {
+			res.Outcome = Feasible
+		} else {
+			res.Outcome = Optimal
+		}
+	} else if timedOut {
+		res.Outcome = Timeout
+	} else {
+		res.Outcome = Infeasible
+	}
+	return res
+}
+
+// solveSequential runs the deterministic single-goroutine search.
+func (inst *instance) solveSequential() (*Result, error) {
+	start := time.Now()
+	coord := newCoordinator()
+	s := newSearcher(inst, coord, start)
+	s.search(0)
+	return inst.result(coord, s.timedOut, s.stats, time.Since(start)), nil
+}

@@ -1,0 +1,204 @@
+// Package fusion implements operator fusion, the compilation step IBM
+// InfoSphere Streams applies when turning SPL operators into PEs (Section
+// 5.1): chains of small operators are merged into single PEs to cut
+// context-switching and communication overhead. Fusing a linear chain
+// a → b (where b is a's only consumer and a is b's only producer) yields
+// one PE whose per-tuple cost is γ_a + δ_a·γ_b — processing the tuple
+// through a and its δ_a outputs through b — and whose selectivity on each
+// original input edge is δ_a·δ_b.
+//
+// Fusion preserves the application's externally observable behaviour: all
+// component rates, total CPU load, and the sink input rates of the fused
+// application equal those of the original (up to the per-PE cost ceiling
+// that bounds how much work one PE may accumulate, mirroring Streams'
+// partition constraints).
+package fusion
+
+import (
+	"fmt"
+
+	"laar/internal/core"
+)
+
+// Options bounds the fusion pass.
+type Options struct {
+	// MaxCostCycles caps the per-tuple CPU cost (per input edge) a fused
+	// PE may accumulate; 0 means unlimited. The cap keeps single PEs
+	// schedulable — a fused PE whose one replica exceeds host capacity
+	// could never satisfy Eq. 11.
+	MaxCostCycles float64
+}
+
+// Result reports the outcome of a fusion pass.
+type Result struct {
+	// Desc is the fused descriptor (a fresh application graph).
+	Desc *core.Descriptor
+	// Merged maps every original PE ComponentID to the name of the fused
+	// PE that absorbed it.
+	Merged map[core.ComponentID]string
+	// Fusions counts how many merge steps were applied.
+	Fusions int
+}
+
+// Fuse repeatedly merges fusable linear chains in the descriptor's
+// application until none remains under the options, returning a new
+// descriptor. The input descriptor is not modified.
+func Fuse(d *core.Descriptor, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	app := d.App
+	// Working representation: mutable component and edge lists.
+	type comp struct {
+		name string
+		kind core.Kind
+		dead bool
+	}
+	type edge struct {
+		from, to  int
+		sel, cost float64
+		dead      bool
+	}
+	comps := make([]comp, app.NumComponents())
+	for i, c := range app.Components() {
+		comps[i] = comp{name: c.Name, kind: c.Kind}
+	}
+	var edges []edge
+	for _, e := range app.Edges() {
+		edges = append(edges, edge{from: int(e.From), to: int(e.To), sel: e.Selectivity, cost: e.CostCycles})
+	}
+	liveOut := func(c int) []int {
+		var out []int
+		for i := range edges {
+			if !edges[i].dead && edges[i].from == c {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	liveIn := func(c int) []int {
+		var in []int
+		for i := range edges {
+			if !edges[i].dead && edges[i].to == c {
+				in = append(in, i)
+			}
+		}
+		return in
+	}
+
+	merged := make(map[core.ComponentID]string)
+	absorbed := make(map[int][]int) // fused head -> original component ids
+	fusions := 0
+	for {
+		// Find a fusable pair: PE a with exactly one outgoing edge to PE b,
+		// where b has exactly one incoming edge.
+		found := false
+		for ai := range comps {
+			if comps[ai].dead || comps[ai].kind != core.KindPE {
+				continue
+			}
+			outs := liveOut(ai)
+			if len(outs) != 1 {
+				continue
+			}
+			ab := outs[0]
+			bi := edges[ab].to
+			if comps[bi].dead || comps[bi].kind != core.KindPE {
+				continue
+			}
+			if len(liveIn(bi)) != 1 {
+				continue
+			}
+			// Cost ceiling: every input edge of a gets γ_a + δ_a·γ_b.
+			selAB, costAB := edges[ab].sel, edges[ab].cost
+			ok := true
+			ins := liveIn(ai)
+			for _, ia := range ins {
+				newCost := edges[ia].cost + edges[ia].sel*costAB
+				if opts.MaxCostCycles > 0 && newCost > opts.MaxCostCycles {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Merge b into a: a's input edges compose cost and selectivity;
+			// b's output edges re-originate at a.
+			for _, ia := range ins {
+				edges[ia].cost += edges[ia].sel * costAB
+				edges[ia].sel *= selAB
+			}
+			edges[ab].dead = true
+			for _, ob := range liveOut(bi) {
+				edges[ob].from = ai
+			}
+			comps[bi].dead = true
+			comps[ai].name = comps[ai].name + "+" + comps[bi].name
+			absorbed[ai] = append(absorbed[ai], bi)
+			absorbed[ai] = append(absorbed[ai], absorbed[bi]...)
+			delete(absorbed, bi)
+			fusions++
+			found = true
+			break
+		}
+		if !found {
+			break
+		}
+	}
+
+	// Rebuild the application.
+	b := core.NewBuilder(app.Name() + "-fused")
+	idMap := make([]core.ComponentID, len(comps))
+	for i, c := range comps {
+		if c.dead {
+			continue
+		}
+		switch c.kind {
+		case core.KindSource:
+			idMap[i] = b.AddSource(c.name)
+		case core.KindPE:
+			idMap[i] = b.AddPE(c.name)
+		case core.KindSink:
+			idMap[i] = b.AddSink(c.name)
+		}
+	}
+	for _, e := range edges {
+		if e.dead {
+			continue
+		}
+		b.Connect(idMap[e.from], idMap[e.to], e.sel, e.cost)
+	}
+	fusedApp, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("fusion: rebuilding application: %w", err)
+	}
+	for head, members := range absorbed {
+		merged[core.ComponentID(head)] = comps[head].name
+		for _, m := range members {
+			merged[core.ComponentID(m)] = comps[head].name
+		}
+	}
+	out := &core.Descriptor{
+		App:           fusedApp,
+		Configs:       append([]core.InputConfig(nil), d.Configs...),
+		HostCapacity:  d.HostCapacity,
+		BillingPeriod: d.BillingPeriod,
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &Result{Desc: out, Merged: merged, Fusions: fusions}, nil
+}
+
+// TotalLoad returns Σ_pe unitLoad(pe, cfg): the cluster-wide CPU demand of
+// one replica of everything — invariant under fusion, which the tests use
+// to prove behaviour preservation.
+func TotalLoad(d *core.Descriptor, cfg int) float64 {
+	r := core.NewRates(d)
+	var sum float64
+	for p := 0; p < d.App.NumPEs(); p++ {
+		sum += r.UnitLoad(p, cfg)
+	}
+	return sum
+}

@@ -1,0 +1,332 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"laar/internal/core"
+)
+
+// chain builds src -> p0 -> p1 -> ... -> p(n-1) -> sink with the given
+// selectivities and costs.
+func chain(t *testing.T, sels, costs []float64) *core.Descriptor {
+	t.Helper()
+	b := core.NewBuilder("chain")
+	src := b.AddSource("src")
+	prev := src
+	prevSel, prevCost := sels[0], costs[0]
+	for i := range sels {
+		pe := b.AddPE("")
+		b.Connect(prev, pe, prevSel, prevCost)
+		prev = pe
+		if i+1 < len(sels) {
+			prevSel, prevCost = sels[i+1], costs[i+1]
+		}
+	}
+	sink := b.AddSink("sink")
+	b.Connect(prev, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{5}, Prob: 0.7},
+			{Name: "High", Rates: []float64{10}, Prob: 0.3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFuseChainCollapsesToOnePE(t *testing.T) {
+	d := chain(t, []float64{2, 0.5, 1}, []float64{1e6, 2e6, 4e6})
+	res, err := Fuse(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Desc.App.NumPEs() != 1 {
+		t.Fatalf("fused PEs = %d, want 1", res.Desc.App.NumPEs())
+	}
+	if res.Fusions != 2 {
+		t.Fatalf("fusions = %d, want 2", res.Fusions)
+	}
+	// Combined per-tuple cost: γ0 + δ0·(γ1 + δ1·γ2) = 1e6 + 2·(2e6+0.5·4e6) = 9e6.
+	edges := res.Desc.App.Edges()
+	var cost, sel float64
+	for _, e := range edges {
+		if res.Desc.App.Component(e.To).Kind == core.KindPE {
+			cost, sel = e.CostCycles, e.Selectivity
+		}
+	}
+	if math.Abs(cost-9e6) > 1e-6 {
+		t.Errorf("fused cost = %v, want 9e6", cost)
+	}
+	// Combined selectivity: 2·0.5·1 = 1.
+	if math.Abs(sel-1) > 1e-12 {
+		t.Errorf("fused selectivity = %v, want 1", sel)
+	}
+}
+
+func TestFusePreservesBehaviour(t *testing.T) {
+	d := chain(t, []float64{1.5, 0.8, 1.2, 0.5}, []float64{1e6, 3e6, 2e6, 5e6})
+	res, err := Fuse(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range d.Configs {
+		// Total CPU demand of one replica of everything is invariant.
+		if got, want := TotalLoad(res.Desc, c), TotalLoad(d, c); math.Abs(got-want) > 1e-6*want {
+			t.Errorf("cfg %d: total load %v, want %v", c, got, want)
+		}
+		// Sink input rate is invariant.
+		r1, r2 := core.NewRates(d), core.NewRates(res.Desc)
+		if got, want := r2.Rate(res.Desc.App.Sinks()[0], c), r1.Rate(d.App.Sinks()[0], c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("cfg %d: sink rate %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestFuseRespectsCostCeiling(t *testing.T) {
+	d := chain(t, []float64{1, 1, 1}, []float64{4e6, 4e6, 4e6})
+	// Ceiling 9e6: fusing all three would cost 12e6; only one pair fits.
+	res, err := Fuse(d, Options{MaxCostCycles: 9e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Desc.App.NumPEs() != 2 {
+		t.Fatalf("fused PEs = %d, want 2 under the ceiling", res.Desc.App.NumPEs())
+	}
+	for _, e := range res.Desc.App.Edges() {
+		if res.Desc.App.Component(e.To).Kind == core.KindPE && e.CostCycles > 9e6 {
+			t.Errorf("edge cost %v exceeds the ceiling", e.CostCycles)
+		}
+	}
+	// Behaviour still preserved.
+	if got, want := TotalLoad(res.Desc, 0), TotalLoad(d, 0); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("total load %v, want %v", got, want)
+	}
+}
+
+func TestFuseLeavesFanAlone(t *testing.T) {
+	// A fan-out (one PE feeding two) has no fusable linear chain at the
+	// branch point; only the tails could fuse — here they are single PEs
+	// feeding the sink, so nothing merges.
+	b := core.NewBuilder("fan")
+	src := b.AddSource("src")
+	head := b.AddPE("head")
+	l := b.AddPE("left")
+	r := b.AddPE("right")
+	sink := b.AddSink("sink")
+	b.Connect(src, head, 1, 1e6)
+	b.Connect(head, l, 1, 1e6)
+	b.Connect(head, r, 1, 1e6)
+	b.Connect(l, sink, 0, 0)
+	b.Connect(r, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{5}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fuse(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fusions != 0 || res.Desc.App.NumPEs() != 3 {
+		t.Fatalf("fan fused unexpectedly: %d fusions, %d PEs", res.Fusions, res.Desc.App.NumPEs())
+	}
+}
+
+func TestFuseMergesDiamondTails(t *testing.T) {
+	// src -> a -> {b, c} -> d -> e -> sink: only d -> e is a fusable
+	// linear pair (d has two producers, so b/c cannot fuse into d).
+	b := core.NewBuilder("diamond")
+	src := b.AddSource("src")
+	a := b.AddPE("a")
+	bb := b.AddPE("b")
+	c := b.AddPE("c")
+	dd := b.AddPE("d")
+	e := b.AddPE("e")
+	sink := b.AddSink("sink")
+	b.Connect(src, a, 1, 1e6)
+	b.Connect(a, bb, 1, 1e6)
+	b.Connect(a, c, 1, 1e6)
+	b.Connect(bb, dd, 1, 1e6)
+	b.Connect(c, dd, 1, 1e6)
+	b.Connect(dd, e, 0.5, 2e6)
+	b.Connect(e, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{4}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fuse(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fusions != 1 {
+		t.Fatalf("fusions = %d, want 1 (d+e)", res.Fusions)
+	}
+	if res.Desc.App.NumPEs() != 4 {
+		t.Fatalf("fused PEs = %d, want 4", res.Desc.App.NumPEs())
+	}
+	// The merged map names d and e under the fused PE.
+	name, ok := res.Merged[dd]
+	if !ok || !strings.Contains(name, "d") || !strings.Contains(name, "e") {
+		t.Errorf("Merged[d] = %q, %v", name, ok)
+	}
+	if res.Merged[e] != name {
+		t.Errorf("Merged[e] = %q, want %q", res.Merged[e], name)
+	}
+	if got, want := TotalLoad(res.Desc, 0), TotalLoad(d, 0); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("total load %v, want %v", got, want)
+	}
+}
+
+func TestFuseSolvesEquivalently(t *testing.T) {
+	// The fused application admits the same per-config feasibility: total
+	// load equality means any single host capacity verdict matches.
+	d := chain(t, []float64{1, 1}, []float64{3e6, 3e6})
+	res, err := Fuse(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := core.NewRates(d)
+	r2 := core.NewRates(res.Desc)
+	for c := range d.Configs {
+		var l1, l2 float64
+		for p := 0; p < d.App.NumPEs(); p++ {
+			l1 += r1.UnitLoad(p, c)
+		}
+		for p := 0; p < res.Desc.App.NumPEs(); p++ {
+			l2 += r2.UnitLoad(p, c)
+		}
+		if math.Abs(l1-l2) > 1e-6 {
+			t.Errorf("cfg %d: loads %v vs %v", c, l1, l2)
+		}
+	}
+}
+
+// TestFuseRandomChainsQuick drives fusion with randomly shaped chains and
+// attributes, checking the behaviour-preservation invariants every time.
+func TestFuseRandomChainsQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, capRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%6
+		sels := make([]float64, n)
+		costs := make([]float64, n)
+		for i := range sels {
+			sels[i] = 0.3 + rng.Float64()*1.4
+			costs[i] = (0.5 + rng.Float64()*4) * 1e6
+		}
+		d := chainTB(t, sels, costs)
+		opts := Options{}
+		if capRaw%2 == 0 {
+			opts.MaxCostCycles = (1 + rng.Float64()*10) * 1e6
+		}
+		res, err := Fuse(d, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for c := range d.Configs {
+			want := TotalLoad(d, c)
+			got := TotalLoad(res.Desc, c)
+			if math.Abs(got-want) > 1e-6*want {
+				t.Logf("seed %d cfg %d: load %v vs %v", seed, c, got, want)
+				return false
+			}
+			r1, r2 := core.NewRates(d), core.NewRates(res.Desc)
+			s1 := r1.Rate(d.App.Sinks()[0], c)
+			s2 := r2.Rate(res.Desc.App.Sinks()[0], c)
+			if math.Abs(s1-s2) > 1e-9*(1+s1) {
+				t.Logf("seed %d cfg %d: sink %v vs %v", seed, c, s1, s2)
+				return false
+			}
+		}
+		// Cost ceiling honoured when set.
+		if opts.MaxCostCycles > 0 {
+			for _, e := range res.Desc.App.Edges() {
+				if res.Desc.App.Component(e.To).Kind == core.KindPE && e.CostCycles > opts.MaxCostCycles*(1+1e-9) {
+					// Original edges may already exceed the cap; only fused
+					// edges must respect it. An original chain edge exceeds
+					// the cap only if it did so before fusion.
+					orig := false
+					for _, oe := range d.App.Edges() {
+						if oe.CostCycles >= e.CostCycles-1e-6 {
+							orig = true
+							break
+						}
+					}
+					if !orig {
+						t.Logf("fused edge cost %v exceeds cap %v", e.CostCycles, opts.MaxCostCycles)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainTB is chain for testing.TB (quick invokes with the outer *testing.T).
+func chainTB(t testing.TB, sels, costs []float64) *core.Descriptor {
+	b := core.NewBuilder("qchain")
+	src := b.AddSource("src")
+	prev := src
+	prevSel, prevCost := sels[0], costs[0]
+	for i := range sels {
+		pe := b.AddPE("")
+		b.Connect(prev, pe, prevSel, prevCost)
+		prev = pe
+		if i+1 < len(sels) {
+			prevSel, prevCost = sels[i+1], costs[i+1]
+		}
+	}
+	sink := b.AddSink("sink")
+	b.Connect(prev, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{5}, Prob: 0.7},
+			{Name: "High", Rates: []float64{10}, Prob: 0.3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package live
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+func TestDriverPushesAtTraceRates(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 simulated seconds at Low = 20 t/s, replayed 10× fast (1 wall s).
+	tr, err := trace.New([]trace.Segment{{Start: 0, End: 10, Config: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewDriver(rt, d, tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := dr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := pushed[ids[0]]
+	// 10 s × 20 t/s = 200 tuples, minus scheduler jitter.
+	if total < 150 || total > 210 {
+		t.Fatalf("driver pushed %d tuples, want ≈ 200", total)
+	}
+	waitFor(t, 2*time.Second, func() bool { return delivered.Load() >= total*9/10 }, "sink deliveries")
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverHonoursContext(t *testing.T) {
+	d, asg, _ := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New([]trace.Segment{{Start: 0, End: 1000, Config: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := NewDriver(rt, d, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := dr.Run(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Run = %v, want deadline exceeded", err)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	d, asg, _ := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New([]trace.Segment{{Start: 0, End: 1, Config: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(rt, d, tr, 0); err == nil {
+		t.Error("accepted zero scale")
+	}
+	bad, err := trace.New([]trace.Segment{{Start: 0, End: 1, Config: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(rt, d, bad, 1); err == nil {
+		t.Error("accepted trace with unknown config")
+	}
+}
+
+// BenchmarkLiveThroughput measures tuples/s through the two-PE replicated
+// pipeline on real goroutines.
+func BenchmarkLiveThroughput(b *testing.B) {
+	bd := core.NewBuilder("bench")
+	src := bd.AddSource("src")
+	pe1 := bd.AddPE("PE1")
+	pe2 := bd.AddPE("PE2")
+	sink := bd.AddSink("sink")
+	bd.Connect(src, pe1, 1, 1e6)
+	bd.Connect(pe1, pe2, 1, 1e6)
+	bd.Connect(pe2, sink, 0, 0)
+	app, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{1000}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		asg.Host[p][1] = 1
+	}
+	rt, err := New(d, asg, core.AllActive(1, 2, 2), func(core.ComponentID, int) Operator {
+		return OperatorFunc(func(t Tuple) []any { return []any{t.Data} })
+	}, Config{QueueLen: 4096, MonitorInterval: 100 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Push(src, i)
+		// Apply backpressure so the bounded queues never overflow: keep at
+		// most ~2048 tuples in flight.
+		if i%1024 == 0 {
+			for delivered.Load() < int64(i)-2048 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	// Drain the tail.
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < int64(b.N)*95/100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	if _, err := rt.Stop(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered_frac")
+}

@@ -1,0 +1,451 @@
+// Package live is a real-time, goroutine-based operator runtime
+// implementing the LAAR middleware of Section 4.6 on actual concurrent
+// components: every PE replica runs in its own goroutine behind an
+// HAProxy-like shim that accepts activation/deactivation commands, emits
+// heartbeats, and forwards output only while its replica is the primary; a
+// Rate Monitor measures source rates; the HAController maps them to input
+// configurations through an R-tree and issues replica commands.
+//
+// Where the engine package simulates deterministic fluid flows on a virtual
+// clock (for experiments), this package moves real tuples between real
+// goroutines on the wall clock (for applications). Plain Operators are
+// stateless, like the paper's synthetic workloads; operators implementing
+// StatefulOperator additionally get the Section 4.6 re-synchronisation
+// step — a replica joining (or rejoining) the active set restores a state
+// snapshot taken from the PE's current primary before it resumes.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/rtree"
+)
+
+// Tuple is one data item flowing through the runtime.
+type Tuple struct {
+	// From is the component that produced the tuple.
+	From core.ComponentID
+	// Data is the application payload.
+	Data any
+}
+
+// Operator transforms one input tuple into zero or more output payloads.
+// Each replica gets its own Operator instance; an instance is only ever
+// invoked from its replica's goroutine.
+type Operator interface {
+	Process(t Tuple) []any
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(t Tuple) []any
+
+// Process implements Operator.
+func (f OperatorFunc) Process(t Tuple) []any { return f(t) }
+
+// Config holds live-runtime parameters.
+type Config struct {
+	// QueueLen is the per-replica input channel capacity. Default 64.
+	QueueLen int
+	// MonitorInterval is the Rate Monitor / HAController period.
+	// Default 200 ms.
+	MonitorInterval time.Duration
+	// HeartbeatTimeout is how stale a replica's heartbeat may be before
+	// the controller considers it dead. Default 3 monitor intervals.
+	HeartbeatTimeout time.Duration
+	// InitialConfig is the input configuration applied at Start.
+	InitialConfig int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 200 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * c.MonitorInterval
+	}
+	return c
+}
+
+// Stats summarises a live run.
+type Stats struct {
+	// Emitted counts tuples pushed per source.
+	Emitted map[core.ComponentID]int64
+	// SinkDelivered counts tuples delivered to sink callbacks.
+	SinkDelivered int64
+	// Processed[pe][replica] counts tuples processed per replica.
+	Processed [][]int64
+	// Dropped counts tuples lost to full replica queues.
+	Dropped int64
+	// ConfigSwitches counts HAController reconfigurations.
+	ConfigSwitches int64
+}
+
+// replica is one running PE copy with its proxy state.
+type replica struct {
+	pe   int // dense index
+	comp core.ComponentID
+	idx  int
+	in   chan Tuple
+	op   Operator
+
+	active    atomic.Bool
+	alive     atomic.Bool
+	lastBeat  atomic.Int64 // unix nanoseconds
+	processed atomic.Int64
+}
+
+func (r *replica) beat(now time.Time) {
+	if r.alive.Load() {
+		r.lastBeat.Store(now.UnixNano())
+	}
+}
+
+// Runtime executes one application. Build with New, then Start, Push
+// tuples, and Stop.
+type Runtime struct {
+	d    *core.Descriptor
+	asg  *core.Assignment
+	strt *core.Strategy
+	cfg  Config
+
+	replicas  [][]*replica
+	primaries []atomic.Int32 // per PE; -1 when dark
+	applied   atomic.Int32
+	lookup    *rtree.Tree
+	maxCfg    int
+
+	// routes[comp] lists destination (pe, —) pairs; sink edges counted.
+	routes    map[core.ComponentID][]int // successor dense PE indices
+	sinkDst   map[core.ComponentID][]core.ComponentID
+	srcWindow []atomic.Int64 // per source, tuples since last scan
+	emitted   map[core.ComponentID]*atomic.Int64
+
+	sinkFn func(sink core.ComponentID, t Tuple)
+
+	dropped  atomic.Int64
+	sinkN    atomic.Int64
+	switches atomic.Int64
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	stopped atomic.Bool
+}
+
+// New builds a runtime for the application described by d, deployed per asg
+// with activation strategy strat. The factory is called once per replica to
+// create its Operator instance.
+func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory func(pe core.ComponentID, replica int) Operator, cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	app := d.App
+	if asg.NumPEs() != app.NumPEs() {
+		return nil, fmt.Errorf("live: assignment covers %d PEs, application has %d", asg.NumPEs(), app.NumPEs())
+	}
+	if strat.NumConfigs() != d.NumConfigs() || strat.NumPEs() != app.NumPEs() || strat.K != asg.K {
+		return nil, fmt.Errorf("live: strategy shape does not match deployment")
+	}
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialConfig < 0 || cfg.InitialConfig >= d.NumConfigs() {
+		return nil, fmt.Errorf("live: initial configuration %d out of range", cfg.InitialConfig)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("live: nil operator factory")
+	}
+	rt := &Runtime{
+		d:         d,
+		asg:       asg,
+		strt:      strat,
+		cfg:       cfg,
+		routes:    make(map[core.ComponentID][]int),
+		sinkDst:   make(map[core.ComponentID][]core.ComponentID),
+		emitted:   make(map[core.ComponentID]*atomic.Int64),
+		srcWindow: make([]atomic.Int64, app.NumSources()),
+		primaries: make([]atomic.Int32, app.NumPEs()),
+		stop:      make(chan struct{}),
+	}
+	rt.applied.Store(int32(cfg.InitialConfig))
+	rt.replicas = make([][]*replica, app.NumPEs())
+	for _, id := range app.PEs() {
+		pe := app.PEIndex(id)
+		rt.replicas[pe] = make([]*replica, asg.K)
+		for k := 0; k < asg.K; k++ {
+			rep := &replica{
+				pe:   pe,
+				comp: id,
+				idx:  k,
+				in:   make(chan Tuple, cfg.QueueLen),
+				op:   factory(id, k),
+			}
+			rep.alive.Store(true)
+			rep.active.Store(strat.IsActive(cfg.InitialConfig, pe, k))
+			rep.beat(time.Now())
+			rt.replicas[pe][k] = rep
+		}
+	}
+	for _, e := range app.Edges() {
+		switch app.Component(e.To).Kind {
+		case core.KindPE:
+			rt.routes[e.From] = append(rt.routes[e.From], app.PEIndex(e.To))
+		case core.KindSink:
+			rt.sinkDst[e.From] = append(rt.sinkDst[e.From], e.To)
+		}
+	}
+	for _, id := range app.Sources() {
+		rt.emitted[id] = &atomic.Int64{}
+	}
+	rt.lookup = rtree.New(app.NumSources())
+	r := core.NewRates(d)
+	for c, ic := range d.Configs {
+		rt.lookup.Insert(rtree.Point(ic.Rates), c)
+	}
+	rt.maxCfg = r.MaxConfig()
+	rt.electAll()
+	return rt, nil
+}
+
+// OnSink registers the callback invoked for every tuple delivered to a
+// sink. It must be set before Start; the callback may be invoked from
+// multiple goroutines concurrently.
+func (rt *Runtime) OnSink(fn func(sink core.ComponentID, t Tuple)) {
+	rt.sinkFn = fn
+}
+
+// Start launches the replica and controller goroutines.
+func (rt *Runtime) Start() error {
+	if !rt.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("live: Start called twice")
+	}
+	for _, reps := range rt.replicas {
+		for _, rep := range reps {
+			rt.wg.Add(1)
+			go rt.runReplica(rep)
+		}
+	}
+	rt.wg.Add(1)
+	go rt.runController()
+	return nil
+}
+
+// Push delivers one tuple from a source into the application. It is safe
+// for concurrent use.
+func (rt *Runtime) Push(src core.ComponentID, data any) error {
+	si := rt.d.App.SourceIndex(src)
+	if si < 0 {
+		return fmt.Errorf("live: component %d is not a source", src)
+	}
+	rt.srcWindow[si].Add(1)
+	rt.emitted[src].Add(1)
+	rt.fanOut(Tuple{From: src, Data: data})
+	return nil
+}
+
+// fanOut delivers a tuple to every replica of each successor PE of its
+// origin, dropping on full queues (the bounded-queue semantics of the
+// paper's deployment).
+func (rt *Runtime) fanOut(t Tuple) {
+	for _, pe := range rt.routes[t.From] {
+		for _, rep := range rt.replicas[pe] {
+			if !rep.alive.Load() || !rep.active.Load() {
+				continue
+			}
+			select {
+			case rep.in <- t:
+			default:
+				rt.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// runReplica is the proxied replica loop: heartbeat, accept input, process,
+// and forward output while primary.
+func (rt *Runtime) runReplica(rep *replica) {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.MonitorInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case now := <-ticker.C:
+			rep.beat(now)
+		case t := <-rep.in:
+			rep.beat(time.Now())
+			if !rep.alive.Load() || !rep.active.Load() {
+				continue // commands raced with queued input: discard
+			}
+			outs := rep.op.Process(t)
+			rep.processed.Add(1)
+			if len(outs) == 0 {
+				continue
+			}
+			if rt.primaries[rep.pe].Load() != int32(rep.idx) {
+				continue // secondaries process but do not forward
+			}
+			for _, data := range outs {
+				out := Tuple{From: rep.comp, Data: data}
+				rt.fanOut(out)
+				for _, sink := range rt.sinkDst[rep.comp] {
+					rt.sinkN.Add(1)
+					if rt.sinkFn != nil {
+						rt.sinkFn(sink, out)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runController is the Rate Monitor + HAController loop.
+func (rt *Runtime) runController() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.scan()
+		}
+	}
+}
+
+// scan measures source rates, selects the dominating configuration, applies
+// activation commands on change, and refreshes primary elections from
+// heartbeats.
+func (rt *Runtime) scan() {
+	interval := rt.cfg.MonitorInterval.Seconds()
+	measured := make(rtree.Point, len(rt.srcWindow))
+	for i := range rt.srcWindow {
+		measured[i] = float64(rt.srcWindow[i].Swap(0)) / interval * (1 - 1e-9)
+	}
+	_, cfg, ok := rt.lookup.NearestDominating(measured)
+	if !ok {
+		cfg = rt.maxCfg
+	}
+	if int32(cfg) != rt.applied.Load() {
+		rt.applied.Store(int32(cfg))
+		rt.switches.Add(1)
+		for pe := range rt.replicas {
+			for k, rep := range rt.replicas[pe] {
+				want := rt.strt.IsActive(cfg, pe, k)
+				if want && !rep.active.Load() && rep.alive.Load() {
+					// Re-synchronise state from the primary before the
+					// replica starts processing again (Section 4.6).
+					rt.markJoining(pe, rep)
+				}
+				rep.active.Store(want)
+			}
+		}
+	}
+	rt.electAll()
+}
+
+// electAll recomputes every PE's primary: the lowest-indexed replica that
+// is alive, active and recently heartbeating.
+func (rt *Runtime) electAll() {
+	deadline := time.Now().Add(-rt.cfg.HeartbeatTimeout).UnixNano()
+	for pe := range rt.replicas {
+		chosen := int32(-1)
+		for k, rep := range rt.replicas[pe] {
+			if rep.alive.Load() && rep.active.Load() && rep.lastBeat.Load() >= deadline {
+				chosen = int32(k)
+				break
+			}
+		}
+		rt.primaries[pe].Store(chosen)
+	}
+}
+
+// KillReplica crashes one replica: it stops heartbeating and discards
+// input until RecoverReplica. The controller fails over to a live sibling
+// on its next scan.
+func (rt *Runtime) KillReplica(pe core.ComponentID, idx int) error {
+	rep, err := rt.lookupReplica(pe, idx)
+	if err != nil {
+		return err
+	}
+	rep.alive.Store(false)
+	return nil
+}
+
+// RecoverReplica brings a crashed replica back. Stateful operators (see
+// StatefulOperator) are re-synchronised from the PE's current primary
+// before resuming; stateless operators simply rejoin the live stream.
+func (rt *Runtime) RecoverReplica(pe core.ComponentID, idx int) error {
+	rep, err := rt.lookupReplica(pe, idx)
+	if err != nil {
+		return err
+	}
+	rt.markJoining(rep.pe, rep)
+	rep.alive.Store(true)
+	return nil
+}
+
+func (rt *Runtime) lookupReplica(pe core.ComponentID, idx int) (*replica, error) {
+	pi := rt.d.App.PEIndex(pe)
+	if pi < 0 {
+		return nil, fmt.Errorf("live: component %d is not a PE", pe)
+	}
+	if idx < 0 || idx >= rt.asg.K {
+		return nil, fmt.Errorf("live: replica index %d out of range", idx)
+	}
+	return rt.replicas[pi][idx], nil
+}
+
+// AppliedConfig returns the input configuration the controller currently
+// has applied.
+func (rt *Runtime) AppliedConfig() int { return int(rt.applied.Load()) }
+
+// Primary returns the current primary replica index of a PE, or -1 when
+// the PE is dark.
+func (rt *Runtime) Primary(pe core.ComponentID) int {
+	pi := rt.d.App.PEIndex(pe)
+	if pi < 0 {
+		return -1
+	}
+	return int(rt.primaries[pi].Load())
+}
+
+// Stop terminates all goroutines and returns the run's statistics. It may
+// be called once, after Start.
+func (rt *Runtime) Stop() (*Stats, error) {
+	if !rt.started.Load() {
+		return nil, fmt.Errorf("live: Stop before Start")
+	}
+	if !rt.stopped.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("live: Stop called twice")
+	}
+	close(rt.stop)
+	rt.wg.Wait()
+	st := &Stats{
+		Emitted:        make(map[core.ComponentID]int64, len(rt.emitted)),
+		SinkDelivered:  rt.sinkN.Load(),
+		Dropped:        rt.dropped.Load(),
+		ConfigSwitches: rt.switches.Load(),
+	}
+	for id, n := range rt.emitted {
+		st.Emitted[id] = n.Load()
+	}
+	st.Processed = make([][]int64, len(rt.replicas))
+	for pe := range rt.replicas {
+		st.Processed[pe] = make([]int64, len(rt.replicas[pe]))
+		for k, rep := range rt.replicas[pe] {
+			st.Processed[pe][k] = rep.processed.Load()
+		}
+	}
+	return st, nil
+}

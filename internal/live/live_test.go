@@ -1,0 +1,299 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// buildApp returns the two-PE pipeline descriptor with Low = 20 t/s and
+// High = 200 t/s and its two-host placement.
+func buildApp(t *testing.T) (*core.Descriptor, *core.Assignment, []core.ComponentID) {
+	t.Helper()
+	b := core.NewBuilder("live-pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e6)
+	b.Connect(pe1, pe2, 1, 1e6)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{20}, Prob: 0.8},
+			{Name: "High", Rates: []float64{200}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return d, asg, []core.ComponentID{src, pe1, pe2, sink}
+}
+
+func identityFactory(core.ComponentID, int) Operator {
+	return OperatorFunc(func(t Tuple) []any { return []any{t.Data} })
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func testConfig() Config {
+	return Config{
+		QueueLen:        256,
+		MonitorInterval: 20 * time.Millisecond,
+	}
+}
+
+func TestPipelineDeliversAll(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := rt.Push(ids[0], i); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, 2*time.Second, func() bool { return delivered.Load() == n }, "all tuples at sink")
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SinkDelivered != n {
+		t.Fatalf("SinkDelivered = %d, want %d", stats.SinkDelivered, n)
+	}
+	if stats.Emitted[ids[0]] != n {
+		t.Fatalf("Emitted = %d, want %d", stats.Emitted[ids[0]], n)
+	}
+	// Both replicas of each PE process the stream (active replication),
+	// but only the primary forwards: sink sees each tuple once.
+	for pe := 0; pe < 2; pe++ {
+		for k := 0; k < 2; k++ {
+			if stats.Processed[pe][k] < n*9/10 {
+				t.Errorf("replica (%d,%d) processed %d, want ≈ %d", pe, k, stats.Processed[pe][k], n)
+			}
+		}
+	}
+}
+
+func TestFailoverToSecondary(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("initial primary = %d, want 0", got)
+	}
+	// Kill PE1's primary: the controller must elect replica 1 once the
+	// heartbeat goes stale, and output must keep flowing.
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return rt.Primary(ids[1]) == 1 }, "failover to replica 1")
+	before := delivered.Load()
+	for i := 0; i < 50; i++ {
+		if err := rt.Push(ids[0], i); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, 2*time.Second, func() bool { return delivered.Load() >= before+50 }, "output after failover")
+	// Recovery re-elects the lower-indexed replica.
+	if err := rt.RecoverReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return rt.Primary(ids[1]) == 0 }, "primary back to replica 0")
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerSwitchesConfig(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	// LAAR-style strategy: both replicas at Low, single replicas at High.
+	strat := core.AllActive(2, 2, 2)
+	strat.Set(1, 0, 1, false)
+	strat.Set(1, 1, 0, false)
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.AppliedConfig(); got != 0 {
+		t.Fatalf("initial config = %d, want 0 (Low)", got)
+	}
+	// Push well above the Low rate (20 t/s): ≥ 40 tuples within one 20 ms
+	// scan is 2000 t/s measured, forcing the High configuration.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Push(ids[0], 1)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 1 }, "switch to High")
+	close(stop)
+	// Once the burst subsides, the controller returns to Low.
+	waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 0 }, "return to Low")
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ConfigSwitches < 2 {
+		t.Fatalf("ConfigSwitches = %d, want ≥ 2", stats.ConfigSwitches)
+	}
+}
+
+func TestDeactivatedReplicaDoesNotProcess(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	// Replica 1 of each PE never active.
+	strat := core.NewStrategy(2, 2, 2)
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 2; p++ {
+			strat.Set(c, p, 0, true)
+		}
+	}
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rt.Push(ids[0], i)
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 2; pe++ {
+		if stats.Processed[pe][1] != 0 {
+			t.Errorf("deactivated replica (%d,1) processed %d tuples", pe, stats.Processed[pe][1])
+		}
+	}
+}
+
+func TestValidationAndLifecycleErrors(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	if _, err := New(d, asg, strat, nil, Config{}); err == nil {
+		t.Error("accepted nil factory")
+	}
+	if _, err := New(d, asg, core.AllActive(1, 2, 2), identityFactory, Config{}); err == nil {
+		t.Error("accepted wrong-shape strategy")
+	}
+	if _, err := New(d, asg, strat, identityFactory, Config{InitialConfig: 9}); err == nil {
+		t.Error("accepted out-of-range initial config")
+	}
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Stop(); err == nil {
+		t.Error("Stop before Start accepted")
+	}
+	if err := rt.Push(ids[1], 1); err == nil {
+		t.Error("Push to a PE accepted")
+	}
+	if err := rt.KillReplica(ids[0], 0); err == nil {
+		t.Error("KillReplica on a source accepted")
+	}
+	if err := rt.KillReplica(ids[1], 5); err == nil {
+		t.Error("KillReplica with bad index accepted")
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Error("second Start accepted")
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Stop(); err == nil {
+		t.Error("second Stop accepted")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	cfg := testConfig()
+	cfg.QueueLen = 1
+	// A slow operator forces the 1-slot queues to overflow.
+	slow := func(core.ComponentID, int) Operator {
+		return OperatorFunc(func(t Tuple) []any {
+			time.Sleep(2 * time.Millisecond)
+			return []any{t.Data}
+		})
+	}
+	rt, err := New(d, asg, strat, slow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rt.Push(ids[0], i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("no drops despite 1-slot queues and a slow operator")
+	}
+}

@@ -1,0 +1,52 @@
+package live
+
+import "time"
+
+// StatefulOperator extends Operator with state snapshot/restore, enabling
+// the re-synchronisation step of Section 4.6: "when activated again, they
+// re-synchronize their state with one of the active replicas and restart
+// processing". The runtime snapshots the current primary's operator and
+// restores the snapshot into a replica that transitions from inactive (or
+// crashed) to processing, so the joining replica resumes from live state
+// instead of an empty one.
+//
+// Snapshot is called from the controller goroutine while the owning
+// replica's goroutine may be processing; implementations must make
+// Snapshot safe to call concurrently with Process (e.g. by guarding state
+// with a mutex) and must return a deep copy. Restore is only called on a
+// replica that is not processing.
+type StatefulOperator interface {
+	Operator
+	// Snapshot returns a copy of the operator state.
+	Snapshot() any
+	// Restore replaces the operator state with a snapshot.
+	Restore(state any)
+}
+
+// syncState re-synchronises a joining replica's operator from the PE's
+// current primary, if both ends are stateful. It returns whether a
+// snapshot was transferred.
+func (rt *Runtime) syncState(pe int, joining *replica) bool {
+	prim := rt.primaries[pe].Load()
+	if prim < 0 || int(prim) == joining.idx {
+		return false
+	}
+	src, ok := rt.replicas[pe][prim].op.(StatefulOperator)
+	if !ok {
+		return false
+	}
+	dst, ok := joining.op.(StatefulOperator)
+	if !ok {
+		return false
+	}
+	dst.Restore(src.Snapshot())
+	return true
+}
+
+// markJoining is called whenever a replica becomes eligible for processing
+// again (activation command or recovery): state is synced from the primary
+// before the replica re-enters the pool.
+func (rt *Runtime) markJoining(pe int, rep *replica) {
+	rt.syncState(pe, rep)
+	rep.beat(time.Now())
+}

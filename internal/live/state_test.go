@@ -1,0 +1,144 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// countingOp is a stateful operator counting the tuples it has seen.
+type countingOp struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (c *countingOp) Process(t Tuple) []any {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	return []any{t.Data}
+}
+
+func (c *countingOp) Snapshot() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+func (c *countingOp) Restore(state any) {
+	c.mu.Lock()
+	c.count = state.(int)
+	c.mu.Unlock()
+}
+
+func (c *countingOp) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+func TestStateSyncOnRecovery(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	ops := make(map[[2]int]*countingOp)
+	var mu sync.Mutex
+	factory := func(pe core.ComponentID, replica int) Operator {
+		op := &countingOp{}
+		mu.Lock()
+		ops[[2]int{int(pe), replica}] = op
+		mu.Unlock()
+		return op
+	}
+	rt, err := New(d, asg, strat, factory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash PE1's replica 1, then push 100 tuples it will miss.
+	if err := rt.KillReplica(ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rt.Push(ids[0], i)
+		time.Sleep(500 * time.Microsecond)
+	}
+	pe1 := int(ids[1])
+	primaryOp := ops[[2]int{pe1, 0}]
+	waitFor(t, 2*time.Second, func() bool { return primaryOp.value() >= 100 }, "primary processing")
+	deadCount := ops[[2]int{pe1, 1}].value()
+	if deadCount >= 100 {
+		t.Fatalf("crashed replica kept processing (%d)", deadCount)
+	}
+	// Recover: the rejoining replica must restore the primary's count, not
+	// resume from its stale value.
+	if err := rt.RecoverReplica(ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	restored := ops[[2]int{pe1, 1}].value()
+	if restored < 100 {
+		t.Fatalf("recovered replica state = %d, want ≥ 100 (synced from primary)", restored)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateSyncOnReactivation(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	// LAAR-style strategy: replica 1 of each PE inactive at High.
+	strat := core.AllActive(2, 2, 2)
+	strat.Set(1, 0, 1, false)
+	strat.Set(1, 1, 1, false)
+	ops := make(map[[2]int]*countingOp)
+	var mu sync.Mutex
+	factory := func(pe core.ComponentID, replica int) Operator {
+		op := &countingOp{}
+		mu.Lock()
+		ops[[2]int{int(pe), replica}] = op
+		mu.Unlock()
+		return op
+	}
+	rt, err := New(d, asg, strat, factory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burst far above Low so the controller applies High (deactivating the
+	// replica-1 copies), keep pushing, then stop the burst so it returns
+	// to Low and re-activates them with synced state.
+	stopBurst := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopBurst:
+				return
+			default:
+				rt.Push(ids[0], 1)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 1 }, "switch to High")
+	// Let the primaries accumulate a lead while replica 1 is idle.
+	time.Sleep(100 * time.Millisecond)
+	close(stopBurst)
+	waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 0 }, "return to Low")
+	pe1 := int(ids[1])
+	primary := ops[[2]int{pe1, 0}].value()
+	rejoined := ops[[2]int{pe1, 1}].value()
+	// The rejoined replica must have been fast-forwarded to (roughly) the
+	// primary's count at sync time: far more than the handful of tuples it
+	// saw before deactivation.
+	if rejoined < primary/2 {
+		t.Fatalf("rejoined replica state = %d, primary = %d: state sync missing", rejoined, primary)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ops provides a small library of reusable operators for the live
+// runtime: stateless transforms (map, filter, flat-map) and stateful
+// windowed aggregates that implement the StatefulOperator contract, so
+// LAAR's Section 4.6 re-synchronisation works out of the box. Constructors
+// return factories — one fresh operator instance per replica — matching the
+// live runtime's replica-instantiation model.
+package ops
+
+import (
+	"sync"
+
+	"laar/internal/core"
+	"laar/internal/live"
+)
+
+// Factory builds one operator instance per (PE, replica).
+type Factory func(pe core.ComponentID, replica int) live.Operator
+
+// Map applies fn to every tuple payload, emitting exactly one output.
+func Map(fn func(any) any) Factory {
+	return func(core.ComponentID, int) live.Operator {
+		return live.OperatorFunc(func(t live.Tuple) []any {
+			return []any{fn(t.Data)}
+		})
+	}
+}
+
+// Filter keeps payloads satisfying pred (selectivity = the predicate's pass
+// rate).
+func Filter(pred func(any) bool) Factory {
+	return func(core.ComponentID, int) live.Operator {
+		return live.OperatorFunc(func(t live.Tuple) []any {
+			if pred(t.Data) {
+				return []any{t.Data}
+			}
+			return nil
+		})
+	}
+}
+
+// FlatMap applies fn to every payload, emitting all returned outputs.
+func FlatMap(fn func(any) []any) Factory {
+	return func(core.ComponentID, int) live.Operator {
+		return live.OperatorFunc(func(t live.Tuple) []any {
+			return fn(t.Data)
+		})
+	}
+}
+
+// countWindow is the CountWindow operator instance.
+type countWindow struct {
+	mu     sync.Mutex
+	n      int
+	buf    []any
+	reduce func(window []any) any
+}
+
+// CountWindow groups every n consecutive payloads and emits
+// reduce(window) — a tumbling count window (selectivity 1/n). It is
+// stateful: replicas joining the active set inherit the primary's partial
+// window, so windows do not restart from scratch on reconfiguration.
+func CountWindow(n int, reduce func(window []any) any) Factory {
+	return func(core.ComponentID, int) live.Operator {
+		return &countWindow{n: n, reduce: reduce}
+	}
+}
+
+// Process implements live.Operator.
+func (w *countWindow) Process(t live.Tuple) []any {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, t.Data)
+	if len(w.buf) < w.n {
+		return nil
+	}
+	out := w.reduce(w.buf)
+	w.buf = w.buf[:0]
+	return []any{out}
+}
+
+// Snapshot implements live.StatefulOperator.
+func (w *countWindow) Snapshot() any {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]any(nil), w.buf...)
+}
+
+// Restore implements live.StatefulOperator.
+func (w *countWindow) Restore(state any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf[:0], state.([]any)...)
+}
+
+// counter is the RunningReduce operator instance.
+type counter struct {
+	mu    sync.Mutex
+	acc   any
+	fn    func(acc any, in any) (any, any)
+	state any
+}
+
+// RunningReduce folds every payload into an accumulator with fn, which
+// returns the new accumulator and the value to emit (nil emits nothing).
+// The accumulator is replica state and participates in re-synchronisation.
+func RunningReduce(initial any, fn func(acc, in any) (newAcc, emit any)) Factory {
+	return func(core.ComponentID, int) live.Operator {
+		return &counter{acc: initial, fn: fn}
+	}
+}
+
+// Process implements live.Operator.
+func (c *counter) Process(t live.Tuple) []any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var emit any
+	c.acc, emit = c.fn(c.acc, t.Data)
+	if emit == nil {
+		return nil
+	}
+	return []any{emit}
+}
+
+// Snapshot implements live.StatefulOperator.
+func (c *counter) Snapshot() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acc
+}
+
+// Restore implements live.StatefulOperator.
+func (c *counter) Restore(state any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acc = state
+}
+
+// byPE dispatches to a different factory per PE name, with a default.
+type byPE struct {
+	factories map[string]Factory
+	def       Factory
+}
+
+// PerPE builds a dispatcher: the factory registered under the PE's name is
+// used for its replicas; unregistered PEs get the default (identity Map
+// when nil). It connects a whole application graph to its operators in one
+// expression.
+func PerPE(app *core.App, factories map[string]Factory, def Factory) Factory {
+	if def == nil {
+		def = Map(func(x any) any { return x })
+	}
+	d := &byPE{factories: make(map[string]Factory, len(factories)), def: def}
+	for name, f := range factories {
+		d.factories[name] = f
+	}
+	_ = app
+	return func(pe core.ComponentID, replica int) live.Operator {
+		// The live runtime passes the ComponentID; resolve its name lazily
+		// through the closure-captured application.
+		name := app.Component(pe).Name
+		if f, ok := d.factories[name]; ok {
+			return f(pe, replica)
+		}
+		return d.def(pe, replica)
+	}
+}

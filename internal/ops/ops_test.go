@@ -1,0 +1,199 @@
+package ops
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/live"
+)
+
+func mk(t *testing.T, f Factory) live.Operator {
+	t.Helper()
+	return f(0, 0)
+}
+
+func TestMap(t *testing.T) {
+	op := mk(t, Map(func(x any) any { return x.(int) * 2 }))
+	out := op.Process(live.Tuple{Data: 21})
+	if len(out) != 1 || out[0] != 42 {
+		t.Fatalf("Map output = %v", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	op := mk(t, Filter(func(x any) bool { return x.(int)%2 == 0 }))
+	if out := op.Process(live.Tuple{Data: 3}); len(out) != 0 {
+		t.Fatalf("odd payload passed: %v", out)
+	}
+	if out := op.Process(live.Tuple{Data: 4}); len(out) != 1 || out[0] != 4 {
+		t.Fatalf("even payload mangled: %v", out)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	op := mk(t, FlatMap(func(x any) []any { return []any{x, x} }))
+	if out := op.Process(live.Tuple{Data: "a"}); len(out) != 2 {
+		t.Fatalf("FlatMap output = %v", out)
+	}
+}
+
+func TestCountWindow(t *testing.T) {
+	op := mk(t, CountWindow(3, func(w []any) any {
+		sum := 0
+		for _, x := range w {
+			sum += x.(int)
+		}
+		return sum
+	}))
+	var outs []any
+	for i := 1; i <= 7; i++ {
+		outs = append(outs, op.Process(live.Tuple{Data: i})...)
+	}
+	// Windows: (1+2+3)=6, (4+5+6)=15; 7 still buffered.
+	if len(outs) != 2 || outs[0] != 6 || outs[1] != 15 {
+		t.Fatalf("window outputs = %v", outs)
+	}
+}
+
+func TestCountWindowSnapshotRestore(t *testing.T) {
+	f := CountWindow(3, func(w []any) any { return len(w) })
+	a := f(0, 0).(live.StatefulOperator)
+	b := f(0, 1).(live.StatefulOperator)
+	a.Process(live.Tuple{Data: 1})
+	a.Process(live.Tuple{Data: 2})
+	b.Restore(a.Snapshot())
+	// b inherits the two buffered items: one more closes its window.
+	out := b.Process(live.Tuple{Data: 3})
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("restored window output = %v", out)
+	}
+	// The snapshot is a copy: b's window closing must not drain a's
+	// buffer, which still needs one more item.
+	if out := a.(live.Operator).Process(live.Tuple{Data: 3}); len(out) != 1 {
+		t.Fatalf("a's window state corrupted by b's restore: %v", out)
+	}
+}
+
+func TestRunningReduce(t *testing.T) {
+	// Emit the running total on every 2nd tuple.
+	op := mk(t, RunningReduce(0, func(acc, in any) (any, any) {
+		n := acc.(int) + in.(int)
+		if n%2 == 0 {
+			return n, n
+		}
+		return n, nil
+	}))
+	var outs []any
+	for _, v := range []int{1, 1, 1, 1} {
+		outs = append(outs, op.Process(live.Tuple{Data: v})...)
+	}
+	if len(outs) != 2 || outs[0] != 2 || outs[1] != 4 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	st := op.(live.StatefulOperator)
+	if st.Snapshot() != 4 {
+		t.Fatalf("Snapshot = %v", st.Snapshot())
+	}
+	st.Restore(10)
+	if st.Snapshot() != 10 {
+		t.Fatalf("Restore ignored: %v", st.Snapshot())
+	}
+}
+
+// buildApp is a minimal app for dispatcher and integration tests.
+func buildApp(t *testing.T) (*core.Descriptor, *core.Assignment, []core.ComponentID) {
+	t.Helper()
+	b := core.NewBuilder("ops")
+	src := b.AddSource("src")
+	double := b.AddPE("double")
+	window := b.AddPE("window")
+	sink := b.AddSink("sink")
+	b.Connect(src, double, 1, 1e6)
+	b.Connect(double, window, 0.25, 1e6)
+	b.Connect(window, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{100}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		asg.Host[p][1] = 1
+	}
+	return d, asg, []core.ComponentID{src, double, window, sink}
+}
+
+func TestPerPEDispatch(t *testing.T) {
+	d, _, ids := buildApp(t)
+	factory := PerPE(d.App, map[string]Factory{
+		"double": Map(func(x any) any { return x.(int) * 2 }),
+	}, nil)
+	doubleOp := factory(ids[1], 0)
+	if out := doubleOp.Process(live.Tuple{Data: 5}); out[0] != 10 {
+		t.Fatalf("dispatched double = %v", out)
+	}
+	// Unregistered PE gets the identity default.
+	winOp := factory(ids[2], 0)
+	if out := winOp.Process(live.Tuple{Data: 5}); out[0] != 5 {
+		t.Fatalf("default op = %v", out)
+	}
+}
+
+func TestOpsPipelineEndToEnd(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	factory := PerPE(d.App, map[string]Factory{
+		"double": Map(func(x any) any { return x.(int) * 2 }),
+		"window": CountWindow(4, func(w []any) any {
+			sum := 0
+			for _, x := range w {
+				sum += x.(int)
+			}
+			return sum
+		}),
+	}, nil)
+	rt, err := live.New(d, asg, core.AllActive(1, 2, 2), factory, live.Config{
+		QueueLen:        1024,
+		MonitorInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums atomic.Int64
+	var windows atomic.Int64
+	rt.OnSink(func(_ core.ComponentID, tu live.Tuple) {
+		windows.Add(1)
+		sums.Add(int64(tu.Data.(int)))
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		rt.Push(ids[0], i)
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for windows.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// 40 inputs doubled and summed in windows of 4: total = 2·Σ1..40 = 1640
+	// over 10 windows.
+	if windows.Load() != 10 {
+		t.Fatalf("windows = %d, want 10", windows.Load())
+	}
+	if sums.Load() != 1640 {
+		t.Fatalf("window sums total = %d, want 1640", sums.Load())
+	}
+}

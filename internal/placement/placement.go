@@ -1,0 +1,155 @@
+// Package placement computes replicated assignments ϑ of PE replicas to
+// hosts (Eq. 3). The paper assumes a placement algorithm from the literature
+// (e.g. COLA) produces the replicated assignment; this package provides a
+// deterministic longest-processing-time (LPT) placement with anti-affinity
+// (replicas of the same PE never share a host, so replication survives host
+// failures), a round-robin baseline, and the placement-refinement pass of
+// the future-work extension that adapts placement to a solved activation
+// strategy.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"laar/internal/core"
+)
+
+// LPT places k replicas of every PE on the least-loaded hosts, considering
+// PEs in decreasing order of their unit load in the most resource-hungry
+// configuration. Anti-affinity is enforced: the k replicas of a PE go to k
+// distinct hosts. Requires numHosts ≥ k.
+func LPT(r *core.Rates, k, numHosts int) (*core.Assignment, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: non-positive replication factor %d", k)
+	}
+	if numHosts < k {
+		return nil, fmt.Errorf("placement: %d hosts cannot satisfy anti-affinity for %d replicas", numHosts, k)
+	}
+	numPEs := r.Descriptor().App.NumPEs()
+	maxCfg := r.MaxConfig()
+	loads := make([]float64, numPEs)
+	for p := 0; p < numPEs; p++ {
+		loads[p] = r.UnitLoad(p, maxCfg)
+	}
+	return lptByLoad(loads, func(p int) float64 { return loads[p] }, numPEs, k, numHosts), nil
+}
+
+// lptByLoad runs the LPT loop. order is by the given key, descending; every
+// replica of a PE adds perReplica(p) to its host.
+func lptByLoad(sortKey []float64, perReplica func(p int) float64, numPEs, k, numHosts int) *core.Assignment {
+	order := make([]int, numPEs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sortKey[order[a]] > sortKey[order[b]] })
+	asg := core.NewAssignment(numPEs, k, numHosts)
+	hostLoad := make([]float64, numHosts)
+	hosts := make([]int, numHosts)
+	for _, p := range order {
+		// Pick the k least-loaded hosts (stable by index for determinism).
+		for i := range hosts {
+			hosts[i] = i
+		}
+		sort.SliceStable(hosts, func(a, b int) bool { return hostLoad[hosts[a]] < hostLoad[hosts[b]] })
+		for rep := 0; rep < k; rep++ {
+			h := hosts[rep]
+			asg.Host[p][rep] = h
+			hostLoad[h] += perReplica(p)
+		}
+	}
+	return asg
+}
+
+// RoundRobin assigns replica j of PE p to host (p·k + j) mod numHosts,
+// skipping forward when anti-affinity would be violated. It is the naive
+// baseline used in placement ablations. Requires numHosts ≥ k.
+func RoundRobin(numPEs, k, numHosts int) (*core.Assignment, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: non-positive replication factor %d", k)
+	}
+	if numHosts < k {
+		return nil, fmt.Errorf("placement: %d hosts cannot satisfy anti-affinity for %d replicas", numHosts, k)
+	}
+	asg := core.NewAssignment(numPEs, k, numHosts)
+	next := 0
+	for p := 0; p < numPEs; p++ {
+		used := make(map[int]bool, k)
+		for rep := 0; rep < k; rep++ {
+			h := next % numHosts
+			for used[h] {
+				next++
+				h = next % numHosts
+			}
+			asg.Host[p][rep] = h
+			used[h] = true
+			next++
+		}
+	}
+	return asg, nil
+}
+
+// Refine re-places replicas given a solved activation strategy (the
+// placement ↔ activation interaction of the paper's future work, Section 6):
+// each replica's weight becomes its expected active load
+// Σ_c P_C(c)·unitLoad(pe,c)·s(replica,c), and the LPT pass balances those
+// weights. Replicas of a PE keep anti-affinity. The caller typically
+// re-solves the activation problem against the refined placement.
+func Refine(r *core.Rates, s *core.Strategy, numHosts int) (*core.Assignment, error) {
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	k := s.K
+	if numHosts < k {
+		return nil, fmt.Errorf("placement: %d hosts cannot satisfy anti-affinity for %d replicas", numHosts, k)
+	}
+	// Expected active load per (pe, replica).
+	weight := make([][]float64, numPEs)
+	for p := 0; p < numPEs; p++ {
+		weight[p] = make([]float64, k)
+		for rep := 0; rep < k; rep++ {
+			var w float64
+			for c, cfg := range d.Configs {
+				if s.IsActive(c, p, rep) {
+					w += cfg.Prob * r.UnitLoad(p, c)
+				}
+			}
+			weight[p][rep] = w
+		}
+	}
+	// Order PEs by their heaviest replica, descending; place each PE's
+	// replicas heaviest-first onto the least-loaded distinct hosts.
+	order := make([]int, numPEs)
+	for i := range order {
+		order[i] = i
+	}
+	maxW := func(p int) float64 {
+		m := weight[p][0]
+		for _, w := range weight[p][1:] {
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	sort.SliceStable(order, func(a, b int) bool { return maxW(order[a]) > maxW(order[b]) })
+	asg := core.NewAssignment(numPEs, k, numHosts)
+	hostLoad := make([]float64, numHosts)
+	hosts := make([]int, numHosts)
+	for _, p := range order {
+		reps := make([]int, k)
+		for i := range reps {
+			reps[i] = i
+		}
+		sort.SliceStable(reps, func(a, b int) bool { return weight[p][reps[a]] > weight[p][reps[b]] })
+		for i := range hosts {
+			hosts[i] = i
+		}
+		sort.SliceStable(hosts, func(a, b int) bool { return hostLoad[hosts[a]] < hostLoad[hosts[b]] })
+		for i, rep := range reps {
+			h := hosts[i]
+			asg.Host[p][rep] = h
+			hostLoad[h] += weight[p][rep]
+		}
+	}
+	return asg, nil
+}

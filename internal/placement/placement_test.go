@@ -1,0 +1,184 @@
+package placement
+
+import (
+	"testing"
+
+	"laar/internal/core"
+)
+
+// testDescriptor builds a fan-out application with n parallel PEs of
+// distinct loads, so placements are easy to reason about.
+func testDescriptor(t *testing.T, n int) *core.Descriptor {
+	t.Helper()
+	b := core.NewBuilder("fan")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	for i := 0; i < n; i++ {
+		pe := b.AddPE("")
+		// PE i costs (i+1)·1e7 cycles per tuple.
+		b.Connect(src, pe, 1, float64(i+1)*1e7)
+		b.Connect(pe, sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{5}, Prob: 0.8},
+			{Name: "High", Rates: []float64{10}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLPTAntiAffinity(t *testing.T) {
+	d := testDescriptor(t, 8)
+	r := core.NewRates(d)
+	asg, err := LPT(r, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(true); err != nil {
+		t.Fatalf("anti-affinity violated: %v", err)
+	}
+}
+
+func TestLPTBalances(t *testing.T) {
+	d := testDescriptor(t, 12)
+	r := core.NewRates(d)
+	asg, err := LPT(r, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.AllActive(2, 12, 2)
+	loads := core.HostLoads(r, s, asg, 1)
+	lo, hi := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	// LPT on these loads should stay within 50% imbalance.
+	if lo == 0 || hi/lo > 1.5 {
+		t.Fatalf("imbalanced LPT placement: loads=%v", loads)
+	}
+}
+
+func TestLPTErrors(t *testing.T) {
+	d := testDescriptor(t, 2)
+	r := core.NewRates(d)
+	if _, err := LPT(r, 0, 2); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if _, err := LPT(r, 3, 2); err == nil {
+		t.Error("accepted fewer hosts than replicas")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	asg, err := RoundRobin(6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(true); err != nil {
+		t.Fatalf("anti-affinity violated: %v", err)
+	}
+	// Every host gets 12/3 = 4 replicas.
+	for h := 0; h < 3; h++ {
+		if got := len(asg.ReplicasOn(h)); got != 4 {
+			t.Errorf("host %d has %d replicas, want 4", h, got)
+		}
+	}
+}
+
+func TestRoundRobinErrors(t *testing.T) {
+	if _, err := RoundRobin(3, 0, 2); err == nil {
+		t.Error("accepted k = 0")
+	}
+	if _, err := RoundRobin(3, 4, 2); err == nil {
+		t.Error("accepted fewer hosts than replicas")
+	}
+}
+
+func TestRefineAntiAffinityAndBalance(t *testing.T) {
+	d := testDescriptor(t, 10)
+	r := core.NewRates(d)
+	// Strategy: replica 0 always active; replica 1 active only at Low.
+	s := core.NewStrategy(2, 10, 2)
+	for p := 0; p < 10; p++ {
+		s.Set(0, p, 0, true)
+		s.Set(0, p, 1, true)
+		s.Set(1, p, 0, true)
+	}
+	asg, err := Refine(r, s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(true); err != nil {
+		t.Fatalf("anti-affinity violated: %v", err)
+	}
+	// Refined placement should not be worse than LPT w.r.t. the maximum
+	// expected active host load.
+	lpt, err := LPT(r, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := maxExpectedLoad(r, s, asg), maxExpectedLoad(r, s, lpt); got > want*1.05 {
+		t.Fatalf("Refine max expected load %v worse than LPT %v", got, want)
+	}
+}
+
+// maxExpectedLoad returns max over hosts of Σ_c P(c)·load(h,c).
+func maxExpectedLoad(r *core.Rates, s *core.Strategy, asg *core.Assignment) float64 {
+	d := r.Descriptor()
+	maxL := 0.0
+	for h := 0; h < asg.NumHosts; h++ {
+		var l float64
+		for c, cfg := range d.Configs {
+			l += cfg.Prob * core.HostLoad(r, s, asg, h, c)
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+func TestRefineErrors(t *testing.T) {
+	d := testDescriptor(t, 2)
+	r := core.NewRates(d)
+	s := core.AllActive(2, 2, 2)
+	if _, err := Refine(r, s, 1); err == nil {
+		t.Error("accepted fewer hosts than replicas")
+	}
+}
+
+func TestLPTDeterministic(t *testing.T) {
+	d := testDescriptor(t, 9)
+	r := core.NewRates(d)
+	a1, err := LPT(r, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := LPT(r, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a1.Host {
+		for rep := range a1.Host[p] {
+			if a1.Host[p][rep] != a2.Host[p][rep] {
+				t.Fatalf("non-deterministic placement at (%d,%d)", p, rep)
+			}
+		}
+	}
+}

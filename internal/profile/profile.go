@@ -1,0 +1,218 @@
+// Package profile implements the preliminary profiling step of the service
+// model (Section 3): when a customer cannot provide the concise application
+// attributes — per-edge selectivity δ, per-tuple CPU cost γ, and the input
+// rate distribution — the provider extracts them by observing an
+// instrumented execution. The profiler wraps the live runtime's operators
+// to attribute outputs and CPU time to the input edge that triggered them,
+// collects source-rate samples, and synthesises a complete, validated
+// core.Descriptor (discretising the observed rates with the Section 3
+// binning construction).
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/live"
+	"laar/internal/trace"
+)
+
+// edgeStats accumulates per-edge observations.
+type edgeStats struct {
+	in      int64
+	out     int64
+	cpuSecs float64
+}
+
+// Profiler collects observations for one application graph. It is safe for
+// concurrent use by all replica goroutines.
+type Profiler struct {
+	app *core.App
+	// cpuHz converts measured seconds into the descriptor's CPU cycles.
+	cpuHz float64
+
+	mu sync.Mutex
+	// edges[(from, to)] accumulates attribution for edges into PEs.
+	edges map[[2]core.ComponentID]*edgeStats
+	// rateSamples[sourceIdx] holds observed rates in tuples/s.
+	rateSamples [][]float64
+}
+
+// New returns a profiler for the application, converting measured CPU time
+// to cycles at the given clock rate (cycles per second).
+func New(app *core.App, cpuHz float64) (*Profiler, error) {
+	if cpuHz <= 0 {
+		return nil, fmt.Errorf("profile: non-positive CPU clock %v", cpuHz)
+	}
+	p := &Profiler{
+		app:         app,
+		cpuHz:       cpuHz,
+		edges:       make(map[[2]core.ComponentID]*edgeStats),
+		rateSamples: make([][]float64, app.NumSources()),
+	}
+	for _, e := range app.Edges() {
+		if app.Component(e.To).Kind == core.KindPE {
+			p.edges[[2]core.ComponentID{e.From, e.To}] = &edgeStats{}
+		}
+	}
+	return p, nil
+}
+
+// Wrap instruments one operator instance of the given PE. Outputs produced
+// while processing a tuple and the CPU time of the Process call are
+// attributed to the edge the tuple arrived on.
+func (p *Profiler) Wrap(pe core.ComponentID, op live.Operator) live.Operator {
+	return live.OperatorFunc(func(t live.Tuple) []any {
+		start := time.Now()
+		outs := op.Process(t)
+		elapsed := time.Since(start).Seconds()
+		key := [2]core.ComponentID{t.From, pe}
+		p.mu.Lock()
+		if st, ok := p.edges[key]; ok {
+			st.in++
+			st.out += int64(len(outs))
+			st.cpuSecs += elapsed
+		}
+		p.mu.Unlock()
+		return outs
+	})
+}
+
+// WrapFactory instruments a whole operator factory for use with the live
+// runtime.
+func (p *Profiler) WrapFactory(factory func(pe core.ComponentID, replica int) live.Operator) func(core.ComponentID, int) live.Operator {
+	return func(pe core.ComponentID, replica int) live.Operator {
+		return p.Wrap(pe, factory(pe, replica))
+	}
+}
+
+// AddRateSample records one observed production rate (tuples per second)
+// for a source, e.g. one per measurement window.
+func (p *Profiler) AddRateSample(src core.ComponentID, rate float64) error {
+	si := p.app.SourceIndex(src)
+	if si < 0 {
+		return fmt.Errorf("profile: component %d is not a source", src)
+	}
+	if rate < 0 {
+		return fmt.Errorf("profile: negative rate sample %v", rate)
+	}
+	p.mu.Lock()
+	p.rateSamples[si] = append(p.rateSamples[si], rate)
+	p.mu.Unlock()
+	return nil
+}
+
+// EdgeObservations returns the raw per-edge counts for inspection: tuples
+// in, tuples out, and CPU seconds, keyed by (from, to).
+func (p *Profiler) EdgeObservations() map[[2]core.ComponentID]struct {
+	In, Out int64
+	CPUSecs float64
+} {
+	out := make(map[[2]core.ComponentID]struct {
+		In, Out int64
+		CPUSecs float64
+	}, len(p.edges))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, st := range p.edges {
+		out[k] = struct {
+			In, Out int64
+			CPUSecs float64
+		}{st.in, st.out, st.cpuSecs}
+	}
+	return out
+}
+
+// Options configures descriptor synthesis.
+type Options struct {
+	// HostCapacity is K for the synthesised descriptor.
+	HostCapacity float64
+	// BillingPeriod is T.
+	BillingPeriod float64
+	// RateBins is the number of bins used to discretise each source's
+	// observed rates (Section 3). Default 2 (a Low/High split).
+	RateBins int
+	// MinSamplesPerEdge rejects profiles whose edges were exercised fewer
+	// times than this. Default 1.
+	MinSamplesPerEdge int64
+}
+
+// Descriptor synthesises a validated application descriptor from the
+// collected observations: per-edge selectivity = outputs/inputs, per-tuple
+// cost = CPU seconds/inputs converted to cycles, and input configurations
+// from binning each source's rate samples (sources are assumed
+// independent, so the joint configurations are the Cartesian product).
+func (p *Profiler) Descriptor(opts Options) (*core.Descriptor, error) {
+	if opts.RateBins <= 0 {
+		opts.RateBins = 2
+	}
+	if opts.MinSamplesPerEdge <= 0 {
+		opts.MinSamplesPerEdge = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	b := core.NewBuilder(p.app.Name() + "-profiled")
+	for _, c := range p.app.Components() {
+		switch c.Kind {
+		case core.KindSource:
+			b.AddSource(c.Name)
+		case core.KindPE:
+			b.AddPE(c.Name)
+		case core.KindSink:
+			b.AddSink(c.Name)
+		}
+	}
+	for _, e := range p.app.Edges() {
+		if p.app.Component(e.To).Kind != core.KindPE {
+			b.Connect(e.From, e.To, 0, 0)
+			continue
+		}
+		st := p.edges[[2]core.ComponentID{e.From, e.To}]
+		if st.in < opts.MinSamplesPerEdge {
+			return nil, fmt.Errorf("profile: edge %s -> %s observed %d tuples, need %d",
+				p.app.Component(e.From).Name, p.app.Component(e.To).Name, st.in, opts.MinSamplesPerEdge)
+		}
+		sel := float64(st.out) / float64(st.in)
+		cost := st.cpuSecs / float64(st.in) * p.cpuHz
+		b.Connect(e.From, e.To, sel, cost)
+	}
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	rates := make([][]float64, len(p.rateSamples))
+	probs := make([][]float64, len(p.rateSamples))
+	for i, samples := range p.rateSamples {
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("profile: source %d has no rate samples", i)
+		}
+		r, pr, err := trace.Bin(samples, opts.RateBins)
+		if err != nil {
+			return nil, err
+		}
+		rates[i], probs[i] = r, pr
+	}
+	configs, err := core.CrossConfigs(rates, probs)
+	if err != nil {
+		return nil, err
+	}
+	// Give the common single-source Low/High shape friendly names.
+	if len(p.rateSamples) == 1 && len(configs) == 2 {
+		configs[0].Name = "Low"
+		configs[1].Name = "High"
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       configs,
+		HostCapacity:  opts.HostCapacity,
+		BillingPeriod: opts.BillingPeriod,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,221 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/live"
+)
+
+// buildApp returns a fan application: src -> A -> {B, sink}; B -> sink.
+func buildApp(t *testing.T) (*core.App, []core.ComponentID) {
+	t.Helper()
+	b := core.NewBuilder("profiled")
+	src := b.AddSource("src")
+	a := b.AddPE("A")
+	bb := b.AddPE("B")
+	sink := b.AddSink("sink")
+	b.Connect(src, a, 0, 0) // attributes unknown: profiling will fill them
+	b.Connect(a, bb, 0, 0)
+	b.Connect(a, sink, 0, 0)
+	b.Connect(bb, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, []core.ComponentID{src, a, bb, sink}
+}
+
+func TestProfilerSelectivities(t *testing.T) {
+	app, ids := buildApp(t)
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicates every input (δ = 2); B passes every other tuple (δ = 0.5).
+	opA := p.Wrap(ids[1], live.OperatorFunc(func(t live.Tuple) []any {
+		return []any{t.Data, t.Data}
+	}))
+	count := 0
+	opB := p.Wrap(ids[2], live.OperatorFunc(func(t live.Tuple) []any {
+		count++
+		if count%2 == 0 {
+			return []any{t.Data}
+		}
+		return nil
+	}))
+	// Feed A 100 tuples from the source, and B the 200 outputs of A.
+	for i := 0; i < 100; i++ {
+		outs := opA.Process(live.Tuple{From: ids[0], Data: i})
+		for _, o := range outs {
+			opB.Process(live.Tuple{From: ids[1], Data: o})
+		}
+	}
+	for i := 0; i < 60; i++ {
+		p.AddRateSample(ids[0], 4+float64(i%3)) // around 4-6 t/s
+	}
+	for i := 0; i < 20; i++ {
+		p.AddRateSample(ids[0], 11+float64(i%2)) // around 11-12 t/s
+	}
+	d, err := p.Descriptor(Options{HostCapacity: 1e9, BillingPeriod: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selA, selB float64
+	for _, e := range d.App.Edges() {
+		switch {
+		case e.To == ids[1]:
+			selA = e.Selectivity
+		case e.To == ids[2]:
+			selB = e.Selectivity
+		}
+		if d.App.Component(e.To).Kind == core.KindPE && e.CostCycles <= 0 {
+			t.Errorf("edge into %v has non-positive profiled cost", e.To)
+		}
+	}
+	if math.Abs(selA-2) > 1e-9 {
+		t.Errorf("δ(A) = %v, want 2", selA)
+	}
+	if math.Abs(selB-0.5) > 1e-9 {
+		t.Errorf("δ(B) = %v, want 0.5", selB)
+	}
+	// The single-source two-bin profile gets Low/High names, probabilities
+	// 0.75/0.25, and High > Low.
+	if len(d.Configs) != 2 || d.Configs[0].Name != "Low" || d.Configs[1].Name != "High" {
+		t.Fatalf("configs = %+v", d.Configs)
+	}
+	if math.Abs(d.Configs[0].Prob-0.75) > 1e-9 || math.Abs(d.Configs[1].Prob-0.25) > 1e-9 {
+		t.Errorf("probs = %v/%v, want 0.75/0.25", d.Configs[0].Prob, d.Configs[1].Prob)
+	}
+	if d.Configs[1].Rates[0] <= d.Configs[0].Rates[0] {
+		t.Errorf("High rate %v not above Low %v", d.Configs[1].Rates[0], d.Configs[0].Rates[0])
+	}
+}
+
+func TestProfilerCostOrdering(t *testing.T) {
+	app, ids := buildApp(t)
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin := func(iters int) live.Operator {
+		return live.OperatorFunc(func(t live.Tuple) []any {
+			x := 0.0
+			for i := 0; i < iters; i++ {
+				x += float64(i)
+			}
+			_ = x
+			return []any{t.Data}
+		})
+	}
+	cheap := p.Wrap(ids[1], spin(100))
+	costly := p.Wrap(ids[2], spin(200000))
+	for i := 0; i < 50; i++ {
+		cheap.Process(live.Tuple{From: ids[0], Data: i})
+		costly.Process(live.Tuple{From: ids[1], Data: i})
+	}
+	p.AddRateSample(ids[0], 5)
+	d, err := p.Descriptor(Options{HostCapacity: 1e9, BillingPeriod: 60, RateBins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var costA, costB float64
+	for _, e := range d.App.Edges() {
+		switch e.To {
+		case ids[1]:
+			costA = e.CostCycles
+		case ids[2]:
+			costB = e.CostCycles
+		}
+	}
+	if costB <= costA {
+		t.Fatalf("profiled cost of the heavy operator (%v) not above the cheap one (%v)", costB, costA)
+	}
+}
+
+func TestProfilerRejectsIncomplete(t *testing.T) {
+	app, ids := buildApp(t)
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only A observed; B never exercised.
+	op := p.Wrap(ids[1], live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} }))
+	op.Process(live.Tuple{From: ids[0], Data: 1})
+	p.AddRateSample(ids[0], 5)
+	if _, err := p.Descriptor(Options{HostCapacity: 1e9, BillingPeriod: 60}); err == nil {
+		t.Fatal("accepted a profile with an unexercised edge")
+	}
+}
+
+func TestProfilerRejectsMissingRates(t *testing.T) {
+	app, ids := buildApp(t)
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opA := p.Wrap(ids[1], live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} }))
+	opB := p.Wrap(ids[2], live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} }))
+	for i := 0; i < 5; i++ {
+		opA.Process(live.Tuple{From: ids[0], Data: i})
+		opB.Process(live.Tuple{From: ids[1], Data: i})
+	}
+	if _, err := p.Descriptor(Options{HostCapacity: 1e9, BillingPeriod: 60}); err == nil {
+		t.Fatal("accepted a profile with no source rate samples")
+	}
+}
+
+func TestProfilerInputValidation(t *testing.T) {
+	app, ids := buildApp(t)
+	if _, err := New(app, 0); err == nil {
+		t.Error("accepted zero CPU clock")
+	}
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRateSample(ids[1], 5); err == nil {
+		t.Error("accepted rate sample for a PE")
+	}
+	if err := p.AddRateSample(ids[0], -1); err == nil {
+		t.Error("accepted negative rate")
+	}
+}
+
+func TestProfilerEndToEndWithLiveRuntime(t *testing.T) {
+	// The profiled descriptor must be solvable: profile a live run, then
+	// feed the result straight into placement.
+	app, ids := buildApp(t)
+	p, err := New(app, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := p.WrapFactory(func(core.ComponentID, int) live.Operator {
+		return live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} })
+	})
+	// Exercise the operators directly (the live runtime wiring is tested
+	// in the live package; here we only need attribution to flow).
+	opA := factory(ids[1], 0)
+	opB := factory(ids[2], 0)
+	for i := 0; i < 30; i++ {
+		for _, o := range opA.Process(live.Tuple{From: ids[0], Data: i}) {
+			opB.Process(live.Tuple{From: ids[1], Data: o})
+		}
+	}
+	for _, rate := range []float64{4, 5, 4, 12, 11} {
+		p.AddRateSample(ids[0], rate)
+	}
+	d, err := p.Descriptor(Options{HostCapacity: 1e9, BillingPeriod: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := p.EdgeObservations()
+	if got := obs[[2]core.ComponentID{ids[0], ids[1]}].In; got != 30 {
+		t.Errorf("edge src->A observed %d tuples, want 30", got)
+	}
+	r := core.NewRates(d)
+	if r.Rate(ids[1], 0) <= 0 {
+		t.Error("profiled descriptor yields zero rates")
+	}
+}

@@ -1,0 +1,66 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(n, dim int) (*Tree, []Point) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(dim)
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+		tr.Insert(p, i)
+	}
+	queries := make([]Point, 256)
+	for i := range queries {
+		q := make(Point, dim)
+		for j := range q {
+			q[j] = rng.Float64() * 110
+		}
+		queries[i] = q
+	}
+	return tr, queries
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}, i)
+	}
+}
+
+func BenchmarkNearestDominating64(b *testing.B) {
+	tr, queries := benchTree(64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestDominating(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkNearestDominating4096(b *testing.B) {
+	tr, queries := benchTree(4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NearestDominating(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkSearchBox(b *testing.B) {
+	tr, _ := benchTree(4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Search(Point{20, 20, 20}, Point{40, 40, 40}, func(Point, int) bool {
+			count++
+			return true
+		})
+	}
+}

@@ -1,0 +1,365 @@
+// Package rtree implements an in-memory R-tree (Guttman, SIGMOD 1984) over
+// points in low-dimensional rate space. The LAAR HAController uses it to map
+// the source rates measured by the Rate Monitor to the input configuration
+// that is spatially closest to the current rates among those whose
+// components are all greater than or equal to the corresponding measured
+// rates, so the chosen replica configuration never underestimates the actual
+// system load (Section 4.6).
+//
+// The tree stores points (degenerate rectangles) with integer payloads and
+// supports insertion, range search, and the dominating-nearest query. Node
+// splitting uses Guttman's quadratic split.
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// maxEntries is M, the maximum number of entries per node.
+	maxEntries = 8
+	// minEntries is m ≤ M/2, the minimum number of entries per node after
+	// a split.
+	minEntries = 3
+)
+
+// Point is a position in rate space, one coordinate per data source.
+type Point []float64
+
+// rect is an axis-aligned bounding rectangle.
+type rect struct {
+	min, max Point
+}
+
+func pointRect(p Point) rect {
+	return rect{min: append(Point(nil), p...), max: append(Point(nil), p...)}
+}
+
+func (r rect) clone() rect {
+	return rect{min: append(Point(nil), r.min...), max: append(Point(nil), r.max...)}
+}
+
+// area returns the hyper-volume of the rectangle.
+func (r rect) area() float64 {
+	a := 1.0
+	for i := range r.min {
+		a *= r.max[i] - r.min[i]
+	}
+	return a
+}
+
+// enlarge grows the rectangle to cover other.
+func (r *rect) enlarge(other rect) {
+	for i := range r.min {
+		if other.min[i] < r.min[i] {
+			r.min[i] = other.min[i]
+		}
+		if other.max[i] > r.max[i] {
+			r.max[i] = other.max[i]
+		}
+	}
+}
+
+// enlargement returns the area increase needed for r to cover other.
+func (r rect) enlargement(other rect) float64 {
+	grown := r.clone()
+	grown.enlarge(other)
+	return grown.area() - r.area()
+}
+
+// contains reports whether p lies inside the rectangle (inclusive).
+func (r rect) contains(p Point) bool {
+	for i := range p {
+		if p[i] < r.min[i] || p[i] > r.max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mayDominate reports whether the rectangle could contain a point that
+// dominates q, i.e. whether max ≥ q component-wise.
+func (r rect) mayDominate(q Point) bool {
+	for i := range q {
+		if r.max[i] < q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minDistSq returns a lower bound on the squared Euclidean distance from q
+// to any point within the rectangle.
+func (r rect) minDistSq(q Point) float64 {
+	var d float64
+	for i := range q {
+		switch {
+		case q[i] < r.min[i]:
+			d += (r.min[i] - q[i]) * (r.min[i] - q[i])
+		case q[i] > r.max[i]:
+			d += (q[i] - r.max[i]) * (q[i] - r.max[i])
+		}
+	}
+	return d
+}
+
+func distSq(a, b Point) float64 {
+	var d float64
+	for i := range a {
+		d += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	return d
+}
+
+// entry is either a child pointer (internal node) or a stored point (leaf).
+type entry struct {
+	bounds rect
+	child  *node // nil in leaves
+	point  Point // nil in internal nodes
+	value  int
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree over points. The zero value is not usable; create trees
+// with New.
+type Tree struct {
+	dim  int
+	root *node
+	size int
+}
+
+// New returns an empty tree for points of the given dimensionality.
+func New(dim int) *Tree {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rtree: non-positive dimension %d", dim))
+	}
+	return &Tree{dim: dim, root: &node{leaf: true}}
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the dimensionality of the tree.
+func (t *Tree) Dim() int { return t.dim }
+
+// Insert stores a point with an integer payload. The point is copied.
+func (t *Tree) Insert(p Point, value int) {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: inserting %d-dimensional point into %d-dimensional tree", len(p), t.dim))
+	}
+	e := entry{bounds: pointRect(p), point: append(Point(nil), p...), value: value}
+	n1, n2 := t.insert(t.root, e)
+	if n2 != nil {
+		// Root split: grow the tree.
+		root := &node{leaf: false, entries: []entry{
+			{bounds: coverOf(n1), child: n1},
+			{bounds: coverOf(n2), child: n2},
+		}}
+		t.root = root
+	}
+	t.size++
+}
+
+func coverOf(n *node) rect {
+	r := n.entries[0].bounds.clone()
+	for _, e := range n.entries[1:] {
+		r.enlarge(e.bounds)
+	}
+	return r
+}
+
+// insert adds e beneath n, returning the (possibly replaced) node and, when
+// a split occurred, the new sibling.
+func (t *Tree) insert(n *node, e entry) (*node, *node) {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return t.splitNode(n)
+		}
+		return n, nil
+	}
+	// ChooseLeaf: the subtree needing least enlargement, ties by area.
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].bounds.enlargement(e.bounds)
+		area := n.entries[i].bounds.area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child, sibling := t.insert(n.entries[best].child, e)
+	n.entries[best].child = child
+	n.entries[best].bounds = coverOf(child)
+	if sibling != nil {
+		n.entries = append(n.entries, entry{bounds: coverOf(sibling), child: sibling})
+		if len(n.entries) > maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return n, nil
+}
+
+// splitNode performs Guttman's quadratic split, distributing n's entries
+// over n and a new sibling.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	entries := n.entries
+	// PickSeeds: the pair wasting the most area if grouped together.
+	var s1, s2 int
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			combined := entries[i].bounds.clone()
+			combined.enlarge(entries[j].bounds)
+			waste := combined.area() - entries[i].bounds.area() - entries[j].bounds.area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	g1 := &node{leaf: n.leaf, entries: []entry{entries[s1]}}
+	g2 := &node{leaf: n.leaf, entries: []entry{entries[s2]}}
+	r1 := entries[s1].bounds.clone()
+	r2 := entries[s2].bounds.clone()
+	remaining := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, e)
+		}
+	}
+	for len(remaining) > 0 {
+		// If one group needs all remaining entries to reach minEntries,
+		// assign them all to it.
+		if len(g1.entries)+len(remaining) == minEntries {
+			for _, e := range remaining {
+				g1.entries = append(g1.entries, e)
+				r1.enlarge(e.bounds)
+			}
+			break
+		}
+		if len(g2.entries)+len(remaining) == minEntries {
+			for _, e := range remaining {
+				g2.entries = append(g2.entries, e)
+				r2.enlarge(e.bounds)
+			}
+			break
+		}
+		// PickNext: the entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range remaining {
+			d1 := r1.enlargement(e.bounds)
+			d2 := r2.enlargement(e.bounds)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		d1 := r1.enlargement(e.bounds)
+		d2 := r2.enlargement(e.bounds)
+		if d1 < d2 || (d1 == d2 && r1.area() <= r2.area()) {
+			g1.entries = append(g1.entries, e)
+			r1.enlarge(e.bounds)
+		} else {
+			g2.entries = append(g2.entries, e)
+			r2.enlarge(e.bounds)
+		}
+	}
+	return g1, g2
+}
+
+// Search calls fn for every stored point inside the axis-aligned box
+// [min, max] (inclusive). It stops early if fn returns false.
+func (t *Tree) Search(min, max Point, fn func(p Point, value int) bool) {
+	box := rect{min: min, max: max}
+	t.search(t.root, box, fn)
+}
+
+func (t *Tree) search(n *node, box rect, fn func(Point, int) bool) bool {
+	for _, e := range n.entries {
+		if !overlaps(e.bounds, box) {
+			continue
+		}
+		if n.leaf {
+			if box.contains(e.point) {
+				if !fn(e.point, e.value) {
+					return false
+				}
+			}
+		} else if !t.search(e.child, box, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func overlaps(a, b rect) bool {
+	for i := range a.min {
+		if a.max[i] < b.min[i] || b.max[i] < a.min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestDominating returns the stored point closest (Euclidean) to q among
+// those that dominate q (every component ≥ the corresponding component of
+// q), together with its payload. ok is false when no stored point dominates
+// q. This is the HAController lookup: the returned configuration never
+// underestimates the measured rates.
+func (t *Tree) NearestDominating(q Point) (best Point, value int, ok bool) {
+	if len(q) != t.dim {
+		panic(fmt.Sprintf("rtree: %d-dimensional query against %d-dimensional tree", len(q), t.dim))
+	}
+	bestD := math.Inf(1)
+	var found bool
+	var val int
+	var bp Point
+	var walk func(n *node)
+	walk = func(n *node) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !e.bounds.mayDominate(q) || e.bounds.minDistSq(q) >= bestD {
+				continue
+			}
+			if n.leaf {
+				if dominates(e.point, q) {
+					if d := distSq(e.point, q); d < bestD {
+						bestD, bp, val, found = d, e.point, e.value, true
+					}
+				}
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return bp, val, found
+}
+
+func dominates(p, q Point) bool {
+	for i := range q {
+		if p[i] < q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// depth returns the height of the tree (for tests).
+func (t *Tree) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		n = n.entries[0].child
+		d++
+	}
+	return d
+}

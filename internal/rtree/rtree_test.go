@@ -1,0 +1,243 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndLen(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Point{float64(i), float64(i % 10)}, i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if tr.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", tr.Dim())
+	}
+	if d := tr.depth(); d < 2 {
+		t.Fatalf("depth = %d, want ≥ 2 after 100 inserts (M=%d)", d, maxEntries)
+	}
+}
+
+func TestSearchBox(t *testing.T) {
+	tr := New(2)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			tr.Insert(Point{float64(x), float64(y)}, x*10+y)
+		}
+	}
+	var got []int
+	tr.Search(Point{2, 3}, Point{4, 5}, func(p Point, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	sort.Ints(got)
+	var want []int
+	for x := 2; x <= 4; x++ {
+		for y := 3; y <= 5; y++ {
+			want = append(want, x*10+y)
+		}
+	}
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("Search returned %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Search results %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 50; i++ {
+		tr.Insert(Point{float64(i)}, i)
+	}
+	count := 0
+	tr.Search(Point{0}, Point{49}, func(Point, int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d points, want 5", count)
+	}
+}
+
+func TestNearestDominatingSimple(t *testing.T) {
+	tr := New(2)
+	// Configurations at (4,4), (8,4), (4,8), (8,8).
+	tr.Insert(Point{4, 4}, 0)
+	tr.Insert(Point{8, 4}, 1)
+	tr.Insert(Point{4, 8}, 2)
+	tr.Insert(Point{8, 8}, 3)
+	cases := []struct {
+		q    Point
+		want int
+		ok   bool
+	}{
+		{Point{3, 3}, 0, true},    // dominated by all; (4,4) closest
+		{Point{5, 3}, 1, true},    // needs x ≥ 5 → (8,4)
+		{Point{3, 5}, 2, true},    // needs y ≥ 5 → (4,8)
+		{Point{5, 5}, 3, true},    // only (8,8) dominates
+		{Point{9, 1}, 0, false},   // nothing dominates x = 9
+		{Point{8, 8}, 3, true},    // exact match dominates itself
+		{Point{0, 0}, 0, true},    // all dominate; nearest is (4,4)
+		{Point{4, 8.5}, 0, false}, // nothing has y ≥ 8.5
+	}
+	for _, tc := range cases {
+		_, v, ok := tr.NearestDominating(tc.q)
+		if ok != tc.ok || (ok && v != tc.want) {
+			t.Errorf("NearestDominating(%v) = (%d, %v), want (%d, %v)", tc.q, v, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// linearNearestDominating is the brute-force oracle.
+func linearNearestDominating(pts []Point, q Point) (int, bool) {
+	best, bestD, found := -1, math.Inf(1), false
+	for i, p := range pts {
+		dom := true
+		for j := range q {
+			if p[j] < q[j] {
+				dom = false
+				break
+			}
+		}
+		if !dom {
+			continue
+		}
+		var d float64
+		for j := range q {
+			d += (p[j] - q[j]) * (p[j] - q[j])
+		}
+		if d < bestD {
+			best, bestD, found = i, d, true
+		}
+	}
+	return best, found
+}
+
+func TestNearestDominatingMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		dim := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(200)
+		tr := New(dim)
+		pts := make([]Point, n)
+		for i := range pts {
+			p := make(Point, dim)
+			for j := range p {
+				p[j] = math.Floor(rng.Float64()*100) / 5
+			}
+			pts[i] = p
+			tr.Insert(p, i)
+		}
+		for k := 0; k < 20; k++ {
+			q := make(Point, dim)
+			for j := range q {
+				q[j] = math.Floor(rng.Float64()*110) / 5
+			}
+			wantIdx, wantOK := linearNearestDominating(pts, q)
+			gotPt, gotIdx, gotOK := tr.NearestDominating(q)
+			if gotOK != wantOK {
+				t.Fatalf("trial %d: NearestDominating(%v) ok=%v, want %v", trial, q, gotOK, wantOK)
+			}
+			if !gotOK {
+				continue
+			}
+			// Distances must match (payloads may differ under ties).
+			var gd, wd float64
+			for j := range q {
+				gd += (gotPt[j] - q[j]) * (gotPt[j] - q[j])
+				wd += (pts[wantIdx][j] - q[j]) * (pts[wantIdx][j] - q[j])
+			}
+			if math.Abs(gd-wd) > 1e-9 {
+				t.Fatalf("trial %d: NearestDominating(%v) = idx %d dist %v, want idx %d dist %v",
+					trial, q, gotIdx, gd, wantIdx, wd)
+			}
+		}
+	}
+}
+
+func TestSearchMatchesLinearScanQuick(t *testing.T) {
+	tr := New(2)
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 50, rng.Float64() * 50}
+		tr.Insert(pts[i], i)
+	}
+	f := func(ax, ay, bx, by float64) bool {
+		lo := Point{math.Min(math.Abs(ax), math.Abs(bx)), math.Min(math.Abs(ay), math.Abs(by))}
+		hi := Point{math.Max(math.Abs(ax), math.Abs(bx)), math.Max(math.Abs(ay), math.Abs(by))}
+		want := 0
+		for _, p := range pts {
+			if p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1] {
+				want++
+			}
+		}
+		got := 0
+		tr.Search(lo, hi, func(Point, int) bool { got++; return true })
+		return got == want
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(r.Float64() * 60)
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertPanicsOnWrongDim(t *testing.T) {
+	tr := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert accepted wrong-dimension point")
+		}
+	}()
+	tr.Insert(Point{1}, 0)
+}
+
+func TestNearestDominatingPanicsOnWrongDim(t *testing.T) {
+	tr := New(2)
+	tr.Insert(Point{1, 1}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NearestDominating accepted wrong-dimension query")
+		}
+	}()
+	tr.NearestDominating(Point{1, 2, 3})
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted dimension 0")
+		}
+	}()
+	New(0)
+}
+
+func TestDuplicatePointsRetained(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 20; i++ {
+		tr.Insert(Point{5}, i)
+	}
+	count := 0
+	tr.Search(Point{5}, Point{5}, func(Point, int) bool { count++; return true })
+	if count != 20 {
+		t.Fatalf("found %d duplicates, want 20", count)
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakByInsertionOrder(t *testing.T) {
+	var e Engine
+	var got []string
+	e.At(5, func() { got = append(got, "a") })
+	e.At(5, func() { got = append(got, "b") })
+	e.At(5, func() { got = append(got, "c") })
+	e.RunAll()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie-break order = %v", got)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run(10)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (advanced to horizon)", e.Now())
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(5, func() { ran = true })
+	e.Run(4)
+	if ran {
+		t.Fatal("event past the horizon executed")
+	}
+	if e.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(5)
+	if !ran {
+		t.Fatal("event at the horizon not executed")
+	}
+}
+
+func TestSchedulingInThePastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(4, func() {})
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var e Engine
+	var at float64
+	e.At(2, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}

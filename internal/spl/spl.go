@@ -1,0 +1,412 @@
+// Package spl parses a small textual stream-application language modelled
+// after the role IBM's Stream Processing Language plays in the paper
+// (Section 5.1): declaring sources, operators and sinks, their stream
+// connections with per-edge selectivity and per-tuple CPU cost, the
+// discrete input-rate configurations, and the deployment parameters — i.e.
+// a complete application descriptor in one readable file.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//	app <name>
+//	host capacity <cycles/s>
+//	billing period <seconds>
+//	source <name> rates <r1>@<p1> <r2>@<p2> ...
+//	pe <name>
+//	sink <name>
+//	connect <from> -> <to> [sel <δ>] [cost <γ>]
+//	config <name> = <rate> [<rate> ...] [@ <prob>]   # optional explicit configs
+//
+// When no explicit `config` lines are given, the per-source rate
+// alternatives declared on the `source` lines are crossed into the full
+// configuration set (sources independent). With explicit `config` lines,
+// one rate per source (in declaration order) must be given; the
+// configuration's probability is the trailing `@ <prob>` when present, and
+// otherwise the product of the per-source probabilities of the chosen
+// rates (which assumes independence — correlated configurations need the
+// explicit form).
+package spl
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"laar/internal/core"
+)
+
+// Parse builds a validated descriptor from LAAR-SPL source text.
+func Parse(src string) (*core.Descriptor, error) {
+	p := &parser{
+		builder:   nil,
+		names:     make(map[string]core.ComponentID),
+		srcOrder:  nil,
+		srcRates:  make(map[string][]float64),
+		srcProbs:  make(map[string][]float64),
+		capacity:  1e9,
+		period:    300,
+		explicits: nil,
+	}
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.line(fields); err != nil {
+			return nil, fmt.Errorf("spl: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("spl: %w", err)
+	}
+	return p.finish()
+}
+
+type explicitConfig struct {
+	name  string
+	rates []float64
+	// prob is the explicit probability, or -1 to derive it from the
+	// per-source marginals.
+	prob float64
+}
+
+type parser struct {
+	builder   *core.Builder
+	names     map[string]core.ComponentID
+	srcOrder  []string
+	srcRates  map[string][]float64
+	srcProbs  map[string][]float64
+	capacity  float64
+	period    float64
+	explicits []explicitConfig
+}
+
+func (p *parser) line(f []string) error {
+	switch f[0] {
+	case "app":
+		if len(f) != 2 {
+			return fmt.Errorf("app wants a name")
+		}
+		if p.builder != nil {
+			return fmt.Errorf("duplicate app declaration")
+		}
+		p.builder = core.NewBuilder(f[1])
+		return nil
+	case "host":
+		if len(f) != 3 || f[1] != "capacity" {
+			return fmt.Errorf("want: host capacity <cycles/s>")
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("invalid capacity %q", f[2])
+		}
+		p.capacity = v
+		return nil
+	case "billing":
+		if len(f) != 3 || f[1] != "period" {
+			return fmt.Errorf("want: billing period <seconds>")
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("invalid period %q", f[2])
+		}
+		p.period = v
+		return nil
+	case "source":
+		return p.sourceLine(f)
+	case "pe":
+		if len(f) != 2 {
+			return fmt.Errorf("pe wants a name")
+		}
+		return p.declare(f[1], core.KindPE)
+	case "sink":
+		if len(f) != 2 {
+			return fmt.Errorf("sink wants a name")
+		}
+		return p.declare(f[1], core.KindSink)
+	case "connect":
+		return p.connectLine(f)
+	case "config":
+		return p.configLine(f)
+	default:
+		return fmt.Errorf("unknown directive %q", f[0])
+	}
+}
+
+func (p *parser) need() error {
+	if p.builder == nil {
+		return fmt.Errorf("missing app declaration")
+	}
+	return nil
+}
+
+func (p *parser) declare(name string, kind core.Kind) error {
+	if err := p.need(); err != nil {
+		return err
+	}
+	if _, dup := p.names[name]; dup {
+		return fmt.Errorf("duplicate component %q", name)
+	}
+	var id core.ComponentID
+	switch kind {
+	case core.KindSource:
+		id = p.builder.AddSource(name)
+		p.srcOrder = append(p.srcOrder, name)
+	case core.KindPE:
+		id = p.builder.AddPE(name)
+	case core.KindSink:
+		id = p.builder.AddSink(name)
+	}
+	p.names[name] = id
+	return nil
+}
+
+// sourceLine: source <name> rates <r>@<p> ...
+func (p *parser) sourceLine(f []string) error {
+	if len(f) < 4 || f[2] != "rates" {
+		return fmt.Errorf("want: source <name> rates <rate>@<prob> ...")
+	}
+	name := f[1]
+	if err := p.declare(name, core.KindSource); err != nil {
+		return err
+	}
+	for _, tok := range f[3:] {
+		parts := strings.SplitN(tok, "@", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("rate %q: want <rate>@<prob>", tok)
+		}
+		rate, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || rate < 0 {
+			return fmt.Errorf("invalid rate in %q", tok)
+		}
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return fmt.Errorf("invalid probability in %q", tok)
+		}
+		p.srcRates[name] = append(p.srcRates[name], rate)
+		p.srcProbs[name] = append(p.srcProbs[name], prob)
+	}
+	return nil
+}
+
+// connectLine: connect <from> -> <to> [sel <x>] [cost <x>]
+func (p *parser) connectLine(f []string) error {
+	if err := p.need(); err != nil {
+		return err
+	}
+	if len(f) < 4 || f[2] != "->" {
+		return fmt.Errorf("want: connect <from> -> <to> [sel <δ>] [cost <γ>]")
+	}
+	from, ok := p.names[f[1]]
+	if !ok {
+		return fmt.Errorf("unknown component %q", f[1])
+	}
+	to, ok := p.names[f[3]]
+	if !ok {
+		return fmt.Errorf("unknown component %q", f[3])
+	}
+	sel, cost := 1.0, 0.0
+	rest := f[4:]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return fmt.Errorf("dangling attribute %q", rest[0])
+		}
+		v, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil {
+			return fmt.Errorf("invalid %s value %q", rest[0], rest[1])
+		}
+		switch rest[0] {
+		case "sel":
+			sel = v
+		case "cost":
+			cost = v
+		default:
+			return fmt.Errorf("unknown attribute %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	p.builder.Connect(from, to, sel, cost)
+	return nil
+}
+
+// configLine: config <name> = <rate per source...> [@ <prob>]
+func (p *parser) configLine(f []string) error {
+	if err := p.need(); err != nil {
+		return err
+	}
+	if len(f) < 4 || f[2] != "=" {
+		return fmt.Errorf("want: config <name> = <rate> ...")
+	}
+	toks := f[3:]
+	prob := -1.0
+	for i, tok := range toks {
+		if tok == "@" {
+			if i != len(toks)-2 {
+				return fmt.Errorf("want: @ <prob> at the end of the config line")
+			}
+			v, err := strconv.ParseFloat(toks[i+1], 64)
+			if err != nil || v < 0 || v > 1 {
+				return fmt.Errorf("invalid config probability %q", toks[i+1])
+			}
+			prob = v
+			toks = toks[:i]
+			break
+		}
+	}
+	rates := make([]float64, 0, len(toks))
+	for _, tok := range toks {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("invalid rate %q", tok)
+		}
+		rates = append(rates, v)
+	}
+	p.explicits = append(p.explicits, explicitConfig{name: f[1], rates: rates, prob: prob})
+	return nil
+}
+
+func (p *parser) finish() (*core.Descriptor, error) {
+	if p.builder == nil {
+		return nil, fmt.Errorf("spl: no app declaration")
+	}
+	app, err := p.builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	var configs []core.InputConfig
+	if len(p.explicits) > 0 {
+		configs, err = p.explicitConfigs()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rates := make([][]float64, len(p.srcOrder))
+		probs := make([][]float64, len(p.srcOrder))
+		for i, name := range p.srcOrder {
+			rates[i] = p.srcRates[name]
+			probs[i] = p.srcProbs[name]
+		}
+		configs, err = core.CrossConfigs(rates, probs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       configs,
+		HostCapacity:  p.capacity,
+		BillingPeriod: p.period,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// explicitConfigs resolves `config` lines: every named configuration picks
+// one declared rate per source, and its probability is the product of the
+// chosen rates' declared probabilities.
+func (p *parser) explicitConfigs() ([]core.InputConfig, error) {
+	out := make([]core.InputConfig, 0, len(p.explicits))
+	for _, ec := range p.explicits {
+		if len(ec.rates) != len(p.srcOrder) {
+			return nil, fmt.Errorf("spl: config %q has %d rates for %d sources", ec.name, len(ec.rates), len(p.srcOrder))
+		}
+		if ec.prob >= 0 {
+			// Explicit probability: rates still must be declared ones.
+			for i, rate := range ec.rates {
+				name := p.srcOrder[i]
+				found := false
+				for _, r := range p.srcRates[name] {
+					if r == rate {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("spl: config %q uses rate %v not declared for source %q", ec.name, rate, name)
+				}
+			}
+			out = append(out, core.InputConfig{Name: ec.name, Rates: ec.rates, Prob: ec.prob})
+			continue
+		}
+		prob := 1.0
+		for i, rate := range ec.rates {
+			name := p.srcOrder[i]
+			found := false
+			for j, r := range p.srcRates[name] {
+				if r == rate {
+					prob *= p.srcProbs[name][j]
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("spl: config %q uses rate %v not declared for source %q", ec.name, rate, name)
+			}
+		}
+		out = append(out, core.InputConfig{Name: ec.name, Rates: ec.rates, Prob: prob})
+	}
+	return out, nil
+}
+
+// Format renders a descriptor back into LAAR-SPL text; Parse(Format(d)) is
+// semantically equivalent to d.
+func Format(d *core.Descriptor) string {
+	var sb strings.Builder
+	app := d.App
+	fmt.Fprintf(&sb, "app %s\n", app.Name())
+	fmt.Fprintf(&sb, "host capacity %g\n", d.HostCapacity)
+	fmt.Fprintf(&sb, "billing period %g\n", d.BillingPeriod)
+	// Recover the per-source rate alternatives from the configurations.
+	for si, id := range app.Sources() {
+		fmt.Fprintf(&sb, "source %s rates", app.Component(id).Name)
+		seen := map[float64]bool{}
+		for _, cfg := range d.Configs {
+			rate := cfg.Rates[si]
+			if seen[rate] {
+				continue
+			}
+			seen[rate] = true
+			// The marginal probability of this rate.
+			var prob float64
+			for _, c2 := range d.Configs {
+				if c2.Rates[si] == rate {
+					prob += c2.Prob
+				}
+			}
+			fmt.Fprintf(&sb, " %g@%g", rate, prob)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, c := range app.Components() {
+		switch c.Kind {
+		case core.KindPE:
+			fmt.Fprintf(&sb, "pe %s\n", c.Name)
+		case core.KindSink:
+			fmt.Fprintf(&sb, "sink %s\n", c.Name)
+		}
+	}
+	for _, e := range app.Edges() {
+		fmt.Fprintf(&sb, "connect %s -> %s", app.Component(e.From).Name, app.Component(e.To).Name)
+		if app.Component(e.To).Kind == core.KindPE {
+			fmt.Fprintf(&sb, " sel %g cost %g", e.Selectivity, e.CostCycles)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, cfg := range d.Configs {
+		fmt.Fprintf(&sb, "config %s =", cfg.Name)
+		for _, r := range cfg.Rates {
+			fmt.Fprintf(&sb, " %g", r)
+		}
+		fmt.Fprintf(&sb, " @ %g\n", cfg.Prob)
+	}
+	return sb.String()
+}

@@ -1,0 +1,246 @@
+package spl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"laar/internal/core"
+)
+
+const pipelineSPL = `
+# The paper's Fig. 1 running example.
+app fig1-pipeline
+host capacity 1e9
+billing period 300
+
+source src rates 4@0.8 8@0.2
+pe PE1
+pe PE2
+sink out
+
+connect src -> PE1 sel 1 cost 1e8
+connect PE1 -> PE2 sel 1 cost 1e8
+connect PE2 -> out
+`
+
+func TestParsePipeline(t *testing.T) {
+	d, err := Parse(pipelineSPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.App.Name() != "fig1-pipeline" {
+		t.Errorf("name = %q", d.App.Name())
+	}
+	if d.HostCapacity != 1e9 || d.BillingPeriod != 300 {
+		t.Errorf("deployment params = (%v, %v)", d.HostCapacity, d.BillingPeriod)
+	}
+	if d.App.NumPEs() != 2 || d.App.NumSources() != 1 || len(d.App.Sinks()) != 1 {
+		t.Fatalf("components = (%d PEs, %d sources, %d sinks)",
+			d.App.NumPEs(), d.App.NumSources(), len(d.App.Sinks()))
+	}
+	if len(d.Configs) != 2 {
+		t.Fatalf("configs = %d", len(d.Configs))
+	}
+	if d.Configs[0].Rates[0] != 4 || math.Abs(d.Configs[0].Prob-0.8) > 1e-12 {
+		t.Errorf("config 0 = %+v", d.Configs[0])
+	}
+	// The parsed descriptor reproduces the known Fig. 1 numbers.
+	r := core.NewRates(d)
+	if got := core.BIC(r); math.Abs(got-2880) > 1e-9 {
+		t.Errorf("BIC = %v, want 2880", got)
+	}
+}
+
+func TestParseMultiSourceCross(t *testing.T) {
+	src := `
+app two
+source a rates 1@0.5 2@0.5
+source b rates 10@0.25 20@0.75
+pe join
+sink out
+connect a -> join sel 1 cost 1e6
+connect b -> join sel 1 cost 1e6
+connect join -> out
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 4 {
+		t.Fatalf("configs = %d, want 4 (cross product)", len(d.Configs))
+	}
+	var sum float64
+	for _, c := range d.Configs {
+		sum += c.Prob
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestParseExplicitConfigs(t *testing.T) {
+	src := `
+app explicit
+source a rates 1@0.5 2@0.5
+source b rates 10@0.6 20@0.4
+pe p
+sink out
+connect a -> p sel 1 cost 1
+connect b -> p sel 1 cost 1
+connect p -> out
+config calm = 1 10
+config mixed = 2 10
+config storm = 2 20
+config lull = 1 20
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 4 {
+		t.Fatalf("configs = %d", len(d.Configs))
+	}
+	if d.Configs[0].Name != "calm" || d.Configs[0].Rates[0] != 1 || d.Configs[0].Rates[1] != 10 {
+		t.Errorf("config 0 = %+v", d.Configs[0])
+	}
+	if math.Abs(d.Configs[0].Prob-0.3) > 1e-12 { // 0.5·0.6
+		t.Errorf("calm prob = %v, want 0.3", d.Configs[0].Prob)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no app", "pe x\n", "missing app"},
+		{"dup app", "app a\napp b\n", "duplicate app"},
+		{"unknown directive", "app a\nfrobnicate x\n", "unknown directive"},
+		{"bad capacity", "app a\nhost capacity zero\n", "invalid capacity"},
+		{"bad period", "app a\nbilling period -1\n", "invalid period"},
+		{"bad rate token", "app a\nsource s rates 5\n", "want <rate>@<prob>"},
+		{"bad prob", "app a\nsource s rates 5@2\n", "invalid probability"},
+		{"dup component", "app a\nsource s rates 1@1\npe s\n", "duplicate component"},
+		{"unknown from", "app a\nsource s rates 1@1\npe p\nsink k\nconnect x -> p\nconnect p -> k\n", "unknown component"},
+		{"bad arrow", "app a\nsource s rates 1@1\npe p\nconnect s p\n", "want: connect"},
+		{"dangling attr", "app a\nsource s rates 1@1\npe p\nconnect s -> p sel\n", "dangling attribute"},
+		{"unknown attr", "app a\nsource s rates 1@1\npe p\nconnect s -> p foo 3\n", "unknown attribute"},
+		{"config arity", "app a\nsource s rates 1@1\npe p\nsink k\nconnect s -> p cost 1\nconnect p -> k\nconfig c = 1 2\n", "rates for"},
+		{"config unknown rate", "app a\nsource s rates 1@1\npe p\nsink k\nconnect s -> p cost 1\nconnect p -> k\nconfig c = 9\n", "not declared"},
+		{"structurally invalid", "app a\nsource s rates 1@1\nsink k\nconnect s -> k\n", "no PEs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	d, err := Parse(pipelineSPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(d)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted output: %v\n%s", err, text)
+	}
+	// Semantic equivalence: identical rates everywhere.
+	r1, r2 := core.NewRates(d), core.NewRates(back)
+	for c := range d.Configs {
+		for _, comp := range d.App.Components() {
+			if math.Abs(r1.Rate(comp.ID, c)-r2.Rate(comp.ID, c)) > 1e-9 {
+				t.Fatalf("rate mismatch for %s in config %d", comp.Name, c)
+			}
+		}
+	}
+	if math.Abs(core.BIC(r1)-core.BIC(r2)) > 1e-9 {
+		t.Fatalf("BIC mismatch after round trip")
+	}
+}
+
+func TestParseDefaultsAndComments(t *testing.T) {
+	src := `
+app minimal # trailing comment
+source s rates 5@1
+pe p
+sink k
+connect s -> p cost 1e6   # δ defaults to 1
+connect p -> k
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HostCapacity != 1e9 || d.BillingPeriod != 300 {
+		t.Errorf("defaults = (%v, %v)", d.HostCapacity, d.BillingPeriod)
+	}
+	for _, e := range d.App.Edges() {
+		if d.App.Component(e.To).Kind == core.KindPE && e.Selectivity != 1 {
+			t.Errorf("default selectivity = %v, want 1", e.Selectivity)
+		}
+	}
+}
+
+func TestExplicitConfigProbabilities(t *testing.T) {
+	// Correlated configurations: both sources surge together, so the
+	// cross-product marginals would mis-assign probability mass. The
+	// explicit @ prob form captures the joint distribution exactly.
+	src := `
+app correlated
+source a rates 1@0.5 2@0.5
+source b rates 10@0.5 20@0.5
+pe p
+sink out
+connect a -> p sel 1 cost 1
+connect b -> p sel 1 cost 1
+connect p -> out
+config calm = 1 10 @ 0.5
+config storm = 2 20 @ 0.5
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 2 {
+		t.Fatalf("configs = %d", len(d.Configs))
+	}
+	if d.Configs[0].Prob != 0.5 || d.Configs[1].Prob != 0.5 {
+		t.Fatalf("probs = %v/%v, want 0.5/0.5", d.Configs[0].Prob, d.Configs[1].Prob)
+	}
+	// Format/Parse round-trips the correlated descriptor exactly.
+	back, err := Parse(Format(d))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for i := range d.Configs {
+		if back.Configs[i].Prob != d.Configs[i].Prob {
+			t.Fatalf("config %d prob = %v, want %v", i, back.Configs[i].Prob, d.Configs[i].Prob)
+		}
+	}
+}
+
+func TestExplicitConfigProbErrors(t *testing.T) {
+	base := `
+app x
+source s rates 1@1
+pe p
+sink k
+connect s -> p cost 1
+connect p -> k
+`
+	if _, err := Parse(base + "config c = 1 @ 2\n"); err == nil {
+		t.Error("accepted probability > 1")
+	}
+	if _, err := Parse(base + "config c = 1 @ 0.5 junk\n"); err == nil {
+		t.Error("accepted trailing tokens after @ prob")
+	}
+	// Probabilities must still sum to 1 overall.
+	if _, err := Parse(base + "config c = 1 @ 0.5\n"); err == nil {
+		t.Error("accepted probability mass 0.5")
+	}
+}

@@ -1,0 +1,234 @@
+// Package stats provides the small statistical toolkit used by the LAAR
+// experiment harness: means, percentiles, the five-number box-plot summaries
+// (with 1.5·IQR whiskers and outliers) the paper reports in Figures 9–11,
+// and fixed-bin histograms for the Figure 5 ratio distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the smallest element, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation, or NaN for an empty
+// slice.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BoxPlot is the five-number summary used throughout the paper's figures:
+// quartiles, whiskers at the most extreme samples within 1.5·IQR of the box,
+// and everything beyond the whiskers reported as outliers.
+type BoxPlot struct {
+	Mean     float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	LoWhisk  float64
+	HiWhisk  float64
+	Outliers []float64
+	N        int
+}
+
+// NewBoxPlot summarises xs. It panics on an empty input.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		panic("stats: box plot of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	b := BoxPlot{
+		Mean:   Mean(sorted),
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		N:      len(sorted),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LoWhisk, b.HiWhisk = math.Inf(1), math.Inf(-1)
+	for _, x := range sorted {
+		if x >= loFence && x <= hiFence {
+			if x < b.LoWhisk {
+				b.LoWhisk = x
+			}
+			if x > b.HiWhisk {
+				b.HiWhisk = x
+			}
+		} else {
+			b.Outliers = append(b.Outliers, x)
+		}
+	}
+	return b
+}
+
+// String renders the summary as a compact single-line report.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("mean=%.3f [%.3f | %.3f %.3f %.3f | %.3f] n=%d outliers=%d",
+		b.Mean, b.LoWhisk, b.Q1, b.Median, b.Q3, b.HiWhisk, b.N, len(b.Outliers))
+}
+
+// Histogram is a fixed-width binned count over [Lo, Hi). Samples outside the
+// range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds a histogram with the given number of bins.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.N++
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// String renders the histogram as an ASCII bar chart, one line per bin.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&sb, "%8.3f |%-40s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Normalize divides each element of xs by base, returning a new slice. It
+// panics when base is zero.
+func Normalize(xs []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: normalizing by zero")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Ratios returns element-wise num[i]/den[i]. It panics on length mismatch
+// and maps x/0 to +Inf (or NaN for 0/0) as the float64 rules dictate.
+func Ratios(num, den []float64) []float64 {
+	if len(num) != len(den) {
+		panic(fmt.Sprintf("stats: ratio of %d samples against %d", len(num), len(den)))
+	}
+	out := make([]float64, len(num))
+	for i := range num {
+		out[i] = num[i] / den[i]
+	}
+	return out
+}

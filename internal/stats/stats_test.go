@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); got != 2.8 {
+		t.Errorf("Mean = %v, want 2.8", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty-slice aggregates should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev(constant) = %v, want 0", got)
+	}
+	// Population stddev of {1,2,3,4} = sqrt(1.25).
+	if got := StdDev([]float64{1, 2, 3, 4}); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(1.25))
+	}
+	if !math.IsNaN(StdDev(nil)) {
+		t.Error("StdDev(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {-5, 10}, {110, 50},
+		{10, 14}, // interpolated: rank 0.4 → 10 + 0.4·10
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if !reflect.DeepEqual(xs, []float64{5, 1, 3}) {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxPlotNoOutliers(t *testing.T) {
+	b := NewBoxPlot([]float64{1, 2, 3, 4, 5})
+	if b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = (%v, %v, %v)", b.Q1, b.Median, b.Q3)
+	}
+	if b.LoWhisk != 1 || b.HiWhisk != 5 {
+		t.Fatalf("whiskers = (%v, %v), want (1, 5)", b.LoWhisk, b.HiWhisk)
+	}
+	if len(b.Outliers) != 0 {
+		t.Fatalf("outliers = %v, want none", b.Outliers)
+	}
+	if b.N != 5 {
+		t.Fatalf("N = %d", b.N)
+	}
+}
+
+func TestBoxPlotDetectsOutlier(t *testing.T) {
+	// IQR of {1..9} is 4 (Q1=3, Q3=7); 100 is far above Q3+1.5·IQR = 13.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b := NewBoxPlot(xs)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("Outliers = %v, want [100]", b.Outliers)
+	}
+	if b.HiWhisk == 100 {
+		t.Fatal("whisker must exclude the outlier")
+	}
+}
+
+func TestBoxPlotPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoxPlot(nil) did not panic")
+		}
+	}()
+	NewBoxPlot(nil)
+}
+
+func TestBoxPlotInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxPlot(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// Quartiles are ordered; whiskers are finite (at least one sample
+		// always falls within the fences), ordered, and within the sample
+		// range; inliers plus outliers account for every sample.
+		ordered := b.Q1 <= b.Median && b.Median <= b.Q3 && b.LoWhisk <= b.HiWhisk
+		inRange := !math.IsInf(b.LoWhisk, 0) && !math.IsInf(b.HiWhisk, 0) &&
+			b.LoWhisk >= sorted[0] && b.HiWhisk <= sorted[len(sorted)-1]
+		return ordered && inRange && b.N == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.9, -3, 42})
+	want := []int{3, 1, 1, 0, 2} // -3 clamps into bin 0, 42 into bin 4
+	if !reflect.DeepEqual(h.Counts, want) {
+		t.Fatalf("Counts = %v, want %v", h.Counts, want)
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d, want 7", h.N)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v, want 1", got)
+	}
+	if h.String() == "" {
+		t.Fatal("String() should render bins")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted inverted range")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestNormalizeAndRatios(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("Normalize = %v", got)
+	}
+	r := Ratios([]float64{1, 9}, []float64{2, 3})
+	if !reflect.DeepEqual(r, []float64{0.5, 3}) {
+		t.Fatalf("Ratios = %v", r)
+	}
+}
+
+func TestNormalizePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normalize by zero did not panic")
+		}
+	}()
+	Normalize([]float64{1}, 0)
+}
+
+func TestRatiosPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ratios length mismatch did not panic")
+		}
+	}()
+	Ratios([]float64{1}, []float64{1, 2})
+}
+
+func TestPercentileAgainstSortedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	// With 101 samples, the p-th percentile lands exactly on index p.
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
+		want := sorted[int(p)]
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}

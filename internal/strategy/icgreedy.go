@@ -1,0 +1,156 @@
+package strategy
+
+import (
+	"fmt"
+
+	"laar/internal/core"
+)
+
+// ICGreedy builds a feasible activation strategy meeting an IC target for
+// an ARBITRARY replication factor — a heuristic companion to FT-Search,
+// which the paper (and the ftsearch package) specialises to k = 2. It is
+// not optimal, but it is fast (polynomial) and works on instances far
+// beyond exhaustive search:
+//
+//  1. Start from a minimal deployment: one replica of every PE active in
+//     every configuration, chosen to balance host loads.
+//  2. While IC < target, fully replicate one more (PE, configuration)
+//     pair — under the pessimistic model only full replication raises φ —
+//     choosing the pair with the best IC-gain per cost among those that
+//     keep every host below capacity; ties (and zero-gain upgrades, which
+//     unlock downstream gains) prefer upstream PEs.
+//
+// It returns an error when even the minimal deployment violates capacity
+// or when the target is unreachable under the capacity constraints.
+func ICGreedy(r *core.Rates, asg *core.Assignment, icMin float64) (*core.Strategy, error) {
+	if icMin < 0 || icMin > 1 {
+		return nil, fmt.Errorf("strategy: IC target %v outside [0, 1]", icMin)
+	}
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	numCfgs := d.NumConfigs()
+	k := asg.K
+
+	s, err := minimalBalanced(r, asg)
+	if err != nil {
+		return nil, err
+	}
+	if h, c, _, ok := Feasible(r, s, asg); !ok {
+		return nil, fmt.Errorf("strategy: minimal deployment overloads host %d in config %d", h, c)
+	}
+	depth := Depths(d.App)
+	model := core.Pessimistic{}
+	for core.IC(r, s, model) < icMin-1e-12 {
+		type cand struct {
+			pe, cfg    int
+			gain, cost float64
+		}
+		var best *cand
+		baseFIC := core.FIC(r, s, model)
+		for cfg := 0; cfg < numCfgs; cfg++ {
+			loads := core.HostLoads(r, s, asg, cfg)
+			for pe := 0; pe < numPEs; pe++ {
+				if s.NumActive(cfg, pe) == k {
+					continue
+				}
+				// Capacity check: activating the remaining replicas adds
+				// the unit load to each of their hosts.
+				u := r.UnitLoad(pe, cfg)
+				ok := true
+				for rep := 0; rep < k; rep++ {
+					if s.IsActive(cfg, pe, rep) {
+						continue
+					}
+					if loads[asg.HostOf(pe, rep)]+u >= d.HostCapacity {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				trial := s.Clone()
+				var added int
+				for rep := 0; rep < k; rep++ {
+					if !trial.IsActive(cfg, pe, rep) {
+						trial.Set(cfg, pe, rep, true)
+						added++
+					}
+				}
+				c := cand{
+					pe:   pe,
+					cfg:  cfg,
+					gain: core.FIC(r, trial, model) - baseFIC,
+					cost: d.Configs[cfg].Prob * u * float64(added),
+				}
+				if best == nil || betterUpgrade(c.gain, c.cost, depth[c.pe], best.gain, best.cost, depth[best.pe]) {
+					bc := c
+					best = &bc
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("strategy: IC target %v unreachable: no capacity-feasible upgrade left (IC = %v)",
+				icMin, core.IC(r, s, model))
+		}
+		for rep := 0; rep < k; rep++ {
+			s.Set(best.cfg, best.pe, rep, true)
+		}
+	}
+	return s, nil
+}
+
+// betterUpgrade orders candidate upgrades: higher gain-per-cost wins; among
+// zero-gain upgrades (chain openers) the more upstream, cheaper one wins.
+func betterUpgrade(gain, cost float64, depth int, bGain, bCost float64, bDepth int) bool {
+	gz, bz := gain <= 0, bGain <= 0
+	switch {
+	case !gz && bz:
+		return true
+	case gz && !bz:
+		return false
+	case !gz: // both positive: gain per cost
+		return gain*bCost > bGain*cost
+	default: // both zero-gain: upstream first, then cheaper
+		if depth != bDepth {
+			return depth < bDepth
+		}
+		return cost < bCost
+	}
+}
+
+// minimalBalanced activates exactly one replica per (PE, configuration),
+// greedily choosing, per configuration, the replica whose host currently
+// carries the least load (heaviest PEs placed first).
+func minimalBalanced(r *core.Rates, asg *core.Assignment) (*core.Strategy, error) {
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	numCfgs := d.NumConfigs()
+	s := core.NewStrategy(numCfgs, numPEs, asg.K)
+	for cfg := 0; cfg < numCfgs; cfg++ {
+		order := make([]int, numPEs)
+		for i := range order {
+			order[i] = i
+		}
+		// Heaviest first (simple selection by unit load).
+		for i := 0; i < numPEs; i++ {
+			for j := i + 1; j < numPEs; j++ {
+				if r.UnitLoad(order[j], cfg) > r.UnitLoad(order[i], cfg) {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		loads := make([]float64, asg.NumHosts)
+		for _, pe := range order {
+			bestRep, bestLoad := 0, -1.0
+			for rep := 0; rep < asg.K; rep++ {
+				if l := loads[asg.HostOf(pe, rep)]; bestLoad < 0 || l < bestLoad {
+					bestRep, bestLoad = rep, l
+				}
+			}
+			s.Set(cfg, pe, bestRep, true)
+			loads[asg.HostOf(pe, bestRep)] += r.UnitLoad(pe, cfg)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,198 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/ftsearch"
+)
+
+func TestICGreedyPipeline(t *testing.T) {
+	_, r, asg := pipeline(t)
+	s, err := ICGreedy(r, asg, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ic := core.IC(r, s, core.Pessimistic{}); ic < 0.6 {
+		t.Fatalf("IC = %v, want ≥ 0.6", ic)
+	}
+	if _, _, _, ok := Feasible(r, s, asg); !ok {
+		t.Fatal("ICGreedy strategy overloads a host")
+	}
+}
+
+func TestICGreedyUnreachableTarget(t *testing.T) {
+	// The pipeline's maximum achievable IC is 2/3; 0.9 must fail cleanly.
+	_, r, asg := pipeline(t)
+	if _, err := ICGreedy(r, asg, 0.9); err == nil {
+		t.Fatal("accepted unreachable IC target")
+	}
+}
+
+func TestICGreedyZeroTargetIsMinimal(t *testing.T) {
+	_, r, asg := pipeline(t)
+	s, err := ICGreedy(r, asg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < s.NumConfigs(); c++ {
+		for p := 0; p < s.NumPEs(); p++ {
+			if s.NumActive(c, p) != 1 {
+				t.Fatalf("zero-target strategy has %d active replicas for PE %d cfg %d", s.NumActive(c, p), p, c)
+			}
+		}
+	}
+}
+
+func TestICGreedyRejectsBadTarget(t *testing.T) {
+	_, r, asg := pipeline(t)
+	if _, err := ICGreedy(r, asg, -0.1); err == nil {
+		t.Error("accepted negative target")
+	}
+	if _, err := ICGreedy(r, asg, 1.1); err == nil {
+		t.Error("accepted target above 1")
+	}
+}
+
+func TestICGreedyThreefoldReplication(t *testing.T) {
+	// k = 3 on three hosts: beyond FT-Search's reach, ICGreedy must still
+	// deliver a valid strategy meeting the target.
+	b := core.NewBuilder("k3")
+	src := b.AddSource("src")
+	p1 := b.AddPE("p1")
+	p2 := b.AddPE("p2")
+	sink := b.AddSink("sink")
+	b.Connect(src, p1, 1, 5e7)
+	b.Connect(p1, p2, 1, 5e7)
+	b.Connect(p2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.7},
+			{Name: "High", Rates: []float64{8}, Prob: 0.3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(2, 3, 3)
+	for p := 0; p < 2; p++ {
+		for rep := 0; rep < 3; rep++ {
+			asg.Host[p][rep] = (p + rep) % 3
+		}
+	}
+	s, err := ICGreedy(r, asg, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != 3 {
+		t.Fatalf("strategy K = %d", s.K)
+	}
+	if ic := core.IC(r, s, core.Pessimistic{}); ic < 0.7 {
+		t.Fatalf("IC = %v, want ≥ 0.7", ic)
+	}
+	if _, _, _, ok := Feasible(r, s, asg); !ok {
+		t.Fatal("strategy overloads a host")
+	}
+}
+
+// TestICGreedyNeverBeatsOptimal cross-validates against FT-Search on small
+// random k=2 instances: the heuristic must be feasible whenever it
+// succeeds, and its cost can never be below the proven optimum.
+func TestICGreedyNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	built := 0
+	for trial := 0; built < 10 && trial < 60; trial++ {
+		gen := randomSmallInstance(t, rng)
+		if gen == nil {
+			continue
+		}
+		r, asg := gen.r, gen.asg
+		for _, target := range []float64{0.4, 0.6} {
+			opt, err := ftsearch.Solve(r, asg, ftsearch.Options{ICMin: target})
+			if err != nil {
+				t.Fatal(err)
+			}
+			heur, herr := ICGreedy(r, asg, target)
+			if herr != nil {
+				continue // the heuristic may fail where the optimum exists
+			}
+			built++
+			if ic := core.IC(r, heur, core.Pessimistic{}); ic < target-1e-9 {
+				t.Fatalf("trial %d: heuristic IC %v below target %v", trial, ic, target)
+			}
+			if _, _, _, ok := Feasible(r, heur, asg); !ok {
+				t.Fatalf("trial %d: heuristic strategy overloaded", trial)
+			}
+			if opt.Outcome == ftsearch.Optimal {
+				if hc := core.Cost(r, heur); hc < opt.Cost*(1-1e-9) {
+					t.Fatalf("trial %d: heuristic cost %v below optimum %v", trial, hc, opt.Cost)
+				}
+			} else if opt.Outcome == ftsearch.Infeasible {
+				t.Fatalf("trial %d: heuristic found a strategy on a proven-infeasible instance", trial)
+			}
+		}
+	}
+	if built == 0 {
+		t.Fatal("no instance admitted the heuristic")
+	}
+}
+
+type smallInstance struct {
+	r   *core.Rates
+	asg *core.Assignment
+}
+
+func randomSmallInstance(t *testing.T, rng *rand.Rand) *smallInstance {
+	t.Helper()
+	b := core.NewBuilder("rand")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	n := 2 + rng.Intn(3)
+	pes := make([]core.ComponentID, n)
+	for i := range pes {
+		pes[i] = b.AddPE("")
+		var from core.ComponentID = src
+		if i > 0 && rng.Float64() < 0.5 {
+			from = pes[i-1]
+		}
+		b.Connect(from, pes[i], 0.5+rng.Float64(), (1+rng.Float64()*3)*1e7)
+	}
+	for _, pe := range pes {
+		b.Connect(pe, sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{2 + rng.Float64()*3}, Prob: 0.7},
+			{Name: "High", Rates: []float64{7 + rng.Float64()*5}, Prob: 0.3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(n, 2, 2)
+	for p := 0; p < n; p++ {
+		asg.Host[p][0] = p % 2
+		asg.Host[p][1] = (p + 1) % 2
+	}
+	return &smallInstance{r: r, asg: asg}
+}

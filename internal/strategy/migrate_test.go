@@ -1,0 +1,238 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// migrationSetup builds an instance where greedy strands a last survivor on
+// an overloaded host and must migrate it: three PEs whose replica-0 copies
+// share host 0, a capacity that fits only two of them, and sibling replicas
+// with headroom on hosts 1 and 2.
+func migrationSetup(t *testing.T) (*core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("migrate")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	pes := make([]core.ComponentID, 3)
+	for i := range pes {
+		pes[i] = b.AddPE("")
+		b.Connect(src, pes[i], 1, 4e7)
+		b.Connect(pes[i], sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{10}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each replica demands 4e8. Replica 0 of every PE on host 0 (3×4e8 =
+	// 1.2e9 ≥ K); replica 1 of PE i on host 1+i%2.
+	asg := core.NewAssignment(3, 2, 3)
+	for p := 0; p < 3; p++ {
+		asg.Host[p][0] = 0
+		asg.Host[p][1] = 1 + p%2
+	}
+	return core.NewRates(d), asg
+}
+
+func TestGreedyMigratesStrandedSurvivors(t *testing.T) {
+	r, asg := migrationSetup(t)
+	s, err := Greedy(r, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := Feasible(r, s, asg); !ok {
+		t.Fatal("greedy result still overloaded after migration")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At most two active replicas may remain on host 0.
+	var onHost0 int
+	for p := 0; p < 3; p++ {
+		for rep := 0; rep < 2; rep++ {
+			if s.IsActive(0, p, rep) && asg.HostOf(p, rep) == 0 {
+				onHost0++
+			}
+		}
+	}
+	if onHost0 > 2 {
+		t.Fatalf("%d active replicas left on the overloaded host", onHost0)
+	}
+}
+
+func TestGreedyStuckWhenNoSiblingHeadroom(t *testing.T) {
+	// Three PEs across two hosts with capacity for only ONE active replica
+	// per host: no activation assignment can fit three last survivors, and
+	// the migration fallback finds no sibling headroom — greedy must fail
+	// cleanly.
+	b := core.NewBuilder("stuck")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	pes := make([]core.ComponentID, 3)
+	for i := range pes {
+		pes[i] = b.AddPE("")
+		b.Connect(src, pes[i], 1, 4.5e7)
+		b.Connect(pes[i], sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{10}, Prob: 1}},
+		HostCapacity:  8e8,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(3, 2, 2)
+	for p := 0; p < 3; p++ {
+		asg.Host[p][0] = 0
+		asg.Host[p][1] = 1
+	}
+	_, err = Greedy(core.NewRates(d), asg)
+	if !errors.Is(err, ErrGreedyStuck) {
+		t.Fatalf("Greedy = %v, want ErrGreedyStuck", err)
+	}
+}
+
+func TestICGreedyTieBreaksUpstream(t *testing.T) {
+	// A chain where protecting downstream alone yields zero IC gain: the
+	// zero-gain branch of the upgrade ordering must open the chain from
+	// the most upstream PE.
+	b := core.NewBuilder("chain")
+	src := b.AddSource("src")
+	p1 := b.AddPE("p1")
+	p2 := b.AddPE("p2")
+	sink := b.AddSink("sink")
+	b.Connect(src, p1, 1, 1e7)
+	b.Connect(p1, p2, 1, 1e7)
+	b.Connect(p2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{5}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		asg.Host[p][1] = 1
+	}
+	// IC = 1 requires both PEs fully replicated; protecting p2 first gains
+	// nothing until p1 is protected.
+	s, err := ICGreedy(r, asg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic := core.IC(r, s, core.Pessimistic{}); ic < 1-1e-9 {
+		t.Fatalf("IC = %v, want 1", ic)
+	}
+	for p := 0; p < 2; p++ {
+		if s.NumActive(0, p) != 2 {
+			t.Fatalf("PE %d not fully replicated", p)
+		}
+	}
+}
+
+// TestMigrateSurvivorDirect exercises the migration primitive on a crafted
+// stuck state: two last-survivor replicas overload host 0 while their
+// inactive siblings' host has headroom.
+func TestMigrateSurvivorDirect(t *testing.T) {
+	b := core.NewBuilder("direct")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	pes := make([]core.ComponentID, 2)
+	for i := range pes {
+		pes[i] = b.AddPE("")
+		b.Connect(src, pes[i], 1, 6e7)
+		b.Connect(pes[i], sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{10}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		asg.Host[p][0] = 0
+		asg.Host[p][1] = 1
+	}
+	// Both PEs single-active on host 0: 1.2e9 ≥ 1e9, host 1 empty.
+	s := core.NewStrategy(1, 2, 2)
+	s.Set(0, 0, 0, true)
+	s.Set(0, 1, 0, true)
+	loads := core.HostLoads(r, s, asg, 0)
+	if loads[0] < d.HostCapacity {
+		t.Fatalf("setup not overloaded: %v", loads)
+	}
+	if !migrateSurvivor(r, s, asg, loads, 0, 0) {
+		t.Fatal("migration failed despite sibling headroom")
+	}
+	// One PE must have moved to host 1, and the strategy must stay live.
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loads = core.HostLoads(r, s, asg, 0)
+	if loads[0] >= d.HostCapacity || loads[1] == 0 {
+		t.Fatalf("migration did not relieve host 0: %v", loads)
+	}
+	// A second migration must refuse: host 1 now carries the first
+	// migrant and cannot absorb the remaining survivor too.
+	if migrateSurvivor(r, s, asg, loads, 0, 0) {
+		t.Fatal("migration overloaded the sibling host")
+	}
+}
+
+func TestBetterUpgradeOrdering(t *testing.T) {
+	cases := []struct {
+		name         string
+		gain, cost   float64
+		depth        int
+		bGain, bCost float64
+		bDepth       int
+		want         bool
+	}{
+		{"positive beats zero", 1, 10, 5, 0, 1, 1, true},
+		{"zero loses to positive", 0, 1, 1, 1, 10, 5, false},
+		{"higher gain per cost wins", 4, 2, 1, 3, 2, 1, true},
+		{"lower gain per cost loses", 3, 2, 1, 4, 2, 1, false},
+		{"zero-gain: upstream wins", 0, 5, 1, 0, 1, 3, true},
+		{"zero-gain same depth: cheaper wins", 0, 1, 2, 0, 5, 2, true},
+		{"zero-gain same depth: costlier loses", 0, 5, 2, 0, 1, 2, false},
+	}
+	for _, tc := range cases {
+		if got := betterUpgrade(tc.gain, tc.cost, tc.depth, tc.bGain, tc.bCost, tc.bDepth); got != tc.want {
+			t.Errorf("%s: betterUpgrade = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package strategy builds the replica-activation baselines the paper
+// compares LAAR against (Section 5.2): Static Replication (SR), the
+// Non-Replicated deployment (NR) derived from a LAAR strategy's High-
+// configuration activations, and the Greedy (GRD) dynamic strategy that
+// deactivates the most CPU-hungry replicas on overloaded hosts, preferring
+// upstream PEs.
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"laar/internal/core"
+)
+
+// Static returns the static active replication strategy (SR): every replica
+// of every PE active in every configuration.
+func Static(d *core.Descriptor, k int) *core.Strategy {
+	return core.AllActive(d.NumConfigs(), d.App.NumPEs(), k)
+}
+
+// NonReplicated derives the NR variant from a base strategy (the paper uses
+// L.5): starting from the base strategy's activations in the given High
+// configuration, replicas are deactivated until exactly one replica of each
+// PE remains active, and the resulting activation is used in every input
+// configuration. The surviving replica is the lowest-indexed one active in
+// the base High configuration (or replica 0 when the base had none, which a
+// valid base never has).
+func NonReplicated(base *core.Strategy, highCfg int) *core.Strategy {
+	numCfg, numPEs := base.NumConfigs(), base.NumPEs()
+	out := core.NewStrategy(numCfg, numPEs, base.K)
+	for p := 0; p < numPEs; p++ {
+		keep := 0
+		for rep := 0; rep < base.K; rep++ {
+			if base.IsActive(highCfg, p, rep) {
+				keep = rep
+				break
+			}
+		}
+		for c := 0; c < numCfg; c++ {
+			out.Set(c, p, keep, true)
+		}
+	}
+	return out
+}
+
+// ErrGreedyStuck is returned by Greedy when an overloaded host has no
+// deactivatable replica left (every resident PE is already single-active)
+// and the overload cannot be resolved.
+var ErrGreedyStuck = errors.New("strategy: greedy cannot resolve overload: all replicas on an overloaded host are last survivors")
+
+// Greedy computes the GRD variant: starting from static active replication,
+// for every input configuration it iteratively deactivates replicas until no
+// host is overloaded. At each step an overloaded host is chosen (the most
+// loaded, deterministic tie-break by index) and, among its resident replicas
+// that are active and whose PE still has more than one active replica, the
+// one consuming the most CPU is deactivated; ties prefer upstream PEs
+// (smaller depth in the application graph), then smaller PE index.
+func Greedy(r *core.Rates, asg *core.Assignment) (*core.Strategy, error) {
+	d := r.Descriptor()
+	numPEs := d.App.NumPEs()
+	s := core.AllActive(d.NumConfigs(), numPEs, asg.K)
+	depth := Depths(d.App)
+	for c := range d.Configs {
+		budget := numPEs*asg.K*asg.NumHosts + 16 // bounds deactivations + swaps
+		for ; budget > 0; budget-- {
+			loads := core.HostLoads(r, s, asg, c)
+			host := -1
+			worst := d.HostCapacity
+			for h, l := range loads {
+				if l >= d.HostCapacity && (host == -1 || l > worst) {
+					host, worst = h, l
+				}
+			}
+			if host == -1 {
+				break // configuration is feasible
+			}
+			if cand := pickVictim(r, s, asg, depth, host, c); cand != nil {
+				s.Set(c, cand[0], cand[1], false)
+				continue
+			}
+			// Every active replica on the host is a last survivor: migrate
+			// one to its sibling replica's host if that host has headroom.
+			if !migrateSurvivor(r, s, asg, loads, host, c) {
+				return nil, fmt.Errorf("%w (host %d, config %d)", ErrGreedyStuck, host, c)
+			}
+		}
+		if budget == 0 {
+			return nil, fmt.Errorf("%w (config %d: adjustment budget exhausted)", ErrGreedyStuck, c)
+		}
+	}
+	return s, nil
+}
+
+// migrateSurvivor resolves a stuck overloaded host by swapping one of its
+// last-survivor replicas for the PE's inactive sibling on another host,
+// provided the sibling's host can absorb the load without overloading. The
+// heaviest migratable replica is preferred. It reports whether a migration
+// was performed.
+func migrateSurvivor(r *core.Rates, s *core.Strategy, asg *core.Assignment, loads []float64, host, c int) bool {
+	d := r.Descriptor()
+	bestPE, bestRep, bestLoad := -1, -1, 0.0
+	for _, pr := range asg.ReplicasOn(host) {
+		pe, rep := pr[0], pr[1]
+		if !s.IsActive(c, pe, rep) {
+			continue
+		}
+		u := r.UnitLoad(pe, c)
+		for sib := 0; sib < asg.K; sib++ {
+			if sib == rep {
+				continue
+			}
+			h2 := asg.HostOf(pe, sib)
+			if h2 == host || s.IsActive(c, pe, sib) {
+				continue
+			}
+			if loads[h2]+u >= d.HostCapacity {
+				continue
+			}
+			if u > bestLoad {
+				bestPE, bestRep, bestLoad = pe, rep, u
+			}
+		}
+	}
+	if bestPE < 0 {
+		return false
+	}
+	// Activate the sibling with the most headroom, then drop this replica.
+	u := r.UnitLoad(bestPE, c)
+	target, targetLoad := -1, 0.0
+	for sib := 0; sib < asg.K; sib++ {
+		if sib == bestRep || s.IsActive(c, bestPE, sib) {
+			continue
+		}
+		h2 := asg.HostOf(bestPE, sib)
+		if h2 == host || loads[h2]+u >= d.HostCapacity {
+			continue
+		}
+		if target == -1 || loads[h2] < targetLoad {
+			target, targetLoad = sib, loads[h2]
+		}
+	}
+	if target == -1 {
+		return false
+	}
+	s.Set(c, bestPE, target, true)
+	s.Set(c, bestPE, bestRep, false)
+	return true
+}
+
+// pickVictim selects the replica on host to deactivate in configuration c,
+// or nil when none is deactivatable.
+func pickVictim(r *core.Rates, s *core.Strategy, asg *core.Assignment, depth []int, host, c int) []int {
+	type victim struct {
+		pe, rep int
+		load    float64
+	}
+	var best *victim
+	for _, pr := range asg.ReplicasOn(host) {
+		pe, rep := pr[0], pr[1]
+		if !s.IsActive(c, pe, rep) || s.NumActive(c, pe) <= 1 {
+			continue
+		}
+		v := victim{pe: pe, rep: rep, load: r.UnitLoad(pe, c)}
+		if best == nil {
+			best = &v
+			continue
+		}
+		switch {
+		case v.load > best.load:
+			best = &v
+		case v.load == best.load && depth[v.pe] < depth[best.pe]:
+			best = &v
+		case v.load == best.load && depth[v.pe] == depth[best.pe] && v.pe < best.pe:
+			best = &v
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []int{best.pe, best.rep}
+}
+
+// Depths returns, for every dense PE index, the length of the longest path
+// from any source to the PE — the "upstream-ness" used by the greedy
+// heuristic (smaller is more upstream).
+func Depths(app *core.App) []int {
+	depth := make([]int, app.NumComponents())
+	for _, id := range app.Topo() {
+		for _, e := range app.Out(id) {
+			if d := depth[id] + 1; d > depth[e.To] {
+				depth[e.To] = d
+			}
+		}
+	}
+	out := make([]int, app.NumPEs())
+	for _, id := range app.PEs() {
+		out[app.PEIndex(id)] = depth[id]
+	}
+	return out
+}
+
+// Feasible reports whether the strategy keeps every host below capacity in
+// every configuration, returning the worst (host, config, load) triple.
+func Feasible(r *core.Rates, s *core.Strategy, asg *core.Assignment) (host, cfg int, load float64, ok bool) {
+	d := r.Descriptor()
+	ok = true
+	for c := range d.Configs {
+		for h, l := range core.HostLoads(r, s, asg, c) {
+			if l > load {
+				host, cfg, load = h, c, l
+			}
+			if l >= d.HostCapacity {
+				ok = false
+			}
+		}
+	}
+	return host, cfg, load, ok
+}
+
+// ActivationSchedule converts a strategy into the per-configuration list of
+// (peIdx, replica) pairs that must be ACTIVE, sorted for deterministic
+// iteration — the form consumed by the runtime HAController.
+func ActivationSchedule(s *core.Strategy) [][][2]int {
+	out := make([][][2]int, s.NumConfigs())
+	for c := range out {
+		var pairs [][2]int
+		for p := 0; p < s.NumPEs(); p++ {
+			for rep := 0; rep < s.K; rep++ {
+				if s.IsActive(c, p, rep) {
+					pairs = append(pairs, [2]int{p, rep})
+				}
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a][0] != pairs[b][0] {
+				return pairs[a][0] < pairs[b][0]
+			}
+			return pairs[a][1] < pairs[b][1]
+		})
+		out[c] = pairs
+	}
+	return out
+}

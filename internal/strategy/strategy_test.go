@@ -1,0 +1,258 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// pipeline builds the Fig. 1 two-PE pipeline with the Fig. 2a placement
+// (replica r of each PE on host r).
+func pipeline(t *testing.T) (*core.Descriptor, *core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for r := 0; r < 2; r++ {
+			asg.Host[p][r] = r
+		}
+	}
+	return d, core.NewRates(d), asg
+}
+
+func TestStatic(t *testing.T) {
+	d, r, _ := pipeline(t)
+	s := Static(d, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalActive(); got != 8 {
+		t.Fatalf("TotalActive = %d, want 8", got)
+	}
+	if ic := core.IC(r, s, core.Pessimistic{}); ic != 1 {
+		t.Fatalf("IC(SR) = %v, want 1", ic)
+	}
+}
+
+func TestNonReplicated(t *testing.T) {
+	// Base strategy: PE0 keeps only replica 1 active at High; PE1 both.
+	base := core.AllActive(2, 2, 2)
+	base.Set(1, 0, 0, false)
+	nr := NonReplicated(base, 1)
+	if err := nr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		for p := 0; p < 2; p++ {
+			if nr.NumActive(c, p) != 1 {
+				t.Fatalf("NR has %d active replicas for PE %d in config %d", nr.NumActive(c, p), p, c)
+			}
+		}
+	}
+	// PE0 must keep replica 1 (the one active at High in the base).
+	if !nr.IsActive(0, 0, 1) || nr.IsActive(0, 0, 0) {
+		t.Fatal("NR did not keep the base's High-active replica for PE0")
+	}
+	// PE1 keeps the lowest-indexed active replica: replica 0.
+	if !nr.IsActive(1, 1, 0) {
+		t.Fatal("NR did not keep replica 0 for PE1")
+	}
+}
+
+func TestGreedyResolvesPipelineOverload(t *testing.T) {
+	_, r, asg := pipeline(t)
+	s, err := Greedy(r, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := Feasible(r, s, asg); !ok {
+		t.Fatal("greedy strategy still overloads a host")
+	}
+	// Low is feasible fully replicated: greedy must not deactivate there.
+	for p := 0; p < 2; p++ {
+		if s.NumActive(0, p) != 2 {
+			t.Fatalf("greedy deactivated at Low: PE %d has %d active", p, s.NumActive(0, p))
+		}
+	}
+	// High needs deactivations.
+	totalHigh := s.NumActive(1, 0) + s.NumActive(1, 1)
+	if totalHigh >= 4 {
+		t.Fatal("greedy left static replication at High, which is overloaded")
+	}
+}
+
+func TestGreedyPrefersUpstreamOnTies(t *testing.T) {
+	// Two PEs with equal unit loads on one shared host; deactivating
+	// either resolves the overload. The upstream PE (PE1) must lose.
+	b := core.NewBuilder("tie")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{6}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(2, 2, 2)
+	for p := 0; p < 2; p++ {
+		for rep := 0; rep < 2; rep++ {
+			asg.Host[p][rep] = rep
+		}
+	}
+	// All-active load per host: 6e8 + 6e8 = 1.2e9 > 1e9 on BOTH hosts, so
+	// greedy must deactivate one replica per host. On the first host the
+	// upstream-preference tie-break sacrifices PE1; on the second host PE1
+	// is already a last survivor, so PE2 loses its replica there.
+	s, err := Greedy(r, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive(0, 0) != 1 || s.NumActive(0, 1) != 1 {
+		t.Fatalf("active replicas = (%d, %d), want (1, 1)", s.NumActive(0, 0), s.NumActive(0, 1))
+	}
+	// The first deactivation (host 0) must have hit the upstream PE1.
+	if s.IsActive(0, 0, 0) {
+		t.Fatal("tie-break did not deactivate upstream PE1's replica on host 0")
+	}
+	if !s.IsActive(0, 1, 0) {
+		t.Fatal("PE2's host-0 replica should have survived the first round")
+	}
+	if _, _, _, ok := Feasible(r, s, asg); !ok {
+		t.Fatal("greedy result still overloaded")
+	}
+}
+
+func TestGreedyStuck(t *testing.T) {
+	// A single PE whose single-replica load already exceeds capacity.
+	b := core.NewBuilder("stuck")
+	src := b.AddSource("src")
+	pe := b.AddPE("PE")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe, 1, 1e9)
+	b.Connect(pe, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       []core.InputConfig{{Name: "Only", Rates: []float64{2}, Prob: 1}},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRates(d)
+	asg := core.NewAssignment(1, 2, 2)
+	asg.Host[0][1] = 1
+	_, err = Greedy(r, asg)
+	if !errors.Is(err, ErrGreedyStuck) {
+		t.Fatalf("Greedy = %v, want ErrGreedyStuck", err)
+	}
+}
+
+func TestDepths(t *testing.T) {
+	b := core.NewBuilder("depths")
+	src := b.AddSource("src")
+	a := b.AddPE("A")
+	bb := b.AddPE("B")
+	c := b.AddPE("C")
+	sink := b.AddSink("sink")
+	b.Connect(src, a, 1, 1)
+	b.Connect(a, bb, 1, 1)
+	b.Connect(bb, c, 1, 1)
+	b.Connect(a, c, 1, 1) // C reachable both directly and via B
+	b.Connect(c, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := Depths(app)
+	// A at depth 1, B at 2, C at 3 (longest path).
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Errorf("depth[%d] = %d, want %d", i, depths[i], w)
+		}
+	}
+}
+
+func TestActivationSchedule(t *testing.T) {
+	s := core.NewStrategy(2, 2, 2)
+	s.Set(0, 0, 0, true)
+	s.Set(0, 1, 1, true)
+	s.Set(1, 0, 0, true)
+	s.Set(1, 0, 1, true)
+	s.Set(1, 1, 0, true)
+	sched := ActivationSchedule(s)
+	if len(sched) != 2 {
+		t.Fatalf("schedule covers %d configs", len(sched))
+	}
+	want0 := [][2]int{{0, 0}, {1, 1}}
+	if len(sched[0]) != len(want0) {
+		t.Fatalf("config 0 schedule = %v", sched[0])
+	}
+	for i, w := range want0 {
+		if sched[0][i] != w {
+			t.Fatalf("config 0 schedule = %v, want %v", sched[0], want0)
+		}
+	}
+	if len(sched[1]) != 3 {
+		t.Fatalf("config 1 schedule = %v", sched[1])
+	}
+}
+
+func TestGreedyCheaperThanStaticCostlierThanNR(t *testing.T) {
+	_, r, asg := pipeline(t)
+	grd, err := Greedy(r, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := Static(r.Descriptor(), 2)
+	nr := NonReplicated(grd, 1)
+	cSR, cGRD, cNR := core.Cost(r, sr), core.Cost(r, grd), core.Cost(r, nr)
+	if !(cNR < cGRD && cGRD < cSR) {
+		t.Fatalf("cost ordering violated: NR=%v GRD=%v SR=%v", cNR, cGRD, cSR)
+	}
+}

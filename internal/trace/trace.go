@@ -1,0 +1,199 @@
+// Package trace generates the input-rate traces that drive LAAR
+// experiments: piecewise-constant schedules of input configurations over
+// time (the paper's 5-minute traces with the "High" configuration active for
+// one third of the time), random configuration schedules matching a target
+// probability mass, and the binning helper of Section 3 that discretises
+// continuous rate samples into a finite set of rates with probabilities.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Segment is a time interval during which one input configuration is
+// active. End is exclusive.
+type Segment struct {
+	Start, End float64
+	Config     int
+}
+
+// Trace is a piecewise-constant schedule of input configurations.
+type Trace struct {
+	segments []Segment
+	duration float64
+}
+
+// New builds a trace from contiguous segments. Segments must start at 0, be
+// contiguous, non-empty and in order.
+func New(segments []Segment) (*Trace, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("trace: no segments")
+	}
+	prev := 0.0
+	for i, s := range segments {
+		if s.Start != prev {
+			return nil, fmt.Errorf("trace: segment %d starts at %v, want %v", i, s.Start, prev)
+		}
+		if s.End <= s.Start {
+			return nil, fmt.Errorf("trace: segment %d is empty (%v..%v)", i, s.Start, s.End)
+		}
+		if s.Config < 0 {
+			return nil, fmt.Errorf("trace: segment %d has negative config %d", i, s.Config)
+		}
+		prev = s.End
+	}
+	return &Trace{segments: append([]Segment(nil), segments...), duration: prev}, nil
+}
+
+// Alternating returns a trace of the given duration in which highCfg is
+// active for highFrac of every period and lowCfg for the remainder, starting
+// with the low phase — the shape used by the paper's runtime experiments
+// (duration 300 s, period 90 s, highFrac 1/3).
+func Alternating(duration, period, highFrac float64, lowCfg, highCfg int) (*Trace, error) {
+	if duration <= 0 || period <= 0 || highFrac < 0 || highFrac > 1 {
+		return nil, fmt.Errorf("trace: invalid alternating parameters (duration=%v period=%v highFrac=%v)",
+			duration, period, highFrac)
+	}
+	var segs []Segment
+	for t := 0.0; t < duration; t += period {
+		lowEnd := t + period*(1-highFrac)
+		if lowEnd > duration {
+			lowEnd = duration
+		}
+		if lowEnd > t {
+			segs = append(segs, Segment{Start: t, End: lowEnd, Config: lowCfg})
+		}
+		hiEnd := t + period
+		if hiEnd > duration {
+			hiEnd = duration
+		}
+		if hiEnd > lowEnd {
+			segs = append(segs, Segment{Start: lowEnd, End: hiEnd, Config: highCfg})
+		}
+	}
+	return New(segs)
+}
+
+// Random returns a trace of the given duration whose segments have
+// exponentially distributed lengths with the given mean and whose
+// configurations are drawn from probs. The realised time shares converge to
+// probs for long traces.
+func Random(duration, meanSegment float64, probs []float64, rng *rand.Rand) (*Trace, error) {
+	if duration <= 0 || meanSegment <= 0 || len(probs) == 0 {
+		return nil, fmt.Errorf("trace: invalid random parameters")
+	}
+	var segs []Segment
+	t := 0.0
+	for t < duration {
+		length := rng.ExpFloat64() * meanSegment
+		if length < meanSegment/100 {
+			length = meanSegment / 100
+		}
+		end := t + length
+		if end > duration {
+			end = duration
+		}
+		segs = append(segs, Segment{Start: t, End: end, Config: pick(probs, rng)})
+		t = end
+	}
+	return New(segs)
+}
+
+func pick(probs []float64, rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Duration returns the total trace length in seconds.
+func (t *Trace) Duration() float64 { return t.duration }
+
+// Segments returns the schedule. The slice must not be modified.
+func (t *Trace) Segments() []Segment { return t.segments }
+
+// ConfigAt returns the configuration active at the given time. Times past
+// the end of the trace report the last segment's configuration.
+func (t *Trace) ConfigAt(at float64) int {
+	if at < 0 {
+		return t.segments[0].Config
+	}
+	i := sort.Search(len(t.segments), func(i int) bool { return t.segments[i].End > at })
+	if i == len(t.segments) {
+		i = len(t.segments) - 1
+	}
+	return t.segments[i].Config
+}
+
+// Share returns the fraction of trace time during which cfg is active.
+func (t *Trace) Share(cfg int) float64 {
+	var tot float64
+	for _, s := range t.segments {
+		if s.Config == cfg {
+			tot += s.End - s.Start
+		}
+	}
+	return tot / t.duration
+}
+
+// NumConfigs returns one more than the largest configuration index used.
+func (t *Trace) NumConfigs() int {
+	max := 0
+	for _, s := range t.segments {
+		if s.Config > max {
+			max = s.Config
+		}
+	}
+	return max + 1
+}
+
+// Bin discretises continuous rate samples into n equal-width bins over
+// [min(samples), max(samples)], returning the representative rate of each
+// non-empty bin (the bin's upper edge, so the discretised rate never
+// underestimates the samples it stands for) and the empirical probability of
+// each returned rate. This is the binning step of Section 3 that turns the
+// continuous space of possible tuple rates into a finite set.
+func Bin(samples []float64, n int) (rates, probs []float64, err error) {
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("trace: binning empty sample set")
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("trace: non-positive bin count %d", n)
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo == hi {
+		return []float64{hi}, []float64{1}, nil
+	}
+	counts := make([]int, n)
+	width := (hi - lo) / float64(n)
+	for _, s := range samples {
+		b := int((s - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		rates = append(rates, lo+width*float64(i+1))
+		probs = append(probs, float64(c)/float64(len(samples)))
+	}
+	return rates, probs, nil
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+	if _, err := New([]Segment{{Start: 1, End: 2, Config: 0}}); err == nil {
+		t.Error("accepted trace not starting at 0")
+	}
+	if _, err := New([]Segment{{Start: 0, End: 0, Config: 0}}); err == nil {
+		t.Error("accepted empty segment")
+	}
+	if _, err := New([]Segment{{Start: 0, End: 1, Config: 0}, {Start: 2, End: 3, Config: 0}}); err == nil {
+		t.Error("accepted gap between segments")
+	}
+	if _, err := New([]Segment{{Start: 0, End: 1, Config: -1}}); err == nil {
+		t.Error("accepted negative config")
+	}
+}
+
+func TestAlternatingShares(t *testing.T) {
+	tr, err := Alternating(300, 90, 1.0/3.0, 0, 1)
+	if err != nil {
+		t.Fatalf("Alternating: %v", err)
+	}
+	if tr.Duration() != 300 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	// High should be active for exactly one third of each full period; the
+	// final partial period (30 s of low) shifts the global share slightly.
+	share := tr.Share(1)
+	if share < 0.25 || share > 0.40 {
+		t.Fatalf("high share = %v, want ≈ 1/3", share)
+	}
+	if math.Abs(tr.Share(0)+tr.Share(1)-1) > 1e-12 {
+		t.Fatalf("shares do not sum to 1")
+	}
+}
+
+func TestAlternatingConfigAt(t *testing.T) {
+	tr, err := Alternating(300, 90, 1.0/3.0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   float64
+		want int
+	}{
+		{0, 0}, {59, 0}, {61, 1}, {89, 1}, {91, 0}, {151, 1}, {299, 0},
+		{-5, 0}, {1000, 0}, // clamped to first/last segment
+	}
+	for _, tc := range cases {
+		if got := tr.ConfigAt(tc.at); got != tc.want {
+			t.Errorf("ConfigAt(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestAlternatingRejectsBadParams(t *testing.T) {
+	if _, err := Alternating(0, 90, 0.3, 0, 1); err == nil {
+		t.Error("accepted zero duration")
+	}
+	if _, err := Alternating(300, 0, 0.3, 0, 1); err == nil {
+		t.Error("accepted zero period")
+	}
+	if _, err := Alternating(300, 90, 1.5, 0, 1); err == nil {
+		t.Error("accepted highFrac > 1")
+	}
+}
+
+func TestRandomTraceSharesConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	probs := []float64{0.8, 0.2}
+	tr, err := Random(100000, 30, probs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Share(0)-0.8) > 0.05 {
+		t.Errorf("Share(0) = %v, want ≈ 0.8", tr.Share(0))
+	}
+	if tr.NumConfigs() != 2 {
+		t.Errorf("NumConfigs = %d, want 2", tr.NumConfigs())
+	}
+}
+
+func TestRandomRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(0, 1, []float64{1}, rng); err == nil {
+		t.Error("accepted zero duration")
+	}
+	if _, err := Random(10, 0, []float64{1}, rng); err == nil {
+		t.Error("accepted zero mean segment")
+	}
+	if _, err := Random(10, 1, nil, rng); err == nil {
+		t.Error("accepted empty probs")
+	}
+}
+
+func TestSegmentsContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr, err := Random(500, 20, []float64{0.5, 0.3, 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, s := range tr.Segments() {
+		if s.Start != prev {
+			t.Fatalf("segment starts at %v, want %v", s.Start, prev)
+		}
+		prev = s.End
+	}
+	if prev != 500 {
+		t.Fatalf("trace ends at %v, want 500", prev)
+	}
+}
+
+func TestBin(t *testing.T) {
+	samples := []float64{1, 1.2, 1.4, 9.5, 9.9, 10}
+	rates, probs, err := Bin(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 2 { // middle bin empty
+		t.Fatalf("rates = %v, want 2 non-empty bins", rates)
+	}
+	// Bin representative is the upper edge: first bin [1,4) → 4, last
+	// [7,10] → 10.
+	if rates[0] != 4 || rates[1] != 10 {
+		t.Fatalf("rates = %v, want [4 10]", rates)
+	}
+	if math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[1]-0.5) > 1e-12 {
+		t.Fatalf("probs = %v, want [0.5 0.5]", probs)
+	}
+	// Every representative rate dominates all samples in its bin.
+	for _, s := range samples {
+		dominated := false
+		for _, r := range rates {
+			if r >= s {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("sample %v not dominated by any bin rate", s)
+		}
+	}
+}
+
+func TestBinConstantSamples(t *testing.T) {
+	rates, probs, err := Bin([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 1 || rates[0] != 5 || probs[0] != 1 {
+		t.Fatalf("Bin(constant) = (%v, %v)", rates, probs)
+	}
+}
+
+func TestBinErrors(t *testing.T) {
+	if _, _, err := Bin(nil, 3); err == nil {
+		t.Error("accepted empty samples")
+	}
+	if _, _, err := Bin([]float64{1}, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+}
+
+func TestBinProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.Float64() * 20
+	}
+	_, probs, err := Bin(samples, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}

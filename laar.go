@@ -1,0 +1,468 @@
+// Package laar is a library implementation of LAAR — Load-Adaptive Active
+// Replication for distributed stream processing systems (Bellavista,
+// Corradi, Reale, Kotoulas: "Adaptive Fault-Tolerance for Dynamic Resource
+// Provisioning in Distributed Stream Processing Systems", EDBT 2014).
+//
+// LAAR runs k replicas of every processing element (PE) of a stream
+// application and dynamically deactivates redundant replicas during load
+// spikes, trading fault-tolerance for capacity under an a-priori guarantee:
+// the internal completeness (IC) metric — the fraction of tuple processing
+// that survives worst-case failures — never falls below the SLA target.
+//
+// The package exposes the full pipeline of the paper:
+//
+//   - Describe an application: Builder, Descriptor, InputConfig.
+//   - Place replicas on hosts: PlaceLPT, PlaceRoundRobin, RefinePlacement.
+//   - Reason about strategies: IC, BIC, FIC, Cost, HostLoads, Overloaded
+//     under a FailureModel (Pessimistic, NoFailure, Independent, ...).
+//   - Optimise: Solve runs the FT-Search constraint solver and returns a
+//     minimum-cost activation strategy meeting the IC constraint; baselines
+//     StaticStrategy, NonReplicatedStrategy, GreedyStrategy mirror the
+//     paper's SR, NR and GRD variants.
+//   - Execute: NewSimulation runs the strategy on a simulated multi-host
+//     DSPS with bounded queues, a Rate Monitor, an HAController and failure
+//     injection (WorstCasePlan, HostCrashPlan); the live subpackage-backed
+//     runtime (NewLiveRuntime) executes real operators on goroutines.
+//   - Generate workloads: GenerateApp builds synthetic applications with
+//     the paper's corpus characteristics; AlternatingTrace and RandomTrace
+//     build input-rate schedules; BinRates discretises measured rates.
+//
+// See examples/quickstart for an end-to-end walkthrough.
+package laar
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/engine"
+	"laar/internal/ftsearch"
+	"laar/internal/fusion"
+	"laar/internal/live"
+	"laar/internal/ops"
+	"laar/internal/placement"
+	"laar/internal/profile"
+	"laar/internal/spl"
+	"laar/internal/strategy"
+	"laar/internal/trace"
+)
+
+// Application model (see internal/core).
+type (
+	// App is an immutable application graph of sources, PEs and sinks.
+	App = core.App
+	// Builder incrementally constructs an App.
+	Builder = core.Builder
+	// ComponentID identifies a component within its App.
+	ComponentID = core.ComponentID
+	// Component is one vertex of the application graph.
+	Component = core.Component
+	// Edge is a stream connection annotated with selectivity and cost.
+	Edge = core.Edge
+	// Kind discriminates sources, PEs and sinks.
+	Kind = core.Kind
+	// Descriptor is the application descriptor of the service model.
+	Descriptor = core.Descriptor
+	// InputConfig is one discrete input configuration with its probability.
+	InputConfig = core.InputConfig
+	// Rates caches the expected tuple rates Δ(x, c) of a descriptor.
+	Rates = core.Rates
+	// Strategy is a replica activation strategy s: P̃ × C → {0, 1}.
+	Strategy = core.Strategy
+	// Assignment is the replicated placement ϑ of replicas to hosts.
+	Assignment = core.Assignment
+	// FailureModel describes φ, the availability model behind IC.
+	FailureModel = core.FailureModel
+	// Pessimistic is the paper's worst-case failure model (Eq. 14).
+	Pessimistic = core.Pessimistic
+	// NoFailure is the best-case model (φ ≡ 1).
+	NoFailure = core.NoFailure
+	// Independent fails each replica independently with probability P.
+	Independent = core.Independent
+	// SingleSurvivor keeps one uniformly random replica alive.
+	SingleSurvivor = core.SingleSurvivor
+)
+
+// Component kinds.
+const (
+	KindSource = core.KindSource
+	KindPE     = core.KindPE
+	KindSink   = core.KindSink
+)
+
+// DefaultReplication is the replication factor of the paper's evaluation
+// (twofold replication).
+const DefaultReplication = core.DefaultReplication
+
+// NewBuilder returns a Builder for an application with the given name.
+func NewBuilder(name string) *Builder { return core.NewBuilder(name) }
+
+// NewRates precomputes the expected rates of a descriptor.
+func NewRates(d *Descriptor) *Rates { return core.NewRates(d) }
+
+// NewStrategy returns an all-inactive strategy of the given shape.
+func NewStrategy(numConfigs, numPEs, k int) *Strategy {
+	return core.NewStrategy(numConfigs, numPEs, k)
+}
+
+// CrossConfigs builds the Cartesian product of per-source rate alternatives
+// into a full input-configuration set.
+func CrossConfigs(rates, probs [][]float64) ([]InputConfig, error) {
+	return core.CrossConfigs(rates, probs)
+}
+
+// MarshalDescriptor serialises a descriptor to JSON; UnmarshalDescriptor
+// parses and validates it.
+func MarshalDescriptor(d *Descriptor) ([]byte, error) { return core.MarshalDescriptor(d) }
+
+// UnmarshalDescriptor parses a descriptor from JSON.
+func UnmarshalDescriptor(data []byte) (*Descriptor, error) { return core.UnmarshalDescriptor(data) }
+
+// IC returns the internal completeness FIC/BIC of a strategy under a
+// failure model (Eq. 8).
+func IC(r *Rates, s *Strategy, m FailureModel) float64 { return core.IC(r, s, m) }
+
+// BIC returns the best-case internal completeness (Eq. 5).
+func BIC(r *Rates) float64 { return core.BIC(r) }
+
+// FIC returns the failure internal completeness (Eq. 6).
+func FIC(r *Rates, s *Strategy, m FailureModel) float64 { return core.FIC(r, s, m) }
+
+// Cost returns the execution cost of a strategy in CPU cycles over the
+// billing period (Eq. 13).
+func Cost(r *Rates, s *Strategy) float64 { return core.Cost(r, s) }
+
+// HostLoads returns the per-host CPU demand of a strategy in one input
+// configuration (left side of Eq. 11).
+func HostLoads(r *Rates, s *Strategy, asg *Assignment, cfg int) []float64 {
+	return core.HostLoads(r, s, asg, cfg)
+}
+
+// Overloaded reports whether any host reaches capacity in any configuration
+// under the strategy.
+func Overloaded(r *Rates, s *Strategy, asg *Assignment) (host, cfg int, overloaded bool) {
+	return core.Overloaded(r, s, asg)
+}
+
+// Placement.
+
+// PlaceLPT computes a longest-processing-time replica placement with
+// anti-affinity.
+func PlaceLPT(r *Rates, k, numHosts int) (*Assignment, error) {
+	return placement.LPT(r, k, numHosts)
+}
+
+// PlaceRoundRobin computes the naive round-robin placement baseline.
+func PlaceRoundRobin(numPEs, k, numHosts int) (*Assignment, error) {
+	return placement.RoundRobin(numPEs, k, numHosts)
+}
+
+// RefinePlacement re-places replicas to balance the expected active load of
+// a solved strategy (the placement ↔ activation interaction of the paper's
+// future work).
+func RefinePlacement(r *Rates, s *Strategy, numHosts int) (*Assignment, error) {
+	return placement.Refine(r, s, numHosts)
+}
+
+// FT-Search solver (see internal/ftsearch).
+type (
+	// SolveOptions configures a Solve run: IC constraint, deadline,
+	// parallelism, pruning ablations and the penalty model.
+	SolveOptions = ftsearch.Options
+	// SolveResult reports outcome, strategy, cost, IC, first-solution and
+	// pruning statistics.
+	SolveResult = ftsearch.Result
+	// Outcome classifies a solver termination (BST/SOL/NUL/TMO).
+	Outcome = ftsearch.Outcome
+	// SolveStats carries node and pruning counters.
+	SolveStats = ftsearch.Stats
+	// PruningStrategy identifies one of the four pruning rules.
+	PruningStrategy = ftsearch.Pruning
+)
+
+// Solver outcomes.
+const (
+	Optimal    = ftsearch.Optimal
+	Feasible   = ftsearch.Feasible
+	Infeasible = ftsearch.Infeasible
+	Timeout    = ftsearch.Timeout
+)
+
+// Pruning strategies.
+const (
+	PruneCPU  = ftsearch.PruneCPU
+	PruneIC   = ftsearch.PruneIC
+	PruneCost = ftsearch.PruneCost
+	PruneDOM  = ftsearch.PruneDOM
+)
+
+// Solve runs FT-Search and returns a minimum-cost activation strategy
+// satisfying the options' IC constraint on the given deployment.
+func Solve(r *Rates, asg *Assignment, opts SolveOptions) (*SolveResult, error) {
+	return ftsearch.Solve(r, asg, opts)
+}
+
+// Baseline strategies.
+
+// StaticStrategy returns the static active replication variant (SR).
+func StaticStrategy(d *Descriptor, k int) *Strategy { return strategy.Static(d, k) }
+
+// NonReplicatedStrategy derives the NR variant from a base strategy's High
+// activations.
+func NonReplicatedStrategy(base *Strategy, highCfg int) *Strategy {
+	return strategy.NonReplicated(base, highCfg)
+}
+
+// GreedyStrategy computes the GRD variant: deactivate the most CPU-hungry
+// replicas on overloaded hosts until every configuration fits.
+func GreedyStrategy(r *Rates, asg *Assignment) (*Strategy, error) {
+	return strategy.Greedy(r, asg)
+}
+
+// ICGreedyStrategy builds a feasible (not optimal) strategy meeting the IC
+// target for any replication factor — the polynomial-time companion to the
+// exact k=2 FT-Search solver, usable on instances beyond exhaustive search.
+func ICGreedyStrategy(r *Rates, asg *Assignment, icMin float64) (*Strategy, error) {
+	return strategy.ICGreedy(r, asg, icMin)
+}
+
+// Input traces (see internal/trace).
+type (
+	// Trace is a piecewise-constant schedule of input configurations.
+	Trace = trace.Trace
+	// TraceSegment is one interval of a Trace.
+	TraceSegment = trace.Segment
+)
+
+// NewTrace builds a trace from contiguous segments.
+func NewTrace(segments []TraceSegment) (*Trace, error) { return trace.New(segments) }
+
+// AlternatingTrace actives highCfg for highFrac of every period.
+func AlternatingTrace(duration, period, highFrac float64, lowCfg, highCfg int) (*Trace, error) {
+	return trace.Alternating(duration, period, highFrac, lowCfg, highCfg)
+}
+
+// RandomTrace draws configuration segments with exponentially distributed
+// lengths (mean meanSegment seconds) whose time shares converge to probs;
+// equal seeds give equal traces.
+func RandomTrace(duration, meanSegment float64, probs []float64, seed int64) (*Trace, error) {
+	return trace.Random(duration, meanSegment, probs, rand.New(rand.NewSource(seed)))
+}
+
+// BinRates discretises continuous rate samples into representative rates
+// with probabilities (the binning step of Section 3).
+func BinRates(samples []float64, bins int) (rates, probs []float64, err error) {
+	return trace.Bin(samples, bins)
+}
+
+// Simulated DSPS (see internal/engine).
+type (
+	// SimConfig holds simulation parameters (tick, queue sizing, monitor
+	// interval, glitch noise).
+	SimConfig = engine.Config
+	// Simulation is one configured experiment run.
+	Simulation = engine.Simulation
+	// Metrics aggregates everything a run measures.
+	Metrics = engine.Metrics
+	// MetricsSample is one point of the per-second time series.
+	MetricsSample = engine.Sample
+	// FailureEvent is one failure-plan entry.
+	FailureEvent = engine.FailureEvent
+	// FailureKind enumerates injectable failures.
+	FailureKind = engine.FailureKind
+)
+
+// Failure kinds.
+const (
+	ReplicaDown = engine.ReplicaDown
+	ReplicaUp   = engine.ReplicaUp
+	HostDown    = engine.HostDown
+	HostUp      = engine.HostUp
+)
+
+// NewSimulation builds a simulated deployment of the application under the
+// given placement, activation strategy and input trace.
+func NewSimulation(d *Descriptor, asg *Assignment, s *Strategy, tr *Trace, cfg SimConfig) (*Simulation, error) {
+	return engine.New(d, asg, s, tr, cfg)
+}
+
+// WorstCasePlan builds the pessimistic failure plan: every PE keeps only an
+// adversarially chosen survivor replica.
+func WorstCasePlan(r *Rates, s *Strategy) []FailureEvent {
+	return engine.WorstCasePlan(r, s)
+}
+
+// HostCrashPlan crashes one host at the given time and recovers it after
+// the downtime.
+func HostCrashPlan(host int, at, downtime float64) []FailureEvent {
+	return engine.HostCrashPlan(host, at, downtime)
+}
+
+// Synthetic workloads (see internal/appgen).
+type (
+	// GenParams configures the synthetic application generator.
+	GenParams = appgen.Params
+	// GeneratedApp bundles a generated descriptor, rates and placement.
+	GeneratedApp = appgen.Generated
+)
+
+// GenerateApp builds one synthetic application with the paper's corpus
+// characteristics (Section 5.2).
+func GenerateApp(p GenParams) (*GeneratedApp, error) { return appgen.Generate(p) }
+
+// Live goroutine runtime (see internal/live).
+type (
+	// LiveRuntime executes real operators on goroutines with LAAR's
+	// middleware: per-replica proxies, heartbeats, primary election, a
+	// rate monitor and the HAController.
+	LiveRuntime = live.Runtime
+	// LiveConfig holds live-runtime parameters.
+	LiveConfig = live.Config
+	// Tuple is one data item flowing through the live runtime.
+	Tuple = live.Tuple
+	// Operator transforms input tuples into output tuples.
+	Operator = live.Operator
+	// OperatorFunc adapts a function to the Operator interface.
+	OperatorFunc = live.OperatorFunc
+	// StatefulOperator adds snapshot/restore so a replica joining the
+	// active set re-synchronises from the primary (Section 4.6).
+	StatefulOperator = live.StatefulOperator
+	// LiveStats summarises a live run.
+	LiveStats = live.Stats
+	// LiveDriver pushes synthetic trace-driven tuples into a LiveRuntime.
+	LiveDriver = live.Driver
+)
+
+// NewLiveDriver builds a trace-driven source feeder for a live runtime,
+// replaying the trace at the given wall-clock compression scale.
+func NewLiveDriver(rt *LiveRuntime, d *Descriptor, tr *Trace, scale float64) (*LiveDriver, error) {
+	return live.NewDriver(rt, d, tr, scale)
+}
+
+// Operator library (see internal/ops): reusable transforms and stateful
+// windowed aggregates for the live runtime.
+
+// OperatorFactory builds one operator instance per (PE, replica).
+type OperatorFactory = ops.Factory
+
+// OpMap applies fn to every payload, emitting exactly one output.
+func OpMap(fn func(any) any) OperatorFactory { return ops.Map(fn) }
+
+// OpFilter keeps payloads satisfying pred.
+func OpFilter(pred func(any) bool) OperatorFactory { return ops.Filter(pred) }
+
+// OpFlatMap applies fn to every payload, emitting all returned outputs.
+func OpFlatMap(fn func(any) []any) OperatorFactory { return ops.FlatMap(fn) }
+
+// OpCountWindow emits reduce(window) for every n consecutive payloads; the
+// partial window is replica state and re-synchronises per Section 4.6.
+func OpCountWindow(n int, reduce func(window []any) any) OperatorFactory {
+	return ops.CountWindow(n, reduce)
+}
+
+// OpRunningReduce folds payloads into an accumulator, emitting fn's second
+// return when non-nil; the accumulator re-synchronises per Section 4.6.
+func OpRunningReduce(initial any, fn func(acc, in any) (newAcc, emit any)) OperatorFactory {
+	return ops.RunningReduce(initial, fn)
+}
+
+// OpsPerPE dispatches factories by PE name with a default (identity when
+// nil), wiring a whole application graph in one expression.
+func OpsPerPE(app *App, factories map[string]OperatorFactory, def OperatorFactory) OperatorFactory {
+	return ops.PerPE(app, factories, def)
+}
+
+// NewLiveRuntime builds a live runtime executing the application's PEs with
+// operators produced by the factory (one operator instance per replica).
+func NewLiveRuntime(d *Descriptor, asg *Assignment, s *Strategy, factory func(pe ComponentID, replica int) Operator, cfg LiveConfig) (*LiveRuntime, error) {
+	return live.New(d, asg, s, factory, cfg)
+}
+
+// Profiling (see internal/profile): the preliminary profiling step of
+// Section 3 that extracts descriptor attributes from an instrumented run.
+type (
+	// Profiler collects per-edge selectivity/cost observations and
+	// source-rate samples, and synthesises a Descriptor.
+	Profiler = profile.Profiler
+	// ProfileOptions configures descriptor synthesis.
+	ProfileOptions = profile.Options
+)
+
+// NewProfiler returns a profiler for the application, converting measured
+// CPU time to cycles at the given clock rate.
+func NewProfiler(app *App, cpuHz float64) (*Profiler, error) { return profile.New(app, cpuHz) }
+
+// LAAR-SPL, the textual application language (see internal/spl), mirrors
+// the role SPL plays for InfoSphere Streams in Section 5.1.
+
+// ParseSPL parses LAAR-SPL source text into a validated descriptor.
+func ParseSPL(src string) (*Descriptor, error) { return spl.Parse(src) }
+
+// LoadDescriptorFile reads an application descriptor from disk, accepting
+// either the JSON format (MarshalDescriptor) or LAAR-SPL text; the format
+// is sniffed from the content.
+func LoadDescriptorFile(path string) (*Descriptor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		return core.UnmarshalDescriptor(data)
+	}
+	return spl.Parse(trimmed)
+}
+
+// FormatSPL renders a descriptor as LAAR-SPL text; ParseSPL(FormatSPL(d))
+// is semantically equivalent to d.
+func FormatSPL(d *Descriptor) string { return spl.Format(d) }
+
+// Operator fusion (see internal/fusion), the Streams compilation step of
+// Section 5.1 that merges operator chains into single PEs.
+type (
+	// FuseOptions bounds the fusion pass.
+	FuseOptions = fusion.Options
+	// FuseResult reports the fused descriptor and the merge mapping.
+	FuseResult = fusion.Result
+)
+
+// Fuse merges fusable linear operator chains of the descriptor's
+// application into single PEs, preserving rates and total load.
+func Fuse(d *Descriptor, opts FuseOptions) (*FuseResult, error) { return fusion.Fuse(d, opts) }
+
+// Alternative fault-tolerance metrics (Section 4.3 discusses why IC is
+// preferred over these).
+
+// OutputCompleteness measures expected sink deliveries under failures
+// relative to the failure-free deliveries.
+func OutputCompleteness(r *Rates, s *Strategy, m FailureModel) float64 {
+	return core.OutputCompleteness(r, s, m)
+}
+
+// AvgReplicationFactor returns the probability-weighted mean number of
+// active replicas per PE.
+func AvgReplicationFactor(d *Descriptor, s *Strategy) float64 {
+	return core.AvgReplicationFactor(d, s)
+}
+
+// Latency estimation (the maximum-latency SLA clause of Section 3).
+
+// StageLatency estimates the per-tuple latency of every PE in a
+// configuration under a processor-sharing host model.
+func StageLatency(r *Rates, s *Strategy, asg *Assignment, cfg int) []float64 {
+	return core.StageLatency(r, s, asg, cfg)
+}
+
+// PathLatency estimates the worst source-to-sink latency in a
+// configuration.
+func PathLatency(r *Rates, s *Strategy, asg *Assignment, cfg int) float64 {
+	return core.PathLatency(r, s, asg, cfg)
+}
+
+// MaxLatency estimates the worst end-to-end latency across all input
+// configurations; +Inf indicates an overloaded configuration.
+func MaxLatency(r *Rates, s *Strategy, asg *Assignment) float64 {
+	return core.MaxLatency(r, s, asg)
+}

@@ -1,0 +1,545 @@
+package laar_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"laar"
+)
+
+// buildExample constructs the paper's Fig. 1 pipeline via the public API.
+func buildExample(t *testing.T) (*laar.Descriptor, *laar.Rates, *laar.Assignment) {
+	t.Helper()
+	b := laar.NewBuilder("facade")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &laar.Descriptor{
+		App: app,
+		Configs: []laar.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := laar.NewRates(d)
+	asg, err := laar.PlaceLPT(r, laar.DefaultReplication, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, r, asg
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	d, r, asg := buildExample(t)
+	res, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != laar.Optimal {
+		t.Fatalf("Outcome = %v", res.Outcome)
+	}
+	if math.Abs(res.IC-2.0/3.0) > 1e-9 {
+		t.Fatalf("IC = %v, want 2/3", res.IC)
+	}
+	// The facade's metric helpers agree with the solver.
+	if got := laar.IC(r, res.Strategy, laar.Pessimistic{}); math.Abs(got-res.IC) > 1e-9 {
+		t.Fatalf("laar.IC = %v, solver = %v", got, res.IC)
+	}
+	if got := laar.Cost(r, res.Strategy); math.Abs(got-res.Cost) > 1e-3 {
+		t.Fatalf("laar.Cost = %v, solver = %v", got, res.Cost)
+	}
+	if _, _, over := laar.Overloaded(r, res.Strategy, asg); over {
+		t.Fatal("solver strategy overloads a host")
+	}
+	// Simulate under the worst-case plan.
+	tr, err := laar.AlternatingTrace(150, 50, 0.2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := laar.NewSimulation(d, asg, res.Strategy, tr, laar.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(laar.WorstCasePlan(r, res.Strategy)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ProcessedTotal <= 0 {
+		t.Fatal("worst-case run processed nothing despite replication at Low")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	d, r, asg := buildExample(t)
+	sr := laar.StaticStrategy(d, laar.DefaultReplication)
+	grd, err := laar.GreedyStrategy(r, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := laar.NonReplicatedStrategy(grd, 1)
+	if laar.IC(r, sr, laar.Pessimistic{}) != 1 {
+		t.Error("IC(SR) != 1")
+	}
+	if laar.IC(r, nr, laar.Pessimistic{}) != 0 {
+		t.Error("IC(NR) != 0")
+	}
+	cSR, cGRD, cNR := laar.Cost(r, sr), laar.Cost(r, grd), laar.Cost(r, nr)
+	if !(cNR < cGRD && cGRD < cSR) {
+		t.Errorf("cost ordering violated: %v %v %v", cNR, cGRD, cSR)
+	}
+}
+
+func TestFacadeGenerateAndBin(t *testing.T) {
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 6, NumHosts: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Desc.App.NumPEs() != 6 {
+		t.Fatalf("NumPEs = %d", gen.Desc.App.NumPEs())
+	}
+	rates, probs, err := laar.BinRates([]float64{1, 2, 3, 10, 11}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != len(probs) || len(rates) == 0 {
+		t.Fatalf("BinRates shape: %v %v", rates, probs)
+	}
+	cfgs, err := laar.CrossConfigs([][]float64{{1, 2}}, [][]float64{{0.5, 0.5}})
+	if err != nil || len(cfgs) != 2 {
+		t.Fatalf("CrossConfigs: %v %v", cfgs, err)
+	}
+}
+
+func TestFacadeDescriptorRoundTrip(t *testing.T) {
+	d, _, _ := buildExample(t)
+	data, err := laar.MarshalDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := laar.UnmarshalDescriptor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App.Name() != d.App.Name() {
+		t.Fatalf("name mismatch: %q", back.App.Name())
+	}
+}
+
+func TestFacadePenaltyAndRefinement(t *testing.T) {
+	d, r, asg := buildExample(t)
+	_ = d
+	soft, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.9, PenaltyLambda: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.Outcome != laar.Optimal {
+		t.Fatalf("penalty solve outcome = %v", soft.Outcome)
+	}
+	refined, err := laar.RefinePlacement(r, soft.Strategy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refined.Validate(true); err != nil {
+		t.Fatalf("refined placement: %v", err)
+	}
+}
+
+// TestJointPlacementActivation exercises the placement ↔ activation
+// iteration of the paper's future work: solve, re-place for the solved
+// strategy, and re-solve. The iterated cost must never exceed the original
+// (the refined placement admits at least the original strategy's cost
+// structure or better).
+func TestJointPlacementActivation(t *testing.T) {
+	gen, err := laar.GenerateApp(laar.GenParams{NumPEs: 10, NumHosts: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := gen.Rates
+	asg := gen.Assignment
+	base, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.5, Deadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Strategy == nil {
+		t.Skipf("base instance unsolvable: %v", base.Outcome)
+	}
+	best := base.Cost
+	for iter := 0; iter < 3; iter++ {
+		refined, err := laar.RefinePlacement(r, base.Strategy, asg.NumHosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := laar.Solve(r, refined, laar.SolveOptions{ICMin: 0.5, Deadline: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Strategy == nil {
+			t.Fatalf("iteration %d became unsolvable: %v", iter, res.Outcome)
+		}
+		if res.Cost > best*1.0001 {
+			t.Fatalf("iteration %d cost %v regressed above %v", iter, res.Cost, best)
+		}
+		if res.Cost < best {
+			best = res.Cost
+		}
+		base = res
+		asg = refined
+	}
+	t.Logf("joint iteration: cost %.4g → %.4g", base.Cost, best)
+}
+
+// TestLatencyFacade sanity-checks the latency estimators through the
+// public API.
+func TestLatencyFacade(t *testing.T) {
+	_, r, asg := buildExample(t)
+	static := laar.StaticStrategy(r.Descriptor(), laar.DefaultReplication)
+	if l := laar.MaxLatency(r, static, asg); !math.IsInf(l, 1) {
+		t.Fatalf("MaxLatency(SR) = %v, want +Inf (overloaded at High)", l)
+	}
+	res, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := laar.MaxLatency(r, res.Strategy, asg); math.IsInf(l, 1) || l <= 0 {
+		t.Fatalf("MaxLatency(LAAR) = %v, want finite positive", l)
+	}
+	if got := laar.PathLatency(r, res.Strategy, asg, 0); got <= 0 {
+		t.Fatalf("PathLatency = %v", got)
+	}
+	lat := laar.StageLatency(r, res.Strategy, asg, 0)
+	if len(lat) != 2 {
+		t.Fatalf("StageLatency covers %d PEs", len(lat))
+	}
+	// Alternative metrics through the facade.
+	if oc := laar.OutputCompleteness(r, res.Strategy, laar.Pessimistic{}); oc <= 0 || oc > 1 {
+		t.Fatalf("OutputCompleteness = %v", oc)
+	}
+	if arf := laar.AvgReplicationFactor(r.Descriptor(), res.Strategy); arf < 1 || arf > 2 {
+		t.Fatalf("AvgReplicationFactor = %v", arf)
+	}
+}
+
+// ExampleSolve demonstrates the core optimisation call on the paper's
+// two-PE pipeline.
+func ExampleSolve() {
+	b := laar.NewBuilder("pipeline")
+	src := b.AddSource("src")
+	pe1 := b.AddPE("PE1")
+	pe2 := b.AddPE("PE2")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe1, 1, 1e8)
+	b.Connect(pe1, pe2, 1, 1e8)
+	b.Connect(pe2, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &laar.Descriptor{
+		App: app,
+		Configs: []laar.InputConfig{
+			{Name: "Low", Rates: []float64{4}, Prob: 0.8},
+			{Name: "High", Rates: []float64{8}, Prob: 0.2},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 300,
+	}
+	r := laar.NewRates(d)
+	asg, err := laar.PlaceLPT(r, laar.DefaultReplication, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6, Deadline: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v IC=%.3f\n", res.Outcome, res.IC)
+	// Output: BST IC=0.667
+}
+
+// ExampleIC shows how the internal-completeness metric reacts to replica
+// deactivation under the pessimistic failure model.
+func ExampleIC() {
+	b := laar.NewBuilder("ic")
+	src := b.AddSource("src")
+	pe := b.AddPE("PE")
+	sink := b.AddSink("sink")
+	b.Connect(src, pe, 1, 1e6)
+	b.Connect(pe, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &laar.Descriptor{
+		App: app,
+		Configs: []laar.InputConfig{
+			{Name: "Low", Rates: []float64{10}, Prob: 0.75},
+			{Name: "High", Rates: []float64{20}, Prob: 0.25},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: 60,
+	}
+	r := laar.NewRates(d)
+	s := laar.StaticStrategy(d, 2)
+	fmt.Printf("all active: %.3f\n", laar.IC(r, s, laar.Pessimistic{}))
+	s.Set(1, 0, 1, false) // drop one replica in the High configuration
+	fmt.Printf("High unprotected: %.3f\n", laar.IC(r, s, laar.Pessimistic{}))
+	// Output:
+	// all active: 1.000
+	// High unprotected: 0.600
+}
+
+// TestICGreedyFacade checks the arbitrary-k heuristic through the public
+// API against the exact solver on the pipeline.
+func TestICGreedyFacade(t *testing.T) {
+	_, r, asg := buildExample(t)
+	heur, err := laar.ICGreedyStrategy(r, asg, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic := laar.IC(r, heur, laar.Pessimistic{}); ic < 0.6 {
+		t.Fatalf("heuristic IC = %v, want ≥ 0.6", ic)
+	}
+	opt, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc := laar.Cost(r, heur); hc < opt.Cost*(1-1e-9) {
+		t.Fatalf("heuristic cost %v below the proven optimum %v", hc, opt.Cost)
+	}
+}
+
+// TestLatencyConstrainedSolveFacade exercises the max-latency SLA clause
+// through the public API.
+func TestLatencyConstrainedSolveFacade(t *testing.T) {
+	_, r, asg := buildExample(t)
+	res, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6, MaxLatency: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != laar.Optimal {
+		t.Fatalf("Outcome = %v", res.Outcome)
+	}
+	if l := laar.MaxLatency(r, res.Strategy, asg); l > 1.1 {
+		t.Fatalf("MaxLatency = %v exceeds the SLA bound", l)
+	}
+	tight, err := laar.Solve(r, asg, laar.SolveOptions{ICMin: 0.6, MaxLatency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Outcome != laar.Infeasible {
+		t.Fatalf("Outcome = %v, want NUL under a 0.5s bound", tight.Outcome)
+	}
+}
+
+// TestSPLAndFusionFacade round-trips a descriptor through LAAR-SPL and the
+// fusion pass via the public API.
+func TestSPLAndFusionFacade(t *testing.T) {
+	d, r, _ := buildExample(t)
+	text := laar.FormatSPL(d)
+	back, err := laar.ParseSPL(text)
+	if err != nil {
+		t.Fatalf("ParseSPL: %v\n%s", err, text)
+	}
+	if laar.BIC(laar.NewRates(back)) != laar.BIC(r) {
+		t.Fatal("SPL round trip changed BIC")
+	}
+	fused, err := laar.Fuse(d, laar.FuseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-PE pipeline collapses into one PE with identical total load.
+	if fused.Desc.App.NumPEs() != 1 {
+		t.Fatalf("fused PEs = %d, want 1", fused.Desc.App.NumPEs())
+	}
+	r2 := laar.NewRates(fused.Desc)
+	var l1, l2 float64
+	for p := 0; p < d.App.NumPEs(); p++ {
+		l1 += r.UnitLoad(p, 0)
+	}
+	for p := 0; p < fused.Desc.App.NumPEs(); p++ {
+		l2 += r2.UnitLoad(p, 0)
+	}
+	if math.Abs(l1-l2) > 1e-6 {
+		t.Fatalf("fusion changed total load: %v vs %v", l1, l2)
+	}
+}
+
+// TestLoadDescriptorFile sniffs both on-disk formats.
+func TestLoadDescriptorFile(t *testing.T) {
+	d, _, _ := buildExample(t)
+	dir := t.TempDir()
+	jsonPath := dir + "/app.json"
+	data, err := laar.MarshalDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	splPath := dir + "/app.spl"
+	if err := os.WriteFile(splPath, []byte(laar.FormatSPL(d)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{jsonPath, splPath} {
+		back, err := laar.LoadDescriptorFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if back.App.NumPEs() != d.App.NumPEs() {
+			t.Fatalf("%s: PEs = %d", path, back.App.NumPEs())
+		}
+	}
+	if _, err := laar.LoadDescriptorFile(dir + "/missing"); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+// TestGrandTour walks the entire workflow the paper describes (Figure 7)
+// from a textual application to verified runtime guarantees: parse LAAR-SPL,
+// fuse operators, place replicas, solve for a strategy, and validate the IC
+// guarantee in simulation under worst-case failures.
+func TestGrandTour(t *testing.T) {
+	const src = `
+app tour
+host capacity 1e9
+billing period 300
+source feed rates 5@0.75 10@0.25
+pe ingest
+pe enrich
+pe classify
+pe aggregate
+sink out
+connect feed -> ingest sel 1 cost 2e7
+connect ingest -> enrich sel 1 cost 3e7
+connect enrich -> classify sel 0.8 cost 2.5e7
+connect classify -> aggregate sel 0.1 cost 4e7
+connect aggregate -> out
+`
+	d, err := laar.ParseSPL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fuse the cheap linear head under a ceiling that keeps PEs placeable.
+	fused, err := laar.Fuse(d, laar.FuseOptions{MaxCostCycles: 6e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Fusions == 0 {
+		t.Fatal("the linear chain admitted no fusion")
+	}
+	d = fused.Desc
+	rates := laar.NewRates(d)
+	// Three hosts: IC 0.7 needs the fused head replicated during High,
+	// which two hosts cannot accommodate.
+	asg, err := laar.PlaceLPT(rates, laar.DefaultReplication, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := laar.Solve(rates, asg, laar.SolveOptions{ICMin: 0.7, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == nil {
+		t.Fatalf("no strategy: %v", res.Outcome)
+	}
+	if res.IC < 0.7 {
+		t.Fatalf("guaranteed IC %v below target", res.IC)
+	}
+	// Trace matching the declared distribution: High 25% of each period.
+	tr, err := laar.AlternatingTrace(300, 80, 0.25, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(worst bool) *laar.Metrics {
+		sim, err := laar.NewSimulation(d, asg, res.Strategy, tr, laar.SimConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst {
+			if err := sim.InjectAll(laar.WorstCasePlan(rates, res.Strategy)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	best := run(false)
+	worst := run(true)
+	if best.DroppedTotal > 0 {
+		t.Errorf("best case dropped %v tuples", best.DroppedTotal)
+	}
+	measured := worst.ProcessedTotal / best.ProcessedTotal
+	if measured < res.IC-0.05 {
+		t.Fatalf("measured worst-case IC %v below guarantee %v", measured, res.IC)
+	}
+	t.Logf("grand tour: %d fusions, %v, IC guarantee %.3f, measured %.3f",
+		fused.Fusions, res.Outcome, res.IC, measured)
+}
+
+// ExampleParseSPL parses a LAAR-SPL application and reports its shape.
+func ExampleParseSPL() {
+	d, err := laar.ParseSPL(`
+app demo
+source feed rates 5@0.9 20@0.1
+pe work
+sink out
+connect feed -> work sel 1 cost 1e6
+connect work -> out
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d PEs, %d configs\n", d.App.Name(), d.App.NumPEs(), len(d.Configs))
+	// Output: demo: 1 PEs, 2 configs
+}
+
+// ExampleFuse merges a linear operator chain into one PE.
+func ExampleFuse() {
+	d, err := laar.ParseSPL(`
+app chain
+source s rates 10@1
+pe a
+pe b
+sink k
+connect s -> a sel 2 cost 1e6
+connect a -> b sel 0.5 cost 4e6
+connect b -> k
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := laar.Fuse(d, laar.FuseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range res.Desc.App.Edges() {
+		if res.Desc.App.Component(e.To).Kind == laar.KindPE {
+			// γ_a + δ_a·γ_b = 1e6 + 2·4e6; δ_a·δ_b = 2·0.5.
+			fmt.Printf("fused: sel %g cost %g\n", e.Selectivity, e.CostCycles)
+		}
+	}
+	// Output: fused: sel 1 cost 9e+06
+}
