@@ -1,0 +1,176 @@
+// Package chaos is a deterministic, seeded fault-injection harness for the
+// LAAR runtime layers. It generates randomized failure schedules — host
+// crashes, correlated multi-host crashes, replica kill/recover churn, load
+// spikes and input-rate glitch bursts — from a compact Scenario spec,
+// drives the discrete-event engine (and, through a fake clock, the
+// goroutine live runtime) through the schedule, and checks a registry of
+// LAAR invariants after every run:
+//
+//   - ic-bound: delivered internal completeness never falls below the
+//     strategy's pessimistic-model guarantee while the injected failures
+//     stay within the declared failure model;
+//   - primary-unique: exactly one primary per PE at quiescence, and it is
+//     the lowest-indexed eligible replica;
+//   - queue-bounds: no input queue ever exceeds its configured capacity;
+//   - tuple-conservation: every tuple offered to a replica is processed,
+//     dropped, discarded by a crash/deactivation clear, or still queued;
+//   - monotone-recovery: after the last failure clears, the output rate
+//     recovers to the failure-free expectation.
+//
+// Every run is a pure function of the scenario seed, so any failing
+// schedule reproduces from a single integer (cmd/laarchaos -seed N).
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class enumerates the failure-schedule families the generator produces.
+type Class int
+
+const (
+	// HostCrash crashes single hosts at random times, recovering each
+	// after a random downtime (the Figure 11 crash model, randomized).
+	HostCrash Class = iota
+	// CorrelatedCrash crashes several hosts nearly simultaneously — the
+	// correlated-failure regime single-kill tests miss entirely.
+	CorrelatedCrash
+	// ReplicaChurn kills and recovers individual replicas continuously.
+	ReplicaChurn
+	// LoadSpike injects no failures but drives the input through sudden
+	// rate bursts, exercising the Rate Monitor / HAController path.
+	LoadSpike
+	// GlitchBurst adds multiplicative input-rate noise on top of the
+	// alternating trace (the paper's observed rate glitches, amplified).
+	GlitchBurst
+	// Mixed combines host crashes, replica churn, load spikes and a mild
+	// glitch in one schedule.
+	Mixed
+)
+
+var classNames = map[Class]string{
+	HostCrash:       "host-crash",
+	CorrelatedCrash: "correlated-crash",
+	ReplicaChurn:    "replica-churn",
+	LoadSpike:       "load-spike",
+	GlitchBurst:     "glitch-burst",
+	Mixed:           "mixed",
+}
+
+// String returns the class's schedule-spec name.
+func (c Class) String() string {
+	if n, ok := classNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classes lists every schedule class in declaration order.
+func Classes() []Class {
+	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed}
+}
+
+// ParseClass resolves a schedule-spec name ("host-crash", "mixed", ...).
+func ParseClass(name string) (Class, error) {
+	for c, n := range classNames {
+		if strings.EqualFold(name, n) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown scenario class %q", name)
+}
+
+// Scenario is the compact spec a schedule is generated from. The zero
+// value of every field except Seed and Class takes the documented default;
+// equal scenarios generate equal systems and schedules.
+type Scenario struct {
+	// Seed drives every random choice: the synthetic application, the
+	// failure schedule, and the glitch noise.
+	Seed int64
+	// Class selects the failure-schedule family.
+	Class Class
+	// Duration is the trace length in seconds. Default 120.
+	Duration float64
+	// NumPEs, NumHosts and NumSources shape the synthetic application.
+	// Defaults 6, 3 and 1.
+	NumPEs, NumHosts, NumSources int
+	// Faults is the approximate number of fault events (crash/recover
+	// pairs count as one fault). Default class-dependent.
+	Faults int
+	// ICTarget is the ICGreedy activation-strategy target; the builder
+	// relaxes it stepwise when the instance cannot reach it. Default 0.6.
+	ICTarget float64
+	// ICTolerance is the slack allowed between the measured IC and the
+	// pessimistic bound before the ic-bound invariant trips. It absorbs
+	// monitor-lag drops and the in-flight pipeline tail. Default 0.05.
+	ICTolerance float64
+	// QuietTail is the failure-free window at the end of the schedule in
+	// which recovery is asserted. Default 30.
+	QuietTail float64
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Duration <= 0 {
+		sc.Duration = 120
+	}
+	if sc.NumPEs == 0 {
+		sc.NumPEs = 6
+	}
+	if sc.NumHosts == 0 {
+		sc.NumHosts = 3
+	}
+	if sc.NumSources == 0 {
+		sc.NumSources = 1
+	}
+	if sc.Faults == 0 {
+		switch sc.Class {
+		case HostCrash:
+			sc.Faults = 2
+		case CorrelatedCrash:
+			sc.Faults = 1
+		case ReplicaChurn:
+			sc.Faults = 6
+		case LoadSpike, GlitchBurst:
+			sc.Faults = 0
+		case Mixed:
+			sc.Faults = 4
+		}
+	}
+	if sc.ICTarget == 0 {
+		sc.ICTarget = 0.6
+	}
+	if sc.ICTolerance == 0 {
+		sc.ICTolerance = 0.05
+	}
+	if sc.QuietTail == 0 {
+		sc.QuietTail = 30
+	}
+	return sc
+}
+
+func (sc Scenario) validate() error {
+	if sc.Duration <= sc.QuietTail {
+		return fmt.Errorf("chaos: duration %v does not leave room for the %v-second quiet tail", sc.Duration, sc.QuietTail)
+	}
+	if sc.NumHosts < 2 {
+		return fmt.Errorf("chaos: need at least 2 hosts, got %d", sc.NumHosts)
+	}
+	if sc.Faults < 0 {
+		return fmt.Errorf("chaos: negative fault count %d", sc.Faults)
+	}
+	return nil
+}
+
+// splitmix64 derives independent sub-seeds from the scenario seed, so the
+// application draw and the schedule draw do not share a random stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func subSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(stream)))
+}

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestDifferential runs matched scenarios on the discrete-event engine and
+// the goroutine live runtime and demands sink-count agreement within the
+// derived tolerance, plus a settled live primary election at quiescence.
+func TestDifferential(t *testing.T) {
+	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				dr, err := Diff(Scenario{Seed: seed, Class: class, Duration: 60})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := dr.Err(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				// Every failure has cleared and every replica heartbeats
+				// again, so each PE's primary must be back at replica 0.
+				for pe, p := range dr.LivePrimaries {
+					if p != 0 {
+						t.Errorf("seed %d: PE %d live primary = %d at quiescence, want 0", seed, pe, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeededScenarios is the main chaos sweep: 100 seeded scenarios across
+// every schedule class, each checked against the full invariant registry.
+// A failing seed reproduces outside the test via
+//
+//	go run ./cmd/laarchaos -seed <seed> -scenario <class>
+func TestSeededScenarios(t *testing.T) {
+	const perClass = 17 // 6 classes × 17 = 102 scenarios
+	for _, class := range Classes() {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= perClass; seed++ {
+				sc := Scenario{Seed: seed, Class: class}
+				res, violations, err := RunAndCheck(sc)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range violations {
+					t.Errorf("seed %d (%s): %v", seed, res.Schedule.Describe(), v)
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantsTrip tampers with a clean run result in five targeted ways
+// and demands that each registry invariant detects its own breach — the
+// checker must not be vacuously green.
+func TestInvariantsTrip(t *testing.T) {
+	cases := []struct {
+		invariant string
+		mutate    func(*Result)
+	}{
+		{"ic-bound", func(r *Result) { r.MeasuredIC = r.BoundIC - 1 }},
+		{"primary-unique", func(r *Result) { r.Probes[len(r.Probes)-1].Primary[0]++ }},
+		{"queue-bounds", func(r *Result) { r.Probes[0].Replicas[0].OverCap = true }},
+		{"tuple-conservation", func(r *Result) { r.Probes[len(r.Probes)-1].Replicas[0].Enqueued += 100 }},
+		{"monotone-recovery", func(r *Result) { r.Probes[len(r.Probes)-1].Primary[0] = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.invariant, func(t *testing.T) {
+			res, err := Run(Scenario{Seed: 1, Class: HostCrash})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedule.WithinModel {
+				t.Fatal("need an in-model run for tamper testing")
+			}
+			if v := Check(res); len(v) != 0 {
+				t.Fatalf("clean run already violates: %v", v)
+			}
+			tc.mutate(res)
+			for _, v := range Check(res) {
+				if v.Invariant == tc.invariant {
+					return
+				}
+			}
+			t.Errorf("tampering did not trip %s", tc.invariant)
+		})
+	}
+}
+
+// TestDeterminism re-runs one scenario per class and demands bit-identical
+// headline metrics — the property that makes seeds reproducible.
+func TestDeterminism(t *testing.T) {
+	for _, class := range Classes() {
+		sc := Scenario{Seed: 7, Class: class}
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if a.Metrics.ProcessedTotal != b.Metrics.ProcessedTotal ||
+			a.Metrics.SinkTotal != b.Metrics.SinkTotal ||
+			a.Metrics.EmittedTotal != b.Metrics.EmittedTotal ||
+			a.MeasuredIC != b.MeasuredIC ||
+			len(a.Schedule.Events) != len(b.Schedule.Events) {
+			t.Errorf("%s: seed 7 not deterministic: %+v vs %+v", class, a.Metrics, b.Metrics)
+		}
+	}
+}

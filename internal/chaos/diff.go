@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+	"laar/internal/live"
+)
+
+// DiffResult is the outcome of one differential run: the same application,
+// activation strategy, input trace and failure schedule executed on the
+// discrete-event engine and on the goroutine live runtime.
+type DiffResult struct {
+	Scenario Scenario
+	Schedule *Schedule
+	// EngineSink and LiveSink count tuples delivered to the sink by each
+	// leg. The engine counts fluid amounts; the live leg counts discrete
+	// tuples.
+	EngineSink, LiveSink float64
+	// Tolerance is the allowed absolute disagreement, derived from the
+	// schedule: a relative term for discretisation and in-flight tail,
+	// plus a failover-lag term per failure event (the live controller
+	// detects failures one heartbeat/scan later than the engine's
+	// instantaneous election).
+	Tolerance float64
+	// LivePrimaries[pe] is the live runtime's primary at quiescence.
+	LivePrimaries []int
+}
+
+// Agree reports whether the two legs match within tolerance.
+func (dr *DiffResult) Agree() bool {
+	return math.Abs(dr.EngineSink-dr.LiveSink) <= dr.Tolerance
+}
+
+// Err returns nil when the legs agree and a descriptive error otherwise.
+func (dr *DiffResult) Err() error {
+	if dr.Agree() {
+		return nil
+	}
+	return fmt.Errorf("chaos: engine and live disagree: engine sank %.1f tuples, live %d, tolerance %.1f (%s)",
+		dr.EngineSink, int64(dr.LiveSink), dr.Tolerance, dr.Schedule.Describe())
+}
+
+// liveQuantum is the fake-time step the live driver advances per iteration;
+// it mirrors the engine's default tick.
+const liveQuantum = 100 * time.Millisecond
+
+// liveMonitor is the live Rate Monitor period in fake time, matching the
+// engine's default monitor interval.
+const liveMonitor = time.Second
+
+// Diff runs one scenario differentially: a fixed identity pipeline (unit
+// selectivity, negligible cost, so the live operators compute exactly what
+// the engine's fluid model predicts) is deployed on both runtimes and
+// driven through the scenario's trace and failure schedule, and the sink
+// deliveries are compared. The live leg runs on a FakeClock, so a
+// multi-minute scenario completes in milliseconds and the failure events
+// land at the same (virtual) instants as in the engine.
+func Diff(sc Scenario) (*DiffResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	sys, ids, err := pipelineSystem(sc.Duration)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := BuildSchedule(sc, sys)
+	if err != nil {
+		return nil, err
+	}
+	// The engine's glitch noise is private to its RNG and cannot be
+	// replayed through Push calls, so differential runs are noise-free.
+	sched.Glitch = 0
+
+	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.InjectAll(sched.Events); err != nil {
+		return nil, err
+	}
+	em, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	liveSink, primaries, err := runLiveLeg(sys, ids, sched, sc.Duration)
+	if err != nil {
+		return nil, err
+	}
+
+	maxRate := math.Max(sys.Desc.Configs[sys.LowCfg].Rates[0], sys.Desc.Configs[sys.HighCfg].Rates[0])
+	downs := 0
+	for _, ev := range sched.Events {
+		if ev.Kind == engine.ReplicaDown || ev.Kind == engine.HostDown {
+			downs++
+		}
+	}
+	lag := (liveMonitor + liveMonitor/2 + liveQuantum).Seconds()
+	tol := 0.03*em.SinkTotal + float64(downs)*lag*maxRate + 10
+	return &DiffResult{
+		Scenario:      sc,
+		Schedule:      sched,
+		EngineSink:    em.SinkTotal,
+		LiveSink:      float64(liveSink),
+		Tolerance:     tol,
+		LivePrimaries: primaries,
+	}, nil
+}
+
+// pipelineSystem builds the differential-test application: a three-stage
+// identity pipeline with unit selectivities, two replicas per PE spread
+// anti-affine over two hosts, all replicas active in both configurations.
+func pipelineSystem(duration float64) (*System, []core.ComponentID, error) {
+	b := core.NewBuilder("chaos-diff-pipeline")
+	src := b.AddSource("src")
+	p1 := b.AddPE("stage1")
+	p2 := b.AddPE("stage2")
+	p3 := b.AddPE("stage3")
+	sink := b.AddSink("sink")
+	b.Connect(src, p1, 1, 1e6)
+	b.Connect(p1, p2, 1, 1e6)
+	b.Connect(p2, p3, 1, 1e6)
+	b.Connect(p3, sink, 0, 0)
+	app, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &core.Descriptor{
+		App: app,
+		Configs: []core.InputConfig{
+			{Name: "Low", Rates: []float64{10}, Prob: 2.0 / 3},
+			{Name: "High", Rates: []float64{20}, Prob: 1.0 / 3},
+		},
+		HostCapacity:  1e9,
+		BillingPeriod: duration,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	asg := core.NewAssignment(3, 2, 2)
+	for pe := 0; pe < 3; pe++ {
+		for k := 0; k < 2; k++ {
+			asg.Host[pe][k] = k
+		}
+	}
+	sys := &System{
+		Desc:     d,
+		Rates:    core.NewRates(d),
+		Asg:      asg,
+		Strat:    core.AllActive(2, 3, 2),
+		LowCfg:   0,
+		HighCfg:  1,
+		ICTarget: 1,
+	}
+	return sys, []core.ComponentID{src, p1, p2, p3, sink}, nil
+}
+
+// runLiveLeg drives the live runtime through the schedule on a fake clock:
+// per quantum it applies the due failure events, pushes the trace's tuple
+// quota (credit accumulation, so rates are exact over time), and advances
+// fake time. A drain phase lets in-flight tuples reach the sink before the
+// counts are read.
+func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration float64) (sunk int64, primaries []int, err error) {
+	fc := live.NewFakeClock(time.Unix(0, 0))
+	rt, err := live.New(sys.Desc, sys.Asg, sys.Strat,
+		func(core.ComponentID, int) live.Operator {
+			return live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} })
+		},
+		live.Config{
+			QueueLen:        256,
+			MonitorInterval: liveMonitor,
+			InitialConfig:   sched.Trace.ConfigAt(0),
+			Clock:           fc,
+		})
+	if err != nil {
+		return 0, nil, err
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, live.Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		return 0, nil, err
+	}
+
+	peID := sys.Desc.App.PEs() // dense PE index → component ID
+	dt := liveQuantum.Seconds()
+	steps := int(duration/dt + 0.5)
+	downCount := make(map[[2]int]int)
+	evIdx := 0
+	credit := 0.0
+	for i := 0; i < steps; i++ {
+		t := float64(i) * dt
+		for evIdx < len(sched.Events) && sched.Events[evIdx].Time < t+dt {
+			applyLiveEvent(rt, sys, peID, sched.Events[evIdx], downCount)
+			evIdx++
+		}
+		credit += sys.Desc.Configs[sched.Trace.ConfigAt(t)].Rates[0] * dt
+		for ; credit >= 1; credit-- {
+			if err := rt.Push(ids[0], i); err != nil {
+				return 0, nil, err
+			}
+		}
+		// Yield real time so the replica goroutines drain their queues
+		// before the fake clock moves on; without this the driver loop can
+		// starve the runtime on a single-P scheduler and every queue
+		// overflows.
+		time.Sleep(20 * time.Microsecond)
+		fc.Advance(liveQuantum)
+	}
+	// Drain: a few fake seconds with no input, plus real-time yields, so
+	// queued tuples finish the pipeline and the controller settles.
+	for i := 0; i < 30; i++ {
+		fc.Advance(liveQuantum)
+		time.Sleep(100 * time.Microsecond)
+	}
+	for pe := 0; pe < sys.Asg.NumPEs(); pe++ {
+		primaries = append(primaries, rt.Primary(peID[pe]))
+	}
+	if _, err := rt.Stop(); err != nil {
+		return 0, nil, err
+	}
+	return delivered.Load(), primaries, nil
+}
+
+// applyLiveEvent maps one engine failure event onto the live runtime. The
+// live runtime has no host abstraction, so host events fan out to every
+// replica placed on the host; a per-replica down counter keeps overlapping
+// host and replica failures from recovering a replica early.
+func applyLiveEvent(rt *live.Runtime, sys *System, peID []core.ComponentID, ev engine.FailureEvent, down map[[2]int]int) {
+	bump := func(pe, k, delta int) {
+		key := [2]int{pe, k}
+		was := down[key]
+		down[key] = was + delta
+		switch {
+		case was == 0 && down[key] > 0:
+			rt.KillReplica(peID[pe], k)
+		case was > 0 && down[key] == 0:
+			rt.RecoverReplica(peID[pe], k)
+		}
+	}
+	switch ev.Kind {
+	case engine.ReplicaDown:
+		bump(ev.PE, ev.Replica, +1)
+	case engine.ReplicaUp:
+		bump(ev.PE, ev.Replica, -1)
+	case engine.HostDown:
+		for _, pr := range sys.Asg.ReplicasOn(ev.Host) {
+			bump(pr[0], pr[1], +1)
+		}
+	case engine.HostUp:
+		for _, pr := range sys.Asg.ReplicasOn(ev.Host) {
+			bump(pr[0], pr[1], -1)
+		}
+	}
+}

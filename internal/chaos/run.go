@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"fmt"
+
+	"laar/internal/engine"
+)
+
+// Run executes one seeded chaos scenario against the discrete-event engine
+// and returns the result, ready for Check. The run is a pure function of
+// the scenario: equal scenarios produce equal results.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	sys, err := BuildSystem(sc)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := BuildSchedule(sc, sys)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{
+		GlitchAmplitude: sched.Glitch,
+		Seed:            subSeed(sc.Seed, 0x911c4),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building simulation: %w", err)
+	}
+	res := &Result{Scenario: sc, System: sys, Schedule: sched}
+	if err := sim.OnProbe(1, func(p engine.Probe) { res.Probes = append(res.Probes, p) }); err != nil {
+		return nil, err
+	}
+	if err := sim.InjectAll(sched.Events); err != nil {
+		return nil, fmt.Errorf("chaos: injecting schedule: %w", err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+
+	bound, expected, err := traceIC(sys, sched)
+	if err != nil {
+		return nil, err
+	}
+	res.BoundIC = bound
+	res.MeasuredIC = 1
+	if expected > 0 {
+		res.MeasuredIC = m.ProcessedTotal / expected
+	}
+	return res, nil
+}
+
+// RunAndCheck executes a scenario and applies the invariant registry,
+// returning the result together with any violations.
+func RunAndCheck(sc Scenario) (*Result, []Violation, error) {
+	res, err := Run(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, Check(res), nil
+}

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+	"laar/internal/trace"
+)
+
+// Schedule is one concrete realisation of a scenario: the failure events,
+// the input trace, and the glitch amplitude, plus the derived facts the
+// invariant checker needs.
+type Schedule struct {
+	// Events is the failure plan, sorted by time. Every Down event has a
+	// matching Up event no later than Duration − QuietTail.
+	Events []engine.FailureEvent
+	// Trace is the input-configuration schedule driving the sources.
+	Trace *trace.Trace
+	// Glitch is the multiplicative source-rate noise amplitude.
+	Glitch float64
+	// WithinModel reports whether the schedule stays inside the paper's
+	// pessimistic failure model: at every instant, every PE retains at
+	// least one alive replica on an up host. Only then does the IC bound
+	// apply; out-of-model schedules (e.g. correlated crashes taking down
+	// both replicas of a PE) still must satisfy the recovery and
+	// conservation invariants.
+	WithinModel bool
+	// LastClear is the time the last failure recovers (0 without faults).
+	LastClear float64
+}
+
+// BuildSchedule generates the deterministic failure schedule and input
+// trace of a scenario against a concrete deployment.
+func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(subSeed(sc.Seed, 0x5c4ed)))
+	sd := &Schedule{}
+
+	// Input trace: alternating low/high by default, spike bursts for the
+	// load-spike class (and, milder, in mixed schedules).
+	var err error
+	switch sc.Class {
+	case LoadSpike:
+		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 2+rng.Intn(3), 5, 15, rng)
+	case Mixed:
+		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 1+rng.Intn(2), 8, 16, rng)
+	default:
+		sd.Trace, err = trace.Alternating(sc.Duration, sc.Duration/3, 1.0/3.0, sys.LowCfg, sys.HighCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch sc.Class {
+	case GlitchBurst:
+		sd.Glitch = 0.05 + rng.Float64()*0.10
+	case Mixed:
+		sd.Glitch = 0.03 + rng.Float64()*0.05
+	}
+
+	// Failure events. All faults start after a short warm-up and clear
+	// before the quiet tail so recovery can be asserted.
+	winLo := 0.05 * sc.Duration
+	winHi := sc.Duration - sc.QuietTail
+	switch sc.Class {
+	case HostCrash:
+		sd.hostCrashes(sc, sys, rng, sc.Faults, winLo, winHi)
+	case CorrelatedCrash:
+		sd.correlatedCrashes(sc, sys, rng, winLo, winHi)
+	case ReplicaChurn:
+		sd.replicaChurn(sc, sys, rng, sc.Faults, winLo, winHi)
+	case Mixed:
+		sd.hostCrashes(sc, sys, rng, 1, winLo, winHi)
+		sd.replicaChurn(sc, sys, rng, sc.Faults-1, winLo, winHi)
+	}
+	sort.SliceStable(sd.Events, func(a, b int) bool { return sd.Events[a].Time < sd.Events[b].Time })
+	for _, ev := range sd.Events {
+		if (ev.Kind == engine.ReplicaUp || ev.Kind == engine.HostUp) && ev.Time > sd.LastClear {
+			sd.LastClear = ev.Time
+		}
+	}
+	sd.WithinModel = withinPessimisticModel(sd.Events, sys.Asg)
+	return sd, nil
+}
+
+// fitDowntime shrinks a draw so the crash window [at, at+down] fits inside
+// [lo, hi], and returns the start time.
+func fitDowntime(rng *rand.Rand, lo, hi float64, down *float64) (at float64) {
+	if span := hi - lo; *down >= span {
+		*down = span / 2
+	}
+	return lo + rng.Float64()*(hi-lo-*down)
+}
+
+// hostCrashes schedules n single-host crash/recover pairs.
+func (sd *Schedule) hostCrashes(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	for i := 0; i < n; i++ {
+		down := 5 + rng.Float64()*10
+		at := fitDowntime(rng, lo, hi, &down)
+		host := rng.Intn(sys.Asg.NumHosts)
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.HostDown, Host: host},
+			engine.FailureEvent{Time: at + down, Kind: engine.HostUp, Host: host},
+		)
+	}
+}
+
+// correlatedCrashes schedules one burst taking down several hosts within
+// half a second of each other. With few hosts this routinely darkens PEs
+// entirely — deliberately outside the pessimistic failure model.
+func (sd *Schedule) correlatedCrashes(sc Scenario, sys *System, rng *rand.Rand, lo, hi float64) {
+	m := 2
+	if sys.Asg.NumHosts > 2 && rng.Float64() < 0.5 {
+		m = 2 + rng.Intn(sys.Asg.NumHosts-1) // up to a full blackout
+	}
+	down := 6 + rng.Float64()*8
+	at := fitDowntime(rng, lo, hi-1, &down)
+	perm := rng.Perm(sys.Asg.NumHosts)
+	for i := 0; i < m && i < len(perm); i++ {
+		t := at + rng.Float64()*0.5
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: t, Kind: engine.HostDown, Host: perm[i]},
+			engine.FailureEvent{Time: t + down, Kind: engine.HostUp, Host: perm[i]},
+		)
+	}
+}
+
+// replicaChurn schedules n kill/recover pairs on random replicas, never
+// overlapping two downtimes of the same replica.
+func (sd *Schedule) replicaChurn(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	busyUntil := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		down := 2 + rng.Float64()*8
+		at := fitDowntime(rng, lo, hi, &down)
+		pe := rng.Intn(sys.Asg.NumPEs())
+		k := rng.Intn(sys.Asg.K)
+		key := [2]int{pe, k}
+		if at < busyUntil[key] {
+			continue // same replica still down: skip this draw
+		}
+		busyUntil[key] = at + down + 1
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.ReplicaDown, PE: pe, Replica: k},
+			engine.FailureEvent{Time: at + down, Kind: engine.ReplicaUp, PE: pe, Replica: k},
+		)
+	}
+}
+
+// withinPessimisticModel replays the failure timeline and reports whether
+// every PE keeps at least one alive replica on an up host at all times —
+// the physical precondition for the pessimistic-model IC bound to apply.
+func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) bool {
+	hostUp := make([]bool, asg.NumHosts)
+	for h := range hostUp {
+		hostUp[h] = true
+	}
+	alive := make([][]bool, asg.NumPEs())
+	for p := range alive {
+		alive[p] = make([]bool, asg.K)
+		for k := range alive[p] {
+			alive[p][k] = true
+		}
+	}
+	covered := func(pe int) bool {
+		for k := 0; k < asg.K; k++ {
+			if alive[pe][k] && hostUp[asg.HostOf(pe, k)] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case engine.ReplicaDown:
+			alive[ev.PE][ev.Replica] = false
+		case engine.ReplicaUp:
+			alive[ev.PE][ev.Replica] = true
+		case engine.HostDown:
+			hostUp[ev.Host] = false
+		case engine.HostUp:
+			hostUp[ev.Host] = true
+		}
+		for pe := range alive {
+			if !covered(pe) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Describe returns a one-line summary of the schedule for reports.
+func (sd *Schedule) Describe() string {
+	model := "in-model"
+	if !sd.WithinModel {
+		model = "out-of-model"
+	}
+	return fmt.Sprintf("%d failure events (%s), glitch %.2f, last clear at %.1fs",
+		len(sd.Events), model, sd.Glitch, sd.LastClear)
+}

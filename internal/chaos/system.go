@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"fmt"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/strategy"
+)
+
+// System is the system under test: a calibrated synthetic application, its
+// replicated placement and the activation strategy whose IC guarantee the
+// harness verifies.
+type System struct {
+	Desc  *core.Descriptor
+	Rates *core.Rates
+	Asg   *core.Assignment
+	Strat *core.Strategy
+	// LowCfg and HighCfg index the all-low and all-high configurations.
+	LowCfg, HighCfg int
+	// ICTarget is the target the strategy was actually built with, after
+	// any relaxation steps.
+	ICTarget float64
+}
+
+// BuildSystem generates the system under test for a scenario: a calibrated
+// appgen application plus an ICGreedy activation strategy. The IC target
+// is relaxed stepwise when the instance cannot support it, and the
+// application draw is retried with a derived seed when even the minimal
+// deployment is infeasible — both deterministically, so equal scenarios
+// yield equal systems.
+func BuildSystem(sc Scenario) (*System, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		gen, err := appgen.Generate(appgen.Params{
+			NumPEs:        sc.NumPEs,
+			NumSources:    sc.NumSources,
+			NumHosts:      sc.NumHosts,
+			BillingPeriod: sc.Duration,
+			Seed:          subSeed(sc.Seed, 0xa99*uint64(attempt+1)),
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for _, target := range []float64{sc.ICTarget, sc.ICTarget / 2, 0} {
+			s, err := strategy.ICGreedy(gen.Rates, gen.Assignment, target)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return &System{
+				Desc:     gen.Desc,
+				Rates:    gen.Rates,
+				Asg:      gen.Assignment,
+				Strat:    s,
+				LowCfg:   gen.LowCfg,
+				HighCfg:  gen.HighCfg,
+				ICTarget: target,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: could not build a system for seed %d: %w", sc.Seed, lastErr)
+}

@@ -76,6 +76,30 @@ func (d *Descriptor) Validate() error {
 // NumConfigs returns the number of input configurations.
 func (d *Descriptor) NumConfigs() int { return len(d.Configs) }
 
+// WithProbs returns a copy of the descriptor with the configuration
+// probabilities replaced (and optionally a different billing period when
+// billingPeriod > 0). It is used to re-evaluate IC formulas against the
+// probability mass actually realised by a concrete input trace instead of
+// the a-priori characterisation.
+func (d *Descriptor) WithProbs(probs []float64, billingPeriod float64) (*Descriptor, error) {
+	if len(probs) != len(d.Configs) {
+		return nil, fmt.Errorf("core: %d probabilities for %d configurations", len(probs), len(d.Configs))
+	}
+	out := *d
+	out.Configs = make([]InputConfig, len(d.Configs))
+	copy(out.Configs, d.Configs)
+	for i, p := range probs {
+		out.Configs[i].Prob = p
+	}
+	if billingPeriod > 0 {
+		out.BillingPeriod = billingPeriod
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ConfigByName returns the index of the configuration with the given name,
 // or -1 if absent.
 func (d *Descriptor) ConfigByName(name string) int {

@@ -123,3 +123,16 @@ type FailureEvent struct {
 	// Host addresses a host for HostDown/HostUp.
 	Host int
 }
+
+// PastEventError reports a failure event scheduled before the simulation
+// clock. Executing such an event would silently corrupt causality, so
+// Inject rejects it with this typed error (detectable via errors.As).
+type PastEventError struct {
+	// Time is the offending event time; Now is the clock it fell behind.
+	Time, Now float64
+}
+
+// Error implements error.
+func (e *PastEventError) Error() string {
+	return fmt.Sprintf("engine: failure event at %v is in the past (clock at %v)", e.Time, e.Now)
+}

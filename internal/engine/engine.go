@@ -21,10 +21,19 @@ type port struct {
 	queue   float64
 	cap     float64
 	dropped float64
+
+	// Conservation ledger: every tuple offered to the port is eventually
+	// processed, dropped at the full queue, cleared (crash/deactivation
+	// discard), or still queued. The chaos invariant checker audits
+	// enqueued = done + dropped + cleared + queue after every run.
+	enqueued float64
+	done     float64
+	cleared  float64
 }
 
 // enqueue adds tuples, dropping the overflow beyond capacity.
 func (p *port) enqueue(n float64) (dropped float64) {
+	p.enqueued += n
 	p.queue += n
 	if p.queue > p.cap {
 		dropped = p.queue - p.cap
@@ -56,6 +65,7 @@ type replica struct {
 // they are not counted as application-level drops).
 func (r *replica) clearQueues() {
 	for i := range r.ports {
+		r.ports[i].cleared += r.ports[i].queue
 		r.ports[i].queue = 0
 	}
 }
@@ -107,6 +117,10 @@ type Simulation struct {
 
 	failures []FailureEvent
 	ran      bool
+
+	probeEvery float64
+	probeFn    func(Probe)
+	lastProbe  float64
 
 	m             *Metrics
 	emittedSample float64 // source tuples since the last sample
@@ -214,12 +228,14 @@ func (s *Simulation) portCapacity(from core.ComponentID) float64 {
 }
 
 // Inject adds a failure event to the plan. It must be called before Run.
+// Events scheduled before the simulation clock (negative times, since the
+// clock starts at 0) are rejected with a *PastEventError.
 func (s *Simulation) Inject(ev FailureEvent) error {
 	if s.ran {
 		return fmt.Errorf("engine: cannot inject failures after Run")
 	}
-	if ev.Time < 0 {
-		return fmt.Errorf("engine: failure at negative time %v", ev.Time)
+	if ev.Time < s.kern.Now() {
+		return &PastEventError{Time: ev.Time, Now: s.kern.Now()}
 	}
 	switch ev.Kind {
 	case ReplicaDown, ReplicaUp:
@@ -293,6 +309,16 @@ func (s *Simulation) Run() (*Metrics, error) {
 		}
 	}
 	s.kern.At(s.cfg.SampleInterval, func() { sample(1) })
+	if s.probeFn != nil {
+		var probe func(i int)
+		probe = func(i int) {
+			s.doProbe()
+			if next := float64(i+1) * s.probeEvery; next <= duration {
+				s.kern.At(next, func() { probe(i + 1) })
+			}
+		}
+		s.kern.At(s.probeEvery, func() { probe(1) })
+	}
 	if s.cfg.CheckpointInterval > 0 {
 		var checkpoint func(i int)
 		checkpoint = func(i int) {
@@ -311,6 +337,9 @@ func (s *Simulation) Run() (*Metrics, error) {
 	}
 
 	s.kern.Run(duration)
+	if s.probeFn != nil && s.lastProbe < duration {
+		s.doProbe() // quiescence snapshot at the end of the run
+	}
 	s.m.Duration = duration
 	s.m.CPUSecondsTotal = s.m.CPUCyclesTotal / s.d.HostCapacity
 	return s.m, nil
@@ -471,6 +500,7 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
 		}
 		processed := p.queue * frac
 		p.queue -= processed
+		p.done += processed
 		rep.processedTick += processed
 		rep.processedWindow += processed
 		rep.producedTick += processed * p.sel

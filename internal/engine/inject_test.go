@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// TestInjectRejectsPastEvents is the regression test for the typed
+// past-event error: events scheduled before the simulation clock must be
+// rejected with a *PastEventError instead of being silently accepted (or
+// reported as a generic error the caller cannot distinguish).
+func TestInjectRejectsPastEvents(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Inject(FailureEvent{Time: -1, Kind: ReplicaDown, PE: 0, Replica: 0})
+	if err == nil {
+		t.Fatal("Inject accepted an event scheduled in the past")
+	}
+	var past *PastEventError
+	if !errors.As(err, &past) {
+		t.Fatalf("Inject returned %T (%v), want *PastEventError", err, err)
+	}
+	if past.Time != -1 || past.Now != 0 {
+		t.Errorf("PastEventError = %+v, want Time=-1 Now=0", past)
+	}
+	// Boundary: an event exactly at the clock is valid.
+	if err := sim.Inject(FailureEvent{Time: 0, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
+		t.Fatalf("Inject rejected an event at the current clock: %v", err)
+	}
+}
+
+// TestProbeHookSamplesAndQuiesces exercises the invariant-sampling hook:
+// probes arrive at the configured cadence plus a final quiescence snapshot,
+// and the per-replica conservation ledger balances in a loss-free run.
+func TestProbeHookSamplesAndQuiesces(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []Probe
+	if err := sim.OnProbe(2.5, func(p Probe) { probes = append(probes, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.OnProbe(1, func(Probe) {}); err == nil {
+		t.Error("second OnProbe registration accepted")
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Probes at 2.5, 5, 7.5, 10 plus the final quiescence snapshot: the
+	// 10 s probe coincides with the end of the run, so no extra snapshot.
+	if len(probes) != 4 {
+		t.Fatalf("got %d probes, want 4", len(probes))
+	}
+	last := probes[len(probes)-1]
+	if last.Time != 10 {
+		t.Errorf("final probe at %v, want 10", last.Time)
+	}
+	for _, rp := range last.Replicas {
+		ledger := rp.Processed + rp.Dropped + rp.Cleared + rp.Queued
+		if diff := ledger - rp.Enqueued; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("replica (%d,%d) ledger off by %v: enqueued %v vs %v",
+				rp.PE, rp.Replica, diff, rp.Enqueued, ledger)
+		}
+	}
+	for pe, prim := range last.Primary {
+		if prim != 0 {
+			t.Errorf("PE %d primary = %d, want 0", pe, prim)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import "fmt"
+
+// ReplicaProbe is the observable state of one replica at probe time,
+// including the cumulative per-port conservation ledger summed over the
+// replica's input ports.
+type ReplicaProbe struct {
+	// PE and Replica identify the replica.
+	PE, Replica int
+	// Alive, Active and HostUp report the replica's failure-injection
+	// state, its HAController activation state, and its host's state.
+	Alive, Active, HostUp bool
+	// Queued is the total tuples buffered across the replica's ports.
+	Queued float64
+	// Enqueued, Processed, Dropped and Cleared are the cumulative port
+	// ledger: tuples offered, tuples consumed by processing, tuples lost
+	// to full queues, and tuples discarded by crash/deactivation queue
+	// clears.
+	Enqueued, Processed, Dropped, Cleared float64
+	// OverCap reports whether any port's queue exceeds its capacity — an
+	// internal bookkeeping violation that must never happen.
+	OverCap bool
+}
+
+// Probe is one invariant-sampling snapshot of the simulation state, taken
+// between event executions on the virtual clock.
+type Probe struct {
+	// Time is the virtual time of the snapshot.
+	Time float64
+	// Config is the input configuration currently applied (-1 before the
+	// first HAController decision).
+	Config int
+	// Primary[pe] is the elected primary replica index, or -1 when the PE
+	// is dark (no alive, active replica on a live host).
+	Primary []int
+	// Eligible[pe] counts the replicas eligible for election.
+	Eligible []int
+	// Replicas lists every replica's state in (PE, replica) order.
+	Replicas []ReplicaProbe
+}
+
+// OnProbe registers an invariant-sampling hook invoked every interval of
+// virtual time during Run, and once more at the end of the run (the
+// quiescence snapshot). It must be called before Run; only one hook may be
+// registered.
+func (s *Simulation) OnProbe(interval float64, fn func(Probe)) error {
+	if s.ran {
+		return fmt.Errorf("engine: OnProbe after Run")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("engine: non-positive probe interval %v", interval)
+	}
+	if s.probeFn != nil {
+		return fmt.Errorf("engine: probe hook already registered")
+	}
+	s.probeEvery = interval
+	s.probeFn = fn
+	return nil
+}
+
+// doProbe builds and delivers one snapshot.
+func (s *Simulation) doProbe() {
+	now := s.kern.Now()
+	p := Probe{
+		Time:     now,
+		Config:   s.appliedCfg,
+		Primary:  make([]int, len(s.reps)),
+		Eligible: make([]int, len(s.reps)),
+	}
+	for pe := range s.reps {
+		p.Primary[pe] = -1
+		for k, rep := range s.reps[pe] {
+			eligible := rep.alive && rep.active && s.hosts[rep.host].up
+			if eligible {
+				p.Eligible[pe]++
+				if p.Primary[pe] < 0 {
+					p.Primary[pe] = k
+				}
+			}
+			rp := ReplicaProbe{
+				PE:      pe,
+				Replica: k,
+				Alive:   rep.alive,
+				Active:  rep.active,
+				HostUp:  s.hosts[rep.host].up,
+			}
+			for i := range rep.ports {
+				pt := &rep.ports[i]
+				rp.Queued += pt.queue
+				rp.Enqueued += pt.enqueued
+				rp.Processed += pt.done
+				rp.Dropped += pt.dropped
+				rp.Cleared += pt.cleared
+				if pt.queue > pt.cap*(1+1e-9) {
+					rp.OverCap = true
+				}
+			}
+			p.Replicas = append(p.Replicas, rp)
+		}
+	}
+	s.lastProbe = now
+	s.probeFn(p)
+}

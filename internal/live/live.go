@@ -58,6 +58,10 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// InitialConfig is the input configuration applied at Start.
 	InitialConfig int
+	// Clock supplies time to heartbeats, elections and the periodic
+	// tickers. Default is the wall clock; tests and chaos runs inject a
+	// FakeClock for deterministic, fast-forwarded timing.
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 3 * c.MonitorInterval
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
 	}
 	return c
 }
@@ -190,7 +197,7 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 			}
 			rep.alive.Store(true)
 			rep.active.Store(strat.IsActive(cfg.InitialConfig, pe, k))
-			rep.beat(time.Now())
+			rep.beat(cfg.Clock.Now())
 			rt.replicas[pe][k] = rep
 		}
 	}
@@ -273,7 +280,7 @@ func (rt *Runtime) fanOut(t Tuple) {
 // and forward output while primary.
 func (rt *Runtime) runReplica(rep *replica) {
 	defer rt.wg.Done()
-	ticker := time.NewTicker(rt.cfg.MonitorInterval / 2)
+	ticker := rt.cfg.Clock.NewTicker(rt.cfg.MonitorInterval / 2)
 	defer ticker.Stop()
 	for {
 		select {
@@ -282,7 +289,7 @@ func (rt *Runtime) runReplica(rep *replica) {
 		case now := <-ticker.C:
 			rep.beat(now)
 		case t := <-rep.in:
-			rep.beat(time.Now())
+			rep.beat(rt.cfg.Clock.Now())
 			if !rep.alive.Load() || !rep.active.Load() {
 				continue // commands raced with queued input: discard
 			}
@@ -311,7 +318,7 @@ func (rt *Runtime) runReplica(rep *replica) {
 // runController is the Rate Monitor + HAController loop.
 func (rt *Runtime) runController() {
 	defer rt.wg.Done()
-	ticker := time.NewTicker(rt.cfg.MonitorInterval)
+	ticker := rt.cfg.Clock.NewTicker(rt.cfg.MonitorInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -357,7 +364,7 @@ func (rt *Runtime) scan() {
 // electAll recomputes every PE's primary: the lowest-indexed replica that
 // is alive, active and recently heartbeating.
 func (rt *Runtime) electAll() {
-	deadline := time.Now().Add(-rt.cfg.HeartbeatTimeout).UnixNano()
+	deadline := rt.cfg.Clock.Now().Add(-rt.cfg.HeartbeatTimeout).UnixNano()
 	for pe := range rt.replicas {
 		chosen := int32(-1)
 		for k, rep := range rt.replicas[pe] {

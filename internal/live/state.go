@@ -1,7 +1,5 @@
 package live
 
-import "time"
-
 // StatefulOperator extends Operator with state snapshot/restore, enabling
 // the re-synchronisation step of Section 4.6: "when activated again, they
 // re-synchronize their state with one of the active replicas and restart
@@ -48,5 +46,5 @@ func (rt *Runtime) syncState(pe int, joining *replica) bool {
 // before the replica re-enters the pool.
 func (rt *Runtime) markJoining(pe int, rep *replica) {
 	rt.syncState(pe, rep)
-	rep.beat(time.Now())
+	rep.beat(rt.cfg.Clock.Now())
 }

@@ -1,0 +1,168 @@
+package strategy
+
+import (
+	"testing"
+
+	"laar/internal/core"
+)
+
+// edgeInstance is one compact ICGreedy edge-case deployment: a linear (or
+// diamond) application with configurable replication and rates.
+type edgeInstance struct {
+	k        int
+	hosts    int
+	rates    [][]float64 // per config, per source
+	probs    []float64
+	parallel bool // diamond: src feeds two symmetric PEs into one sink
+}
+
+func (ei edgeInstance) build(t *testing.T) (*core.Rates, *core.Assignment) {
+	t.Helper()
+	b := core.NewBuilder("icgreedy-edge")
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	var pes []core.ComponentID
+	if ei.parallel {
+		left := b.AddPE("left")
+		right := b.AddPE("right")
+		b.Connect(src, left, 1, 1e8)
+		b.Connect(src, right, 1, 1e8)
+		b.Connect(left, sink, 0, 0)
+		b.Connect(right, sink, 0, 0)
+		pes = []core.ComponentID{left, right}
+	} else {
+		p1 := b.AddPE("p1")
+		p2 := b.AddPE("p2")
+		b.Connect(src, p1, 1, 1e8)
+		b.Connect(p1, p2, 1, 1e8)
+		b.Connect(p2, sink, 0, 0)
+		pes = []core.ComponentID{p1, p2}
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]core.InputConfig, len(ei.rates))
+	for c := range cfgs {
+		cfgs[c] = core.InputConfig{Rates: ei.rates[c], Prob: ei.probs[c]}
+	}
+	d := &core.Descriptor{App: app, Configs: cfgs, HostCapacity: 1e9, BillingPeriod: 300}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asg := core.NewAssignment(len(pes), ei.k, ei.hosts)
+	for p := range pes {
+		for rep := 0; rep < ei.k; rep++ {
+			asg.Host[p][rep] = (p + rep) % ei.hosts
+		}
+	}
+	return core.NewRates(d), asg
+}
+
+// TestICGreedyEdgeCases table-drives the heuristic's corner regimes:
+// single-replica deployments (no upgrades exist, yet the pessimistic IC is
+// already 1), configurations with zero input rate (zero-gain zero-cost
+// upgrade candidates must not trap or divide-by-zero the greedy loop),
+// all-hot full-replication targets, and symmetric instances whose upgrade
+// candidates tie exactly.
+func TestICGreedyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		inst     edgeInstance
+		target   float64
+		wantIC   float64 // minimum acceptable pessimistic IC
+		allHot   bool    // expect every replica active in every config
+		checkTie bool    // expect bit-identical strategies across reruns
+	}{
+		{
+			// k = 1: the lone replica of each PE is always the full active
+			// set, so φ = 1 everywhere and even the minimal deployment has
+			// IC = 1; the greedy loop must not attempt any upgrade.
+			name: "single-replica",
+			inst: edgeInstance{
+				k: 1, hosts: 2,
+				rates: [][]float64{{4}, {8}},
+				probs: []float64{0.8, 0.2},
+			},
+			target: 1, wantIC: 1, allHot: true,
+		},
+		{
+			// One configuration has zero input rate: its upgrade candidates
+			// have zero gain AND zero cost. The loop must reach the target
+			// through the live configuration without dividing by the zero
+			// cost or spinning on no-op upgrades.
+			name: "zero-rate-config",
+			inst: edgeInstance{
+				k: 2, hosts: 2,
+				rates: [][]float64{{0}, {4}},
+				probs: []float64{0.5, 0.5},
+			},
+			target: 1, wantIC: 1,
+		},
+		{
+			// Ample capacity and target 1: every (PE, config) pair must end
+			// fully replicated — the all-hot configuration.
+			name: "all-hot",
+			inst: edgeInstance{
+				k: 2, hosts: 2,
+				rates: [][]float64{{2}, {4}},
+				probs: []float64{0.8, 0.2},
+			},
+			target: 1, wantIC: 1, allHot: true,
+		},
+		{
+			// Two symmetric parallel PEs: every upgrade candidate ties in
+			// gain, cost and depth. The outcome must be deterministic.
+			name: "greedy-ordering-tie",
+			inst: edgeInstance{
+				k: 2, hosts: 2, parallel: true,
+				rates: [][]float64{{4}, {8}},
+				probs: []float64{0.8, 0.2},
+			},
+			target: 0.5, wantIC: 0.5, checkTie: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r, asg := tc.inst.build(t)
+			s, err := ICGreedy(r, asg, tc.target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if ic := core.IC(r, s, core.Pessimistic{}); ic < tc.wantIC-1e-9 {
+				t.Errorf("IC = %v, want ≥ %v", ic, tc.wantIC)
+			}
+			if _, _, _, ok := Feasible(r, s, asg); !ok {
+				t.Error("strategy overloads a host")
+			}
+			if tc.allHot {
+				for c := 0; c < s.NumConfigs(); c++ {
+					for p := 0; p < s.NumPEs(); p++ {
+						if s.NumActive(c, p) != asg.K {
+							t.Errorf("config %d PE %d: %d active replicas, want %d", c, p, s.NumActive(c, p), asg.K)
+						}
+					}
+				}
+			}
+			if tc.checkTie {
+				again, err := ICGreedy(r, asg, tc.target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < s.NumConfigs(); c++ {
+					for p := 0; p < s.NumPEs(); p++ {
+						for rep := 0; rep < asg.K; rep++ {
+							if s.IsActive(c, p, rep) != again.IsActive(c, p, rep) {
+								t.Fatalf("tie-breaking not deterministic at (%d,%d,%d)", c, p, rep)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

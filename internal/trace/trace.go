@@ -101,6 +101,51 @@ func Random(duration, meanSegment float64, probs []float64, rng *rand.Rand) (*Tr
 	return New(segs)
 }
 
+// Spikes returns a trace of the given duration that stays in baseCfg and
+// jumps to spikeCfg for n bursts of random lengths in [minLen, maxLen],
+// placed uniformly at random without overlapping. It models the sudden
+// load-spike pattern used by chaos scenarios; the realised schedule is a
+// deterministic function of the rng state.
+func Spikes(duration float64, baseCfg, spikeCfg, n int, minLen, maxLen float64, rng *rand.Rand) (*Trace, error) {
+	if duration <= 0 || n < 0 || minLen <= 0 || maxLen < minLen {
+		return nil, fmt.Errorf("trace: invalid spike parameters (duration=%v n=%d len=[%v, %v])",
+			duration, n, minLen, maxLen)
+	}
+	type burst struct{ start, end float64 }
+	var bursts []burst
+	for attempt := 0; len(bursts) < n && attempt < 20*n; attempt++ {
+		length := minLen + rng.Float64()*(maxLen-minLen)
+		start := rng.Float64() * (duration - length)
+		if start < 0 {
+			continue
+		}
+		overlaps := false
+		for _, b := range bursts {
+			if start < b.end+minLen/2 && start+length > b.start-minLen/2 {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			bursts = append(bursts, burst{start: start, end: start + length})
+		}
+	}
+	sort.Slice(bursts, func(a, b int) bool { return bursts[a].start < bursts[b].start })
+	var segs []Segment
+	t := 0.0
+	for _, b := range bursts {
+		if b.start > t {
+			segs = append(segs, Segment{Start: t, End: b.start, Config: baseCfg})
+		}
+		segs = append(segs, Segment{Start: b.start, End: b.end, Config: spikeCfg})
+		t = b.end
+	}
+	if t < duration {
+		segs = append(segs, Segment{Start: t, End: duration, Config: baseCfg})
+	}
+	return New(segs)
+}
+
 func pick(probs []float64, rng *rand.Rand) int {
 	x := rng.Float64()
 	acc := 0.0

@@ -34,8 +34,10 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"laar/internal/appgen"
+	"laar/internal/chaos"
 	"laar/internal/core"
 	"laar/internal/engine"
 	"laar/internal/ftsearch"
@@ -466,3 +468,74 @@ func PathLatency(r *Rates, s *Strategy, asg *Assignment, cfg int) float64 {
 func MaxLatency(r *Rates, s *Strategy, asg *Assignment) float64 {
 	return core.MaxLatency(r, s, asg)
 }
+
+// Deterministic clocks for the live runtime (see internal/live). Injecting
+// a FakeClock through LiveConfig.Clock makes heartbeat, election and
+// monitor timing a pure function of Advance calls, so failure-injection
+// tests run deterministically and in milliseconds of wall time.
+type (
+	// LiveClock abstracts the live runtime's time source.
+	LiveClock = live.Clock
+	// LiveTicker is the clock-agnostic counterpart of time.Ticker.
+	LiveTicker = live.Ticker
+	// FakeClock is a manually advanced LiveClock.
+	FakeClock = live.FakeClock
+)
+
+// NewFakeClock returns a fake clock starting at the given origin.
+func NewFakeClock(origin time.Time) *FakeClock { return live.NewFakeClock(origin) }
+
+// PastEventError reports a failure event injected behind the simulation
+// clock (detectable via errors.As on Simulation.Inject's error).
+type PastEventError = engine.PastEventError
+
+// Chaos harness (see internal/chaos): seeded fault-schedule generation,
+// LAAR invariant checking, and engine ↔ live differential testing.
+type (
+	// ChaosScenario is the compact seeded spec a chaos run is generated
+	// from; equal scenarios produce equal runs.
+	ChaosScenario = chaos.Scenario
+	// ChaosClass selects a failure-schedule family.
+	ChaosClass = chaos.Class
+	// ChaosResult bundles one engine chaos run for invariant checking.
+	ChaosResult = chaos.Result
+	// ChaosSchedule is one concrete failure plan plus input trace.
+	ChaosSchedule = chaos.Schedule
+	// ChaosInvariant is one checkable property of a chaos run.
+	ChaosInvariant = chaos.Invariant
+	// ChaosViolation is one invariant breach.
+	ChaosViolation = chaos.Violation
+	// ChaosDiffResult compares one scenario run on the engine and on the
+	// live runtime.
+	ChaosDiffResult = chaos.DiffResult
+)
+
+// Chaos schedule classes.
+const (
+	ChaosHostCrash       = chaos.HostCrash
+	ChaosCorrelatedCrash = chaos.CorrelatedCrash
+	ChaosReplicaChurn    = chaos.ReplicaChurn
+	ChaosLoadSpike       = chaos.LoadSpike
+	ChaosGlitchBurst     = chaos.GlitchBurst
+	ChaosMixed           = chaos.Mixed
+)
+
+// RunChaos executes one seeded chaos scenario on the discrete-event engine
+// and checks every registry invariant, returning the run and the
+// violations (empty when clean).
+func RunChaos(sc ChaosScenario) (*ChaosResult, []ChaosViolation, error) {
+	return chaos.RunAndCheck(sc)
+}
+
+// DiffChaos runs one scenario differentially on the engine and the live
+// runtime and reports sink-count agreement.
+func DiffChaos(sc ChaosScenario) (*ChaosDiffResult, error) { return chaos.Diff(sc) }
+
+// ChaosInvariants returns the invariant registry checked after chaos runs.
+func ChaosInvariants() []ChaosInvariant { return chaos.Registry() }
+
+// ChaosClasses lists every chaos schedule class.
+func ChaosClasses() []ChaosClass { return chaos.Classes() }
+
+// ParseChaosClass resolves a schedule-class name ("host-crash", "mixed", ...).
+func ParseChaosClass(name string) (ChaosClass, error) { return chaos.ParseClass(name) }
