@@ -1,0 +1,307 @@
+// Command laarbench is the benchmark-regression harness: it runs the Go
+// benchmark suite (the BenchmarkFig* figure reproductions plus the
+// engine/experiments microbenchmarks), measures the experiment-matrix
+// wall clock serially and in parallel, and emits one BENCH_<n>.json so
+// the performance trajectory is tracked across PRs.
+//
+// It exits non-zero when BenchmarkDoTick's allocs/op exceeds the
+// checked-in ceiling — the CI smoke job uses this as the regression gate
+// for the engine hot path.
+//
+// Usage:
+//
+//	laarbench -out BENCH_2.json                  # full run
+//	laarbench -benchtime 1x -apps 4 -out ci.json # CI smoke settings
+//	laarbench -skip-bench                        # matrix speedup only
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"laar/internal/engine"
+	"laar/internal/experiments"
+)
+
+// maxDoTickAllocs is the checked-in ceiling for BenchmarkDoTick allocs/op.
+// The zero-allocation hot path holds it at 0; the small headroom tolerates
+// incidental instrumentation without letting the seed's 64 allocs/op
+// regression class back in.
+const maxDoTickAllocs = 4
+
+// BenchEntry is one parsed `go test -bench` result line.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (ticks/op, apps, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// MatrixReport records the serial-versus-parallel experiment-matrix study.
+type MatrixReport struct {
+	Apps            int     `json:"apps"`
+	PEs             int     `json:"pes"`
+	Hosts           int     `json:"hosts"`
+	Seed            int64   `json:"seed"`
+	Cells           int     `json:"cells"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// Deterministic reports whether the parallel matrix was deeply equal
+	// to the serial one (it must always be true).
+	Deterministic bool `json:"deterministic"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []BenchEntry  `json:"benchmarks"`
+	Matrix      *MatrixReport `json:"matrix,omitempty"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH.json", "output JSON path")
+		benchPat   = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "", "go test -benchtime (empty = default 1s)")
+		pkgList    = flag.String("packages", ". ./internal/engine ./internal/experiments ./internal/sim", "space-separated packages for the benchmark suite")
+		skipBench  = flag.Bool("skip-bench", false, "skip the go test benchmark suite")
+		skipMatrix = flag.Bool("skip-matrix", false, "skip the matrix speedup study")
+		apps       = flag.Int("apps", 8, "matrix corpus size")
+		pes        = flag.Int("pes", 16, "PEs per matrix application")
+		hosts      = flag.Int("hosts", 4, "hosts per matrix deployment")
+		seed       = flag.Int64("seed", 42, "matrix corpus seed")
+		reps       = flag.Int("reps", 3, "matrix timing repetitions (best of)")
+		workers    = flag.Int("matrix-workers", 0, "parallel matrix workers (0 = max(8, NumCPU))")
+		maxAllocs  = flag.Float64("max-tick-allocs", maxDoTickAllocs, "fail when BenchmarkDoTick allocs/op exceeds this ceiling")
+	)
+	flag.Parse()
+
+	rep := &Report{
+		Schema:      "laar-bench/1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	if !*skipBench {
+		entries, err := runBenchSuite(*benchPat, *benchtime, strings.Fields(*pkgList))
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = entries
+	}
+	if !*skipMatrix {
+		m, err := runMatrixStudy(*apps, *pes, *hosts, *seed, *reps, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Matrix = m
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("laarbench: wrote %s (%d benchmarks", *out, len(rep.Benchmarks))
+	if rep.Matrix != nil {
+		fmt.Printf(", matrix speedup %.2f× on %d workers", rep.Matrix.Speedup, rep.Matrix.Workers)
+	}
+	fmt.Println(")")
+
+	if err := enforceCeilings(rep, *maxAllocs); err != nil {
+		fatal(err)
+	}
+}
+
+// runBenchSuite executes `go test -bench` over the packages and parses the
+// standard benchmark output format.
+func runBenchSuite(pattern, benchtime string, pkgs []string) ([]BenchEntry, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-count", "1"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+	fmt.Fprintf(os.Stderr, "laarbench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchmark suite failed: %w\n%s", err, buf.String())
+	}
+	return parseBenchOutput(&buf)
+}
+
+// parseBenchOutput extracts every benchmark result line, tracking the
+// `pkg:` headers so entries are attributed to their package.
+func parseBenchOutput(r *bytes.Buffer) ([]BenchEntry, error) {
+	var entries []BenchEntry
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a Benchmark... line that is not a result row
+		}
+		e := BenchEntry{
+			// Trim the -GOMAXPROCS suffix so names are stable across hosts.
+			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Package:    pkg,
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = val
+			case "allocs/op":
+				e.AllocsPerOp = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = make(map[string]float64)
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed")
+	}
+	return entries, nil
+}
+
+// runMatrixStudy builds the seed-deterministic corpus and times the full
+// (app × variant × scenario) matrix serially and on the worker pool,
+// asserting the results are deeply equal. The wall-clock speedup scales
+// with physical cores; the determinism check is meaningful regardless,
+// because oversubscribed goroutines still interleave their claims.
+func runMatrixStudy(apps, pes, hosts int, seed int64, reps, workers int) (*MatrixReport, error) {
+	fmt.Fprintf(os.Stderr, "laarbench: building %d-app matrix corpus...\n", apps)
+	corpus, err := experiments.BuildCorpus(experiments.CorpusParams{
+		NumApps:  apps,
+		NumPEs:   pes,
+		NumHosts: hosts,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+		if workers < 8 {
+			workers = 8
+		}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	time1, rr1, err := timeMatrix(corpus, 1, reps)
+	if err != nil {
+		return nil, err
+	}
+	timeN, rrN, err := timeMatrix(corpus, workers, reps)
+	if err != nil {
+		return nil, err
+	}
+	m := &MatrixReport{
+		Apps:            apps,
+		PEs:             pes,
+		Hosts:           hosts,
+		Seed:            seed,
+		Cells:           len(corpus) * 6 * 3, // variants × scenarios
+		Workers:         workers,
+		SerialSeconds:   time1.Seconds(),
+		ParallelSeconds: timeN.Seconds(),
+		Speedup:         time1.Seconds() / timeN.Seconds(),
+		Deterministic:   reflect.DeepEqual(rr1, rrN),
+	}
+	if !m.Deterministic {
+		return m, fmt.Errorf("parallel matrix diverged from serial results")
+	}
+	return m, nil
+}
+
+// timeMatrix runs the matrix reps times at the given parallelism and
+// returns the best wall clock with the (identical) results.
+func timeMatrix(corpus []*experiments.AppRun, workers, reps int) (time.Duration, *experiments.RuntimeResults, error) {
+	best := time.Duration(0)
+	var rr *experiments.RuntimeResults
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		got, err := experiments.RunAllWith(corpus, engine.Config{}, experiments.RunAllOptions{Parallelism: workers})
+		if err != nil {
+			return 0, nil, err
+		}
+		elapsed := time.Since(start)
+		if rr == nil || elapsed < best {
+			best, rr = elapsed, got
+		}
+	}
+	fmt.Fprintf(os.Stderr, "laarbench: matrix on %d worker(s): %v (best of %d)\n", workers, best, reps)
+	return best, rr, nil
+}
+
+// enforceCeilings applies the checked-in regression gates to the report.
+func enforceCeilings(rep *Report, maxTickAllocs float64) error {
+	for _, e := range rep.Benchmarks {
+		if e.Name == "BenchmarkDoTick" && e.AllocsPerOp > maxTickAllocs {
+			return fmt.Errorf("BenchmarkDoTick allocates %.0f objects/op, ceiling is %.0f — the engine hot path regressed",
+				e.AllocsPerOp, maxTickAllocs)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laarbench:", err)
+	os.Exit(1)
+}

@@ -1,36 +1,48 @@
 // Command laarchaos runs seeded chaos scenarios against the LAAR runtimes
 // and checks the invariant registry after every run. Each run is a pure
 // function of its seed, so any violation this command reports reproduces
-// from the printed seed and class alone.
+// from the printed seed and class alone — the sweep is fanned out across a
+// worker pool, and the results are identical for every -parallel setting.
 //
 // Usage:
 //
 //	laarchaos -runs 25                       # 25 seeds across every class
 //	laarchaos -seed 42 -scenario host-crash  # reproduce one run
 //	laarchaos -runs 5 -diff                  # engine ↔ live differential mode
+//	laarchaos -runs 100 -parallel 4          # bound the worker pool
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"laar"
+	"laar/internal/pprofutil"
 )
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "base seed; run i uses seed+i")
-		runs     = flag.Int("runs", 1, "seeds to run per scenario class")
-		scenario = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | all")
-		diff     = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
-		duration = flag.Float64("duration", 0, "trace duration in seconds (0 = scenario default)")
-		pes      = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
-		hosts    = flag.Int("hosts", 0, "deployment hosts (0 = default)")
-		icTarget = flag.Float64("ic-target", 0, "ICGreedy strategy target (0 = default)")
-		verbose  = flag.Bool("v", false, "print every run, not only violations")
+		seed       = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		runs       = flag.Int("runs", 1, "seeds to run per scenario class")
+		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | all")
+		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the sweep (results are identical for every setting)")
+		duration   = flag.Float64("duration", 0, "trace duration in seconds (0 = scenario default)")
+		pes        = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
+		hosts      = flag.Int("hosts", 0, "deployment hosts (0 = default)")
+		icTarget   = flag.Float64("ic-target", 0, "ICGreedy strategy target (0 = default)")
+		verbose    = flag.Bool("v", false, "print every run, not only violations")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	classes := laar.ChaosClasses()
 	if *scenario != "all" {
@@ -41,70 +53,65 @@ func main() {
 		classes = []laar.ChaosClass{c}
 	}
 
-	total, failed := 0, 0
+	var scs []laar.ChaosScenario
 	for _, class := range classes {
 		for i := 0; i < *runs; i++ {
-			sc := laar.ChaosScenario{
+			scs = append(scs, laar.ChaosScenario{
 				Seed:     *seed + int64(i),
 				Class:    class,
 				Duration: *duration,
 				NumPEs:   *pes,
 				NumHosts: *hosts,
 				ICTarget: *icTarget,
-			}
-			total++
-			if *diff {
-				failed += runDiff(sc, *verbose)
-			} else {
-				failed += runEngine(sc, *verbose)
-			}
+			})
 		}
+	}
+
+	failed := 0
+	for _, run := range laar.SweepChaos(scs, *parallel, *diff) {
+		failed += report(run, *verbose)
 	}
 	mode := "invariant"
 	if *diff {
 		mode = "differential"
 	}
-	fmt.Printf("%d %s runs, %d failed\n", total, mode, failed)
+	fmt.Printf("%d %s runs, %d failed\n", len(scs), mode, failed)
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
-// runEngine executes one engine scenario and prints violations. Returns 1
-// when the run violated an invariant, else 0.
-func runEngine(sc laar.ChaosScenario, verbose bool) int {
-	res, violations, err := laar.RunChaos(sc)
-	if err != nil {
-		fatal(fmt.Errorf("seed %d %s: %w", sc.Seed, sc.Class, err))
+// report prints one sweep outcome. Returns 1 when the run failed, else 0.
+func report(run laar.ChaosSweepRun, verbose bool) int {
+	sc := run.Scenario
+	if run.Err != nil {
+		fatal(fmt.Errorf("seed %d %s: %w", sc.Seed, sc.Class, run.Err))
 	}
-	if len(violations) == 0 {
+	if run.Diff != nil {
+		if err := run.Diff.Err(); err != nil {
+			fmt.Printf("seed %-4d %-16s DIVERGED %v\n", sc.Seed, sc.Class, err)
+			return 1
+		}
 		if verbose {
-			fmt.Printf("seed %-4d %-16s ok: IC %.4f ≥ bound %.4f, %s\n",
-				sc.Seed, sc.Class, res.MeasuredIC, res.BoundIC, res.Schedule.Describe())
+			fmt.Printf("seed %-4d %-16s ok: engine %.0f vs live %.0f (tolerance %.0f)\n",
+				sc.Seed, sc.Class, run.Diff.EngineSink, run.Diff.LiveSink, run.Diff.Tolerance)
 		}
 		return 0
 	}
-	for _, v := range violations {
-		fmt.Printf("seed %-4d %-16s VIOLATION %v (%s)\n", sc.Seed, sc.Class, v, res.Schedule.Describe())
+	if len(run.Violations) == 0 {
+		if verbose {
+			fmt.Printf("seed %-4d %-16s ok: IC %.4f ≥ bound %.4f, %s\n",
+				sc.Seed, sc.Class, run.Result.MeasuredIC, run.Result.BoundIC, run.Result.Schedule.Describe())
+		}
+		return 0
+	}
+	for _, v := range run.Violations {
+		fmt.Printf("seed %-4d %-16s VIOLATION %v (%s)\n", sc.Seed, sc.Class, v, run.Result.Schedule.Describe())
 	}
 	return 1
-}
-
-// runDiff executes one differential scenario. Returns 1 on disagreement.
-func runDiff(sc laar.ChaosScenario, verbose bool) int {
-	dr, err := laar.DiffChaos(sc)
-	if err != nil {
-		fatal(fmt.Errorf("seed %d %s: %w", sc.Seed, sc.Class, err))
-	}
-	if err := dr.Err(); err != nil {
-		fmt.Printf("seed %-4d %-16s DIVERGED %v\n", sc.Seed, sc.Class, err)
-		return 1
-	}
-	if verbose {
-		fmt.Printf("seed %-4d %-16s ok: engine %.0f vs live %.0f (tolerance %.0f)\n",
-			sc.Seed, sc.Class, dr.EngineSink, dr.LiveSink, dr.Tolerance)
-	}
-	return 0
 }
 
 func fatal(err error) {

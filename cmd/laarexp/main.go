@@ -21,6 +21,7 @@ import (
 	"laar/internal/appgen"
 	"laar/internal/engine"
 	"laar/internal/experiments"
+	"laar/internal/pprofutil"
 )
 
 func main() {
@@ -34,8 +35,21 @@ func main() {
 		workers    = flag.Int("workers", runtime.NumCPU(), "FT-Search workers")
 		seed       = flag.Int64("seed", 42, "corpus seed")
 		crashApps  = flag.Int("crash-apps", 0, "apps in the host-crash subset (0 = 40% of corpus, as in the paper)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the runtime matrix (results are identical for every setting)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 
@@ -102,8 +116,11 @@ func main() {
 				nCrash = len(corpus)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "running %d apps × 6 variants × scenarios...\n", len(corpus))
-		rr, err := experiments.RunAll(corpus, engine.Config{}, nCrash)
+		fmt.Fprintf(os.Stderr, "running %d apps × 6 variants × scenarios (%d workers)...\n", len(corpus), *parallel)
+		rr, err := experiments.RunAllWith(corpus, engine.Config{}, experiments.RunAllOptions{
+			CrashApps:   nCrash,
+			Parallelism: *parallel,
+		})
 		if err != nil {
 			fatal(err)
 		}

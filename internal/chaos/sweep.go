@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepRun is the outcome of one scenario within a sweep. Exactly one of
+// the mode-specific fields is populated: Result/Violations for engine
+// runs, Diff for differential runs; Err reports a run that failed to
+// execute at all.
+type SweepRun struct {
+	Scenario   Scenario
+	Result     *Result
+	Violations []Violation
+	Diff       *DiffResult
+	Err        error
+}
+
+// Failed reports whether the run violated an invariant, diverged, or
+// errored out.
+func (r *SweepRun) Failed() bool {
+	if r.Err != nil {
+		return true
+	}
+	if r.Diff != nil {
+		return r.Diff.Err() != nil
+	}
+	return len(r.Violations) > 0
+}
+
+// Sweep executes every scenario across a bounded worker pool and returns
+// one SweepRun per scenario, in input order. Every chaos run is a pure
+// function of its scenario, so the outcome is deeply equal for every
+// parallelism setting (≤ 0 uses runtime.NumCPU()). With diff set, each
+// scenario runs differentially on the engine and the live runtime instead
+// of through the invariant checker.
+func Sweep(scs []Scenario, parallelism int, diff bool) []SweepRun {
+	out := make([]SweepRun, len(scs))
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(len(scs)) {
+					return
+				}
+				run := SweepRun{Scenario: scs[j]}
+				if diff {
+					run.Diff, run.Err = Diff(scs[j])
+				} else {
+					run.Result, run.Violations, run.Err = RunAndCheck(scs[j])
+				}
+				out[j] = run
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

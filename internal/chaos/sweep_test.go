@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// sweepScenarios enumerates a small matrix of scenarios across every
+// schedule class, mirroring what `laarchaos -runs N` executes.
+func sweepScenarios(runs int) []Scenario {
+	var scs []Scenario
+	for _, class := range Classes() {
+		for i := 0; i < runs; i++ {
+			scs = append(scs, Scenario{Seed: 1 + int64(i), Class: class, Duration: 60})
+		}
+	}
+	return scs
+}
+
+// TestSweepParallelMatchesSerial asserts the chaos counterpart of the
+// experiment-matrix determinism property: a sweep fanned out over a
+// worker pool produces deeply-equal runs (results, measured ICs,
+// violations) to the single-worker sweep, in the same order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	scs := sweepScenarios(3)
+	serial := Sweep(scs, 1, false)
+	// A floor of 8 workers keeps the pool genuinely concurrent on small CI
+	// machines; parallelism beyond NumCPU still interleaves goroutines.
+	parallel := Sweep(scs, max(8, runtime.NumCPU()), false)
+	if len(serial) != len(scs) || len(parallel) != len(scs) {
+		t.Fatalf("sweep sizes %d/%d, want %d", len(serial), len(parallel), len(scs))
+	}
+	for i := range serial {
+		if serial[i].Failed() {
+			t.Fatalf("run %d (%s seed %d) failed: %v %v",
+				i, scs[i].Class, scs[i].Seed, serial[i].Violations, serial[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("run %d (%s seed %d) diverged between serial and parallel sweep",
+				i, scs[i].Class, scs[i].Seed)
+		}
+	}
+}
+
+// TestSweepDiffMode checks the differential sweep executes every scenario
+// and agrees between the engine and live legs on a small matrix.
+func TestSweepDiffMode(t *testing.T) {
+	scs := []Scenario{
+		{Seed: 1, Class: HostCrash, Duration: 60},
+		{Seed: 2, Class: ReplicaChurn, Duration: 60},
+		{Seed: 3, Class: LoadSpike, Duration: 60},
+	}
+	runs := Sweep(scs, 0, true)
+	for i, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("diff run %d: %v", i, r.Err)
+		}
+		if r.Diff == nil {
+			t.Fatalf("diff run %d has no differential result", i)
+		}
+		if r.Failed() {
+			t.Errorf("diff run %d diverged: %v", i, r.Diff.Err())
+		}
+	}
+}

@@ -37,6 +37,77 @@ func BenchmarkSimulationRun(b *testing.B) {
 	}
 }
 
+// benchSim builds a configured simulation with the initial configuration
+// applied but the event loop not yet started, so individual engine steps
+// can be benchmarked in isolation.
+func benchSim(tb testing.TB) *Simulation {
+	tb.Helper()
+	gen, err := appgen.Generate(appgen.Params{Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sr := core.AllActive(2, gen.Desc.App.NumPEs(), 2)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := New(gen.Desc, gen.Assignment, sr, tr, Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim.applyConfig(sim.tr.ConfigAt(0))
+	return sim
+}
+
+// BenchmarkDoTick measures one full engine tick (source emission, CPU
+// sharing on every host, primary election and forwarding) on the default
+// 24-PE, 5-host deployment. The tick is the innermost unit of every
+// simulation, so allocs/op here is the figure the CI bench gate guards.
+func BenchmarkDoTick(b *testing.B) {
+	s := benchSim(b)
+	dt := s.cfg.Tick
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.doTick(dt)
+	}
+}
+
+// BenchmarkProcessHost measures the CPU water-filling step for every host
+// with all ports half-full, the state a loaded deployment sits in.
+func BenchmarkProcessHost(b *testing.B) {
+	s := benchSim(b)
+	dt := s.cfg.Tick
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, reps := range s.reps {
+			for _, rep := range reps {
+				for j := range rep.ports {
+					rep.ports[j].queue = rep.ports[j].cap / 2
+				}
+			}
+		}
+		for h := range s.hosts {
+			s.processHost(h, dt)
+		}
+	}
+}
+
+// TestDoTickDoesNotAllocate is the allocation-regression guard for the
+// engine hot path: a steady-state tick (emission, CPU sharing, forwarding)
+// must not allocate. The scratch buffers, flattened route tables and
+// pre-bound recurring events exist exactly to keep this at zero.
+func TestDoTickDoesNotAllocate(t *testing.T) {
+	s := benchSim(t)
+	dt := s.cfg.Tick
+	s.doTick(dt) // warm up: first tick grows the scratch buffer
+	allocs := testing.AllocsPerRun(100, func() { s.doTick(dt) })
+	if allocs > 0 {
+		t.Fatalf("doTick allocates %.1f objects per tick, want 0", allocs)
+	}
+}
+
 // BenchmarkSimulationTick isolates the per-tick cost on the same
 // deployment with a finer tick.
 func BenchmarkSimulationTick(b *testing.B) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"laar/internal/core"
 	"laar/internal/rtree"
@@ -90,6 +89,12 @@ type routeTo struct {
 	port int // port index within the replica
 }
 
+// runnable is one entry of processHost's water-filling work list.
+type runnable struct {
+	rep    *replica
+	demand float64
+}
+
 // Simulation is one configured experiment run. Create it with New, inject
 // failures with Inject, then call Run once.
 type Simulation struct {
@@ -107,10 +112,22 @@ type Simulation struct {
 	reps  [][]*replica // [pe][replica]
 	srcs  []*source
 
-	// routes[comp] lists the PE ports fed by component comp;
-	// sinkEdges[comp] counts edges from comp into sinks.
-	routes    map[core.ComponentID][]routeTo
-	sinkEdges map[core.ComponentID]int
+	// routes[comp] lists the PE ports fed by component comp and
+	// sinkEdges[comp] counts edges from comp into sinks; both are dense
+	// slices indexed by ComponentID so the per-tick deliver path does no
+	// map hashing.
+	routes    [][]routeTo
+	sinkEdges []int
+
+	// hostReps[h] lists the replicas deployed on host h in (PE, replica)
+	// order, precomputed once so processHost never rebuilds it.
+	hostReps [][]*replica
+	// runScratch is the reusable water-filling work list of processHost.
+	// Hosts are processed one at a time, so a single buffer sized to the
+	// largest host suffices for the whole run.
+	runScratch []runnable
+	// measured is the reusable Rate Monitor measurement buffer.
+	measured rtree.Point
 
 	lookup     *rtree.Tree
 	appliedCfg int
@@ -163,8 +180,8 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 		tr:         tr,
 		kern:       &sim.Engine{},
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		routes:     make(map[core.ComponentID][]routeTo),
-		sinkEdges:  make(map[core.ComponentID]int),
+		routes:     make([][]routeTo, app.NumComponents()),
+		sinkEdges:  make([]int, app.NumComponents()),
 		appliedCfg: -1,
 	}
 	s.hosts = make([]*host, asg.NumHosts)
@@ -195,6 +212,18 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 			s.sinkEdges[e.From]++
 		}
 	}
+	s.hostReps = make([][]*replica, asg.NumHosts)
+	maxOnHost := 0
+	for h := range s.hostReps {
+		for _, pr := range asg.ReplicasOn(h) {
+			s.hostReps[h] = append(s.hostReps[h], s.reps[pr[0]][pr[1]])
+		}
+		if len(s.hostReps[h]) > maxOnHost {
+			maxOnHost = len(s.hostReps[h])
+		}
+	}
+	s.runScratch = make([]runnable, 0, maxOnHost)
+	s.measured = make(rtree.Point, app.NumSources())
 	// R-tree over the configuration rate points for the HAController.
 	s.lookup = rtree.New(app.NumSources())
 	for c, ic := range d.Configs {
@@ -281,59 +310,23 @@ func (s *Simulation) Run() (*Metrics, error) {
 		ev := ev
 		s.kern.At(ev.Time, func() { s.applyFailure(ev) })
 	}
-	// Recurring events re-arm themselves with integer indices so that
-	// floating-point accumulation can never add or lose an occurrence.
+	// Periodic schedules are pre-bound Recurring events on integer indices:
+	// the kernel re-arms one shared event struct per schedule, so the tick
+	// loop allocates nothing per occurrence, and absolute i·interval times
+	// mean floating-point accumulation can never add or lose an occurrence.
 	// The tick at i·Tick processes the interval [i·Tick, (i+1)·Tick).
 	numTicks := int(duration/s.cfg.Tick + 0.5)
-	var tick func(i int)
-	tick = func(i int) {
-		s.doTick(s.cfg.Tick)
-		if i+1 < numTicks {
-			s.kern.At(float64(i+1)*s.cfg.Tick, func() { tick(i + 1) })
-		}
+	if numTicks < 1 {
+		numTicks = 1
 	}
-	s.kern.At(0, func() { tick(0) })
-	var monitor func(i int)
-	monitor = func(i int) {
-		s.doMonitor()
-		if next := float64(i+1) * s.cfg.MonitorInterval; next <= duration {
-			s.kern.At(next, func() { monitor(i + 1) })
-		}
-	}
-	s.kern.At(s.cfg.MonitorInterval, func() { monitor(1) })
-	var sample func(i int)
-	sample = func(i int) {
-		s.doSample()
-		if next := float64(i+1) * s.cfg.SampleInterval; next <= duration {
-			s.kern.At(next, func() { sample(i + 1) })
-		}
-	}
-	s.kern.At(s.cfg.SampleInterval, func() { sample(1) })
+	s.kern.Recur(s.cfg.Tick, 0, s.tickFn).Times(numTicks).Start()
+	s.kern.Recur(s.cfg.MonitorInterval, 1, s.doMonitor).Until(duration).Start()
+	s.kern.Recur(s.cfg.SampleInterval, 1, s.doSample).Until(duration).Start()
 	if s.probeFn != nil {
-		var probe func(i int)
-		probe = func(i int) {
-			s.doProbe()
-			if next := float64(i+1) * s.probeEvery; next <= duration {
-				s.kern.At(next, func() { probe(i + 1) })
-			}
-		}
-		s.kern.At(s.probeEvery, func() { probe(1) })
+		s.kern.Recur(s.probeEvery, 1, s.doProbe).Until(duration).Start()
 	}
 	if s.cfg.CheckpointInterval > 0 {
-		var checkpoint func(i int)
-		checkpoint = func(i int) {
-			for _, reps := range s.reps {
-				for _, rep := range reps {
-					if rep.alive && rep.active && s.hosts[rep.host].up {
-						rep.overheadCycles += s.cfg.CheckpointCycles
-					}
-				}
-			}
-			if next := float64(i+1) * s.cfg.CheckpointInterval; next < duration {
-				s.kern.At(next, func() { checkpoint(i + 1) })
-			}
-		}
-		s.kern.At(s.cfg.CheckpointInterval, func() { checkpoint(1) })
+		s.kern.Recur(s.cfg.CheckpointInterval, 1, s.doCheckpoint).UntilBefore(duration).Start()
 	}
 
 	s.kern.Run(duration)
@@ -345,17 +338,35 @@ func (s *Simulation) Run() (*Metrics, error) {
 	return s.m, nil
 }
 
+// tickFn is the pre-bound recurring tick callback.
+func (s *Simulation) tickFn() { s.doTick(s.cfg.Tick) }
+
+// doCheckpoint charges every live active replica the periodic state-
+// persistence overhead.
+func (s *Simulation) doCheckpoint() {
+	for _, reps := range s.reps {
+		for _, rep := range reps {
+			if rep.alive && rep.active && s.hosts[rep.host].up {
+				rep.overheadCycles += s.cfg.CheckpointCycles
+			}
+		}
+	}
+}
+
 // doTick advances the data flow by dt seconds: sources emit, hosts share
 // CPU among runnable replicas, replicas process, primaries forward.
 func (s *Simulation) doTick(dt float64) {
 	now := s.kern.Now()
 	cfg := s.tr.ConfigAt(now)
 
-	// Source emission with optional glitch noise.
+	// Source emission with optional glitch noise. The configuration's rate
+	// vector is hoisted out of the source loop.
+	rates := s.d.Configs[cfg].Rates
+	glitch := s.cfg.GlitchAmplitude
 	for _, src := range s.srcs {
-		rate := s.d.Configs[cfg].Rates[src.srcIdx]
-		if s.cfg.GlitchAmplitude > 0 {
-			rate *= 1 + s.cfg.GlitchAmplitude*(2*s.rng.Float64()-1)
+		rate := rates[src.srcIdx]
+		if glitch > 0 {
+			rate *= 1 + glitch*(2*s.rng.Float64()-1)
 		}
 		n := rate * dt
 		src.emitted += n
@@ -418,15 +429,12 @@ func (s *Simulation) deliver(comp core.ComponentID, n float64) {
 }
 
 // processHost water-fills the host's cycle budget across its runnable
-// replicas and lets each drain its queues proportionally.
+// replicas and lets each drain its queues proportionally. It reuses the
+// simulation-wide scratch buffer, so the per-tick inner loop performs no
+// allocation.
 func (s *Simulation) processHost(h int, dt float64) {
-	type runnable struct {
-		rep    *replica
-		demand float64
-	}
-	var run []runnable
-	for _, pr := range s.asg.ReplicasOn(h) {
-		rep := s.reps[pr[0]][pr[1]]
+	run := s.runScratch[:0]
+	for _, rep := range s.hostReps[h] {
 		if !rep.alive || !rep.active {
 			continue
 		}
@@ -438,20 +446,15 @@ func (s *Simulation) processHost(h int, dt float64) {
 			run = append(run, runnable{rep: rep, demand: demand})
 		}
 	}
+	s.runScratch = run[:0]
 	if len(run) == 0 {
 		return
 	}
 	// Exact water-filling: ascending demands, equal share of the rest.
-	sort.Slice(run, func(a, b int) bool {
-		if run[a].demand != run[b].demand {
-			return run[a].demand < run[b].demand
-		}
-		// Deterministic tie-break.
-		if run[a].rep.pe != run[b].rep.pe {
-			return run[a].rep.pe < run[b].rep.pe
-		}
-		return run[a].rep.idx < run[b].rep.idx
-	})
+	// hostReps is in (PE, replica) order, so the stable insertion sort
+	// preserves exactly the (demand, pe, idx) ordering sort.Slice with the
+	// explicit tie-break used to produce — without its closure allocation.
+	sortRunnables(run)
 	budget := s.hosts[h].capacity * dt
 	for i := range run {
 		share := budget / float64(len(run)-i)
@@ -461,6 +464,23 @@ func (s *Simulation) processHost(h int, dt float64) {
 		}
 		budget -= alloc
 		s.processReplica(run[i].rep, alloc, run[i].demand)
+	}
+}
+
+// sortRunnables sorts by ascending demand with in-place insertion sort: the
+// work lists are small (the replicas of one host) and usually nearly
+// sorted, where insertion sort beats the generic sort and allocates
+// nothing. Stability provides the deterministic (pe, idx) tie-break, since
+// entries are appended in that order.
+func sortRunnables(run []runnable) {
+	for i := 1; i < len(run); i++ {
+		e := run[i]
+		j := i - 1
+		for j >= 0 && run[j].demand > e.demand {
+			run[j+1] = run[j]
+			j--
+		}
+		run[j+1] = e
 	}
 }
 
@@ -527,7 +547,7 @@ func (s *Simulation) primary(pe int) *replica {
 // over the last interval, select the nearest input configuration dominating
 // the measurement, and (when it changed) issue activation commands.
 func (s *Simulation) doMonitor() {
-	measured := make(rtree.Point, len(s.srcs))
+	measured := s.measured
 	for i, src := range s.srcs {
 		// The tiny relative discount absorbs float accumulation error:
 		// without it a measured rate can exceed the configuration's exact

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"laar/internal/core"
@@ -33,6 +34,31 @@ func TestInjectRejectsPastEvents(t *testing.T) {
 	if err := sim.Inject(FailureEvent{Time: 0, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
 		t.Fatalf("Inject rejected an event at the current clock: %v", err)
 	}
+}
+
+// TestNegativeRelativeDelayReportsDelta complements the PastEventError
+// path: internal relative scheduling (the kernel's After, used for
+// command latency and recovery timers) must panic with a message naming
+// the offending negative delta, not just the confusing absolute time it
+// would resolve to.
+func TestNegativeRelativeDelayReportsDelta(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("negative After delay did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "-3") || !strings.Contains(msg, "negative delay") {
+			t.Fatalf("panic %v does not report the negative delta", r)
+		}
+	}()
+	sim.kern.After(-3, func() {})
 }
 
 // TestProbeHookSamplesAndQuiesces exercises the invariant-sampling hook:

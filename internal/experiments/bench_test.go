@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"laar/internal/engine"
+)
+
+// benchCorpusState lazily builds the corpus shared by the RunAll
+// benchmarks, so `-benchtime=1x` smoke runs pay the FT-Search cost once.
+var benchCorpusState struct {
+	once   sync.Once
+	corpus []*AppRun
+	err    error
+}
+
+func benchCorpus(b *testing.B) []*AppRun {
+	b.Helper()
+	benchCorpusState.once.Do(func() {
+		benchCorpusState.corpus, benchCorpusState.err = BuildCorpus(CorpusParams{
+			NumApps:        4,
+			NumPEs:         10,
+			NumHosts:       3,
+			Seed:           42,
+			SolverDeadline: 2 * time.Second,
+			TraceDuration:  150,
+			TracePeriod:    45,
+		})
+	})
+	if benchCorpusState.err != nil {
+		b.Fatal(benchCorpusState.err)
+	}
+	return benchCorpusState.corpus
+}
+
+func benchRunAll(b *testing.B, parallelism int) {
+	corpus := benchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAllWith(corpus, engine.Config{}, RunAllOptions{Parallelism: parallelism}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSerial measures the experiment matrix on one worker: the
+// baseline the parallel speedup is quoted against.
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel measures the matrix fanned out over all CPUs.
+// cmd/laarbench records the ratio of the two as the matrix speedup.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.NumCPU()) }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +37,60 @@ func testResults(t *testing.T, corpus []*AppRun) *RuntimeResults {
 		t.Fatal(err)
 	}
 	return rr
+}
+
+// TestRunAllParallelMatchesSerial asserts the tentpole determinism
+// property: the experiment matrix produces deeply-equal results no matter
+// how many workers execute it. Glitch noise is enabled so the per-cell
+// RNG streams are actually consumed — with a shared RNG (or seeds
+// depending on schedule order) this test would fail.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	corpus := testCorpus(t)
+	cfg := engine.Config{GlitchAmplitude: 0.05, Seed: 42}
+	serial, err := RunAllWith(corpus, cfg, RunAllOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use at least 8 workers so the pool really interleaves claims even on
+	// small CI machines — goroutine scheduling races don't need extra cores
+	// to corrupt a non-deterministic implementation.
+	workers := max(8, runtime.NumCPU())
+	parallel, err := RunAllWith(corpus, cfg, RunAllOptions{Parallelism: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel matrix diverged from serial run (workers = %d)", workers)
+	}
+	// The legacy entry point must agree with the options form.
+	legacy, err := RunAll(corpus, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, legacy) {
+		t.Fatal("RunAll diverged from RunAllWith")
+	}
+}
+
+// TestRunAllCrashSubset checks the crash-subset restriction survives the
+// parallel fan-out: only the first CrashApps applications get crash cells.
+func TestRunAllCrashSubset(t *testing.T) {
+	corpus := testCorpus(t)
+	rr, err := RunAllWith(corpus, engine.Config{}, RunAllOptions{CrashApps: 2, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Crash) != 2 {
+		t.Fatalf("crash subset = %d apps, want 2", len(rr.Crash))
+	}
+	for i, byV := range rr.Crash {
+		if len(byV) != len(Variants) {
+			t.Errorf("crash app %d has %d variants, want %d", i, len(byV), len(Variants))
+		}
+	}
+	if len(rr.Best) != len(corpus) || len(rr.Worst) != len(corpus) {
+		t.Errorf("best/worst cover %d/%d apps, want %d", len(rr.Best), len(rr.Worst), len(corpus))
+	}
 }
 
 func TestBuildCorpusShape(t *testing.T) {

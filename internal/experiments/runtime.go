@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"laar/internal/core"
 	"laar/internal/engine"
@@ -94,42 +97,120 @@ type RuntimeResults struct {
 	Crash []map[Variant]*engine.Metrics
 }
 
-// RunAll executes the full runtime experiment matrix over the corpus. The
-// crash scenario can be restricted to the first crashApps applications
-// (the paper re-runs a 40-app subset); crashApps ≤ 0 runs it on all.
+// RunAllOptions tunes the execution of the experiment matrix.
+type RunAllOptions struct {
+	// CrashApps restricts the host-crash scenario to the first N
+	// applications (the paper re-runs a 40-of-100 subset); ≤ 0 runs it on
+	// the whole corpus.
+	CrashApps int
+	// Parallelism bounds the worker pool executing the (app × variant ×
+	// scenario) cells. ≤ 0 uses runtime.NumCPU(). The results are
+	// independent of the setting: every cell is a pure function of the
+	// corpus and its matrix coordinates (its RNG seed is derived from
+	// them), and each cell's metrics land in a pre-assigned slot.
+	Parallelism int
+}
+
+// matrixCell addresses one (application, variant, scenario) run.
+type matrixCell struct {
+	app int
+	v   Variant
+	sc  Scenario
+}
+
+// cellSeed derives the engine seed of one matrix cell from the base seed
+// and the cell coordinates (splitmix64 finalizer), so concurrent cells
+// never share an RNG stream and the schedule order cannot influence the
+// results.
+func cellSeed(base int64, c matrixCell) int64 {
+	x := uint64(base) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(c.app)<<32 | uint64(c.v)<<8 | uint64(c.sc)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// RunAll executes the full runtime experiment matrix over the corpus with
+// the default parallelism. The crash scenario can be restricted to the
+// first crashApps applications; crashApps ≤ 0 runs it on all.
 func RunAll(corpus []*AppRun, cfg engine.Config, crashApps int) (*RuntimeResults, error) {
+	return RunAllWith(corpus, cfg, RunAllOptions{CrashApps: crashApps})
+}
+
+// RunAllWith executes the experiment matrix with explicit options. Every
+// cell is an independent seed-deterministic simulation, so the matrix is
+// fanned out across a bounded worker pool; the assembled RuntimeResults
+// are deeply equal for every Parallelism setting.
+func RunAllWith(corpus []*AppRun, cfg engine.Config, opts RunAllOptions) (*RuntimeResults, error) {
+	crashApps := opts.CrashApps
 	if crashApps <= 0 || crashApps > len(corpus) {
 		crashApps = len(corpus)
 	}
+	cells := make([]matrixCell, 0, len(corpus)*len(Variants)*2+crashApps*len(Variants))
+	for i := range corpus {
+		for _, v := range Variants {
+			cells = append(cells, matrixCell{i, v, BestCase})
+			cells = append(cells, matrixCell{i, v, WorstCase})
+			if i < crashApps {
+				cells = append(cells, matrixCell{i, v, HostCrash})
+			}
+		}
+	}
+	results := make([]*engine.Metrics, len(cells))
+	errs := make([]error, len(cells))
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(len(cells)) {
+					return
+				}
+				c := cells[j]
+				ccfg := cfg
+				ccfg.Seed = cellSeed(cfg.Seed, c)
+				results[j], errs[j] = RunVariant(corpus[c.app], c.v, c.sc, c.app, ccfg)
+			}
+		}()
+	}
+	wg.Wait()
+
 	rr := &RuntimeResults{
 		Best:  make([]map[Variant]*engine.Metrics, len(corpus)),
 		Worst: make([]map[Variant]*engine.Metrics, len(corpus)),
 		Crash: make([]map[Variant]*engine.Metrics, crashApps),
 	}
-	for i, app := range corpus {
+	for i := range corpus {
 		rr.Best[i] = make(map[Variant]*engine.Metrics, len(Variants))
 		rr.Worst[i] = make(map[Variant]*engine.Metrics, len(Variants))
-		for _, v := range Variants {
-			m, err := RunVariant(app, v, BestCase, i, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("app %d %v best-case: %w", i, v, err)
-			}
-			rr.Best[i][v] = m
-			m, err = RunVariant(app, v, WorstCase, i, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("app %d %v worst-case: %w", i, v, err)
-			}
-			rr.Worst[i][v] = m
-		}
 		if i < crashApps {
 			rr.Crash[i] = make(map[Variant]*engine.Metrics, len(Variants))
-			for _, v := range Variants {
-				m, err := RunVariant(app, v, HostCrash, i, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("app %d %v host-crash: %w", i, v, err)
-				}
-				rr.Crash[i][v] = m
-			}
+		}
+	}
+	for j, c := range cells {
+		if errs[j] != nil {
+			return nil, fmt.Errorf("app %d %v %v: %w", c.app, c.v, c.sc, errs[j])
+		}
+		switch c.sc {
+		case BestCase:
+			rr.Best[c.app][c.v] = results[j]
+		case WorstCase:
+			rr.Worst[c.app][c.v] = results[j]
+		case HostCrash:
+			rr.Crash[c.app][c.v] = results[j]
 		}
 	}
 	return rr, nil

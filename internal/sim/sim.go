@@ -9,6 +9,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Event is a scheduled callback.
@@ -58,12 +59,27 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.pq, &event{time: t, seq: e.seq, fn: fn})
+	e.push(&event{time: t, fn: fn})
 }
 
-// After schedules fn to run d seconds from now.
-func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+// push assigns the next sequence number and enqueues ev at ev.time. The
+// caller guarantees ev.time ≥ e.now.
+func (e *Engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.pq, ev)
+}
+
+// After schedules fn to run d seconds from now. A negative delay panics,
+// reporting the offending delta (At would only report the resulting
+// absolute time, which is confusing when the bug is in the caller's
+// duration arithmetic).
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %v (now %v, would schedule at %v)", d, e.now, e.now+d))
+	}
+	e.At(e.now+d, fn)
+}
 
 // Step executes the earliest pending event, advancing the clock to its
 // time. It reports whether an event was executed.
@@ -96,4 +112,84 @@ func (e *Engine) Run(until float64) {
 func (e *Engine) RunAll() {
 	for e.Step() {
 	}
+}
+
+// Recurring is a pre-bound periodic event. Occurrence i fires at
+// i·interval (absolute multiples, so floating-point accumulation can never
+// add or lose an occurrence), and the kernel re-arms the same event struct
+// after each firing. A self-perpetuating schedule built from At callbacks
+// allocates one closure and one heap event per occurrence; a Recurring
+// allocates nothing after Start.
+type Recurring struct {
+	eng      *Engine
+	interval float64
+	until    float64 // horizon; occurrences strictly past it are not armed
+	strict   bool    // when set, an occurrence exactly at until is not armed either
+	max      int     // maximum number of firings; 0 = unbounded
+	fired    int
+	i        int // next occurrence index
+	fn       func()
+	ev       event
+}
+
+// Recur creates a recurring event firing fn at i·interval for
+// i = first, first+1, …. It is unbounded until limited with Times, Until
+// or UntilBefore, and inert until armed with Start.
+func (e *Engine) Recur(interval float64, first int, fn func()) *Recurring {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive recurrence interval %v", interval))
+	}
+	r := &Recurring{eng: e, interval: interval, until: math.Inf(1), i: first, fn: fn}
+	r.ev.fn = r.fire
+	return r
+}
+
+// Times bounds the recurrence to at most n firings.
+func (r *Recurring) Times(n int) *Recurring { r.max = n; return r }
+
+// Until arms occurrences up to and including virtual time t.
+func (r *Recurring) Until(t float64) *Recurring { r.until = t; r.strict = false; return r }
+
+// UntilBefore arms occurrences strictly before virtual time t.
+func (r *Recurring) UntilBefore(t float64) *Recurring { r.until = t; r.strict = true; return r }
+
+// Start arms the first occurrence. Starting a recurrence whose first
+// occurrence is already past the horizon (or whose budget is zero) is a
+// no-op. Start may be called at most once.
+func (r *Recurring) Start() {
+	if r.max > 0 && r.fired >= r.max {
+		return
+	}
+	t := float64(r.i) * r.interval
+	if t < r.eng.now {
+		panic(fmt.Sprintf("sim: recurrence starts at %v before now (%v)", t, r.eng.now))
+	}
+	if r.past(t) {
+		return
+	}
+	r.ev.time = t
+	r.eng.push(&r.ev)
+}
+
+// past reports whether an occurrence at time t falls outside the horizon.
+func (r *Recurring) past(t float64) bool {
+	return t > r.until || (r.strict && t == r.until)
+}
+
+// fire executes one occurrence and re-arms the shared event struct for the
+// next one, exactly as a self-rescheduling At callback would but without
+// allocating.
+func (r *Recurring) fire() {
+	r.fn()
+	r.fired++
+	if r.max > 0 && r.fired >= r.max {
+		return
+	}
+	r.i++
+	next := float64(r.i) * r.interval
+	if r.past(next) {
+		return
+	}
+	r.ev.time = next
+	r.eng.push(&r.ev)
 }

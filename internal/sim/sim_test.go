@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -100,4 +102,142 @@ func TestStepOnEmptyQueue(t *testing.T) {
 	if e.Step() {
 		t.Fatal("Step on empty queue reported an event")
 	}
+}
+
+func TestAfterNegativeDelayReportsDelta(t *testing.T) {
+	var e Engine
+	e.At(5, func() {})
+	e.Run(5)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("After(-2) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		// The message must name the offending delta, not only the absolute
+		// time it resolves to.
+		if !strings.Contains(msg, "-2") || !strings.Contains(msg, "negative delay") {
+			t.Fatalf("panic message %q does not report the negative delta", msg)
+		}
+	}()
+	e.After(-2, func() {})
+}
+
+func TestRecurTimes(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Recur(1, 0, func() { count++ }).Times(5).Start()
+	e.Run(100)
+	if count != 5 {
+		t.Fatalf("fired %d times, want 5", count)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestRecurUntilInclusiveAndExclusive(t *testing.T) {
+	var e Engine
+	var incl, excl []float64
+	e.Recur(2, 1, func() { incl = append(incl, e.Now()) }).Until(6).Start()
+	e.Recur(2, 1, func() { excl = append(excl, e.Now()) }).UntilBefore(6).Start()
+	e.Run(10)
+	if len(incl) != 3 || incl[2] != 6 {
+		t.Fatalf("inclusive firings = %v, want [2 4 6]", incl)
+	}
+	if len(excl) != 2 || excl[1] != 4 {
+		t.Fatalf("exclusive firings = %v, want [2 4]", excl)
+	}
+}
+
+func TestRecurFirstIndexOffset(t *testing.T) {
+	var e Engine
+	var at []float64
+	e.Recur(0.5, 3, func() { at = append(at, e.Now()) }).Times(2).Start()
+	e.RunAll()
+	if len(at) != 2 || at[0] != 1.5 || at[1] != 2 {
+		t.Fatalf("firings = %v, want [1.5 2]", at)
+	}
+}
+
+func TestRecurStartPastHorizonIsNoop(t *testing.T) {
+	var e Engine
+	e.Recur(10, 1, func() { t.Fatal("fired past horizon") }).Until(5).Start()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestRecurMatchesSelfReschedulingAt proves a Recurring is observationally
+// identical to the closure-based re-arming pattern it replaces: same
+// firing times and same tie-break order against interleaved events.
+func TestRecurMatchesSelfReschedulingAt(t *testing.T) {
+	run := func(useRecur bool) []string {
+		var e Engine
+		var got []string
+		hit := func(tag string) { got = append(got, fmt.Sprintf("%s@%v", tag, e.Now())) }
+		if useRecur {
+			e.Recur(0.5, 0, func() { hit("tick") }).Times(5).Start()
+			e.Recur(1, 1, func() { hit("mon") }).Until(2).Start()
+		} else {
+			var tick func(i int)
+			tick = func(i int) {
+				hit("tick")
+				if i+1 < 5 {
+					e.At(float64(i+1)*0.5, func() { tick(i + 1) })
+				}
+			}
+			e.At(0, func() { tick(0) })
+			var mon func(i int)
+			mon = func(i int) {
+				hit("mon")
+				if next := float64(i + 1); next <= 2 {
+					e.At(next, func() { mon(i + 1) })
+				}
+			}
+			e.At(1, func() { mon(1) })
+		}
+		e.Run(2)
+		return got
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("closure pattern fired %d events, Recurring %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: closure %q vs Recurring %q (full: %v vs %v)", i, a[i], b[i], a, b)
+		}
+	}
+}
+
+func TestRecurDoesNotAllocatePerOccurrence(t *testing.T) {
+	var e Engine
+	count := 0
+	r := e.Recur(1, 1, func() { count++ }).Times(1 << 30)
+	r.Start()
+	// Warm up past the first firing, then measure steady-state re-arms.
+	e.Run(10)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + 50)
+	})
+	if count == 0 {
+		t.Fatal("recurrence never fired")
+	}
+	if allocs > 0 {
+		t.Fatalf("steady-state recurrence allocates %.1f objects per 50 firings, want 0", allocs)
+	}
+}
+
+func TestRecurNonPositiveIntervalPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recur(0, ...) did not panic")
+		}
+	}()
+	e.Recur(0, 0, func() {})
 }

@@ -505,6 +505,9 @@ type (
 	ChaosInvariant = chaos.Invariant
 	// ChaosViolation is one invariant breach.
 	ChaosViolation = chaos.Violation
+	// ChaosSweepRun is the outcome of one scenario within a parallel
+	// chaos sweep.
+	ChaosSweepRun = chaos.SweepRun
 	// ChaosDiffResult compares one scenario run on the engine and on the
 	// live runtime.
 	ChaosDiffResult = chaos.DiffResult
@@ -530,6 +533,15 @@ func RunChaos(sc ChaosScenario) (*ChaosResult, []ChaosViolation, error) {
 // DiffChaos runs one scenario differentially on the engine and the live
 // runtime and reports sink-count agreement.
 func DiffChaos(sc ChaosScenario) (*ChaosDiffResult, error) { return chaos.Diff(sc) }
+
+// SweepChaos executes the scenarios across a bounded worker pool (≤ 0 =
+// all CPUs), each run a pure function of its scenario, and returns the
+// outcomes in input order — deeply equal for every parallelism setting.
+// With diff set, scenarios run differentially on the engine and the live
+// runtime instead of through the invariant checker.
+func SweepChaos(scs []ChaosScenario, parallelism int, diff bool) []ChaosSweepRun {
+	return chaos.Sweep(scs, parallelism, diff)
+}
 
 // ChaosInvariants returns the invariant registry checked after chaos runs.
 func ChaosInvariants() []ChaosInvariant { return chaos.Registry() }
