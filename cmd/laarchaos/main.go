@@ -7,8 +7,9 @@
 // Usage:
 //
 //	laarchaos -runs 25                       # 25 seeds across every class
-//	laarchaos -seed 42 -scenario host-crash  # reproduce one run
+//	laarchaos -seed 42 -scenario partition   # reproduce one run
 //	laarchaos -runs 5 -diff                  # engine ↔ live differential mode
+//	laarchaos -runs 5 -supervised            # supervised-recovery mode
 //	laarchaos -runs 100 -parallel 4          # bound the worker pool
 package main
 
@@ -26,9 +27,10 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "base seed; run i uses seed+i")
 		runs       = flag.Int("runs", 1, "seeds to run per scenario class")
-		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | all")
+		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | all")
 		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the sweep (results are identical for every setting)")
+		supervised = flag.Bool("supervised", false, "supervised-recovery mode: replay faults against the supervised live runtime, withholding scheduled recoveries")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the sweep (invariant results are identical for every setting)")
 		duration   = flag.Float64("duration", 0, "trace duration in seconds (0 = scenario default)")
 		pes        = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
 		hosts      = flag.Int("hosts", 0, "deployment hosts (0 = default)")
@@ -38,6 +40,16 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *diff && *supervised {
+		fatal(fmt.Errorf("-diff and -supervised are mutually exclusive"))
+	}
+	mode := laar.ChaosModeInvariants
+	switch {
+	case *diff:
+		mode = laar.ChaosModeDiff
+	case *supervised:
+		mode = laar.ChaosModeSupervised
+	}
 
 	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -68,12 +80,8 @@ func main() {
 	}
 
 	failed := 0
-	for _, run := range laar.SweepChaos(scs, *parallel, *diff) {
+	for _, run := range laar.SweepChaos(scs, *parallel, mode) {
 		failed += report(run, *verbose)
-	}
-	mode := "invariant"
-	if *diff {
-		mode = "differential"
 	}
 	fmt.Printf("%d %s runs, %d failed\n", len(scs), mode, failed)
 	if err := stopProfiles(); err != nil {
@@ -98,6 +106,17 @@ func report(run laar.ChaosSweepRun, verbose bool) int {
 		if verbose {
 			fmt.Printf("seed %-4d %-16s ok: engine %.0f vs live %.0f (tolerance %.0f)\n",
 				sc.Seed, sc.Class, run.Diff.EngineSink, run.Diff.LiveSink, run.Diff.Tolerance)
+		}
+		return 0
+	}
+	if run.Supervised != nil {
+		if err := run.Supervised.Err(); err != nil {
+			fmt.Printf("seed %-4d %-16s NOT-RECOVERED %v\n", sc.Seed, sc.Class, err)
+			return 1
+		}
+		if verbose {
+			fmt.Printf("seed %-4d %-16s ok: %d kills, %d supervisor restarts\n",
+				sc.Seed, sc.Class, run.Supervised.Kills, run.Supervised.Restarts)
 		}
 		return 0
 	}

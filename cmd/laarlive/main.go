@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		descPath = flag.String("desc", "", "application descriptor JSON (required)")
-		ic       = flag.Float64("ic", 0.6, "IC SLA target for the LAAR strategy")
-		hosts    = flag.Int("hosts", 5, "number of deployment hosts")
-		duration = flag.Float64("duration", 60, "trace duration in simulated seconds")
-		period   = flag.Float64("period", 30, "trace period; High active one third of each period")
-		scale    = flag.Float64("scale", 10, "wall-clock compression (10 = run 10x faster than real time)")
-		crash    = flag.Bool("crash", false, "crash a primary replica mid-run to demonstrate failover")
-		deadline = flag.Duration("deadline", 10*time.Second, "solver deadline")
+		descPath  = flag.String("desc", "", "application descriptor JSON (required)")
+		ic        = flag.Float64("ic", 0.6, "IC SLA target for the LAAR strategy")
+		hosts     = flag.Int("hosts", 5, "number of deployment hosts")
+		duration  = flag.Float64("duration", 60, "trace duration in simulated seconds")
+		period    = flag.Float64("period", 30, "trace period; High active one third of each period")
+		scale     = flag.Float64("scale", 10, "wall-clock compression (10 = run 10x faster than real time)")
+		crash     = flag.Bool("crash", false, "crash a primary replica mid-run to demonstrate failover")
+		supervise = flag.Bool("supervise", false, "enable the replica supervisor: crashed replicas restart automatically with backoff")
+		deadline  = flag.Duration("deadline", 10*time.Second, "solver deadline")
 	)
 	flag.Parse()
 	if *descPath == "" {
@@ -61,7 +62,7 @@ func main() {
 
 	rt, err := laar.NewLiveRuntime(d, asg, res.Strategy, func(laar.ComponentID, int) laar.Operator {
 		return laar.OperatorFunc(func(t laar.Tuple) []any { return []any{t.Data} })
-	}, laar.LiveConfig{MonitorInterval: 50 * time.Millisecond, QueueLen: 4096})
+	}, laar.LiveConfig{MonitorInterval: 50 * time.Millisecond, QueueLen: 4096, Supervise: *supervise})
 	if err != nil {
 		fatal(err)
 	}
@@ -97,6 +98,7 @@ func main() {
 		fatal(err)
 	}
 	time.Sleep(200 * time.Millisecond) // drain the pipeline tail
+	replicaStats := rt.Stats()
 	stats, err := rt.Stop()
 	if err != nil {
 		fatal(err)
@@ -108,9 +110,19 @@ func main() {
 	}
 	fmt.Printf("sink deliveries   %d\n", stats.SinkDelivered)
 	fmt.Printf("dropped           %d\n", stats.Dropped)
+	fmt.Printf("net dropped       %d\n", stats.NetDropped)
 	fmt.Printf("reconfigurations  %d\n", stats.ConfigSwitches)
 	for pe, byRep := range stats.Processed {
 		fmt.Printf("PE %-2d replicas processed: %v\n", pe, byRep)
+	}
+	if *supervise {
+		for _, rs := range replicaStats {
+			if rs.Restarts == 0 && rs.Alive {
+				continue
+			}
+			fmt.Printf("replica (%d,%d): alive=%v restarts=%d backoff=%v pending=%v\n",
+				rs.PE, rs.Replica, rs.Alive, rs.Restarts, rs.Backoff, rs.RestartPending)
+		}
 	}
 	_ = total
 }

@@ -88,7 +88,11 @@ func main() {
 			fatal(err)
 		}
 	case "crash":
-		if err := sim.InjectAll(laar.HostCrashPlan(*crashHost, *duration/2, 16)); err != nil {
+		plan, err := laar.HostCrashPlan(asg.NumHosts, *crashHost, *duration/2, 16)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
 			fatal(err)
 		}
 	default:

@@ -78,8 +78,12 @@ func main() {
 
 	fmt.Println("\nscenario 1 — host 0 crashes at t=62s (mid-peak), recovers after 16 s:")
 	fmt.Println("variant   guaranteed IC   measured IC   dropped")
+	crashPlan, err := laar.HostCrashPlan(asg.NumHosts, 0, 62, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, v := range variants {
-		m := run(v.s, laar.HostCrashPlan(0, 62, 16))
+		m := run(v.s, crashPlan)
 		fmt.Printf("%-7s   %13.3f   %11.3f   %7.0f\n",
 			v.name, laar.IC(rates, v.s, laar.Pessimistic{}), m.ProcessedTotal/ref, m.DroppedTotal)
 	}

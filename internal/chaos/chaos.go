@@ -1,23 +1,34 @@
 // Package chaos is a deterministic, seeded fault-injection harness for the
 // LAAR runtime layers. It generates randomized failure schedules — host
-// crashes, correlated multi-host crashes, replica kill/recover churn, load
-// spikes and input-rate glitch bursts — from a compact Scenario spec,
-// drives the discrete-event engine (and, through a fake clock, the
-// goroutine live runtime) through the schedule, and checks a registry of
-// LAAR invariants after every run:
+// crashes, correlated multi-host crashes, replica kill/recover churn,
+// network partitions (host↔host and host↔controller link cuts), gray
+// slowdowns (degraded-but-alive hosts), load spikes and input-rate glitch
+// bursts — from a compact Scenario spec, drives the discrete-event engine
+// (and, through a fake clock, the goroutine live runtime) through the
+// schedule, and checks a registry of LAAR invariants after every run:
 //
-//   - ic-bound: delivered internal completeness never falls below the
-//     strategy's pessimistic-model guarantee while the injected failures
-//     stay within the declared failure model;
+//   - ic-bound: delivered internal completeness (corrected for
+//     partition-dropped processing) never falls below the strategy's
+//     pessimistic-model guarantee while the injected failures stay within
+//     the declared failure model;
 //   - primary-unique: exactly one primary per PE at quiescence, and it is
 //     the lowest-indexed eligible replica;
+//   - no-split-brain: no probe ever reports a primary that is dead,
+//     inactive, on a down host, or cut from the controller;
+//   - re-replication: after the last failure clears, every replica is
+//     alive on an up, controller-reachable host;
 //   - queue-bounds: no input queue ever exceeds its configured capacity;
 //   - tuple-conservation: every tuple offered to a replica is processed,
 //     dropped, discarded by a crash/deactivation clear, or still queued;
 //   - monotone-recovery: after the last failure clears, the output rate
 //     recovers to the failure-free expectation.
 //
-// Every run is a pure function of the scenario seed, so any failing
+// Beyond engine runs, Diff replays a schedule differentially on the engine
+// and the live runtime, and Supervised replays its faults against the
+// supervised live runtime — withholding scheduled recoveries — to prove
+// the supervisor alone restores full replication.
+//
+// Every engine run is a pure function of the scenario seed, so any failing
 // schedule reproduces from a single integer (cmd/laarchaos -seed N).
 package chaos
 
@@ -47,6 +58,16 @@ const (
 	// Mixed combines host crashes, replica churn, load spikes and a mild
 	// glitch in one schedule.
 	Mixed
+	// Partition cuts network links — host↔host and host↔controller — for
+	// random windows. Tuples crossing a cut are dropped and counted; a host
+	// cut from the controller keeps processing but loses elections and the
+	// source feed.
+	Partition
+	// GraySlow degrades host CPU capacity without crashing anything: the
+	// gray-failure regime where a node still heartbeats but falls behind
+	// and queues overflow. Outside the pessimistic crash-stop model by
+	// construction.
+	GraySlow
 )
 
 var classNames = map[Class]string{
@@ -56,6 +77,8 @@ var classNames = map[Class]string{
 	LoadSpike:       "load-spike",
 	GlitchBurst:     "glitch-burst",
 	Mixed:           "mixed",
+	Partition:       "partition",
+	GraySlow:        "gray-slow",
 }
 
 // String returns the class's schedule-spec name.
@@ -68,7 +91,7 @@ func (c Class) String() string {
 
 // Classes lists every schedule class in declaration order.
 func Classes() []Class {
-	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed}
+	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow}
 }
 
 // ParseClass resolves a schedule-spec name ("host-crash", "mixed", ...).
@@ -135,6 +158,10 @@ func (sc Scenario) withDefaults() Scenario {
 			sc.Faults = 0
 		case Mixed:
 			sc.Faults = 4
+		case Partition:
+			sc.Faults = 2
+		case GraySlow:
+			sc.Faults = 2
 		}
 	}
 	if sc.ICTarget == 0 {

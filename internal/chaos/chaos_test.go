@@ -2,13 +2,15 @@ package chaos
 
 import (
 	"testing"
+
+	"laar/internal/engine"
 )
 
 // TestDifferential runs matched scenarios on the discrete-event engine and
 // the goroutine live runtime and demands sink-count agreement within the
 // derived tolerance, plus a settled live primary election at quiescence.
 func TestDifferential(t *testing.T) {
-	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike} {
+	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, Partition} {
 		class := class
 		t.Run(class.String(), func(t *testing.T) {
 			t.Parallel()
@@ -60,7 +62,7 @@ func TestSeededScenarios(t *testing.T) {
 	}
 }
 
-// TestInvariantsTrip tampers with a clean run result in five targeted ways
+// TestInvariantsTrip tampers with a clean run result in seven targeted ways
 // and demands that each registry invariant detects its own breach — the
 // checker must not be vacuously green.
 func TestInvariantsTrip(t *testing.T) {
@@ -73,6 +75,27 @@ func TestInvariantsTrip(t *testing.T) {
 		{"queue-bounds", func(r *Result) { r.Probes[0].Replicas[0].OverCap = true }},
 		{"tuple-conservation", func(r *Result) { r.Probes[len(r.Probes)-1].Replicas[0].Enqueued += 100 }},
 		{"monotone-recovery", func(r *Result) { r.Probes[len(r.Probes)-1].Primary[0] = -1 }},
+		// Forge a mid-run probe whose elected primary is cut from the
+		// controller — the partitioned-primary split-brain signature.
+		{"no-split-brain", func(r *Result) {
+			p := &r.Probes[0]
+			for i := range p.Replicas {
+				if p.Replicas[i].PE == 0 && p.Replicas[i].Replica == p.Primary[0] {
+					p.Replicas[i].CtrlReachable = false
+				}
+			}
+		}},
+		// Leave a standby replica unreachable at quiescence: elections still
+		// work, but the system never returned to full replication.
+		{"re-replication", func(r *Result) {
+			last := &r.Probes[len(r.Probes)-1]
+			for i := range last.Replicas {
+				if last.Replicas[i].PE == 0 && last.Replicas[i].Replica != last.Primary[0] {
+					last.Replicas[i].CtrlReachable = false
+					return
+				}
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.invariant, func(t *testing.T) {
@@ -117,5 +140,61 @@ func TestDeterminism(t *testing.T) {
 			len(a.Schedule.Events) != len(b.Schedule.Events) {
 			t.Errorf("%s: seed 7 not deterministic: %+v vs %+v", class, a.Metrics, b.Metrics)
 		}
+	}
+}
+
+// TestLastClearCoversClearingEvents checks that the schedule's LastClear —
+// the anchor for the recovery-tail invariants — accounts for every clearing
+// event kind, including link heals and gray-slowdown ends.
+func TestLastClearCoversClearingEvents(t *testing.T) {
+	for _, class := range []Class{Partition, GraySlow, Mixed, HostCrash} {
+		res, err := Run(Scenario{Seed: 3, Class: class})
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		var want float64
+		var clears int
+		for _, ev := range res.Schedule.Events {
+			switch ev.Kind {
+			case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal:
+				clears++
+				if ev.Time > want {
+					want = ev.Time
+				}
+			}
+		}
+		if clears == 0 {
+			t.Fatalf("%s: schedule has no clearing events", class)
+		}
+		if res.Schedule.LastClear != want {
+			t.Errorf("%s: LastClear = %.2f, want %.2f (latest of %d clearing events)",
+				class, res.Schedule.LastClear, want, clears)
+		}
+	}
+}
+
+// TestSupervisedRecovery replays crash and partition schedules against the
+// supervised live runtime with the scheduled recoveries withheld, and
+// demands the supervisor alone restores full replication with a clean
+// primary topology.
+func TestSupervisedRecovery(t *testing.T) {
+	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, Partition} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			sr, err := Supervised(Scenario{Seed: 1, Class: class, Duration: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sr.Err(); err != nil {
+				t.Error(err)
+			}
+			if class != Partition && sr.Kills == 0 {
+				t.Errorf("%s schedule applied no kills", class)
+			}
+			if sr.Kills > 0 && sr.Restarts < int64(sr.Kills) {
+				t.Errorf("%d kills but only %d supervisor restarts", sr.Kills, sr.Restarts)
+			}
+		})
 	}
 }

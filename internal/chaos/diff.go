@@ -75,7 +75,11 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	}
 	// The engine's glitch noise is private to its RNG and cannot be
 	// replayed through Push calls, so differential runs are noise-free.
+	// Gray slowdowns are dropped from both legs: the live identity operators
+	// have no CPU cost to degrade, so the engine's fluid slowdown has no
+	// live counterpart to diff against.
 	sched.Glitch = 0
+	sched.Events = diffableEvents(sched.Events)
 
 	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{})
 	if err != nil {
@@ -95,14 +99,22 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	}
 
 	maxRate := math.Max(sys.Desc.Configs[sys.LowCfg].Rates[0], sys.Desc.Configs[sys.HighCfg].Rates[0])
-	downs := 0
+	downs, cuts := 0, 0
 	for _, ev := range sched.Events {
-		if ev.Kind == engine.ReplicaDown || ev.Kind == engine.HostDown {
+		switch ev.Kind {
+		case engine.ReplicaDown, engine.HostDown:
 			downs++
+		case engine.LinkDown:
+			cuts++
 		}
 	}
 	lag := (liveMonitor + liveMonitor/2 + liveQuantum).Seconds()
-	tol := 0.03*em.SinkTotal + float64(downs)*lag*maxRate + 10
+	// A partition demotes the engine's primary instantly but the live
+	// controller only after the stale heartbeat ages past HeartbeatTimeout
+	// (3 monitor intervals) plus a scan, so each cut may stall the live
+	// pipeline for one detection window.
+	cutLag := (3*liveMonitor + liveMonitor + liveQuantum).Seconds()
+	tol := 0.03*em.SinkTotal + float64(downs)*lag*maxRate + float64(cuts)*cutLag*maxRate + 10
 	return &DiffResult{
 		Scenario:      sc,
 		Schedule:      sched,
@@ -168,6 +180,7 @@ func pipelineSystem(duration float64) (*System, []core.ComponentID, error) {
 // counts are read.
 func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration float64) (sunk int64, primaries []int, err error) {
 	fc := live.NewFakeClock(time.Unix(0, 0))
+	net := live.NewNetFault(0)
 	rt, err := live.New(sys.Desc, sys.Asg, sys.Strat,
 		func(core.ComponentID, int) live.Operator {
 			return live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} })
@@ -177,6 +190,7 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 			MonitorInterval: liveMonitor,
 			InitialConfig:   sched.Trace.ConfigAt(0),
 			Clock:           fc,
+			Transport:       net,
 		})
 	if err != nil {
 		return 0, nil, err
@@ -196,7 +210,7 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 	for i := 0; i < steps; i++ {
 		t := float64(i) * dt
 		for evIdx < len(sched.Events) && sched.Events[evIdx].Time < t+dt {
-			applyLiveEvent(rt, sys, peID, sched.Events[evIdx], downCount)
+			applyLiveEvent(rt, net, sys, peID, sched.Events[evIdx], downCount)
 			evIdx++
 		}
 		credit += sys.Desc.Configs[sched.Trace.ConfigAt(t)].Rates[0] * dt
@@ -227,11 +241,27 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 	return delivered.Load(), primaries, nil
 }
 
-// applyLiveEvent maps one engine failure event onto the live runtime. The
-// live runtime has no host abstraction, so host events fan out to every
-// replica placed on the host; a per-replica down counter keeps overlapping
-// host and replica failures from recovering a replica early.
-func applyLiveEvent(rt *live.Runtime, sys *System, peID []core.ComponentID, ev engine.FailureEvent, down map[[2]int]int) {
+// diffableEvents filters a schedule down to the kinds both legs can
+// realise identically: gray slowdowns act on the engine's CPU model only,
+// so they are dropped before a differential run.
+func diffableEvents(events []engine.FailureEvent) []engine.FailureEvent {
+	out := events[:0]
+	for _, ev := range events {
+		if ev.Kind == engine.HostSlow || ev.Kind == engine.HostNormal {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// applyLiveEvent maps one engine failure event onto the live runtime. Crash
+// events fan out per replica (the live runtime has no host-crash
+// abstraction; a per-replica down counter keeps overlapping host and
+// replica failures from recovering a replica early); link events translate
+// directly onto the injected NetFault transport — engine.CtrlHost and
+// live.ControllerHost share the -1 sentinel.
+func applyLiveEvent(rt *live.Runtime, net *live.NetFault, sys *System, peID []core.ComponentID, ev engine.FailureEvent, down map[[2]int]int) {
 	bump := func(pe, k, delta int) {
 		key := [2]int{pe, k}
 		was := down[key]
@@ -256,5 +286,9 @@ func applyLiveEvent(rt *live.Runtime, sys *System, peID []core.ComponentID, ev e
 		for _, pr := range sys.Asg.ReplicasOn(ev.Host) {
 			bump(pr[0], pr[1], -1)
 		}
+	case engine.LinkDown:
+		net.Cut(ev.Host, ev.HostB)
+	case engine.LinkUp:
+		net.Heal(ev.Host, ev.HostB)
 	}
 }

@@ -89,6 +89,49 @@ func Registry() []Invariant {
 			},
 		},
 		{
+			Name: "no-split-brain",
+			Doc:  "a probe never reports a primary that is dead, inactive, on a down host, or cut from the controller",
+			Check: func(r *Result) error {
+				for _, p := range r.Probes {
+					byKey := make(map[[2]int]engine.ReplicaProbe, len(p.Replicas))
+					for _, rp := range p.Replicas {
+						byKey[[2]int{rp.PE, rp.Replica}] = rp
+					}
+					for pe, prim := range p.Primary {
+						if prim < 0 {
+							continue
+						}
+						rp, ok := byKey[[2]int{pe, prim}]
+						if !ok {
+							return fmt.Errorf("t=%.1f: PE %d primary %d has no replica probe", p.Time, pe, prim)
+						}
+						if !rp.Alive || !rp.Active || !rp.HostUp || !rp.CtrlReachable {
+							return fmt.Errorf("t=%.1f: PE %d primary %d ineligible (alive=%v active=%v hostUp=%v ctrl=%v)",
+								p.Time, pe, prim, rp.Alive, rp.Active, rp.HostUp, rp.CtrlReachable)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "re-replication",
+			Doc:  "after the last failure clears, every replica is alive on an up, controller-reachable host",
+			Check: func(r *Result) error {
+				last, err := finalProbe(r)
+				if err != nil {
+					return err
+				}
+				for _, rp := range last.Replicas {
+					if !rp.Alive || !rp.HostUp || !rp.CtrlReachable {
+						return fmt.Errorf("replica (%d,%d) not restored at quiescence (alive=%v hostUp=%v ctrl=%v)",
+							rp.PE, rp.Replica, rp.Alive, rp.HostUp, rp.CtrlReachable)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name: "queue-bounds",
 			Doc:  "no input queue ever exceeds its configured capacity",
 			Check: func(r *Result) error {
@@ -190,7 +233,7 @@ func finalProbe(r *Result) (engine.Probe, error) {
 func eligibleByPE(p engine.Probe) map[int][]int {
 	out := make(map[int][]int)
 	for _, rp := range p.Replicas {
-		if rp.Alive && rp.Active && rp.HostUp {
+		if rp.Alive && rp.Active && rp.HostUp && rp.CtrlReachable {
 			out[rp.PE] = append(out[rp.PE], rp.Replica)
 		}
 	}

@@ -77,11 +77,18 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 	case Mixed:
 		sd.hostCrashes(sc, sys, rng, 1, winLo, winHi)
 		sd.replicaChurn(sc, sys, rng, sc.Faults-1, winLo, winHi)
+	case Partition:
+		sd.partitions(sc, sys, rng, sc.Faults, winLo, winHi)
+	case GraySlow:
+		sd.graySlowdowns(sc, sys, rng, sc.Faults, winLo, winHi)
 	}
 	sort.SliceStable(sd.Events, func(a, b int) bool { return sd.Events[a].Time < sd.Events[b].Time })
 	for _, ev := range sd.Events {
-		if (ev.Kind == engine.ReplicaUp || ev.Kind == engine.HostUp) && ev.Time > sd.LastClear {
-			sd.LastClear = ev.Time
+		switch ev.Kind {
+		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal:
+			if ev.Time > sd.LastClear {
+				sd.LastClear = ev.Time
+			}
 		}
 	}
 	sd.WithinModel = withinPessimisticModel(sd.Events, sys.Asg)
@@ -151,11 +158,55 @@ func (sd *Schedule) replicaChurn(sc Scenario, sys *System, rng *rand.Rand, n int
 	}
 }
 
+// partitions schedules n link cut/heal pairs. Roughly half partition a host
+// from the controller side (its replicas lose elections and the source feed
+// while staying alive); the rest cut a host pair, starving cross-host
+// routes.
+func (sd *Schedule) partitions(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	for i := 0; i < n; i++ {
+		dur := 5 + rng.Float64()*10
+		at := fitDowntime(rng, lo, hi, &dur)
+		a := rng.Intn(sys.Asg.NumHosts)
+		b := engine.CtrlHost
+		if sys.Asg.NumHosts > 1 && rng.Float64() < 0.5 {
+			b = rng.Intn(sys.Asg.NumHosts - 1)
+			if b >= a {
+				b++
+			}
+		}
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.LinkDown, Host: a, HostB: b},
+			engine.FailureEvent{Time: at + dur, Kind: engine.LinkUp, Host: a, HostB: b},
+		)
+	}
+}
+
+// graySlowdowns schedules n gray-failure windows: a host drops to a random
+// fraction of its CPU capacity, then recovers full speed.
+func (sd *Schedule) graySlowdowns(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	for i := 0; i < n; i++ {
+		dur := 8 + rng.Float64()*12
+		at := fitDowntime(rng, lo, hi, &dur)
+		host := rng.Intn(sys.Asg.NumHosts)
+		factor := 0.25 + rng.Float64()*0.5
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.HostSlow, Host: host, Factor: factor},
+			engine.FailureEvent{Time: at + dur, Kind: engine.HostNormal, Host: host},
+		)
+	}
+}
+
 // withinPessimisticModel replays the failure timeline and reports whether
-// every PE keeps at least one alive replica on an up host at all times —
-// the physical precondition for the pessimistic-model IC bound to apply.
+// every PE keeps at least one alive replica on an up, controller-reachable
+// host at all times — the physical precondition for the pessimistic-model
+// IC bound to apply. Host↔host cuts do not break coverage: the processing
+// they starve the primary of is counted in PartitionLostProcessing, and the
+// measured IC is corrected by it before the bound is checked. Gray
+// slowdowns put the schedule outside the model outright: a degraded-but-
+// alive host is not a crash-stop failure, so the bound makes no promise.
 func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) bool {
 	hostUp := make([]bool, asg.NumHosts)
+	ctrlCut := make([]bool, asg.NumHosts)
 	for h := range hostUp {
 		hostUp[h] = true
 	}
@@ -168,7 +219,7 @@ func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) 
 	}
 	covered := func(pe int) bool {
 		for k := 0; k < asg.K; k++ {
-			if alive[pe][k] && hostUp[asg.HostOf(pe, k)] {
+			if h := asg.HostOf(pe, k); alive[pe][k] && hostUp[h] && !ctrlCut[h] {
 				return true
 			}
 		}
@@ -184,6 +235,16 @@ func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) 
 			hostUp[ev.Host] = false
 		case engine.HostUp:
 			hostUp[ev.Host] = true
+		case engine.HostSlow:
+			return false
+		case engine.LinkDown:
+			if ev.HostB == engine.CtrlHost {
+				ctrlCut[ev.Host] = true
+			}
+		case engine.LinkUp:
+			if ev.HostB == engine.CtrlHost {
+				ctrlCut[ev.Host] = false
+			}
 		}
 		for pe := range alive {
 			if !covered(pe) {

@@ -6,20 +6,49 @@ import (
 	"sync/atomic"
 )
 
+// Mode selects what a sweep does with each scenario.
+type Mode int
+
+const (
+	// ModeInvariants runs the scenario on the discrete-event engine and
+	// applies the invariant registry.
+	ModeInvariants Mode = iota
+	// ModeDiff runs the scenario differentially on the engine and the live
+	// runtime and compares sink deliveries.
+	ModeDiff
+	// ModeSupervised replays the scenario's faults against the supervised
+	// live runtime, withholding scheduled recoveries, and checks that the
+	// supervisor restores full replication without split-brain.
+	ModeSupervised
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeDiff:
+		return "diff"
+	case ModeSupervised:
+		return "supervised"
+	default:
+		return "invariants"
+	}
+}
+
 // SweepRun is the outcome of one scenario within a sweep. Exactly one of
 // the mode-specific fields is populated: Result/Violations for engine
-// runs, Diff for differential runs; Err reports a run that failed to
-// execute at all.
+// runs, Diff for differential runs, Supervised for supervised-recovery
+// runs; Err reports a run that failed to execute at all.
 type SweepRun struct {
 	Scenario   Scenario
 	Result     *Result
 	Violations []Violation
 	Diff       *DiffResult
+	Supervised *SupervisedResult
 	Err        error
 }
 
-// Failed reports whether the run violated an invariant, diverged, or
-// errored out.
+// Failed reports whether the run violated an invariant, diverged, failed to
+// recover, or errored out.
 func (r *SweepRun) Failed() bool {
 	if r.Err != nil {
 		return true
@@ -27,16 +56,17 @@ func (r *SweepRun) Failed() bool {
 	if r.Diff != nil {
 		return r.Diff.Err() != nil
 	}
+	if r.Supervised != nil {
+		return r.Supervised.Err() != nil
+	}
 	return len(r.Violations) > 0
 }
 
 // Sweep executes every scenario across a bounded worker pool and returns
-// one SweepRun per scenario, in input order. Every chaos run is a pure
-// function of its scenario, so the outcome is deeply equal for every
-// parallelism setting (≤ 0 uses runtime.NumCPU()). With diff set, each
-// scenario runs differentially on the engine and the live runtime instead
-// of through the invariant checker.
-func Sweep(scs []Scenario, parallelism int, diff bool) []SweepRun {
+// one SweepRun per scenario, in input order. Every engine chaos run is a
+// pure function of its scenario, so ModeInvariants outcomes are deeply
+// equal for every parallelism setting (≤ 0 uses runtime.NumCPU()).
+func Sweep(scs []Scenario, parallelism int, mode Mode) []SweepRun {
 	out := make([]SweepRun, len(scs))
 	workers := parallelism
 	if workers <= 0 {
@@ -57,9 +87,12 @@ func Sweep(scs []Scenario, parallelism int, diff bool) []SweepRun {
 					return
 				}
 				run := SweepRun{Scenario: scs[j]}
-				if diff {
+				switch mode {
+				case ModeDiff:
 					run.Diff, run.Err = Diff(scs[j])
-				} else {
+				case ModeSupervised:
+					run.Supervised, run.Err = Supervised(scs[j])
+				default:
 					run.Result, run.Violations, run.Err = RunAndCheck(scs[j])
 				}
 				out[j] = run

@@ -24,10 +24,10 @@ func sweepScenarios(runs int) []Scenario {
 // violations) to the single-worker sweep, in the same order.
 func TestSweepParallelMatchesSerial(t *testing.T) {
 	scs := sweepScenarios(3)
-	serial := Sweep(scs, 1, false)
+	serial := Sweep(scs, 1, ModeInvariants)
 	// A floor of 8 workers keeps the pool genuinely concurrent on small CI
 	// machines; parallelism beyond NumCPU still interleaves goroutines.
-	parallel := Sweep(scs, max(8, runtime.NumCPU()), false)
+	parallel := Sweep(scs, max(8, runtime.NumCPU()), ModeInvariants)
 	if len(serial) != len(scs) || len(parallel) != len(scs) {
 		t.Fatalf("sweep sizes %d/%d, want %d", len(serial), len(parallel), len(scs))
 	}
@@ -51,7 +51,7 @@ func TestSweepDiffMode(t *testing.T) {
 		{Seed: 2, Class: ReplicaChurn, Duration: 60},
 		{Seed: 3, Class: LoadSpike, Duration: 60},
 	}
-	runs := Sweep(scs, 0, true)
+	runs := Sweep(scs, 0, ModeDiff)
 	for i, r := range runs {
 		if r.Err != nil {
 			t.Fatalf("diff run %d: %v", i, r.Err)
@@ -61,6 +61,27 @@ func TestSweepDiffMode(t *testing.T) {
 		}
 		if r.Failed() {
 			t.Errorf("diff run %d diverged: %v", i, r.Diff.Err())
+		}
+	}
+}
+
+// TestSweepSupervisedMode checks the supervised sweep executes every
+// scenario and each run records a converged supervised result.
+func TestSweepSupervisedMode(t *testing.T) {
+	scs := []Scenario{
+		{Seed: 1, Class: HostCrash, Duration: 60},
+		{Seed: 2, Class: CorrelatedCrash, Duration: 60},
+	}
+	runs := Sweep(scs, 0, ModeSupervised)
+	for i, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("supervised run %d: %v", i, r.Err)
+		}
+		if r.Supervised == nil {
+			t.Fatalf("supervised run %d has no supervised result", i)
+		}
+		if r.Failed() {
+			t.Errorf("supervised run %d did not converge: %v", i, r.Supervised.Err())
 		}
 	}
 }

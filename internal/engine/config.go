@@ -57,6 +57,16 @@ type Config struct {
 	// explicit ReplicaUp events in the failure plan are unaffected.
 	RecoverAfter  float64
 	RestoreCycles float64
+
+	// RouteLoss drops this deterministic fraction of every inter-component
+	// delivery (fluid-model message loss on all routes), counted in
+	// Metrics.RouteLossTotal. Default 0; must stay in [0, 1).
+	RouteLoss float64
+	// RouteDelay adds this many seconds of network latency to every route:
+	// deliveries sit in a per-port delay line, rounded to whole ticks,
+	// before they reach the input queue. Tuples in flight when a replica
+	// crashes are lost with the wire. Default 0.
+	RouteDelay float64
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -96,6 +106,12 @@ func (c Config) validate() error {
 	if c.RecoverAfter < 0 || c.RestoreCycles < 0 {
 		return fmt.Errorf("engine: negative recovery parameters (%v, %v)", c.RecoverAfter, c.RestoreCycles)
 	}
+	if c.RouteLoss < 0 || c.RouteLoss >= 1 {
+		return fmt.Errorf("engine: route loss %v outside [0, 1)", c.RouteLoss)
+	}
+	if c.RouteDelay < 0 {
+		return fmt.Errorf("engine: negative route delay %v", c.RouteDelay)
+	}
 	return nil
 }
 
@@ -112,7 +128,42 @@ const (
 	HostDown
 	// HostUp recovers a host.
 	HostUp
+	// LinkDown partitions the network between two endpoints (Host and
+	// HostB; HostB may be CtrlHost). Tuples routed across the cut link are
+	// dropped and counted in Metrics.PartitionDroppedTotal; a host cut from
+	// CtrlHost stops heartbeating observably, so its replicas lose primary
+	// elections and receive no source input while staying alive.
+	LinkDown
+	// LinkUp heals a partition.
+	LinkUp
+	// HostSlow degrades a host to Factor of its CPU capacity without
+	// crashing it — the gray-failure mode where a node still heartbeats but
+	// falls behind, so queues overflow instead of vanishing.
+	HostSlow
+	// HostNormal restores a slowed host to full capacity.
+	HostNormal
+
+	// NumFailureKinds bounds the FailureKind enumeration (for per-kind
+	// counter arrays).
+	NumFailureKinds
 )
+
+// CtrlHost addresses the controller/outside-world endpoint in link events:
+// the side hosting the sources, sinks, Rate Monitor and HAController.
+const CtrlHost = -1
+
+var kindNames = [NumFailureKinds]string{
+	"replica-down", "replica-up", "host-down", "host-up",
+	"link-down", "link-up", "host-slow", "host-normal",
+}
+
+// String names a failure kind for error messages and reports.
+func (k FailureKind) String() string {
+	if k >= 0 && k < NumFailureKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
 
 // FailureEvent is one scheduled failure-plan entry.
 type FailureEvent struct {
@@ -120,8 +171,14 @@ type FailureEvent struct {
 	Kind FailureKind
 	// PE and Replica address a replica for ReplicaDown/ReplicaUp.
 	PE, Replica int
-	// Host addresses a host for HostDown/HostUp.
+	// Host addresses a host for HostDown/HostUp/HostSlow/HostNormal, and
+	// the first endpoint for LinkDown/LinkUp.
 	Host int
+	// HostB is the second endpoint for LinkDown/LinkUp; CtrlHost partitions
+	// Host from the controller side (sources, sinks, election).
+	HostB int
+	// Factor is the capacity multiplier for HostSlow, in (0, 1).
+	Factor float64
 }
 
 // PastEventError reports a failure event scheduled before the simulation

@@ -28,6 +28,12 @@ type port struct {
 	enqueued float64
 	done     float64
 	cleared  float64
+
+	// delay is the route-latency ring (Config.RouteDelay): deliveries wait
+	// here for delaySlots ticks before entering the queue. Nil when the
+	// delay knob is off. Amounts in the ring are on the wire, not in the
+	// conservation ledger; a crash loses them with the link.
+	delay []float64
 }
 
 // enqueue adds tuples, dropping the overflow beyond capacity.
@@ -73,6 +79,9 @@ func (r *replica) clearQueues() {
 type host struct {
 	capacity float64
 	up       bool
+	// slow is the gray-failure capacity multiplier: 1 at full speed,
+	// Factor in (0, 1) while a HostSlow event is in force.
+	slow float64
 }
 
 // source produces tuples according to the input trace.
@@ -87,6 +96,11 @@ type source struct {
 type routeTo struct {
 	pe   int // dense PE index
 	port int // port index within the replica
+	// weight is the PE-level processing one tuple on this route causes
+	// downstream (1 at the destination plus its selectivity-scaled
+	// descendants) — the IC correction applied when a partition drops
+	// primary-destined tuples.
+	weight float64
 }
 
 // runnable is one entry of processHost's water-filling work list.
@@ -131,6 +145,19 @@ type Simulation struct {
 
 	lookup     *rtree.Tree
 	appliedCfg int
+
+	// links is the flattened (NumHosts+1)² partition matrix; index ctrl
+	// (= NumHosts) is the controller side. anyLinks turns the per-delivery
+	// link check on only once a Link event is injected, keeping the
+	// failure-free hot path a single branch.
+	links    []bool
+	ctrl     int
+	anyLinks bool
+	// keep is 1 − Config.RouteLoss, hoisted for the delivery loop.
+	keep float64
+	// delaySlots/delayLen/delayPos drive the per-port route-delay rings:
+	// writes land delaySlots ticks ahead of the read cursor.
+	delaySlots, delayLen, delayPos int
 
 	failures []FailureEvent
 	ran      bool
@@ -186,7 +213,17 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 	}
 	s.hosts = make([]*host, asg.NumHosts)
 	for h := range s.hosts {
-		s.hosts[h] = &host{capacity: d.HostCapacity, up: true}
+		s.hosts[h] = &host{capacity: d.HostCapacity, up: true, slow: 1}
+	}
+	s.ctrl = asg.NumHosts
+	s.links = make([]bool, (asg.NumHosts+1)*(asg.NumHosts+1))
+	s.keep = 1 - cfg.RouteLoss
+	if cfg.RouteDelay > 0 {
+		s.delaySlots = int(cfg.RouteDelay/cfg.Tick + 0.5)
+		if s.delaySlots < 1 {
+			s.delaySlots = 1
+		}
+		s.delayLen = s.delaySlots + 1
 	}
 	for _, id := range app.Sources() {
 		s.srcs = append(s.srcs, &source{comp: id, srcIdx: app.SourceIndex(id)})
@@ -200,6 +237,9 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 			rep := &replica{pe: pe, idx: k, host: asg.HostOf(pe, k), alive: true, ports: make([]port, len(in))}
 			for pi, e := range in {
 				rep.ports[pi] = port{from: e.From, sel: e.Selectivity, cost: e.CostCycles, cap: s.portCapacity(e.From)}
+				if s.delayLen > 0 {
+					rep.ports[pi].delay = make([]float64, s.delayLen)
+				}
 			}
 			s.reps[pe][k] = rep
 		}
@@ -207,6 +247,7 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 			s.routes[e.From] = append(s.routes[e.From], routeTo{pe: pe, port: pi})
 		}
 	}
+	s.weighRoutes()
 	for _, e := range app.Edges() {
 		if app.Component(e.To).Kind == core.KindSink {
 			s.sinkEdges[e.From]++
@@ -256,6 +297,72 @@ func (s *Simulation) portCapacity(from core.ComponentID) float64 {
 	return cap
 }
 
+// weighRoutes computes every route's downstream processing weight: one
+// tuple of component comp delivered to PE pe causes 1 processing there plus
+// sel(port)·downWeight(pe) processings at pe's descendants. The application
+// graph is a DAG, so a memoised walk over the dense component space
+// suffices.
+func (s *Simulation) weighRoutes() {
+	app := s.d.App
+	peComp := app.PEs()
+	memo := make([]float64, app.NumComponents())
+	for i := range memo {
+		memo[i] = -1
+	}
+	var downWeight func(comp core.ComponentID) float64
+	downWeight = func(comp core.ComponentID) float64 {
+		if memo[comp] >= 0 {
+			return memo[comp]
+		}
+		memo[comp] = 0 // DAG: no cycles, this only guards re-entry on shared fan-ins
+		var w float64
+		for _, rt := range s.routes[comp] {
+			sel := s.reps[rt.pe][0].ports[rt.port].sel
+			w += 1 + sel*downWeight(peComp[rt.pe])
+		}
+		memo[comp] = w
+		return w
+	}
+	for comp := range s.routes {
+		for i, rt := range s.routes[comp] {
+			sel := s.reps[rt.pe][0].ports[rt.port].sel
+			s.routes[comp][i].weight = 1 + sel*downWeight(peComp[rt.pe])
+		}
+	}
+}
+
+// linkCut reports whether the link between two endpoints is partitioned;
+// endpoints are host indices or s.ctrl/CtrlHost for the controller side.
+func (s *Simulation) linkCut(a, b int) bool {
+	if a == CtrlHost {
+		a = s.ctrl
+	}
+	if b == CtrlHost {
+		b = s.ctrl
+	}
+	return s.links[a*(s.ctrl+1)+b]
+}
+
+// setLink cuts or heals a link, symmetrically.
+func (s *Simulation) setLink(a, b int, down bool) {
+	if a == CtrlHost {
+		a = s.ctrl
+	}
+	if b == CtrlHost {
+		b = s.ctrl
+	}
+	s.links[a*(s.ctrl+1)+b] = down
+	s.links[b*(s.ctrl+1)+a] = down
+}
+
+// hostSeesCtrl reports whether a host can reach the controller side — the
+// precondition for its replicas' heartbeats to count in elections and for
+// source/sink traffic to flow. The anyLinks guard keeps this one branch on
+// partition-free runs.
+func (s *Simulation) hostSeesCtrl(h int) bool {
+	return !s.anyLinks || !s.links[h*(s.ctrl+1)+s.ctrl]
+}
+
 // Inject adds a failure event to the plan. It must be called before Run.
 // Events scheduled before the simulation clock (negative times, since the
 // clock starts at 0) are rejected with a *PastEventError.
@@ -271,10 +378,28 @@ func (s *Simulation) Inject(ev FailureEvent) error {
 		if ev.PE < 0 || ev.PE >= len(s.reps) || ev.Replica < 0 || ev.Replica >= s.asg.K {
 			return fmt.Errorf("engine: failure addresses unknown replica (%d, %d)", ev.PE, ev.Replica)
 		}
-	case HostDown, HostUp:
+	case HostDown, HostUp, HostNormal:
 		if ev.Host < 0 || ev.Host >= len(s.hosts) {
 			return fmt.Errorf("engine: failure addresses unknown host %d", ev.Host)
 		}
+	case HostSlow:
+		if ev.Host < 0 || ev.Host >= len(s.hosts) {
+			return fmt.Errorf("engine: failure addresses unknown host %d", ev.Host)
+		}
+		if ev.Factor <= 0 || ev.Factor >= 1 {
+			return fmt.Errorf("engine: %v factor %v outside (0, 1)", ev.Kind, ev.Factor)
+		}
+	case LinkDown, LinkUp:
+		if ev.Host < 0 || ev.Host >= len(s.hosts) {
+			return fmt.Errorf("engine: link event addresses unknown host %d", ev.Host)
+		}
+		if ev.HostB != CtrlHost && (ev.HostB < 0 || ev.HostB >= len(s.hosts)) {
+			return fmt.Errorf("engine: link event addresses unknown host %d", ev.HostB)
+		}
+		if ev.HostB == ev.Host {
+			return fmt.Errorf("engine: link event connects host %d to itself", ev.Host)
+		}
+		s.anyLinks = true
 	default:
 		return fmt.Errorf("engine: unknown failure kind %d", ev.Kind)
 	}
@@ -359,6 +484,33 @@ func (s *Simulation) doTick(dt float64) {
 	now := s.kern.Now()
 	cfg := s.tr.ConfigAt(now)
 
+	// Route-delay rings: advance the read cursor and land the deliveries
+	// that have served their latency. Amounts arriving at a dead or idle
+	// replica were lost on the wire: they never entered the conservation
+	// ledger and are discarded silently.
+	if s.delayLen > 0 {
+		s.delayPos = (s.delayPos + 1) % s.delayLen
+		for pe := range s.reps {
+			for _, rep := range s.reps[pe] {
+				for i := range rep.ports {
+					p := &rep.ports[i]
+					amt := p.delay[s.delayPos]
+					if amt == 0 {
+						continue
+					}
+					p.delay[s.delayPos] = 0
+					if !rep.alive || !rep.active || !s.hosts[rep.host].up {
+						continue
+					}
+					if dropped := p.enqueue(amt); dropped > 0 {
+						s.m.DroppedTotal += dropped
+						s.m.PerPEDropped[pe] += dropped
+					}
+				}
+			}
+		}
+	}
+
 	// Source emission with optional glitch noise. The configuration's rate
 	// vector is hoisted out of the source loop.
 	rates := s.d.Configs[cfg].Rates
@@ -373,7 +525,7 @@ func (s *Simulation) doTick(dt float64) {
 		src.monitorWindow += n
 		s.emittedSample += n
 		s.m.EmittedTotal += n
-		s.deliver(src.comp, n)
+		s.deliver(src.comp, n, CtrlHost)
 	}
 
 	// CPU allocation and processing, host by host.
@@ -396,7 +548,7 @@ func (s *Simulation) doTick(dt float64) {
 		s.m.ProcessedTotal += prim.processedTick
 		s.m.PerPEProcessed[pe] += prim.processedTick
 		if prim.producedTick > 0 {
-			s.deliver(id, prim.producedTick)
+			s.deliver(id, prim.producedTick, prim.host)
 			if n := s.sinkEdges[id]; n > 0 {
 				out := prim.producedTick * float64(n)
 				s.m.SinkTotal += out
@@ -412,15 +564,36 @@ func (s *Simulation) doTick(dt float64) {
 	}
 }
 
-// deliver enqueues n tuples from component comp into every live, active
-// replica of each successor PE, counting overflow drops per PE.
-func (s *Simulation) deliver(comp core.ComponentID, n float64) {
+// deliver enqueues n tuples from component comp (sending from fromHost;
+// CtrlHost for sources) into every live, active replica of each successor
+// PE, counting overflow drops per PE. Copies crossing a cut link are
+// dropped and counted; when the drop starves the PE's current primary the
+// downstream processing it would have caused is accumulated so the IC
+// bound can be checked net of partitions. The RouteLoss and RouteDelay
+// knobs apply per delivered copy.
+func (s *Simulation) deliver(comp core.ComponentID, n float64, fromHost int) {
 	for _, rt := range s.routes[comp] {
 		for _, rep := range s.reps[rt.pe] {
 			if !rep.alive || !rep.active || !s.hosts[rep.host].up {
 				continue
 			}
-			if dropped := rep.ports[rt.port].enqueue(n); dropped > 0 {
+			if s.anyLinks && s.linkCut(fromHost, rep.host) {
+				s.m.PartitionDroppedTotal += n
+				if s.primary(rt.pe) == rep {
+					s.m.PartitionLostProcessing += n * rt.weight
+				}
+				continue
+			}
+			amt := n
+			if s.keep != 1 {
+				amt = n * s.keep
+				s.m.RouteLossTotal += n - amt
+			}
+			if s.delayLen > 0 {
+				rep.ports[rt.port].delay[(s.delayPos+s.delaySlots)%s.delayLen] += amt
+				continue
+			}
+			if dropped := rep.ports[rt.port].enqueue(amt); dropped > 0 {
 				s.m.DroppedTotal += dropped
 				s.m.PerPEDropped[rt.pe] += dropped
 			}
@@ -455,7 +628,7 @@ func (s *Simulation) processHost(h int, dt float64) {
 	// preserves exactly the (demand, pe, idx) ordering sort.Slice with the
 	// explicit tie-break used to produce — without its closure allocation.
 	sortRunnables(run)
-	budget := s.hosts[h].capacity * dt
+	budget := s.hosts[h].capacity * s.hosts[h].slow * dt
 	for i := range run {
 		share := budget / float64(len(run)-i)
 		alloc := run[i].demand
@@ -533,10 +706,12 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
 }
 
 // primary returns the PE's current primary replica: the lowest-indexed one
-// that is alive, active and on a live host, or nil when the PE is dark.
+// that is alive, active, on a live host, and whose host can reach the
+// controller side (a partitioned-but-alive replica stops heartbeating
+// observably and loses the election). Nil when the PE is dark.
 func (s *Simulation) primary(pe int) *replica {
 	for _, rep := range s.reps[pe] {
-		if rep.alive && rep.active && s.hosts[rep.host].up {
+		if rep.alive && rep.active && s.hosts[rep.host].up && s.hostSeesCtrl(rep.host) {
 			return rep
 		}
 	}
@@ -600,6 +775,9 @@ func (s *Simulation) applyConfig(cfg int) {
 
 // applyFailure executes one failure-plan event.
 func (s *Simulation) applyFailure(ev FailureEvent) {
+	if ev.Kind >= 0 && ev.Kind < NumFailureKinds {
+		s.m.EventsByKind[ev.Kind]++
+	}
 	switch ev.Kind {
 	case ReplicaDown:
 		rep := s.reps[ev.PE][ev.Replica]
@@ -623,6 +801,14 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 		}
 	case HostUp:
 		s.hosts[ev.Host].up = true
+	case LinkDown:
+		s.setLink(ev.Host, ev.HostB, true)
+	case LinkUp:
+		s.setLink(ev.Host, ev.HostB, false)
+	case HostSlow:
+		s.hosts[ev.Host].slow = ev.Factor
+	case HostNormal:
+		s.hosts[ev.Host].slow = 1
 	}
 }
 

@@ -253,7 +253,11 @@ func TestHostCrashRecovery(t *testing.T) {
 	}
 	// Crash host 0 (replica 0 of both PEs) at t=40 for 16 s: replication
 	// masks the failure, output continues via host 1.
-	if err := sim.InjectAll(HostCrashPlan(0, 40, 16)); err != nil {
+	plan, err := HostCrashPlan(asg.NumHosts, 0, 40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
 		t.Fatal(err)
 	}
 	m, err := sim.Run()
@@ -269,7 +273,7 @@ func TestHostCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sim2.InjectAll(HostCrashPlan(0, 40, 16)); err != nil {
+	if err := sim2.InjectAll(plan); err != nil {
 		t.Fatal(err)
 	}
 	m2, err := sim2.Run()

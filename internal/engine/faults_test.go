@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// TestPartitionHostToHost cuts the link between the two pipeline hosts: the
+// primary chain lives entirely on host 0, so only secondary copies cross
+// the cut — output is unaffected while the drops are still counted.
+func TestPartitionHostToHost(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PartitionPlan(asg.NumHosts, 0, 1, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PartitionDroppedTotal == 0 {
+		t.Error("host↔host cut dropped nothing")
+	}
+	// Only PE1-primary → PE2-replica-1 copies cross the cut (the source
+	// feeds both hosts from the controller side, which stays connected):
+	// ~20 s × 4 t/s.
+	if m.PartitionDroppedTotal < 70 || m.PartitionDroppedTotal > 90 {
+		t.Errorf("PartitionDroppedTotal = %v, want ≈ 80", m.PartitionDroppedTotal)
+	}
+	// None of the dropped copies starved a primary.
+	if m.PartitionLostProcessing != 0 {
+		t.Errorf("PartitionLostProcessing = %v, want 0 (secondaries only)", m.PartitionLostProcessing)
+	}
+	during := m.PeakOutputRate(func(tm float64) bool { return tm > 32 && tm < 49 })
+	if during < 3.5 {
+		t.Errorf("output rate during host↔host cut = %v, want ≈ 4", during)
+	}
+	if m.EventsByKind[LinkDown] != 1 || m.EventsByKind[LinkUp] != 1 {
+		t.Errorf("EventsByKind link counters = %d/%d, want 1/1",
+			m.EventsByKind[LinkDown], m.EventsByKind[LinkUp])
+	}
+}
+
+// TestPartitionControllerCut cuts host 0 from the controller: its replicas
+// stay alive but lose primary elections, so output continues through host 1
+// and the primaries return to replica 0 after the heal.
+func TestPartitionControllerCut(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []Probe
+	if err := sim.OnProbe(1, func(p Probe) { probes = append(probes, p) }); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PartitionPlan(asg.NumHosts, 0, CtrlHost, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := m.PeakOutputRate(func(tm float64) bool { return tm > 32 && tm < 49 })
+	if during < 3.5 {
+		t.Errorf("output rate during controller cut = %v, want ≈ 4 via host 1", during)
+	}
+	sawFailover, sawReturn := false, false
+	for _, p := range probes {
+		switch {
+		case p.Time > 32 && p.Time < 49:
+			for pe, prim := range p.Primary {
+				if prim != 1 {
+					t.Fatalf("t=%.0f: PE %d primary = %d during controller cut, want 1", p.Time, pe, prim)
+				}
+			}
+			sawFailover = true
+			for _, rp := range p.Replicas {
+				if rp.Replica == 0 && rp.CtrlReachable {
+					t.Fatalf("t=%.0f: replica (%d,0) reports controller reachable during cut", p.Time, rp.PE)
+				}
+				if !rp.Alive || !rp.HostUp {
+					t.Fatalf("t=%.0f: replica (%d,%d) not alive/up — a cut is not a crash", p.Time, rp.PE, rp.Replica)
+				}
+			}
+		case p.Time > 55:
+			for pe, prim := range p.Primary {
+				if prim != 0 {
+					t.Fatalf("t=%.0f: PE %d primary = %d after heal, want 0", p.Time, pe, prim)
+				}
+			}
+			sawReturn = true
+		}
+	}
+	if !sawFailover || !sawReturn {
+		t.Fatalf("probe coverage: failover=%v return=%v", sawFailover, sawReturn)
+	}
+}
+
+// TestGraySlowdownBacklogAndRecovery degrades host 0 below the pipeline's
+// CPU demand: queues back up and output sags without any crash, then full
+// speed returns and the backlog drains.
+func TestGraySlowdownBacklogAndRecovery(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	// NR strategy: only host 0 works, so its slowdown is not masked.
+	sim, err := New(d, asg, nrStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand at Low is 2 PEs × 4 t/s × 1e8 = 8e8 cycles/s; factor 0.5
+	// leaves 5e8 — a gray host at ~60 % of required speed.
+	plan, err := GraySlowdownPlan(asg.NumHosts, 0, 0.5, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := m.PeakOutputRate(func(tm float64) bool { return tm > 40 && tm < 59 })
+	if during > 3.2 {
+		t.Errorf("output rate during gray slowdown = %v, want well below 4", during)
+	}
+	after := m.PeakOutputRate(func(tm float64) bool { return tm > 70 && tm < 115 })
+	if after < 3.9 {
+		t.Errorf("output rate after recovery = %v, want ≥ 4 (backlog draining)", after)
+	}
+	if m.EventsByKind[HostSlow] != 1 || m.EventsByKind[HostNormal] != 1 {
+		t.Errorf("EventsByKind slow counters = %d/%d, want 1/1",
+			m.EventsByKind[HostSlow], m.EventsByKind[HostNormal])
+	}
+}
+
+// TestOverlappingHostCrashAndGlitch drives a glitchy trace through an
+// adaptation strategy while a host crashes mid-peak — the overlap of two
+// fault mechanisms — and demands clean recovery after both clear.
+func TestOverlappingHostCrashAndGlitch(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{GlitchAmplitude: 0.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := HostCrashPlan(asg.NumHosts, 0, 40, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := m.PeakOutputRate(func(tm float64) bool { return tm > 42 && tm < 55 })
+	if during < 3.0 {
+		t.Errorf("output during crash+glitch overlap = %v, want masked ≈ 4", during)
+	}
+	after := m.PeakOutputRate(func(tm float64) bool { return tm > 60 && tm < 115 })
+	if after < 3.5 {
+		t.Errorf("output after overlap cleared = %v, want ≈ 4", after)
+	}
+}
+
+// TestRouteLossThinsEveryHop applies 25 % per-route loss: each PE→PE hop
+// keeps three quarters, so the two-hop pipeline sinks ≈ 400 × 0.75².
+func TestRouteLossThinsEveryHop(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{RouteLoss: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400 * 0.75 * 0.75
+	if math.Abs(m.SinkTotal-want) > 6 {
+		t.Errorf("SinkTotal = %v, want ≈ %v under 25%% route loss", m.SinkTotal, want)
+	}
+	// Lost on the wire: 25 % of emissions plus 25 % of PE1's output.
+	wantLoss := 400*0.25 + 400*0.75*0.25
+	if math.Abs(m.RouteLossTotal-wantLoss) > 6 {
+		t.Errorf("RouteLossTotal = %v, want ≈ %v", m.RouteLossTotal, wantLoss)
+	}
+	if m.DroppedTotal != 0 {
+		t.Errorf("DroppedTotal = %v, want 0 (loss is not overflow)", m.DroppedTotal)
+	}
+}
+
+// TestRouteDelayPreservesThroughput adds per-hop delivery latency: steady
+// throughput is unchanged apart from a longer in-flight tail, and nothing
+// is dropped or lost.
+func TestRouteDelayPreservesThroughput(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{RouteDelay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two delayed hops hold ≈ 2 × 2 s × 4 t/s in flight at the end.
+	if m.SinkTotal < 375 || m.SinkTotal > 400.0001 {
+		t.Errorf("SinkTotal = %v, want ≈ 400 − in-flight tail", m.SinkTotal)
+	}
+	if m.DroppedTotal != 0 || m.RouteLossTotal != 0 {
+		t.Errorf("dropped %v / route-lost %v under pure delay, want 0/0",
+			m.DroppedTotal, m.RouteLossTotal)
+	}
+	steady := m.PeakOutputRate(func(tm float64) bool { return tm > 20 && tm < 95 })
+	if steady < 3.9 {
+		t.Errorf("steady output rate = %v under delay, want ≈ 4", steady)
+	}
+}
+
+// TestPlanValidation exercises every plan builder's error paths.
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"crash negative at", func() error { _, err := HostCrashPlan(3, 0, -1, 5); return err }},
+		{"crash negative downtime", func() error { _, err := HostCrashPlan(3, 0, 1, -5); return err }},
+		{"crash host out of range", func() error { _, err := HostCrashPlan(3, 3, 1, 5); return err }},
+		{"crash negative host", func() error { _, err := HostCrashPlan(3, -1, 1, 5); return err }},
+		{"partition hostA out of range", func() error { _, err := PartitionPlan(3, 5, 0, 1, 5); return err }},
+		{"partition hostB out of range", func() error { _, err := PartitionPlan(3, 0, 7, 1, 5); return err }},
+		{"partition self cut", func() error { _, err := PartitionPlan(3, 1, 1, 1, 5); return err }},
+		{"partition negative duration", func() error { _, err := PartitionPlan(3, 0, 1, 1, -2); return err }},
+		{"correlated empty burst", func() error { _, err := CorrelatedCrashPlan(3, nil, 1, 0, 5); return err }},
+		{"correlated duplicate host", func() error { _, err := CorrelatedCrashPlan(3, []int{0, 0}, 1, 0, 5); return err }},
+		{"correlated host out of range", func() error { _, err := CorrelatedCrashPlan(3, []int{0, 4}, 1, 0, 5); return err }},
+		{"correlated negative stagger", func() error { _, err := CorrelatedCrashPlan(3, []int{0, 1}, 1, -1, 5); return err }},
+		{"gray factor zero", func() error { _, err := GraySlowdownPlan(3, 0, 0, 1, 5); return err }},
+		{"gray factor one", func() error { _, err := GraySlowdownPlan(3, 0, 1, 1, 5); return err }},
+		{"gray host out of range", func() error { _, err := GraySlowdownPlan(3, 9, 0.5, 1, 5); return err }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The happy paths still work, including a controller-side partition.
+	if _, err := PartitionPlan(3, 0, CtrlHost, 1, 5); err != nil {
+		t.Errorf("controller partition rejected: %v", err)
+	}
+	plan, err := CorrelatedCrashPlan(3, []int{0, 2}, 10, 0.5, 5)
+	if err != nil {
+		t.Fatalf("correlated plan rejected: %v", err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("correlated plan has %d events, want 4", len(plan))
+	}
+	if plan[2].Time != 10.5 {
+		t.Errorf("staggered second crash at %v, want 10.5", plan[2].Time)
+	}
+}
+
+// TestInjectValidationExtendedKinds covers the new kinds' error paths.
+func TestInjectValidationExtendedKinds(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	sim, err := New(d, asg, laarStrategy(), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: LinkDown, Host: 0, HostB: 9}); err == nil {
+		t.Error("accepted link cut to unknown host")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: LinkDown, Host: 1, HostB: 1}); err == nil {
+		t.Error("accepted self link cut")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: HostSlow, Host: 0, Factor: 0}); err == nil {
+		t.Error("accepted slow factor 0")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: HostSlow, Host: 0, Factor: 1.5}); err == nil {
+		t.Error("accepted slow factor ≥ 1")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: HostNormal, Host: 4}); err == nil {
+		t.Error("accepted HostNormal on unknown host")
+	}
+	if err := sim.Inject(FailureEvent{Time: 1, Kind: LinkDown, Host: 0, HostB: CtrlHost}); err != nil {
+		t.Errorf("rejected valid controller cut: %v", err)
+	}
+}
+
+// TestConfigValidationRouteKnobs covers the RouteLoss/RouteDelay ranges.
+func TestConfigValidationRouteKnobs(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	if _, err := New(d, asg, laarStrategy(), tr, Config{RouteLoss: 1}); err == nil {
+		t.Error("accepted RouteLoss ≥ 1")
+	}
+	if _, err := New(d, asg, laarStrategy(), tr, Config{RouteLoss: -0.1}); err == nil {
+		t.Error("accepted negative RouteLoss")
+	}
+	if _, err := New(d, asg, laarStrategy(), tr, Config{RouteDelay: -1}); err == nil {
+		t.Error("accepted negative RouteDelay")
+	}
+}

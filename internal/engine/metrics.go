@@ -58,6 +58,19 @@ type Metrics struct {
 	PerPEDropped []float64
 	// ConfigSwitches counts HAController replica-configuration changes.
 	ConfigSwitches int
+	// PartitionDroppedTotal counts tuples dropped at cut links, per
+	// destination replica copy.
+	PartitionDroppedTotal float64
+	// PartitionLostProcessing estimates the PE-level tuple processings lost
+	// to partition drops: every drop destined to a PE's current primary is
+	// weighted by the downstream processing one such tuple would have
+	// caused. Adding it to ProcessedTotal reconstructs the partition-free
+	// processing count, so the IC bound can be checked net of network cuts.
+	PartitionLostProcessing float64
+	// RouteLossTotal counts tuples lost to the Config.RouteLoss knob.
+	RouteLossTotal float64
+	// EventsByKind counts the failure-plan events applied, per kind.
+	EventsByKind [NumFailureKinds]int
 	// Series is the per-second time series.
 	Series []Sample
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"laar/internal/core"
 )
 
@@ -46,13 +48,118 @@ func adversarialSurvivor(r *core.Rates, strat *core.Strategy, pe int) int {
 	return best
 }
 
+// checkPlanWindow validates the shared (at, duration) shape of the timed
+// plan builders.
+func checkPlanWindow(builder string, at, duration float64) error {
+	if at < 0 {
+		return fmt.Errorf("engine: %s: negative start time %v", builder, at)
+	}
+	if duration < 0 {
+		return fmt.Errorf("engine: %s: negative duration %v", builder, duration)
+	}
+	return nil
+}
+
+// checkPlanHost validates a host index against the deployment size.
+func checkPlanHost(builder string, numHosts, hostIdx int) error {
+	if hostIdx < 0 || hostIdx >= numHosts {
+		return fmt.Errorf("engine: %s: host %d out of range [0, %d)", builder, hostIdx, numHosts)
+	}
+	return nil
+}
+
 // HostCrashPlan crashes one host at the given time and recovers it after
 // the given downtime — the single-server crash-with-recovery model of
 // Figure 11 (bottom); the paper uses a 16-second downtime, the time Streams
-// needs to detect the failure and migrate the PEs.
-func HostCrashPlan(hostIdx int, at, downtime float64) []FailureEvent {
+// needs to detect the failure and migrate the PEs. numHosts is the
+// deployment size the plan targets; out-of-range hosts and negative times
+// are rejected here, where the mistake is visible, rather than by InjectAll.
+func HostCrashPlan(numHosts, hostIdx int, at, downtime float64) ([]FailureEvent, error) {
+	if err := checkPlanHost("HostCrashPlan", numHosts, hostIdx); err != nil {
+		return nil, err
+	}
+	if err := checkPlanWindow("HostCrashPlan", at, downtime); err != nil {
+		return nil, err
+	}
 	return []FailureEvent{
 		{Time: at, Kind: HostDown, Host: hostIdx},
 		{Time: at + downtime, Kind: HostUp, Host: hostIdx},
+	}, nil
+}
+
+// PartitionPlan cuts the network link between two endpoints at the given
+// time and heals it after the given duration. hostB may be CtrlHost to
+// partition hostA from the controller side (sources, sinks, election).
+func PartitionPlan(numHosts, hostA, hostB int, at, duration float64) ([]FailureEvent, error) {
+	if err := checkPlanHost("PartitionPlan", numHosts, hostA); err != nil {
+		return nil, err
 	}
+	if hostB != CtrlHost {
+		if err := checkPlanHost("PartitionPlan", numHosts, hostB); err != nil {
+			return nil, err
+		}
+	}
+	if hostA == hostB {
+		return nil, fmt.Errorf("engine: PartitionPlan: host %d partitioned from itself", hostA)
+	}
+	if err := checkPlanWindow("PartitionPlan", at, duration); err != nil {
+		return nil, err
+	}
+	return []FailureEvent{
+		{Time: at, Kind: LinkDown, Host: hostA, HostB: hostB},
+		{Time: at + duration, Kind: LinkUp, Host: hostA, HostB: hostB},
+	}, nil
+}
+
+// CorrelatedCrashPlan crashes a burst of hosts — each stagger seconds after
+// the previous, modelling a rack/correlated outage rather than independent
+// failures — and recovers every host downtime seconds after its own crash.
+// Duplicate host indices are rejected: a doubled crash would silently model
+// a smaller burst.
+func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float64) ([]FailureEvent, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("engine: CorrelatedCrashPlan: empty host burst")
+	}
+	if stagger < 0 {
+		return nil, fmt.Errorf("engine: CorrelatedCrashPlan: negative stagger %v", stagger)
+	}
+	if err := checkPlanWindow("CorrelatedCrashPlan", at, downtime); err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(hosts))
+	plan := make([]FailureEvent, 0, 2*len(hosts))
+	for i, h := range hosts {
+		if err := checkPlanHost("CorrelatedCrashPlan", numHosts, h); err != nil {
+			return nil, err
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("engine: CorrelatedCrashPlan: duplicate host %d", h)
+		}
+		seen[h] = true
+		t := at + float64(i)*stagger
+		plan = append(plan,
+			FailureEvent{Time: t, Kind: HostDown, Host: h},
+			FailureEvent{Time: t + downtime, Kind: HostUp, Host: h})
+	}
+	return plan, nil
+}
+
+// GraySlowdownPlan degrades one host to factor of its CPU capacity at the
+// given time and restores full speed after the given duration — the gray
+// failure where a node still heartbeats but falls behind. factor must lie
+// in (0, 1).
+func GraySlowdownPlan(numHosts, hostIdx int, factor, at, duration float64) ([]FailureEvent, error) {
+	if err := checkPlanHost("GraySlowdownPlan", numHosts, hostIdx); err != nil {
+		return nil, err
+	}
+	if factor <= 0 || factor >= 1 {
+		return nil, fmt.Errorf("engine: GraySlowdownPlan: factor %v outside (0, 1)", factor)
+	}
+	if err := checkPlanWindow("GraySlowdownPlan", at, duration); err != nil {
+		return nil, err
+	}
+	return []FailureEvent{
+		{Time: at, Kind: HostSlow, Host: hostIdx, Factor: factor},
+		{Time: at + duration, Kind: HostNormal, Host: hostIdx},
+	}, nil
 }

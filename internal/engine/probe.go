@@ -11,6 +11,10 @@ type ReplicaProbe struct {
 	// Alive, Active and HostUp report the replica's failure-injection
 	// state, its HAController activation state, and its host's state.
 	Alive, Active, HostUp bool
+	// CtrlReachable reports whether the replica's host can reach the
+	// controller side of the network. A partitioned-but-alive replica has
+	// CtrlReachable false and is ineligible for election.
+	CtrlReachable bool
 	// Queued is the total tuples buffered across the replica's ports.
 	Queued float64
 	// Enqueued, Processed, Dropped and Cleared are the cumulative port
@@ -71,7 +75,8 @@ func (s *Simulation) doProbe() {
 	for pe := range s.reps {
 		p.Primary[pe] = -1
 		for k, rep := range s.reps[pe] {
-			eligible := rep.alive && rep.active && s.hosts[rep.host].up
+			seesCtrl := s.hostSeesCtrl(rep.host)
+			eligible := rep.alive && rep.active && s.hosts[rep.host].up && seesCtrl
 			if eligible {
 				p.Eligible[pe]++
 				if p.Primary[pe] < 0 {
@@ -79,11 +84,12 @@ func (s *Simulation) doProbe() {
 				}
 			}
 			rp := ReplicaProbe{
-				PE:      pe,
-				Replica: k,
-				Alive:   rep.alive,
-				Active:  rep.active,
-				HostUp:  s.hosts[rep.host].up,
+				PE:            pe,
+				Replica:       k,
+				Alive:         rep.alive,
+				Active:        rep.active,
+				HostUp:        s.hosts[rep.host].up,
+				CtrlReachable: seesCtrl,
 			}
 			for i := range rep.ports {
 				pt := &rep.ports[i]

@@ -62,7 +62,11 @@ func RunVariant(app *AppRun, v Variant, sc Scenario, appIdx int, cfg engine.Conf
 	case HostCrash:
 		host := appIdx % app.Gen.Assignment.NumHosts
 		at := crashTime(app)
-		if err := sim.InjectAll(engine.HostCrashPlan(host, at, hostCrashDowntime)); err != nil {
+		plan, err := engine.HostCrashPlan(app.Gen.Assignment.NumHosts, host, at, hostCrashDowntime)
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.InjectAll(plan); err != nil {
 			return nil, err
 		}
 	}

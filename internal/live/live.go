@@ -62,6 +62,19 @@ type Config struct {
 	// tickers. Default is the wall clock; tests and chaos runs inject a
 	// FakeClock for deterministic, fast-forwarded timing.
 	Clock Clock
+	// Transport models the network between replica hosts and the
+	// controller side (see Transport). Default: a perfect network. Inject a
+	// NetFault to partition, lose or delay traffic mid-run.
+	Transport Transport
+	// Supervise enables the replica supervisor: a crashed replica's
+	// goroutine is restarted with capped exponential backoff and stateful
+	// re-sync, replacing the manual RecoverReplica-only path. With
+	// supervision on, KillReplica really terminates the replica goroutine.
+	Supervise bool
+	// BackoffMin and BackoffMax bound the supervisor's restart backoff,
+	// which doubles per crash cycle. Defaults: MonitorInterval and
+	// 8 × BackoffMin.
+	BackoffMin, BackoffMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +90,15 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = wallClock{}
 	}
+	if c.Transport == nil {
+		c.Transport = perfectTransport{}
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = c.MonitorInterval
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * c.BackoffMin
+	}
 	return c
 }
 
@@ -90,6 +112,9 @@ type Stats struct {
 	Processed [][]int64
 	// Dropped counts tuples lost to full replica queues.
 	Dropped int64
+	// NetDropped counts tuples lost in the transport: partition cuts plus
+	// injected message loss.
+	NetDropped int64
 	// ConfigSwitches counts HAController reconfigurations.
 	ConfigSwitches int64
 }
@@ -99,19 +124,52 @@ type replica struct {
 	pe   int // dense index
 	comp core.ComponentID
 	idx  int
+	host int // deployment host, the replica's transport endpoint
 	in   chan Tuple
 	op   Operator
 
 	active    atomic.Bool
 	alive     atomic.Bool
-	lastBeat  atomic.Int64 // unix nanoseconds
+	lastBeat  atomic.Int64 // unix nanoseconds, as observed by the controller
 	processed atomic.Int64
+
+	// view is the primary index this replica last learned from the
+	// controller, and lastCtrl the time of that last controller contact.
+	// The controller refreshes both only while it can reach the replica's
+	// host, so an ex-primary cut off by a partition keeps a stale view and
+	// keeps forwarding — until its lease (one HeartbeatTimeout since
+	// lastCtrl) expires and it fences its own output. Split-brain is
+	// thereby bounded to one lease window, mirroring the election window on
+	// the controller side.
+	view     atomic.Int32
+	lastCtrl atomic.Int64
+
+	// Supervision state. crash is the current incarnation's termination
+	// channel (nil when no goroutine runs), guarded by mu; the schedule
+	// fields are atomics so Stats can snapshot them from any goroutine.
+	mu            sync.Mutex
+	crash         chan struct{}
+	restarts      atomic.Int64
+	backoffNs     atomic.Int64
+	nextRestartNs atomic.Int64
+	lastRestartNs atomic.Int64
 }
 
-func (r *replica) beat(now time.Time) {
-	if r.alive.Load() {
-		r.lastBeat.Store(now.UnixNano())
+// beat records one replica heartbeat as the controller observes it: gated
+// by the transport (a partitioned replica's beats never arrive, so its
+// recorded heartbeat goes stale and it loses the next election) and aged by
+// the link delay.
+func (rt *Runtime) beat(rep *replica, now time.Time) {
+	if !rep.alive.Load() {
+		return
 	}
+	if !rt.cfg.Transport.Reachable(rep.host, ControllerHost) {
+		return
+	}
+	if d := rt.cfg.Transport.Delay(rep.host, ControllerHost); d > 0 {
+		now = now.Add(-d)
+	}
+	rep.lastBeat.Store(now.UnixNano())
 }
 
 // Runtime executes one application. Build with New, then Start, Push
@@ -136,9 +194,16 @@ type Runtime struct {
 
 	sinkFn func(sink core.ComponentID, t Tuple)
 
-	dropped  atomic.Int64
-	sinkN    atomic.Int64
-	switches atomic.Int64
+	dropped    atomic.Int64
+	netDropped atomic.Int64
+	sinkN      atomic.Int64
+	switches   atomic.Int64
+
+	// fence enables the replica-side lease check. With the default perfect
+	// transport the controller's view can never go stale, so the check is
+	// skipped and wall-clock scheduling hiccups cannot fence a healthy
+	// primary.
+	fence bool
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -182,6 +247,8 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 		primaries: make([]atomic.Int32, app.NumPEs()),
 		stop:      make(chan struct{}),
 	}
+	_, perfect := cfg.Transport.(perfectTransport)
+	rt.fence = !perfect
 	rt.applied.Store(int32(cfg.InitialConfig))
 	rt.replicas = make([][]*replica, app.NumPEs())
 	for _, id := range app.PEs() {
@@ -192,12 +259,13 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 				pe:   pe,
 				comp: id,
 				idx:  k,
+				host: asg.HostOf(pe, k),
 				in:   make(chan Tuple, cfg.QueueLen),
 				op:   factory(id, k),
 			}
 			rep.alive.Store(true)
 			rep.active.Store(strat.IsActive(cfg.InitialConfig, pe, k))
-			rep.beat(cfg.Clock.Now())
+			rep.view.Store(-1)
 			rt.replicas[pe][k] = rep
 		}
 	}
@@ -218,6 +286,12 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 		rt.lookup.Insert(rtree.Point(ic.Rates), c)
 	}
 	rt.maxCfg = r.MaxConfig()
+	now := cfg.Clock.Now()
+	for _, reps := range rt.replicas {
+		for _, rep := range reps {
+			rt.beat(rep, now)
+		}
+	}
 	rt.electAll()
 	return rt, nil
 }
@@ -236,8 +310,15 @@ func (rt *Runtime) Start() error {
 	}
 	for _, reps := range rt.replicas {
 		for _, rep := range reps {
+			var crash chan struct{}
+			if rt.cfg.Supervise {
+				crash = make(chan struct{})
+				rep.mu.Lock()
+				rep.crash = crash
+				rep.mu.Unlock()
+			}
 			rt.wg.Add(1)
-			go rt.runReplica(rep)
+			go rt.runReplica(rep, crash)
 		}
 	}
 	rt.wg.Add(1)
@@ -254,17 +335,23 @@ func (rt *Runtime) Push(src core.ComponentID, data any) error {
 	}
 	rt.srcWindow[si].Add(1)
 	rt.emitted[src].Add(1)
-	rt.fanOut(Tuple{From: src, Data: data})
+	rt.fanOut(Tuple{From: src, Data: data}, ControllerHost)
 	return nil
 }
 
-// fanOut delivers a tuple to every replica of each successor PE of its
-// origin, dropping on full queues (the bounded-queue semantics of the
-// paper's deployment).
-func (rt *Runtime) fanOut(t Tuple) {
+// fanOut delivers a tuple sent from the fromHost endpoint (ControllerHost
+// for sources) to every replica of each successor PE of its origin. Copies
+// that cannot traverse the transport — a cut link or injected message loss
+// — are counted in NetDropped; full queues drop as before.
+func (rt *Runtime) fanOut(t Tuple, fromHost int) {
 	for _, pe := range rt.routes[t.From] {
 		for _, rep := range rt.replicas[pe] {
 			if !rep.alive.Load() || !rep.active.Load() {
+				continue
+			}
+			if fromHost != rep.host &&
+				(!rt.cfg.Transport.Reachable(fromHost, rep.host) || rt.cfg.Transport.DropData(fromHost, rep.host)) {
+				rt.netDropped.Add(1)
 				continue
 			}
 			select {
@@ -277,8 +364,10 @@ func (rt *Runtime) fanOut(t Tuple) {
 }
 
 // runReplica is the proxied replica loop: heartbeat, accept input, process,
-// and forward output while primary.
-func (rt *Runtime) runReplica(rep *replica) {
+// and forward output while the replica believes it is primary. crash is the
+// incarnation's termination channel (nil when supervision is off — a nil
+// channel never fires).
+func (rt *Runtime) runReplica(rep *replica, crash <-chan struct{}) {
 	defer rt.wg.Done()
 	ticker := rt.cfg.Clock.NewTicker(rt.cfg.MonitorInterval / 2)
 	defer ticker.Stop()
@@ -286,10 +375,12 @@ func (rt *Runtime) runReplica(rep *replica) {
 		select {
 		case <-rt.stop:
 			return
+		case <-crash:
+			return
 		case now := <-ticker.C:
-			rep.beat(now)
+			rt.beat(rep, now)
 		case t := <-rep.in:
-			rep.beat(rt.cfg.Clock.Now())
+			rt.beat(rep, rt.cfg.Clock.Now())
 			if !rep.alive.Load() || !rep.active.Load() {
 				continue // commands raced with queued input: discard
 			}
@@ -298,13 +389,22 @@ func (rt *Runtime) runReplica(rep *replica) {
 			if len(outs) == 0 {
 				continue
 			}
-			if rt.primaries[rep.pe].Load() != int32(rep.idx) {
+			if rep.view.Load() != int32(rep.idx) {
 				continue // secondaries process but do not forward
+			}
+			if rt.fence &&
+				rt.cfg.Clock.Now().UnixNano()-rep.lastCtrl.Load() > int64(rt.cfg.HeartbeatTimeout) {
+				continue // controller lease expired: fence stale-primary output
 			}
 			for _, data := range outs {
 				out := Tuple{From: rep.comp, Data: data}
-				rt.fanOut(out)
+				rt.fanOut(out, rep.host)
 				for _, sink := range rt.sinkDst[rep.comp] {
+					if !rt.cfg.Transport.Reachable(rep.host, ControllerHost) ||
+						rt.cfg.Transport.DropData(rep.host, ControllerHost) {
+						rt.netDropped.Add(1)
+						continue
+					}
 					rt.sinkN.Add(1)
 					if rt.sinkFn != nil {
 						rt.sinkFn(sink, out)
@@ -359,12 +459,20 @@ func (rt *Runtime) scan() {
 		}
 	}
 	rt.electAll()
+	if rt.cfg.Supervise {
+		rt.supervise(rt.cfg.Clock.Now())
+	}
 }
 
-// electAll recomputes every PE's primary: the lowest-indexed replica that
-// is alive, active and recently heartbeating.
+// electAll recomputes every PE's primary — the lowest-indexed replica that
+// is alive, active and recently heartbeating (a partitioned replica's
+// recorded heartbeat goes stale, so it drops out after HeartbeatTimeout) —
+// and publishes the result to every replica the controller can currently
+// reach. Replicas behind a cut keep their stale view: that is the
+// split-brain window the transport contains.
 func (rt *Runtime) electAll() {
-	deadline := rt.cfg.Clock.Now().Add(-rt.cfg.HeartbeatTimeout).UnixNano()
+	now := rt.cfg.Clock.Now()
+	deadline := now.Add(-rt.cfg.HeartbeatTimeout).UnixNano()
 	for pe := range rt.replicas {
 		chosen := int32(-1)
 		for k, rep := range rt.replicas[pe] {
@@ -374,28 +482,69 @@ func (rt *Runtime) electAll() {
 			}
 		}
 		rt.primaries[pe].Store(chosen)
+		for _, rep := range rt.replicas[pe] {
+			if rt.cfg.Transport.Reachable(ControllerHost, rep.host) {
+				rep.view.Store(chosen)
+				rep.lastCtrl.Store(now.UnixNano())
+			}
+		}
 	}
 }
 
+// ObservablePrimaries returns, per PE, the replicas that currently believe
+// themselves primary and whose host the controller side can reach — the
+// split-brain check: once elections settle, each PE has at most one entry.
+func (rt *Runtime) ObservablePrimaries() [][]int {
+	out := make([][]int, len(rt.replicas))
+	for pe := range rt.replicas {
+		for k, rep := range rt.replicas[pe] {
+			if rep.alive.Load() && rep.view.Load() == int32(k) &&
+				rt.cfg.Transport.Reachable(ControllerHost, rep.host) {
+				out[pe] = append(out[pe], k)
+			}
+		}
+	}
+	return out
+}
+
 // KillReplica crashes one replica: it stops heartbeating and discards
-// input until RecoverReplica. The controller fails over to a live sibling
-// on its next scan.
+// input. Killing an already-dead replica is an error — callers injecting
+// faults should know their schedule collided. Without supervision the
+// controller fails over on its next scan and the replica waits for
+// RecoverReplica; with supervision the replica goroutine really terminates
+// and the supervisor restarts it after backoff.
 func (rt *Runtime) KillReplica(pe core.ComponentID, idx int) error {
 	rep, err := rt.lookupReplica(pe, idx)
 	if err != nil {
 		return err
 	}
-	rep.alive.Store(false)
+	if !rep.alive.CompareAndSwap(true, false) {
+		return fmt.Errorf("live: replica (%d, %d) is already dead", pe, idx)
+	}
+	if rt.cfg.Supervise {
+		rep.stopIncarnation()
+	}
 	return nil
 }
 
-// RecoverReplica brings a crashed replica back. Stateful operators (see
-// StatefulOperator) are re-synchronised from the PE's current primary
-// before resuming; stateless operators simply rejoin the live stream.
+// RecoverReplica brings a crashed replica back; recovering an alive one is
+// an error. Stateful operators (see StatefulOperator) are re-synchronised
+// from the PE's current primary before resuming; stateless operators simply
+// rejoin the live stream. Under supervision this is the manual override: it
+// restarts the goroutine immediately and resets the backoff schedule.
 func (rt *Runtime) RecoverReplica(pe core.ComponentID, idx int) error {
 	rep, err := rt.lookupReplica(pe, idx)
 	if err != nil {
 		return err
+	}
+	if rep.alive.Load() {
+		return fmt.Errorf("live: replica (%d, %d) is already alive", pe, idx)
+	}
+	if rt.cfg.Supervise && rt.started.Load() && !rt.stopped.Load() {
+		rep.backoffNs.Store(0)
+		rep.nextRestartNs.Store(0)
+		rt.restartReplica(rep, rt.cfg.Clock.Now())
+		return nil
 	}
 	rt.markJoining(rep.pe, rep)
 	rep.alive.Store(true)
@@ -442,6 +591,7 @@ func (rt *Runtime) Stop() (*Stats, error) {
 		Emitted:        make(map[core.ComponentID]int64, len(rt.emitted)),
 		SinkDelivered:  rt.sinkN.Load(),
 		Dropped:        rt.dropped.Load(),
+		NetDropped:     rt.netDropped.Load(),
 		ConfigSwitches: rt.switches.Load(),
 	}
 	for id, n := range rt.emitted {

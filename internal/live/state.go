@@ -46,5 +46,5 @@ func (rt *Runtime) syncState(pe int, joining *replica) bool {
 // before the replica re-enters the pool.
 func (rt *Runtime) markJoining(pe int, rep *replica) {
 	rt.syncState(pe, rep)
-	rep.beat(rt.cfg.Clock.Now())
+	rt.beat(rep, rt.cfg.Clock.Now())
 }

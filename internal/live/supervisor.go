@@ -1,0 +1,140 @@
+package live
+
+import "time"
+
+// ReplicaStat is one replica's supervision snapshot, reported by
+// Runtime.Stats.
+type ReplicaStat struct {
+	// PE and Replica identify the replica (dense PE index).
+	PE, Replica int
+	// Alive reports the replica's failure-injection state.
+	Alive bool
+	// Processed counts tuples the replica has processed so far.
+	Processed int64
+	// Restarts counts supervisor (and manual) restarts of this replica.
+	Restarts int64
+	// Backoff is the supervisor's current restart backoff for this replica;
+	// zero once the replica has been healthy long enough to reset it.
+	Backoff time.Duration
+	// RestartPending reports whether a supervisor restart is scheduled but
+	// has not fired yet.
+	RestartPending bool
+}
+
+// Stats returns a point-in-time supervision snapshot of every replica in
+// (PE, replica) order. Safe for concurrent use; it may be called at any
+// point of the runtime's lifecycle.
+func (rt *Runtime) Stats() []ReplicaStat {
+	out := make([]ReplicaStat, 0, len(rt.replicas)*rt.asg.K)
+	for pe := range rt.replicas {
+		for k, rep := range rt.replicas[pe] {
+			out = append(out, ReplicaStat{
+				PE:             pe,
+				Replica:        k,
+				Alive:          rep.alive.Load(),
+				Processed:      rep.processed.Load(),
+				Restarts:       rep.restarts.Load(),
+				Backoff:        time.Duration(rep.backoffNs.Load()),
+				RestartPending: rep.nextRestartNs.Load() != 0,
+			})
+		}
+	}
+	return out
+}
+
+// FullyReplicated reports whether every replica is currently alive — the
+// post-fault re-replication target the supervisor converges to.
+func (rt *Runtime) FullyReplicated() bool {
+	for pe := range rt.replicas {
+		for _, rep := range rt.replicas[pe] {
+			if !rep.alive.Load() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// supervise is the controller-side supervisor step (Config.Supervise): a
+// dead replica first gets a restart scheduled after the current backoff —
+// doubling per crash cycle from BackoffMin up to BackoffMax — and is
+// restarted once the deadline passes. A replica that then stays healthy for
+// two BackoffMax periods has its backoff reset. Runs on the controller
+// goroutine, so the schedule fields need no locking beyond their atomics.
+func (rt *Runtime) supervise(now time.Time) {
+	for pe := range rt.replicas {
+		for _, rep := range rt.replicas[pe] {
+			if rep.alive.Load() {
+				if rep.backoffNs.Load() != 0 &&
+					now.Sub(time.Unix(0, rep.lastRestartNs.Load())) > 2*rt.cfg.BackoffMax {
+					rep.backoffNs.Store(0)
+				}
+				continue
+			}
+			next := rep.nextRestartNs.Load()
+			if next == 0 {
+				b := 2 * time.Duration(rep.backoffNs.Load())
+				if b < rt.cfg.BackoffMin {
+					b = rt.cfg.BackoffMin
+				}
+				if b > rt.cfg.BackoffMax {
+					b = rt.cfg.BackoffMax
+				}
+				rep.backoffNs.Store(int64(b))
+				rep.nextRestartNs.Store(now.Add(b).UnixNano())
+				continue
+			}
+			if now.UnixNano() >= next {
+				rt.restartReplica(rep, now)
+			}
+		}
+	}
+}
+
+// restartReplica brings a dead replica back on a fresh goroutine: the old
+// incarnation (if any) has already exited via its crash channel, stale
+// queued input is drained, stateful operators re-sync from the PE's current
+// primary, and only then does the replica go live again. It is a no-op if
+// an incarnation is already running. Called from the controller goroutine
+// (supervisor) and from RecoverReplica.
+func (rt *Runtime) restartReplica(rep *replica, now time.Time) {
+	rep.mu.Lock()
+	if rep.crash != nil {
+		rep.mu.Unlock()
+		return
+	}
+	crash := make(chan struct{})
+	rep.crash = crash
+	rep.mu.Unlock()
+	// Drain tuples that queued while the replica was dead: a restarted
+	// replica resumes from synced state, not from a stale backlog.
+	for {
+		select {
+		case <-rep.in:
+			continue
+		default:
+		}
+		break
+	}
+	rt.markJoining(rep.pe, rep)
+	rep.nextRestartNs.Store(0)
+	rep.lastRestartNs.Store(now.UnixNano())
+	rep.restarts.Add(1)
+	rep.alive.Store(true)
+	rt.beat(rep, now)
+	rt.wg.Add(1)
+	go rt.runReplica(rep, crash)
+}
+
+// stopIncarnation terminates the replica's current goroutine by closing its
+// crash channel. Returns false when no incarnation was running.
+func (rep *replica) stopIncarnation() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.crash == nil {
+		return false
+	}
+	close(rep.crash)
+	rep.crash = nil
+	return true
+}

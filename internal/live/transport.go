@@ -1,0 +1,130 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ControllerHost addresses the controller side of the deployment — the
+// endpoint hosting the sources, sinks, Rate Monitor and HAController — in
+// Transport queries and NetFault operations.
+const ControllerHost = -1
+
+// Transport models the network between the hosts carrying PE replicas and
+// the controller side. The runtime consults it on every data delivery and
+// every heartbeat, so cutting a link makes a replica's heartbeat go stale
+// at the controller (it loses the next election through the normal timeout
+// path, not through its alive flag) and makes tuples routed across the cut
+// disappear.
+//
+// Endpoints are host indices from the deployment assignment, or
+// ControllerHost. Implementations must be safe for concurrent use.
+type Transport interface {
+	// Reachable reports whether messages from endpoint a currently reach
+	// endpoint b.
+	Reachable(a, b int) bool
+	// DropData reports whether one data tuple from a to b should be lost
+	// (message-loss injection; called once per delivery attempt).
+	DropData(a, b int) bool
+	// Delay returns the extra latency on the a→b link. The runtime applies
+	// it to the control plane: a replica's heartbeat arrives this much
+	// older, so a delay at or beyond the heartbeat timeout demotes the
+	// replica exactly as a partition does. (Data-plane delay is modelled in
+	// the engine's RouteDelay knob; the live runtime keeps tuple delivery
+	// immediate.)
+	Delay(a, b int) time.Duration
+}
+
+// perfectTransport is the default network: everything reachable, nothing
+// lost, no latency.
+type perfectTransport struct{}
+
+func (perfectTransport) Reachable(a, b int) bool      { return true }
+func (perfectTransport) DropData(a, b int) bool       { return false }
+func (perfectTransport) Delay(a, b int) time.Duration { return 0 }
+
+// NetFault is a mutable Transport for fault injection: cut and heal
+// endpoint pairs, set a seeded data-loss probability, and add link delay.
+// All methods are safe for concurrent use with the runtime's delivery and
+// heartbeat paths.
+type NetFault struct {
+	mu    sync.Mutex
+	cut   map[[2]int]bool
+	lossP float64
+	delay time.Duration
+	rng   *rand.Rand
+}
+
+// NewNetFault returns a fault-free transport whose loss decisions are
+// driven by the given seed (equal seeds give equal drop sequences).
+func NewNetFault(seed int64) *NetFault {
+	return &NetFault{cut: make(map[[2]int]bool), rng: rand.New(rand.NewSource(seed))}
+}
+
+// pairKey normalises an endpoint pair so Cut(a,b) and Reachable(b,a) agree.
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Cut partitions the two endpoints symmetrically.
+func (n *NetFault) Cut(a, b int) {
+	n.mu.Lock()
+	n.cut[pairKey(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal restores the link between the two endpoints.
+func (n *NetFault) Heal(a, b int) {
+	n.mu.Lock()
+	delete(n.cut, pairKey(a, b))
+	n.mu.Unlock()
+}
+
+// HealAll restores every cut link.
+func (n *NetFault) HealAll() {
+	n.mu.Lock()
+	n.cut = make(map[[2]int]bool)
+	n.mu.Unlock()
+}
+
+// SetLoss sets the data-tuple loss probability on every link, in [0, 1].
+func (n *NetFault) SetLoss(p float64) {
+	n.mu.Lock()
+	n.lossP = p
+	n.mu.Unlock()
+}
+
+// SetDelay sets the link delay applied to every heartbeat.
+func (n *NetFault) SetDelay(d time.Duration) {
+	n.mu.Lock()
+	n.delay = d
+	n.mu.Unlock()
+}
+
+// Reachable implements Transport.
+func (n *NetFault) Reachable(a, b int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.cut[pairKey(a, b)]
+}
+
+// DropData implements Transport.
+func (n *NetFault) DropData(a, b int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[pairKey(a, b)] {
+		return true
+	}
+	return n.lossP > 0 && n.rng.Float64() < n.lossP
+}
+
+// Delay implements Transport.
+func (n *NetFault) Delay(a, b int) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delay
+}

@@ -1,0 +1,321 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// fakeSetup builds the standard pipeline on a fake clock with an injectable
+// transport, returning a step function that advances one monitor interval
+// and yields real time for the woken goroutines.
+func fakeSetup(t *testing.T, cfg Config) (*Runtime, []core.ComponentID, func()) {
+	t.Helper()
+	d, asg, ids := buildApp(t)
+	fc := NewFakeClock(time.Unix(0, 0))
+	cfg.Clock = fc
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 100 * time.Millisecond
+	}
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let goroutines register their tickers
+	step := func() {
+		fc.Advance(cfg.MonitorInterval)
+		time.Sleep(2 * time.Millisecond)
+	}
+	return rt, ids, step
+}
+
+// TestKillRecoverLifecycleErrors covers the explicit double-kill and
+// double-recover error paths.
+func TestKillRecoverLifecycleErrors(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RecoverReplica(ids[1], 0); err == nil {
+		t.Error("RecoverReplica on an alive replica accepted")
+	}
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillReplica(ids[1], 0); err == nil {
+		t.Error("KillReplica on an already-dead replica accepted")
+	}
+	if err := rt.RecoverReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RecoverReplica(ids[1], 0); err == nil {
+		t.Error("second RecoverReplica accepted")
+	}
+}
+
+// TestPartitionDemotesThroughStaleHeartbeat cuts host 0 from the
+// controller: the replicas there stay alive, but their heartbeats stop
+// arriving, so the controller demotes them through the ordinary staleness
+// path; the heal restores them as primaries.
+func TestPartitionDemotesThroughStaleHeartbeat(t *testing.T) {
+	net := NewNetFault(1)
+	rt, ids, step := fakeSetup(t, Config{Transport: net})
+
+	step()
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("initial primary = %d, want 0", got)
+	}
+	net.Cut(0, ControllerHost)
+	// HeartbeatTimeout defaults to 3 monitor intervals; one more scan
+	// notices the staleness.
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	for _, pe := range []core.ComponentID{ids[1], ids[2]} {
+		if got := rt.Primary(pe); got != 1 {
+			t.Fatalf("primary of %d = %d during controller cut, want 1", pe, got)
+		}
+	}
+	// The partitioned replicas never died: the demotion ran on staleness,
+	// not on the alive flag.
+	for _, st := range rt.Stats() {
+		if !st.Alive {
+			t.Fatalf("replica (%d,%d) dead after a partition — a cut is not a crash", st.PE, st.Replica)
+		}
+	}
+	// At quiescence exactly one observable primary per PE: the cut
+	// ex-primaries are not reachable from the controller side.
+	for pe, obs := range rt.ObservablePrimaries() {
+		if len(obs) != 1 || obs[0] != 1 {
+			t.Fatalf("PE %d observable primaries = %v during cut, want [1]", pe, obs)
+		}
+	}
+
+	net.Heal(0, ControllerHost)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	for _, pe := range []core.ComponentID{ids[1], ids[2]} {
+		if got := rt.Primary(pe); got != 0 {
+			t.Fatalf("primary of %d = %d after heal, want 0", pe, got)
+		}
+	}
+	for pe, obs := range rt.ObservablePrimaries() {
+		if len(obs) != 1 || obs[0] != 0 {
+			t.Fatalf("PE %d observable primaries = %v after heal, want [0]", pe, obs)
+		}
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionHealsDuringElection heals the cut inside the election
+// window — after the heartbeat went stale but before the demotion is
+// final — and demands the topology settles back to replica 0 with no
+// split-brain.
+func TestPartitionHealsDuringElection(t *testing.T) {
+	net := NewNetFault(1)
+	rt, ids, step := fakeSetup(t, Config{Transport: net})
+
+	step()
+	net.Cut(0, ControllerHost)
+	// Two intervals: heartbeats are ageing but 3×interval has not passed.
+	step()
+	step()
+	net.Heal(0, ControllerHost)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("primary = %d after mid-election heal, want 0", got)
+	}
+	for pe, obs := range rt.ObservablePrimaries() {
+		if len(obs) != 1 {
+			t.Fatalf("PE %d observable primaries = %v after mid-election heal, want exactly one", pe, obs)
+		}
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageLossCountsNetDropped injects 100 % data loss on every link
+// and checks the tuples disappear into NetDropped rather than the queues.
+func TestMessageLossCountsNetDropped(t *testing.T) {
+	net := NewNetFault(1)
+	net.SetLoss(1)
+	rt, ids, step := fakeSetup(t, Config{Transport: net})
+	for i := 0; i < 40; i++ {
+		if err := rt.Push(ids[0], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step()
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NetDropped == 0 {
+		t.Fatal("100% loss produced no NetDropped")
+	}
+	if stats.SinkDelivered != 0 {
+		t.Fatalf("SinkDelivered = %d under total loss, want 0", stats.SinkDelivered)
+	}
+}
+
+// TestSupervisorRestartsWithBackoff kills a replica under supervision and
+// walks the fake clock through the restart schedule: first restart after
+// BackoffMin, the backoff doubling on a repeated crash, and the reset after
+// a sustained healthy period.
+func TestSupervisorRestartsWithBackoff(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	rt, ids, step := fakeSetup(t, Config{
+		MonitorInterval: interval,
+		Supervise:       true,
+		BackoffMin:      interval,
+		BackoffMax:      4 * interval,
+	})
+	statOf := func(pe, k int) ReplicaStat {
+		for _, st := range rt.Stats() {
+			if st.PE == pe && st.Replica == k {
+				return st
+			}
+		}
+		t.Fatalf("no stat for replica (%d,%d)", pe, k)
+		return ReplicaStat{}
+	}
+
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	// Scan 1 schedules the restart (backoff = BackoffMin); scan 2 fires it.
+	step()
+	if st := statOf(0, 0); st.Alive || !st.RestartPending || st.Backoff != interval {
+		t.Fatalf("after first scan: %+v, want dead with a pending %v restart", st, interval)
+	}
+	step()
+	step()
+	st := statOf(0, 0)
+	if !st.Alive || st.Restarts != 1 {
+		t.Fatalf("after backoff window: %+v, want alive with 1 restart", st)
+	}
+
+	// A second crash doubles the backoff.
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	step()
+	if st := statOf(0, 0); st.Backoff != 2*interval {
+		t.Fatalf("backoff after second crash = %v, want %v", st.Backoff, 2*interval)
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if st := statOf(0, 0); !st.Alive || st.Restarts != 2 {
+		t.Fatalf("after doubled backoff: %+v, want alive with 2 restarts", st)
+	}
+
+	// Healthy for > 2×BackoffMax resets the ladder.
+	for i := 0; i < 12; i++ {
+		step()
+	}
+	if st := statOf(0, 0); st.Backoff != 0 {
+		t.Fatalf("backoff after sustained health = %v, want 0", st.Backoff)
+	}
+	if !rt.FullyReplicated() {
+		t.Fatal("runtime not fully replicated at quiescence")
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupervisorRestartProcessesAgain checks a supervisor-restarted replica
+// actually rejoins the stream: its goroutine was really terminated by the
+// kill and a fresh incarnation processes tuples.
+func TestSupervisorRestartProcessesAgain(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	rt, ids, step := fakeSetup(t, Config{
+		MonitorInterval: interval,
+		Supervise:       true,
+	})
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if !rt.FullyReplicated() {
+		t.Fatal("supervisor did not restart the killed replica")
+	}
+	// Primary election must have returned to the restarted replica 0.
+	waitFor(t, 2*time.Second, func() bool {
+		step()
+		return rt.Primary(ids[1]) == 0
+	}, "restarted replica re-elected")
+	before := int64(0)
+	for _, st := range rt.Stats() {
+		if st.PE == 0 && st.Replica == 0 {
+			before = st.Processed
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := rt.Push(ids[0], i); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		step()
+		for _, st := range rt.Stats() {
+			if st.PE == 0 && st.Replica == 0 {
+				return st.Processed > before
+			}
+		}
+		return false
+	}, "restarted incarnation processing")
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManualRecoverUnderSupervision checks RecoverReplica acts as the
+// manual override: immediate restart, backoff ladder reset.
+func TestManualRecoverUnderSupervision(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	rt, ids, step := fakeSetup(t, Config{
+		MonitorInterval: interval,
+		Supervise:       true,
+		BackoffMin:      interval,
+		BackoffMax:      8 * interval,
+	})
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RecoverReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rt.Stats() {
+		if st.PE == 0 && st.Replica == 0 {
+			if !st.Alive || st.Restarts != 1 || st.Backoff != 0 {
+				t.Fatalf("after manual recover: %+v, want alive, 1 restart, zero backoff", st)
+			}
+		}
+	}
+	step()
+	if !rt.FullyReplicated() {
+		t.Fatal("not fully replicated after manual recover")
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -282,7 +282,14 @@ const (
 	ReplicaUp   = engine.ReplicaUp
 	HostDown    = engine.HostDown
 	HostUp      = engine.HostUp
+	LinkDown    = engine.LinkDown
+	LinkUp      = engine.LinkUp
+	HostSlow    = engine.HostSlow
+	HostNormal  = engine.HostNormal
 )
+
+// CtrlHost addresses the controller/outside-world endpoint in link events.
+const CtrlHost = engine.CtrlHost
 
 // NewSimulation builds a simulated deployment of the application under the
 // given placement, activation strategy and input trace.
@@ -297,9 +304,27 @@ func WorstCasePlan(r *Rates, s *Strategy) []FailureEvent {
 }
 
 // HostCrashPlan crashes one host at the given time and recovers it after
-// the downtime.
-func HostCrashPlan(host int, at, downtime float64) []FailureEvent {
-	return engine.HostCrashPlan(host, at, downtime)
+// the downtime. numHosts is the deployment size the plan targets.
+func HostCrashPlan(numHosts, host int, at, downtime float64) ([]FailureEvent, error) {
+	return engine.HostCrashPlan(numHosts, host, at, downtime)
+}
+
+// PartitionPlan cuts the link between two endpoints (hostB may be CtrlHost)
+// for the given duration.
+func PartitionPlan(numHosts, hostA, hostB int, at, duration float64) ([]FailureEvent, error) {
+	return engine.PartitionPlan(numHosts, hostA, hostB, at, duration)
+}
+
+// CorrelatedCrashPlan crashes a staggered burst of hosts, each recovering
+// downtime seconds after its own crash.
+func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float64) ([]FailureEvent, error) {
+	return engine.CorrelatedCrashPlan(numHosts, hosts, at, stagger, downtime)
+}
+
+// GraySlowdownPlan degrades one host to factor of its CPU capacity for the
+// given duration.
+func GraySlowdownPlan(numHosts, host int, factor, at, duration float64) ([]FailureEvent, error) {
+	return engine.GraySlowdownPlan(numHosts, host, factor, at, duration)
 }
 
 // Synthetic workloads (see internal/appgen).
@@ -335,7 +360,24 @@ type (
 	LiveStats = live.Stats
 	// LiveDriver pushes synthetic trace-driven tuples into a LiveRuntime.
 	LiveDriver = live.Driver
+	// LiveTransport models the network between replica hosts and the
+	// controller side; inject via LiveConfig.Transport.
+	LiveTransport = live.Transport
+	// NetFault is a mutable LiveTransport for fault injection: cut/heal
+	// links, message loss, heartbeat delay.
+	NetFault = live.NetFault
+	// ReplicaStat is one replica's supervision snapshot from
+	// LiveRuntime.Stats.
+	ReplicaStat = live.ReplicaStat
 )
+
+// LiveControllerHost addresses the controller side in LiveTransport queries
+// and NetFault operations.
+const LiveControllerHost = live.ControllerHost
+
+// NewNetFault returns a fault-free injectable transport whose loss
+// decisions are driven by the seed.
+func NewNetFault(seed int64) *NetFault { return live.NewNetFault(seed) }
 
 // NewLiveDriver builds a trace-driven source feeder for a live runtime,
 // replaying the trace at the given wall-clock compression scale.
@@ -511,6 +553,10 @@ type (
 	// ChaosDiffResult compares one scenario run on the engine and on the
 	// live runtime.
 	ChaosDiffResult = chaos.DiffResult
+	// ChaosSupervisedResult is the outcome of one supervised-recovery run.
+	ChaosSupervisedResult = chaos.SupervisedResult
+	// ChaosMode selects what SweepChaos does with each scenario.
+	ChaosMode = chaos.Mode
 )
 
 // Chaos schedule classes.
@@ -521,6 +567,15 @@ const (
 	ChaosLoadSpike       = chaos.LoadSpike
 	ChaosGlitchBurst     = chaos.GlitchBurst
 	ChaosMixed           = chaos.Mixed
+	ChaosPartition       = chaos.Partition
+	ChaosGraySlow        = chaos.GraySlow
+)
+
+// Chaos sweep modes.
+const (
+	ChaosModeInvariants = chaos.ModeInvariants
+	ChaosModeDiff       = chaos.ModeDiff
+	ChaosModeSupervised = chaos.ModeSupervised
 )
 
 // RunChaos executes one seeded chaos scenario on the discrete-event engine
@@ -534,13 +589,17 @@ func RunChaos(sc ChaosScenario) (*ChaosResult, []ChaosViolation, error) {
 // runtime and reports sink-count agreement.
 func DiffChaos(sc ChaosScenario) (*ChaosDiffResult, error) { return chaos.Diff(sc) }
 
+// SupervisedChaos replays one scenario's faults against the supervised
+// live runtime — withholding scheduled recoveries — and checks that the
+// supervisor alone restores full replication without split-brain.
+func SupervisedChaos(sc ChaosScenario) (*ChaosSupervisedResult, error) { return chaos.Supervised(sc) }
+
 // SweepChaos executes the scenarios across a bounded worker pool (≤ 0 =
-// all CPUs), each run a pure function of its scenario, and returns the
-// outcomes in input order — deeply equal for every parallelism setting.
-// With diff set, scenarios run differentially on the engine and the live
-// runtime instead of through the invariant checker.
-func SweepChaos(scs []ChaosScenario, parallelism int, diff bool) []ChaosSweepRun {
-	return chaos.Sweep(scs, parallelism, diff)
+// all CPUs) in the given mode and returns the outcomes in input order.
+// ChaosModeInvariants runs are pure functions of their scenarios, so their
+// outcomes are deeply equal for every parallelism setting.
+func SweepChaos(scs []ChaosScenario, parallelism int, mode ChaosMode) []ChaosSweepRun {
+	return chaos.Sweep(scs, parallelism, mode)
 }
 
 // ChaosInvariants returns the invariant registry checked after chaos runs.
