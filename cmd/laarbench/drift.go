@@ -1,0 +1,213 @@
+// Cross-baseline drift detection: the freshly measured report is compared
+// against the newest checked-in BENCH_<n>.json so allocation regressions
+// fail CI and suspicious per-benchmark slowdowns are surfaced even when
+// the absolute clock speed of the host changed between runs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// DriftConfig holds the drift thresholds.
+//
+// Allocations are deterministic per benchmark, so they gate hard: the run
+// fails when current allocs/op exceeds baseline*(1+AllocsFrac)+AllocsAbs.
+// Wall-clock is not comparable across hosts, so ns/op ratios are first
+// normalized by the suite-wide median current/baseline ratio (which absorbs
+// a uniformly faster or slower machine) and only benchmarks that drift
+// beyond NsFrac of that median are reported — as warnings, not failures.
+type DriftConfig struct {
+	AllocsFrac float64
+	AllocsAbs  float64
+	NsFrac     float64
+}
+
+// DriftFinding is one benchmark that moved past a drift threshold.
+type DriftFinding struct {
+	Name    string
+	Package string
+	Metric  string  // "allocs/op" or "ns/op (normalized)"
+	Base    float64 // baseline value (ns findings: normalized ratio of 1)
+	Cur     float64 // current value (ns findings: normalized ratio)
+	Limit   float64 // threshold that was crossed
+	Hard    bool    // true = regression gate, false = advisory warning
+}
+
+func (f DriftFinding) String() string {
+	return fmt.Sprintf("%s (%s): %s %.3g exceeds limit %.3g (baseline %.3g)",
+		f.Name, f.Package, f.Metric, f.Cur, f.Limit, f.Base)
+}
+
+var benchSuffix = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// findBaseline scans dir for BENCH_<n>.json files, excluding the path the
+// current run is writing to, and returns the one with the highest numeric
+// suffix. An empty path with a nil error means no baseline exists yet.
+func findBaseline(dir, exclude string) (string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	excludeAbs, _ := filepath.Abs(exclude)
+	best, bestN := "", -1
+	for _, p := range names {
+		abs, _ := filepath.Abs(p)
+		if abs == excludeAbs {
+			continue
+		}
+		m := benchSuffix.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = p, n
+		}
+	}
+	return best, nil
+}
+
+// loadReport parses one BENCH_<n>.json.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// benchKey identifies a benchmark across reports.
+type benchKey struct{ name, pkg string }
+
+// compareReports matches benchmarks by name+package and applies the drift
+// thresholds. Hard findings (allocation regressions) and advisory warnings
+// (normalized ns/op drift) are returned separately.
+func compareReports(base, cur *Report, cfg DriftConfig) (hard, warn []DriftFinding) {
+	baseline := make(map[benchKey]BenchEntry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[benchKey{e.Name, e.Package}] = e
+	}
+
+	type pair struct{ b, c BenchEntry }
+	var matched []pair
+	for _, e := range cur.Benchmarks {
+		if b, ok := baseline[benchKey{e.Name, e.Package}]; ok {
+			matched = append(matched, pair{b, e})
+		}
+	}
+
+	for _, p := range matched {
+		limit := p.b.AllocsPerOp*(1+cfg.AllocsFrac) + cfg.AllocsAbs
+		if p.c.AllocsPerOp > limit {
+			hard = append(hard, DriftFinding{
+				Name: p.c.Name, Package: p.c.Package, Metric: "allocs/op",
+				Base: p.b.AllocsPerOp, Cur: p.c.AllocsPerOp, Limit: limit, Hard: true,
+			})
+		}
+	}
+
+	// Normalize wall clock by the median current/baseline ratio: a machine
+	// that is uniformly 2x slower yields ratio 2 everywhere, median 2, and
+	// every normalized ratio is 1 — only relative per-benchmark drift shows.
+	var ratios []float64
+	for _, p := range matched {
+		if p.b.NsPerOp > 0 && p.c.NsPerOp > 0 {
+			ratios = append(ratios, p.c.NsPerOp/p.b.NsPerOp)
+		}
+	}
+	if len(ratios) < 3 {
+		return hard, warn // too few points for the median to mean anything
+	}
+	med := median(ratios)
+	if med <= 0 {
+		return hard, warn
+	}
+	for _, p := range matched {
+		if p.b.NsPerOp <= 0 || p.c.NsPerOp <= 0 {
+			continue
+		}
+		norm := (p.c.NsPerOp / p.b.NsPerOp) / med
+		if norm > 1+cfg.NsFrac {
+			warn = append(warn, DriftFinding{
+				Name: p.c.Name, Package: p.c.Package, Metric: "ns/op (normalized)",
+				Base: 1, Cur: norm, Limit: 1 + cfg.NsFrac,
+			})
+		}
+	}
+	return hard, warn
+}
+
+// median returns the middle value of xs (mean of the two middle values for
+// even lengths). xs is not modified.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// checkDrift loads the newest baseline and compares the current report
+// against it. Warnings print to stderr; hard findings become the returned
+// error. A missing baseline is not an error — the first PR has nothing to
+// drift from.
+func checkDrift(rep *Report, dir, exclude string, cfg DriftConfig) error {
+	path, err := findBaseline(dir, exclude)
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "laarbench: no BENCH_<n>.json baseline found, skipping drift check")
+		return nil
+	}
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	hard, warn := compareReports(base, rep, cfg)
+	for _, f := range warn {
+		fmt.Fprintf(os.Stderr, "laarbench: drift warning vs %s: %s\n", filepath.Base(path), f)
+	}
+	if len(hard) > 0 {
+		for _, f := range hard {
+			fmt.Fprintf(os.Stderr, "laarbench: drift FAILURE vs %s: %s\n", filepath.Base(path), f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed allocations vs baseline %s", len(hard), filepath.Base(path))
+	}
+	fmt.Fprintf(os.Stderr, "laarbench: drift check vs %s: %d matched, %d warnings, no regressions\n",
+		filepath.Base(path), matchedCount(base, rep), len(warn))
+	return nil
+}
+
+// matchedCount reports how many benchmarks exist in both reports.
+func matchedCount(base, cur *Report) int {
+	keys := make(map[benchKey]bool, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		keys[benchKey{e.Name, e.Package}] = true
+	}
+	n := 0
+	for _, e := range cur.Benchmarks {
+		if keys[benchKey{e.Name, e.Package}] {
+			n++
+		}
+	}
+	return n
+}

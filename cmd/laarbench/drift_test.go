@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rep(entries ...BenchEntry) *Report {
+	return &Report{Schema: "laar-bench/1", Benchmarks: entries}
+}
+
+func entry(name, pkg string, ns, allocs float64) BenchEntry {
+	return BenchEntry{Name: name, Package: pkg, Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+var defaultCfg = DriftConfig{AllocsFrac: 0.10, AllocsAbs: 8, NsFrac: 0.30}
+
+// TestFindBaselineNewestSuffix pins the baseline-selection rule: highest
+// numeric suffix wins, the file being written is excluded, and non-matching
+// names are ignored.
+func TestFindBaselineNewestSuffix(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_3.json", "BENCH_extra.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := findBaseline(dir, filepath.Join(dir, "BENCH_11.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("picked %q, want BENCH_10.json", got)
+	}
+
+	// The report the current run writes must not become its own baseline.
+	got, err = findBaseline(dir, filepath.Join(dir, "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_3.json" {
+		t.Errorf("with BENCH_10 excluded picked %q, want BENCH_3.json", got)
+	}
+
+	got, err = findBaseline(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("empty dir yielded baseline %q", got)
+	}
+}
+
+// TestDriftAllocsGate exercises the hard allocation gate: within
+// base*(1+frac)+abs passes, beyond it fails, and unmatched benchmarks are
+// ignored.
+func TestDriftAllocsGate(t *testing.T) {
+	base := rep(
+		entry("BenchmarkA", "laar", 100, 100),
+		entry("BenchmarkB", "laar", 100, 0),
+		entry("BenchmarkGone", "laar", 100, 5),
+	)
+	cur := rep(
+		entry("BenchmarkA", "laar", 100, 118),   // limit 100*1.1+8 = 118: at the limit, passes
+		entry("BenchmarkB", "laar", 100, 9),     // limit 0*1.1+8 = 8: 9 > 8 fails
+		entry("BenchmarkNew", "laar", 100, 1e6), // no baseline: ignored
+	)
+	hard, warn := compareReports(base, cur, defaultCfg)
+	if len(warn) != 0 {
+		t.Errorf("unexpected ns warnings: %v", warn)
+	}
+	if len(hard) != 1 || hard[0].Name != "BenchmarkB" {
+		t.Fatalf("hard findings = %v, want exactly BenchmarkB", hard)
+	}
+	if !hard[0].Hard || hard[0].Metric != "allocs/op" {
+		t.Errorf("finding misclassified: %+v", hard[0])
+	}
+}
+
+// TestDriftNsNormalization pins the median normalization: a uniformly
+// slower host produces no warnings, while a single benchmark drifting
+// against the rest of the suite does.
+func TestDriftNsNormalization(t *testing.T) {
+	base := rep(
+		entry("BenchmarkA", "laar", 100, 0),
+		entry("BenchmarkB", "laar", 200, 0),
+		entry("BenchmarkC", "laar", 300, 0),
+		entry("BenchmarkD", "laar", 400, 0),
+	)
+	// Every benchmark 2x slower: median ratio 2, normalized ratios all 1.
+	uniform := rep(
+		entry("BenchmarkA", "laar", 200, 0),
+		entry("BenchmarkB", "laar", 400, 0),
+		entry("BenchmarkC", "laar", 600, 0),
+		entry("BenchmarkD", "laar", 800, 0),
+	)
+	hard, warn := compareReports(base, uniform, defaultCfg)
+	if len(hard) != 0 || len(warn) != 0 {
+		t.Fatalf("uniform slowdown flagged: hard=%v warn=%v", hard, warn)
+	}
+
+	// BenchmarkD alone 2x slower: normalized ratio 2/1 = 2 > 1.3.
+	skewed := rep(
+		entry("BenchmarkA", "laar", 100, 0),
+		entry("BenchmarkB", "laar", 200, 0),
+		entry("BenchmarkC", "laar", 300, 0),
+		entry("BenchmarkD", "laar", 800, 0),
+	)
+	hard, warn = compareReports(base, skewed, defaultCfg)
+	if len(hard) != 0 {
+		t.Fatalf("ns drift must never hard-fail: %v", hard)
+	}
+	if len(warn) != 1 || warn[0].Name != "BenchmarkD" {
+		t.Fatalf("warnings = %v, want exactly BenchmarkD", warn)
+	}
+	if warn[0].Hard {
+		t.Error("ns warning marked hard")
+	}
+}
+
+// TestDriftTooFewPoints verifies the median normalization disarms itself
+// below three matched wall-clock points, where a median is meaningless.
+func TestDriftTooFewPoints(t *testing.T) {
+	base := rep(entry("BenchmarkA", "laar", 100, 0), entry("BenchmarkB", "laar", 100, 0))
+	cur := rep(entry("BenchmarkA", "laar", 100, 0), entry("BenchmarkB", "laar", 900, 0))
+	hard, warn := compareReports(base, cur, defaultCfg)
+	if len(hard) != 0 || len(warn) != 0 {
+		t.Fatalf("two-point suite produced findings: hard=%v warn=%v", hard, warn)
+	}
+}
+
+// TestDriftSamePackageDifferentName verifies matching keys on name AND
+// package so identically named benchmarks in different packages do not
+// cross-contaminate.
+func TestDriftPackageScoping(t *testing.T) {
+	base := rep(entry("BenchmarkX", "laar", 100, 10), entry("BenchmarkX", "laar/internal/engine", 100, 1000))
+	cur := rep(entry("BenchmarkX", "laar", 100, 12), entry("BenchmarkX", "laar/internal/engine", 100, 1000))
+	hard, _ := compareReports(base, cur, defaultCfg)
+	if len(hard) != 0 {
+		t.Fatalf("cross-package key collision: %v", hard)
+	}
+}
+
+// TestCheckDriftEndToEnd round-trips a baseline file through checkDrift.
+func TestCheckDriftEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_1.json")
+	writeJSON(t, basePath, rep(
+		entry("BenchmarkA", "laar", 100, 10),
+		entry("BenchmarkB", "laar", 100, 10),
+		entry("BenchmarkC", "laar", 100, 10),
+	))
+
+	ok := rep(
+		entry("BenchmarkA", "laar", 110, 10),
+		entry("BenchmarkB", "laar", 105, 11),
+		entry("BenchmarkC", "laar", 95, 10),
+	)
+	if err := checkDrift(ok, dir, filepath.Join(dir, "BENCH_2.json"), defaultCfg); err != nil {
+		t.Fatalf("clean report failed drift check: %v", err)
+	}
+
+	bad := rep(
+		entry("BenchmarkA", "laar", 100, 10),
+		entry("BenchmarkB", "laar", 100, 10),
+		entry("BenchmarkC", "laar", 100, 40), // 40 > 10*1.1+8 = 19
+	)
+	if err := checkDrift(bad, dir, filepath.Join(dir, "BENCH_2.json"), defaultCfg); err == nil {
+		t.Fatal("allocation regression passed the drift check")
+	}
+
+	// No baseline at all: not an error.
+	if err := checkDrift(bad, t.TempDir(), "", defaultCfg); err != nil {
+		t.Fatalf("missing baseline must not fail: %v", err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, r *Report) {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

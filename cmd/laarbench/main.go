@@ -6,7 +6,11 @@
 //
 // It exits non-zero when BenchmarkDoTick's allocs/op exceeds the
 // checked-in ceiling — the CI smoke job uses this as the regression gate
-// for the engine hot path.
+// for the engine hot path — or when any benchmark's allocs/op regressed
+// against the newest checked-in BENCH_<n>.json baseline. Wall-clock drift
+// is advisory only: ns/op ratios are normalized by the suite-wide median
+// so a faster or slower host does not trigger noise, and outliers print
+// as warnings.
 //
 // Usage:
 //
@@ -94,6 +98,12 @@ func main() {
 		reps       = flag.Int("reps", 3, "matrix timing repetitions (best of)")
 		workers    = flag.Int("matrix-workers", 0, "parallel matrix workers (0 = max(8, NumCPU))")
 		maxAllocs  = flag.Float64("max-tick-allocs", maxDoTickAllocs, "fail when BenchmarkDoTick allocs/op exceeds this ceiling")
+
+		driftDir   = flag.String("drift-baselines", ".", "directory scanned for BENCH_<n>.json baselines (highest numeric suffix wins)")
+		allocsFrac = flag.Float64("drift-allocs-frac", 0.10, "fractional allocs/op headroom over the baseline before the drift gate fails")
+		allocsAbs  = flag.Float64("drift-allocs-abs", 8, "absolute allocs/op headroom added on top of the fractional one")
+		nsFrac     = flag.Float64("drift-ns-frac", 0.30, "warn when a benchmark's median-normalized ns/op ratio drifts beyond this fraction")
+		skipDrift  = flag.Bool("skip-drift", false, "skip the cross-baseline drift check")
 	)
 	flag.Parse()
 
@@ -137,6 +147,12 @@ func main() {
 
 	if err := enforceCeilings(rep, *maxAllocs); err != nil {
 		fatal(err)
+	}
+	if !*skipDrift && len(rep.Benchmarks) > 0 {
+		cfg := DriftConfig{AllocsFrac: *allocsFrac, AllocsAbs: *allocsAbs, NsFrac: *nsFrac}
+		if err := checkDrift(rep, *driftDir, *out, cfg); err != nil {
+			fatal(err)
+		}
 	}
 }
 

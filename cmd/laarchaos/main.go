@@ -10,6 +10,7 @@
 //	laarchaos -seed 42 -scenario partition   # reproduce one run
 //	laarchaos -runs 5 -diff                  # engine ↔ live differential mode
 //	laarchaos -runs 5 -supervised            # supervised-recovery mode
+//	laarchaos -runs 3 -controller            # replicated-control-plane mode
 //	laarchaos -runs 100 -parallel 4          # bound the worker pool
 package main
 
@@ -27,21 +28,29 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "base seed; run i uses seed+i")
 		runs       = flag.Int("runs", 1, "seeds to run per scenario class")
-		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | all")
+		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | ctrl-crash | ctrl-partition | ctrl-spike | all")
 		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
 		supervised = flag.Bool("supervised", false, "supervised-recovery mode: replay faults against the supervised live runtime, withholding scheduled recoveries")
+		controller = flag.Bool("controller", false, "control-plane mode: replay controller crashes, blackouts and controller↔controller cuts against the replicated live control plane")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the sweep (invariant results are identical for every setting)")
 		duration   = flag.Float64("duration", 0, "trace duration in seconds (0 = scenario default)")
 		pes        = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
 		hosts      = flag.Int("hosts", 0, "deployment hosts (0 = default)")
+		ctrls      = flag.Int("controllers", 0, "replicated HAController instances (0 = scenario default: 3 for ctrl-* classes, 1 otherwise)")
 		icTarget   = flag.Float64("ic-target", 0, "ICGreedy strategy target (0 = default)")
 		verbose    = flag.Bool("v", false, "print every run, not only violations")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	if *diff && *supervised {
-		fatal(fmt.Errorf("-diff and -supervised are mutually exclusive"))
+	modeFlags := 0
+	for _, on := range []bool{*diff, *supervised, *controller} {
+		if on {
+			modeFlags++
+		}
+	}
+	if modeFlags > 1 {
+		fatal(fmt.Errorf("-diff, -supervised and -controller are mutually exclusive"))
 	}
 	mode := laar.ChaosModeInvariants
 	switch {
@@ -49,6 +58,8 @@ func main() {
 		mode = laar.ChaosModeDiff
 	case *supervised:
 		mode = laar.ChaosModeSupervised
+	case *controller:
+		mode = laar.ChaosModeController
 	}
 
 	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
@@ -69,12 +80,13 @@ func main() {
 	for _, class := range classes {
 		for i := 0; i < *runs; i++ {
 			scs = append(scs, laar.ChaosScenario{
-				Seed:     *seed + int64(i),
-				Class:    class,
-				Duration: *duration,
-				NumPEs:   *pes,
-				NumHosts: *hosts,
-				ICTarget: *icTarget,
+				Seed:        *seed + int64(i),
+				Class:       class,
+				Duration:    *duration,
+				NumPEs:      *pes,
+				NumHosts:    *hosts,
+				ICTarget:    *icTarget,
+				Controllers: *ctrls,
 			})
 		}
 	}
@@ -117,6 +129,18 @@ func report(run laar.ChaosSweepRun, verbose bool) int {
 		if verbose {
 			fmt.Printf("seed %-4d %-16s ok: %d kills, %d supervisor restarts\n",
 				sc.Seed, sc.Class, run.Supervised.Kills, run.Supervised.Restarts)
+		}
+		return 0
+	}
+	if run.Controller != nil {
+		if err := run.Controller.Err(); err != nil {
+			fmt.Printf("seed %-4d %-16s CONTROL-PLANE %v\n", sc.Seed, sc.Class, err)
+			return 1
+		}
+		if verbose {
+			fmt.Printf("seed %-4d %-16s ok: leader %d epoch %d after %d lease grants, fail-safe observed=%v\n",
+				sc.Seed, sc.Class, run.Controller.Leader, run.Controller.Epoch,
+				len(run.Controller.Leases), run.Controller.FailSafeObserved)
 		}
 		return 0
 	}

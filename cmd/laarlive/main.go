@@ -33,6 +33,8 @@ func main() {
 		crash     = flag.Bool("crash", false, "crash a primary replica mid-run to demonstrate failover")
 		supervise = flag.Bool("supervise", false, "enable the replica supervisor: crashed replicas restart automatically with backoff")
 		deadline  = flag.Duration("deadline", 10*time.Second, "solver deadline")
+		ctrls     = flag.Int("controllers", 1, "replicated HAController instances")
+		crashCtrl = flag.Bool("crash-controller", false, "crash the lease-holding controller mid-run to demonstrate control-plane failover (needs -controllers > 1)")
 	)
 	flag.Parse()
 	if *descPath == "" {
@@ -62,7 +64,7 @@ func main() {
 
 	rt, err := laar.NewLiveRuntime(d, asg, res.Strategy, func(laar.ComponentID, int) laar.Operator {
 		return laar.OperatorFunc(func(t laar.Tuple) []any { return []any{t.Data} })
-	}, laar.LiveConfig{MonitorInterval: 50 * time.Millisecond, QueueLen: 4096, Supervise: *supervise})
+	}, laar.LiveConfig{MonitorInterval: 50 * time.Millisecond, QueueLen: 4096, Supervise: *supervise, Controllers: *ctrls})
 	if err != nil {
 		fatal(err)
 	}
@@ -92,6 +94,24 @@ func main() {
 			}
 		}()
 	}
+	if *crashCtrl {
+		if *ctrls < 2 {
+			fatal(fmt.Errorf("-crash-controller needs -controllers > 1 (a standby must exist to take the lease)"))
+		}
+		go func() {
+			time.Sleep(time.Duration(*duration / *scale * 0.4 * float64(time.Second)))
+			leader, epoch := rt.Leader()
+			fmt.Fprintf(os.Stderr, "crashing lease-holding controller %d (epoch %d)...\n", leader, epoch)
+			if err := rt.KillController(leader); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			time.Sleep(time.Duration(*duration / *scale * 0.3 * float64(time.Second)))
+			fmt.Fprintf(os.Stderr, "recovering controller %d...\n", leader)
+			if err := rt.RecoverController(leader); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	pushed, err := driver.Run(context.Background())
 	if err != nil {
@@ -99,6 +119,8 @@ func main() {
 	}
 	time.Sleep(200 * time.Millisecond) // drain the pipeline tail
 	replicaStats := rt.Stats()
+	ctrlStats := rt.ControllerStats()
+	leases := rt.LeaseHistory()
 	stats, err := rt.Stop()
 	if err != nil {
 		fatal(err)
@@ -122,6 +144,13 @@ func main() {
 			}
 			fmt.Printf("replica (%d,%d): alive=%v restarts=%d backoff=%v pending=%v\n",
 				rs.PE, rs.Replica, rs.Alive, rs.Restarts, rs.Backoff, rs.RestartPending)
+		}
+	}
+	if *ctrls > 1 {
+		fmt.Printf("lease grants      %d\n", len(leases))
+		for _, cs := range ctrlStats {
+			fmt.Printf("controller %d: alive=%v leader=%v epoch=%d commands sent=%d acked=%d retried=%d stale-rejected=%d\n",
+				cs.ID, cs.Alive, cs.Leader, cs.Epoch, cs.CommandsSent, cs.CommandsAcked, cs.CommandsRetried, cs.StaleRejected)
 		}
 	}
 	_ = total

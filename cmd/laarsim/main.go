@@ -26,10 +26,11 @@ func main() {
 		hosts     = flag.Int("hosts", 5, "number of deployment hosts")
 		duration  = flag.Float64("duration", 300, "trace duration in seconds")
 		period    = flag.Float64("period", 90, "trace period; High is active one third of each period")
-		scenario  = flag.String("scenario", "best", "failure scenario: best | worst | crash")
+		scenario  = flag.String("scenario", "best", "failure scenario: best | worst | crash | ctrl-crash")
 		crashHost = flag.Int("crash-host", 0, "host to crash in the crash scenario")
 		glitch    = flag.Float64("glitch", 0, "source-rate glitch amplitude in [0, 1)")
 		seed      = flag.Int64("seed", 0, "glitch noise seed")
+		ctrls     = flag.Int("controllers", 1, "replicated HAController instances (ctrl-crash needs at least 1; the leader crash fails over to a standby when one exists)")
 	)
 	flag.Parse()
 	if *descPath == "" {
@@ -77,7 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sim, err := laar.NewSimulation(d, asg, strat, tr, laar.SimConfig{GlitchAmplitude: *glitch, Seed: *seed})
+	sim, err := laar.NewSimulation(d, asg, strat, tr, laar.SimConfig{GlitchAmplitude: *glitch, Seed: *seed, Controllers: *ctrls})
 	if err != nil {
 		fatal(err)
 	}
@@ -89,6 +90,14 @@ func main() {
 		}
 	case "crash":
 		plan, err := laar.HostCrashPlan(asg.NumHosts, *crashHost, *duration/2, 16)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
+			fatal(err)
+		}
+	case "ctrl-crash":
+		plan, err := laar.ControllerCrashPlan(*ctrls, 0, *duration/2, 16)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,6 +118,10 @@ func main() {
 	fmt.Printf("dropped         %.0f tuples\n", m.DroppedTotal)
 	fmt.Printf("cpu             %.1f cpu-seconds (%.3g cycles)\n", m.CPUSecondsTotal, m.CPUCyclesTotal)
 	fmt.Printf("config switches %d\n", m.ConfigSwitches)
+	if m.ControllerFailovers > 0 || m.LeaderlessSeconds > 0 || m.FailSafeActivations > 0 {
+		fmt.Printf("ctrl failovers  %d (leaderless %.1f s, fail-safe reversions %d, command retries %d)\n",
+			m.ControllerFailovers, m.LeaderlessSeconds, m.FailSafeActivations, m.CommandRetries)
+	}
 	fmt.Printf("model IC        %.4f (pessimistic bound)\n", laar.IC(rates, strat, laar.Pessimistic{}))
 }
 

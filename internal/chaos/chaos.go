@@ -2,8 +2,10 @@
 // LAAR runtime layers. It generates randomized failure schedules — host
 // crashes, correlated multi-host crashes, replica kill/recover churn,
 // network partitions (host↔host and host↔controller link cuts), gray
-// slowdowns (degraded-but-alive hosts), load spikes and input-rate glitch
-// bursts — from a compact Scenario spec, drives the discrete-event engine
+// slowdowns (degraded-but-alive hosts), load spikes, input-rate glitch
+// bursts and control-plane failures (HAController crashes, blackouts and
+// controller↔controller partitions) — from a compact Scenario spec, drives
+// the discrete-event engine
 // (and, through a fake clock, the goroutine live runtime) through the
 // schedule, and checks a registry of LAAR invariants after every run:
 //
@@ -24,9 +26,11 @@
 //     recovers to the failure-free expectation.
 //
 // Beyond engine runs, Diff replays a schedule differentially on the engine
-// and the live runtime, and Supervised replays its faults against the
+// and the live runtime, Supervised replays its faults against the
 // supervised live runtime — withholding scheduled recoveries — to prove
-// the supervisor alone restores full replication.
+// the supervisor alone restores full replication, and Controller replays
+// control-plane faults against the replicated live control plane and checks
+// lease-epoch uniqueness, command convergence and fail-safe reversion.
 //
 // Every engine run is a pure function of the scenario seed, so any failing
 // schedule reproduces from a single integer (cmd/laarchaos -seed N).
@@ -68,6 +72,20 @@ const (
 	// and queues overflow. Outside the pessimistic crash-stop model by
 	// construction.
 	GraySlow
+	// CtrlCrash crashes HAController instances: the acting leader goes down
+	// shortly after a trace boundary (mid-reconfiguration, while activation
+	// commands are in flight), and later every instance at once — a control
+	// plane blackout long enough to trigger the replica-side fail-safe.
+	// Outside the pessimistic model: the paper assumes the controller lives.
+	CtrlCrash
+	// CtrlPartition cuts controller↔controller links for random windows, so
+	// standby instances stop hearing the leader and claim competing leases.
+	// The cuts live in Schedule.CtrlCuts and only the live runtime realises
+	// them; the engine's controllers share one process and cannot partition.
+	CtrlPartition
+	// CtrlSpike combines a load spike with a leader crash inside the spike:
+	// the control plane fails over exactly when a reconfiguration is due.
+	CtrlSpike
 )
 
 var classNames = map[Class]string{
@@ -79,6 +97,9 @@ var classNames = map[Class]string{
 	Mixed:           "mixed",
 	Partition:       "partition",
 	GraySlow:        "gray-slow",
+	CtrlCrash:       "ctrl-crash",
+	CtrlPartition:   "ctrl-partition",
+	CtrlSpike:       "ctrl-spike",
 }
 
 // String returns the class's schedule-spec name.
@@ -91,7 +112,7 @@ func (c Class) String() string {
 
 // Classes lists every schedule class in declaration order.
 func Classes() []Class {
-	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow}
+	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow, CtrlCrash, CtrlPartition, CtrlSpike}
 }
 
 // ParseClass resolves a schedule-spec name ("host-crash", "mixed", ...).
@@ -131,6 +152,10 @@ type Scenario struct {
 	// QuietTail is the failure-free window at the end of the schedule in
 	// which recovery is asserted. Default 30.
 	QuietTail float64
+	// Controllers is the control-plane size: the number of replicated
+	// HAController instances the run deploys. Default 3 for the controller
+	// classes (CtrlCrash, CtrlPartition, CtrlSpike) and 1 otherwise.
+	Controllers int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -162,6 +187,18 @@ func (sc Scenario) withDefaults() Scenario {
 			sc.Faults = 2
 		case GraySlow:
 			sc.Faults = 2
+		case CtrlCrash, CtrlSpike:
+			sc.Faults = 1
+		case CtrlPartition:
+			sc.Faults = 2
+		}
+	}
+	if sc.Controllers == 0 {
+		switch sc.Class {
+		case CtrlCrash, CtrlPartition, CtrlSpike:
+			sc.Controllers = 3
+		default:
+			sc.Controllers = 1
 		}
 	}
 	if sc.ICTarget == 0 {
@@ -185,6 +222,12 @@ func (sc Scenario) validate() error {
 	}
 	if sc.Faults < 0 {
 		return fmt.Errorf("chaos: negative fault count %d", sc.Faults)
+	}
+	if sc.Controllers < 1 || sc.Controllers > 256 {
+		return fmt.Errorf("chaos: controller count %d outside [1, 256]", sc.Controllers)
+	}
+	if sc.Class == CtrlPartition && sc.Controllers < 2 {
+		return fmt.Errorf("chaos: ctrl-partition needs at least 2 controllers, got %d", sc.Controllers)
 	}
 	return nil
 }

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"testing"
+
+	"laar/internal/engine"
+)
+
+// TestControllerChaos replays the control-plane scenario classes against the
+// live runtime's replicated control plane and demands every control-plane
+// invariant holds: unique lease epochs, a single converged leader, no
+// unacknowledged or conflicting commands, and a clean primary topology.
+func TestControllerChaos(t *testing.T) {
+	for _, class := range []Class{CtrlCrash, CtrlPartition, CtrlSpike} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				cr, err := Controller(Scenario{Seed: seed, Class: class})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := cr.Err(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				if len(cr.Leases) == 0 {
+					t.Errorf("seed %d: no lease was ever granted", seed)
+				}
+				if class == CtrlCrash {
+					if !cr.FailSafeExpected {
+						t.Errorf("seed %d: blackout %v too short to arm the fail-safe check", seed, cr.Schedule.Blackout)
+					}
+					// The leader crash plus the blackout must have moved the
+					// lease at least once.
+					if len(cr.Leases) < 2 {
+						t.Errorf("seed %d: lease never moved across a leader crash (%d grants)", seed, len(cr.Leases))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestControllerScheduleShape pins the generated control-plane schedules:
+// crash events come in balanced crash/recover pairs inside the fault window,
+// controller crashes void the pessimistic model, the CtrlCrash blackout
+// covers every instance for longer than the fail-safe horizon, and
+// ctrl-partition cuts are paired, ordered and engine-invisible.
+func TestControllerScheduleShape(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := Scenario{Seed: seed, Class: CtrlCrash}.withDefaults()
+		sys, _, err := controllerSystem(sc.Duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := BuildSchedule(sc, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.WithinModel {
+			t.Errorf("seed %d: controller crashes must put the schedule out of the pessimistic model", seed)
+		}
+		down := make(map[int]int)
+		winHi := sc.Duration - sc.QuietTail
+		for _, ev := range sched.Events {
+			switch ev.Kind {
+			case engine.ControllerCrash:
+				down[ev.Host]++
+			case engine.ControllerRecover:
+				down[ev.Host]--
+			default:
+				t.Errorf("seed %d: unexpected event kind %v in a ctrl-crash schedule", seed, ev.Kind)
+			}
+			if ev.Time <= 0 || ev.Time > winHi {
+				t.Errorf("seed %d: event at %.1f outside the fault window (0, %.1f]", seed, ev.Time, winHi)
+			}
+		}
+		for idx, d := range down {
+			if d != 0 {
+				t.Errorf("seed %d: controller %d has unbalanced crash/recover events", seed, idx)
+			}
+		}
+		if got := sched.Blackout[1] - sched.Blackout[0]; got <= ctrlFailSafeHorizon.Seconds() {
+			t.Errorf("seed %d: blackout %.1fs not past the %.0fs fail-safe horizon", seed, got, ctrlFailSafeHorizon.Seconds())
+		}
+		if sched.LastClear < sched.Blackout[1] {
+			t.Errorf("seed %d: LastClear %.1f before blackout end %.1f", seed, sched.LastClear, sched.Blackout[1])
+		}
+
+		psc := Scenario{Seed: seed, Class: CtrlPartition}.withDefaults()
+		psched, err := BuildSchedule(psc, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(psched.Events) != 0 {
+			t.Errorf("seed %d: ctrl-partition emitted %d engine events, want 0", seed, len(psched.Events))
+		}
+		open := make(map[[2]int]bool)
+		last := 0.0
+		for _, cut := range psched.CtrlCuts {
+			if cut.Time < last {
+				t.Errorf("seed %d: ctrl cuts out of order", seed)
+			}
+			last = cut.Time
+			key := [2]int{cut.A, cut.B}
+			if cut.Heal != open[key] {
+				t.Errorf("seed %d: cut/heal lifecycle broken for link %v", seed, key)
+			}
+			open[key] = !cut.Heal
+			if cut.A == cut.B || cut.A >= psc.Controllers || cut.B >= psc.Controllers {
+				t.Errorf("seed %d: ctrl cut addresses bad instances (%d, %d)", seed, cut.A, cut.B)
+			}
+		}
+		for key, o := range open {
+			if o {
+				t.Errorf("seed %d: link %v never healed", seed, key)
+			}
+		}
+	}
+}
+
+// TestControllerEngineLeg runs a ctrl-crash scenario on the discrete-event
+// engine and checks the engine-side controller model registered the faults:
+// failovers counted, leaderless time accrued, and the fail-safe engaged
+// during the blackout.
+func TestControllerEngineLeg(t *testing.T) {
+	res, err := Run(Scenario{Seed: 1, Class: CtrlCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ControllerFailovers == 0 {
+		t.Error("engine run with controller crashes counted no failovers")
+	}
+	if res.Metrics.LeaderlessSeconds <= 0 {
+		t.Error("engine run with a control-plane blackout accrued no leaderless time")
+	}
+	if res.Metrics.FailSafeActivations == 0 {
+		t.Error("engine blackout past FailSafeAfter engaged no fail-safe")
+	}
+	for _, v := range Check(res) {
+		t.Errorf("engine leg violates %v", v)
+	}
+}
+
+// TestControllerSweepMode drives the controller runner through the Sweep
+// worker pool.
+func TestControllerSweepMode(t *testing.T) {
+	runs := Sweep([]Scenario{
+		{Seed: 11, Class: CtrlCrash},
+		{Seed: 12, Class: CtrlPartition},
+	}, 2, ModeController)
+	for _, run := range runs {
+		if run.Err != nil {
+			t.Fatalf("%s seed %d: %v", run.Scenario.Class, run.Scenario.Seed, run.Err)
+		}
+		if run.Controller == nil {
+			t.Fatalf("%s seed %d: controller mode produced no controller result", run.Scenario.Class, run.Scenario.Seed)
+		}
+		if run.Failed() {
+			t.Errorf("%s seed %d: %v", run.Scenario.Class, run.Scenario.Seed, run.Controller.Err())
+		}
+	}
+}

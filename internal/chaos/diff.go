@@ -191,6 +191,11 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 			InitialConfig:   sched.Trace.ConfigAt(0),
 			Clock:           fc,
 			Transport:       net,
+			// The engine leg has no replica-side fail-safe for data-plane
+			// partitions, so the live leg must not unfence stale primaries
+			// past the horizon either — the legs would diverge under long
+			// host↔controller cuts.
+			FailSafeHorizon: -1,
 		})
 	if err != nil {
 		return 0, nil, err
@@ -243,11 +248,14 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 
 // diffableEvents filters a schedule down to the kinds both legs can
 // realise identically: gray slowdowns act on the engine's CPU model only,
-// so they are dropped before a differential run.
+// and controller crashes have timing semantics (failover delay versus lease
+// expiry) the two control planes model differently, so both are dropped
+// before a differential run.
 func diffableEvents(events []engine.FailureEvent) []engine.FailureEvent {
 	out := events[:0]
 	for _, ev := range events {
-		if ev.Kind == engine.HostSlow || ev.Kind == engine.HostNormal {
+		switch ev.Kind {
+		case engine.HostSlow, engine.HostNormal, engine.ControllerCrash, engine.ControllerRecover:
 			continue
 		}
 		out = append(out, ev)
@@ -290,5 +298,9 @@ func applyLiveEvent(rt *live.Runtime, net *live.NetFault, sys *System, peID []co
 		net.Cut(ev.Host, ev.HostB)
 	case engine.LinkUp:
 		net.Heal(ev.Host, ev.HostB)
+	case engine.ControllerCrash:
+		rt.KillController(ev.Host)
+	case engine.ControllerRecover:
+		rt.RecoverController(ev.Host)
 	}
 }

@@ -25,6 +25,7 @@ func Run(sc Scenario) (*Result, error) {
 	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{
 		GlitchAmplitude: sched.Glitch,
 		Seed:            subSeed(sc.Seed, 0x911c4),
+		Controllers:     sc.Controllers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: building simulation: %w", err)

@@ -30,6 +30,23 @@ type Schedule struct {
 	WithinModel bool
 	// LastClear is the time the last failure recovers (0 without faults).
 	LastClear float64
+	// CtrlCuts are controller↔controller link cuts and heals, sorted by
+	// time. Only the live runtime realises them: the engine's controller
+	// instances share one process and cannot partition from each other.
+	CtrlCuts []CtrlCut
+	// Blackout is the [start, end) window during which every controller
+	// instance is down, or the zero value when the schedule has none. The
+	// controller runner uses it to decide whether the replica-side
+	// fail-safe must have engaged.
+	Blackout [2]float64
+}
+
+// CtrlCut is one controller↔controller link transition: at Time the link
+// between instances A and B is cut (or healed, when Heal is set).
+type CtrlCut struct {
+	Time float64
+	A, B int
+	Heal bool
 }
 
 // BuildSchedule generates the deterministic failure schedule and input
@@ -46,7 +63,7 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 	// load-spike class (and, milder, in mixed schedules).
 	var err error
 	switch sc.Class {
-	case LoadSpike:
+	case LoadSpike, CtrlSpike:
 		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 2+rng.Intn(3), 5, 15, rng)
 	case Mixed:
 		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 1+rng.Intn(2), 8, 16, rng)
@@ -81,14 +98,26 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 		sd.partitions(sc, sys, rng, sc.Faults, winLo, winHi)
 	case GraySlow:
 		sd.graySlowdowns(sc, sys, rng, sc.Faults, winLo, winHi)
+	case CtrlCrash:
+		sd.ctrlCrashes(sc, rng, winLo, winHi)
+	case CtrlPartition:
+		sd.ctrlPartitions(sc, rng, sc.Faults, winLo, winHi)
+	case CtrlSpike:
+		sd.ctrlSpikeCrash(sc, sys, rng, winLo, winHi)
 	}
 	sort.SliceStable(sd.Events, func(a, b int) bool { return sd.Events[a].Time < sd.Events[b].Time })
+	sort.SliceStable(sd.CtrlCuts, func(a, b int) bool { return sd.CtrlCuts[a].Time < sd.CtrlCuts[b].Time })
 	for _, ev := range sd.Events {
 		switch ev.Kind {
-		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal:
+		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover:
 			if ev.Time > sd.LastClear {
 				sd.LastClear = ev.Time
 			}
+		}
+	}
+	for _, cut := range sd.CtrlCuts {
+		if cut.Heal && cut.Time > sd.LastClear {
+			sd.LastClear = cut.Time
 		}
 	}
 	sd.WithinModel = withinPessimisticModel(sd.Events, sys.Asg)
@@ -196,6 +225,102 @@ func (sd *Schedule) graySlowdowns(sc Scenario, sys *System, rng *rand.Rand, n in
 	}
 }
 
+// ctrlCrashes schedules the CtrlCrash plan in two disjoint acts. First the
+// acting leader (instance 0) crashes half a second after a trace boundary —
+// mid-reconfiguration, while the new configuration's activation commands are
+// still being acknowledged — and recovers within the first half of the fault
+// window. Then every instance crashes at once: a control-plane blackout held
+// long enough (when the window allows) to out-wait the replica-side
+// fail-safe horizon, recovering before the quiet tail.
+func (sd *Schedule) ctrlCrashes(sc Scenario, rng *rand.Rand, lo, hi float64) {
+	mid := lo + (hi-lo)/2
+	at := lo + rng.Float64()*(mid-lo)/2
+	for _, seg := range sd.Trace.Segments() {
+		if seg.Start > lo && seg.Start < mid-4 {
+			at = seg.Start + 0.5
+			break
+		}
+	}
+	down := 4 + rng.Float64()*4
+	if at+down > mid {
+		down = mid - at - 0.5
+	}
+	if down > 0.5 {
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.ControllerCrash, Host: 0},
+			engine.FailureEvent{Time: at + down, Kind: engine.ControllerRecover, Host: 0},
+		)
+	}
+	black := 15 + rng.Float64()*5
+	bat := fitDowntime(rng, mid, hi, &black)
+	for i := 0; i < sc.Controllers; i++ {
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: bat, Kind: engine.ControllerCrash, Host: i},
+			engine.FailureEvent{Time: bat + black, Kind: engine.ControllerRecover, Host: i},
+		)
+	}
+	sd.Blackout = [2]float64{bat, bat + black}
+}
+
+// ctrlPartitions schedules n controller↔controller cut/heal windows, never
+// overlapping two windows of the same link. The cuts go to Schedule.CtrlCuts
+// rather than Events: only the live runtime has distinct controller
+// endpoints to partition.
+func (sd *Schedule) ctrlPartitions(sc Scenario, rng *rand.Rand, n int, lo, hi float64) {
+	busyUntil := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		dur := 6 + rng.Float64()*8
+		at := fitDowntime(rng, lo, hi, &dur)
+		a := rng.Intn(sc.Controllers)
+		b := rng.Intn(sc.Controllers - 1)
+		if b >= a {
+			b++
+		}
+		if b < a {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if at < busyUntil[key] {
+			continue // same link still cut: skip this draw
+		}
+		busyUntil[key] = at + dur + 1
+		sd.CtrlCuts = append(sd.CtrlCuts,
+			CtrlCut{Time: at, A: a, B: b},
+			CtrlCut{Time: at + dur, A: a, B: b, Heal: true},
+		)
+	}
+}
+
+// ctrlSpikeCrash schedules one leader crash starting inside a load spike (a
+// high-configuration trace segment), so the failover races the
+// reconfiguration the spike demands. Without a usable spike in the fault
+// window it falls back to a random crash time.
+func (sd *Schedule) ctrlSpikeCrash(sc Scenario, sys *System, rng *rand.Rand, lo, hi float64) {
+	down := 5 + rng.Float64()*5
+	at := fitDowntime(rng, lo, hi, &down)
+	for _, seg := range sd.Trace.Segments() {
+		if seg.Config != sys.HighCfg {
+			continue
+		}
+		start := seg.Start + 0.5
+		if start < lo || start+1 >= hi {
+			continue
+		}
+		at = start
+		if at+down > hi {
+			down = hi - at - 0.5
+		}
+		break
+	}
+	if down <= 0.5 {
+		return
+	}
+	sd.Events = append(sd.Events,
+		engine.FailureEvent{Time: at, Kind: engine.ControllerCrash, Host: 0},
+		engine.FailureEvent{Time: at + down, Kind: engine.ControllerRecover, Host: 0},
+	)
+}
+
 // withinPessimisticModel replays the failure timeline and reports whether
 // every PE keeps at least one alive replica on an up, controller-reachable
 // host at all times — the physical precondition for the pessimistic-model
@@ -237,6 +362,10 @@ func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) 
 			hostUp[ev.Host] = true
 		case engine.HostSlow:
 			return false
+		case engine.ControllerCrash:
+			// The paper's model assumes the HAController is available; a
+			// crashed (let alone blacked-out) control plane voids the bound.
+			return false
 		case engine.LinkDown:
 			if ev.HostB == engine.CtrlHost {
 				ctrlCut[ev.Host] = true
@@ -261,6 +390,10 @@ func (sd *Schedule) Describe() string {
 	if !sd.WithinModel {
 		model = "out-of-model"
 	}
-	return fmt.Sprintf("%d failure events (%s), glitch %.2f, last clear at %.1fs",
-		len(sd.Events), model, sd.Glitch, sd.LastClear)
+	ctrl := ""
+	if len(sd.CtrlCuts) > 0 {
+		ctrl = fmt.Sprintf(", %d ctrl-link cuts", len(sd.CtrlCuts)/2)
+	}
+	return fmt.Sprintf("%d failure events%s (%s), glitch %.2f, last clear at %.1fs",
+		len(sd.Events), ctrl, model, sd.Glitch, sd.LastClear)
 }

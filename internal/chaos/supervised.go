@@ -84,6 +84,10 @@ func Supervised(sc Scenario) (*SupervisedResult, error) {
 			Clock:           fc,
 			Transport:       net,
 			Supervise:       true,
+			// Supervised runs assert the pre-fail-safe election semantics:
+			// a replica cut from the controller must stay fenced however
+			// long the partition lasts, as the engine model has it.
+			FailSafeHorizon: -1,
 		})
 	if err != nil {
 		return nil, err

@@ -20,6 +20,12 @@ const (
 	// live runtime, withholding scheduled recoveries, and checks that the
 	// supervisor restores full replication without split-brain.
 	ModeSupervised
+	// ModeController replays the scenario's control-plane faults against
+	// the live runtime's replicated control plane and checks the
+	// control-plane invariants: unique lease epochs, no conflicting
+	// activation commands, eventual command convergence and fail-safe
+	// reversion during blackouts.
+	ModeController
 )
 
 // String names the mode for reports.
@@ -29,6 +35,8 @@ func (m Mode) String() string {
 		return "diff"
 	case ModeSupervised:
 		return "supervised"
+	case ModeController:
+		return "controller"
 	default:
 		return "invariants"
 	}
@@ -37,13 +45,15 @@ func (m Mode) String() string {
 // SweepRun is the outcome of one scenario within a sweep. Exactly one of
 // the mode-specific fields is populated: Result/Violations for engine
 // runs, Diff for differential runs, Supervised for supervised-recovery
-// runs; Err reports a run that failed to execute at all.
+// runs, Controller for control-plane runs; Err reports a run that failed
+// to execute at all.
 type SweepRun struct {
 	Scenario   Scenario
 	Result     *Result
 	Violations []Violation
 	Diff       *DiffResult
 	Supervised *SupervisedResult
+	Controller *ControllerResult
 	Err        error
 }
 
@@ -58,6 +68,9 @@ func (r *SweepRun) Failed() bool {
 	}
 	if r.Supervised != nil {
 		return r.Supervised.Err() != nil
+	}
+	if r.Controller != nil {
+		return r.Controller.Err() != nil
 	}
 	return len(r.Violations) > 0
 }
@@ -92,6 +105,8 @@ func Sweep(scs []Scenario, parallelism int, mode Mode) []SweepRun {
 					run.Diff, run.Err = Diff(scs[j])
 				case ModeSupervised:
 					run.Supervised, run.Err = Supervised(scs[j])
+				case ModeController:
+					run.Controller, run.Err = Controller(scs[j])
 				default:
 					run.Result, run.Violations, run.Err = RunAndCheck(scs[j])
 				}

@@ -108,8 +108,31 @@ func TestDoTickDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestSamplePathAllocationCeiling is the allocation guard for the periodic
+// monitor + sample path (the ROADMAP "metrics snapshots" perf item): one
+// monitor scan plus one time-series sample may allocate at most the three
+// flat sample buffers and the R-tree walk closure — not one slice per PE.
+func TestSamplePathAllocationCeiling(t *testing.T) {
+	s := benchSim(t)
+	// Pre-size the series as Run does, so append growth does not count.
+	s.m.Series = make([]Sample, 0, 1024)
+	s.doTick(s.cfg.Tick)
+	s.doMonitor()
+	s.doSample()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.doMonitor()
+		s.doSample()
+	})
+	const ceiling = 6
+	if allocs > ceiling {
+		t.Fatalf("monitor+sample step allocates %.1f objects, want ≤ %d", allocs, ceiling)
+	}
+}
+
 // BenchmarkSimulationTick isolates the per-tick cost on the same
-// deployment with a finer tick.
+// deployment with a finer tick. allocs/op covers the whole run — ticks,
+// monitor scans and samples — so the laarbench drift gate sees sample-path
+// allocation regressions here.
 func BenchmarkSimulationTick(b *testing.B) {
 	gen, err := appgen.Generate(appgen.Params{Seed: 3})
 	if err != nil {
@@ -120,6 +143,7 @@ func BenchmarkSimulationTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim, err := New(gen.Desc, gen.Assignment, sr, tr, Config{Tick: 0.01})

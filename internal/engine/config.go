@@ -67,6 +67,33 @@ type Config struct {
 	// before they reach the input queue. Tuples in flight when a replica
 	// crashes are lost with the wire. Default 0.
 	RouteDelay float64
+
+	// Controllers is the number of replicated HAController instances. The
+	// lowest-indexed live instance acts as leader; ControllerCrash /
+	// ControllerRecover events address instances by index. With the default
+	// of 1 the control plane behaves exactly as the single-controller
+	// deployment: no failover, no fail-safe, identical event streams.
+	Controllers int
+	// FailoverDelay is the leader-election delay in seconds after the
+	// acting controller crashes: lease expiry plus the standby's takeover.
+	// While it elapses no monitor scans, reconfigurations or primary
+	// elections run. Default MonitorInterval.
+	FailoverDelay float64
+	// FailSafeAfter is how long in seconds the deployment may stay
+	// leaderless before replicas revert to full activation (fail-safe
+	// degradation: maximum fault-tolerance at degraded capacity). The next
+	// elected leader re-applies the strategy's activations. Default
+	// 4 × MonitorInterval; negative disables the fail-safe.
+	FailSafeAfter float64
+	// CommandLossP is the probability that one activation-command round
+	// from the leader is lost and must be retried; each retry delays the
+	// configuration change by CommandRetryInterval and is counted in
+	// Metrics.CommandRetries. Default 0 (reliable commands); must stay in
+	// [0, 1).
+	CommandLossP float64
+	// CommandRetryInterval is the controller's command retransmission
+	// period in seconds. Default MonitorInterval.
+	CommandRetryInterval float64
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -82,6 +109,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueSeconds <= 0 {
 		c.QueueSeconds = 2
+	}
+	if c.Controllers <= 0 {
+		c.Controllers = 1
+	}
+	if c.FailoverDelay <= 0 {
+		c.FailoverDelay = c.MonitorInterval
+	}
+	if c.FailSafeAfter == 0 {
+		c.FailSafeAfter = 4 * c.MonitorInterval
+	}
+	if c.CommandRetryInterval <= 0 {
+		c.CommandRetryInterval = c.MonitorInterval
 	}
 	return c
 }
@@ -111,6 +150,9 @@ func (c Config) validate() error {
 	}
 	if c.RouteDelay < 0 {
 		return fmt.Errorf("engine: negative route delay %v", c.RouteDelay)
+	}
+	if c.CommandLossP < 0 || c.CommandLossP >= 1 {
+		return fmt.Errorf("engine: command loss probability %v outside [0, 1)", c.CommandLossP)
 	}
 	return nil
 }
@@ -142,6 +184,17 @@ const (
 	HostSlow
 	// HostNormal restores a slowed host to full capacity.
 	HostNormal
+	// ControllerCrash crashes one HAController instance (Host is the
+	// controller index, in [0, Config.Controllers)). Crashing the leader
+	// freezes monitor scans, reconfigurations and primary elections until a
+	// standby takes over after Config.FailoverDelay; with no standby left
+	// the deployment runs leaderless on its last-elected primaries and the
+	// replicas revert to full activation after Config.FailSafeAfter.
+	ControllerCrash
+	// ControllerRecover restores a crashed controller instance (Host is
+	// the controller index). If the deployment is leaderless the recovered
+	// instance takes the lease after Config.FailoverDelay.
+	ControllerRecover
 
 	// NumFailureKinds bounds the FailureKind enumeration (for per-kind
 	// counter arrays).
@@ -155,6 +208,7 @@ const CtrlHost = -1
 var kindNames = [NumFailureKinds]string{
 	"replica-down", "replica-up", "host-down", "host-up",
 	"link-down", "link-up", "host-slow", "host-normal",
+	"controller-crash", "controller-recover",
 }
 
 // String names a failure kind for error messages and reports.
@@ -171,8 +225,9 @@ type FailureEvent struct {
 	Kind FailureKind
 	// PE and Replica address a replica for ReplicaDown/ReplicaUp.
 	PE, Replica int
-	// Host addresses a host for HostDown/HostUp/HostSlow/HostNormal, and
-	// the first endpoint for LinkDown/LinkUp.
+	// Host addresses a host for HostDown/HostUp/HostSlow/HostNormal, the
+	// first endpoint for LinkDown/LinkUp, and the controller index for
+	// ControllerCrash/ControllerRecover.
 	Host int
 	// HostB is the second endpoint for LinkDown/LinkUp; CtrlHost partitions
 	// Host from the controller side (sources, sinks, election).

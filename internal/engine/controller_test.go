@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+// TestControllerFailoverKeepsProcessing crashes the leader of a three-way
+// replicated control plane: a standby takes the lease after the failover
+// delay and processing continues on the frozen primaries in between, so the
+// outage costs roughly one FailoverDelay of reconfiguration, not output.
+func TestControllerFailoverKeepsProcessing(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{Controllers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []Probe
+	if err := sim.OnProbe(1, func(p Probe) { probes = append(probes, p) }); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ControllerCrashPlan(3, 0, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ControllerFailovers != 1 {
+		t.Errorf("ControllerFailovers = %d, want 1", m.ControllerFailovers)
+	}
+	// Leaderless exactly for the failover delay (default MonitorInterval).
+	if m.LeaderlessSeconds < 0.5 || m.LeaderlessSeconds > 1.5 {
+		t.Errorf("LeaderlessSeconds = %v, want ≈ 1", m.LeaderlessSeconds)
+	}
+	if m.EventsByKind[ControllerCrash] != 1 || m.EventsByKind[ControllerRecover] != 1 {
+		t.Errorf("EventsByKind controller counters = %d/%d, want 1/1",
+			m.EventsByKind[ControllerCrash], m.EventsByKind[ControllerRecover])
+	}
+	// The frozen primaries kept forwarding: the sink misses at most the
+	// in-flight tail.
+	if m.SinkTotal < 395 {
+		t.Errorf("SinkTotal = %v, want ≈ 400 (failover must not stop output)", m.SinkTotal)
+	}
+	// Standby 1 holds the lease for the rest of the run: the recovered
+	// instance 0 does not preempt it.
+	final := probes[len(probes)-1]
+	if final.Leader != 1 {
+		t.Errorf("final leader = %d, want 1 (no preemption on recovery)", final.Leader)
+	}
+	if final.FailSafe {
+		t.Error("fail-safe engaged despite a sub-horizon failover")
+	}
+}
+
+// TestAllControllersDownFailSafe kills the whole control plane under the
+// LAAR strategy at High (where one replica per PE is deactivated): after
+// FailSafeAfter the replicas revert to full activation, and the recovered
+// controller rolls the reversion back to the strategy's activations.
+func TestAllControllersDownFailSafe(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 1) // High: laarStrategy deactivates (0,1) and (1,0)
+	sim, err := New(d, asg, laarStrategy(), tr, Config{Controllers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []Probe
+	if err := sim.OnProbe(1, func(p Probe) { probes = append(probes, p) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []FailureEvent{
+		{Time: 30, Kind: ControllerCrash, Host: 0},
+		{Time: 30, Kind: ControllerCrash, Host: 1},
+		{Time: 80, Kind: ControllerRecover, Host: 1},
+	} {
+		if err := sim.Inject(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FailSafeActivations != 1 {
+		t.Errorf("FailSafeActivations = %d, want 1", m.FailSafeActivations)
+	}
+	if m.ControllerFailovers != 1 {
+		t.Errorf("ControllerFailovers = %d, want 1", m.ControllerFailovers)
+	}
+	// Leaderless from 30 until the recovered instance takes the lease at
+	// 80 + FailoverDelay.
+	if m.LeaderlessSeconds < 49 || m.LeaderlessSeconds > 53 {
+		t.Errorf("LeaderlessSeconds = %v, want ≈ 51", m.LeaderlessSeconds)
+	}
+	sawFailSafe := false
+	for _, p := range probes {
+		if p.Time > 40 && p.Time < 75 {
+			if p.Leader != -1 {
+				t.Fatalf("leader = %d at t=%v, want -1 (all controllers down)", p.Leader, p.Time)
+			}
+			if !p.FailSafe {
+				t.Fatalf("fail-safe not engaged at t=%v (horizon is 4 s)", p.Time)
+			}
+			sawFailSafe = true
+			for _, rp := range p.Replicas {
+				if rp.Alive && !rp.Active {
+					t.Fatalf("replica (%d,%d) inactive under fail-safe at t=%v", rp.PE, rp.Replica, p.Time)
+				}
+			}
+		}
+	}
+	if !sawFailSafe {
+		t.Fatal("no probe observed the fail-safe window")
+	}
+	// The new leader rolled activations back to the strategy: at High the
+	// deactivated replicas are idle again by the end of the run.
+	final := probes[len(probes)-1]
+	if final.Leader != 1 || final.FailSafe {
+		t.Fatalf("final state leader=%d failSafe=%v, want leader 1 without fail-safe", final.Leader, final.FailSafe)
+	}
+	for _, rp := range final.Replicas {
+		want := laarStrategy().IsActive(1, rp.PE, rp.Replica)
+		if rp.Active != want {
+			t.Errorf("replica (%d,%d) active=%v after recovery, want %v", rp.PE, rp.Replica, rp.Active, want)
+		}
+	}
+}
+
+// TestLeaderlessFreezesReconfiguration crashes the only controller right
+// before a Low→High trace switch: the reconfiguration cannot run until the
+// controller returns, so the config change lands late and is visible in the
+// sample series.
+func TestLeaderlessFreezesReconfiguration(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.New([]trace.Segment{
+		{Start: 0, End: 50, Config: 0},
+		{Start: 50, End: 100, Config: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ControllerCrashPlan(1, 0, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConfigSwitches != 1 {
+		t.Fatalf("ConfigSwitches = %d, want 1", m.ConfigSwitches)
+	}
+	for _, sm := range m.Series {
+		// The switch must not land before the controller is back at
+		// 80 + FailoverDelay (plus one monitor scan).
+		if sm.Time > 52 && sm.Time < 81 && sm.Config != 0 {
+			t.Fatalf("config %d applied at t=%v while leaderless", sm.Config, sm.Time)
+		}
+		if sm.Time > 85 && sm.Config != 1 {
+			t.Fatalf("config %d at t=%v, want 1 (recovered controller must catch up)", sm.Config, sm.Time)
+		}
+	}
+}
+
+// TestFrozenPrimaryDeathDarkensPE exercises the leaderless forwarding rule:
+// with the controller down no re-election runs, so when the frozen primary
+// crashes its PE goes dark even though an eligible sibling is alive, and
+// the next leader re-elects the sibling.
+func TestFrozenPrimaryDeathDarkensPE(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes []Probe
+	if err := sim.OnProbe(1, func(p Probe) { probes = append(probes, p) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []FailureEvent{
+		{Time: 30, Kind: ControllerCrash, Host: 0},
+		{Time: 40, Kind: ReplicaDown, PE: 0, Replica: 0},
+		{Time: 60, Kind: ControllerRecover, Host: 0},
+	} {
+		if err := sim.Inject(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probes {
+		if p.Time > 41 && p.Time < 60 {
+			if p.Primary[0] != -1 {
+				t.Fatalf("PE0 primary = %d at t=%v, want -1 (no elections while leaderless)", p.Primary[0], p.Time)
+			}
+			if p.Eligible[0] == 0 {
+				t.Fatalf("PE0 has no eligible replica at t=%v — the sibling should be standing by", p.Time)
+			}
+		}
+		if p.Time > 62 && p.Primary[0] != 1 {
+			t.Fatalf("PE0 primary = %d at t=%v, want 1 after re-election", p.Primary[0], p.Time)
+		}
+	}
+}
+
+// TestCommandLossDelaysReconfiguration turns command loss all the way up:
+// every reconfiguration round is retried at least once, the retries are
+// counted, and the runs stay deterministic per seed.
+func TestCommandLossDelaysReconfiguration(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	run := func(seed int64) *Metrics {
+		tr, err := trace.New([]trace.Segment{
+			{Start: 0, End: 50, Config: 0},
+			{Start: 50, End: 100, Config: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{CommandLossP: 0.9, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	totalRetries := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		m := run(seed)
+		totalRetries += m.CommandRetries
+		if m.ConfigSwitches != 1 {
+			t.Errorf("seed %d: ConfigSwitches = %d, want 1 (the command is retried, not lost forever)", seed, m.ConfigSwitches)
+		}
+		if again := run(seed); !reflect.DeepEqual(m, again) {
+			t.Errorf("seed %d produced different metrics across runs under command loss", seed)
+		}
+	}
+	if totalRetries == 0 {
+		t.Error("CommandRetries = 0 across five seeds under 90% command loss")
+	}
+}
+
+// TestSingleControllerConfigIsByteIdentical pins the acceptance criterion:
+// a replicated-but-unfailing control plane (and the default single
+// instance) must reproduce the exact metrics of the pre-controller-model
+// engine — same floats, same series, same switch counts.
+func TestSingleControllerConfigIsByteIdentical(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	run := func(cfg Config) *Metrics {
+		tr, err := trace.New([]trace.Segment{
+			{Start: 0, End: 60, Config: 0},
+			{Start: 60, End: 90, Config: 1},
+			{Start: 90, End: 120, Config: 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(d, asg, laarStrategy(), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := HostCrashPlan(asg.NumHosts, 1, 30, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InjectAll(plan); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := run(Config{GlitchAmplitude: 0.1, Seed: 11})
+	for _, cfg := range []Config{
+		{GlitchAmplitude: 0.1, Seed: 11, Controllers: 1},
+		{GlitchAmplitude: 0.1, Seed: 11, Controllers: 5},
+		{GlitchAmplitude: 0.1, Seed: 11, Controllers: 1, FailoverDelay: 9, FailSafeAfter: -1},
+	} {
+		if m := run(cfg); !reflect.DeepEqual(base, m) {
+			t.Errorf("Config %+v diverged from the default single-controller run", cfg)
+		}
+	}
+	if base.LeaderlessSeconds != 0 || base.ControllerFailovers != 0 || base.FailSafeActivations != 0 {
+		t.Errorf("controller metrics non-zero without controller events: %+v", base)
+	}
+}
+
+// TestControllerValidation covers the plan-builder and Inject error paths.
+func TestControllerValidation(t *testing.T) {
+	if _, err := ControllerCrashPlan(3, 3, 10, 5); err == nil {
+		t.Error("out-of-range controller index accepted")
+	}
+	if _, err := ControllerCrashPlan(3, -1, 10, 5); err == nil {
+		t.Error("negative controller index accepted")
+	}
+	if _, err := ControllerCrashPlan(3, 0, -1, 5); err == nil {
+		t.Error("negative start time accepted")
+	}
+	if _, err := ControllerCrashPlan(3, 0, 10, -5); err == nil {
+		t.Error("negative downtime accepted")
+	}
+	plan, err := ControllerCrashPlan(3, 2, 10, 5)
+	if err != nil || len(plan) != 2 {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if plan[0].Kind != ControllerCrash || plan[1].Kind != ControllerRecover ||
+		plan[0].Host != 2 || math.Abs(plan[1].Time-15) > 1e-12 {
+		t.Errorf("plan shape wrong: %+v", plan)
+	}
+
+	d, _, asg := pipelineSetup(t)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), constantTrace(t, 50, 0), Config{Controllers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: 5, Kind: ControllerCrash, Host: 2}); err == nil {
+		t.Error("Inject accepted a controller index beyond Config.Controllers")
+	}
+	if err := sim.Inject(FailureEvent{Time: 5, Kind: ControllerRecover, Host: -1}); err == nil {
+		t.Error("Inject accepted a negative controller index")
+	}
+}

@@ -146,6 +146,18 @@ type Simulation struct {
 	lookup     *rtree.Tree
 	appliedCfg int
 
+	// Replicated control plane: ctrlUp tracks the liveness of each
+	// HAController instance, leader is the acting one (-1 while a failover
+	// is pending), frozen holds the primaries captured when the leader
+	// died (forwarding continues on the last-elected primaries until a new
+	// leader re-elects), leaderlessAt stamps when the lease was lost, and
+	// failSafe reports the replicas reverted to full activation.
+	ctrlUp       []bool
+	leader       int
+	frozen       []int
+	leaderlessAt float64
+	failSafe     bool
+
 	// links is the flattened (NumHosts+1)² partition matrix; index ctrl
 	// (= NumHosts) is the controller side. anyLinks turns the per-delivery
 	// link check on only once a Link event is injected, keeping the
@@ -265,6 +277,12 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 	}
 	s.runScratch = make([]runnable, 0, maxOnHost)
 	s.measured = make(rtree.Point, app.NumSources())
+	s.ctrlUp = make([]bool, cfg.Controllers)
+	for i := range s.ctrlUp {
+		s.ctrlUp[i] = true
+	}
+	s.leader = 0
+	s.frozen = make([]int, app.NumPEs())
 	// R-tree over the configuration rate points for the HAController.
 	s.lookup = rtree.New(app.NumSources())
 	for c, ic := range d.Configs {
@@ -370,6 +388,9 @@ func (s *Simulation) Inject(ev FailureEvent) error {
 	if s.ran {
 		return fmt.Errorf("engine: cannot inject failures after Run")
 	}
+	if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+		return fmt.Errorf("engine: failure event time %v is not finite", ev.Time)
+	}
 	if ev.Time < s.kern.Now() {
 		return &PastEventError{Time: ev.Time, Now: s.kern.Now()}
 	}
@@ -386,7 +407,7 @@ func (s *Simulation) Inject(ev FailureEvent) error {
 		if ev.Host < 0 || ev.Host >= len(s.hosts) {
 			return fmt.Errorf("engine: failure addresses unknown host %d", ev.Host)
 		}
-		if ev.Factor <= 0 || ev.Factor >= 1 {
+		if !(ev.Factor > 0 && ev.Factor < 1) {
 			return fmt.Errorf("engine: %v factor %v outside (0, 1)", ev.Kind, ev.Factor)
 		}
 	case LinkDown, LinkUp:
@@ -400,6 +421,10 @@ func (s *Simulation) Inject(ev FailureEvent) error {
 			return fmt.Errorf("engine: link event connects host %d to itself", ev.Host)
 		}
 		s.anyLinks = true
+	case ControllerCrash, ControllerRecover:
+		if ev.Host < 0 || ev.Host >= len(s.ctrlUp) {
+			return fmt.Errorf("engine: controller event addresses unknown controller %d (%d configured)", ev.Host, len(s.ctrlUp))
+		}
 	default:
 		return fmt.Errorf("engine: unknown failure kind %d", ev.Kind)
 	}
@@ -425,6 +450,9 @@ func (s *Simulation) Run() (*Metrics, error) {
 	}
 	s.ran = true
 	duration := s.tr.Duration()
+	// Pre-size the sample series so the steady-state append never regrows
+	// it (one sample per SampleInterval, plus headroom for the final one).
+	s.m.Series = make([]Sample, 0, int(duration/s.cfg.SampleInterval)+1)
 
 	// Apply the initial replica configuration: the HAController is
 	// initialised with the strategy and the configuration active at
@@ -483,6 +511,13 @@ func (s *Simulation) doCheckpoint() {
 func (s *Simulation) doTick(dt float64) {
 	now := s.kern.Now()
 	cfg := s.tr.ConfigAt(now)
+
+	if s.leader < 0 {
+		s.m.LeaderlessSeconds += dt
+		if !s.failSafe && s.cfg.FailSafeAfter >= 0 && now-s.leaderlessAt >= s.cfg.FailSafeAfter {
+			s.engageFailSafe()
+		}
+	}
 
 	// Route-delay rings: advance the read cursor and land the deliveries
 	// that have served their latency. Amounts arriving at a dead or idle
@@ -708,8 +743,22 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
 // primary returns the PE's current primary replica: the lowest-indexed one
 // that is alive, active, on a live host, and whose host can reach the
 // controller side (a partitioned-but-alive replica stops heartbeating
-// observably and loses the election). Nil when the PE is dark.
+// observably and loses the election). Nil when the PE is dark. While the
+// deployment is leaderless no elections run: the primary frozen at the
+// leader's crash keeps forwarding as long as it stays viable, and a PE
+// whose frozen primary dies goes dark until the next leader re-elects.
 func (s *Simulation) primary(pe int) *replica {
+	if s.leader < 0 {
+		k := s.frozen[pe]
+		if k < 0 {
+			return nil
+		}
+		rep := s.reps[pe][k]
+		if rep.alive && rep.active && s.hosts[rep.host].up && s.hostSeesCtrl(rep.host) {
+			return rep
+		}
+		return nil
+	}
 	for _, rep := range s.reps[pe] {
 		if rep.alive && rep.active && s.hosts[rep.host].up && s.hostSeesCtrl(rep.host) {
 			return rep
@@ -718,10 +767,74 @@ func (s *Simulation) primary(pe int) *replica {
 	return nil
 }
 
+// loseLeader handles the acting controller's crash: the current primaries
+// are frozen (replicas keep their last view), the deployment goes
+// leaderless, and a standby election is scheduled after the failover delay.
+func (s *Simulation) loseLeader() {
+	for pe := range s.reps {
+		s.frozen[pe] = -1
+		if prim := s.primary(pe); prim != nil {
+			s.frozen[pe] = prim.idx
+		}
+	}
+	s.leader = -1
+	s.leaderlessAt = s.kern.Now()
+	s.kern.After(s.cfg.FailoverDelay, s.electController)
+}
+
+// electController promotes the lowest-indexed live controller instance to
+// leader once the failover delay has elapsed. The new leader starts a
+// fresh Rate Monitor window, re-elects primaries (the frozen views are
+// released), and re-applies the strategy's activations if the fail-safe
+// had engaged. With every instance still down the deployment stays
+// leaderless; the next ControllerRecover schedules another attempt.
+func (s *Simulation) electController() {
+	if s.leader >= 0 {
+		return
+	}
+	next := -1
+	for i, up := range s.ctrlUp {
+		if up {
+			next = i
+			break
+		}
+	}
+	if next < 0 {
+		return
+	}
+	s.leader = next
+	s.m.ControllerFailovers++
+	for _, src := range s.srcs {
+		src.monitorWindow = 0
+	}
+	if s.failSafe {
+		s.failSafe = false
+		s.resetActivations()
+	}
+}
+
+// engageFailSafe reverts every live replica to full activation: with no
+// controller left to issue commands, the replica-side safe default is
+// maximum fault-tolerance at degraded capacity.
+func (s *Simulation) engageFailSafe() {
+	s.failSafe = true
+	s.m.FailSafeActivations++
+	for _, reps := range s.reps {
+		for _, rep := range reps {
+			if rep.alive && !rep.active {
+				rep.active = true
+			}
+		}
+	}
+}
+
 // doMonitor is the Rate Monitor + HAController step: measure source rates
 // over the last interval, select the nearest input configuration dominating
 // the measurement, and (when it changed) issue activation commands.
 func (s *Simulation) doMonitor() {
+	if s.leader < 0 {
+		return // leaderless: the Rate Monitor is down with the controller
+	}
 	measured := s.measured
 	for i, src := range s.srcs {
 		// The tiny relative discount absorbs float accumulation error:
@@ -740,8 +853,22 @@ func (s *Simulation) doMonitor() {
 	if cfg == s.appliedCfg {
 		return
 	}
-	if s.cfg.CommandLatency > 0 {
-		s.kern.After(s.cfg.CommandLatency, func() { s.applyConfig(cfg) })
+	delay := s.cfg.CommandLatency
+	if s.cfg.CommandLossP > 0 {
+		// Lost activation-command rounds: each loss costs one retransmission
+		// period before the change lands. The geometric draw is capped so a
+		// loss probability close to 1 cannot stall the run.
+		retries := 0
+		for retries < 64 && s.rng.Float64() < s.cfg.CommandLossP {
+			retries++
+		}
+		if retries > 0 {
+			s.m.CommandRetries += retries
+			delay += float64(retries) * s.cfg.CommandRetryInterval
+		}
+	}
+	if delay > 0 {
+		s.kern.After(delay, func() { s.applyConfig(cfg) })
 	} else {
 		s.applyConfig(cfg)
 	}
@@ -759,9 +886,16 @@ func (s *Simulation) applyConfig(cfg int) {
 		s.m.ConfigSwitches++
 	}
 	s.appliedCfg = cfg
+	s.resetActivations()
+}
+
+// resetActivations re-issues the strategy's activation state for the
+// applied configuration to every replica (also how a freshly elected
+// leader rolls back a fail-safe reversion).
+func (s *Simulation) resetActivations() {
 	for pe := range s.reps {
 		for k, rep := range s.reps[pe] {
-			want := s.strat.IsActive(cfg, pe, k)
+			want := s.strat.IsActive(s.appliedCfg, pe, k)
 			if rep.active == want {
 				continue
 			}
@@ -809,6 +943,19 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 		s.hosts[ev.Host].slow = ev.Factor
 	case HostNormal:
 		s.hosts[ev.Host].slow = 1
+	case ControllerCrash:
+		wasLeader := s.leader == ev.Host
+		s.ctrlUp[ev.Host] = false
+		if wasLeader {
+			s.loseLeader()
+		}
+	case ControllerRecover:
+		s.ctrlUp[ev.Host] = true
+		if s.leader < 0 {
+			// A recovered instance must wait out the takeover delay before
+			// claiming the lease; an acting leader is never preempted.
+			s.kern.After(s.cfg.FailoverDelay, s.electController)
+		}
 	}
 }
 
@@ -823,11 +970,18 @@ func (s *Simulation) doSample() {
 	}
 	s.emittedSample = 0
 	s.sinkSample = 0
-	sm.ReplicaUtil = make([][]float64, len(s.reps))
-	sm.QueueTuples = make([]float64, len(s.reps))
-	sm.LatencyEst = make([]float64, len(s.reps))
+	// The per-PE vectors of a sample share two flat backing arrays (one for
+	// the utilisation matrix, one for queue+latency): 3 allocations per
+	// sample instead of 3+numPEs. Full-slice expressions keep an appending
+	// consumer from bleeding one row into the next.
+	numPEs, repK := len(s.reps), s.asg.K
+	util := make([]float64, numPEs*repK)
+	ql := make([]float64, 2*numPEs)
+	sm.ReplicaUtil = make([][]float64, numPEs)
+	sm.QueueTuples = ql[:numPEs:numPEs]
+	sm.LatencyEst = ql[numPEs:]
 	for pe := range s.reps {
-		sm.ReplicaUtil[pe] = make([]float64, len(s.reps[pe]))
+		sm.ReplicaUtil[pe] = util[pe*repK : (pe+1)*repK : (pe+1)*repK]
 		for k, rep := range s.reps[pe] {
 			sm.ReplicaUtil[pe][k] = rep.cyclesWindow / (s.d.HostCapacity * interval)
 			rep.cyclesWindow = 0

@@ -71,6 +71,19 @@ type Metrics struct {
 	RouteLossTotal float64
 	// EventsByKind counts the failure-plan events applied, per kind.
 	EventsByKind [NumFailureKinds]int
+	// ControllerFailovers counts standby controllers taking the lease after
+	// a leader crash (the initial leader is not counted).
+	ControllerFailovers int
+	// CommandRetries counts lost activation-command rounds the leader had
+	// to retransmit (Config.CommandLossP).
+	CommandRetries int
+	// LeaderlessSeconds is the total time the deployment ran without an
+	// acting controller leader: no monitor scans, reconfigurations or
+	// primary elections.
+	LeaderlessSeconds float64
+	// FailSafeActivations counts fail-safe reversions to full activation
+	// (the deployment stayed leaderless past Config.FailSafeAfter).
+	FailSafeActivations int
 	// Series is the per-second time series.
 	Series []Sample
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"laar/internal/core"
 )
@@ -49,13 +50,15 @@ func adversarialSurvivor(r *core.Rates, strat *core.Strategy, pe int) int {
 }
 
 // checkPlanWindow validates the shared (at, duration) shape of the timed
-// plan builders.
+// plan builders. The comparisons are written so NaN falls through to the
+// rejection branch — a NaN event time would silently pass every `< 0`
+// guard and then never fire inside the kernel.
 func checkPlanWindow(builder string, at, duration float64) error {
-	if at < 0 {
-		return fmt.Errorf("engine: %s: negative start time %v", builder, at)
+	if !(at >= 0) || math.IsInf(at, 0) {
+		return fmt.Errorf("engine: %s: start time %v outside [0, ∞)", builder, at)
 	}
-	if duration < 0 {
-		return fmt.Errorf("engine: %s: negative duration %v", builder, duration)
+	if !(duration >= 0) || math.IsInf(duration, 0) {
+		return fmt.Errorf("engine: %s: duration %v outside [0, ∞)", builder, duration)
 	}
 	return nil
 }
@@ -120,8 +123,8 @@ func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float6
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("engine: CorrelatedCrashPlan: empty host burst")
 	}
-	if stagger < 0 {
-		return nil, fmt.Errorf("engine: CorrelatedCrashPlan: negative stagger %v", stagger)
+	if !(stagger >= 0) || math.IsInf(stagger, 0) {
+		return nil, fmt.Errorf("engine: CorrelatedCrashPlan: stagger %v outside [0, ∞)", stagger)
 	}
 	if err := checkPlanWindow("CorrelatedCrashPlan", at, downtime); err != nil {
 		return nil, err
@@ -144,6 +147,24 @@ func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float6
 	return plan, nil
 }
 
+// ControllerCrashPlan crashes one HAController instance at the given time
+// and recovers it after the given downtime. numControllers is the control-
+// plane size the plan targets (Config.Controllers). Crashing the acting
+// leader freezes reconfiguration until a standby takes over; crashing the
+// last instance leaves the deployment leaderless until the recovery.
+func ControllerCrashPlan(numControllers, idx int, at, downtime float64) ([]FailureEvent, error) {
+	if idx < 0 || idx >= numControllers {
+		return nil, fmt.Errorf("engine: ControllerCrashPlan: controller %d out of range [0, %d)", idx, numControllers)
+	}
+	if err := checkPlanWindow("ControllerCrashPlan", at, downtime); err != nil {
+		return nil, err
+	}
+	return []FailureEvent{
+		{Time: at, Kind: ControllerCrash, Host: idx},
+		{Time: at + downtime, Kind: ControllerRecover, Host: idx},
+	}, nil
+}
+
 // GraySlowdownPlan degrades one host to factor of its CPU capacity at the
 // given time and restores full speed after the given duration — the gray
 // failure where a node still heartbeats but falls behind. factor must lie
@@ -152,7 +173,7 @@ func GraySlowdownPlan(numHosts, hostIdx int, factor, at, duration float64) ([]Fa
 	if err := checkPlanHost("GraySlowdownPlan", numHosts, hostIdx); err != nil {
 		return nil, err
 	}
-	if factor <= 0 || factor >= 1 {
+	if !(factor > 0 && factor < 1) {
 		return nil, fmt.Errorf("engine: GraySlowdownPlan: factor %v outside (0, 1)", factor)
 	}
 	if err := checkPlanWindow("GraySlowdownPlan", at, duration); err != nil {

@@ -35,13 +35,20 @@ type Probe struct {
 	// Config is the input configuration currently applied (-1 before the
 	// first HAController decision).
 	Config int
-	// Primary[pe] is the elected primary replica index, or -1 when the PE
-	// is dark (no alive, active replica on a live host).
+	// Primary[pe] is the acting primary replica index — the elected
+	// primary, or the frozen pre-crash primary while the deployment is
+	// leaderless — or -1 when the PE is dark.
 	Primary []int
 	// Eligible[pe] counts the replicas eligible for election.
 	Eligible []int
 	// Replicas lists every replica's state in (PE, replica) order.
 	Replicas []ReplicaProbe
+	// Leader is the acting controller instance, -1 while the deployment is
+	// leaderless (failover pending or every instance down).
+	Leader int
+	// FailSafe reports the replicas have reverted to full activation
+	// because the deployment stayed leaderless past Config.FailSafeAfter.
+	FailSafe bool
 }
 
 // OnProbe registers an invariant-sampling hook invoked every interval of
@@ -71,17 +78,19 @@ func (s *Simulation) doProbe() {
 		Config:   s.appliedCfg,
 		Primary:  make([]int, len(s.reps)),
 		Eligible: make([]int, len(s.reps)),
+		Leader:   s.leader,
+		FailSafe: s.failSafe,
 	}
 	for pe := range s.reps {
 		p.Primary[pe] = -1
+		if prim := s.primary(pe); prim != nil {
+			p.Primary[pe] = prim.idx
+		}
 		for k, rep := range s.reps[pe] {
 			seesCtrl := s.hostSeesCtrl(rep.host)
 			eligible := rep.alive && rep.active && s.hosts[rep.host].up && seesCtrl
 			if eligible {
 				p.Eligible[pe]++
-				if p.Primary[pe] < 0 {
-					p.Primary[pe] = k
-				}
 			}
 			rp := ReplicaProbe{
 				PE:            pe,

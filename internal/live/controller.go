@@ -1,0 +1,531 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"laar/internal/rtree"
+)
+
+// This file is the replicated control plane: N share-nothing HAController
+// instances with lease-based leadership, an acknowledged idempotent
+// activation-command protocol, and the replica-side fail-safe rule.
+//
+// Leadership is decentralised: every alive instance heartbeats its peers
+// over the Transport each monitor tick, and an instance holds the lease
+// exactly when it has heard no lower-id peer within Config.LeaseTTL. Claims
+// carry ballot epochs packed (counter << 8) | id — no two instances can
+// claim the same epoch, and every claim is strictly above all ballots the
+// claimant has seen, so replicas can arbitrate concurrent leaders by epoch
+// alone. A leader that learns of a higher ballot (via peer gossip or a
+// command NACK) re-claims above it; on a healed partition the lowest-id
+// instance therefore always wins.
+//
+// Only the lease holder issues activation commands. Commands are (epoch,
+// seq, active) triples sent over the Transport and individually
+// acknowledged; the replica proxy adopts higher epochs, deduplicates
+// sequence numbers within an epoch (a lost ack costs only a retransmission)
+// and NACKs stale ballots. Unacknowledged commands are retransmitted with
+// capped exponential backoff between CommandRetryMin and CommandRetryMax.
+
+// ControllerEndpoint returns the transport endpoint of HAController
+// instance i. Instance 0 sits at ControllerHost — the endpoint that also
+// carries the sources and sinks — so a single-controller deployment keeps
+// exactly the topology earlier versions modelled; standby instances get
+// their own endpoints, letting fault schedules cut controller↔controller
+// links independently of the data plane.
+func ControllerEndpoint(i int) int { return -(i + 1) }
+
+// LeaseGrant records one leadership claim in the control plane, including
+// the initial grant to instance 0 at construction time.
+type LeaseGrant struct {
+	// Epoch is the ballot the lease was claimed under.
+	Epoch uint64
+	// Controller is the claiming instance.
+	Controller int
+	// Time is when the claim was made.
+	Time time.Time
+}
+
+// ControllerStat is one HAController instance's point-in-time snapshot.
+type ControllerStat struct {
+	// ID is the instance index; its endpoint is ControllerEndpoint(ID).
+	ID int
+	// Alive reports the instance's failure-injection state.
+	Alive bool
+	// Leader reports the instance currently believes it holds the lease.
+	// During a controller↔controller partition two instances may believe so
+	// at once; replicas arbitrate their commands by ballot epoch.
+	Leader bool
+	// Epoch is the ballot of the instance's latest claim.
+	Epoch uint64
+	// CommandsSent counts activation-command send attempts, CommandsAcked
+	// the ones acknowledged, and CommandsRetried the retransmissions among
+	// the sends.
+	CommandsSent, CommandsAcked, CommandsRetried int64
+	// StaleRejected counts commands a replica refused because it already
+	// follows a higher ballot.
+	StaleRejected int64
+	// PendingCommands counts replica slots with an unacknowledged command
+	// outstanding; zero once the leader's view has converged.
+	PendingCommands int64
+}
+
+// pendKey addresses one replica slot in the leader's pending-command table.
+type pendKey struct{ pe, k int }
+
+// pendingCmd is one unacknowledged activation command awaiting (re)send.
+type pendingCmd struct {
+	epoch   uint64
+	seq     uint64
+	active  bool
+	next    int64         // unix ns of the next send attempt; 0 sends now
+	backoff time.Duration // next retry gap, doubling up to CommandRetryMax
+}
+
+// controller is one replicated HAController instance.
+type controller struct {
+	id       int
+	endpoint int
+
+	alive   atomic.Bool
+	leader  atomic.Bool
+	epoch   atomic.Uint64 // ballot of the latest claim
+	maxSeen atomic.Uint64 // highest ballot observed anywhere
+
+	// lastHeard[j] is when this instance last heard peer j's heartbeat,
+	// aged by the transport delay on the controller↔controller link.
+	lastHeard []atomic.Int64
+
+	// beats[pe][k] is the replica heartbeat as THIS instance observes it:
+	// each instance has its own view of the data plane, because a replica
+	// partitioned from one controller endpoint may be fresh at another.
+	beats [][]atomic.Int64
+
+	// Protocol state below is touched only by the instance's own goroutine.
+	seq      uint64
+	cfg      int // input configuration this instance last decided
+	pending  map[pendKey]*pendingCmd
+	acked    [][]int8 // -1 unknown, 0 acked inactive, 1 acked active
+	measured rtree.Point
+	lastSwap time.Time
+
+	commandsSent    atomic.Int64
+	commandsAcked   atomic.Int64
+	commandsRetried atomic.Int64
+	staleRejected   atomic.Int64
+	pendingN        atomic.Int64
+}
+
+func newController(id, numPEs, k, peers, numSources, initialCfg int, now time.Time) *controller {
+	c := &controller{
+		id:        id,
+		endpoint:  ControllerEndpoint(id),
+		lastHeard: make([]atomic.Int64, peers),
+		beats:     make([][]atomic.Int64, numPEs),
+		cfg:       initialCfg,
+		pending:   make(map[pendKey]*pendingCmd),
+		acked:     make([][]int8, numPEs),
+		measured:  make(rtree.Point, numSources),
+		lastSwap:  now,
+	}
+	for pe := range c.beats {
+		c.beats[pe] = make([]atomic.Int64, k)
+		c.acked[pe] = make([]int8, k)
+		for i := range c.acked[pe] {
+			c.acked[pe][i] = -1
+		}
+	}
+	c.alive.Store(true)
+	return c
+}
+
+// raise lifts an atomic ballot watermark to at least v.
+func raise(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// stepDown drops the lease and the pending-command table. Only the
+// instance's own goroutine calls it.
+func (c *controller) stepDown() {
+	c.leader.Store(false)
+	c.pending = make(map[pendKey]*pendingCmd)
+	c.pendingN.Store(0)
+}
+
+// claim takes the lease for c under a fresh ballot, strictly above every
+// ballot the instance has seen. The command table resets, so a new leader
+// re-establishes every replica's activation state from scratch rather than
+// trusting acks granted to a predecessor; the applied configuration is
+// inherited so leadership changes alone never flap the configuration.
+func (rt *Runtime) claim(c *controller, now time.Time) {
+	epoch := ((c.maxSeen.Load()>>8)+1)<<8 | uint64(c.id)
+	c.epoch.Store(epoch)
+	raise(&c.maxSeen, epoch)
+	c.seq = 0
+	c.pending = make(map[pendKey]*pendingCmd)
+	c.pendingN.Store(0)
+	for pe := range c.acked {
+		for k := range c.acked[pe] {
+			c.acked[pe][k] = -1
+		}
+	}
+	c.cfg = int(rt.applied.Load())
+	c.leader.Store(true)
+	rt.leaseMu.Lock()
+	rt.leases = append(rt.leases, LeaseGrant{Epoch: epoch, Controller: c.id, Time: now})
+	rt.leaseMu.Unlock()
+}
+
+// runController is one instance's goroutine: heartbeat peers, evaluate the
+// lease, and — while leading — run the monitor/command/election scan.
+func (rt *Runtime) runController(c *controller) {
+	defer rt.wg.Done()
+	ticker := rt.cfg.Clock.NewTicker(rt.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case now := <-ticker.C:
+			rt.ctrlTick(c, now)
+		}
+	}
+}
+
+// ctrlTick is one monitor period of instance c.
+func (rt *Runtime) ctrlTick(c *controller, now time.Time) {
+	if !c.alive.Load() {
+		if c.leader.Load() {
+			c.stepDown() // a crashed leader's goroutine goes inert
+		}
+		return
+	}
+	nowNs := now.UnixNano()
+	// Heartbeat the peers, gossiping the highest ballot seen so a healed or
+	// recovered instance learns what it missed.
+	for _, p := range rt.ctrls {
+		if p == c || !p.alive.Load() {
+			continue
+		}
+		if !rt.cfg.Transport.Reachable(c.endpoint, p.endpoint) {
+			continue
+		}
+		at := nowNs
+		if d := rt.cfg.Transport.Delay(c.endpoint, p.endpoint); d > 0 {
+			at -= int64(d)
+		}
+		p.lastHeard[c.id].Store(at)
+		raise(&p.maxSeen, c.maxSeen.Load())
+	}
+	// The lease rule: the lowest-id instance heard fresh within LeaseTTL
+	// holds the lease. Claim when no lower peer is fresh, yield when one is.
+	deadline := nowNs - int64(rt.cfg.LeaseTTL)
+	lowerFresh := false
+	for j := 0; j < c.id; j++ {
+		if c.lastHeard[j].Load() >= deadline {
+			lowerFresh = true
+			break
+		}
+	}
+	switch {
+	case lowerFresh && c.leader.Load():
+		c.stepDown()
+	case !lowerFresh && !c.leader.Load():
+		rt.claim(c, now)
+	case c.leader.Load() && c.maxSeen.Load() > c.epoch.Load():
+		// A peer led under a higher ballot while this instance was down or
+		// cut off: re-claim above it so replicas that followed the peer
+		// accept this leader's commands again.
+		rt.claim(c, now)
+	}
+	c.measure(rt, now)
+	if c.leader.Load() {
+		rt.ctrlScan(c, now)
+	}
+}
+
+// measure refreshes the instance's Rate Monitor estimate from its source
+// window. Every alive instance measures every tick — leader or standby — so
+// a freshly promoted leader decides from current rates, not stale ones. A
+// cut source feed (ControllerHost↔endpoint) freezes the estimate; the
+// window keeps accumulating, and the first post-heal measurement averages
+// the rate over the whole gap.
+func (c *controller) measure(rt *Runtime, now time.Time) {
+	if !rt.cfg.Transport.Reachable(ControllerHost, c.endpoint) {
+		return
+	}
+	elapsed := now.Sub(c.lastSwap).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	for i := range rt.srcWindow[c.id] {
+		c.measured[i] = float64(rt.srcWindow[c.id][i].Swap(0)) / elapsed * (1 - 1e-9)
+	}
+	c.lastSwap = now
+}
+
+// ctrlScan is the leader's HAController step: select the dominating
+// configuration, drive every replica's activation state to it through the
+// ack'd command protocol, refresh elections, and supervise.
+func (rt *Runtime) ctrlScan(c *controller, now time.Time) {
+	_, cfg, ok := rt.lookup.NearestDominating(c.measured)
+	if !ok {
+		cfg = rt.maxCfg
+	}
+	if cfg != c.cfg {
+		c.cfg = cfg
+		rt.setApplied(cfg)
+	}
+	epoch := c.epoch.Load()
+	nowNs := now.UnixNano()
+	for pe := range rt.replicas {
+		for k, rep := range rt.replicas[pe] {
+			want := rt.strt.IsActive(c.cfg, pe, k)
+			wantI := int8(0)
+			if want {
+				wantI = 1
+			}
+			key := pendKey{pe, k}
+			p := c.pending[key]
+			if c.acked[pe][k] == wantI {
+				if p != nil { // a pending command the new config superseded
+					delete(c.pending, key)
+					c.pendingN.Add(-1)
+				}
+				continue
+			}
+			if p == nil || p.active != want {
+				c.seq++
+				if p == nil {
+					c.pendingN.Add(1)
+				}
+				p = &pendingCmd{epoch: epoch, seq: c.seq, active: want, backoff: rt.cfg.CommandRetryMin}
+				c.pending[key] = p
+			}
+			if nowNs < p.next {
+				continue
+			}
+			c.commandsSent.Add(1)
+			if p.next != 0 {
+				c.commandsRetried.Add(1)
+			}
+			if rt.deliverCommand(c, rep, p) {
+				c.commandsAcked.Add(1)
+				c.acked[pe][k] = wantI
+				delete(c.pending, key)
+				c.pendingN.Add(-1)
+			} else {
+				p.next = nowNs + int64(p.backoff)
+				p.backoff *= 2
+				if p.backoff > rt.cfg.CommandRetryMax {
+					p.backoff = rt.cfg.CommandRetryMax
+				}
+			}
+		}
+	}
+	rt.electAllAs(c, now)
+	if rt.cfg.Supervise {
+		rt.supervise(now)
+	}
+}
+
+// setApplied publishes a configuration decision, counting real changes.
+func (rt *Runtime) setApplied(cfg int) {
+	if rt.applied.Swap(int32(cfg)) != int32(cfg) {
+		rt.switches.Add(1)
+	}
+}
+
+// deliverCommand attempts one command round trip: delivery leader→replica,
+// application at the proxy, ack replica→leader. Any failed leg leaves the
+// command pending for retransmission; the proxy's (epoch, seq) dedup makes
+// redelivery after a lost ack harmless. A NACK (the replica follows a
+// higher ballot) carries that ballot back so the leader re-claims above it.
+func (rt *Runtime) deliverCommand(c *controller, rep *replica, p *pendingCmd) bool {
+	tr := rt.cfg.Transport
+	if !tr.Reachable(c.endpoint, rep.host) || tr.DropData(c.endpoint, rep.host) {
+		return false
+	}
+	applied, repEpoch := rt.applyCommand(rep, p.epoch, p.seq, p.active)
+	if !applied {
+		c.staleRejected.Add(1)
+		if tr.Reachable(rep.host, c.endpoint) {
+			raise(&c.maxSeen, repEpoch)
+		}
+		return false
+	}
+	if !tr.Reachable(rep.host, c.endpoint) || tr.DropData(rep.host, c.endpoint) {
+		return false // command applied but ack lost: retry, proxy dedupes
+	}
+	return true
+}
+
+// applyCommand is the replica proxy's command handler. It returns whether
+// the command was accepted and the replica's current ballot: a command
+// below the adopted ballot is refused (the NACK), a higher ballot is
+// adopted (resetting the sequence space), and a duplicate sequence within
+// the current ballot re-acknowledges without re-applying.
+func (rt *Runtime) applyCommand(rep *replica, epoch, seq uint64, active bool) (bool, uint64) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	cur := rep.ctrlEpoch.Load()
+	if epoch < cur {
+		return false, cur
+	}
+	if epoch > cur {
+		rep.ctrlEpoch.Store(epoch)
+		rep.cmdSeq.Store(0)
+	} else if seq <= rep.cmdSeq.Load() {
+		return true, epoch // duplicate delivery: re-ack, do not re-apply
+	}
+	rep.cmdSeq.Store(seq)
+	if active && !rep.active.Load() && rep.alive.Load() {
+		// Re-synchronise state from the primary before the replica starts
+		// processing again (Section 4.6).
+		rt.markJoining(rep.pe, rep)
+	}
+	rep.active.Store(active)
+	return true, epoch
+}
+
+// applyView is the replica proxy's election handler: adopt the leader's
+// primary view and refresh the lease timestamp, unless the view comes from
+// a stale ballot — a deposed leader cannot move the lease.
+func (rt *Runtime) applyView(rep *replica, epoch uint64, view int32, now time.Time) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	cur := rep.ctrlEpoch.Load()
+	if epoch < cur {
+		return
+	}
+	if epoch > cur {
+		rep.ctrlEpoch.Store(epoch)
+		rep.cmdSeq.Store(0)
+	}
+	rep.view.Store(view)
+	rep.lastCtrl.Store(now.UnixNano())
+}
+
+// electAllAs recomputes every PE's primary from leader c's own heartbeat
+// view — the lowest-indexed replica that is alive, active and fresh within
+// HeartbeatTimeout — and publishes (view, ballot, lease) to every replica
+// the leader's endpoint can currently reach. Replicas behind a cut keep
+// their stale view: that is the split-brain window the replica-side fence
+// bounds.
+func (rt *Runtime) electAllAs(c *controller, now time.Time) {
+	deadline := now.Add(-rt.cfg.HeartbeatTimeout).UnixNano()
+	epoch := c.epoch.Load()
+	for pe := range rt.replicas {
+		chosen := int32(-1)
+		for k, rep := range rt.replicas[pe] {
+			if rep.alive.Load() && rep.active.Load() && c.beats[pe][k].Load() >= deadline {
+				chosen = int32(k)
+				break
+			}
+		}
+		rt.primaries[pe].Store(chosen)
+		for _, rep := range rt.replicas[pe] {
+			if rt.cfg.Transport.Reachable(c.endpoint, rep.host) {
+				rt.applyView(rep, epoch, chosen, now)
+			}
+		}
+	}
+}
+
+// failSafeActive reports whether a replica is processing under the
+// fail-safe rule: the rule is armed and no controller has refreshed the
+// replica's lease for more than FailSafeHorizon, so the replica reverts to
+// full activation to preserve replication while the control plane is gone.
+func (rt *Runtime) failSafeActive(rep *replica, nowNs int64) bool {
+	return rt.failSafeOn && nowNs-rep.lastCtrl.Load() > int64(rt.cfg.FailSafeHorizon)
+}
+
+// Leader returns the id and ballot of the acting lease holder — the
+// lowest-id alive instance currently believing it leads — or (-1, 0) when
+// the control plane is leaderless.
+func (rt *Runtime) Leader() (int, uint64) {
+	for _, c := range rt.ctrls {
+		if c.alive.Load() && c.leader.Load() {
+			return c.id, c.epoch.Load()
+		}
+	}
+	return -1, 0
+}
+
+// BelievedLeaders returns every alive instance that currently believes it
+// holds the lease. More than one entry means a controller↔controller
+// partition is (or just was) in effect; replicas arbitrate by ballot.
+func (rt *Runtime) BelievedLeaders() []int {
+	var out []int
+	for _, c := range rt.ctrls {
+		if c.alive.Load() && c.leader.Load() {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// LeaseHistory returns every leadership claim so far, in claim order,
+// including the initial grant to instance 0. Epochs are unique across the
+// history — the at-most-one-lease-holder-per-epoch invariant.
+func (rt *Runtime) LeaseHistory() []LeaseGrant {
+	rt.leaseMu.Lock()
+	defer rt.leaseMu.Unlock()
+	out := make([]LeaseGrant, len(rt.leases))
+	copy(out, rt.leases)
+	return out
+}
+
+// ControllerStats returns a snapshot of every HAController instance.
+func (rt *Runtime) ControllerStats() []ControllerStat {
+	out := make([]ControllerStat, len(rt.ctrls))
+	for i, c := range rt.ctrls {
+		out[i] = ControllerStat{
+			ID:              c.id,
+			Alive:           c.alive.Load(),
+			Leader:          c.leader.Load(),
+			Epoch:           c.epoch.Load(),
+			CommandsSent:    c.commandsSent.Load(),
+			CommandsAcked:   c.commandsAcked.Load(),
+			CommandsRetried: c.commandsRetried.Load(),
+			StaleRejected:   c.staleRejected.Load(),
+			PendingCommands: c.pendingN.Load(),
+		}
+	}
+	return out
+}
+
+// KillController crashes one HAController instance: its goroutine goes
+// inert, it stops heartbeating peers and observing replicas, and — if it
+// led — the lease lapses, to be claimed by the lowest surviving instance
+// after LeaseTTL. Killing a dead instance is an error.
+func (rt *Runtime) KillController(i int) error {
+	if i < 0 || i >= len(rt.ctrls) {
+		return fmt.Errorf("live: controller %d out of range [0, %d)", i, len(rt.ctrls))
+	}
+	if !rt.ctrls[i].alive.CompareAndSwap(true, false) {
+		return fmt.Errorf("live: controller %d is already dead", i)
+	}
+	return nil
+}
+
+// RecoverController brings a crashed instance back. It rejoins the lease
+// protocol with the ballots it knew at crash time and catches up through
+// peer gossip and command NACKs; a recovered instance with the lowest id
+// reclaims leadership. Recovering an alive instance is an error.
+func (rt *Runtime) RecoverController(i int) error {
+	if i < 0 || i >= len(rt.ctrls) {
+		return fmt.Errorf("live: controller %d out of range [0, %d)", i, len(rt.ctrls))
+	}
+	if !rt.ctrls[i].alive.CompareAndSwap(false, true) {
+		return fmt.Errorf("live: controller %d is already alive", i)
+	}
+	return nil
+}

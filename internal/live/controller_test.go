@@ -1,0 +1,335 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// ctrlSetup is fakeSetup with an injectable strategy: the standard pipeline
+// on a fake clock, a NetFault transport, and a step function advancing one
+// monitor interval.
+func ctrlSetup(t *testing.T, cfg Config, strat *core.Strategy) (*Runtime, []core.ComponentID, func()) {
+	t.Helper()
+	d, asg, ids := buildApp(t)
+	fc := NewFakeClock(time.Unix(0, 0))
+	cfg.Clock = fc
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 256
+	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 100 * time.Millisecond
+	}
+	rt, err := New(d, asg, strat, identityFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let goroutines register their tickers
+	step := func() {
+		fc.Advance(cfg.MonitorInterval)
+		time.Sleep(2 * time.Millisecond)
+	}
+	return rt, ids, step
+}
+
+func ctrlStatOf(t *testing.T, rt *Runtime, pe, k int) ReplicaStat {
+	t.Helper()
+	for _, st := range rt.Stats() {
+		if st.PE == pe && st.Replica == k {
+			return st
+		}
+	}
+	t.Fatalf("no stat for replica (%d,%d)", pe, k)
+	return ReplicaStat{}
+}
+
+// assertUniqueEpochs checks the at-most-one-lease-holder-per-epoch
+// invariant over a lease history.
+func assertUniqueEpochs(t *testing.T, leases []LeaseGrant) {
+	t.Helper()
+	seen := make(map[uint64]int)
+	for _, g := range leases {
+		if prev, ok := seen[g.Epoch]; ok {
+			t.Fatalf("epoch %d granted to both controller %d and controller %d", g.Epoch, prev, g.Controller)
+		}
+		seen[g.Epoch] = g.Controller
+	}
+}
+
+// TestLeaseFailoverAndPreemption kills leaders down a 3-instance control
+// plane and checks the lease moves to the lowest survivor each time, with
+// strictly arbitrable ballots; a recovered instance 0 preempts the acting
+// leader and re-claims above every ballot it finds.
+func TestLeaseFailoverAndPreemption(t *testing.T) {
+	net := NewNetFault(1)
+	rt, _, step := ctrlSetup(t, Config{Transport: net, Controllers: 3}, core.AllActive(2, 2, 2))
+
+	if id, epoch := rt.Leader(); id != 0 || epoch != 1<<8|0 {
+		t.Fatalf("initial lease = (%d, %d), want (0, %d)", id, epoch, 1<<8|0)
+	}
+	if err := rt.KillController(0); err != nil {
+		t.Fatal(err)
+	}
+	// LeaseTTL defaults to HeartbeatTimeout = 3 intervals; one more tick
+	// for instance 1 to act on the staleness.
+	for i := 0; i < 6; i++ {
+		step()
+	}
+	id1, epoch1 := rt.Leader()
+	if id1 != 1 || epoch1 <= 1<<8|0 {
+		t.Fatalf("lease after killing 0 = (%d, %d), want instance 1 above ballot %d", id1, epoch1, 1<<8|0)
+	}
+	if err := rt.KillController(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		step()
+	}
+	id2, epoch2 := rt.Leader()
+	if id2 != 2 || epoch2 <= epoch1 {
+		t.Fatalf("lease after killing 1 = (%d, %d), want instance 2 above %d", id2, epoch2, epoch1)
+	}
+	// Instance 0 recovers: lowest id preempts. Its first claims may sit
+	// below instance 2's ballot, but NACKs and gossip push it above within
+	// a few ticks, and instance 2 yields once it hears instance 0 again.
+	if err := rt.RecoverController(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if bl := rt.BelievedLeaders(); len(bl) != 1 || bl[0] != 0 {
+		t.Fatalf("believed leaders after recovery = %v, want [0]", bl)
+	}
+	if _, epoch := rt.Leader(); epoch <= epoch2 {
+		t.Fatalf("recovered leader ballot %d not above the deposed %d", epoch, epoch2)
+	}
+	assertUniqueEpochs(t, rt.LeaseHistory())
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommandRetryAfterPartition cuts the host of a replica the High
+// configuration deactivates: the command stays pending and is retried with
+// backoff while the cut lasts, the replica keeps its old activation, and
+// after the heal one retransmission converges the replica and drains the
+// pending table.
+func TestCommandRetryAfterPartition(t *testing.T) {
+	net := NewNetFault(1)
+	// LAAR-style strategy: High (config 1) deactivates replica (0,1) — on
+	// host 1 — and replica (1,0) — on host 0.
+	strat := core.AllActive(2, 2, 2)
+	strat.Set(1, 0, 1, false)
+	strat.Set(1, 1, 0, false)
+	rt, ids, step := ctrlSetup(t, Config{Transport: net}, strat)
+
+	if err := net.Cut(1, ControllerHost); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the measured rate above Low (20 t/s) so the controller switches
+	// to High and keeps wanting it: 40 tuples per 100 ms step is 400 t/s.
+	pushHigh := func(n int) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < 40; j++ {
+				if err := rt.Push(ids[0], j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step()
+		}
+	}
+	pushHigh(8)
+	if got := rt.AppliedConfig(); got != 1 {
+		t.Fatalf("applied config under load = %d, want 1 (High)", got)
+	}
+	// Two commands are stuck behind the cut: the initial-sweep activation
+	// of replica (1,1) and the High deactivation of replica (0,1).
+	cs := rt.ControllerStats()[0]
+	if cs.PendingCommands != 2 {
+		t.Fatalf("PendingCommands during cut = %d, want 2 (both host-1 replicas)", cs.PendingCommands)
+	}
+	if cs.CommandsRetried < 2 || cs.CommandsRetried > 10 {
+		t.Fatalf("CommandsRetried = %d over 8 cut scans, want 2..10 (capped exponential backoff)", cs.CommandsRetried)
+	}
+	if st := ctrlStatOf(t, rt, 0, 1); !st.Active {
+		t.Fatal("replica (0,1) deactivated although its command cannot traverse the cut")
+	}
+	if st := ctrlStatOf(t, rt, 1, 0); st.Active {
+		t.Fatal("replica (1,0) still active: its deactivation had a clear path")
+	}
+
+	if err := net.Heal(1, ControllerHost); err != nil {
+		t.Fatal(err)
+	}
+	pushHigh(8)
+	cs = rt.ControllerStats()[0]
+	if cs.PendingCommands != 0 {
+		t.Fatalf("PendingCommands after heal = %d, want 0", cs.PendingCommands)
+	}
+	if st := ctrlStatOf(t, rt, 0, 1); st.Active {
+		t.Fatal("replica (0,1) not deactivated after the heal")
+	}
+	if cs.StaleRejected != 0 {
+		t.Fatalf("StaleRejected = %d with a single controller, want 0", cs.StaleRejected)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailSafeRevertsToFullActivation takes the whole control plane down
+// and checks the replica-side horizon rule: deactivated replicas resume
+// processing, the last elected primary keeps the sink flowing, and a
+// recovered controller rolls the fail-safe back by re-issuing commands.
+func TestFailSafeRevertsToFullActivation(t *testing.T) {
+	net := NewNetFault(1)
+	// Replica 1 of each PE is deactivated already at Low — the state the
+	// fail-safe must override.
+	strat := core.AllActive(2, 2, 2)
+	strat.Set(0, 0, 1, false)
+	strat.Set(0, 1, 1, false)
+	rt, ids, step := ctrlSetup(t, Config{Transport: net, Controllers: 2}, strat)
+
+	step()
+	if st := ctrlStatOf(t, rt, 0, 1); st.Active {
+		t.Fatal("replica (0,1) active at Low despite the strategy")
+	}
+	if err := rt.KillController(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillController(1); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := rt.Leader(); id != -1 {
+		t.Fatalf("leader = %d with every instance dead, want -1", id)
+	}
+	// FailSafeHorizon defaults to 4 × HeartbeatTimeout = 12 intervals.
+	for i := 0; i < 14; i++ {
+		step()
+	}
+	for _, st := range rt.Stats() {
+		if !st.FailSafe {
+			t.Fatalf("replica (%d,%d) not in fail-safe beyond the horizon: %+v", st.PE, st.Replica, st)
+		}
+	}
+	sinkBefore := rt.sinkN.Load()
+	procBefore := ctrlStatOf(t, rt, 0, 1).Processed
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 10; j++ {
+			if err := rt.Push(ids[0], j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step()
+	}
+	if got := ctrlStatOf(t, rt, 0, 1).Processed; got <= procBefore {
+		t.Fatal("deactivated replica did not process under fail-safe")
+	}
+	if rt.sinkN.Load() <= sinkBefore {
+		t.Fatal("sink output stalled during the blackout: the fail-safe did not lift the primary's fence")
+	}
+
+	// A recovered instance re-claims, refreshes leases and re-issues the
+	// deactivation commands, rolling the fail-safe back.
+	if err := rt.RecoverController(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if id, _ := rt.Leader(); id != 1 {
+		t.Fatalf("leader after recovering instance 1 = %d, want 1", id)
+	}
+	st := ctrlStatOf(t, rt, 0, 1)
+	if st.FailSafe || st.Active {
+		t.Fatalf("replica (0,1) after control plane recovery: %+v, want lease refreshed and deactivation restored", st)
+	}
+	assertUniqueEpochs(t, rt.LeaseHistory())
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitBrainConvergesByBallot partitions the two controller instances
+// from each other while both still reach every replica: both believe they
+// lead, but replicas follow only the highest ballot, and after the heal the
+// lowest id re-claims above everything and the standby yields.
+func TestSplitBrainConvergesByBallot(t *testing.T) {
+	net := NewNetFault(1)
+	rt, _, step := ctrlSetup(t, Config{Transport: net, Controllers: 2}, core.AllActive(2, 2, 2))
+
+	if err := net.Cut(ControllerEndpoint(0), ControllerEndpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		step()
+	}
+	if bl := rt.BelievedLeaders(); len(bl) != 2 {
+		t.Fatalf("believed leaders during controller partition = %v, want both", bl)
+	}
+	if err := net.Heal(ControllerEndpoint(0), ControllerEndpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		step()
+	}
+	if bl := rt.BelievedLeaders(); len(bl) != 1 || bl[0] != 0 {
+		t.Fatalf("believed leaders after heal = %v, want [0]", bl)
+	}
+	_, epoch := rt.Leader()
+	for _, st := range rt.Stats() {
+		if st.CtrlEpoch != epoch {
+			t.Fatalf("replica (%d,%d) follows ballot %d, leader holds %d", st.PE, st.Replica, st.CtrlEpoch, epoch)
+		}
+	}
+	assertUniqueEpochs(t, rt.LeaseHistory())
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerLifecycleAndValidation covers the explicit error paths and
+// the single-controller defaults.
+func TestControllerLifecycleAndValidation(t *testing.T) {
+	d, asg, _ := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	if _, err := New(d, asg, strat, identityFactory, Config{Controllers: 257}); err == nil {
+		t.Error("accepted 257 controllers — the ballot encoding carries 256")
+	}
+	rt, err := New(d, asg, strat, identityFactory, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ControllerEndpoint(0) != ControllerHost {
+		t.Fatalf("ControllerEndpoint(0) = %d, want ControllerHost (%d)", ControllerEndpoint(0), ControllerHost)
+	}
+	if cs := rt.ControllerStats(); len(cs) != 1 || !cs[0].Alive || !cs[0].Leader {
+		t.Fatalf("default control plane = %+v, want one alive leading instance", cs)
+	}
+	if h := rt.LeaseHistory(); len(h) != 1 || h[0].Controller != 0 {
+		t.Fatalf("initial lease history = %+v, want the instance-0 grant", h)
+	}
+	if err := rt.KillController(-1); err == nil {
+		t.Error("KillController(-1) accepted")
+	}
+	if err := rt.KillController(1); err == nil {
+		t.Error("KillController out of range accepted")
+	}
+	if err := rt.RecoverController(0); err == nil {
+		t.Error("RecoverController on an alive instance accepted")
+	}
+	if err := rt.KillController(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillController(0); err == nil {
+		t.Error("double KillController accepted")
+	}
+	if err := rt.RecoverController(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,6 +75,29 @@ type Config struct {
 	// which doubles per crash cycle. Defaults: MonitorInterval and
 	// 8 × BackoffMin.
 	BackoffMin, BackoffMax time.Duration
+	// Controllers is the number of replicated HAController instances
+	// (at most 256). Instance 0 sits at ControllerHost, standby i at
+	// ControllerEndpoint(i); the lowest-id instance heard fresh within
+	// LeaseTTL holds the lease, and only the lease holder measures rates,
+	// decides configurations, issues activation commands and elects
+	// primaries. Default 1 — the original single controller.
+	Controllers int
+	// LeaseTTL is how stale a peer controller's heartbeat may be before the
+	// lease rule presumes it dead. Default HeartbeatTimeout.
+	LeaseTTL time.Duration
+	// FailSafeHorizon arms the replica-side fail-safe rule: a replica whose
+	// last controller contact is staler than this reverts to full
+	// activation — it processes input despite a deactivation command, so
+	// replication (and, for the last elected primary, output) survives a
+	// control plane that is entirely down or unreachable. Default
+	// 4 × HeartbeatTimeout; negative disables the rule. The rule is armed
+	// only when it can matter: a fault-injectable transport or more than
+	// one controller.
+	FailSafeHorizon time.Duration
+	// CommandRetryMin and CommandRetryMax bound the leader's backoff when
+	// retransmitting unacknowledged activation commands, doubling per
+	// attempt. Defaults: MonitorInterval and 8 × CommandRetryMin.
+	CommandRetryMin, CommandRetryMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +121,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 8 * c.BackoffMin
+	}
+	if c.Controllers <= 0 {
+		c.Controllers = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = c.HeartbeatTimeout
+	}
+	if c.FailSafeHorizon == 0 {
+		c.FailSafeHorizon = 4 * c.HeartbeatTimeout
+	}
+	if c.CommandRetryMin <= 0 {
+		c.CommandRetryMin = c.MonitorInterval
+	}
+	if c.CommandRetryMax <= 0 {
+		c.CommandRetryMax = 8 * c.CommandRetryMin
 	}
 	return c
 }
@@ -130,7 +168,6 @@ type replica struct {
 
 	active    atomic.Bool
 	alive     atomic.Bool
-	lastBeat  atomic.Int64 // unix nanoseconds, as observed by the controller
 	processed atomic.Int64
 
 	// view is the primary index this replica last learned from the
@@ -144,6 +181,13 @@ type replica struct {
 	view     atomic.Int32
 	lastCtrl atomic.Int64
 
+	// ctrlEpoch is the highest controller ballot this replica's proxy has
+	// adopted, and cmdSeq the last command sequence applied within it — the
+	// idempotency state of the ack'd command protocol. Both are guarded by
+	// mu together with the state they fence (active, view).
+	ctrlEpoch atomic.Uint64
+	cmdSeq    atomic.Uint64
+
 	// Supervision state. crash is the current incarnation's termination
 	// channel (nil when no goroutine runs), guarded by mu; the schedule
 	// fields are atomics so Stats can snapshot them from any goroutine.
@@ -155,21 +199,29 @@ type replica struct {
 	lastRestartNs atomic.Int64
 }
 
-// beat records one replica heartbeat as the controller observes it: gated
-// by the transport (a partitioned replica's beats never arrive, so its
-// recorded heartbeat goes stale and it loses the next election) and aged by
+// beat records one replica heartbeat at every alive controller instance
+// that can hear it: gated per link by the transport (a partitioned
+// replica's beats never arrive at that instance, so its recorded heartbeat
+// goes stale there and it loses that instance's next election) and aged by
 // the link delay.
 func (rt *Runtime) beat(rep *replica, now time.Time) {
 	if !rep.alive.Load() {
 		return
 	}
-	if !rt.cfg.Transport.Reachable(rep.host, ControllerHost) {
-		return
+	nowNs := now.UnixNano()
+	for _, c := range rt.ctrls {
+		if !c.alive.Load() {
+			continue
+		}
+		if !rt.cfg.Transport.Reachable(rep.host, c.endpoint) {
+			continue
+		}
+		at := nowNs
+		if d := rt.cfg.Transport.Delay(rep.host, c.endpoint); d > 0 {
+			at -= int64(d)
+		}
+		c.beats[rep.pe][rep.idx].Store(at)
 	}
-	if d := rt.cfg.Transport.Delay(rep.host, ControllerHost); d > 0 {
-		now = now.Add(-d)
-	}
-	rep.lastBeat.Store(now.UnixNano())
 }
 
 // Runtime executes one application. Build with New, then Start, Push
@@ -187,10 +239,22 @@ type Runtime struct {
 	maxCfg    int
 
 	// routes[comp] lists destination (pe, —) pairs; sink edges counted.
-	routes    map[core.ComponentID][]int // successor dense PE indices
-	sinkDst   map[core.ComponentID][]core.ComponentID
-	srcWindow []atomic.Int64 // per source, tuples since last scan
+	routes  map[core.ComponentID][]int // successor dense PE indices
+	sinkDst map[core.ComponentID][]core.ComponentID
+	// srcWindow[ctrl][src] counts tuples since controller ctrl's last
+	// measurement — every instance runs its own Rate Monitor window, so a
+	// standby promoted to leader decides from rates it measured itself.
+	srcWindow [][]atomic.Int64
 	emitted   map[core.ComponentID]*atomic.Int64
+
+	// ctrls are the replicated HAController instances; leases is the
+	// lease-grant history they append claims to under leaseMu.
+	ctrls   []*controller
+	leases  []LeaseGrant
+	leaseMu sync.Mutex
+
+	// failSafeOn arms the replica-side fail-safe rule (FailSafeHorizon).
+	failSafeOn bool
 
 	sinkFn func(sink core.ComponentID, t Tuple)
 
@@ -235,6 +299,9 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	if factory == nil {
 		return nil, fmt.Errorf("live: nil operator factory")
 	}
+	if cfg.Controllers > 256 {
+		return nil, fmt.Errorf("live: %d controllers exceed the 256 the ballot encoding carries", cfg.Controllers)
+	}
 	rt := &Runtime{
 		d:         d,
 		asg:       asg,
@@ -243,13 +310,27 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 		routes:    make(map[core.ComponentID][]int),
 		sinkDst:   make(map[core.ComponentID][]core.ComponentID),
 		emitted:   make(map[core.ComponentID]*atomic.Int64),
-		srcWindow: make([]atomic.Int64, app.NumSources()),
 		primaries: make([]atomic.Int32, app.NumPEs()),
 		stop:      make(chan struct{}),
 	}
 	_, perfect := cfg.Transport.(perfectTransport)
 	rt.fence = !perfect
+	rt.failSafeOn = (rt.fence || cfg.Controllers > 1) && cfg.FailSafeHorizon >= 0
 	rt.applied.Store(int32(cfg.InitialConfig))
+	now := cfg.Clock.Now()
+	rt.srcWindow = make([][]atomic.Int64, cfg.Controllers)
+	rt.ctrls = make([]*controller, cfg.Controllers)
+	for i := range rt.ctrls {
+		rt.srcWindow[i] = make([]atomic.Int64, app.NumSources())
+		rt.ctrls[i] = newController(i, app.NumPEs(), asg.K, cfg.Controllers, app.NumSources(), cfg.InitialConfig, now)
+	}
+	// Every instance starts having just heard every peer, so standbys do
+	// not contest the initial grant before the first heartbeat round.
+	for _, c := range rt.ctrls {
+		for j := range c.lastHeard {
+			c.lastHeard[j].Store(now.UnixNano())
+		}
+	}
 	rt.replicas = make([][]*replica, app.NumPEs())
 	for _, id := range app.PEs() {
 		pe := app.PEIndex(id)
@@ -286,13 +367,16 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 		rt.lookup.Insert(rtree.Point(ic.Rates), c)
 	}
 	rt.maxCfg = r.MaxConfig()
-	now := cfg.Clock.Now()
 	for _, reps := range rt.replicas {
 		for _, rep := range reps {
 			rt.beat(rep, now)
 		}
 	}
-	rt.electAll()
+	// The initial lease is granted to instance 0 synchronously, so the
+	// runtime is never leaderless at Start and a single-controller
+	// deployment behaves exactly as the pre-replication runtime did.
+	rt.claim(rt.ctrls[0], now)
+	rt.electAllAs(rt.ctrls[0], now)
 	return rt, nil
 }
 
@@ -321,8 +405,10 @@ func (rt *Runtime) Start() error {
 			go rt.runReplica(rep, crash)
 		}
 	}
-	rt.wg.Add(1)
-	go rt.runController()
+	for _, c := range rt.ctrls {
+		rt.wg.Add(1)
+		go rt.runController(c)
+	}
 	return nil
 }
 
@@ -333,7 +419,9 @@ func (rt *Runtime) Push(src core.ComponentID, data any) error {
 	if si < 0 {
 		return fmt.Errorf("live: component %d is not a source", src)
 	}
-	rt.srcWindow[si].Add(1)
+	for ci := range rt.srcWindow {
+		rt.srcWindow[ci][si].Add(1)
+	}
 	rt.emitted[src].Add(1)
 	rt.fanOut(Tuple{From: src, Data: data}, ControllerHost)
 	return nil
@@ -342,12 +430,26 @@ func (rt *Runtime) Push(src core.ComponentID, data any) error {
 // fanOut delivers a tuple sent from the fromHost endpoint (ControllerHost
 // for sources) to every replica of each successor PE of its origin. Copies
 // that cannot traverse the transport — a cut link or injected message loss
-// — are counted in NetDropped; full queues drop as before.
+// — are counted in NetDropped; full queues drop as before. Deactivated
+// replicas receive input anyway while they operate under the fail-safe
+// rule, since they will process it.
 func (rt *Runtime) fanOut(t Tuple, fromHost int) {
+	var nowNs int64 // lazily read: only fail-safe eligibility needs it
 	for _, pe := range rt.routes[t.From] {
 		for _, rep := range rt.replicas[pe] {
-			if !rep.alive.Load() || !rep.active.Load() {
+			if !rep.alive.Load() {
 				continue
+			}
+			if !rep.active.Load() {
+				if !rt.failSafeOn {
+					continue
+				}
+				if nowNs == 0 {
+					nowNs = rt.cfg.Clock.Now().UnixNano()
+				}
+				if !rt.failSafeActive(rep, nowNs) {
+					continue
+				}
 			}
 			if fromHost != rep.host &&
 				(!rt.cfg.Transport.Reachable(fromHost, rep.host) || rt.cfg.Transport.DropData(fromHost, rep.host)) {
@@ -381,8 +483,12 @@ func (rt *Runtime) runReplica(rep *replica, crash <-chan struct{}) {
 			rt.beat(rep, now)
 		case t := <-rep.in:
 			rt.beat(rep, rt.cfg.Clock.Now())
-			if !rep.alive.Load() || !rep.active.Load() {
+			if !rep.alive.Load() {
 				continue // commands raced with queued input: discard
+			}
+			if !rep.active.Load() &&
+				!(rt.failSafeOn && rt.failSafeActive(rep, rt.cfg.Clock.Now().UnixNano())) {
+				continue // deactivated, and the fail-safe rule does not apply
 			}
 			outs := rep.op.Process(t)
 			rep.processed.Add(1)
@@ -392,9 +498,18 @@ func (rt *Runtime) runReplica(rep *replica, crash <-chan struct{}) {
 			if rep.view.Load() != int32(rep.idx) {
 				continue // secondaries process but do not forward
 			}
-			if rt.fence &&
-				rt.cfg.Clock.Now().UnixNano()-rep.lastCtrl.Load() > int64(rt.cfg.HeartbeatTimeout) {
-				continue // controller lease expired: fence stale-primary output
+			if rt.fence {
+				// Within (HeartbeatTimeout, FailSafeHorizon] a stale lease
+				// fences the ex-primary's output — the split-brain bound.
+				// Beyond the horizon the fail-safe rule lifts the fence: with
+				// the whole control plane gone there is no election to
+				// conflict with, and the last elected primary keeps the PE's
+				// output flowing.
+				stale := rt.cfg.Clock.Now().UnixNano() - rep.lastCtrl.Load()
+				if stale > int64(rt.cfg.HeartbeatTimeout) &&
+					!(rt.failSafeOn && stale > int64(rt.cfg.FailSafeHorizon)) {
+					continue
+				}
 			}
 			for _, data := range outs {
 				out := Tuple{From: rep.comp, Data: data}
@@ -415,91 +530,21 @@ func (rt *Runtime) runReplica(rep *replica, crash <-chan struct{}) {
 	}
 }
 
-// runController is the Rate Monitor + HAController loop.
-func (rt *Runtime) runController() {
-	defer rt.wg.Done()
-	ticker := rt.cfg.Clock.NewTicker(rt.cfg.MonitorInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-rt.stop:
-			return
-		case <-ticker.C:
-			rt.scan()
-		}
-	}
-}
-
-// scan measures source rates, selects the dominating configuration, applies
-// activation commands on change, and refreshes primary elections from
-// heartbeats.
-func (rt *Runtime) scan() {
-	interval := rt.cfg.MonitorInterval.Seconds()
-	measured := make(rtree.Point, len(rt.srcWindow))
-	for i := range rt.srcWindow {
-		measured[i] = float64(rt.srcWindow[i].Swap(0)) / interval * (1 - 1e-9)
-	}
-	_, cfg, ok := rt.lookup.NearestDominating(measured)
-	if !ok {
-		cfg = rt.maxCfg
-	}
-	if int32(cfg) != rt.applied.Load() {
-		rt.applied.Store(int32(cfg))
-		rt.switches.Add(1)
-		for pe := range rt.replicas {
-			for k, rep := range rt.replicas[pe] {
-				want := rt.strt.IsActive(cfg, pe, k)
-				if want && !rep.active.Load() && rep.alive.Load() {
-					// Re-synchronise state from the primary before the
-					// replica starts processing again (Section 4.6).
-					rt.markJoining(pe, rep)
-				}
-				rep.active.Store(want)
-			}
-		}
-	}
-	rt.electAll()
-	if rt.cfg.Supervise {
-		rt.supervise(rt.cfg.Clock.Now())
-	}
-}
-
-// electAll recomputes every PE's primary — the lowest-indexed replica that
-// is alive, active and recently heartbeating (a partitioned replica's
-// recorded heartbeat goes stale, so it drops out after HeartbeatTimeout) —
-// and publishes the result to every replica the controller can currently
-// reach. Replicas behind a cut keep their stale view: that is the
-// split-brain window the transport contains.
-func (rt *Runtime) electAll() {
-	now := rt.cfg.Clock.Now()
-	deadline := now.Add(-rt.cfg.HeartbeatTimeout).UnixNano()
-	for pe := range rt.replicas {
-		chosen := int32(-1)
-		for k, rep := range rt.replicas[pe] {
-			if rep.alive.Load() && rep.active.Load() && rep.lastBeat.Load() >= deadline {
-				chosen = int32(k)
-				break
-			}
-		}
-		rt.primaries[pe].Store(chosen)
-		for _, rep := range rt.replicas[pe] {
-			if rt.cfg.Transport.Reachable(ControllerHost, rep.host) {
-				rep.view.Store(chosen)
-				rep.lastCtrl.Store(now.UnixNano())
-			}
-		}
-	}
-}
-
 // ObservablePrimaries returns, per PE, the replicas that currently believe
-// themselves primary and whose host the controller side can reach — the
-// split-brain check: once elections settle, each PE has at most one entry.
+// themselves primary and whose host the acting leader's endpoint can reach
+// — the split-brain check: once elections settle, each PE has at most one
+// entry. With the control plane entirely down the observation point falls
+// back to ControllerHost.
 func (rt *Runtime) ObservablePrimaries() [][]int {
+	ep := ControllerHost
+	if id, _ := rt.Leader(); id >= 0 {
+		ep = rt.ctrls[id].endpoint
+	}
 	out := make([][]int, len(rt.replicas))
 	for pe := range rt.replicas {
 		for k, rep := range rt.replicas[pe] {
 			if rep.alive.Load() && rep.view.Load() == int32(k) &&
-				rt.cfg.Transport.Reachable(ControllerHost, rep.host) {
+				rt.cfg.Transport.Reachable(ep, rep.host) {
 				out[pe] = append(out[pe], k)
 			}
 		}

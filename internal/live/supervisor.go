@@ -9,6 +9,8 @@ type ReplicaStat struct {
 	PE, Replica int
 	// Alive reports the replica's failure-injection state.
 	Alive bool
+	// Active reports the activation state the control plane has commanded.
+	Active bool
 	// Processed counts tuples the replica has processed so far.
 	Processed int64
 	// Restarts counts supervisor (and manual) restarts of this replica.
@@ -19,12 +21,19 @@ type ReplicaStat struct {
 	// RestartPending reports whether a supervisor restart is scheduled but
 	// has not fired yet.
 	RestartPending bool
+	// FailSafe reports the replica currently operates under the fail-safe
+	// rule: no controller contact for more than Config.FailSafeHorizon, so
+	// it processes input regardless of its commanded activation state.
+	FailSafe bool
+	// CtrlEpoch is the controller ballot the replica's proxy follows.
+	CtrlEpoch uint64
 }
 
 // Stats returns a point-in-time supervision snapshot of every replica in
 // (PE, replica) order. Safe for concurrent use; it may be called at any
 // point of the runtime's lifecycle.
 func (rt *Runtime) Stats() []ReplicaStat {
+	now := rt.cfg.Clock.Now().UnixNano()
 	out := make([]ReplicaStat, 0, len(rt.replicas)*rt.asg.K)
 	for pe := range rt.replicas {
 		for k, rep := range rt.replicas[pe] {
@@ -32,10 +41,13 @@ func (rt *Runtime) Stats() []ReplicaStat {
 				PE:             pe,
 				Replica:        k,
 				Alive:          rep.alive.Load(),
+				Active:         rep.active.Load(),
 				Processed:      rep.processed.Load(),
 				Restarts:       rep.restarts.Load(),
 				Backoff:        time.Duration(rep.backoffNs.Load()),
 				RestartPending: rep.nextRestartNs.Load() != 0,
+				FailSafe:       rep.alive.Load() && rt.failSafeActive(rep, now),
+				CtrlEpoch:      rep.ctrlEpoch.Load(),
 			})
 		}
 	}

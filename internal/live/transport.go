@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -70,18 +71,32 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// Cut partitions the two endpoints symmetrically.
-func (n *NetFault) Cut(a, b int) {
+// Cut partitions the two endpoints symmetrically. Cutting an already-cut
+// pair is a lifecycle error, mirroring KillReplica on a dead replica: a
+// doubled Cut means the caller's fault schedule collided, and silently
+// re-applying it would let a single later Heal undo two logical cuts.
+func (n *NetFault) Cut(a, b int) error {
 	n.mu.Lock()
-	n.cut[pairKey(a, b)] = true
-	n.mu.Unlock()
+	defer n.mu.Unlock()
+	k := pairKey(a, b)
+	if n.cut[k] {
+		return fmt.Errorf("live: link (%d, %d) is already cut", a, b)
+	}
+	n.cut[k] = true
+	return nil
 }
 
-// Heal restores the link between the two endpoints.
-func (n *NetFault) Heal(a, b int) {
+// Heal restores the link between the two endpoints. Healing a link that is
+// not cut is a lifecycle error for the same reason doubling a Cut is.
+func (n *NetFault) Heal(a, b int) error {
 	n.mu.Lock()
-	delete(n.cut, pairKey(a, b))
-	n.mu.Unlock()
+	defer n.mu.Unlock()
+	k := pairKey(a, b)
+	if !n.cut[k] {
+		return fmt.Errorf("live: link (%d, %d) is not cut", a, b)
+	}
+	delete(n.cut, k)
+	return nil
 }
 
 // HealAll restores every cut link.

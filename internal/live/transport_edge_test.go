@@ -1,0 +1,115 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// TestCutHealLifecycleErrors covers the NetFault link lifecycle: doubling a
+// Cut or healing an intact link is an error rather than a silent re-apply,
+// and HealAll resets the lifecycle so the pair can be cut again.
+func TestCutHealLifecycleErrors(t *testing.T) {
+	net := NewNetFault(1)
+	if err := net.Heal(0, 1); err == nil {
+		t.Error("Heal on an intact link accepted")
+	}
+	if err := net.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Cut(0, 1); err == nil {
+		t.Error("double Cut accepted")
+	}
+	// The pair key is normalised: the reversed pair is the same link.
+	if err := net.Cut(1, 0); err == nil {
+		t.Error("double Cut via the reversed pair accepted")
+	}
+	if net.Reachable(1, 0) {
+		t.Error("link reachable while cut")
+	}
+	if err := net.Heal(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Heal(0, 1); err == nil {
+		t.Error("double Heal accepted")
+	}
+	if !net.Reachable(0, 1) {
+		t.Error("link not reachable after heal")
+	}
+	if err := net.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	net.HealAll()
+	if err := net.Cut(0, 1); err != nil {
+		t.Fatalf("Cut after HealAll rejected: %v", err)
+	}
+}
+
+// TestDelayOrderingUnderFakeClock pins the zero- versus positive-delay
+// semantics on a deterministic clock: heartbeats age by the link delay, so
+// a delay under HeartbeatTimeout only shifts their timestamps and the
+// delivery order of elections is unchanged, while a delay at or beyond the
+// timeout demotes every replica exactly as a partition does — and lifting
+// the delay restores them.
+func TestDelayOrderingUnderFakeClock(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	net := NewNetFault(1)
+	d, asg, ids := buildApp(t)
+	fc := NewFakeClock(time.Unix(0, 0))
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, Config{
+		QueueLen:        64,
+		MonitorInterval: interval,
+		Clock:           fc,
+		Transport:       net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	step := func() {
+		fc.Advance(interval)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Zero delay: replica 0 is primary from its fresh heartbeat.
+	step()
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("primary with zero delay = %d, want 0", got)
+	}
+
+	// A positive delay below the timeout (2 of 3 intervals) ages every
+	// heartbeat but changes no election outcome: order is preserved.
+	net.SetDelay(2 * interval)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("primary with sub-timeout delay = %d, want 0 unchanged", got)
+	}
+
+	// A delay beyond the timeout (4 intervals) makes every heartbeat arrive
+	// already stale: the controller sees no electable replica, like a cut.
+	net.SetDelay(4 * interval)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != -1 {
+		t.Fatalf("primary with super-timeout delay = %d, want -1 (dark)", got)
+	}
+
+	// Removing the delay restores the ordinary election.
+	net.SetDelay(0)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("primary after delay removed = %d, want 0", got)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -278,14 +278,16 @@ type (
 
 // Failure kinds.
 const (
-	ReplicaDown = engine.ReplicaDown
-	ReplicaUp   = engine.ReplicaUp
-	HostDown    = engine.HostDown
-	HostUp      = engine.HostUp
-	LinkDown    = engine.LinkDown
-	LinkUp      = engine.LinkUp
-	HostSlow    = engine.HostSlow
-	HostNormal  = engine.HostNormal
+	ReplicaDown       = engine.ReplicaDown
+	ReplicaUp         = engine.ReplicaUp
+	HostDown          = engine.HostDown
+	HostUp            = engine.HostUp
+	LinkDown          = engine.LinkDown
+	LinkUp            = engine.LinkUp
+	HostSlow          = engine.HostSlow
+	HostNormal        = engine.HostNormal
+	ControllerCrash   = engine.ControllerCrash
+	ControllerRecover = engine.ControllerRecover
 )
 
 // CtrlHost addresses the controller/outside-world endpoint in link events.
@@ -325,6 +327,13 @@ func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float6
 // given duration.
 func GraySlowdownPlan(numHosts, host int, factor, at, duration float64) ([]FailureEvent, error) {
 	return engine.GraySlowdownPlan(numHosts, host, factor, at, duration)
+}
+
+// ControllerCrashPlan crashes one HAController instance at the given time
+// and recovers it after the downtime. numControllers is the control-plane
+// size the plan targets (SimConfig.Controllers).
+func ControllerCrashPlan(numControllers, idx int, at, downtime float64) ([]FailureEvent, error) {
+	return engine.ControllerCrashPlan(numControllers, idx, at, downtime)
 }
 
 // Synthetic workloads (see internal/appgen).
@@ -369,11 +378,20 @@ type (
 	// ReplicaStat is one replica's supervision snapshot from
 	// LiveRuntime.Stats.
 	ReplicaStat = live.ReplicaStat
+	// LiveControllerStat is one replicated HAController instance's snapshot
+	// from LiveRuntime.ControllerStats.
+	LiveControllerStat = live.ControllerStat
+	// LiveLeaseGrant is one entry of the control plane's lease history.
+	LiveLeaseGrant = live.LeaseGrant
 )
 
 // LiveControllerHost addresses the controller side in LiveTransport queries
 // and NetFault operations.
 const LiveControllerHost = live.ControllerHost
+
+// LiveControllerEndpoint returns the transport endpoint of replicated
+// HAController instance i (instance 0 sits at LiveControllerHost).
+func LiveControllerEndpoint(i int) int { return live.ControllerEndpoint(i) }
 
 // NewNetFault returns a fault-free injectable transport whose loss
 // decisions are driven by the seed.
@@ -555,6 +573,11 @@ type (
 	ChaosDiffResult = chaos.DiffResult
 	// ChaosSupervisedResult is the outcome of one supervised-recovery run.
 	ChaosSupervisedResult = chaos.SupervisedResult
+	// ChaosControllerResult is the outcome of one control-plane chaos run.
+	ChaosControllerResult = chaos.ControllerResult
+	// ChaosCtrlCut is one controller↔controller link transition of a
+	// control-plane schedule.
+	ChaosCtrlCut = chaos.CtrlCut
 	// ChaosMode selects what SweepChaos does with each scenario.
 	ChaosMode = chaos.Mode
 )
@@ -569,6 +592,9 @@ const (
 	ChaosMixed           = chaos.Mixed
 	ChaosPartition       = chaos.Partition
 	ChaosGraySlow        = chaos.GraySlow
+	ChaosCtrlCrash       = chaos.CtrlCrash
+	ChaosCtrlPartition   = chaos.CtrlPartition
+	ChaosCtrlSpike       = chaos.CtrlSpike
 )
 
 // Chaos sweep modes.
@@ -576,6 +602,7 @@ const (
 	ChaosModeInvariants = chaos.ModeInvariants
 	ChaosModeDiff       = chaos.ModeDiff
 	ChaosModeSupervised = chaos.ModeSupervised
+	ChaosModeController = chaos.ModeController
 )
 
 // RunChaos executes one seeded chaos scenario on the discrete-event engine
@@ -593,6 +620,13 @@ func DiffChaos(sc ChaosScenario) (*ChaosDiffResult, error) { return chaos.Diff(s
 // live runtime — withholding scheduled recoveries — and checks that the
 // supervisor alone restores full replication without split-brain.
 func SupervisedChaos(sc ChaosScenario) (*ChaosSupervisedResult, error) { return chaos.Supervised(sc) }
+
+// ControllerChaos replays one scenario's control-plane faults — leader
+// crashes, blackouts and controller↔controller partitions — against the
+// live runtime's replicated control plane and checks the control-plane
+// invariants (unique lease epochs, command convergence, fail-safe
+// reversion).
+func ControllerChaos(sc ChaosScenario) (*ChaosControllerResult, error) { return chaos.Controller(sc) }
 
 // SweepChaos executes the scenarios across a bounded worker pool (≤ 0 =
 // all CPUs) in the given mode and returns the outcomes in input order.
