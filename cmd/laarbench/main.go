@@ -43,6 +43,14 @@ import (
 // regression class back in.
 const maxDoTickAllocs = 4
 
+// maxSimTickAllocs is the checked-in ceiling for BenchmarkSimulationTick
+// allocs/op. One iteration is the run phase of a 1000-tick simulation
+// (construction is excluded by the benchmark's StopTimer), so this bounds
+// the monitor + sample path: arena-carved snapshots and pooled
+// reconfiguration records hold it near 16; the ceiling keeps the
+// one-slice-per-PE regression class (hundreds of objects) out.
+const maxSimTickAllocs = 100
+
 // BenchEntry is one parsed `go test -bench` result line.
 type BenchEntry struct {
 	Name        string  `json:"name"`
@@ -98,6 +106,7 @@ func main() {
 		reps       = flag.Int("reps", 3, "matrix timing repetitions (best of)")
 		workers    = flag.Int("matrix-workers", 0, "parallel matrix workers (0 = max(8, NumCPU))")
 		maxAllocs  = flag.Float64("max-tick-allocs", maxDoTickAllocs, "fail when BenchmarkDoTick allocs/op exceeds this ceiling")
+		maxSimTick = flag.Float64("max-simtick-allocs", maxSimTickAllocs, "fail when BenchmarkSimulationTick allocs/op (run phase of 1000 ticks) exceeds this ceiling")
 
 		driftDir   = flag.String("drift-baselines", ".", "directory scanned for BENCH_<n>.json baselines (highest numeric suffix wins)")
 		allocsFrac = flag.Float64("drift-allocs-frac", 0.10, "fractional allocs/op headroom over the baseline before the drift gate fails")
@@ -145,7 +154,7 @@ func main() {
 	}
 	fmt.Println(")")
 
-	if err := enforceCeilings(rep, *maxAllocs); err != nil {
+	if err := enforceCeilings(rep, *maxAllocs, *maxSimTick); err != nil {
 		fatal(err)
 	}
 	if !*skipDrift && len(rep.Benchmarks) > 0 {
@@ -307,11 +316,15 @@ func timeMatrix(corpus []*experiments.AppRun, workers, reps int) (time.Duration,
 }
 
 // enforceCeilings applies the checked-in regression gates to the report.
-func enforceCeilings(rep *Report, maxTickAllocs float64) error {
+func enforceCeilings(rep *Report, maxTickAllocs, maxSimTickAllocs float64) error {
 	for _, e := range rep.Benchmarks {
 		if e.Name == "BenchmarkDoTick" && e.AllocsPerOp > maxTickAllocs {
 			return fmt.Errorf("BenchmarkDoTick allocates %.0f objects/op, ceiling is %.0f — the engine hot path regressed",
 				e.AllocsPerOp, maxTickAllocs)
+		}
+		if e.Name == "BenchmarkSimulationTick" && e.AllocsPerOp > maxSimTickAllocs {
+			return fmt.Errorf("BenchmarkSimulationTick allocates %.0f objects per 1000-tick run, ceiling is %.0f — the monitor/sample path regressed",
+				e.AllocsPerOp, maxSimTickAllocs)
 		}
 	}
 	return nil

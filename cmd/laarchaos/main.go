@@ -11,6 +11,7 @@
 //	laarchaos -runs 5 -diff                  # engine ↔ live differential mode
 //	laarchaos -runs 5 -supervised            # supervised-recovery mode
 //	laarchaos -runs 3 -controller            # replicated-control-plane mode
+//	laarchaos -runs 100 -model               # direct control-plane model check
 //	laarchaos -runs 100 -parallel 4          # bound the worker pool
 package main
 
@@ -32,6 +33,7 @@ func main() {
 		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
 		supervised = flag.Bool("supervised", false, "supervised-recovery mode: replay faults against the supervised live runtime, withholding scheduled recoveries")
 		controller = flag.Bool("controller", false, "control-plane mode: replay controller crashes, blackouts and controller↔controller cuts against the replicated live control plane")
+		model      = flag.Bool("model", false, "model-check mode: replay control-plane faults directly against the extracted controlplane machines, no engine or live runtime")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the sweep (invariant results are identical for every setting)")
 		duration   = flag.Float64("duration", 0, "trace duration in seconds (0 = scenario default)")
 		pes        = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
@@ -44,13 +46,13 @@ func main() {
 	)
 	flag.Parse()
 	modeFlags := 0
-	for _, on := range []bool{*diff, *supervised, *controller} {
+	for _, on := range []bool{*diff, *supervised, *controller, *model} {
 		if on {
 			modeFlags++
 		}
 	}
 	if modeFlags > 1 {
-		fatal(fmt.Errorf("-diff, -supervised and -controller are mutually exclusive"))
+		fatal(fmt.Errorf("-diff, -supervised, -controller and -model are mutually exclusive"))
 	}
 	mode := laar.ChaosModeInvariants
 	switch {
@@ -60,6 +62,8 @@ func main() {
 		mode = laar.ChaosModeSupervised
 	case *controller:
 		mode = laar.ChaosModeController
+	case *model:
+		mode = laar.ChaosModeModel
 	}
 
 	stopProfiles, err := pprofutil.Start(*cpuProfile, *memProfile)
@@ -141,6 +145,18 @@ func report(run laar.ChaosSweepRun, verbose bool) int {
 			fmt.Printf("seed %-4d %-16s ok: leader %d epoch %d after %d lease grants, fail-safe observed=%v\n",
 				sc.Seed, sc.Class, run.Controller.Leader, run.Controller.Epoch,
 				len(run.Controller.Leases), run.Controller.FailSafeObserved)
+		}
+		return 0
+	}
+	if run.Model != nil {
+		if err := run.Model.Err(); err != nil {
+			fmt.Printf("seed %-4d %-16s MODEL %v\n", sc.Seed, sc.Class, err)
+			return 1
+		}
+		if verbose {
+			fmt.Printf("seed %-4d %-16s ok: leader %d epoch %d after %d claims (%d re-claims), fail-safe observed=%v\n",
+				sc.Seed, sc.Class, run.Model.Leader, run.Model.Epoch,
+				len(run.Model.Epochs), run.Model.Reclaims, run.Model.FailSafeObserved)
 		}
 		return 0
 	}

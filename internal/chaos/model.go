@@ -1,0 +1,352 @@
+package chaos
+
+import (
+	"fmt"
+
+	"laar/internal/controlplane"
+	"laar/internal/engine"
+)
+
+// Model-check cadence: one step is a quarter virtual second, mirroring the
+// live driver's quantum, with the monitor period, lease TTL, retransmission
+// backoff and fail-safe horizon at the live harness's defaults expressed in
+// steps. The controlplane machines take abstract int64 time, so the model
+// needs no clock at all — just a step counter.
+const (
+	modelStepsPerSec = 4
+	modelMonitor     = modelStepsPerSec // 1 s
+	modelLeaseTTL    = 3 * modelMonitor // 3 s, the live default
+	modelRetryMin    = modelMonitor     // 1 s
+	modelRetryMax    = controlplane.DefaultRetryMaxFactor * modelRetryMin
+	modelFailSafe    = 12 * modelMonitor // ctrlFailSafeHorizon
+	modelDrainSteps  = 120               // 30 s settle window
+)
+
+// ModelResult is the outcome of one direct model check: the scenario's
+// control-plane faults are replayed against the extracted controlplane
+// machines themselves — electors, sequencers, monitors, replica proxies and
+// the fail-safe tracker wired together by a ~100-line pure step loop — and
+// the run checks the same control-plane invariants as the live Controller
+// harness. The model is the third verification target next to the engine
+// and the live runtime: it exercises the decision kernel at zero runtime
+// cost, so schedules that are too slow to replay on the goroutine runtime
+// can still be swept densely.
+type ModelResult struct {
+	Scenario Scenario
+	Schedule *Schedule
+	// Steps is the number of model steps executed, drain included.
+	Steps int
+	// Epochs is every ballot ever claimed, in claim order; DupEpochs lists
+	// ballots claimed more than once (must be empty).
+	Epochs    []uint64
+	DupEpochs []uint64
+	// Reclaims counts claims made by an instance that was already leading —
+	// the watermark-race path where a leader re-claims above a higher
+	// ballot it learned of.
+	Reclaims int
+	// Leader and Epoch identify the acting leader at quiescence (-1, 0 when
+	// the control plane never converged).
+	Leader int
+	Epoch  uint64
+	// BelievedLeaders lists every instance still leading at quiescence.
+	BelievedLeaders []int
+	// PendingCommands is the leader's unacknowledged command count at
+	// quiescence.
+	PendingCommands int
+	// AppliedConfig is the configuration the acting leader last committed.
+	AppliedConfig int
+	// ActiveMismatches lists replica slots whose activation state disagrees
+	// with the strategy under AppliedConfig; EpochLags lists replica proxies
+	// following a ballot other than the leader's at quiescence.
+	ActiveMismatches []string
+	EpochLags        []string
+	// FailSafeExpected reports the schedule blacked the control plane out
+	// past the fail-safe horizon; FailSafeObserved that the tracker engaged;
+	// FailSafeCleared that it is disengaged at quiescence.
+	FailSafeExpected, FailSafeObserved, FailSafeCleared bool
+}
+
+// Err returns nil when every control-plane invariant held on the model.
+func (mr *ModelResult) Err() error {
+	switch {
+	case len(mr.DupEpochs) > 0:
+		return fmt.Errorf("chaos model: lease epochs %v claimed more than once (%s)", mr.DupEpochs, mr.Schedule.Describe())
+	case mr.Leader < 0:
+		return fmt.Errorf("chaos model: no instance leads at quiescence (%s)", mr.Schedule.Describe())
+	case len(mr.BelievedLeaders) != 1:
+		return fmt.Errorf("chaos model: instances %v all believe they lead at quiescence (%s)", mr.BelievedLeaders, mr.Schedule.Describe())
+	case mr.PendingCommands != 0:
+		return fmt.Errorf("chaos model: %d commands still unacknowledged at quiescence (%s)", mr.PendingCommands, mr.Schedule.Describe())
+	case len(mr.ActiveMismatches) > 0:
+		return fmt.Errorf("chaos model: activations %v disagree with configuration %d (%s)", mr.ActiveMismatches, mr.AppliedConfig, mr.Schedule.Describe())
+	case len(mr.EpochLags) > 0:
+		return fmt.Errorf("chaos model: proxies %v follow stale ballots, leader epoch %d (%s)", mr.EpochLags, mr.Epoch, mr.Schedule.Describe())
+	case mr.FailSafeExpected && !mr.FailSafeObserved:
+		return fmt.Errorf("chaos model: control plane dark past the horizon but the fail-safe never engaged (%s)", mr.Schedule.Describe())
+	case !mr.FailSafeCleared:
+		return fmt.Errorf("chaos model: fail-safe still engaged at quiescence (%s)", mr.Schedule.Describe())
+	}
+	return nil
+}
+
+// modelInstance is one controller instance of the model: the three
+// leader-side machines plus liveness.
+type modelInstance struct {
+	up    bool
+	elect *controlplane.LeaseElector
+	seqr  *controlplane.CommandSequencer
+	mon   *controlplane.RateMonitor
+}
+
+// Model replays one scenario directly on the controlplane machines. The
+// replica data plane is abstracted away entirely: replicas are proxy states
+// with an activation bit, transport is perfect except where the schedule
+// cuts it, and time is the step counter — so the run is a pure function of
+// the scenario and executes in microseconds.
+func Model(sc Scenario) (*ModelResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	sys, err := BuildSystem(sc)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := BuildSchedule(sc, sys)
+	if err != nil {
+		return nil, err
+	}
+	forceActivationFlips(sys)
+
+	numPEs, repK := sys.Asg.NumPEs(), sys.Asg.K
+	numCtrl := sc.Controllers
+	cfgRates := make([][]float64, len(sys.Desc.Configs))
+	for c := range cfgRates {
+		cfgRates[c] = sys.Desc.Configs[c].Rates
+	}
+	maxCfg := sys.Rates.MaxConfig()
+	policy := controlplane.RetryPolicy{Min: modelRetryMin, Max: modelRetryMax}
+
+	newInst := func(id int, now int64) *modelInstance {
+		inst := &modelInstance{
+			up:    true,
+			elect: controlplane.NewLeaseElector(id, numCtrl, modelLeaseTTL, now),
+			seqr:  controlplane.NewCommandSequencer(numPEs, repK, policy),
+			mon:   controlplane.NewRateMonitor(cfgRates, maxCfg),
+		}
+		return inst
+	}
+
+	insts := make([]*modelInstance, numCtrl)
+	for i := range insts {
+		insts[i] = newInst(i, 0)
+	}
+	cut := make([][]bool, numCtrl)
+	for i := range cut {
+		cut[i] = make([]bool, numCtrl)
+	}
+	proxies := make([]controlplane.ProxyState, numPEs*repK)
+	active := make([]bool, numPEs*repK)
+	initCfg := sched.Trace.ConfigAt(0)
+	for pe := 0; pe < numPEs; pe++ {
+		for k := 0; k < repK; k++ {
+			active[pe*repK+k] = sys.Strat.IsActive(initCfg, pe, k)
+		}
+	}
+	applied := initCfg
+	for _, inst := range insts {
+		inst.mon.SetApplied(applied)
+	}
+	failSafe := controlplane.NewFailSafeTracker[int64](modelFailSafe, 0)
+
+	res := &ModelResult{Scenario: sc, Schedule: sched}
+	horizon := float64(modelFailSafe) / modelStepsPerSec
+	res.FailSafeExpected = sched.Blackout[1]-sched.Blackout[0] > horizon+2
+
+	dt := 1.0 / modelStepsPerSec
+	steps := int(sc.Duration*modelStepsPerSec+0.5) + modelDrainSteps
+	traceEnd := sc.Duration - 1e-9
+	seen := make(map[uint64]bool)
+	evIdx, cutIdx := 0, 0
+	for now := int64(1); now <= int64(steps); now++ {
+		t := float64(now-1) * dt
+		for evIdx < len(sched.Events) && sched.Events[evIdx].Time < t+dt {
+			ev := sched.Events[evIdx]
+			evIdx++
+			switch ev.Kind {
+			case engine.ControllerCrash:
+				// A crashed leader steps down before going inert, exactly as
+				// the live ctrlTick does when it observes alive==false.
+				if ev.Host < numCtrl {
+					inst := insts[ev.Host]
+					inst.up = false
+					if inst.elect.Leading() {
+						inst.elect.StepDown()
+						inst.seqr.DropPending()
+					}
+				}
+			case engine.ControllerRecover:
+				// Recovery keeps the machines' state: the instance rejoins
+				// the lease protocol with the ballots it knew at crash time,
+				// mirroring live.RecoverController, so it can never re-claim
+				// an epoch it already burned.
+				if ev.Host < numCtrl {
+					insts[ev.Host].up = true
+				}
+			}
+		}
+		for cutIdx < len(sched.CtrlCuts) && sched.CtrlCuts[cutIdx].Time < t+dt {
+			c := sched.CtrlCuts[cutIdx]
+			cutIdx++
+			if c.A < numCtrl && c.B < numCtrl {
+				cut[c.A][c.B] = !c.Heal
+				cut[c.B][c.A] = !c.Heal
+			}
+		}
+
+		// Heartbeats and watermark gossip over the uncut links.
+		for i, src := range insts {
+			if !src.up {
+				continue
+			}
+			for j, dst := range insts {
+				if i == j || !dst.up || cut[i][j] {
+					continue
+				}
+				dst.elect.HearPeer(i, now)
+				dst.elect.Observe(src.elect.MaxSeen())
+			}
+		}
+
+		// Lease evaluation, in instance order.
+		for _, inst := range insts {
+			if !inst.up {
+				continue
+			}
+			switch inst.elect.Evaluate(now) {
+			case controlplane.LeaseClaim:
+				if inst.elect.Leading() {
+					res.Reclaims++
+				}
+				epoch := inst.elect.Claim()
+				if seen[epoch] {
+					res.DupEpochs = append(res.DupEpochs, epoch)
+				}
+				seen[epoch] = true
+				res.Epochs = append(res.Epochs, epoch)
+				inst.seqr.BeginEpoch(epoch)
+				inst.mon.SetApplied(applied)
+			case controlplane.LeaseYield:
+				inst.elect.StepDown()
+				inst.seqr.DropPending()
+			}
+		}
+
+		// Source accumulation and, on the monitor boundary, the scan.
+		cfgNow := sched.Trace.ConfigAt(min(t, traceEnd))
+		atBoundary := now%modelMonitor == 0
+		for _, inst := range insts {
+			if !inst.up {
+				continue
+			}
+			for s, r := range cfgRates[cfgNow] {
+				inst.mon.Accumulate(s, r*dt)
+			}
+			if atBoundary && inst.elect.Leading() {
+				if cfg := inst.mon.Scan(1.0); cfg != inst.mon.Applied() {
+					inst.mon.SetApplied(cfg)
+					applied = cfg
+				}
+			}
+		}
+
+		// Leading instances drive the command protocol against the proxies.
+		anyLeader := false
+		for _, inst := range insts {
+			if !inst.up || !inst.elect.Leading() {
+				continue
+			}
+			anyLeader = true
+			want := inst.mon.Applied()
+			for pe := 0; pe < numPEs; pe++ {
+				for k := 0; k < repK; k++ {
+					cmd, send, _ := inst.seqr.Step(pe, k, sys.Strat.IsActive(want, pe, k), now)
+					if !send {
+						continue
+					}
+					p := &proxies[pe*repK+k]
+					switch p.Admit(cmd.Epoch, cmd.Seq) {
+					case controlplane.CmdApplied:
+						active[pe*repK+k] = cmd.Active
+						inst.seqr.Acked(pe, k)
+					case controlplane.CmdDuplicate:
+						inst.seqr.Acked(pe, k)
+					case controlplane.CmdStale:
+						// NACK: the replica reports its adopted ballot; the
+						// deposed leader re-claims above it next step.
+						inst.elect.Observe(p.Epoch)
+						inst.seqr.Failed(pe, k, now)
+					}
+				}
+			}
+		}
+
+		// Replica-side fail-safe: contact whenever some leader is up.
+		if anyLeader {
+			failSafe.Contact(now)
+			failSafe.Clear()
+		} else if failSafe.Engage(now) {
+			res.FailSafeObserved = true
+		}
+	}
+	res.Steps = steps
+
+	res.Leader, res.Epoch = -1, 0
+	for i, inst := range insts {
+		if inst.up && inst.elect.Leading() {
+			res.BelievedLeaders = append(res.BelievedLeaders, i)
+			if res.Leader < 0 || inst.elect.Epoch() > res.Epoch {
+				res.Leader, res.Epoch = i, inst.elect.Epoch()
+			}
+		}
+	}
+	res.FailSafeCleared = !failSafe.Engaged()
+	if res.Leader >= 0 {
+		leader := insts[res.Leader]
+		res.PendingCommands = leader.seqr.Pending()
+		res.AppliedConfig = leader.mon.Applied()
+		for pe := 0; pe < numPEs; pe++ {
+			for k := 0; k < repK; k++ {
+				if want := sys.Strat.IsActive(res.AppliedConfig, pe, k); active[pe*repK+k] != want {
+					res.ActiveMismatches = append(res.ActiveMismatches,
+						fmt.Sprintf("(%d,%d) active=%v want %v", pe, k, active[pe*repK+k], want))
+				}
+				if p := proxies[pe*repK+k]; p.Epoch != res.Epoch {
+					res.EpochLags = append(res.EpochLags,
+						fmt.Sprintf("(%d,%d) epoch=%d", pe, k, p.Epoch))
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// forceActivationFlips mirrors controllerSystem's twist on a generated
+// system: deactivate one doubly-covered replica in the low configuration so
+// trace boundaries force real activation commands, exercising the sequencer
+// rather than just the lease. A system whose strategy has no doubly-covered
+// replica is left unchanged.
+func forceActivationFlips(sys *System) {
+	if sys.LowCfg == sys.HighCfg {
+		return
+	}
+	for pe := 0; pe < sys.Asg.NumPEs(); pe++ {
+		if sys.Strat.IsActive(sys.LowCfg, pe, 0) && sys.Strat.IsActive(sys.LowCfg, pe, 1) &&
+			sys.Strat.IsActive(sys.HighCfg, pe, 1) {
+			strat := sys.Strat.Clone()
+			strat.Set(sys.LowCfg, pe, 1, false)
+			sys.Strat = strat
+			return
+		}
+	}
+}

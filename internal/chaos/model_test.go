@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestModelChaos replays every scenario class directly against the
+// controlplane machines and demands the full control-plane invariant set
+// holds: unique lease epochs, a single converged leader, no unacknowledged
+// commands, activations matching the applied configuration, and fail-safe
+// engagement across blackouts.
+func TestModelChaos(t *testing.T) {
+	for _, class := range Classes() {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				mr, err := Model(Scenario{Seed: seed, Class: class})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := mr.Err(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				if len(mr.Epochs) == 0 {
+					t.Errorf("seed %d: no ballot was ever claimed", seed)
+				}
+				if class == CtrlCrash {
+					if !mr.FailSafeExpected {
+						t.Errorf("seed %d: blackout %v too short to arm the fail-safe check", seed, mr.Schedule.Blackout)
+					}
+					// The leader crash plus the blackout must have moved the
+					// lease at least once.
+					if len(mr.Epochs) < 2 {
+						t.Errorf("seed %d: lease never moved across a leader crash (%d claims)", seed, len(mr.Epochs))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelDeterminism pins the model as a pure function of its scenario:
+// two replays of the same seed must produce deeply equal results.
+func TestModelDeterminism(t *testing.T) {
+	for _, class := range []Class{CtrlCrash, CtrlPartition, Mixed} {
+		sc := Scenario{Seed: 5, Class: class}
+		a, err := Model(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Model(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two model runs of seed %d disagree:\n%+v\n%+v", class, sc.Seed, a, b)
+		}
+	}
+}
+
+// TestModelSweepMode drives the model runner through the Sweep worker pool.
+func TestModelSweepMode(t *testing.T) {
+	runs := Sweep([]Scenario{
+		{Seed: 11, Class: CtrlCrash},
+		{Seed: 12, Class: CtrlPartition},
+		{Seed: 13, Class: CtrlSpike},
+	}, 2, ModeModel)
+	for _, run := range runs {
+		if run.Err != nil {
+			t.Fatalf("%s seed %d: %v", run.Scenario.Class, run.Scenario.Seed, run.Err)
+		}
+		if run.Model == nil {
+			t.Fatalf("%s seed %d: model mode produced no model result", run.Scenario.Class, run.Scenario.Seed)
+		}
+		if run.Failed() {
+			t.Errorf("%s seed %d: %v", run.Scenario.Class, run.Scenario.Seed, run.Model.Err())
+		}
+	}
+}

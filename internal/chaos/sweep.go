@@ -26,6 +26,11 @@ const (
 	// activation commands, eventual command convergence and fail-safe
 	// reversion during blackouts.
 	ModeController
+	// ModeModel replays the scenario's control-plane faults directly
+	// against the extracted controlplane machines — no engine, no
+	// goroutines, no clock — and checks the same control-plane invariants
+	// as ModeController at a fraction of the cost.
+	ModeModel
 )
 
 // String names the mode for reports.
@@ -37,6 +42,8 @@ func (m Mode) String() string {
 		return "supervised"
 	case ModeController:
 		return "controller"
+	case ModeModel:
+		return "model"
 	default:
 		return "invariants"
 	}
@@ -54,6 +61,7 @@ type SweepRun struct {
 	Diff       *DiffResult
 	Supervised *SupervisedResult
 	Controller *ControllerResult
+	Model      *ModelResult
 	Err        error
 }
 
@@ -71,6 +79,9 @@ func (r *SweepRun) Failed() bool {
 	}
 	if r.Controller != nil {
 		return r.Controller.Err() != nil
+	}
+	if r.Model != nil {
+		return r.Model.Err() != nil
 	}
 	return len(r.Violations) > 0
 }
@@ -107,6 +118,8 @@ func Sweep(scs []Scenario, parallelism int, mode Mode) []SweepRun {
 					run.Supervised, run.Err = Supervised(scs[j])
 				case ModeController:
 					run.Controller, run.Err = Controller(scs[j])
+				case ModeModel:
+					run.Model, run.Err = Model(scs[j])
 				default:
 					run.Result, run.Violations, run.Err = RunAndCheck(scs[j])
 				}

@@ -1,0 +1,27 @@
+// Package controlplane is the runtime-agnostic kernel of the LAAR control
+// plane: pure, clock-free, allocation-light state machines for the four
+// decision components every LAAR runtime needs — rate monitoring and
+// configuration selection (RateMonitor), lease-based leadership
+// (LeaseElector), the acknowledged idempotent activation-command protocol
+// (CommandSequencer and its replica-side ProxyState), and the replica
+// fail-safe rule (FailSafeTracker).
+//
+// The machines hold no goroutines, channels, clocks or RNGs: they take
+// abstract time (int64 nanoseconds for the live runtime, float64 seconds
+// for the discrete-event engine — see the Time constraint) plus explicit
+// inputs, and return explicit decisions for the caller to execute. The
+// engine drives them from its simulated clock and schedules returned
+// delays on its kernel; the live runtime drives them from Clock time on
+// each instance's own goroutine and ships returned commands over its
+// Transport, keeping its atomics as cross-goroutine mailboxes that are
+// drained into the machines at each tick.
+//
+// Because both runtimes execute the same arithmetic, sim↔live decision
+// divergence is structurally impossible: the chaos harness's differential
+// mode no longer polices two independent implementations of the protocol,
+// and its model-check mode exercises these machines directly, without
+// either runtime.
+//
+// The package deliberately imports neither internal/engine, internal/live
+// nor internal/sim; it may be reused by any future backend.
+package controlplane

@@ -1,0 +1,61 @@
+package controlplane
+
+// Time abstracts the two clocks the LAAR runtimes keep: the live runtime's
+// int64 unix nanoseconds and the engine's float64 simulated seconds.
+// (Nanosecond timestamps exceed float64's 2^53 integer range, and engine
+// seconds cannot round-trip through int64 — so the fail-safe arithmetic is
+// generic instead of adapted.)
+type Time interface {
+	~int64 | ~float64
+}
+
+// Silent is the shared fail-safe predicate: the control plane has been
+// silent at time now when the last contact is at least horizon ago. A
+// negative horizon disables the rule.
+func Silent[T Time](lastContact, now, horizon T) bool {
+	return horizon >= 0 && now-lastContact >= horizon
+}
+
+// FailSafeTracker is the replica-side fail-safe machine: when the control
+// plane has issued no contact for the horizon, the replicas revert to full
+// activation — maximum fault tolerance at degraded capacity is the safe
+// default with nobody left to issue commands. The tracker latches the
+// engaged state so the reversion fires once per silence.
+type FailSafeTracker[T Time] struct {
+	horizon     T
+	lastContact T
+	engaged     bool
+}
+
+// NewFailSafeTracker builds a tracker with the given silence horizon
+// (negative disables it), counting silence from now.
+func NewFailSafeTracker[T Time](horizon, now T) *FailSafeTracker[T] {
+	return &FailSafeTracker[T]{horizon: horizon, lastContact: now}
+}
+
+// Contact records control-plane contact at time now, restarting the
+// silence horizon.
+func (t *FailSafeTracker[T]) Contact(now T) { t.lastContact = now }
+
+// Engage reports whether the fail-safe fires at time now: true exactly
+// once per silence, when the horizon has elapsed since the last contact
+// and the tracker is not already engaged. The caller performs the
+// reversion to full activation.
+func (t *FailSafeTracker[T]) Engage(now T) bool {
+	if t.engaged || !Silent(t.lastContact, now, t.horizon) {
+		return false
+	}
+	t.engaged = true
+	return true
+}
+
+// Engaged reports whether the fail-safe is currently engaged.
+func (t *FailSafeTracker[T]) Engaged() bool { return t.engaged }
+
+// Clear disengages the fail-safe — a leader is back — and reports whether
+// it had been engaged (the caller then rolls back the reversion).
+func (t *FailSafeTracker[T]) Clear() bool {
+	was := t.engaged
+	t.engaged = false
+	return was
+}

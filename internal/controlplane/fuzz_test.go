@@ -1,0 +1,268 @@
+package controlplane
+
+import "testing"
+
+// fuzzReader consumes the fuzz input as a bounded byte stream; exhausted
+// input reads zero, so every prefix of an interesting input is interesting.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) intn(n int) int { return int(r.byte()) % n }
+
+// FuzzControlPlane is the differential fuzz harness of the control-plane
+// kernel: the same machines driven the way the simulation engine drives
+// them and the way the live runtime drives them must produce identical
+// decision sequences, and the protocol invariants (unique epochs, at-most-
+// once command application, convergence) must hold under arbitrary
+// schedules. Divergence between the two runtimes' control decisions is
+// structurally excluded by sharing the machines; this harness guards the
+// remaining surface — the adapters' feeding conventions.
+func FuzzControlPlane(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80, 0x40, 0x20, 0x10, 0xaa, 0x55, 0xcc, 0x33})
+	f.Add([]byte{7, 7, 7, 7, 200, 200, 1, 1, 1, 90, 90, 90, 3, 250, 60, 60, 60, 60, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		fuzzMonitorDifferential(t, r)
+		fuzzElectorDifferential(t, r)
+		fuzzSequencerProxy(t, r)
+		fuzzFailSafeDifferential(t, r)
+	})
+}
+
+// fuzzMonitorDifferential feeds one RateMonitor the engine way (per-event
+// float accumulation) and a second the live way (integer window totals
+// accumulated once per scan) and asserts the decision sequences — selected
+// configuration wherever the hysteresis fires — are identical. Counts are
+// small integers, so both accumulation orders are exact in float64.
+func fuzzMonitorDifferential(t *testing.T, r *fuzzReader) {
+	numCfgs := 1 + r.intn(4)
+	numSources := 1 + r.intn(3)
+	rates := make([][]float64, numCfgs)
+	maxCfg, maxSum := 0, -1.0
+	for c := range rates {
+		rates[c] = make([]float64, numSources)
+		sum := 0.0
+		for s := range rates[c] {
+			rates[c][s] = float64(1 + r.intn(64))
+			sum += rates[c][s]
+		}
+		if sum > maxSum {
+			maxSum, maxCfg = sum, c
+		}
+	}
+	engine := NewRateMonitor(rates, maxCfg)
+	live := NewRateMonitor(rates, maxCfg)
+
+	windows := 1 + r.intn(8)
+	for w := 0; w < windows; w++ {
+		elapsed := float64(1 + r.intn(4))
+		for s := 0; s < numSources; s++ {
+			total := 0
+			events := r.intn(4)
+			for e := 0; e < events; e++ {
+				n := r.intn(32)
+				engine.Accumulate(s, float64(n))
+				total += n
+			}
+			live.Accumulate(s, float64(total))
+		}
+		cfgE := engine.Scan(elapsed)
+		cfgL := live.Select(live.Measure(elapsed))
+		if cfgE != cfgL {
+			t.Fatalf("window %d: engine-style selected %d, live-style %d", w, cfgE, cfgL)
+		}
+		if cfgE != engine.Applied() {
+			engine.SetApplied(cfgE)
+			live.SetApplied(cfgL)
+		}
+		if engine.Applied() != live.Applied() {
+			t.Fatalf("window %d: applied diverged %d vs %d", w, engine.Applied(), live.Applied())
+		}
+	}
+}
+
+// fuzzElectorDifferential runs the same heartbeat schedule through two
+// elector sets whose clocks differ by a pure unit change (steps vs
+// nanosecond-like scale) and asserts identical action sequences — the lease
+// rule must be unit-invariant. It also asserts no two claims anywhere ever
+// produce the same epoch.
+func fuzzElectorDifferential(t *testing.T, r *fuzzReader) {
+	const scale = int64(1_000_000)
+	peers := 2 + r.intn(3)
+	ttl := int64(1 + r.intn(8))
+	a := make([]*LeaseElector, peers)
+	b := make([]*LeaseElector, peers)
+	for i := range a {
+		a[i] = NewLeaseElector(i, peers, ttl, 0)
+		b[i] = NewLeaseElector(i, peers, ttl*scale, 0)
+	}
+	epochs := make(map[uint64]bool)
+	steps := 4 + r.intn(16)
+	for now := int64(1); now <= int64(steps); now++ {
+		heard := r.byte()
+		for i := 0; i < peers; i++ {
+			for j := 0; j < peers; j++ {
+				if i != j && heard&(1<<uint(j)) != 0 {
+					a[i].HearPeer(j, now)
+					b[i].HearPeer(j, now*scale)
+				}
+			}
+		}
+		for i := 0; i < peers; i++ {
+			actA := a[i].Evaluate(now)
+			actB := b[i].Evaluate(now * scale)
+			if actA != actB {
+				t.Fatalf("step %d instance %d: action %v at step scale, %v at nano scale", now, i, actA, actB)
+			}
+			switch actA {
+			case LeaseClaim:
+				ea, eb := a[i].Claim(), b[i].Claim()
+				if ea != eb {
+					t.Fatalf("step %d instance %d: claimed %d vs %d", now, i, ea, eb)
+				}
+				if epochs[ea] {
+					t.Fatalf("step %d instance %d: epoch %d claimed twice", now, i, ea)
+				}
+				epochs[ea] = true
+				if BallotHolder(ea) != i {
+					t.Fatalf("epoch %d claimed by %d carries holder %d", ea, i, BallotHolder(ea))
+				}
+			case LeaseYield:
+				a[i].StepDown()
+				b[i].StepDown()
+			}
+			// Gossip the watermark the way heartbeats do.
+			for j := 0; j < peers; j++ {
+				if j != i {
+					a[j].Observe(a[i].MaxSeen())
+					b[j].Observe(b[i].MaxSeen())
+				}
+			}
+		}
+	}
+}
+
+// fuzzSequencerProxy drives a leader sequencer against per-slot replica
+// proxies through an arbitrary wanted-state and loss schedule, then lets
+// the channel heal and asserts the protocol converges with every proxy in
+// the wanted state and every (epoch, seq) applied at most once.
+func fuzzSequencerProxy(t *testing.T, r *fuzzReader) {
+	numPEs := 1 + r.intn(3)
+	k := 2
+	min := int64(1 + r.intn(4))
+	seq := NewCommandSequencer(numPEs, k, RetryPolicy{Min: min, Max: DefaultRetryMaxFactor * min})
+	seq.BeginEpoch(PackBallot(1, 0))
+
+	proxies := make([]ProxyState, numPEs*k)
+	applied := make([]bool, numPEs*k) // replica-side activation state
+	want := make([]bool, numPEs*k)
+	for i := range want {
+		want[i] = true
+	}
+	seen := make(map[[2]uint64]bool)
+
+	deliver := func(pe, kk int, now int64, lost bool) {
+		cmd, send, _ := seq.Step(pe, kk, want[pe*k+kk], now)
+		if !send {
+			return
+		}
+		if lost {
+			seq.Failed(pe, kk, now)
+			return
+		}
+		p := &proxies[pe*k+kk]
+		switch p.Admit(cmd.Epoch, cmd.Seq) {
+		case CmdApplied:
+			key := [2]uint64{cmd.Epoch, cmd.Seq}
+			if seen[key] {
+				t.Fatalf("command (%d, %d) applied twice", cmd.Epoch, cmd.Seq)
+			}
+			seen[key] = true
+			applied[pe*k+kk] = cmd.Active
+			seq.Acked(pe, kk)
+		case CmdDuplicate:
+			seq.Acked(pe, kk)
+		case CmdStale:
+			t.Fatalf("single-leader run produced a stale command (%d, %d)", cmd.Epoch, cmd.Seq)
+		}
+	}
+
+	now := int64(0)
+	steps := 4 + r.intn(24)
+	for s := 0; s < steps; s++ {
+		now++
+		b := r.byte()
+		if b&0x80 != 0 { // flip one slot's wanted state
+			idx := int(b&0x7f) % len(want)
+			want[idx] = !want[idx]
+		}
+		lossBits := r.byte()
+		for pe := 0; pe < numPEs; pe++ {
+			for kk := 0; kk < k; kk++ {
+				deliver(pe, kk, now, lossBits&(1<<uint(pe*k+kk)) != 0)
+			}
+		}
+	}
+	// Heal the channel: the sequencer must converge within the backoff
+	// ceiling times the retry budget.
+	for drain := 0; drain < 200 && seq.Pending() > 0; drain++ {
+		now++
+		for pe := 0; pe < numPEs; pe++ {
+			for kk := 0; kk < k; kk++ {
+				deliver(pe, kk, now, false)
+			}
+		}
+	}
+	if seq.Pending() != 0 {
+		t.Fatalf("sequencer failed to converge: %d slots still pending", seq.Pending())
+	}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("slot %d converged to %v, want %v", i, applied[i], want[i])
+		}
+	}
+}
+
+// fuzzFailSafeDifferential runs one contact/probe schedule through an
+// int64-clock tracker and a float64-clock tracker and asserts identical
+// engage decisions — the fail-safe predicate must not depend on the
+// runtime's time representation.
+func fuzzFailSafeDifferential(t *testing.T, r *fuzzReader) {
+	horizon := int64(r.intn(16)) - 1 // -1 disables
+	ti := NewFailSafeTracker(horizon, 0)
+	tf := NewFailSafeTracker(float64(horizon), 0)
+	steps := 4 + r.intn(16)
+	for now := int64(1); now <= int64(steps); now++ {
+		op := r.byte()
+		switch {
+		case op&0x3 == 0:
+			ti.Contact(now)
+			tf.Contact(float64(now))
+		case op&0x3 == 1:
+			if ti.Clear() != tf.Clear() {
+				t.Fatalf("step %d: Clear diverged", now)
+			}
+		default:
+			ei, ef := ti.Engage(now), tf.Engage(float64(now))
+			if ei != ef {
+				t.Fatalf("step %d: Engage %v on int64 clock, %v on float64 clock", now, ei, ef)
+			}
+		}
+		if ti.Engaged() != tf.Engaged() {
+			t.Fatalf("step %d: Engaged diverged", now)
+		}
+	}
+}

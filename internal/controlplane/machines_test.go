@@ -1,0 +1,421 @@
+package controlplane
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBallotPacking(t *testing.T) {
+	tests := []struct {
+		round  uint64
+		id     int
+		ballot uint64
+	}{
+		{0, 0, 0},
+		{0, 7, 7},
+		{1, 0, 256},
+		{1, 255, 511},
+		{3, 2, 770},
+		{1 << 40, 17, 1<<48 | 17},
+	}
+	for _, tc := range tests {
+		if got := PackBallot(tc.round, tc.id); got != tc.ballot {
+			t.Errorf("PackBallot(%d, %d) = %d, want %d", tc.round, tc.id, got, tc.ballot)
+		}
+		if got := BallotRound(tc.ballot); got != tc.round {
+			t.Errorf("BallotRound(%d) = %d, want %d", tc.ballot, got, tc.round)
+		}
+		if got := BallotHolder(tc.ballot); got != tc.id {
+			t.Errorf("BallotHolder(%d) = %d, want %d", tc.ballot, got, tc.id)
+		}
+	}
+}
+
+func TestNextBallot(t *testing.T) {
+	tests := []struct {
+		seen uint64
+		id   int
+		want uint64
+	}{
+		{0, 0, PackBallot(1, 0)},
+		{0, 3, PackBallot(1, 3)},
+		{PackBallot(1, 200), 3, PackBallot(2, 3)},
+		{PackBallot(7, 0), 255, PackBallot(8, 255)},
+	}
+	for _, tc := range tests {
+		got := NextBallot(tc.seen, tc.id)
+		if got != tc.want {
+			t.Errorf("NextBallot(%d, %d) = %d, want %d", tc.seen, tc.id, got, tc.want)
+		}
+		if got <= tc.seen {
+			t.Errorf("NextBallot(%d, %d) = %d is not strictly above seen", tc.seen, tc.id, got)
+		}
+	}
+}
+
+func TestLeaseElectorClaimYield(t *testing.T) {
+	const ttl = 10
+	// Three instances, all seeded as heard at t=0.
+	e := NewLeaseElector(1, 3, ttl, 0)
+
+	// Instance 0 is fresh: a standby holds.
+	if got := e.Evaluate(5); got != LeaseHold {
+		t.Fatalf("standby with fresh lower peer: Evaluate = %v, want LeaseHold", got)
+	}
+	// Instance 0 ages out: claim.
+	if got := e.Evaluate(11); got != LeaseClaim {
+		t.Fatalf("standby with no fresh lower peer: Evaluate = %v, want LeaseClaim", got)
+	}
+	epoch := e.Claim()
+	if epoch != PackBallot(1, 1) {
+		t.Fatalf("first claim epoch = %d, want %d", epoch, PackBallot(1, 1))
+	}
+	if !e.Leading() || e.Epoch() != epoch || e.MaxSeen() != epoch {
+		t.Fatalf("after Claim: leading=%v epoch=%d maxSeen=%d", e.Leading(), e.Epoch(), e.MaxSeen())
+	}
+	// Leading with no fresh lower peer: hold.
+	if got := e.Evaluate(12); got != LeaseHold {
+		t.Fatalf("leader with no fresh lower peer: Evaluate = %v, want LeaseHold", got)
+	}
+	// Instance 0 comes back: yield.
+	e.HearPeer(0, 12)
+	if got := e.Evaluate(13); got != LeaseYield {
+		t.Fatalf("leader hearing lower peer: Evaluate = %v, want LeaseYield", got)
+	}
+	e.StepDown()
+	if e.Leading() {
+		t.Fatal("leading after StepDown")
+	}
+	// Higher-id peers never force a yield.
+	e.HearPeer(2, 14)
+	if got := e.Evaluate(14); got != LeaseHold {
+		t.Fatalf("standby with only higher fresh peers: Evaluate = %v, want LeaseHold", got)
+	}
+}
+
+func TestLeaseElectorReclaimAboveSeen(t *testing.T) {
+	e := NewLeaseElector(0, 2, 10, 0)
+	first := e.Claim()
+	// A higher ballot appears (a peer led while this instance was cut off).
+	foreign := PackBallot(5, 1)
+	e.Observe(foreign)
+	if got := e.Evaluate(1); got != LeaseClaim {
+		t.Fatalf("leader below maxSeen: Evaluate = %v, want LeaseClaim", got)
+	}
+	second := e.Claim()
+	if second <= foreign || second <= first {
+		t.Fatalf("re-claim %d not above foreign %d and first %d", second, foreign, first)
+	}
+	if BallotHolder(second) != 0 {
+		t.Fatalf("re-claim holder = %d, want 0", BallotHolder(second))
+	}
+	// Observing lower ballots never lowers the watermark.
+	e.Observe(first)
+	if e.MaxSeen() != second {
+		t.Fatalf("maxSeen = %d after observing lower ballot, want %d", e.MaxSeen(), second)
+	}
+}
+
+func TestLeaseElectorTTLBoundary(t *testing.T) {
+	// lastHeard == now-ttl is still fresh (>= deadline).
+	e := NewLeaseElector(1, 2, 10, 0)
+	if got := e.Evaluate(10); got != LeaseHold {
+		t.Fatalf("peer exactly at TTL: Evaluate = %v, want LeaseHold", got)
+	}
+	if got := e.Evaluate(11); got != LeaseClaim {
+		t.Fatalf("peer one past TTL: Evaluate = %v, want LeaseClaim", got)
+	}
+}
+
+func TestLowestAlive(t *testing.T) {
+	tests := []struct {
+		up   []bool
+		want int
+	}{
+		{nil, -1},
+		{[]bool{false, false}, -1},
+		{[]bool{true, false}, 0},
+		{[]bool{false, true, true}, 1},
+		{[]bool{false, false, true}, 2},
+	}
+	for _, tc := range tests {
+		if got := LowestAlive(tc.up); got != tc.want {
+			t.Errorf("LowestAlive(%v) = %d, want %d", tc.up, got, tc.want)
+		}
+	}
+}
+
+func TestRateMonitorMeasureAndSelect(t *testing.T) {
+	// Two configurations over two sources: low = (10, 5), high = (100, 50).
+	rates := [][]float64{{10, 5}, {100, 50}}
+	m := NewRateMonitor(rates, 1)
+	if m.NumSources() != 2 {
+		t.Fatalf("NumSources = %d, want 2", m.NumSources())
+	}
+	if m.Applied() != -1 {
+		t.Fatalf("initial Applied = %d, want -1", m.Applied())
+	}
+
+	tests := []struct {
+		name    string
+		windows [2]float64 // tuples over a 2-second window
+		want    int
+	}{
+		{"idle", [2]float64{0, 0}, 0},
+		{"low load", [2]float64{18, 8}, 0},
+		{"exactly low", [2]float64{20, 10}, 0}, // discount keeps ties dominated
+		{"between", [2]float64{40, 8}, 1},
+		{"high load", [2]float64{190, 90}, 1},
+		{"overshoot", [2]float64{1000, 1000}, 1}, // nothing dominates: MaxConfig
+	}
+	for _, tc := range tests {
+		m.Accumulate(0, tc.windows[0])
+		m.Accumulate(1, tc.windows[1])
+		if got := m.Scan(2.0); got != tc.want {
+			t.Errorf("%s: Scan = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// Measure resets the windows and applies the discount.
+	m.Accumulate(0, 20)
+	got := m.Measure(2.0)
+	// Bind the discount to a float64 first: an untyped constant expression
+	// would be folded at arbitrary precision and differ by one ulp.
+	discount := float64(MeasurementDiscount)
+	want := 20.0 / 2.0 * discount
+	if got[0] != want || got[1] != 0 {
+		t.Fatalf("Measure = %v, want [%v 0]", got, want)
+	}
+	if m.Measured()[0] != want {
+		t.Fatalf("Measured()[0] = %v, want %v", m.Measured()[0], want)
+	}
+	if next := m.Measure(2.0); next[0] != 0 {
+		t.Fatalf("windows not reset: second Measure = %v", next)
+	}
+
+	m.SetApplied(1)
+	if m.Applied() != 1 {
+		t.Fatalf("Applied = %d after SetApplied(1)", m.Applied())
+	}
+}
+
+func TestRateMonitorResetWindows(t *testing.T) {
+	m := NewRateMonitor([][]float64{{10}}, 0)
+	m.Accumulate(0, 500)
+	m.ResetWindows()
+	if got := m.Measure(1.0); got[0] != 0 {
+		t.Fatalf("Measure after ResetWindows = %v, want 0", got[0])
+	}
+}
+
+func TestCommandSequencerLifecycle(t *testing.T) {
+	seq := NewCommandSequencer(2, 2, RetryPolicy{Min: 10, Max: 40})
+	seq.BeginEpoch(PackBallot(1, 0))
+
+	// Fresh command for a divergent slot.
+	cmd, send, retry := seq.Step(0, 0, true, 100)
+	if !send || retry {
+		t.Fatalf("fresh step: send=%v retry=%v, want true,false", send, retry)
+	}
+	if cmd.Epoch != PackBallot(1, 0) || cmd.Seq != 1 || !cmd.Active {
+		t.Fatalf("fresh command = %+v", cmd)
+	}
+	if seq.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", seq.Pending())
+	}
+
+	// Lost: retransmissions back off 10, 20, 40, 40 (capped).
+	seq.Failed(0, 0, 100)
+	if _, send, _ := seq.Step(0, 0, true, 105); send {
+		t.Fatal("sent during backoff window")
+	}
+	delays := []int64{}
+	now := int64(100)
+	for i := 0; i < 4; i++ {
+		for {
+			now++
+			cmd2, send, retry := seq.Step(0, 0, true, now)
+			if send {
+				if !retry {
+					t.Fatalf("retransmission %d not flagged retry", i)
+				}
+				if cmd2 != cmd {
+					t.Fatalf("retransmission %d changed command: %+v != %+v", i, cmd2, cmd)
+				}
+				break
+			}
+		}
+		delays = append(delays, now)
+		seq.Failed(0, 0, now)
+	}
+	gaps := []int64{delays[1] - delays[0], delays[2] - delays[1], delays[3] - delays[2]}
+	wantGaps := []int64{20, 40, 40}
+	for i, g := range gaps {
+		if g != wantGaps[i] {
+			t.Fatalf("backoff gaps = %v, want %v", gaps, wantGaps)
+		}
+	}
+
+	// Acknowledged: the slot converges and goes quiet.
+	seq.Acked(0, 0)
+	if seq.Pending() != 0 {
+		t.Fatalf("Pending = %d after ack, want 0", seq.Pending())
+	}
+	if _, send, _ := seq.Step(0, 0, true, now+1000); send {
+		t.Fatal("converged slot sent a command")
+	}
+}
+
+func TestCommandSequencerSupersededCommand(t *testing.T) {
+	seq := NewCommandSequencer(1, 1, RetryPolicy{Min: 10, Max: 80})
+	seq.BeginEpoch(1 << 8)
+
+	// Activate, lose it, then want deactivation: a fresh command with a new
+	// sequence number replaces the in-flight one and resets the backoff.
+	first, _, _ := seq.Step(0, 0, true, 0)
+	seq.Failed(0, 0, 0)
+	second, send, retry := seq.Step(0, 0, false, 1)
+	if !send || retry {
+		t.Fatalf("superseding step: send=%v retry=%v, want true,false", send, retry)
+	}
+	if second.Seq <= first.Seq || second.Active {
+		t.Fatalf("superseding command = %+v after %+v", second, first)
+	}
+
+	// Ack the deactivation, then want deactivation again: converged.
+	seq.Acked(0, 0)
+	if _, send, _ := seq.Step(0, 0, false, 2); send {
+		t.Fatal("converged slot resent")
+	}
+	// A pending command superseded by a want matching the acked state is
+	// dropped without a send.
+	third, _, _ := seq.Step(0, 0, true, 3)
+	_ = third
+	if seq.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", seq.Pending())
+	}
+	if _, send, _ := seq.Step(0, 0, false, 4); send {
+		t.Fatal("slot already acked inactive sent a command")
+	}
+	if seq.Pending() != 0 {
+		t.Fatalf("Pending = %d after supersede-to-acked, want 0", seq.Pending())
+	}
+}
+
+func TestCommandSequencerEpochAndStepDown(t *testing.T) {
+	seq := NewCommandSequencer(1, 2, RetryPolicy{Min: 1, Max: 8})
+	seq.BeginEpoch(PackBallot(1, 0))
+	seq.Step(0, 0, true, 0)
+	seq.Step(0, 1, true, 0)
+	seq.Acked(0, 0)
+
+	// Step-down drops the in-flight command but keeps the acked state.
+	seq.DropPending()
+	if seq.Pending() != 0 {
+		t.Fatalf("Pending = %d after DropPending, want 0", seq.Pending())
+	}
+	if _, send, _ := seq.Step(0, 0, true, 1); send {
+		t.Fatal("acked slot resent after DropPending")
+	}
+
+	// A new epoch forgets everything: the slot re-issues under the new
+	// ballot with sequence numbers restarting.
+	next := PackBallot(2, 0)
+	seq.BeginEpoch(next)
+	if seq.Epoch() != next {
+		t.Fatalf("Epoch = %d, want %d", seq.Epoch(), next)
+	}
+	cmd, send, _ := seq.Step(0, 0, true, 2)
+	if !send || cmd.Epoch != next || cmd.Seq != 1 {
+		t.Fatalf("post-BeginEpoch command = %+v send=%v", cmd, send)
+	}
+}
+
+func TestProxyStateAdmit(t *testing.T) {
+	var p ProxyState
+	tests := []struct {
+		epoch, seq uint64
+		want       Disposition
+	}{
+		{256, 1, CmdApplied},
+		{256, 1, CmdDuplicate}, // redelivery
+		{256, 2, CmdApplied},
+		{256, 1, CmdDuplicate}, // late redelivery of an old seq
+		{255, 9, CmdStale},     // deposed leader
+		{512, 1, CmdApplied},   // new ballot resets the sequence space
+		{512, 1, CmdDuplicate},
+		{256, 3, CmdStale},
+	}
+	for i, tc := range tests {
+		if got := p.Admit(tc.epoch, tc.seq); got != tc.want {
+			t.Fatalf("step %d: Admit(%d, %d) = %v, want %v", i, tc.epoch, tc.seq, got, tc.want)
+		}
+	}
+	if p.Epoch != 512 || p.Seq != 1 {
+		t.Fatalf("final proxy state = %+v", p)
+	}
+}
+
+func TestProxyStateAdopt(t *testing.T) {
+	p := ProxyState{Epoch: 512, Seq: 7}
+	if p.Adopt(256) {
+		t.Fatal("adopted a stale ballot")
+	}
+	if !p.Adopt(512) || p.Seq != 7 {
+		t.Fatalf("same-ballot adopt: state = %+v", p)
+	}
+	if !p.Adopt(768) || p.Epoch != 768 || p.Seq != 0 {
+		t.Fatalf("higher-ballot adopt: state = %+v", p)
+	}
+}
+
+func TestSilent(t *testing.T) {
+	if Silent(int64(0), int64(5), int64(-1)) {
+		t.Fatal("negative horizon engaged")
+	}
+	if Silent(0.0, 4.9, 5.0) {
+		t.Fatal("engaged before horizon")
+	}
+	if !Silent(0.0, 5.0, 5.0) {
+		t.Fatal("not engaged exactly at horizon")
+	}
+	if !Silent(int64(10), int64(25), int64(15)) {
+		t.Fatal("not engaged past horizon")
+	}
+}
+
+func TestFailSafeTracker(t *testing.T) {
+	ft := NewFailSafeTracker(5.0, 0.0)
+	if ft.Engage(4.0) {
+		t.Fatal("engaged before horizon")
+	}
+	if !ft.Engage(5.0) {
+		t.Fatal("did not engage at horizon")
+	}
+	if ft.Engage(6.0) {
+		t.Fatal("engaged twice without a Clear")
+	}
+	if !ft.Engaged() {
+		t.Fatal("not engaged after Engage")
+	}
+	if !ft.Clear() {
+		t.Fatal("Clear did not report the engaged state")
+	}
+	if ft.Clear() {
+		t.Fatal("second Clear reported engaged")
+	}
+	// Contact restarts the horizon.
+	ft.Contact(10.0)
+	if ft.Engage(14.0) {
+		t.Fatal("engaged before the restarted horizon")
+	}
+	if !ft.Engage(15.0) {
+		t.Fatal("did not engage after the restarted horizon")
+	}
+
+	// Disabled tracker never engages.
+	off := NewFailSafeTracker[int64](-1, 0)
+	if off.Engage(math.MaxInt64) {
+		t.Fatal("disabled tracker engaged")
+	}
+}

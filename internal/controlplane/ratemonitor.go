@@ -1,0 +1,106 @@
+package controlplane
+
+import "laar/internal/rtree"
+
+// MeasurementDiscount is the tiny relative discount applied to every
+// measured rate. It absorbs float accumulation error: without it a
+// measured rate can exceed the configuration's exact rate by one ulp and
+// spuriously fail the domination test.
+const MeasurementDiscount = 1 - 1e-9
+
+// RateMonitor is the Rate Monitor + configuration-selection machine: it
+// accumulates per-source tuple counts into monitor windows, converts them
+// into discounted rate measurements, maps a measurement to the nearest
+// input configuration dominating it (falling back to the most
+// resource-hungry configuration when nothing dominates), and tracks the
+// applied configuration for the caller's change-detection hysteresis.
+//
+// The machine owns one reusable measurement buffer, so a steady-state
+// Accumulate → Measure → Select cycle allocates nothing beyond the R-tree
+// walk.
+type RateMonitor struct {
+	lookup   *rtree.Tree
+	maxCfg   int
+	windows  []float64
+	measured rtree.Point
+	applied  int
+}
+
+// NewRateMonitor builds a monitor over the configuration rate points:
+// rates[c][s] is configuration c's expected rate at source s. maxCfg is
+// the fallback configuration when a measurement dominates every point —
+// the most resource-hungry configuration, which never underestimates the
+// load. The applied configuration starts at -1 (nothing applied).
+func NewRateMonitor(rates [][]float64, maxCfg int) *RateMonitor {
+	numSources := 0
+	if len(rates) > 0 {
+		numSources = len(rates[0])
+	}
+	m := &RateMonitor{
+		lookup:   rtree.New(numSources),
+		maxCfg:   maxCfg,
+		windows:  make([]float64, numSources),
+		measured: make(rtree.Point, numSources),
+		applied:  -1,
+	}
+	for c, r := range rates {
+		m.lookup.Insert(rtree.Point(r), c)
+	}
+	return m
+}
+
+// NumSources returns the width of the monitor's source vector.
+func (m *RateMonitor) NumSources() int { return len(m.windows) }
+
+// Accumulate adds n tuples from source src to the current monitor window.
+func (m *RateMonitor) Accumulate(src int, n float64) { m.windows[src] += n }
+
+// ResetWindows discards the accumulated windows — a freshly promoted
+// leader starts measuring from scratch rather than from a window that
+// partially predates its lease.
+func (m *RateMonitor) ResetWindows() {
+	for i := range m.windows {
+		m.windows[i] = 0
+	}
+}
+
+// Measure converts the accumulated windows into discounted rates over the
+// elapsed interval, resets the windows, and returns the machine's reusable
+// measurement buffer (overwritten by the next Measure).
+func (m *RateMonitor) Measure(elapsed float64) []float64 {
+	for i, w := range m.windows {
+		m.measured[i] = w / elapsed * MeasurementDiscount
+		m.windows[i] = 0
+	}
+	return m.measured
+}
+
+// Measured returns the latest measurement buffer without re-measuring —
+// all zeros before the first Measure.
+func (m *RateMonitor) Measured() []float64 { return m.measured }
+
+// Select maps a measurement to the nearest input configuration dominating
+// it, or to the fallback configuration when the measured rates exceed
+// every known configuration (e.g. a glitch overshoot).
+func (m *RateMonitor) Select(measured []float64) int {
+	_, cfg, ok := m.lookup.NearestDominating(rtree.Point(measured))
+	if !ok {
+		cfg = m.maxCfg
+	}
+	return cfg
+}
+
+// Scan is one full monitor step: measure the windows over elapsed and
+// select the dominating configuration. The caller compares the result
+// against Applied for its change hysteresis.
+func (m *RateMonitor) Scan(elapsed float64) int {
+	return m.Select(m.Measure(elapsed))
+}
+
+// Applied returns the configuration the caller last committed, -1 before
+// the first SetApplied.
+func (m *RateMonitor) Applied() int { return m.applied }
+
+// SetApplied records the configuration the caller committed — the
+// hysteresis reference the next Scan's result is compared against.
+func (m *RateMonitor) SetApplied(cfg int) { m.applied = cfg }

@@ -1,0 +1,54 @@
+package controlplane
+
+import "testing"
+
+// TestCommandRetryCapUnified is the regression pin for the once-duplicated
+// retry bounds: the engine's geometric retry draw and the live runtime's
+// retransmission backoff both derive from these constants, and the values
+// are part of the experiment semantics (changing them changes every figure
+// with command loss). Update the expectations only with a deliberate
+// protocol change.
+func TestCommandRetryCapUnified(t *testing.T) {
+	if CommandRetryLimit != 64 {
+		t.Fatalf("CommandRetryLimit = %d, want 64", CommandRetryLimit)
+	}
+	if DefaultRetryMaxFactor != 8 {
+		t.Fatalf("DefaultRetryMaxFactor = %d, want 8", DefaultRetryMaxFactor)
+	}
+
+	// Even a certain-loss channel stops after the cap.
+	draws := 0
+	alwaysLost := func() float64 { draws++; return 0 }
+	if got := GeometricRetries(1.0, alwaysLost); got != CommandRetryLimit {
+		t.Fatalf("GeometricRetries(1.0) = %d, want %d", got, CommandRetryLimit)
+	}
+	if draws != CommandRetryLimit {
+		t.Fatalf("GeometricRetries(1.0) consumed %d draws, want %d", draws, CommandRetryLimit)
+	}
+
+	// A lossless channel draws exactly once and retries zero times.
+	draws = 0
+	neverLost := func() float64 { draws++; return 0.999999 }
+	if got := GeometricRetries(0.5, neverLost); got != 0 || draws != 1 {
+		t.Fatalf("GeometricRetries(0.5, never lost) = %d after %d draws, want 0 after 1", got, draws)
+	}
+}
+
+func TestRetryPolicyNext(t *testing.T) {
+	p := RetryPolicy{Min: 10, Max: 75}
+	tests := []struct {
+		cur, want int64
+	}{
+		{0, 10},  // unset: start at the floor
+		{-5, 10}, // defensive: negative treated as unset
+		{10, 20},
+		{20, 40},
+		{40, 75}, // doubling capped at the ceiling
+		{75, 75},
+	}
+	for _, tc := range tests {
+		if got := p.Next(tc.cur); got != tc.want {
+			t.Errorf("Next(%d) = %d, want %d", tc.cur, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package controlplane
+
+// CommandRetryLimit caps consecutive lost command rounds in both runtimes:
+// the engine's geometric retry draw (GeometricRetries) and any retransmit
+// loop stop after this many rounds, so a loss probability close to 1
+// cannot stall a run.
+const CommandRetryLimit = 64
+
+// DefaultRetryMaxFactor derives the default retransmission-backoff ceiling
+// from the floor: max = factor × min, doubling per attempt in between.
+const DefaultRetryMaxFactor = 8
+
+// RetryPolicy is the capped-exponential retransmission backoff: the first
+// retry waits Min, each further retry doubles, capped at Max.
+type RetryPolicy struct {
+	Min, Max int64
+}
+
+// Next returns the backoff that follows cur: Min when no backoff is set
+// yet, otherwise double cur capped at Max.
+func (p RetryPolicy) Next(cur int64) int64 {
+	if cur <= 0 {
+		return p.Min
+	}
+	cur *= 2
+	if cur > p.Max {
+		cur = p.Max
+	}
+	return cur
+}
+
+// GeometricRetries draws the number of consecutive lost command rounds:
+// each round is lost with probability lossP (draw returns uniform values
+// in [0, 1)), capped at CommandRetryLimit. The engine charges one
+// retransmission period per lost round.
+func GeometricRetries(lossP float64, draw func() float64) int {
+	retries := 0
+	for retries < CommandRetryLimit && draw() < lossP {
+		retries++
+	}
+	return retries
+}
+
+// Command is one idempotent activation command: apply activation state
+// Active under ballot Epoch as sequence number Seq. The (Epoch, Seq) pair
+// makes redelivery harmless — the replica proxy deduplicates.
+type Command struct {
+	Epoch  uint64
+	Seq    uint64
+	Active bool
+}
+
+// ackState values for a sequencer slot.
+const (
+	ackUnknown  int8 = -1
+	ackInactive int8 = 0
+	ackActive   int8 = 1
+)
+
+// slot is one replica's entry in the leader's command table.
+type slot struct {
+	cmd     Command
+	nextAt  int64 // next send time; 0 sends immediately (fresh command)
+	backoff int64 // gap after the next failure, doubling up to policy.Max
+	pending bool
+	acked   int8
+}
+
+// CommandSequencer is the leader-side machine of the acknowledged command
+// protocol: it tracks, per replica slot, the last acknowledged activation
+// state and the unacknowledged command in flight, issues fresh (epoch,
+// seq, active) commands when the wanted state changes, and schedules
+// retransmissions with capped exponential backoff. Time is int64 in the
+// caller's unit; the policy must use the same unit.
+type CommandSequencer struct {
+	policy   RetryPolicy
+	epoch    uint64
+	seq      uint64
+	k        int
+	slots    []slot
+	pendingN int
+}
+
+// NewCommandSequencer builds a sequencer over numPEs × k replica slots.
+// BeginEpoch must be called before the first Step.
+func NewCommandSequencer(numPEs, k int, policy RetryPolicy) *CommandSequencer {
+	s := &CommandSequencer{policy: policy, k: k, slots: make([]slot, numPEs*k)}
+	for i := range s.slots {
+		s.slots[i].acked = ackUnknown
+	}
+	return s
+}
+
+// BeginEpoch starts issuing under a fresh ballot: the sequence space and
+// the whole command table reset, so a new leader re-establishes every
+// replica's activation state from scratch rather than trusting acks
+// granted to a predecessor.
+func (s *CommandSequencer) BeginEpoch(epoch uint64) {
+	s.epoch = epoch
+	s.seq = 0
+	s.pendingN = 0
+	for i := range s.slots {
+		s.slots[i] = slot{acked: ackUnknown}
+	}
+}
+
+// DropPending discards the in-flight commands without forgetting
+// acknowledged state — what a deposed leader does on step-down. (Its next
+// claim resets the table anyway via BeginEpoch.)
+func (s *CommandSequencer) DropPending() {
+	for i := range s.slots {
+		s.slots[i].pending = false
+	}
+	s.pendingN = 0
+}
+
+// Epoch returns the ballot commands are currently issued under.
+func (s *CommandSequencer) Epoch() uint64 { return s.epoch }
+
+// Pending returns the number of replica slots with an unacknowledged
+// command outstanding — zero once the leader's view has converged.
+func (s *CommandSequencer) Pending() int { return s.pendingN }
+
+// Step reconciles one replica slot against the wanted activation state at
+// time now. send reports the returned command should be transmitted now
+// (false when the slot is converged or backing off between retries), and
+// retry reports the transmission is a retransmission. The caller reports
+// the transmission's outcome with Acked or Failed.
+func (s *CommandSequencer) Step(pe, k int, want bool, now int64) (cmd Command, send, retry bool) {
+	sl := &s.slots[pe*s.k+k]
+	wantAck := ackInactive
+	if want {
+		wantAck = ackActive
+	}
+	if sl.acked == wantAck {
+		if sl.pending { // a pending command the new configuration superseded
+			sl.pending = false
+			s.pendingN--
+		}
+		return Command{}, false, false
+	}
+	if !sl.pending || sl.cmd.Active != want {
+		s.seq++
+		if !sl.pending {
+			s.pendingN++
+			sl.pending = true
+		}
+		sl.cmd = Command{Epoch: s.epoch, Seq: s.seq, Active: want}
+		sl.nextAt = 0
+		sl.backoff = s.policy.Min
+	}
+	if now < sl.nextAt {
+		return Command{}, false, false
+	}
+	return sl.cmd, true, sl.nextAt != 0
+}
+
+// Acked marks the slot's in-flight command acknowledged: the commanded
+// activation state is now the slot's known state.
+func (s *CommandSequencer) Acked(pe, k int) {
+	sl := &s.slots[pe*s.k+k]
+	if !sl.pending {
+		return
+	}
+	if sl.cmd.Active {
+		sl.acked = ackActive
+	} else {
+		sl.acked = ackInactive
+	}
+	sl.pending = false
+	s.pendingN--
+}
+
+// Failed schedules the slot's retransmission: the next attempt waits the
+// current backoff, which then doubles up to the policy's ceiling.
+func (s *CommandSequencer) Failed(pe, k int, now int64) {
+	sl := &s.slots[pe*s.k+k]
+	sl.nextAt = now + sl.backoff
+	sl.backoff = s.policy.Next(sl.backoff)
+}
+
+// Disposition is a ProxyState ruling on an incoming command.
+type Disposition int
+
+const (
+	// CmdStale: the command's ballot is below the adopted one — refuse and
+	// NACK, returning the adopted ballot so the sender re-claims above it.
+	CmdStale Disposition = iota
+	// CmdDuplicate: same ballot, sequence already applied — acknowledge
+	// again without re-applying (a lost ack costs one retransmission).
+	CmdDuplicate
+	// CmdApplied: accepted; the proxy state advanced and the caller applies
+	// the command's effect.
+	CmdApplied
+)
+
+// ProxyState is the replica-side idempotency state of the command
+// protocol: the highest adopted ballot and the last command sequence
+// applied within it. The zero value is a proxy that has adopted nothing.
+type ProxyState struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// Admit judges command (epoch, seq) against the proxy state and advances
+// it when the command is accepted: higher ballots are adopted (resetting
+// the sequence space), duplicates within the current ballot re-acknowledge
+// without applying, stale ballots are refused.
+func (p *ProxyState) Admit(epoch, seq uint64) Disposition {
+	if epoch < p.Epoch {
+		return CmdStale
+	}
+	if epoch > p.Epoch {
+		p.Epoch = epoch
+		p.Seq = 0
+	} else if seq <= p.Seq {
+		return CmdDuplicate
+	}
+	p.Seq = seq
+	return CmdApplied
+}
+
+// Adopt judges a non-command message's ballot (the leader's election
+// view): higher ballots are adopted, resetting the sequence space; a stale
+// ballot is refused — a deposed leader cannot move the lease.
+func (p *ProxyState) Adopt(epoch uint64) bool {
+	if epoch < p.Epoch {
+		return false
+	}
+	if epoch > p.Epoch {
+		p.Epoch = epoch
+		p.Seq = 0
+	}
+	return true
+}

@@ -69,8 +69,10 @@ type App struct {
 	name       string
 	components []Component
 	edges      []Edge
-	preds      [][]int // indices into edges, grouped by destination
-	succs      [][]int // indices into edges, grouped by origin
+	preds      [][]int  // indices into edges, grouped by destination
+	succs      [][]int  // indices into edges, grouped by origin
+	inEdges    [][]Edge // edges grouped by destination, shared by In()
+	outEdges   [][]Edge // edges grouped by origin, shared by Out()
 	sources    []ComponentID
 	pes        []ComponentID
 	sinks      []ComponentID
@@ -209,7 +211,31 @@ func (b *Builder) Build() (*App, error) {
 		return nil, err
 	}
 	a.topo = topo
+	a.groupEdges()
 	return a, nil
+}
+
+// groupEdges precomputes the per-component incoming and outgoing edge
+// slices returned by In and Out, carved out of two flat arenas so the
+// accessors are allocation-free on the search and instance-build hot paths.
+func (a *App) groupEdges() {
+	n := len(a.components)
+	a.inEdges = make([][]Edge, n)
+	a.outEdges = make([][]Edge, n)
+	inFlat := make([]Edge, 0, len(a.edges))
+	outFlat := make([]Edge, 0, len(a.edges))
+	for id := 0; id < n; id++ {
+		start := len(inFlat)
+		for _, ei := range a.preds[id] {
+			inFlat = append(inFlat, a.edges[ei])
+		}
+		a.inEdges[id] = inFlat[start:len(inFlat):len(inFlat)]
+		start = len(outFlat)
+		for _, ei := range a.succs[id] {
+			outFlat = append(outFlat, a.edges[ei])
+		}
+		a.outEdges[id] = outFlat[start:len(outFlat):len(outFlat)]
+	}
 }
 
 // topoSort returns the components in a topological order (Kahn's algorithm),
@@ -285,22 +311,10 @@ func (a *App) PEIndex(id ComponentID) int { return a.peIndex[id] }
 func (a *App) SourceIndex(id ComponentID) int { return a.srcIndex[id] }
 
 // In returns the edges entering the component. The slice must not be modified.
-func (a *App) In(id ComponentID) []Edge {
-	out := make([]Edge, len(a.preds[id]))
-	for i, ei := range a.preds[id] {
-		out[i] = a.edges[ei]
-	}
-	return out
-}
+func (a *App) In(id ComponentID) []Edge { return a.inEdges[id] }
 
-// Out returns the edges leaving the component.
-func (a *App) Out(id ComponentID) []Edge {
-	out := make([]Edge, len(a.succs[id]))
-	for i, ei := range a.succs[id] {
-		out[i] = a.edges[ei]
-	}
-	return out
-}
+// Out returns the edges leaving the component. The slice must not be modified.
+func (a *App) Out(id ComponentID) []Edge { return a.outEdges[id] }
 
 // Preds returns the IDs of the predecessor components of id (the pred
 // function of the paper, Eq. 1).

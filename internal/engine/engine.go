@@ -5,8 +5,8 @@ import (
 	"math"
 	"math/rand"
 
+	"laar/internal/controlplane"
 	"laar/internal/core"
-	"laar/internal/rtree"
 	"laar/internal/sim"
 	"laar/internal/trace"
 )
@@ -84,12 +84,12 @@ type host struct {
 	slow float64
 }
 
-// source produces tuples according to the input trace.
+// source produces tuples according to the input trace. The Rate Monitor
+// windows themselves live in the controlplane.RateMonitor machine.
 type source struct {
-	comp          core.ComponentID
-	srcIdx        int
-	emitted       float64 // cumulative
-	monitorWindow float64 // since the last Rate Monitor scan
+	comp    core.ComponentID
+	srcIdx  int
+	emitted float64 // cumulative
 }
 
 // routeTo addresses one destination port.
@@ -140,23 +140,38 @@ type Simulation struct {
 	// Hosts are processed one at a time, so a single buffer sized to the
 	// largest host suffices for the whole run.
 	runScratch []runnable
-	// measured is the reusable Rate Monitor measurement buffer.
-	measured rtree.Point
 
-	lookup     *rtree.Tree
-	appliedCfg int
+	// monitor is the Rate Monitor + configuration-selection machine shared
+	// with the live runtime; the engine drives it with simulated seconds.
+	// Its applied configuration is the authoritative hysteresis state.
+	monitor *controlplane.RateMonitor
+	// drawFn is the cached rng.Float64 method value for the geometric
+	// command-loss draw (binding it per call would allocate).
+	drawFn func() float64
 
 	// Replicated control plane: ctrlUp tracks the liveness of each
 	// HAController instance, leader is the acting one (-1 while a failover
 	// is pending), frozen holds the primaries captured when the leader
 	// died (forwarding continues on the last-elected primaries until a new
-	// leader re-elects), leaderlessAt stamps when the lease was lost, and
-	// failSafe reports the replicas reverted to full activation.
-	ctrlUp       []bool
-	leader       int
-	frozen       []int
-	leaderlessAt float64
-	failSafe     bool
+	// leader re-elects), and failSafe tracks the controller-silence horizon
+	// after which the replicas revert to full activation.
+	ctrlUp   []bool
+	leader   int
+	frozen   []int
+	failSafe *controlplane.FailSafeTracker[float64]
+
+	// reconfigPool recycles the delayed-reconfiguration records scheduled
+	// on the kernel (command latency / lost-command retries), so repeated
+	// reconfigurations do not allocate a fresh closure each.
+	reconfigPool []*reconfig
+
+	// Flat sample arenas, carved per sample by doSample: utilArena backs
+	// the per-replica utilisation matrices, rowArena their row headers,
+	// qlArena the queue+latency vectors. Sized once by Run for the whole
+	// series, so the steady-state sample path allocates nothing.
+	utilArena []float64
+	rowArena  [][]float64
+	qlArena   []float64
 
 	// links is the flattened (NumHosts+1)² partition matrix; index ctrl
 	// (= NumHosts) is the controller side. anyLinks turns the per-delivery
@@ -211,18 +226,18 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 		return nil, fmt.Errorf("engine: trace uses config %d, descriptor has %d configs", tr.NumConfigs()-1, d.NumConfigs())
 	}
 	s := &Simulation{
-		cfg:        cfg,
-		d:          d,
-		r:          core.NewRates(d),
-		asg:        asg,
-		strat:      strat,
-		tr:         tr,
-		kern:       &sim.Engine{},
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		routes:     make([][]routeTo, app.NumComponents()),
-		sinkEdges:  make([]int, app.NumComponents()),
-		appliedCfg: -1,
+		cfg:       cfg,
+		d:         d,
+		r:         core.NewRates(d),
+		asg:       asg,
+		strat:     strat,
+		tr:        tr,
+		kern:      &sim.Engine{},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		routes:    make([][]routeTo, app.NumComponents()),
+		sinkEdges: make([]int, app.NumComponents()),
 	}
+	s.drawFn = s.rng.Float64
 	s.hosts = make([]*host, asg.NumHosts)
 	for h := range s.hosts {
 		s.hosts[h] = &host{capacity: d.HostCapacity, up: true, slow: 1}
@@ -276,18 +291,20 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 		}
 	}
 	s.runScratch = make([]runnable, 0, maxOnHost)
-	s.measured = make(rtree.Point, app.NumSources())
 	s.ctrlUp = make([]bool, cfg.Controllers)
 	for i := range s.ctrlUp {
 		s.ctrlUp[i] = true
 	}
 	s.leader = 0
 	s.frozen = make([]int, app.NumPEs())
-	// R-tree over the configuration rate points for the HAController.
-	s.lookup = rtree.New(app.NumSources())
-	for c, ic := range d.Configs {
-		s.lookup.Insert(rtree.Point(ic.Rates), c)
+	// The Rate Monitor machine owns the R-tree over the configuration rate
+	// points and the monitor windows; the engine only feeds and drives it.
+	cfgRates := make([][]float64, len(d.Configs))
+	for c := range d.Configs {
+		cfgRates[c] = d.Configs[c].Rates
 	}
+	s.monitor = controlplane.NewRateMonitor(cfgRates, s.r.MaxConfig())
+	s.failSafe = controlplane.NewFailSafeTracker(cfg.FailSafeAfter, 0)
 	s.m = &Metrics{
 		PerPEProcessed:   make([]float64, app.NumPEs()),
 		PerPEDropped:     make([]float64, app.NumPEs()),
@@ -450,9 +467,7 @@ func (s *Simulation) Run() (*Metrics, error) {
 	}
 	s.ran = true
 	duration := s.tr.Duration()
-	// Pre-size the sample series so the steady-state append never regrows
-	// it (one sample per SampleInterval, plus headroom for the final one).
-	s.m.Series = make([]Sample, 0, int(duration/s.cfg.SampleInterval)+1)
+	s.prepareSamples(int(duration/s.cfg.SampleInterval) + 1)
 
 	// Apply the initial replica configuration: the HAController is
 	// initialised with the strategy and the configuration active at
@@ -514,7 +529,7 @@ func (s *Simulation) doTick(dt float64) {
 
 	if s.leader < 0 {
 		s.m.LeaderlessSeconds += dt
-		if !s.failSafe && s.cfg.FailSafeAfter >= 0 && now-s.leaderlessAt >= s.cfg.FailSafeAfter {
+		if s.failSafe.Engage(now) {
 			s.engageFailSafe()
 		}
 	}
@@ -557,7 +572,7 @@ func (s *Simulation) doTick(dt float64) {
 		}
 		n := rate * dt
 		src.emitted += n
-		src.monitorWindow += n
+		s.monitor.Accumulate(src.srcIdx, n)
 		s.emittedSample += n
 		s.m.EmittedTotal += n
 		s.deliver(src.comp, n, CtrlHost)
@@ -778,7 +793,7 @@ func (s *Simulation) loseLeader() {
 		}
 	}
 	s.leader = -1
-	s.leaderlessAt = s.kern.Now()
+	s.failSafe.Contact(s.kern.Now()) // silence horizon counts from the crash
 	s.kern.After(s.cfg.FailoverDelay, s.electController)
 }
 
@@ -792,23 +807,14 @@ func (s *Simulation) electController() {
 	if s.leader >= 0 {
 		return
 	}
-	next := -1
-	for i, up := range s.ctrlUp {
-		if up {
-			next = i
-			break
-		}
-	}
+	next := controlplane.LowestAlive(s.ctrlUp)
 	if next < 0 {
 		return
 	}
 	s.leader = next
 	s.m.ControllerFailovers++
-	for _, src := range s.srcs {
-		src.monitorWindow = 0
-	}
-	if s.failSafe {
-		s.failSafe = false
+	s.monitor.ResetWindows()
+	if s.failSafe.Clear() {
 		s.resetActivations()
 	}
 }
@@ -817,7 +823,6 @@ func (s *Simulation) electController() {
 // controller left to issue commands, the replica-side safe default is
 // maximum fault-tolerance at degraded capacity.
 func (s *Simulation) engageFailSafe() {
-	s.failSafe = true
 	s.m.FailSafeActivations++
 	for _, reps := range s.reps {
 		for _, rep := range reps {
@@ -830,48 +835,58 @@ func (s *Simulation) engageFailSafe() {
 
 // doMonitor is the Rate Monitor + HAController step: measure source rates
 // over the last interval, select the nearest input configuration dominating
-// the measurement, and (when it changed) issue activation commands.
+// the measurement, and (when it changed) issue activation commands. The
+// measurement, discount, domination lookup and max-config fallback all live
+// in the controlplane machine — the engine only feeds simulated time in and
+// schedules the returned decision on its kernel.
 func (s *Simulation) doMonitor() {
 	if s.leader < 0 {
 		return // leaderless: the Rate Monitor is down with the controller
 	}
-	measured := s.measured
-	for i, src := range s.srcs {
-		// The tiny relative discount absorbs float accumulation error:
-		// without it a measured rate can exceed the configuration's exact
-		// rate by one ulp and spuriously fail the domination test.
-		measured[i] = src.monitorWindow / s.cfg.MonitorInterval * (1 - 1e-9)
-		src.monitorWindow = 0
-	}
-	_, cfg, ok := s.lookup.NearestDominating(measured)
-	if !ok {
-		// Measured rates exceed every known configuration (e.g. glitch
-		// overshoot): fall back to the most resource-hungry configuration,
-		// which never underestimates the load.
-		cfg = s.r.MaxConfig()
-	}
-	if cfg == s.appliedCfg {
+	cfg := s.monitor.Scan(s.cfg.MonitorInterval)
+	if cfg == s.monitor.Applied() {
 		return
 	}
 	delay := s.cfg.CommandLatency
 	if s.cfg.CommandLossP > 0 {
 		// Lost activation-command rounds: each loss costs one retransmission
-		// period before the change lands. The geometric draw is capped so a
-		// loss probability close to 1 cannot stall the run.
-		retries := 0
-		for retries < 64 && s.rng.Float64() < s.cfg.CommandLossP {
-			retries++
-		}
-		if retries > 0 {
+		// period before the change lands.
+		if retries := controlplane.GeometricRetries(s.cfg.CommandLossP, s.drawFn); retries > 0 {
 			s.m.CommandRetries += retries
 			delay += float64(retries) * s.cfg.CommandRetryInterval
 		}
 	}
 	if delay > 0 {
-		s.kern.After(delay, func() { s.applyConfig(cfg) })
+		s.scheduleApply(delay, cfg)
 	} else {
 		s.applyConfig(cfg)
 	}
+}
+
+// reconfig is one pooled delayed-reconfiguration record: the pre-bound
+// fire closure lets a command-latency apply ride the kernel without
+// allocating a fresh closure per reconfiguration.
+type reconfig struct {
+	s    *Simulation
+	cfg  int
+	fire func()
+}
+
+// scheduleApply lands applyConfig(cfg) after delay using a pooled record.
+func (s *Simulation) scheduleApply(delay float64, cfg int) {
+	var r *reconfig
+	if n := len(s.reconfigPool); n > 0 {
+		r = s.reconfigPool[n-1]
+		s.reconfigPool = s.reconfigPool[:n-1]
+	} else {
+		r = &reconfig{s: s}
+		r.fire = func() {
+			r.s.applyConfig(r.cfg)
+			r.s.reconfigPool = append(r.s.reconfigPool, r)
+		}
+	}
+	r.cfg = cfg
+	s.kern.After(delay, r.fire)
 }
 
 // applyConfig issues the activation/deactivation commands for an input
@@ -879,13 +894,13 @@ func (s *Simulation) doMonitor() {
 // activated replicas re-synchronise (instantaneous for the stateless
 // operators simulated here) and resume.
 func (s *Simulation) applyConfig(cfg int) {
-	if cfg == s.appliedCfg {
+	if cfg == s.monitor.Applied() {
 		return
 	}
-	if s.appliedCfg >= 0 {
+	if s.monitor.Applied() >= 0 {
 		s.m.ConfigSwitches++
 	}
-	s.appliedCfg = cfg
+	s.monitor.SetApplied(cfg)
 	s.resetActivations()
 }
 
@@ -893,9 +908,10 @@ func (s *Simulation) applyConfig(cfg int) {
 // applied configuration to every replica (also how a freshly elected
 // leader rolls back a fail-safe reversion).
 func (s *Simulation) resetActivations() {
+	cfg := s.monitor.Applied()
 	for pe := range s.reps {
 		for k, rep := range s.reps[pe] {
-			want := s.strat.IsActive(s.appliedCfg, pe, k)
+			want := s.strat.IsActive(cfg, pe, k)
 			if rep.active == want {
 				continue
 			}
@@ -959,6 +975,17 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 	}
 }
 
+// prepareSamples sizes the sample series and its flat arenas for capacity
+// samples: the steady-state append never regrows the series, and doSample
+// carves every sample's vectors out of the arenas instead of allocating.
+func (s *Simulation) prepareSamples(capacity int) {
+	numPEs, repK := len(s.reps), s.asg.K
+	s.m.Series = make([]Sample, 0, capacity)
+	s.utilArena = make([]float64, capacity*numPEs*repK)
+	s.rowArena = make([][]float64, capacity*numPEs)
+	s.qlArena = make([]float64, capacity*2*numPEs)
+}
+
 // doSample appends one point to the per-second time series.
 func (s *Simulation) doSample() {
 	interval := s.cfg.SampleInterval
@@ -966,18 +993,27 @@ func (s *Simulation) doSample() {
 		Time:       s.kern.Now(),
 		InputRate:  s.emittedSample / interval,
 		OutputRate: s.sinkSample / interval,
-		Config:     s.appliedCfg,
+		Config:     s.monitor.Applied(),
 	}
 	s.emittedSample = 0
 	s.sinkSample = 0
-	// The per-PE vectors of a sample share two flat backing arrays (one for
-	// the utilisation matrix, one for queue+latency): 3 allocations per
-	// sample instead of 3+numPEs. Full-slice expressions keep an appending
-	// consumer from bleeding one row into the next.
+	// The per-PE vectors of a sample are carved out of the run-wide arenas
+	// prepareSamples sized: zero allocations per sample in steady state.
+	// Full-slice expressions keep an appending consumer from bleeding one
+	// row into the next sample's backing. The arena carve falls back to
+	// fresh allocations if more samples arrive than were provisioned.
 	numPEs, repK := len(s.reps), s.asg.K
-	util := make([]float64, numPEs*repK)
-	ql := make([]float64, 2*numPEs)
-	sm.ReplicaUtil = make([][]float64, numPEs)
+	n := len(s.m.Series)
+	var util, ql []float64
+	if (n+1)*numPEs*repK <= len(s.utilArena) {
+		util = s.utilArena[n*numPEs*repK : (n+1)*numPEs*repK : (n+1)*numPEs*repK]
+		sm.ReplicaUtil = s.rowArena[n*numPEs : (n+1)*numPEs : (n+1)*numPEs]
+		ql = s.qlArena[n*2*numPEs : (n+1)*2*numPEs : (n+1)*2*numPEs]
+	} else {
+		util = make([]float64, numPEs*repK)
+		sm.ReplicaUtil = make([][]float64, numPEs)
+		ql = make([]float64, 2*numPEs)
+	}
 	sm.QueueTuples = ql[:numPEs:numPEs]
 	sm.LatencyEst = ql[numPEs:]
 	for pe := range s.reps {

@@ -75,11 +75,11 @@ func (s *Simulation) doProbe() {
 	now := s.kern.Now()
 	p := Probe{
 		Time:     now,
-		Config:   s.appliedCfg,
+		Config:   s.monitor.Applied(),
 		Primary:  make([]int, len(s.reps)),
 		Eligible: make([]int, len(s.reps)),
 		Leader:   s.leader,
-		FailSafe: s.failSafe,
+		FailSafe: s.failSafe.Engaged(),
 	}
 	for pe := range s.reps {
 		p.Primary[pe] = -1

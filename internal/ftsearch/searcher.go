@@ -80,6 +80,12 @@ type searcher struct {
 	trail []trailEntry
 	stats Stats
 
+	// domQueue and latAcc are reusable scratch buffers for propagateDOM's
+	// BFS frontier and estMaxLatency's per-PE accumulator; both calls sit
+	// on the search hot path, so neither may allocate per node or per leaf.
+	domQueue []int
+	latAcc   []float64
+
 	start       time.Time
 	deadline    time.Time
 	hasDeadline bool
@@ -97,6 +103,7 @@ func newSearcher(inst *instance, coord *coordinator, start time.Time) *searcher 
 		domain:     make([]uint8, inst.numVars),
 		hostLoad:   make([][]float64, inst.numCfgs),
 		deltaHat:   make([][]float64, inst.numCfgs),
+		latAcc:     make([]float64, inst.numPEs),
 		start:      start,
 		nodeBudget: deadlineCheckInterval,
 	}
@@ -223,7 +230,7 @@ func (s *searcher) leaf() {
 func (s *searcher) estMaxLatency() float64 {
 	inst := s.inst
 	worst := 0.0
-	acc := make([]float64, inst.numPEs)
+	acc := s.latAcc
 	for c := 0; c < inst.numCfgs; c++ {
 		for _, pe := range inst.topoPEs {
 			stage := 0.0
@@ -391,10 +398,12 @@ func (s *searcher) removeLoad(c, host int, u float64) {
 // IC but would increase cost and load.
 func (s *searcher) propagateDOM(c, start int) {
 	inst := s.inst
-	queue := append([]int(nil), inst.succsPE[start]...)
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
+	// The BFS frontier reuses the searcher-wide scratch queue (head-index
+	// pop, no reslicing) so propagation allocates only when the frontier
+	// outgrows every previous one.
+	queue := append(s.domQueue[:0], inst.succsPE[start]...)
+	for head := 0; head < len(queue); head++ {
+		q := queue[head]
 		vi := inst.varIdx[c][q]
 		if s.assign[vi] != valueUnassigned || s.domain[vi]&domBoth == 0 {
 			continue
@@ -409,6 +418,7 @@ func (s *searcher) propagateDOM(c, start int) {
 		s.stats.PruneHeights[PruneDOM] += int64(inst.numVars - vi - 1)
 		queue = append(queue, inst.succsPE[q]...)
 	}
+	s.domQueue = queue
 }
 
 // noReplicationForwarding reports whether PE q in configuration c can

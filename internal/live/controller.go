@@ -5,12 +5,23 @@ import (
 	"sync/atomic"
 	"time"
 
-	"laar/internal/rtree"
+	"laar/internal/controlplane"
 )
 
 // This file is the replicated control plane: N share-nothing HAController
 // instances with lease-based leadership, an acknowledged idempotent
 // activation-command protocol, and the replica-side fail-safe rule.
+//
+// The decision logic itself — the lease rule, ballot arithmetic, command
+// sequencing/dedup and rate measurement — lives in the runtime-agnostic
+// internal/controlplane machines, shared with the discrete-event engine.
+// This file is the live driver: each instance owns one LeaseElector, one
+// CommandSequencer and one RateMonitor, all touched only by the instance's
+// own goroutine. Cross-goroutine inputs (peer heartbeats, ballot gossip,
+// command NACKs) land in atomic mailboxes and are drained into the
+// machines at the top of each tick; decisions the machines return are
+// shipped over the Transport, and the resulting role/epoch is published
+// back into atomics for concurrent observers (Leader, ControllerStats).
 //
 // Leadership is decentralised: every alive instance heartbeats its peers
 // over the Transport each monitor tick, and an instance holds the lease
@@ -72,30 +83,30 @@ type ControllerStat struct {
 	PendingCommands int64
 }
 
-// pendKey addresses one replica slot in the leader's pending-command table.
-type pendKey struct{ pe, k int }
-
-// pendingCmd is one unacknowledged activation command awaiting (re)send.
-type pendingCmd struct {
-	epoch   uint64
-	seq     uint64
-	active  bool
-	next    int64         // unix ns of the next send attempt; 0 sends now
-	backoff time.Duration // next retry gap, doubling up to CommandRetryMax
-}
-
-// controller is one replicated HAController instance.
+// controller is one replicated HAController instance: the controlplane
+// machines plus the live goroutine/transport plumbing around them.
 type controller struct {
 	id       int
 	endpoint int
 
-	alive   atomic.Bool
-	leader  atomic.Bool
-	epoch   atomic.Uint64 // ballot of the latest claim
-	maxSeen atomic.Uint64 // highest ballot observed anywhere
+	alive atomic.Bool
 
-	// lastHeard[j] is when this instance last heard peer j's heartbeat,
-	// aged by the transport delay on the controller↔controller link.
+	// Published mirrors of the elector's role and ballot, refreshed after
+	// every machine transition so concurrent observers (peer gossip,
+	// Leader, ControllerStats) see the current state without touching the
+	// goroutine-local machines.
+	leader atomic.Bool
+	epoch  atomic.Uint64
+
+	// maxSeen is both the gossip mailbox and the published watermark for
+	// the highest ballot observed anywhere: peers and command NACKs raise
+	// it from their goroutines, the owner drains it into the elector each
+	// tick and publishes claims back into it.
+	maxSeen atomic.Uint64
+
+	// lastHeard[j] is the heartbeat mailbox: when this instance last heard
+	// peer j, aged by the transport delay on the controller↔controller
+	// link. Drained into the elector at the top of each tick.
 	lastHeard []atomic.Int64
 
 	// beats[pe][k] is the replica heartbeat as THIS instance observes it:
@@ -103,12 +114,12 @@ type controller struct {
 	// partitioned from one controller endpoint may be fresh at another.
 	beats [][]atomic.Int64
 
-	// Protocol state below is touched only by the instance's own goroutine.
-	seq      uint64
-	cfg      int // input configuration this instance last decided
-	pending  map[pendKey]*pendingCmd
-	acked    [][]int8 // -1 unknown, 0 acked inactive, 1 acked active
-	measured rtree.Point
+	// The controlplane machines and measurement state below are touched
+	// only by the instance's own goroutine.
+	elect    *controlplane.LeaseElector
+	seqr     *controlplane.CommandSequencer
+	mon      *controlplane.RateMonitor
+	measured []float64 // mon's reusable buffer; refreshed in place
 	lastSwap time.Time
 
 	commandsSent    atomic.Int64
@@ -118,24 +129,24 @@ type controller struct {
 	pendingN        atomic.Int64
 }
 
-func newController(id, numPEs, k, peers, numSources, initialCfg int, now time.Time) *controller {
+func newController(id, numPEs, k, peers int, rates [][]float64, maxCfg, initialCfg int, cfg Config, now time.Time) *controller {
 	c := &controller{
 		id:        id,
 		endpoint:  ControllerEndpoint(id),
 		lastHeard: make([]atomic.Int64, peers),
 		beats:     make([][]atomic.Int64, numPEs),
-		cfg:       initialCfg,
-		pending:   make(map[pendKey]*pendingCmd),
-		acked:     make([][]int8, numPEs),
-		measured:  make(rtree.Point, numSources),
-		lastSwap:  now,
+		elect:     controlplane.NewLeaseElector(id, peers, int64(cfg.LeaseTTL), now.UnixNano()),
+		seqr: controlplane.NewCommandSequencer(numPEs, k, controlplane.RetryPolicy{
+			Min: int64(cfg.CommandRetryMin),
+			Max: int64(cfg.CommandRetryMax),
+		}),
+		mon:      controlplane.NewRateMonitor(rates, maxCfg),
+		lastSwap: now,
 	}
+	c.mon.SetApplied(initialCfg)
+	c.measured = c.mon.Measured()
 	for pe := range c.beats {
 		c.beats[pe] = make([]atomic.Int64, k)
-		c.acked[pe] = make([]int8, k)
-		for i := range c.acked[pe] {
-			c.acked[pe][i] = -1
-		}
 	}
 	c.alive.Store(true)
 	return c
@@ -151,11 +162,13 @@ func raise(a *atomic.Uint64, v uint64) {
 	}
 }
 
-// stepDown drops the lease and the pending-command table. Only the
-// instance's own goroutine calls it.
+// stepDown drops the lease and the pending commands (acknowledged state is
+// kept — the next claim resets the whole table). Only the instance's own
+// goroutine calls it.
 func (c *controller) stepDown() {
+	c.elect.StepDown()
 	c.leader.Store(false)
-	c.pending = make(map[pendKey]*pendingCmd)
+	c.seqr.DropPending()
 	c.pendingN.Store(0)
 }
 
@@ -165,18 +178,12 @@ func (c *controller) stepDown() {
 // trusting acks granted to a predecessor; the applied configuration is
 // inherited so leadership changes alone never flap the configuration.
 func (rt *Runtime) claim(c *controller, now time.Time) {
-	epoch := ((c.maxSeen.Load()>>8)+1)<<8 | uint64(c.id)
+	epoch := c.elect.Claim()
 	c.epoch.Store(epoch)
 	raise(&c.maxSeen, epoch)
-	c.seq = 0
-	c.pending = make(map[pendKey]*pendingCmd)
+	c.seqr.BeginEpoch(epoch)
 	c.pendingN.Store(0)
-	for pe := range c.acked {
-		for k := range c.acked[pe] {
-			c.acked[pe][k] = -1
-		}
-	}
-	c.cfg = int(rt.applied.Load())
+	c.mon.SetApplied(int(rt.applied.Load()))
 	c.leader.Store(true)
 	rt.leaseMu.Lock()
 	rt.leases = append(rt.leases, LeaseGrant{Epoch: epoch, Controller: c.id, Time: now})
@@ -224,29 +231,21 @@ func (rt *Runtime) ctrlTick(c *controller, now time.Time) {
 		p.lastHeard[c.id].Store(at)
 		raise(&p.maxSeen, c.maxSeen.Load())
 	}
-	// The lease rule: the lowest-id instance heard fresh within LeaseTTL
-	// holds the lease. Claim when no lower peer is fresh, yield when one is.
-	deadline := nowNs - int64(rt.cfg.LeaseTTL)
-	lowerFresh := false
-	for j := 0; j < c.id; j++ {
-		if c.lastHeard[j].Load() >= deadline {
-			lowerFresh = true
-			break
+	// Drain the mailboxes into the elector and evaluate the lease rule.
+	for j := range c.lastHeard {
+		if j != c.id {
+			c.elect.HearPeer(j, c.lastHeard[j].Load())
 		}
 	}
-	switch {
-	case lowerFresh && c.leader.Load():
+	c.elect.Observe(c.maxSeen.Load())
+	switch c.elect.Evaluate(nowNs) {
+	case controlplane.LeaseYield:
 		c.stepDown()
-	case !lowerFresh && !c.leader.Load():
-		rt.claim(c, now)
-	case c.leader.Load() && c.maxSeen.Load() > c.epoch.Load():
-		// A peer led under a higher ballot while this instance was down or
-		// cut off: re-claim above it so replicas that followed the peer
-		// accept this leader's commands again.
+	case controlplane.LeaseClaim:
 		rt.claim(c, now)
 	}
 	c.measure(rt, now)
-	if c.leader.Load() {
+	if c.elect.Leading() {
 		rt.ctrlScan(c, now)
 	}
 }
@@ -266,8 +265,9 @@ func (c *controller) measure(rt *Runtime, now time.Time) {
 		return
 	}
 	for i := range rt.srcWindow[c.id] {
-		c.measured[i] = float64(rt.srcWindow[c.id][i].Swap(0)) / elapsed * (1 - 1e-9)
+		c.mon.Accumulate(i, float64(rt.srcWindow[c.id][i].Swap(0)))
 	}
+	c.measured = c.mon.Measure(elapsed)
 	c.lastSwap = now
 }
 
@@ -275,61 +275,33 @@ func (c *controller) measure(rt *Runtime, now time.Time) {
 // configuration, drive every replica's activation state to it through the
 // ack'd command protocol, refresh elections, and supervise.
 func (rt *Runtime) ctrlScan(c *controller, now time.Time) {
-	_, cfg, ok := rt.lookup.NearestDominating(c.measured)
-	if !ok {
-		cfg = rt.maxCfg
-	}
-	if cfg != c.cfg {
-		c.cfg = cfg
+	cfg := c.mon.Select(c.measured)
+	if cfg != c.mon.Applied() {
+		c.mon.SetApplied(cfg)
 		rt.setApplied(cfg)
 	}
-	epoch := c.epoch.Load()
 	nowNs := now.UnixNano()
+	applied := c.mon.Applied()
 	for pe := range rt.replicas {
 		for k, rep := range rt.replicas[pe] {
-			want := rt.strt.IsActive(c.cfg, pe, k)
-			wantI := int8(0)
-			if want {
-				wantI = 1
-			}
-			key := pendKey{pe, k}
-			p := c.pending[key]
-			if c.acked[pe][k] == wantI {
-				if p != nil { // a pending command the new config superseded
-					delete(c.pending, key)
-					c.pendingN.Add(-1)
-				}
-				continue
-			}
-			if p == nil || p.active != want {
-				c.seq++
-				if p == nil {
-					c.pendingN.Add(1)
-				}
-				p = &pendingCmd{epoch: epoch, seq: c.seq, active: want, backoff: rt.cfg.CommandRetryMin}
-				c.pending[key] = p
-			}
-			if nowNs < p.next {
+			want := rt.strt.IsActive(applied, pe, k)
+			cmd, send, retry := c.seqr.Step(pe, k, want, nowNs)
+			if !send {
 				continue
 			}
 			c.commandsSent.Add(1)
-			if p.next != 0 {
+			if retry {
 				c.commandsRetried.Add(1)
 			}
-			if rt.deliverCommand(c, rep, p) {
+			if rt.deliverCommand(c, rep, cmd) {
 				c.commandsAcked.Add(1)
-				c.acked[pe][k] = wantI
-				delete(c.pending, key)
-				c.pendingN.Add(-1)
+				c.seqr.Acked(pe, k)
 			} else {
-				p.next = nowNs + int64(p.backoff)
-				p.backoff *= 2
-				if p.backoff > rt.cfg.CommandRetryMax {
-					p.backoff = rt.cfg.CommandRetryMax
-				}
+				c.seqr.Failed(pe, k, nowNs)
 			}
 		}
 	}
+	c.pendingN.Store(int64(c.seqr.Pending()))
 	rt.electAllAs(c, now)
 	if rt.cfg.Supervise {
 		rt.supervise(now)
@@ -348,12 +320,12 @@ func (rt *Runtime) setApplied(cfg int) {
 // command pending for retransmission; the proxy's (epoch, seq) dedup makes
 // redelivery after a lost ack harmless. A NACK (the replica follows a
 // higher ballot) carries that ballot back so the leader re-claims above it.
-func (rt *Runtime) deliverCommand(c *controller, rep *replica, p *pendingCmd) bool {
+func (rt *Runtime) deliverCommand(c *controller, rep *replica, cmd controlplane.Command) bool {
 	tr := rt.cfg.Transport
 	if !tr.Reachable(c.endpoint, rep.host) || tr.DropData(c.endpoint, rep.host) {
 		return false
 	}
-	applied, repEpoch := rt.applyCommand(rep, p.epoch, p.seq, p.active)
+	applied, repEpoch := rt.applyCommand(rep, cmd.Epoch, cmd.Seq, cmd.Active)
 	if !applied {
 		c.staleRejected.Add(1)
 		if tr.Reachable(rep.host, c.endpoint) {
@@ -367,25 +339,22 @@ func (rt *Runtime) deliverCommand(c *controller, rep *replica, p *pendingCmd) bo
 	return true
 }
 
-// applyCommand is the replica proxy's command handler. It returns whether
-// the command was accepted and the replica's current ballot: a command
-// below the adopted ballot is refused (the NACK), a higher ballot is
-// adopted (resetting the sequence space), and a duplicate sequence within
-// the current ballot re-acknowledges without re-applying.
+// applyCommand is the replica proxy's command handler: the shared
+// ProxyState machine rules on the command's (epoch, seq) — stale ballots
+// are NACKed with the adopted ballot, duplicates re-acknowledged without
+// re-applying, and accepted commands applied under the advanced state.
 func (rt *Runtime) applyCommand(rep *replica, epoch, seq uint64, active bool) (bool, uint64) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	cur := rep.ctrlEpoch.Load()
-	if epoch < cur {
-		return false, cur
+	st := controlplane.ProxyState{Epoch: rep.ctrlEpoch.Load(), Seq: rep.cmdSeq.Load()}
+	switch st.Admit(epoch, seq) {
+	case controlplane.CmdStale:
+		return false, st.Epoch
+	case controlplane.CmdDuplicate:
+		return true, epoch
 	}
-	if epoch > cur {
-		rep.ctrlEpoch.Store(epoch)
-		rep.cmdSeq.Store(0)
-	} else if seq <= rep.cmdSeq.Load() {
-		return true, epoch // duplicate delivery: re-ack, do not re-apply
-	}
-	rep.cmdSeq.Store(seq)
+	rep.ctrlEpoch.Store(st.Epoch)
+	rep.cmdSeq.Store(st.Seq)
 	if active && !rep.active.Load() && rep.alive.Load() {
 		// Re-synchronise state from the primary before the replica starts
 		// processing again (Section 4.6).
@@ -401,14 +370,12 @@ func (rt *Runtime) applyCommand(rep *replica, epoch, seq uint64, active bool) (b
 func (rt *Runtime) applyView(rep *replica, epoch uint64, view int32, now time.Time) {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	cur := rep.ctrlEpoch.Load()
-	if epoch < cur {
+	st := controlplane.ProxyState{Epoch: rep.ctrlEpoch.Load(), Seq: rep.cmdSeq.Load()}
+	if !st.Adopt(epoch) {
 		return
 	}
-	if epoch > cur {
-		rep.ctrlEpoch.Store(epoch)
-		rep.cmdSeq.Store(0)
-	}
+	rep.ctrlEpoch.Store(st.Epoch)
+	rep.cmdSeq.Store(st.Seq)
 	rep.view.Store(view)
 	rep.lastCtrl.Store(now.UnixNano())
 }
@@ -441,10 +408,11 @@ func (rt *Runtime) electAllAs(c *controller, now time.Time) {
 
 // failSafeActive reports whether a replica is processing under the
 // fail-safe rule: the rule is armed and no controller has refreshed the
-// replica's lease for more than FailSafeHorizon, so the replica reverts to
-// full activation to preserve replication while the control plane is gone.
+// replica's lease for at least FailSafeHorizon (the shared Silent
+// predicate), so the replica reverts to full activation to preserve
+// replication while the control plane is gone.
 func (rt *Runtime) failSafeActive(rep *replica, nowNs int64) bool {
-	return rt.failSafeOn && nowNs-rep.lastCtrl.Load() > int64(rt.cfg.FailSafeHorizon)
+	return rt.failSafeOn && controlplane.Silent(rep.lastCtrl.Load(), nowNs, int64(rt.cfg.FailSafeHorizon))
 }
 
 // Leader returns the id and ballot of the acting lease holder — the

@@ -21,8 +21,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"laar/internal/controlplane"
 	"laar/internal/core"
-	"laar/internal/rtree"
 )
 
 // Tuple is one data item flowing through the runtime.
@@ -96,7 +96,8 @@ type Config struct {
 	FailSafeHorizon time.Duration
 	// CommandRetryMin and CommandRetryMax bound the leader's backoff when
 	// retransmitting unacknowledged activation commands, doubling per
-	// attempt. Defaults: MonitorInterval and 8 × CommandRetryMin.
+	// attempt. Defaults: MonitorInterval and
+	// controlplane.DefaultRetryMaxFactor × CommandRetryMin.
 	CommandRetryMin, CommandRetryMax time.Duration
 }
 
@@ -135,7 +136,7 @@ func (c Config) withDefaults() Config {
 		c.CommandRetryMin = c.MonitorInterval
 	}
 	if c.CommandRetryMax <= 0 {
-		c.CommandRetryMax = 8 * c.CommandRetryMin
+		c.CommandRetryMax = controlplane.DefaultRetryMaxFactor * c.CommandRetryMin
 	}
 	return c
 }
@@ -235,8 +236,6 @@ type Runtime struct {
 	replicas  [][]*replica
 	primaries []atomic.Int32 // per PE; -1 when dark
 	applied   atomic.Int32
-	lookup    *rtree.Tree
-	maxCfg    int
 
 	// routes[comp] lists destination (pe, —) pairs; sink edges counted.
 	routes  map[core.ComponentID][]int // successor dense PE indices
@@ -299,8 +298,8 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	if factory == nil {
 		return nil, fmt.Errorf("live: nil operator factory")
 	}
-	if cfg.Controllers > 256 {
-		return nil, fmt.Errorf("live: %d controllers exceed the 256 the ballot encoding carries", cfg.Controllers)
+	if cfg.Controllers > controlplane.MaxControllers {
+		return nil, fmt.Errorf("live: %d controllers exceed the %d the ballot encoding carries", cfg.Controllers, controlplane.MaxControllers)
 	}
 	rt := &Runtime{
 		d:         d,
@@ -318,14 +317,23 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	rt.failSafeOn = (rt.fence || cfg.Controllers > 1) && cfg.FailSafeHorizon >= 0
 	rt.applied.Store(int32(cfg.InitialConfig))
 	now := cfg.Clock.Now()
+	// Every instance's Rate Monitor machine shares the configuration rate
+	// points; the machine owns its R-tree, so the runtime keeps none.
+	cfgRates := make([][]float64, len(d.Configs))
+	for c := range d.Configs {
+		cfgRates[c] = d.Configs[c].Rates
+	}
+	maxCfg := core.NewRates(d).MaxConfig()
 	rt.srcWindow = make([][]atomic.Int64, cfg.Controllers)
 	rt.ctrls = make([]*controller, cfg.Controllers)
 	for i := range rt.ctrls {
 		rt.srcWindow[i] = make([]atomic.Int64, app.NumSources())
-		rt.ctrls[i] = newController(i, app.NumPEs(), asg.K, cfg.Controllers, app.NumSources(), cfg.InitialConfig, now)
+		rt.ctrls[i] = newController(i, app.NumPEs(), asg.K, cfg.Controllers, cfgRates, maxCfg, cfg.InitialConfig, cfg, now)
 	}
 	// Every instance starts having just heard every peer, so standbys do
-	// not contest the initial grant before the first heartbeat round.
+	// not contest the initial grant before the first heartbeat round. (The
+	// electors are seeded the same way; the mailboxes must match so the
+	// first drain does not age the peers back to zero.)
 	for _, c := range rt.ctrls {
 		for j := range c.lastHeard {
 			c.lastHeard[j].Store(now.UnixNano())
@@ -361,12 +369,6 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	for _, id := range app.Sources() {
 		rt.emitted[id] = &atomic.Int64{}
 	}
-	rt.lookup = rtree.New(app.NumSources())
-	r := core.NewRates(d)
-	for c, ic := range d.Configs {
-		rt.lookup.Insert(rtree.Point(ic.Rates), c)
-	}
-	rt.maxCfg = r.MaxConfig()
 	for _, reps := range rt.replicas {
 		for _, rep := range reps {
 			rt.beat(rep, now)

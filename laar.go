@@ -575,6 +575,9 @@ type (
 	ChaosSupervisedResult = chaos.SupervisedResult
 	// ChaosControllerResult is the outcome of one control-plane chaos run.
 	ChaosControllerResult = chaos.ControllerResult
+	// ChaosModelResult is the outcome of one direct model check of the
+	// control-plane machines.
+	ChaosModelResult = chaos.ModelResult
 	// ChaosCtrlCut is one controller↔controller link transition of a
 	// control-plane schedule.
 	ChaosCtrlCut = chaos.CtrlCut
@@ -603,6 +606,7 @@ const (
 	ChaosModeDiff       = chaos.ModeDiff
 	ChaosModeSupervised = chaos.ModeSupervised
 	ChaosModeController = chaos.ModeController
+	ChaosModeModel      = chaos.ModeModel
 )
 
 // RunChaos executes one seeded chaos scenario on the discrete-event engine
@@ -627,6 +631,13 @@ func SupervisedChaos(sc ChaosScenario) (*ChaosSupervisedResult, error) { return 
 // invariants (unique lease epochs, command convergence, fail-safe
 // reversion).
 func ControllerChaos(sc ChaosScenario) (*ChaosControllerResult, error) { return chaos.Controller(sc) }
+
+// ModelChaos replays one scenario's control-plane faults directly against
+// the extracted controlplane machines — electors, sequencers, monitors,
+// replica proxies and the fail-safe tracker stepped by a pure loop with no
+// engine, goroutines or clock — and checks the same control-plane
+// invariants as ControllerChaos.
+func ModelChaos(sc ChaosScenario) (*ChaosModelResult, error) { return chaos.Model(sc) }
 
 // SweepChaos executes the scenarios across a bounded worker pool (≤ 0 =
 // all CPUs) in the given mode and returns the outcomes in input order.
