@@ -13,6 +13,16 @@
 //	laarchaos -runs 3 -controller            # replicated-control-plane mode
 //	laarchaos -runs 100 -model               # direct control-plane model check
 //	laarchaos -runs 100 -parallel 4          # bound the worker pool
+//
+// Beyond seeded sampling, -exhaustive explores EVERY interleaving of
+// control-plane events over a small deployment of the extracted
+// controlplane machines, to a depth bound, with canonical-state pruning —
+// and shrinks any violation to a 1-minimal replayable schedule:
+//
+//	laarchaos -exhaustive -instances 2 -depth 8    # bounded exhaustive check
+//	laarchaos -exhaustive -inject claim-adopts-seen -repro ce.json
+//	laarchaos -runs 100 -model -shrink -repro min.json
+//	laarchaos -replay ce.json                      # re-run a saved artifact
 package main
 
 import (
@@ -43,16 +53,36 @@ func main() {
 		verbose    = flag.Bool("v", false, "print every run, not only violations")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		exhaustive = flag.Bool("exhaustive", false, "bounded exhaustive mode: explore every control-plane event interleaving to -depth with canonical-state pruning")
+		depth      = flag.Int("depth", 8, "exhaustive mode: schedule length bound in events")
+		instances  = flag.Int("instances", 2, "exhaustive mode: controller instances in the explored world")
+		statesMax  = flag.Int("states-max", 0, "exhaustive mode: visited-state cap (0 = unlimited); hitting it reports a truncated search")
+		inject     = flag.String("inject", "none", "exhaustive mode: deliberate kernel bug to inject: none | crash-keeps-pending | claim-adopts-seen")
+		shrink     = flag.Bool("shrink", false, "model mode: ddmin-shrink the first failing schedule to a minimal reproducer")
+		reproOut   = flag.String("repro", "", "write the (shrunk) violating schedule to this JSON artifact")
+		replayPath = flag.String("replay", "", "replay a repro artifact written by -repro and exit")
 	)
 	flag.Parse()
+	if *replayPath != "" {
+		replayArtifact(*replayPath)
+		return
+	}
 	modeFlags := 0
-	for _, on := range []bool{*diff, *supervised, *controller, *model} {
+	for _, on := range []bool{*diff, *supervised, *controller, *model, *exhaustive} {
 		if on {
 			modeFlags++
 		}
 	}
 	if modeFlags > 1 {
-		fatal(fmt.Errorf("-diff, -supervised, -controller and -model are mutually exclusive"))
+		fatal(fmt.Errorf("-diff, -supervised, -controller, -model and -exhaustive are mutually exclusive"))
+	}
+	if *exhaustive {
+		runExhaustive(*instances, *depth, *statesMax, *inject, *reproOut)
+		return
+	}
+	if *shrink && !*model {
+		fatal(fmt.Errorf("-shrink requires -model (exhaustive counterexamples are shrunk automatically)"))
 	}
 	mode := laar.ChaosModeInvariants
 	switch {
@@ -96,8 +126,14 @@ func main() {
 	}
 
 	failed := 0
+	artifactSaved := false
 	for _, run := range laar.SweepChaos(scs, *parallel, mode) {
-		failed += report(run, *verbose)
+		bad := report(run, *verbose)
+		failed += bad
+		if bad > 0 && run.Model != nil && !artifactSaved && (*shrink || *reproOut != "") {
+			shrinkModelFailure(run, *shrink, *reproOut)
+			artifactSaved = true
+		}
 	}
 	fmt.Printf("%d %s runs, %d failed\n", len(scs), mode, failed)
 	if err := stopProfiles(); err != nil {
@@ -171,6 +207,97 @@ func report(run laar.ChaosSweepRun, verbose bool) int {
 		fmt.Printf("seed %-4d %-16s VIOLATION %v (%s)\n", sc.Seed, sc.Class, v, run.Result.Schedule.Describe())
 	}
 	return 1
+}
+
+// runExhaustive runs the bounded exhaustive explorer, shrinks any
+// counterexample to a 1-minimal schedule, and optionally writes it as a
+// replayable artifact. A violation (or a truncated search) exits nonzero.
+func runExhaustive(instances, depth, statesMax int, inject, reproOut string) {
+	fault, err := laar.ParseMCheckFault(inject)
+	if err != nil {
+		fatal(err)
+	}
+	opt := laar.DefaultMCheckOptions()
+	opt.Instances = instances
+	opt.Depth = depth
+	opt.MaxStates = statesMax
+	opt.Fault = fault
+	res, err := laar.ExhaustiveCheck(opt)
+	if err != nil {
+		fatal(err)
+	}
+	status := "exhaustive to depth"
+	if res.Truncated {
+		status = "TRUNCATED at states cap, depth"
+	}
+	fmt.Printf("exhaustive: instances=%d pes=%d k=%d fault=%v: explored=%d unique=%d pruned=%d — %s %d\n",
+		opt.Instances, opt.PEs, opt.K, opt.Fault,
+		res.Explored, res.Unique, res.Pruned, status, res.Deepest)
+	if res.Counterexample == nil {
+		fmt.Printf("no invariant violation in any reachable state\n")
+		if res.Truncated {
+			os.Exit(1)
+		}
+		return
+	}
+	ce := res.Counterexample
+	fmt.Printf("COUNTEREXAMPLE %s", ce)
+	sopt, sevents := laar.ShrinkMCheck(opt, ce.Events, ce.Invariant)
+	min := &laar.MCheckCounterexample{
+		Options: sopt, Events: sevents,
+		Invariant: ce.Invariant, Detail: ce.Detail,
+	}
+	fmt.Printf("shrunk %d → %d events (instances=%d pes=%d k=%d ttl=%d failsafe=%d):\n",
+		len(ce.Events), len(sevents), sopt.Instances, sopt.PEs, sopt.K, sopt.TTL, sopt.FailSafe)
+	for i, e := range sevents {
+		fmt.Printf("  %2d. %s\n", i+1, e)
+	}
+	if reproOut != "" {
+		if err := laar.SaveMCheckRepro(reproOut, laar.MCheckReproFromCounterexample(min)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote minimal repro artifact to %s\n", reproOut)
+	}
+	os.Exit(1)
+}
+
+// shrinkModelFailure minimises the first failing model schedule of a sweep
+// and optionally writes the result as a replayable artifact.
+func shrinkModelFailure(run laar.ChaosSweepRun, shrink bool, reproOut string) {
+	sc, sched := run.Scenario, run.Model.Schedule
+	detail := run.Model.Err().Error()
+	if shrink {
+		shrunk, smr, err := laar.ShrinkModelChaos(sc, sched)
+		if err != nil {
+			fmt.Printf("shrink failed: %v\n", err)
+		} else {
+			fmt.Printf("shrunk schedule %d → %d failure events, %d → %d ctrl cuts, still: %v\n",
+				len(sched.Events), len(shrunk.Events), len(sched.CtrlCuts), len(shrunk.CtrlCuts), smr.Err())
+			sched, detail = shrunk, smr.Err().Error()
+		}
+	}
+	if reproOut != "" {
+		if err := laar.SaveMCheckRepro(reproOut, laar.MCheckReproFromModel(sc, sched, detail)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote repro artifact to %s\n", reproOut)
+	}
+}
+
+// replayArtifact re-runs a saved repro artifact: exits 1 while the
+// recorded violation still reproduces, 0 once it no longer does.
+func replayArtifact(path string) {
+	r, err := laar.LoadMCheckRepro(path)
+	if err != nil {
+		fatal(err)
+	}
+	verdict, err := laar.ReplayMCheckRepro(r)
+	if err != nil {
+		fmt.Printf("%v\n", err)
+		return
+	}
+	fmt.Printf("%s\n", verdict)
+	os.Exit(1)
 }
 
 func fatal(err error) {

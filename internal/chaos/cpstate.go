@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"fmt"
+
+	"laar/internal/controlplane"
+)
+
+// This file is the per-state half of the invariant registry: properties of
+// one control-plane *state* (or one state transition) rather than of a
+// whole run. The model check steps them after every event, and the
+// exhaustive explorer in internal/mcheck checks them at every node of the
+// interleaving tree — so a violation is caught at the first state that
+// exhibits it, with the exact event prefix that produced it.
+
+// CPInstanceView is one controller instance's slice of a CPView.
+type CPInstanceView struct {
+	// Up reports the instance is alive (not crashed).
+	Up bool
+	// Leading reports the instance believes it holds the lease.
+	Leading bool
+	// Epoch and MaxSeen are the elector's claimed ballot and highest
+	// observed ballot.
+	Epoch, MaxSeen uint64
+	// SeqEpoch is the ballot the instance's sequencer issues under.
+	SeqEpoch uint64
+	// Pending is the sequencer's unacknowledged-command count.
+	Pending int
+}
+
+// CPView is a point-in-time view of the whole control plane, in the form
+// the per-state invariants consume. Callers may reuse one view across
+// steps by refilling the slices in place.
+type CPView struct {
+	// Now is the view's abstract timestamp (the step counter).
+	Now int64
+	// Instances views every controller instance, indexed by id.
+	Instances []CPInstanceView
+	// Proxies is the replica-side idempotency state, one per replica slot.
+	Proxies []controlplane.ProxyState
+	// FailSafe views the replica-side fail-safe tracker.
+	FailSafeEngaged     bool
+	FailSafeHorizon     int64
+	FailSafeLastContact int64
+}
+
+// NewCPView allocates a view sized for the given control-plane shape,
+// ready for in-place refilling.
+func NewCPView(instances, slots int) *CPView {
+	return &CPView{
+		Instances: make([]CPInstanceView, instances),
+		Proxies:   make([]controlplane.ProxyState, slots),
+	}
+}
+
+// CPInvariant is one checkable property of a control-plane state or state
+// transition. Check receives the previous view (nil for the initial state)
+// and the current one, and returns nil when the invariant holds.
+type CPInvariant struct {
+	// Name identifies the invariant in reports and counterexamples.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Check returns nil when the invariant holds across prev → cur.
+	Check func(prev, cur *CPView) error
+}
+
+// CPRegistry returns the per-state control-plane invariants, checked at
+// every state of an exhaustive exploration and after every model step.
+func CPRegistry() []CPInvariant {
+	return []CPInvariant{
+		{
+			Name: "ballot-holder",
+			Doc:  "a leading instance holds a nonzero ballot packed with its own id, never above its watermark",
+			Check: func(_, cur *CPView) error {
+				for i, inst := range cur.Instances {
+					if !inst.Leading {
+						continue
+					}
+					if inst.Epoch == 0 {
+						return fmt.Errorf("instance %d leads with ballot 0", i)
+					}
+					if h := controlplane.BallotHolder(inst.Epoch); h != i {
+						return fmt.Errorf("instance %d leads under ballot %d held by %d", i, inst.Epoch, h)
+					}
+					if inst.Epoch > inst.MaxSeen {
+						return fmt.Errorf("instance %d ballot %d above its own watermark %d", i, inst.Epoch, inst.MaxSeen)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "epoch-monotone",
+			Doc:  "per instance, the claimed ballot and the watermark never regress, and every fresh claim is strictly above the previous ballot",
+			Check: func(prev, cur *CPView) error {
+				if prev == nil {
+					return nil
+				}
+				for i := range cur.Instances {
+					p, c := &prev.Instances[i], &cur.Instances[i]
+					if c.Epoch < p.Epoch {
+						return fmt.Errorf("instance %d ballot regressed %d → %d", i, p.Epoch, c.Epoch)
+					}
+					if c.MaxSeen < p.MaxSeen {
+						return fmt.Errorf("instance %d watermark regressed %d → %d", i, p.MaxSeen, c.MaxSeen)
+					}
+					claimed := c.Leading && (!p.Leading || c.Epoch != p.Epoch)
+					if claimed && c.Epoch <= p.Epoch {
+						return fmt.Errorf("instance %d claimed ballot %d not above its previous %d", i, c.Epoch, p.Epoch)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "epoch-distinct",
+			Doc:  "no two instances ever hold the same nonzero ballot (the id field makes concurrent claims distinct)",
+			Check: func(_, cur *CPView) error {
+				for i := range cur.Instances {
+					for j := i + 1; j < len(cur.Instances); j++ {
+						ei, ej := cur.Instances[i].Epoch, cur.Instances[j].Epoch
+						if ei != 0 && ei == ej {
+							return fmt.Errorf("instances %d and %d both hold ballot %d", i, j, ei)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "sequencer-under-lease",
+			Doc:  "a leading instance issues commands under exactly its claimed ballot",
+			Check: func(_, cur *CPView) error {
+				for i, inst := range cur.Instances {
+					if inst.Leading && inst.SeqEpoch != inst.Epoch {
+						return fmt.Errorf("instance %d leads under ballot %d but issues under %d", i, inst.Epoch, inst.SeqEpoch)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "no-zombie-commands",
+			Doc:  "only an up, leading instance keeps commands in flight — crash and step-down drop them",
+			Check: func(_, cur *CPView) error {
+				for i, inst := range cur.Instances {
+					if inst.Pending < 0 {
+						return fmt.Errorf("instance %d pending count %d negative", i, inst.Pending)
+					}
+					if inst.Pending > 0 && (!inst.Up || !inst.Leading) {
+						return fmt.Errorf("instance %d (up=%v leading=%v) keeps %d commands in flight",
+							i, inst.Up, inst.Leading, inst.Pending)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "proxy-monotone",
+			Doc:  "a replica proxy's (epoch, seq) never regresses — at-most-once application",
+			Check: func(prev, cur *CPView) error {
+				if prev == nil {
+					return nil
+				}
+				for i := range cur.Proxies {
+					p, c := prev.Proxies[i], cur.Proxies[i]
+					if c.Epoch < p.Epoch || (c.Epoch == p.Epoch && c.Seq < p.Seq) {
+						return fmt.Errorf("proxy %d regressed (%d, %d) → (%d, %d)", i, p.Epoch, p.Seq, c.Epoch, c.Seq)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "proxy-bounded",
+			Doc:  "no proxy adopts a ballot above every instance's watermark — ballots originate in claims",
+			Check: func(_, cur *CPView) error {
+				var max uint64
+				for _, inst := range cur.Instances {
+					if inst.MaxSeen > max {
+						max = inst.MaxSeen
+					}
+				}
+				for i, p := range cur.Proxies {
+					if p.Epoch > max {
+						return fmt.Errorf("proxy %d follows ballot %d above every watermark (max %d)", i, p.Epoch, max)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "failsafe-consistent",
+			Doc:  "the fail-safe is engaged only with the horizon enabled and the control plane silent past it",
+			Check: func(_, cur *CPView) error {
+				if !cur.FailSafeEngaged {
+					return nil
+				}
+				if cur.FailSafeHorizon < 0 {
+					return fmt.Errorf("fail-safe engaged with the horizon disabled")
+				}
+				if silence := cur.Now - cur.FailSafeLastContact; silence < cur.FailSafeHorizon {
+					return fmt.Errorf("fail-safe engaged after only %d of %d silence", silence, cur.FailSafeHorizon)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// CheckCPStep runs every per-state invariant across one prev → cur
+// transition (prev nil for the initial state) and returns the violations,
+// empty when the state is clean.
+func CheckCPStep(prev, cur *CPView) []Violation {
+	var out []Violation
+	for _, inv := range CPRegistry() {
+		if err := inv.Check(prev, cur); err != nil {
+			out = append(out, Violation{Invariant: inv.Name, Err: err})
+		}
+	}
+	return out
+}

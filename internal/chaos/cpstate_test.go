@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"testing"
+
+	"laar/internal/controlplane"
+)
+
+// cleanCPViews builds a prev → cur transition that satisfies every
+// per-state invariant: instance 0 leads under ballot (1,0), commands all
+// acknowledged, proxies following the leader's ballot, fail-safe idle.
+func cleanCPViews() (prev, cur *CPView) {
+	build := func(now int64) *CPView {
+		v := NewCPView(2, 2)
+		b := controlplane.PackBallot(1, 0)
+		v.Now = now
+		v.Instances[0] = CPInstanceView{Up: true, Leading: true, Epoch: b, MaxSeen: b, SeqEpoch: b}
+		v.Instances[1] = CPInstanceView{Up: true, MaxSeen: b}
+		v.Proxies[0] = controlplane.ProxyState{Epoch: b, Seq: 2}
+		v.Proxies[1] = controlplane.ProxyState{Epoch: b, Seq: 2}
+		v.FailSafeHorizon = 48
+		v.FailSafeLastContact = now
+		return v
+	}
+	return build(10), build(11)
+}
+
+// TestCPRegistrySelfTest feeds every per-state invariant a hand-built
+// known-bad transition and asserts the invariant fires.
+func TestCPRegistrySelfTest(t *testing.T) {
+	{
+		prev, cur := cleanCPViews()
+		if vs := CheckCPStep(prev, cur); len(vs) != 0 {
+			t.Fatalf("baseline transition not clean: %v", vs)
+		}
+		if vs := CheckCPStep(nil, cur); len(vs) != 0 {
+			t.Fatalf("baseline initial state not clean: %v", vs)
+		}
+	}
+
+	cases := []struct {
+		name   string
+		want   string
+		mutate func(prev, cur *CPView)
+	}{
+		{
+			name: "leading with ballot zero",
+			want: "ballot-holder",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[0].Epoch = 0
+				cur.Instances[0].SeqEpoch = 0
+			},
+		},
+		{
+			name: "leading under another instance's ballot",
+			want: "ballot-holder",
+			mutate: func(_, cur *CPView) {
+				b := controlplane.PackBallot(2, 1)
+				cur.Instances[0].Epoch = b
+				cur.Instances[0].MaxSeen = b
+				cur.Instances[0].SeqEpoch = b
+			},
+		},
+		{
+			name: "ballot above its own watermark",
+			want: "ballot-holder",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[0].MaxSeen = cur.Instances[0].Epoch - 1
+			},
+		},
+		{
+			name: "claimed ballot regresses",
+			want: "epoch-monotone",
+			mutate: func(prev, cur *CPView) {
+				prev.Instances[0].Epoch = controlplane.PackBallot(5, 0)
+				prev.Instances[0].MaxSeen = prev.Instances[0].Epoch
+				prev.Instances[0].SeqEpoch = prev.Instances[0].Epoch
+			},
+		},
+		{
+			name: "watermark regresses",
+			want: "epoch-monotone",
+			mutate: func(prev, _ *CPView) {
+				prev.Instances[1].MaxSeen = controlplane.PackBallot(9, 1)
+			},
+		},
+		{
+			name: "fresh claim not above the previous ballot",
+			want: "epoch-monotone",
+			mutate: func(prev, cur *CPView) {
+				prev.Instances[0].Leading = false
+			},
+		},
+		{
+			name: "two instances hold the same ballot",
+			want: "epoch-distinct",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[1].Epoch = cur.Instances[0].Epoch
+			},
+		},
+		{
+			name: "leader issues under a stale ballot",
+			want: "sequencer-under-lease",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[0].SeqEpoch = controlplane.PackBallot(0, 0)
+			},
+		},
+		{
+			name: "crashed instance keeps commands in flight",
+			want: "no-zombie-commands",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[0].Up = false
+				cur.Instances[0].Pending = 2
+			},
+		},
+		{
+			name: "follower keeps commands in flight",
+			want: "no-zombie-commands",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[1].Pending = 1
+			},
+		},
+		{
+			name: "negative pending count",
+			want: "no-zombie-commands",
+			mutate: func(_, cur *CPView) {
+				cur.Instances[0].Pending = -1
+			},
+		},
+		{
+			name: "proxy sequence regresses",
+			want: "proxy-monotone",
+			mutate: func(_, cur *CPView) {
+				cur.Proxies[0].Seq = 1
+			},
+		},
+		{
+			name: "proxy epoch regresses",
+			want: "proxy-monotone",
+			mutate: func(prev, _ *CPView) {
+				prev.Proxies[1].Epoch = controlplane.PackBallot(7, 1)
+			},
+		},
+		{
+			name: "proxy follows a ballot above every watermark",
+			want: "proxy-bounded",
+			mutate: func(_, cur *CPView) {
+				cur.Proxies[0].Epoch = controlplane.PackBallot(9, 0)
+			},
+		},
+		{
+			name: "fail-safe engaged before the horizon",
+			want: "failsafe-consistent",
+			mutate: func(_, cur *CPView) {
+				cur.FailSafeEngaged = true
+			},
+		},
+		{
+			name: "fail-safe engaged while disabled",
+			want: "failsafe-consistent",
+			mutate: func(_, cur *CPView) {
+				cur.FailSafeEngaged = true
+				cur.FailSafeHorizon = -1
+			},
+		},
+	}
+
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prev, cur := cleanCPViews()
+			tc.mutate(prev, cur)
+			for _, v := range CheckCPStep(prev, cur) {
+				if v.Invariant == tc.want {
+					covered[tc.want] = true
+					return
+				}
+			}
+			t.Fatalf("per-state invariant %q did not fire on a known-bad transition", tc.want)
+		})
+	}
+	for _, inv := range CPRegistry() {
+		if !covered[inv.Name] {
+			t.Errorf("per-state invariant %q has no firing self-test case", inv.Name)
+		}
+		if inv.Doc == "" {
+			t.Errorf("per-state invariant %q has no doc line", inv.Name)
+		}
+	}
+}
+
+// TestCPRegistryEngagedFailSafeClean asserts a legitimately engaged
+// fail-safe (silence past the horizon) does not fire failsafe-consistent.
+func TestCPRegistryEngagedFailSafeClean(t *testing.T) {
+	prev, cur := cleanCPViews()
+	cur.FailSafeEngaged = true
+	cur.FailSafeLastContact = cur.Now - cur.FailSafeHorizon
+	if vs := CheckCPStep(prev, cur); len(vs) != 0 {
+		t.Fatalf("legitimate fail-safe engagement reported as violation: %v", vs)
+	}
+}

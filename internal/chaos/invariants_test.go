@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"laar/internal/engine"
+)
+
+// selfTestResult builds a synthetic chaos Result that satisfies every
+// run-level invariant: a real generated system and schedule, hand-built
+// clean probes (one mid-run, one at quiescence) and a metrics tail matching
+// the failure-free expectation.
+func selfTestResult(t *testing.T) *Result {
+	t.Helper()
+	sc := Scenario{Seed: 7, Class: HostCrash, Faults: 1}.withDefaults()
+	sys, err := BuildSystem(sc)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	sched, err := BuildSchedule(sc, sys)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+
+	cleanProbe := func(at float64) engine.Probe {
+		p := engine.Probe{
+			Time:     at,
+			Config:   sys.LowCfg,
+			Primary:  make([]int, sys.Asg.NumPEs()),
+			Eligible: make([]int, sys.Asg.NumPEs()),
+			Leader:   0,
+		}
+		for pe := 0; pe < sys.Asg.NumPEs(); pe++ {
+			p.Primary[pe] = 0
+			p.Eligible[pe] = sys.Asg.K
+			for k := 0; k < sys.Asg.K; k++ {
+				p.Replicas = append(p.Replicas, engine.ReplicaProbe{
+					PE: pe, Replica: k,
+					Alive: true, Active: true, HostUp: true, CtrlReachable: true,
+					Enqueued: 10, Processed: 10,
+				})
+			}
+		}
+		return p
+	}
+
+	m := &engine.Metrics{Duration: sc.Duration}
+	for pe := 0; pe < sys.Asg.NumPEs(); pe++ {
+		m.PerPEProcessed = append(m.PerPEProcessed, 10)
+		m.ProcessedTotal += 10
+	}
+	for at := sched.LastClear + 9; at <= sc.Duration; at++ {
+		m.Series = append(m.Series, engine.Sample{
+			Time:       at,
+			OutputRate: expectedSinkRate(sys, sched.Trace.ConfigAt(at-1)),
+		})
+	}
+
+	return &Result{
+		Scenario:   sc,
+		System:     sys,
+		Schedule:   sched,
+		Metrics:    m,
+		Probes:     []engine.Probe{cleanProbe(sched.LastClear / 2), cleanProbe(sc.Duration)},
+		MeasuredIC: 1.0,
+		BoundIC:    0.5,
+	}
+}
+
+// TestRegistrySelfTest feeds every registered invariant a hand-built
+// known-bad result and asserts the invariant fires — the self-test that
+// keeps the registry from silently degrading into always-green checks.
+func TestRegistrySelfTest(t *testing.T) {
+	if vs := Check(selfTestResult(t)); len(vs) != 0 {
+		t.Fatalf("baseline self-test result not clean: %v", vs)
+	}
+
+	final := func(r *Result) *engine.Probe { return &r.Probes[len(r.Probes)-1] }
+	cases := []struct {
+		name   string
+		want   string // invariant that must fire
+		mutate func(r *Result)
+	}{
+		{
+			name: "measured IC below the bound",
+			want: "ic-bound",
+			mutate: func(r *Result) {
+				r.Schedule.WithinModel = true
+				r.BoundIC = 0.6
+				r.MeasuredIC = r.BoundIC - r.Scenario.ICTolerance - 0.05
+			},
+		},
+		{
+			name: "primary not the lowest eligible replica",
+			want: "primary-unique",
+			mutate: func(r *Result) {
+				final(r).Primary[0] = 1
+			},
+		},
+		{
+			name: "eligibility count disagrees with replica states",
+			want: "primary-unique",
+			mutate: func(r *Result) {
+				final(r).Eligible[0]--
+			},
+		},
+		{
+			name: "mid-run primary on a dead replica",
+			want: "no-split-brain",
+			mutate: func(r *Result) {
+				r.Probes[0].Replicas[0].Alive = false
+				r.Probes[0].Eligible[0]--
+			},
+		},
+		{
+			name: "replica still on a down host at quiescence",
+			want: "re-replication",
+			mutate: func(r *Result) {
+				p := final(r)
+				k := r.System.Asg.K - 1
+				p.Replicas[k].HostUp = false
+				p.Eligible[0]--
+			},
+		},
+		{
+			name: "queue over capacity mid-run",
+			want: "queue-bounds",
+			mutate: func(r *Result) {
+				r.Probes[0].Replicas[0].OverCap = true
+			},
+		},
+		{
+			name: "per-replica tuple ledger does not balance",
+			want: "tuple-conservation",
+			mutate: func(r *Result) {
+				final(r).Replicas[0].Enqueued += 5
+			},
+		},
+		{
+			name: "per-PE processed sum disagrees with the total",
+			want: "tuple-conservation",
+			mutate: func(r *Result) {
+				r.Metrics.ProcessedTotal += 3
+			},
+		},
+		{
+			name: "output rate never recovers after the last failure",
+			want: "monotone-recovery",
+			mutate: func(r *Result) {
+				for i := range r.Metrics.Series {
+					r.Metrics.Series[i].OutputRate = 0
+				}
+			},
+		},
+		{
+			name: "PE dark at quiescence",
+			want: "monotone-recovery",
+			mutate: func(r *Result) {
+				p := final(r)
+				p.Primary[0] = -1
+				for k := 0; k < r.System.Asg.K; k++ {
+					p.Replicas[k].Alive = false
+				}
+				p.Eligible[0] = 0
+			},
+		},
+	}
+
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := selfTestResult(t)
+			tc.mutate(r)
+			for _, v := range Check(r) {
+				if v.Invariant == tc.want {
+					covered[tc.want] = true
+					return
+				}
+			}
+			t.Fatalf("invariant %q did not fire on a known-bad result", tc.want)
+		})
+	}
+	for _, inv := range Registry() {
+		if !covered[inv.Name] {
+			t.Errorf("registered invariant %q has no firing self-test case", inv.Name)
+		}
+		if inv.Doc == "" {
+			t.Errorf("registered invariant %q has no doc line", inv.Name)
+		}
+	}
+}
+
+// TestModelResultErrAggregates asserts Err reports every violation at once
+// rather than the first it finds — the property the shrinker relies on to
+// not silently trade one violation for another while minimising.
+func TestModelResultErrAggregates(t *testing.T) {
+	mr := &ModelResult{
+		Leader:          0,
+		BelievedLeaders: []int{0},
+		DupEpochs:       []uint64{0x101},
+		PendingCommands: 3,
+		FailSafeCleared: false,
+		StepViolations: []Violation{
+			{Invariant: "no-zombie-commands", Err: errFake("zombie")},
+		},
+	}
+	err := mr.Err()
+	if err == nil {
+		t.Fatalf("Err() = nil on a result with four violations")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"claimed more than once",
+		"still unacknowledged",
+		"still engaged at quiescence",
+		"no-zombie-commands",
+		"no schedule",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error missing %q:\n%s", want, msg)
+		}
+	}
+
+	clean := &ModelResult{Leader: 1, BelievedLeaders: []int{1}, FailSafeCleared: true}
+	if err := clean.Err(); err != nil {
+		t.Fatalf("Err() = %v on a clean result", err)
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 
 	"laar/internal/controlplane"
@@ -64,29 +65,53 @@ type ModelResult struct {
 	// past the fail-safe horizon; FailSafeObserved that the tracker engaged;
 	// FailSafeCleared that it is disengaged at quiescence.
 	FailSafeExpected, FailSafeObserved, FailSafeCleared bool
+	// StepViolations are the per-state invariant breaches (CPRegistry)
+	// observed during the run, at most one per invariant name, each
+	// annotated with the step it first fired at.
+	StepViolations []Violation
 }
 
 // Err returns nil when every control-plane invariant held on the model.
+// All violations are aggregated into one joined error — a run that both
+// loses commands and leaves the fail-safe engaged reports both breaches,
+// so a shrinker minimising toward "still failing" cannot silently trade
+// one violation for another unnoticed.
 func (mr *ModelResult) Err() error {
-	switch {
-	case len(mr.DupEpochs) > 0:
-		return fmt.Errorf("chaos model: lease epochs %v claimed more than once (%s)", mr.DupEpochs, mr.Schedule.Describe())
-	case mr.Leader < 0:
-		return fmt.Errorf("chaos model: no instance leads at quiescence (%s)", mr.Schedule.Describe())
-	case len(mr.BelievedLeaders) != 1:
-		return fmt.Errorf("chaos model: instances %v all believe they lead at quiescence (%s)", mr.BelievedLeaders, mr.Schedule.Describe())
-	case mr.PendingCommands != 0:
-		return fmt.Errorf("chaos model: %d commands still unacknowledged at quiescence (%s)", mr.PendingCommands, mr.Schedule.Describe())
-	case len(mr.ActiveMismatches) > 0:
-		return fmt.Errorf("chaos model: activations %v disagree with configuration %d (%s)", mr.ActiveMismatches, mr.AppliedConfig, mr.Schedule.Describe())
-	case len(mr.EpochLags) > 0:
-		return fmt.Errorf("chaos model: proxies %v follow stale ballots, leader epoch %d (%s)", mr.EpochLags, mr.Epoch, mr.Schedule.Describe())
-	case mr.FailSafeExpected && !mr.FailSafeObserved:
-		return fmt.Errorf("chaos model: control plane dark past the horizon but the fail-safe never engaged (%s)", mr.Schedule.Describe())
-	case !mr.FailSafeCleared:
-		return fmt.Errorf("chaos model: fail-safe still engaged at quiescence (%s)", mr.Schedule.Describe())
+	var errs []error
+	if len(mr.DupEpochs) > 0 {
+		errs = append(errs, fmt.Errorf("chaos model: lease epochs %v claimed more than once", mr.DupEpochs))
 	}
-	return nil
+	if mr.Leader < 0 {
+		errs = append(errs, fmt.Errorf("chaos model: no instance leads at quiescence"))
+	} else if len(mr.BelievedLeaders) != 1 {
+		errs = append(errs, fmt.Errorf("chaos model: instances %v all believe they lead at quiescence", mr.BelievedLeaders))
+	}
+	if mr.PendingCommands != 0 {
+		errs = append(errs, fmt.Errorf("chaos model: %d commands still unacknowledged at quiescence", mr.PendingCommands))
+	}
+	if len(mr.ActiveMismatches) > 0 {
+		errs = append(errs, fmt.Errorf("chaos model: activations %v disagree with configuration %d", mr.ActiveMismatches, mr.AppliedConfig))
+	}
+	if len(mr.EpochLags) > 0 {
+		errs = append(errs, fmt.Errorf("chaos model: proxies %v follow stale ballots, leader epoch %d", mr.EpochLags, mr.Epoch))
+	}
+	if mr.FailSafeExpected && !mr.FailSafeObserved {
+		errs = append(errs, fmt.Errorf("chaos model: control plane dark past the horizon but the fail-safe never engaged"))
+	}
+	if !mr.FailSafeCleared {
+		errs = append(errs, fmt.Errorf("chaos model: fail-safe still engaged at quiescence"))
+	}
+	for _, v := range mr.StepViolations {
+		errs = append(errs, fmt.Errorf("chaos model state invariant: %w", v))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	desc := "no schedule"
+	if mr.Schedule != nil {
+		desc = mr.Schedule.Describe()
+	}
+	return fmt.Errorf("%w (%s)", errors.Join(errs...), desc)
 }
 
 // modelInstance is one controller instance of the model: the three
@@ -116,6 +141,30 @@ func Model(sc Scenario) (*ModelResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return modelRun(sc, sys, sched)
+}
+
+// ModelReplay replays a provided schedule — typically one pruned by a
+// shrinker or loaded from a serialized repro artifact — against the
+// machines, instead of regenerating the schedule from the seed. The
+// schedule's derived facts (last-clear time, blackout window) are
+// recomputed from its events, so a schedule whose events were edited keeps
+// its invariant expectations consistent.
+func ModelReplay(sc Scenario, sched *Schedule) (*ModelResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	sys, err := BuildSystem(sc)
+	if err != nil {
+		return nil, err
+	}
+	sched.Renormalize(sc.Controllers, sc.Duration)
+	return modelRun(sc, sys, sched)
+}
+
+// modelRun is the shared pure step loop of Model and ModelReplay.
+func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 	forceActivationFlips(sys)
 
 	numPEs, repK := sys.Asg.NumPEs(), sys.Asg.K
@@ -162,6 +211,26 @@ func Model(sc Scenario) (*ModelResult, error) {
 	res := &ModelResult{Scenario: sc, Schedule: sched}
 	horizon := float64(modelFailSafe) / modelStepsPerSec
 	res.FailSafeExpected = sched.Blackout[1]-sched.Blackout[0] > horizon+2
+
+	// Per-state invariant stepping: two reusable views, swapped each step,
+	// checked against the CPRegistry after every model step. Each invariant
+	// is recorded at most once, annotated with the step it first fired at.
+	prevView, curView := NewCPView(numCtrl, numPEs*repK), NewCPView(numCtrl, numPEs*repK)
+	fillView := func(v *CPView, now int64) {
+		v.Now = now
+		for i, inst := range insts {
+			v.Instances[i] = CPInstanceView{
+				Up: inst.up, Leading: inst.elect.Leading(),
+				Epoch: inst.elect.Epoch(), MaxSeen: inst.elect.MaxSeen(),
+				SeqEpoch: inst.seqr.Epoch(), Pending: inst.seqr.Pending(),
+			}
+		}
+		copy(v.Proxies, proxies)
+		fs := failSafe.Snapshot()
+		v.FailSafeEngaged, v.FailSafeHorizon, v.FailSafeLastContact = fs.Engaged, fs.Horizon, fs.LastContact
+	}
+	fillView(prevView, 0)
+	stepSeen := map[string]bool{}
 
 	dt := 1.0 / modelStepsPerSec
 	steps := int(sc.Duration*modelStepsPerSec+0.5) + modelDrainSteps
@@ -298,6 +367,16 @@ func Model(sc Scenario) (*ModelResult, error) {
 		} else if failSafe.Engage(now) {
 			res.FailSafeObserved = true
 		}
+
+		fillView(curView, now)
+		for _, v := range CheckCPStep(prevView, curView) {
+			if !stepSeen[v.Invariant] {
+				stepSeen[v.Invariant] = true
+				res.StepViolations = append(res.StepViolations,
+					Violation{Invariant: v.Invariant, Err: fmt.Errorf("step %d: %w", now, v.Err)})
+			}
+		}
+		prevView, curView = curView, prevView
 	}
 	res.Steps = steps
 

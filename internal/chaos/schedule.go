@@ -384,6 +384,72 @@ func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) 
 	return true
 }
 
+// Renormalize recomputes the schedule's derived facts — LastClear and the
+// control-plane Blackout window — from its events. A shrinker that deletes
+// events (or a loader that deserialised an edited schedule) calls this so
+// the invariant expectations derived from those facts (fail-safe
+// engagement, recovery assertions) stay consistent with what the events
+// actually do. numCtrl is the control-plane size the blackout is judged
+// against; end bounds an unrecovered blackout.
+func (sd *Schedule) Renormalize(numCtrl int, end float64) {
+	sd.LastClear = 0
+	for _, ev := range sd.Events {
+		switch ev.Kind {
+		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover:
+			if ev.Time > sd.LastClear {
+				sd.LastClear = ev.Time
+			}
+		}
+	}
+	for _, cut := range sd.CtrlCuts {
+		if cut.Heal && cut.Time > sd.LastClear {
+			sd.LastClear = cut.Time
+		}
+	}
+	sd.Blackout = ctrlBlackout(sd.Events, numCtrl, end)
+}
+
+// ctrlBlackout scans the controller crash/recover timeline and returns the
+// longest window during which every instance is down at once, or the zero
+// value when the control plane is never fully dark. A blackout no event
+// ends extends to the schedule end.
+func ctrlBlackout(events []engine.FailureEvent, numCtrl int, end float64) [2]float64 {
+	if numCtrl <= 0 {
+		return [2]float64{}
+	}
+	down := make([]bool, numCtrl)
+	n := 0
+	var best [2]float64
+	start := -1.0
+	for _, ev := range events {
+		switch ev.Kind {
+		case engine.ControllerCrash:
+			if ev.Host < numCtrl && !down[ev.Host] {
+				down[ev.Host] = true
+				n++
+				if n == numCtrl {
+					start = ev.Time
+				}
+			}
+		case engine.ControllerRecover:
+			if ev.Host < numCtrl && down[ev.Host] {
+				if n == numCtrl && start >= 0 {
+					if ev.Time-start > best[1]-best[0] {
+						best = [2]float64{start, ev.Time}
+					}
+					start = -1
+				}
+				down[ev.Host] = false
+				n--
+			}
+		}
+	}
+	if start >= 0 && end-start > best[1]-best[0] {
+		best = [2]float64{start, end}
+	}
+	return best
+}
+
 // Describe returns a one-line summary of the schedule for reports.
 func (sd *Schedule) Describe() string {
 	model := "in-model"

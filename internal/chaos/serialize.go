@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"laar/internal/engine"
+	"laar/internal/trace"
+)
+
+// scheduleJSON is the wire form of a Schedule. The trace is serialized as
+// its segments; the derived facts LastClear and Blackout are omitted — a
+// loader recomputes them with Renormalize, so an artifact whose events were
+// hand-edited (or shrunk) cannot carry stale expectations.
+type scheduleJSON struct {
+	Events      []engine.FailureEvent `json:"events"`
+	Segments    []trace.Segment       `json:"segments"`
+	Glitch      float64               `json:"glitch,omitempty"`
+	WithinModel bool                  `json:"withinModel"`
+	CtrlCuts    []CtrlCut             `json:"ctrlCuts,omitempty"`
+}
+
+// MarshalJSON serializes the schedule for a repro artifact.
+func (sd *Schedule) MarshalJSON() ([]byte, error) {
+	w := scheduleJSON{
+		Events:      sd.Events,
+		Glitch:      sd.Glitch,
+		WithinModel: sd.WithinModel,
+		CtrlCuts:    sd.CtrlCuts,
+	}
+	if sd.Trace != nil {
+		w.Segments = sd.Trace.Segments()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON loads a schedule from a repro artifact, rebuilding the trace
+// from its segments. The derived facts (LastClear, Blackout) are left zero;
+// replaying through ModelReplay renormalizes them, and callers replaying by
+// other means must call Renormalize themselves.
+func (sd *Schedule) UnmarshalJSON(b []byte) error {
+	var w scheduleJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Segments) == 0 {
+		return fmt.Errorf("chaos schedule: no trace segments")
+	}
+	tr, err := trace.New(w.Segments)
+	if err != nil {
+		return fmt.Errorf("chaos schedule: %w", err)
+	}
+	*sd = Schedule{
+		Events:      w.Events,
+		Trace:       tr,
+		Glitch:      w.Glitch,
+		WithinModel: w.WithinModel,
+		CtrlCuts:    w.CtrlCuts,
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestScheduleRoundTrip serializes a generated schedule and asserts the
+// loaded copy replays the model to the identical outcome.
+func TestScheduleRoundTrip(t *testing.T) {
+	sc := Scenario{Seed: 11, Class: CtrlCrash}
+	res, err := Model(sc)
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	sd := res.Schedule
+
+	blob, err := json.Marshal(sd)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Schedule
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events, sd.Events) {
+		t.Fatalf("events changed across the round trip")
+	}
+	if !reflect.DeepEqual(got.Trace.Segments(), sd.Trace.Segments()) {
+		t.Fatalf("trace segments changed across the round trip")
+	}
+	if got.Glitch != sd.Glitch || got.WithinModel != sd.WithinModel {
+		t.Fatalf("glitch/withinModel changed across the round trip")
+	}
+
+	res2, err := ModelReplay(sc, &got)
+	if err != nil {
+		t.Fatalf("ModelReplay: %v", err)
+	}
+	if got.LastClear != sd.LastClear || got.Blackout != sd.Blackout {
+		t.Fatalf("renormalized facts diverge: lastClear %v vs %v, blackout %v vs %v",
+			got.LastClear, sd.LastClear, got.Blackout, sd.Blackout)
+	}
+	if !reflect.DeepEqual(res2.Epochs, res.Epochs) || res2.Leader != res.Leader ||
+		res2.FailSafeObserved != res.FailSafeObserved {
+		t.Fatalf("replayed model diverges: epochs %v vs %v, leader %d vs %d",
+			res2.Epochs, res.Epochs, res2.Leader, res.Leader)
+	}
+	if (res2.Err() == nil) != (res.Err() == nil) {
+		t.Fatalf("replay verdict diverges: %v vs %v", res2.Err(), res.Err())
+	}
+
+	// A schedule without trace segments must refuse to load.
+	if err := json.Unmarshal([]byte(`{"events":[]}`), &got); err == nil {
+		t.Fatalf("unmarshal accepted a schedule without a trace")
+	}
+}

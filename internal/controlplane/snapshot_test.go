@@ -1,0 +1,224 @@
+package controlplane
+
+import "testing"
+
+// TestLeaseSnapshotRestore branches one elector into two futures and
+// asserts restore returns it to the branch point exactly.
+func TestLeaseSnapshotRestore(t *testing.T) {
+	e := NewLeaseElector(1, 3, 4, 0)
+	e.HearPeer(0, 2)
+	e.Observe(PackBallot(3, 0))
+
+	snap := e.Snapshot()
+	// Future A: peer 0 goes silent, instance 1 claims.
+	if act := e.Evaluate(10); act != LeaseClaim {
+		t.Fatalf("future A: Evaluate = %v, want claim", act)
+	}
+	epochA := e.Claim()
+
+	e.Restore(snap)
+	if e.Leading() {
+		t.Fatalf("restore kept the lease from future A")
+	}
+	if e.Epoch() != 0 || e.MaxSeen() != PackBallot(3, 0) {
+		t.Fatalf("restore: epoch=%d maxSeen=%d, want 0, %d", e.Epoch(), e.MaxSeen(), PackBallot(3, 0))
+	}
+	// Future B: peer 0 stays fresh, instance 1 holds.
+	e.HearPeer(0, 9)
+	if act := e.Evaluate(10); act != LeaseHold {
+		t.Fatalf("future B: Evaluate = %v, want hold", act)
+	}
+	// Replaying future A after a second restore claims the same epoch.
+	e.Restore(snap)
+	if epoch := e.Claim(); epoch != epochA {
+		t.Fatalf("replayed claim got epoch %d, want %d", epoch, epochA)
+	}
+	// The snapshot's slice must not alias the elector's.
+	e.HearPeer(0, 99)
+	if snap.LastHeard[0] == 99 {
+		t.Fatalf("snapshot aliases the elector's lastHeard buffer")
+	}
+}
+
+// TestLeaseHashTimeShift asserts the canonical fingerprint is invariant
+// under a uniform time shift — the property that lets the explorer merge
+// states reached at different absolute depths.
+func TestLeaseHashTimeShift(t *testing.T) {
+	const shift = 1000
+	a := NewLeaseElector(0, 2, 3, 0)
+	b := NewLeaseElector(0, 2, 3, shift)
+	a.HearPeer(1, 5)
+	b.HearPeer(1, 5+shift)
+	a.Observe(7 << 8)
+	b.Observe(7 << 8)
+
+	fa, fb := NewFingerprint(), NewFingerprint()
+	a.Hash(fa, 6)
+	b.Hash(fb, 6+shift)
+	if fa.Sum() != fb.Sum() {
+		t.Fatalf("time-shifted electors hash differently: %x vs %x", fa.Sum(), fb.Sum())
+	}
+
+	// Ages beyond TTL+1 are all equivalent.
+	fa.Reset()
+	fb.Reset()
+	a.Hash(fa, 100)
+	b.Hash(fb, 100+shift+12345)
+	if fa.Sum() != fb.Sum() {
+		t.Fatalf("stale-past-TTL electors hash differently: %x vs %x", fa.Sum(), fb.Sum())
+	}
+
+	// A fresh heartbeat inside the TTL must change the hash.
+	fb.Reset()
+	b.HearPeer(1, 100+shift+12345)
+	b.Hash(fb, 100+shift+12345)
+	if fa.Sum() == fb.Sum() {
+		t.Fatalf("fresh heartbeat did not change the fingerprint")
+	}
+}
+
+// TestSequencerSnapshotRestore exercises branch-and-restore across the
+// retransmission machinery, including WouldSend/Superseded agreement with
+// Step.
+func TestSequencerSnapshotRestore(t *testing.T) {
+	s := NewCommandSequencer(2, 2, RetryPolicy{Min: 2, Max: 8})
+	s.BeginEpoch(PackBallot(1, 0))
+
+	// Issue a command on slot (0,0) and lose it.
+	cmd, send, _ := s.Step(0, 0, true, 1)
+	if !send {
+		t.Fatalf("fresh slot did not send")
+	}
+	s.Failed(0, 0, 1)
+
+	snap := s.Snapshot()
+	if s.WouldSend(0, 0, true, 2) {
+		t.Fatalf("WouldSend during backoff")
+	}
+	if !s.WouldSend(0, 0, true, 3) {
+		t.Fatalf("WouldSend false once the backoff elapsed")
+	}
+
+	// Future A: the retransmission is acknowledged.
+	cmd2, send2, retry := s.Step(0, 0, true, 3)
+	if !send2 || !retry || cmd2 != cmd {
+		t.Fatalf("retransmission: send=%v retry=%v cmd=%+v, want resend of %+v", send2, retry, cmd2, cmd)
+	}
+	s.Acked(0, 0)
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after ack, want 0", s.Pending())
+	}
+
+	// Restore to the branch point: the command is pending again.
+	s.Restore(snap)
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d after restore, want 1", s.Pending())
+	}
+	// Future B: ack the activate, issue a deactivate, then flip the wanted
+	// state back — the pending deactivate is superseded by want=true.
+	if _, send3, _ := s.Step(0, 0, true, 3); !send3 {
+		t.Fatalf("restored slot did not resend")
+	}
+	s.Acked(0, 0)
+	if _, send4, _ := s.Step(0, 0, false, 4); !send4 {
+		t.Fatalf("deactivate did not send")
+	}
+	s.Failed(0, 0, 4)
+	if !s.Superseded(0, 0, true) {
+		t.Fatalf("pending deactivate not superseded by want=true")
+	}
+	if s.Superseded(0, 0, false) {
+		t.Fatalf("pending deactivate superseded by its own wanted state")
+	}
+	if _, send5, _ := s.Step(0, 0, true, 5); send5 {
+		t.Fatalf("superseded slot sent a command")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("superseded slot not cleared: pending %d", s.Pending())
+	}
+}
+
+// TestSequencerHashCanonical asserts sequencer fingerprints are invariant
+// under time shifts and sensitive to backoff state.
+func TestSequencerHashCanonical(t *testing.T) {
+	build := func(base int64) *CommandSequencer {
+		s := NewCommandSequencer(1, 2, RetryPolicy{Min: 2, Max: 8})
+		s.BeginEpoch(PackBallot(1, 0))
+		s.Step(0, 0, true, base+1)
+		s.Failed(0, 0, base+1)
+		return s
+	}
+	a, b := build(0), build(500)
+	fa, fb := NewFingerprint(), NewFingerprint()
+	a.Hash(fa, 2)
+	b.Hash(fb, 502)
+	if fa.Sum() != fb.Sum() {
+		t.Fatalf("time-shifted sequencers hash differently")
+	}
+	// Doubling the backoff must be visible.
+	a.Failed(0, 0, 2)
+	fa.Reset()
+	a.Hash(fa, 2)
+	if fa.Sum() == fb.Sum() {
+		t.Fatalf("backoff growth did not change the fingerprint")
+	}
+}
+
+// TestFailSafeSnapshotHash covers tracker snapshot/restore and the clamped
+// silence-age hash, including the disabled horizon.
+func TestFailSafeSnapshotHash(t *testing.T) {
+	tr := NewFailSafeTracker[int64](4, 0)
+	snap := tr.Snapshot()
+	if !tr.Engage(10) {
+		t.Fatalf("tracker did not engage past the horizon")
+	}
+	tr.Restore(snap)
+	if tr.Engaged() {
+		t.Fatalf("restore kept the engaged latch")
+	}
+
+	f1, f2 := NewFingerprint(), NewFingerprint()
+	HashFailSafe(f1, tr.Snapshot(), 100)
+	HashFailSafe(f2, tr.Snapshot(), 2000)
+	if f1.Sum() != f2.Sum() {
+		t.Fatalf("silence ages past the horizon hash differently")
+	}
+	tr.Contact(100)
+	f1.Reset()
+	HashFailSafe(f1, tr.Snapshot(), 101)
+	if f1.Sum() == f2.Sum() {
+		t.Fatalf("recent contact did not change the fingerprint")
+	}
+
+	// Disabled horizon: age never matters.
+	d := NewFailSafeTracker[int64](-1, 0)
+	f1.Reset()
+	f2.Reset()
+	HashFailSafe(f1, d.Snapshot(), 5)
+	HashFailSafe(f2, d.Snapshot(), 5_000_000)
+	if f1.Sum() != f2.Sum() {
+		t.Fatalf("disabled fail-safe fingerprint depends on time")
+	}
+}
+
+// TestMonitorSnapshotRestore covers the monitor's snapshot/restore hooks.
+func TestMonitorSnapshotRestore(t *testing.T) {
+	m := NewRateMonitor([][]float64{{2}, {10}}, 1)
+	m.Accumulate(0, 3)
+	m.SetApplied(0)
+	snap := m.Snapshot()
+
+	m.Accumulate(0, 100)
+	if cfg := m.Scan(1); cfg != 1 {
+		t.Fatalf("hot scan selected %d, want 1", cfg)
+	}
+	m.SetApplied(1)
+
+	m.Restore(snap)
+	if m.Applied() != 0 {
+		t.Fatalf("restore: applied %d, want 0", m.Applied())
+	}
+	if cfg := m.Scan(2); cfg != 0 {
+		t.Fatalf("restored scan selected %d, want 0 (1.5 t/s against {2, 10})", cfg)
+	}
+}

@@ -1,0 +1,299 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"laar/internal/controlplane"
+)
+
+// EventKind enumerates the explored transitions.
+type EventKind int
+
+const (
+	// EvTick advances the clock one step: heartbeats flow over intact
+	// links, every up instance evaluates its lease, and the fail-safe
+	// tracker observes contact or silence.
+	EvTick EventKind = iota
+	// EvCrash crashes instance A (a crashing leader steps down and drops
+	// its in-flight commands, as the live runtime does).
+	EvCrash
+	// EvRecover restarts instance A with its machine state intact.
+	EvRecover
+	// EvCut partitions the link between instances A and B.
+	EvCut
+	// EvHeal heals the link between A and B.
+	EvHeal
+	// EvDeliver has leader A transmit the due command for slot B; the
+	// proxy admits it and the acknowledgement (or NACK) returns.
+	EvDeliver
+	// EvDropCmd has leader A transmit the due command for slot B, lost
+	// before the proxy.
+	EvDropCmd
+	// EvDropAck has leader A transmit the due command for slot B; the
+	// proxy admits it but the acknowledgement is lost.
+	EvDropAck
+	// EvFlip switches the wanted activation target to configuration A.
+	EvFlip
+
+	numEventKinds = int(EvFlip) + 1
+)
+
+// String names the kind for schedules and artifacts.
+func (k EventKind) String() string {
+	switch k {
+	case EvTick:
+		return "tick"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvCut:
+		return "cut"
+	case EvHeal:
+		return "heal"
+	case EvDeliver:
+		return "deliver"
+	case EvDropCmd:
+		return "drop-cmd"
+	case EvDropAck:
+		return "drop-ack"
+	case EvFlip:
+		return "flip"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one transition of the explored world. A and B address the
+// transition's operands: the instance for crash/recover, the instance pair
+// for cut/heal, (leader instance, replica slot) for the command events, and
+// the target configuration for flip.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	A    int       `json:"a,omitempty"`
+	B    int       `json:"b,omitempty"`
+}
+
+// String renders the event for counterexample reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvTick:
+		return "tick"
+	case EvCrash, EvRecover:
+		return fmt.Sprintf("%s(%d)", e.Kind, e.A)
+	case EvCut, EvHeal:
+		return fmt.Sprintf("%s(%d,%d)", e.Kind, e.A, e.B)
+	case EvDeliver, EvDropCmd, EvDropAck:
+		return fmt.Sprintf("%s(inst=%d,slot=%d)", e.Kind, e.A, e.B)
+	case EvFlip:
+		return fmt.Sprintf("flip(%d)", e.A)
+	}
+	return fmt.Sprintf("%v(%d,%d)", e.Kind, e.A, e.B)
+}
+
+// enabled reports whether the event can fire in the current world. The
+// explorer enumerates only enabled events; Replay uses it to skip events a
+// shrunk schedule prefix has made moot.
+func (w *world) enabled(e Event) bool {
+	inRange := func(i int) bool { return i >= 0 && i < w.opt.Instances }
+	switch e.Kind {
+	case EvTick:
+		return true
+	case EvCrash:
+		return inRange(e.A) && w.insts[e.A].up
+	case EvRecover:
+		return inRange(e.A) && !w.insts[e.A].up
+	case EvCut:
+		return inRange(e.A) && inRange(e.B) && e.A < e.B && !w.cutAt(e.A, e.B)
+	case EvHeal:
+		return inRange(e.A) && inRange(e.B) && e.A < e.B && w.cutAt(e.A, e.B)
+	case EvDeliver, EvDropCmd, EvDropAck:
+		if !inRange(e.A) || e.B < 0 || e.B >= len(w.prox) {
+			return false
+		}
+		in := &w.insts[e.A]
+		if !in.up || !in.elect.Leading() {
+			return false
+		}
+		want := w.wantActive(e.B)
+		pe, k := e.B/w.opt.K, e.B%w.opt.K
+		if in.seqr.WouldSend(pe, k, want, w.now) {
+			return true
+		}
+		// A superseded command is cleared without a transmission — only the
+		// plain deliver event models that bookkeeping step.
+		return e.Kind == EvDeliver && in.seqr.Superseded(pe, k, want)
+	case EvFlip:
+		return (e.A == 0 || e.A == 1) && e.A != w.target
+	}
+	return false
+}
+
+// apply executes an enabled event, mutating the world.
+func (w *world) apply(e Event) {
+	switch e.Kind {
+	case EvTick:
+		w.tick()
+	case EvCrash:
+		in := &w.insts[e.A]
+		in.up = false
+		if in.elect.Leading() {
+			in.elect.StepDown()
+			if w.opt.Fault != FaultCrashKeepsPending {
+				in.seqr.DropPending()
+			}
+		}
+	case EvRecover:
+		w.insts[e.A].up = true
+	case EvCut:
+		w.setCut(e.A, e.B, true)
+	case EvHeal:
+		w.setCut(e.A, e.B, false)
+	case EvDeliver:
+		w.transmit(e.A, e.B, true, true)
+	case EvDropCmd:
+		w.transmit(e.A, e.B, false, false)
+	case EvDropAck:
+		w.transmit(e.A, e.B, true, false)
+	case EvFlip:
+		w.target = e.A
+	}
+}
+
+// tick advances the clock: heartbeats and watermark gossip over intact
+// links between up instances, lease evaluation in id order, and the
+// fail-safe contact/silence update — the same per-step order as the chaos
+// model and the live controller driver.
+func (w *world) tick() {
+	w.now++
+	for i := range w.insts {
+		src := &w.insts[i]
+		if !src.up {
+			continue
+		}
+		for j := range w.insts {
+			dst := &w.insts[j]
+			if i == j || !dst.up || w.cutAt(i, j) {
+				continue
+			}
+			dst.elect.HearPeer(i, w.now)
+			dst.elect.Observe(src.elect.MaxSeen())
+		}
+	}
+	for i := range w.insts {
+		in := &w.insts[i]
+		if !in.up {
+			continue
+		}
+		switch in.elect.Evaluate(w.now) {
+		case controlplane.LeaseClaim:
+			var epoch uint64
+			if w.opt.Fault == FaultClaimAdoptsSeen {
+				// The injected bug: adopt the watermark verbatim — a ballot
+				// that may be zero or carry another instance's id.
+				s := in.elect.Snapshot()
+				s.Epoch = s.MaxSeen
+				s.Leading = true
+				in.elect.Restore(s)
+				epoch = s.Epoch
+			} else {
+				epoch = in.elect.Claim()
+			}
+			in.seqr.BeginEpoch(epoch)
+		case controlplane.LeaseYield:
+			in.elect.StepDown()
+			in.seqr.DropPending()
+		}
+	}
+	if w.anyUpLeader() {
+		w.fs.Contact(w.now)
+		w.fs.Clear()
+	} else {
+		w.fs.Engage(w.now)
+	}
+}
+
+// transmit runs one command transmission for slot from leader inst:
+// reach=false loses the command before the proxy, ack=false loses the
+// acknowledgement (or NACK) on the way back.
+func (w *world) transmit(inst, slot int, reach, ack bool) {
+	in := &w.insts[inst]
+	pe, k := slot/w.opt.K, slot%w.opt.K
+	want := w.wantActive(slot)
+	cmd, send, _ := in.seqr.Step(pe, k, want, w.now)
+	if !send {
+		return // superseded command cleared without a transmission
+	}
+	if !reach {
+		in.seqr.Failed(pe, k, w.now)
+		return
+	}
+	p := &w.prox[slot]
+	switch p.Admit(cmd.Epoch, cmd.Seq) {
+	case controlplane.CmdApplied:
+		w.active[slot] = cmd.Active
+		if ack {
+			in.seqr.Acked(pe, k)
+		} else {
+			in.seqr.Failed(pe, k, w.now)
+		}
+	case controlplane.CmdDuplicate:
+		if ack {
+			in.seqr.Acked(pe, k)
+		} else {
+			in.seqr.Failed(pe, k, w.now)
+		}
+	case controlplane.CmdStale:
+		if ack {
+			// The NACK carries the proxy's adopted ballot; the deposed
+			// leader re-claims above it on its next tick.
+			in.elect.Observe(p.Epoch)
+		}
+		in.seqr.Failed(pe, k, w.now)
+	}
+}
+
+// appendEnabled appends every enabled event to buf and returns it. The
+// enumeration order is deterministic, so explorations are reproducible.
+func (w *world) appendEnabled(buf []Event) []Event {
+	buf = append(buf, Event{Kind: EvTick})
+	for i := range w.insts {
+		if w.insts[i].up {
+			buf = append(buf, Event{Kind: EvCrash, A: i})
+		} else {
+			buf = append(buf, Event{Kind: EvRecover, A: i})
+		}
+	}
+	for i := 0; i < w.opt.Instances; i++ {
+		for j := i + 1; j < w.opt.Instances; j++ {
+			if w.cutAt(i, j) {
+				buf = append(buf, Event{Kind: EvHeal, A: i, B: j})
+			} else {
+				buf = append(buf, Event{Kind: EvCut, A: i, B: j})
+			}
+		}
+	}
+	for c := 0; c <= 1; c++ {
+		if c != w.target {
+			buf = append(buf, Event{Kind: EvFlip, A: c})
+		}
+	}
+	for i := range w.insts {
+		in := &w.insts[i]
+		if !in.up || !in.elect.Leading() {
+			continue
+		}
+		for slot := range w.prox {
+			want := w.wantActive(slot)
+			pe, k := slot/w.opt.K, slot%w.opt.K
+			if in.seqr.WouldSend(pe, k, want, w.now) {
+				buf = append(buf,
+					Event{Kind: EvDeliver, A: i, B: slot},
+					Event{Kind: EvDropCmd, A: i, B: slot},
+					Event{Kind: EvDropAck, A: i, B: slot})
+			} else if in.seqr.Superseded(pe, k, want) {
+				buf = append(buf, Event{Kind: EvDeliver, A: i, B: slot})
+			}
+		}
+	}
+	return buf
+}

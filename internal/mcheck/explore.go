@@ -1,0 +1,173 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"laar/internal/chaos"
+	"laar/internal/controlplane"
+)
+
+// Counterexample is a violating schedule: the exact event sequence that
+// drives the initial world into a state breaching a per-state invariant.
+type Counterexample struct {
+	Options   Options         `json:"options"`
+	Events    []Event         `json:"events"`
+	Invariant string          `json:"invariant"`
+	Detail    string          `json:"detail"`
+	violation chaos.Violation // populated when produced in-process
+}
+
+// String renders the counterexample for reports.
+func (c *Counterexample) String() string {
+	s := fmt.Sprintf("%s after %d events: %s\n", c.Invariant, len(c.Events), c.Detail)
+	for i, e := range c.Events {
+		s += fmt.Sprintf("  %2d. %s\n", i+1, e)
+	}
+	return s
+}
+
+// Result is the outcome of one bounded exhaustive exploration.
+type Result struct {
+	Options Options
+	// Explored counts state expansions; Unique counts distinct canonical
+	// fingerprints; Pruned counts branches cut because the reached state was
+	// already visited with at least as much remaining depth budget.
+	Explored, Unique, Pruned int
+	// Deepest is the longest event path reached.
+	Deepest int
+	// Truncated reports the MaxStates cap stopped the exploration before it
+	// was exhaustive.
+	Truncated bool
+	// Counterexample is the first violating schedule found, nil when every
+	// reachable state within the depth bound satisfies the registry.
+	Counterexample *Counterexample
+}
+
+// Err returns nil when the exploration completed without a violation.
+func (r *Result) Err() error {
+	if r.Counterexample != nil {
+		return fmt.Errorf("mcheck: %s", r.Counterexample)
+	}
+	return nil
+}
+
+// Explore runs the bounded exhaustive DFS: every interleaving of enabled
+// events up to opt.Depth, with visited-state pruning on the canonical
+// fingerprint. A state revisited with strictly more remaining depth than
+// before is re-expanded, so pruning never hides a deeper violation. The
+// first violating state aborts the search with its counterexample.
+func Explore(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	w := newWorld(opt)
+	res := &Result{Options: opt}
+	f := controlplane.NewFingerprint()
+
+	// Per-depth reusable buffers: a snapshot to rewind to between siblings,
+	// a view for the invariant transition check, an event enumeration.
+	snaps := make([]*wsnap, opt.Depth)
+	views := make([]*chaos.CPView, opt.Depth+1)
+	evbufs := make([][]Event, opt.Depth)
+	for i := range snaps {
+		snaps[i] = newSnap(opt)
+	}
+	for i := range views {
+		views[i] = chaos.NewCPView(opt.Instances, opt.PEs*opt.K)
+	}
+	path := make([]Event, 0, opt.Depth)
+
+	fail := func(v chaos.Violation) {
+		res.Counterexample = &Counterexample{
+			Options:   opt,
+			Events:    append([]Event(nil), path...),
+			Invariant: v.Invariant,
+			Detail:    v.Err.Error(),
+			violation: v,
+		}
+	}
+
+	w.fillView(views[0])
+	if vs := chaos.CheckCPStep(nil, views[0]); len(vs) > 0 {
+		fail(vs[0])
+		return res, nil
+	}
+	seen := map[uint64]int{w.fingerprint(f): opt.Depth}
+	res.Unique = 1
+
+	// dfs expands the current world at the given depth; true aborts the
+	// whole search (counterexample found or state cap hit).
+	var dfs func(depth int) bool
+	dfs = func(depth int) bool {
+		res.Explored++
+		snaps[depth].save(w)
+		evbufs[depth] = w.appendEnabled(evbufs[depth][:0])
+		for _, e := range evbufs[depth] {
+			w.apply(e)
+			path = append(path, e)
+			if len(path) > res.Deepest {
+				res.Deepest = len(path)
+			}
+			w.fillView(views[depth+1])
+			if vs := chaos.CheckCPStep(views[depth], views[depth+1]); len(vs) > 0 {
+				fail(vs[0])
+				return true
+			}
+			fp := w.fingerprint(f)
+			remaining := opt.Depth - depth - 1
+			if prev, ok := seen[fp]; !ok || remaining > prev {
+				if !ok {
+					if opt.MaxStates > 0 && res.Unique >= opt.MaxStates {
+						res.Truncated = true
+						return true
+					}
+					res.Unique++
+				}
+				seen[fp] = remaining
+				if remaining > 0 && dfs(depth+1) {
+					return true
+				}
+			} else {
+				res.Pruned++
+			}
+			path = path[:len(path)-1]
+			snaps[depth].restore(w)
+		}
+		return false
+	}
+	dfs(0)
+	return res, nil
+}
+
+// Replay applies a schedule to a fresh world, checking the per-state
+// registry after every event. Events the current state has disabled are
+// skipped, so schedules edited by the shrinker stay replayable. It returns
+// the violations of the first violating state and the index of the event
+// that produced it (-1 when the initial state itself violates), or
+// (nil, -1) for a clean replay.
+func Replay(opt Options, events []Event) ([]chaos.Violation, int, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, 0, err
+	}
+	w := newWorld(opt)
+	prev := chaos.NewCPView(opt.Instances, opt.PEs*opt.K)
+	cur := chaos.NewCPView(opt.Instances, opt.PEs*opt.K)
+	w.fillView(prev)
+	if vs := chaos.CheckCPStep(nil, prev); len(vs) > 0 {
+		return vs, -1, nil
+	}
+	for i, e := range events {
+		if !w.enabled(e) {
+			continue
+		}
+		w.apply(e)
+		w.fillView(cur)
+		if vs := chaos.CheckCPStep(prev, cur); len(vs) > 0 {
+			return vs, i, nil
+		}
+		prev, cur = cur, prev
+	}
+	return nil, -1, nil
+}

@@ -1,0 +1,315 @@
+// Package mcheck is a bounded exhaustive model checker for the
+// control-plane kernel: it explores every interleaving of instance
+// crashes, recoveries, link cuts, command deliveries and losses, target
+// flips and clock ticks over a small deployment of the pure controlplane
+// machines (lease electors, command sequencers, replica proxies, the
+// fail-safe tracker), checking the per-state invariant registry of
+// internal/chaos at every reachable state.
+//
+// Tractability comes from canonical state hashing: states are fingerprinted
+// through the machines' time-shift-invariant hashes (heartbeat ages clamped
+// at the TTL, retransmission waits clamped at the backoff ceiling), so
+// states reached by different event orders — or at different absolute
+// depths — collapse into one visited-set entry. Small-scope exploration of
+// 2–3 instances to modest depth covers the interleavings that matter for
+// the protocol's safety arguments: the paper's HAController correctness
+// rests on exactly these machines.
+package mcheck
+
+import (
+	"fmt"
+
+	"laar/internal/chaos"
+	"laar/internal/controlplane"
+)
+
+// Fault selects a deliberate kernel bug to inject into the explored world —
+// the checker's own self-test: every fault must yield a counterexample, and
+// the shrinker must reduce it to a 1-minimal schedule.
+type Fault int
+
+const (
+	// FaultNone explores the correct kernel.
+	FaultNone Fault = iota
+	// FaultCrashKeepsPending makes a crashing leader keep its in-flight
+	// commands instead of dropping them — no-zombie-commands must fire.
+	FaultCrashKeepsPending
+	// FaultClaimAdoptsSeen makes a claiming instance adopt the watermark
+	// ballot verbatim instead of claiming strictly above it with its own id
+	// — ballot-holder must fire.
+	FaultClaimAdoptsSeen
+)
+
+// String names the fault for reports and artifacts.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultCrashKeepsPending:
+		return "crash-keeps-pending"
+	case FaultClaimAdoptsSeen:
+		return "claim-adopts-seen"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ParseFault resolves a fault name from the CLI.
+func ParseFault(s string) (Fault, error) {
+	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen} {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("mcheck: unknown fault %q", s)
+}
+
+// Options sizes the explored world. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// Instances is the number of controller instances (2–3 is the useful
+	// small-scope range; the state space grows steeply beyond).
+	Instances int `json:"instances"`
+	// PEs and K shape the replica side: PEs × K proxy slots.
+	PEs int `json:"pes"`
+	K   int `json:"k"`
+	// Depth bounds the schedule length in events.
+	Depth int `json:"depth"`
+	// MaxStates caps the visited-state set; 0 is unlimited. When the cap is
+	// hit the exploration reports Truncated instead of exhaustiveness.
+	MaxStates int `json:"maxStates,omitempty"`
+	// TTL is the lease TTL in ticks; RetryMin/RetryMax the retransmission
+	// backoff band; FailSafe the replica-side silence horizon in ticks.
+	TTL      int64 `json:"ttl"`
+	RetryMin int64 `json:"retryMin"`
+	RetryMax int64 `json:"retryMax"`
+	FailSafe int64 `json:"failSafe"`
+	// Fault injects a deliberate kernel bug (see Fault).
+	Fault Fault `json:"fault,omitempty"`
+}
+
+// DefaultOptions is the smallest world that exercises every machine: two
+// instances, one PE with two replicas, and timing constants compressed so
+// lease expiry, retransmission backoff and the fail-safe horizon are all
+// reachable within a depth-8 schedule.
+func DefaultOptions() Options {
+	return Options{
+		Instances: 2,
+		PEs:       1,
+		K:         2,
+		Depth:     8,
+		TTL:       3,
+		RetryMin:  1,
+		RetryMax:  2,
+		FailSafe:  4,
+	}
+}
+
+// withDefaults fills zero fields from DefaultOptions.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Instances == 0 {
+		o.Instances = d.Instances
+	}
+	if o.PEs == 0 {
+		o.PEs = d.PEs
+	}
+	if o.K == 0 {
+		o.K = d.K
+	}
+	if o.Depth == 0 {
+		o.Depth = d.Depth
+	}
+	if o.TTL == 0 {
+		o.TTL = d.TTL
+	}
+	if o.RetryMin == 0 {
+		o.RetryMin = d.RetryMin
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = d.RetryMax
+	}
+	if o.FailSafe == 0 {
+		o.FailSafe = d.FailSafe
+	}
+	return o
+}
+
+// validate rejects unusable shapes.
+func (o Options) validate() error {
+	switch {
+	case o.Instances < 1 || o.Instances > controlplane.MaxControllers:
+		return fmt.Errorf("mcheck: instances %d outside [1, %d]", o.Instances, controlplane.MaxControllers)
+	case o.PEs < 1 || o.K < 1:
+		return fmt.Errorf("mcheck: need at least one PE and one replica (got %d×%d)", o.PEs, o.K)
+	case o.Depth < 1:
+		return fmt.Errorf("mcheck: non-positive depth %d", o.Depth)
+	case o.TTL < 1 || o.RetryMin < 1 || o.RetryMax < o.RetryMin:
+		return fmt.Errorf("mcheck: bad timing (ttl=%d retry=[%d,%d])", o.TTL, o.RetryMin, o.RetryMax)
+	case o.FailSafe < 1:
+		return fmt.Errorf("mcheck: non-positive fail-safe horizon %d", o.FailSafe)
+	}
+	return nil
+}
+
+// winst is one controller instance of the explored world.
+type winst struct {
+	up    bool
+	elect *controlplane.LeaseElector
+	seqr  *controlplane.CommandSequencer
+}
+
+// world is the complete explored state: the controller instances, the
+// instance↔instance link matrix, the replica proxies with their activation
+// bits, the fail-safe tracker, and the wanted activation target.
+type world struct {
+	opt    Options
+	now    int64
+	target int // wanted configuration: 0 = all active, 1 = only replica 0 of each PE
+	insts  []winst
+	cut    []bool // flattened Instances×Instances link-cut matrix
+	prox   []controlplane.ProxyState
+	active []bool
+	fs     *controlplane.FailSafeTracker[int64]
+}
+
+// newWorld builds the initial state: every instance up, all links intact,
+// every replica inactive with a zero proxy, no leader yet.
+func newWorld(opt Options) *world {
+	w := &world{
+		opt:    opt,
+		insts:  make([]winst, opt.Instances),
+		cut:    make([]bool, opt.Instances*opt.Instances),
+		prox:   make([]controlplane.ProxyState, opt.PEs*opt.K),
+		active: make([]bool, opt.PEs*opt.K),
+		fs:     controlplane.NewFailSafeTracker[int64](opt.FailSafe, 0),
+	}
+	policy := controlplane.RetryPolicy{Min: opt.RetryMin, Max: opt.RetryMax}
+	for i := range w.insts {
+		w.insts[i] = winst{
+			up:    true,
+			elect: controlplane.NewLeaseElector(i, opt.Instances, opt.TTL, 0),
+			seqr:  controlplane.NewCommandSequencer(opt.PEs, opt.K, policy),
+		}
+	}
+	return w
+}
+
+// wantActive is the activation strategy: target 0 activates every replica,
+// target 1 only replica 0 of each PE — the flip that forces real
+// (de)activation commands through the sequencer.
+func (w *world) wantActive(slot int) bool {
+	return w.target == 0 || slot%w.opt.K == 0
+}
+
+// cutAt reads the link matrix.
+func (w *world) cutAt(i, j int) bool { return w.cut[i*w.opt.Instances+j] }
+
+// setCut writes both directions of the link matrix.
+func (w *world) setCut(i, j int, v bool) {
+	w.cut[i*w.opt.Instances+j] = v
+	w.cut[j*w.opt.Instances+i] = v
+}
+
+// anyUpLeader reports whether some up instance currently leads.
+func (w *world) anyUpLeader() bool {
+	for i := range w.insts {
+		if w.insts[i].up && w.insts[i].elect.Leading() {
+			return true
+		}
+	}
+	return false
+}
+
+// fillView projects the world into a chaos.CPView for invariant checking.
+func (w *world) fillView(v *chaos.CPView) {
+	v.Now = w.now
+	for i := range w.insts {
+		in := &w.insts[i]
+		v.Instances[i] = chaos.CPInstanceView{
+			Up: in.up, Leading: in.elect.Leading(),
+			Epoch: in.elect.Epoch(), MaxSeen: in.elect.MaxSeen(),
+			SeqEpoch: in.seqr.Epoch(), Pending: in.seqr.Pending(),
+		}
+	}
+	copy(v.Proxies, w.prox)
+	fs := w.fs.Snapshot()
+	v.FailSafeEngaged, v.FailSafeHorizon, v.FailSafeLastContact = fs.Engaged, fs.Horizon, fs.LastContact
+}
+
+// fingerprint hashes the world's canonical state: every component is hashed
+// through its time-shift-invariant form, so two worlds that differ only by
+// a uniform clock shift (and by ages beyond their clamping horizons) merge.
+func (w *world) fingerprint(f *controlplane.Fingerprint) uint64 {
+	f.Reset()
+	f.I64(int64(w.target))
+	for i := range w.insts {
+		in := &w.insts[i]
+		f.Bool(in.up)
+		in.elect.Hash(f, w.now)
+		in.seqr.Hash(f, w.now)
+	}
+	for _, c := range w.cut {
+		f.Bool(c)
+	}
+	for _, p := range w.prox {
+		p.Hash(f)
+	}
+	for _, a := range w.active {
+		f.Bool(a)
+	}
+	controlplane.HashFailSafe(f, w.fs.Snapshot(), w.now)
+	return f.Sum()
+}
+
+// wsnap is a reusable world snapshot for branch-and-restore exploration.
+type wsnap struct {
+	now    int64
+	target int
+	up     []bool
+	elect  []controlplane.LeaseSnapshot
+	seqr   []controlplane.SequencerSnapshot
+	cut    []bool
+	prox   []controlplane.ProxyState
+	active []bool
+	fs     controlplane.FailSafeSnapshot[int64]
+}
+
+// newSnap allocates a snapshot sized for the world.
+func newSnap(opt Options) *wsnap {
+	return &wsnap{
+		up:     make([]bool, opt.Instances),
+		elect:  make([]controlplane.LeaseSnapshot, opt.Instances),
+		seqr:   make([]controlplane.SequencerSnapshot, opt.Instances),
+		cut:    make([]bool, opt.Instances*opt.Instances),
+		prox:   make([]controlplane.ProxyState, opt.PEs*opt.K),
+		active: make([]bool, opt.PEs*opt.K),
+	}
+}
+
+// save captures the world into the snapshot, reusing its buffers.
+func (s *wsnap) save(w *world) {
+	s.now, s.target = w.now, w.target
+	for i := range w.insts {
+		s.up[i] = w.insts[i].up
+		w.insts[i].elect.SnapshotInto(&s.elect[i])
+		w.insts[i].seqr.SnapshotInto(&s.seqr[i])
+	}
+	copy(s.cut, w.cut)
+	copy(s.prox, w.prox)
+	copy(s.active, w.active)
+	s.fs = w.fs.Snapshot()
+}
+
+// restore rewinds the world to the snapshot.
+func (s *wsnap) restore(w *world) {
+	w.now, w.target = s.now, s.target
+	for i := range w.insts {
+		w.insts[i].up = s.up[i]
+		w.insts[i].elect.Restore(s.elect[i])
+		w.insts[i].seqr.Restore(s.seqr[i])
+	}
+	copy(w.cut, s.cut)
+	copy(w.prox, s.prox)
+	copy(w.active, s.active)
+	w.fs.Restore(s.fs)
+}

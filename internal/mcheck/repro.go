@@ -1,0 +1,112 @@
+package mcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"laar/internal/chaos"
+)
+
+// Repro kinds.
+const (
+	// ReproMCheck replays an explorer counterexample (Options + Events).
+	ReproMCheck = "mcheck"
+	// ReproModel replays a chaos-model schedule (Scenario + Schedule).
+	ReproModel = "model"
+)
+
+// Repro is a replayable violation artifact — the file `laarchaos -repro`
+// writes and `laarchaos -replay` consumes. Kind selects which payload is
+// set.
+type Repro struct {
+	Kind      string `json:"kind"`
+	Invariant string `json:"invariant,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	// MCheck is the explorer payload (kind "mcheck").
+	MCheck *Counterexample `json:"mcheck,omitempty"`
+	// Model is the sampled-model payload (kind "model").
+	Model *ModelRepro `json:"model,omitempty"`
+}
+
+// ModelRepro is the sampled-model payload: the scenario that sizes the
+// system and the (possibly shrunk) schedule to replay against it.
+type ModelRepro struct {
+	Scenario chaos.Scenario  `json:"scenario"`
+	Schedule *chaos.Schedule `json:"schedule"`
+}
+
+// SaveRepro writes the artifact as indented JSON.
+func SaveRepro(path string, r *Repro) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mcheck: marshal repro: %w", err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadRepro reads and validates an artifact.
+func LoadRepro(path string) (*Repro, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("mcheck: parse repro %s: %w", path, err)
+	}
+	switch r.Kind {
+	case ReproMCheck:
+		if r.MCheck == nil {
+			return nil, fmt.Errorf("mcheck: repro %s: kind %q without mcheck payload", path, r.Kind)
+		}
+	case ReproModel:
+		if r.Model == nil || r.Model.Schedule == nil {
+			return nil, fmt.Errorf("mcheck: repro %s: kind %q without model payload", path, r.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("mcheck: repro %s: unknown kind %q", path, r.Kind)
+	}
+	return &r, nil
+}
+
+// ReproFromCounterexample wraps an explorer counterexample as an artifact.
+func ReproFromCounterexample(c *Counterexample) *Repro {
+	return &Repro{Kind: ReproMCheck, Invariant: c.Invariant, Detail: c.Detail, MCheck: c}
+}
+
+// ReproFromModel wraps a failing model schedule as an artifact.
+func ReproFromModel(sc chaos.Scenario, sched *chaos.Schedule, detail string) *Repro {
+	return &Repro{
+		Kind:   ReproModel,
+		Detail: detail,
+		Model:  &ModelRepro{Scenario: sc, Schedule: sched},
+	}
+}
+
+// ReplayRepro replays an artifact and returns a human-readable verdict:
+// the reproduced violation, or an error when the artifact no longer
+// reproduces (the bug it captured is fixed).
+func ReplayRepro(r *Repro) (string, error) {
+	switch r.Kind {
+	case ReproMCheck:
+		vs, at, err := Replay(r.MCheck.Options, r.MCheck.Events)
+		if err != nil {
+			return "", err
+		}
+		if len(vs) == 0 {
+			return "", fmt.Errorf("mcheck: artifact no longer reproduces (%d events replay clean)", len(r.MCheck.Events))
+		}
+		return fmt.Sprintf("reproduced %s at event %d/%d: %v", vs[0].Invariant, at+1, len(r.MCheck.Events), vs[0].Err), nil
+	case ReproModel:
+		mr, err := chaos.ModelReplay(r.Model.Scenario, cloneSchedule(r.Model.Schedule))
+		if err != nil {
+			return "", err
+		}
+		if mr.Err() == nil {
+			return "", fmt.Errorf("mcheck: artifact no longer reproduces (model replay clean)")
+		}
+		return fmt.Sprintf("reproduced model failure: %v", mr.Err()), nil
+	}
+	return "", fmt.Errorf("mcheck: unknown repro kind %q", r.Kind)
+}

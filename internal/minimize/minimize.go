@@ -1,0 +1,76 @@
+// Package minimize implements delta debugging (Zeller & Hildebrandt's
+// ddmin): given a failing sequence and a deterministic failure predicate,
+// it returns a 1-minimal subsequence — one from which no single element can
+// be removed without losing the failure. The chaos shrinker and the
+// exhaustive explorer use it to reduce violating schedules to the shortest
+// event prefix that still reproduces the violation.
+package minimize
+
+// Minimize returns a 1-minimal subsequence of items that still satisfies
+// failing, preserving relative order. failing must be deterministic and
+// must hold for items itself; when it does not, items is returned
+// unchanged. The empty candidate is probed like any other, so a failure
+// that needs no events at all minimises to nil.
+func Minimize[E any](items []E, failing func([]E) bool) []E {
+	cur := append([]E(nil), items...)
+	if !failing(cur) {
+		return cur
+	}
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			// Try the complement of cur[start:end].
+			cand := make([]E, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if failing(cand) {
+				cur = cand
+				n = n - 1
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // single-element granularity exhausted: 1-minimal
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	if len(cur) == 1 {
+		if empty := []E{}; failing(empty) {
+			return nil
+		}
+	}
+	return cur
+}
+
+// IsOneMinimal reports whether removing any single element of items makes
+// failing stop holding — the property Minimize guarantees for its result.
+// It probes len(items) candidates; use it in tests, not hot paths.
+func IsOneMinimal[E any](items []E, failing func([]E) bool) bool {
+	if !failing(items) {
+		return false
+	}
+	for i := range items {
+		cand := make([]E, 0, len(items)-1)
+		cand = append(cand, items[:i]...)
+		cand = append(cand, items[i+1:]...)
+		if failing(cand) {
+			return false
+		}
+	}
+	return true
+}

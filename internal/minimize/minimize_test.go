@@ -1,0 +1,86 @@
+package minimize
+
+import (
+	"reflect"
+	"testing"
+)
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMinimizePair(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	failing := func(s []int) bool { return contains(s, 3) && contains(s, 7) }
+	got := Minimize(items, failing)
+	if !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("Minimize = %v, want [3 7]", got)
+	}
+	if !IsOneMinimal(got, failing) {
+		t.Fatalf("result %v not 1-minimal", got)
+	}
+}
+
+func TestMinimizeSingle(t *testing.T) {
+	items := []int{5, 1, 9, 2}
+	failing := func(s []int) bool { return contains(s, 9) }
+	if got := Minimize(items, failing); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("Minimize = %v, want [9]", got)
+	}
+}
+
+func TestMinimizeOrderDependent(t *testing.T) {
+	// The failure needs 2 before 6 — order must be preserved.
+	items := []int{4, 2, 8, 6, 1}
+	failing := func(s []int) bool {
+		i2, i6 := -1, -1
+		for i, v := range s {
+			if v == 2 {
+				i2 = i
+			}
+			if v == 6 {
+				i6 = i
+			}
+		}
+		return i2 >= 0 && i6 > i2
+	}
+	got := Minimize(items, failing)
+	if !reflect.DeepEqual(got, []int{2, 6}) {
+		t.Fatalf("Minimize = %v, want [2 6]", got)
+	}
+}
+
+func TestMinimizeAlwaysFailing(t *testing.T) {
+	if got := Minimize([]int{1, 2, 3}, func([]int) bool { return true }); got != nil {
+		t.Fatalf("Minimize of an unconditionally failing predicate = %v, want nil", got)
+	}
+}
+
+func TestMinimizeNotFailing(t *testing.T) {
+	items := []int{1, 2, 3}
+	if got := Minimize(items, func([]int) bool { return false }); !reflect.DeepEqual(got, items) {
+		t.Fatalf("Minimize of a passing input = %v, want input unchanged", got)
+	}
+}
+
+func TestMinimizeContiguousBlock(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	failing := func(s []int) bool {
+		return contains(s, 20) && contains(s, 21) && contains(s, 22)
+	}
+	got := Minimize(items, failing)
+	if !reflect.DeepEqual(got, []int{20, 21, 22}) {
+		t.Fatalf("Minimize = %v, want [20 21 22]", got)
+	}
+	if !IsOneMinimal(got, failing) {
+		t.Fatalf("result %v not 1-minimal", got)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"laar/internal/ftsearch"
 	"laar/internal/fusion"
 	"laar/internal/live"
+	"laar/internal/mcheck"
 	"laar/internal/ops"
 	"laar/internal/placement"
 	"laar/internal/profile"
@@ -655,3 +656,88 @@ func ChaosClasses() []ChaosClass { return chaos.Classes() }
 
 // ParseChaosClass resolves a schedule-class name ("host-crash", "mixed", ...).
 func ParseChaosClass(name string) (ChaosClass, error) { return chaos.ParseClass(name) }
+
+// Exhaustive model checking (see internal/mcheck): bounded exhaustive
+// exploration of the control-plane kernel with canonical-state pruning,
+// counterexample shrinking, and replayable repro artifacts.
+type (
+	// MCheckOptions sizes the explored control-plane world.
+	MCheckOptions = mcheck.Options
+	// MCheckResult is the outcome of one bounded exhaustive exploration.
+	MCheckResult = mcheck.Result
+	// MCheckCounterexample is a violating event schedule.
+	MCheckCounterexample = mcheck.Counterexample
+	// MCheckEvent is one transition of the explored world.
+	MCheckEvent = mcheck.Event
+	// MCheckFault selects a deliberate kernel bug to inject.
+	MCheckFault = mcheck.Fault
+	// MCheckRepro is a replayable violation artifact.
+	MCheckRepro = mcheck.Repro
+)
+
+// Injectable kernel faults.
+const (
+	MCheckFaultNone              = mcheck.FaultNone
+	MCheckFaultCrashKeepsPending = mcheck.FaultCrashKeepsPending
+	MCheckFaultClaimAdoptsSeen   = mcheck.FaultClaimAdoptsSeen
+)
+
+// DefaultMCheckOptions returns the default small-scope exploration shape.
+func DefaultMCheckOptions() MCheckOptions { return mcheck.DefaultOptions() }
+
+// ExhaustiveCheck explores every interleaving of control-plane events up
+// to the depth bound, checking the per-state invariant registry at every
+// reachable state, with visited-state pruning on canonical fingerprints.
+func ExhaustiveCheck(opt MCheckOptions) (*MCheckResult, error) { return mcheck.Explore(opt) }
+
+// ReplayMCheck replays an event schedule and returns the violations of the
+// first violating state, with the index of the violating event.
+func ReplayMCheck(opt MCheckOptions, events []MCheckEvent) ([]ChaosViolation, int, error) {
+	return mcheck.Replay(opt, events)
+}
+
+// ShrinkMCheck minimises a counterexample to a 1-minimal event schedule
+// over a minimised world (fewer instances, smaller replica shape, lower
+// timing constants) that still replays to the same invariant violation.
+func ShrinkMCheck(opt MCheckOptions, events []MCheckEvent, invariant string) (MCheckOptions, []MCheckEvent) {
+	return mcheck.Shrink(opt, events, invariant)
+}
+
+// ShrinkModelChaos minimises a failing chaos-model schedule while
+// preserving its failure signature, returning the shrunk schedule and its
+// replay outcome.
+func ShrinkModelChaos(sc ChaosScenario, sched *ChaosSchedule) (*ChaosSchedule, *ChaosModelResult, error) {
+	return mcheck.ShrinkModel(sc, sched)
+}
+
+// ReplayModelChaos replays a provided schedule (typically loaded from a
+// repro artifact) against the control-plane model instead of regenerating
+// it from the scenario seed.
+func ReplayModelChaos(sc ChaosScenario, sched *ChaosSchedule) (*ChaosModelResult, error) {
+	return chaos.ModelReplay(sc, sched)
+}
+
+// SaveMCheckRepro writes a replayable violation artifact as JSON.
+func SaveMCheckRepro(path string, r *MCheckRepro) error { return mcheck.SaveRepro(path, r) }
+
+// LoadMCheckRepro reads and validates a violation artifact.
+func LoadMCheckRepro(path string) (*MCheckRepro, error) { return mcheck.LoadRepro(path) }
+
+// ReplayMCheckRepro replays an artifact and reports the reproduced
+// violation, or an error when it no longer reproduces.
+func ReplayMCheckRepro(r *MCheckRepro) (string, error) { return mcheck.ReplayRepro(r) }
+
+// MCheckReproFromCounterexample wraps an explorer counterexample as an
+// artifact; MCheckReproFromModel wraps a failing model schedule.
+func MCheckReproFromCounterexample(c *MCheckCounterexample) *MCheckRepro {
+	return mcheck.ReproFromCounterexample(c)
+}
+
+// MCheckReproFromModel wraps a failing model schedule as an artifact.
+func MCheckReproFromModel(sc ChaosScenario, sched *ChaosSchedule, detail string) *MCheckRepro {
+	return mcheck.ReproFromModel(sc, sched, detail)
+}
+
+// ParseMCheckFault resolves an injectable fault name ("none",
+// "crash-keeps-pending", "claim-adopts-seen").
+func ParseMCheckFault(name string) (MCheckFault, error) { return mcheck.ParseFault(name) }
