@@ -21,11 +21,16 @@ import (
 // Wall-clock is not comparable across hosts, so ns/op ratios are first
 // normalized by the suite-wide median current/baseline ratio (which absorbs
 // a uniformly faster or slower machine) and only benchmarks that drift
-// beyond NsFrac of that median are reported — as warnings, not failures.
+// beyond NsFrac of that median are reported — as warnings by default.
+// NsFailFrac, when positive, promotes normalized drift past it to a hard
+// failure: an opt-in gate for environments (pinned CI runners, laboratory
+// hosts) where the median normalization makes wall-clock comparable enough
+// to block merges on.
 type DriftConfig struct {
 	AllocsFrac float64
 	AllocsAbs  float64
 	NsFrac     float64
+	NsFailFrac float64
 }
 
 // DriftFinding is one benchmark that moved past a drift threshold.
@@ -140,7 +145,13 @@ func compareReports(base, cur *Report, cfg DriftConfig) (hard, warn []DriftFindi
 			continue
 		}
 		norm := (p.c.NsPerOp / p.b.NsPerOp) / med
-		if norm > 1+cfg.NsFrac {
+		switch {
+		case cfg.NsFailFrac > 0 && norm > 1+cfg.NsFailFrac:
+			hard = append(hard, DriftFinding{
+				Name: p.c.Name, Package: p.c.Package, Metric: "ns/op (normalized)",
+				Base: 1, Cur: norm, Limit: 1 + cfg.NsFailFrac, Hard: true,
+			})
+		case norm > 1+cfg.NsFrac:
 			warn = append(warn, DriftFinding{
 				Name: p.c.Name, Package: p.c.Package, Metric: "ns/op (normalized)",
 				Base: 1, Cur: norm, Limit: 1 + cfg.NsFrac,
@@ -190,7 +201,7 @@ func checkDrift(rep *Report, dir, exclude string, cfg DriftConfig) error {
 		for _, f := range hard {
 			fmt.Fprintf(os.Stderr, "laarbench: drift FAILURE vs %s: %s\n", filepath.Base(path), f)
 		}
-		return fmt.Errorf("%d benchmark(s) regressed allocations vs baseline %s", len(hard), filepath.Base(path))
+		return fmt.Errorf("%d benchmark(s) regressed vs baseline %s", len(hard), filepath.Base(path))
 	}
 	fmt.Fprintf(os.Stderr, "laarbench: drift check vs %s: %d matched, %d warnings, no regressions\n",
 		filepath.Base(path), matchedCount(base, rep), len(warn))

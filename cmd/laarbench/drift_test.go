@@ -110,13 +110,66 @@ func TestDriftNsNormalization(t *testing.T) {
 	)
 	hard, warn = compareReports(base, skewed, defaultCfg)
 	if len(hard) != 0 {
-		t.Fatalf("ns drift must never hard-fail: %v", hard)
+		t.Fatalf("ns drift must not hard-fail with the gate disabled: %v", hard)
 	}
 	if len(warn) != 1 || warn[0].Name != "BenchmarkD" {
 		t.Fatalf("warnings = %v, want exactly BenchmarkD", warn)
 	}
 	if warn[0].Hard {
 		t.Error("ns warning marked hard")
+	}
+}
+
+// TestDriftNsHardGate exercises the opt-in -drift-fail-ns gate: with
+// NsFailFrac set, normalized drift beyond it becomes a hard failure while
+// drift between NsFrac and NsFailFrac stays a warning, and the median
+// normalization still forgives a uniformly slower host.
+func TestDriftNsHardGate(t *testing.T) {
+	cfg := DriftConfig{AllocsFrac: 0.10, AllocsAbs: 8, NsFrac: 0.30, NsFailFrac: 0.60}
+	base := rep(
+		entry("BenchmarkA", "laar", 100, 0),
+		entry("BenchmarkB", "laar", 200, 0),
+		entry("BenchmarkC", "laar", 300, 0),
+		entry("BenchmarkD", "laar", 400, 0),
+		entry("BenchmarkE", "laar", 500, 0),
+	)
+	// Host uniformly 3x slower; D drifts 1.5x against the suite (warn band),
+	// E drifts 2x (past the 1.6 hard limit).
+	cur := rep(
+		entry("BenchmarkA", "laar", 300, 0),
+		entry("BenchmarkB", "laar", 600, 0),
+		entry("BenchmarkC", "laar", 900, 0),
+		entry("BenchmarkD", "laar", 1800, 0),
+		entry("BenchmarkE", "laar", 3000, 0),
+	)
+	hard, warn := compareReports(base, cur, cfg)
+	if len(hard) != 1 || hard[0].Name != "BenchmarkE" || !hard[0].Hard {
+		t.Fatalf("hard findings = %v, want exactly BenchmarkE", hard)
+	}
+	if hard[0].Metric != "ns/op (normalized)" || hard[0].Limit != 1.6 {
+		t.Errorf("hard finding misclassified: %+v", hard[0])
+	}
+	if len(warn) != 1 || warn[0].Name != "BenchmarkD" {
+		t.Fatalf("warnings = %v, want exactly BenchmarkD", warn)
+	}
+}
+
+// TestEnforceCeilingsHugeCell verifies every BenchmarkHugeCell shard-count
+// sub-benchmark is held to the DoTick allocation ceiling.
+func TestEnforceCeilingsHugeCell(t *testing.T) {
+	ok := rep(
+		entry("BenchmarkHugeCell/shards=1", "laar/internal/engine", 100, 0),
+		entry("BenchmarkHugeCell/shards=4", "laar/internal/engine", 100, maxDoTickAllocs),
+	)
+	if err := enforceCeilings(ok, maxDoTickAllocs, maxSimTickAllocs); err != nil {
+		t.Fatalf("at-ceiling report rejected: %v", err)
+	}
+	bad := rep(
+		entry("BenchmarkHugeCell/shards=1", "laar/internal/engine", 100, 0),
+		entry("BenchmarkHugeCell/shards=4", "laar/internal/engine", 100, maxDoTickAllocs+1),
+	)
+	if err := enforceCeilings(bad, maxDoTickAllocs, maxSimTickAllocs); err == nil {
+		t.Fatal("sharded tick allocation regression passed the ceiling gate")
 	}
 }
 

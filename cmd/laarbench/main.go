@@ -112,6 +112,7 @@ func main() {
 		allocsFrac = flag.Float64("drift-allocs-frac", 0.10, "fractional allocs/op headroom over the baseline before the drift gate fails")
 		allocsAbs  = flag.Float64("drift-allocs-abs", 8, "absolute allocs/op headroom added on top of the fractional one")
 		nsFrac     = flag.Float64("drift-ns-frac", 0.30, "warn when a benchmark's median-normalized ns/op ratio drifts beyond this fraction")
+		nsFail     = flag.Float64("drift-fail-ns", 0, "fail (not just warn) when a benchmark's median-normalized ns/op ratio drifts beyond this fraction; 0 disables the hard gate — opt in on pinned runners only")
 		skipDrift  = flag.Bool("skip-drift", false, "skip the cross-baseline drift check")
 	)
 	flag.Parse()
@@ -158,7 +159,7 @@ func main() {
 		fatal(err)
 	}
 	if !*skipDrift && len(rep.Benchmarks) > 0 {
-		cfg := DriftConfig{AllocsFrac: *allocsFrac, AllocsAbs: *allocsAbs, NsFrac: *nsFrac}
+		cfg := DriftConfig{AllocsFrac: *allocsFrac, AllocsAbs: *allocsAbs, NsFrac: *nsFrac, NsFailFrac: *nsFail}
 		if err := checkDrift(rep, *driftDir, *out, cfg); err != nil {
 			fatal(err)
 		}
@@ -316,11 +317,18 @@ func timeMatrix(corpus []*experiments.AppRun, workers, reps int) (time.Duration,
 }
 
 // enforceCeilings applies the checked-in regression gates to the report.
+// BenchmarkHugeCell sub-benchmarks share BenchmarkDoTick's ceiling: the
+// sharded tick must stay allocation-free at every shard count, on the
+// 120k-replica corpus as much as on the default deployment.
 func enforceCeilings(rep *Report, maxTickAllocs, maxSimTickAllocs float64) error {
 	for _, e := range rep.Benchmarks {
 		if e.Name == "BenchmarkDoTick" && e.AllocsPerOp > maxTickAllocs {
 			return fmt.Errorf("BenchmarkDoTick allocates %.0f objects/op, ceiling is %.0f — the engine hot path regressed",
 				e.AllocsPerOp, maxTickAllocs)
+		}
+		if strings.HasPrefix(e.Name, "BenchmarkHugeCell/") && e.AllocsPerOp > maxTickAllocs {
+			return fmt.Errorf("%s allocates %.0f objects/op, ceiling is %.0f — the sharded tick path regressed",
+				e.Name, e.AllocsPerOp, maxTickAllocs)
 		}
 		if e.Name == "BenchmarkSimulationTick" && e.AllocsPerOp > maxSimTickAllocs {
 			return fmt.Errorf("BenchmarkSimulationTick allocates %.0f objects per 1000-tick run, ceiling is %.0f — the monitor/sample path regressed",

@@ -49,6 +49,7 @@ func main() {
 		pes        = flag.Int("pes", 0, "synthetic application size in PEs (0 = default)")
 		hosts      = flag.Int("hosts", 0, "deployment hosts (0 = default)")
 		ctrls      = flag.Int("controllers", 0, "replicated HAController instances (0 = scenario default: 3 for ctrl-* classes, 1 otherwise)")
+		shards     = flag.Int("shards", 0, "engine shard count for invariant and diff runs; results are bit-identical at every setting (0 = serial)")
 		icTarget   = flag.Float64("ic-target", 0, "ICGreedy strategy target (0 = default)")
 		verbose    = flag.Bool("v", false, "print every run, not only violations")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,6 +122,7 @@ func main() {
 				NumHosts:    *hosts,
 				ICTarget:    *icTarget,
 				Controllers: *ctrls,
+				Shards:      *shards,
 			})
 		}
 	}

@@ -31,6 +31,7 @@ func main() {
 		glitch    = flag.Float64("glitch", 0, "source-rate glitch amplitude in [0, 1)")
 		seed      = flag.Int64("seed", 0, "glitch noise seed")
 		ctrls     = flag.Int("controllers", 1, "replicated HAController instances (ctrl-crash needs at least 1; the leader crash fails over to a standby when one exists)")
+		shards    = flag.Int("shards", 0, "engine shard count; results are bit-identical at every setting (0 = serial)")
 	)
 	flag.Parse()
 	if *descPath == "" {
@@ -78,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sim, err := laar.NewSimulation(d, asg, strat, tr, laar.SimConfig{GlitchAmplitude: *glitch, Seed: *seed, Controllers: *ctrls})
+	sim, err := laar.NewSimulation(d, asg, strat, tr, laar.SimConfig{GlitchAmplitude: *glitch, Seed: *seed, Controllers: *ctrls, Shards: *shards})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,186 @@
+package appgen
+
+import (
+	"fmt"
+
+	"laar/internal/core"
+)
+
+// HugeCellParams configures the huge-cell corpus generator: one
+// production-shaped cell (a single application with up to ~10⁶
+// PE-replicas across thousands of hosts) rather than the paper's corpus
+// of many small cells. Zero fields take the documented defaults.
+type HugeCellParams struct {
+	// NumPEs is the number of processing elements. With the default
+	// replication of 2 the default of 60_000 PEs yields 120_000 deployed
+	// PE-replicas; the million-entity corpus uses 500_000. Default 60_000.
+	NumPEs int
+	// Layers is the pipeline depth: the PEs form NumPEs/Layers parallel
+	// source→…→sink chains of this length. Default 10.
+	Layers int
+	// NumHosts is the number of deployment hosts. Default sized so each
+	// host carries ~256 PE-replicas (NumPEs·Replication/256).
+	NumHosts int
+	// Replication is the per-PE replica count K. Default 2.
+	Replication int
+	// Util is the per-host CPU utilisation with every replica active in
+	// the Low configuration. Per-tuple costs are derived analytically from
+	// it (the iterative calibration of Generate would be prohibitive at
+	// this scale, and the regular topology makes the closed form exact).
+	// Default 0.55 — loaded but not overloaded, so steady-state ticks stay
+	// on the drop-free fast path.
+	Util float64
+	// HighRatio is the High/Low source-rate ratio. Util·HighRatio should
+	// stay below 1 or the High configuration overloads every host.
+	// Default 1.5.
+	HighRatio float64
+	// Rate is the Low source emission rate in tuples/s. Default 1000.
+	Rate float64
+	// HostCapacity is the per-host CPU capacity in cycles/s. Default 1e9.
+	HostCapacity float64
+}
+
+func (p HugeCellParams) withDefaults() HugeCellParams {
+	if p.NumPEs == 0 {
+		p.NumPEs = 60_000
+	}
+	if p.Layers == 0 {
+		p.Layers = 10
+	}
+	if p.Replication == 0 {
+		p.Replication = 2
+	}
+	if p.NumHosts == 0 {
+		p.NumHosts = p.NumPEs * p.Replication / 256
+		if p.NumHosts < p.Replication {
+			p.NumHosts = p.Replication
+		}
+	}
+	if p.Util == 0 {
+		p.Util = 0.55
+	}
+	if p.HighRatio == 0 {
+		p.HighRatio = 1.5
+	}
+	if p.Rate == 0 {
+		p.Rate = 1000
+	}
+	if p.HostCapacity == 0 {
+		p.HostCapacity = 1e9
+	}
+	return p
+}
+
+func (p HugeCellParams) validate() error {
+	if p.NumPEs < 1 {
+		return fmt.Errorf("appgen: huge cell needs at least 1 PE, got %d", p.NumPEs)
+	}
+	if p.Layers < 1 || p.Layers > p.NumPEs {
+		return fmt.Errorf("appgen: %d layers outside [1, %d PEs]", p.Layers, p.NumPEs)
+	}
+	if p.Replication < 1 {
+		return fmt.Errorf("appgen: replication %d below 1", p.Replication)
+	}
+	if p.NumHosts < p.Replication {
+		return fmt.Errorf("appgen: %d hosts cannot place %d anti-affine replicas", p.NumHosts, p.Replication)
+	}
+	if p.Util <= 0 || p.Util >= 1 {
+		return fmt.Errorf("appgen: Util %v outside (0, 1)", p.Util)
+	}
+	if p.HighRatio <= 1 {
+		return fmt.Errorf("appgen: HighRatio %v not above 1", p.HighRatio)
+	}
+	if p.Rate <= 0 || p.HostCapacity <= 0 {
+		return fmt.Errorf("appgen: non-positive rate (%v) or capacity (%v)", p.Rate, p.HostCapacity)
+	}
+	return nil
+}
+
+// HugeCell builds one huge single-cell application: W = NumPEs/Layers
+// parallel chains of Layers PEs, all fed by one source and draining into
+// one sink, with unit selectivities and a uniform analytic per-tuple cost
+//
+//	c = Util · HostCapacity · NumHosts / (NumPEs · K · Rate)
+//
+// so the all-active Low-configuration utilisation of every host is
+// exactly Util. Replicas are placed round-robin with a stride offset per
+// replica index — balanced to ±1 replica per host and anti-affine for
+// every PE. The topology is deliberately regular: the point of the corpus
+// is scale (the sharded engine's scaling efficiency is measured on it),
+// not graph variety, and regularity is what makes the closed-form
+// calibration exact where Generate must iterate.
+func HugeCell(p HugeCellParams) (*Generated, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cost := p.Util * p.HostCapacity * float64(p.NumHosts) /
+		(float64(p.NumPEs) * float64(p.Replication) * p.Rate)
+
+	b := core.NewBuilder(fmt.Sprintf("hugecell-%d", p.NumPEs))
+	src := b.AddSource("src")
+	sink := b.AddSink("sink")
+	pes := make([]core.ComponentID, p.NumPEs)
+	for i := range pes {
+		pes[i] = b.AddPE(fmt.Sprintf("pe%d", i))
+	}
+	// Chains of Layers PEs over contiguous index ranges; a remainder
+	// shorter than Layers forms one final short chain.
+	for head := 0; head < p.NumPEs; head += p.Layers {
+		b.Connect(src, pes[head], 1, cost)
+		end := head + p.Layers
+		if end > p.NumPEs {
+			end = p.NumPEs
+		}
+		for i := head + 1; i < end; i++ {
+			b.Connect(pes[i-1], pes[i], 1, cost)
+		}
+		b.Connect(pes[end-1], sink, 0, 0)
+	}
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	low, high := p.Rate, p.Rate*p.HighRatio
+	configs, err := core.CrossConfigs([][]float64{{low, high}}, [][]float64{{2.0 / 3.0, 1.0 / 3.0}})
+	if err != nil {
+		return nil, err
+	}
+	configs[0].Name = "Low"
+	configs[1].Name = "High"
+	d := &core.Descriptor{
+		App:           app,
+		Configs:       configs,
+		HostCapacity:  p.HostCapacity,
+		BillingPeriod: 300,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Stride placement: replica k of PE p lands on (p + k·⌊H/K⌋) mod H.
+	// The per-k offsets are distinct modulo H (anti-affinity) and each
+	// residue class is hit ⌈NumPEs/H⌉ or ⌊NumPEs/H⌋ times (balance).
+	asg := core.NewAssignment(p.NumPEs, p.Replication, p.NumHosts)
+	stride := p.NumHosts / p.Replication
+	if stride < 1 {
+		stride = 1
+	}
+	for pe := 0; pe < p.NumPEs; pe++ {
+		for k := 0; k < p.Replication; k++ {
+			asg.Host[pe][k] = (pe + k*stride) % p.NumHosts
+		}
+	}
+	if err := asg.Validate(p.Replication <= p.NumHosts); err != nil {
+		return nil, err
+	}
+
+	return &Generated{
+		Desc:       d,
+		Rates:      core.NewRates(d),
+		Assignment: asg,
+		LowCfg:     0,
+		HighCfg:    1,
+	}, nil
+}

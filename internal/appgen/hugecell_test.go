@@ -1,0 +1,100 @@
+package appgen
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// TestHugeCellAnalyticCalibration checks the closed-form cost derivation
+// delivers what Generate's iterative loop delivers for the paper corpus:
+// every host's all-active Low load sits on the utilisation target and the
+// High configuration scales it by exactly the rate ratio.
+func TestHugeCellAnalyticCalibration(t *testing.T) {
+	p := HugeCellParams{NumPEs: 2000, Layers: 8, NumHosts: 25}
+	g, err := HugeCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = p.withDefaults()
+	app := g.Desc.App
+	if app.NumPEs() != 2000 {
+		t.Fatalf("NumPEs = %d, want 2000", app.NumPEs())
+	}
+	if len(app.Sources()) != 1 || len(app.Sinks()) != 1 {
+		t.Fatalf("sources=%d sinks=%d, want 1 and 1", len(app.Sources()), len(app.Sinks()))
+	}
+	s := core.AllActive(g.Desc.NumConfigs(), app.NumPEs(), g.Assignment.K)
+	for h, load := range core.HostLoads(g.Rates, s, g.Assignment, g.LowCfg) {
+		util := load / p.HostCapacity
+		if math.Abs(util-p.Util) > 0.02 {
+			t.Fatalf("host %d Low utilisation %.4f, want %.2f ± 0.02", h, util, p.Util)
+		}
+	}
+	for h, load := range core.HostLoads(g.Rates, s, g.Assignment, g.HighCfg) {
+		util := load / p.HostCapacity
+		if math.Abs(util-p.Util*p.HighRatio) > 0.02*p.HighRatio {
+			t.Fatalf("host %d High utilisation %.4f, want %.3f", h, util, p.Util*p.HighRatio)
+		}
+	}
+}
+
+// TestHugeCellPlacement checks anti-affinity and per-host balance of the
+// stride placement.
+func TestHugeCellPlacement(t *testing.T) {
+	g, err := HugeCell(HugeCellParams{NumPEs: 999, Layers: 7, NumHosts: 31, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := g.Assignment
+	perHost := make([]int, asg.NumHosts)
+	for pe := 0; pe < asg.NumPEs(); pe++ {
+		seen := map[int]bool{}
+		for k := 0; k < asg.K; k++ {
+			h := asg.HostOf(pe, k)
+			if seen[h] {
+				t.Fatalf("PE %d places two replicas on host %d", pe, h)
+			}
+			seen[h] = true
+			perHost[h]++
+		}
+	}
+	min, max := perHost[0], perHost[0]
+	for _, n := range perHost {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > asg.K {
+		t.Fatalf("replica balance %d..%d per host drifts more than K=%d", min, max, asg.K)
+	}
+}
+
+// TestHugeCellDefaultsAndValidation pins the defaulted shape (the
+// BenchmarkHugeCell corpus: ≥100k PE-replicas, hundreds of hosts) and the
+// parameter guards.
+func TestHugeCellDefaultsAndValidation(t *testing.T) {
+	p := HugeCellParams{}.withDefaults()
+	if entities := p.NumPEs * p.Replication; entities < 100_000 {
+		t.Fatalf("default corpus deploys %d PE-replicas, acceptance floor is 100k", entities)
+	}
+	if p.Util*p.HighRatio >= 1 {
+		t.Fatalf("default High utilisation %.2f would overload every host", p.Util*p.HighRatio)
+	}
+	for _, bad := range []HugeCellParams{
+		{NumPEs: -1},
+		{NumPEs: 4, Layers: 9},
+		{NumPEs: 10, NumHosts: 2, Replication: 3},
+		{Util: 1.5},
+		{HighRatio: 0.5},
+		{Rate: -3},
+	} {
+		if _, err := HugeCell(bad); err == nil {
+			t.Fatalf("params %+v validated unexpectedly", bad)
+		}
+	}
+}

@@ -156,6 +156,11 @@ type Scenario struct {
 	// HAController instances the run deploys. Default 3 for the controller
 	// classes (CtrlCrash, CtrlPartition, CtrlSpike) and 1 otherwise.
 	Controllers int
+	// Shards is the engine's shard count. Sharded execution is bit-for-bit
+	// identical to serial, so every chaos result — metrics, probes,
+	// invariant verdicts — is independent of this field; the differential
+	// suite sweeps it to prove that under fault schedules. Default 1.
+	Shards int
 }
 
 func (sc Scenario) withDefaults() Scenario {

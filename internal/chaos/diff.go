@@ -81,7 +81,7 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	sched.Glitch = 0
 	sched.Events = diffableEvents(sched.Events)
 
-	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{})
+	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{Shards: sc.Shards})
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,7 @@ func Run(sc Scenario) (*Result, error) {
 		GlitchAmplitude: sched.Glitch,
 		Seed:            subSeed(sc.Seed, 0x911c4),
 		Controllers:     sc.Controllers,
+		Shards:          sc.Shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: building simulation: %w", err)

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunShardIndependent is the chaos-level serial ≡ sharded differential:
+// every schedule class — crashes, churn, partitions, gray slowdowns and
+// control-plane faults — must produce bit-for-bit identical metrics (totals,
+// per-PE vectors, event counters, time series), identical probe streams,
+// identical IC figures and identical invariant verdicts at 1, 2, 4 and
+// 8 shards. The engine clamps shard counts past the host count, so the
+// sweep also covers the degenerate more-shards-than-hosts case on the
+// default 3-host deployment.
+func TestRunShardIndependent(t *testing.T) {
+	for _, class := range Classes() {
+		t.Run(class.String(), func(t *testing.T) {
+			serial, vio, err := RunAndCheck(Scenario{Seed: 5, Class: class})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got, gvio, err := RunAndCheck(Scenario{Seed: 5, Class: class, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial.Metrics, got.Metrics) {
+					t.Errorf("%s: metrics diverge between 1 and %d shards", class, shards)
+				}
+				if !reflect.DeepEqual(serial.Probes, got.Probes) {
+					t.Errorf("%s: probe streams diverge between 1 and %d shards", class, shards)
+				}
+				if serial.MeasuredIC != got.MeasuredIC || serial.BoundIC != got.BoundIC {
+					t.Errorf("%s: IC diverges at %d shards: %.17g/%.17g vs %.17g/%.17g",
+						class, shards, serial.MeasuredIC, serial.BoundIC, got.MeasuredIC, got.BoundIC)
+				}
+				if !reflect.DeepEqual(vio, gvio) {
+					t.Errorf("%s: invariant verdicts diverge at %d shards: %v vs %v", class, shards, vio, gvio)
+				}
+			}
+		})
+	}
+}

@@ -89,7 +89,7 @@ func BenchmarkProcessHost(b *testing.B) {
 			}
 		}
 		for h := range s.hosts {
-			s.processHost(h, dt)
+			s.processHost(h, dt, 0)
 		}
 	}
 }

@@ -39,6 +39,13 @@ type Config struct {
 	GlitchAmplitude float64
 	// Seed drives the glitch noise. Runs with equal seeds are identical.
 	Seed int64
+	// Shards partitions the hosts into this many contiguous groups, each
+	// owning its replicas' tick work (delivery, CPU sharing, queue state)
+	// and its hosts' failure events; the engine runs the groups on
+	// parallel tick phases synchronized at intra-tick barriers. Results
+	// are bit-for-bit identical at every shard count. Default 1 (serial);
+	// values above the host count are clamped.
+	Shards int
 
 	// Checkpointing models the alternative fault-tolerance technique the
 	// paper's related work contrasts with active replication (and the only
@@ -153,6 +160,9 @@ func (c Config) validate() error {
 	}
 	if c.CommandLossP < 0 || c.CommandLossP >= 1 {
 		return fmt.Errorf("engine: command loss probability %v outside [0, 1)", c.CommandLossP)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: negative shard count %d", c.Shards)
 	}
 	return nil
 }

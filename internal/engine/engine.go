@@ -63,6 +63,16 @@ type replica struct {
 
 	processedTick float64 // tuples processed during the current tick
 	producedTick  float64 // tuples produced during the current tick
+
+	// Per-tick shard-owned partials for the metrics accumulators shared
+	// across replicas (drop/loss/partition counters). Parallel tick phases
+	// write only here; a serial reduce folds them into Metrics in canonical
+	// (PE, replica) order so the totals are bit-identical at every shard
+	// count. Zeroed by the reduce.
+	dropTick     float64
+	lossTick     float64
+	partDropTick float64
+	partLostTick float64
 }
 
 // clearQueues discards buffered input (used on deactivation and crashes;
@@ -109,6 +119,28 @@ type runnable struct {
 	demand float64
 }
 
+// deliverRoute is one pre-resolved delivery destination: a live route
+// fan-out (component → PE port) crossed with one replica of that PE. The
+// per-shard tables shardDeliver group these by the shard owning the
+// replica's host, so a delivery phase touches only shard-owned state.
+type deliverRoute struct {
+	rep    *replica
+	pe     int32
+	port   int32
+	weight float64
+}
+
+// emitEntry is one staged emission: component comp produced n tuples on
+// fromHost this tick. Serial phases (source emission, primary forwarding)
+// append entries in canonical order; every shard then drains the full log
+// against its own shardDeliver table, so each input port sees deliveries
+// in exactly the log order regardless of the shard count.
+type emitEntry struct {
+	comp     core.ComponentID
+	fromHost int
+	n        float64
+}
+
 // Simulation is one configured experiment run. Create it with New, inject
 // failures with Inject, then call Run once.
 type Simulation struct {
@@ -119,7 +151,7 @@ type Simulation struct {
 	strat *core.Strategy
 	tr    *trace.Trace
 
-	kern *sim.Engine
+	kern *sim.ShardedEngine
 	rng  *rand.Rand
 
 	hosts []*host
@@ -136,10 +168,50 @@ type Simulation struct {
 	// hostReps[h] lists the replicas deployed on host h in (PE, replica)
 	// order, precomputed once so processHost never rebuilds it.
 	hostReps [][]*replica
-	// runScratch is the reusable water-filling work list of processHost.
-	// Hosts are processed one at a time, so a single buffer sized to the
-	// largest host suffices for the whole run.
-	runScratch []runnable
+
+	// Host-group sharding (Config.Shards). Hosts are assigned to shards in
+	// contiguous blocks at construction: shardOfHost[h] = h·nShards/numHosts.
+	// Each shard exclusively owns its hosts, their replicas and their port
+	// state during parallel tick phases; everything crossing shards goes
+	// through the emitLog staging queue or the serial reduce steps.
+	nShards     int
+	shardOfHost []int32
+	shardHosts  [][]int
+	// shardRun[sh] is the shard's reusable water-filling work list (one
+	// host is processed at a time per shard, sized to the largest host).
+	shardRun [][]runnable
+	// shardDeliver[sh][comp] lists the delivery destinations of component
+	// comp owned by shard sh, in (route, replica) order — the serial
+	// delivery iteration order restricted to the shard.
+	shardDeliver [][][]deliverRoute
+	// emitLog stages this tick's emissions (sources, then forwarding
+	// primaries) between a serial producer phase and the parallel delivery
+	// phase. Capacity len(srcs)+numPEs, so steady-state appends never grow.
+	emitLog []emitEntry
+	// peComp maps dense PE index → component ID (hoisted from app.PEs()).
+	peComp []core.ComponentID
+	// primScratch[pe] caches the tick's primary election. Replica liveness,
+	// activation, host state and partitions only change between ticks, so
+	// one parallel election per tick serves delivery and forwarding alike.
+	primScratch []*replica
+	// hostCycles/hostOverhead are per-tick per-host CPU partials, reduced
+	// serially in host order into the shared cycle totals (and then zeroed).
+	hostCycles   []float64
+	hostOverhead []float64
+	// shardDirty[sh] marks that the shard wrote drop/loss/partition
+	// partials this tick, so the (PE, replica) ledger reduce must run. The
+	// drop-free steady state skips that sweep entirely.
+	shardDirty []bool
+	// tickDt carries the tick quantum into the pre-bound phase closures.
+	tickDt float64
+
+	// Pre-bound phase closures (method values), so dispatching a parallel
+	// phase allocates nothing.
+	phaseElectFn   func(int)
+	phaseDelayFn   func(int)
+	phaseDeliverFn func(int)
+	phaseProcessFn func(int)
+	phaseResetFn   func(int)
 
 	// monitor is the Rate Monitor + configuration-selection machine shared
 	// with the live runtime; the engine drives it with simulated seconds.
@@ -225,6 +297,13 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 	if tr.NumConfigs() > d.NumConfigs() {
 		return nil, fmt.Errorf("engine: trace uses config %d, descriptor has %d configs", tr.NumConfigs()-1, d.NumConfigs())
 	}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > asg.NumHosts {
+		nShards = asg.NumHosts
+	}
 	s := &Simulation{
 		cfg:       cfg,
 		d:         d,
@@ -232,10 +311,11 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 		asg:       asg,
 		strat:     strat,
 		tr:        tr,
-		kern:      &sim.Engine{},
+		kern:      sim.NewSharded(nShards),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		routes:    make([][]routeTo, app.NumComponents()),
 		sinkEdges: make([]int, app.NumComponents()),
+		nShards:   nShards,
 	}
 	s.drawFn = s.rng.Float64
 	s.hosts = make([]*host, asg.NumHosts)
@@ -280,17 +360,58 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 			s.sinkEdges[e.From]++
 		}
 	}
+	// hostReps in one O(PEs·K) pass (per-host ReplicasOn queries would be
+	// O(PEs·K·hosts), which matters at huge-cell scale); iterating PEs in
+	// order preserves the (PE, replica) order processHost depends on.
 	s.hostReps = make([][]*replica, asg.NumHosts)
+	for pe := range s.reps {
+		for _, rep := range s.reps[pe] {
+			s.hostReps[rep.host] = append(s.hostReps[rep.host], rep)
+		}
+	}
 	maxOnHost := 0
 	for h := range s.hostReps {
-		for _, pr := range asg.ReplicasOn(h) {
-			s.hostReps[h] = append(s.hostReps[h], s.reps[pr[0]][pr[1]])
-		}
 		if len(s.hostReps[h]) > maxOnHost {
 			maxOnHost = len(s.hostReps[h])
 		}
 	}
-	s.runScratch = make([]runnable, 0, maxOnHost)
+	// Shard assignment: contiguous host blocks, balanced by integer
+	// arithmetic. Every shard-owned table below follows from it.
+	s.shardOfHost = make([]int32, asg.NumHosts)
+	s.shardHosts = make([][]int, nShards)
+	for h := 0; h < asg.NumHosts; h++ {
+		sh := h * nShards / asg.NumHosts
+		s.shardOfHost[h] = int32(sh)
+		s.shardHosts[sh] = append(s.shardHosts[sh], h)
+	}
+	s.shardRun = make([][]runnable, nShards)
+	for sh := range s.shardRun {
+		s.shardRun[sh] = make([]runnable, 0, maxOnHost)
+	}
+	s.shardDeliver = make([][][]deliverRoute, nShards)
+	for sh := range s.shardDeliver {
+		s.shardDeliver[sh] = make([][]deliverRoute, app.NumComponents())
+	}
+	for comp := range s.routes {
+		for _, rt := range s.routes[comp] {
+			for _, rep := range s.reps[rt.pe] {
+				sh := s.shardOfHost[rep.host]
+				s.shardDeliver[sh][comp] = append(s.shardDeliver[sh][comp],
+					deliverRoute{rep: rep, pe: int32(rt.pe), port: int32(rt.port), weight: rt.weight})
+			}
+		}
+	}
+	s.emitLog = make([]emitEntry, 0, len(s.srcs)+app.NumPEs())
+	s.peComp = app.PEs()
+	s.primScratch = make([]*replica, app.NumPEs())
+	s.hostCycles = make([]float64, asg.NumHosts)
+	s.hostOverhead = make([]float64, asg.NumHosts)
+	s.shardDirty = make([]bool, nShards)
+	s.phaseElectFn = s.phaseElect
+	s.phaseDelayFn = s.phaseDelay
+	s.phaseDeliverFn = s.phaseDeliver
+	s.phaseProcessFn = s.phaseProcess
+	s.phaseResetFn = s.phaseReset
 	s.ctrlUp = make([]bool, cfg.Controllers)
 	for i := range s.ctrlUp {
 		s.ctrlUp[i] = true
@@ -474,9 +595,15 @@ func (s *Simulation) Run() (*Metrics, error) {
 	// deployment time.
 	s.applyConfig(s.tr.ConfigAt(0))
 
+	// Host-addressed failures go on the owning shard's local event queue;
+	// cross-shard kinds (links, controllers) stay on the global queue.
 	for _, ev := range s.failures {
 		ev := ev
-		s.kern.At(ev.Time, func() { s.applyFailure(ev) })
+		if sh, local := s.shardOf(ev); local {
+			s.kern.AtShard(sh, ev.Time, func() { s.applyFailure(ev) })
+		} else {
+			s.kern.At(ev.Time, func() { s.applyFailure(ev) })
+		}
 	}
 	// Periodic schedules are pre-bound Recurring events on integer indices:
 	// the kernel re-arms one shared event struct per schedule, so the tick
@@ -498,12 +625,31 @@ func (s *Simulation) Run() (*Metrics, error) {
 	}
 
 	s.kern.Run(duration)
+	s.kern.Close() // release the phase executor's workers
 	if s.probeFn != nil && s.lastProbe < duration {
 		s.doProbe() // quiescence snapshot at the end of the run
 	}
 	s.m.Duration = duration
 	s.m.CPUSecondsTotal = s.m.CPUCyclesTotal / s.d.HostCapacity
 	return s.m, nil
+}
+
+// Close releases the phase executor's worker goroutines. Run closes the
+// simulation itself; Close is for drivers that step the engine directly
+// (benchmarks) and never call Run. Idempotent.
+func (s *Simulation) Close() { s.kern.Close() }
+
+// shardOf maps a failure event to the shard owning its host, reporting
+// false for kinds that span shards (links, controllers) and must execute
+// from the global queue.
+func (s *Simulation) shardOf(ev FailureEvent) (int, bool) {
+	switch ev.Kind {
+	case ReplicaDown, ReplicaUp:
+		return int(s.shardOfHost[s.reps[ev.PE][ev.Replica].host]), true
+	case HostDown, HostUp, HostSlow, HostNormal:
+		return int(s.shardOfHost[ev.Host]), true
+	}
+	return 0, false
 }
 
 // tickFn is the pre-bound recurring tick callback.
@@ -523,6 +669,16 @@ func (s *Simulation) doCheckpoint() {
 
 // doTick advances the data flow by dt seconds: sources emit, hosts share
 // CPU among runnable replicas, replicas process, primaries forward.
+//
+// The tick is structured as owner-exclusive phases separated by fork-join
+// barriers (sim.ShardedEngine.Phase). Parallel phases touch only state
+// owned by one shard's hosts (ports, replica scratch, per-host partials);
+// serial phases own everything shared (the rng, the Rate Monitor, the
+// emission log, the Metrics accumulators). All shared floating-point
+// totals are built from shard-owned partials folded in a canonical order
+// independent of the shard count, so every run is bit-for-bit identical
+// at 1, 2, 4 or 8 shards. With one shard the phases run inline on the
+// calling goroutine — the serial engine IS the sharded engine at n=1.
 func (s *Simulation) doTick(dt float64) {
 	now := s.kern.Now()
 	cfg := s.tr.ConfigAt(now)
@@ -533,38 +689,29 @@ func (s *Simulation) doTick(dt float64) {
 			s.engageFailSafe()
 		}
 	}
+	s.tickDt = dt
+
+	// Primary election, once per tick: liveness, activation, host and
+	// partition state only change between ticks (failure events and
+	// controller commands are kernel events, and the fail-safe engages
+	// above, before this point), so one election serves the delivery
+	// phases and the forwarding commit alike.
+	s.kern.Phase(s.phaseElectFn)
 
 	// Route-delay rings: advance the read cursor and land the deliveries
-	// that have served their latency. Amounts arriving at a dead or idle
-	// replica were lost on the wire: they never entered the conservation
-	// ledger and are discarded silently.
+	// that have served their latency.
 	if s.delayLen > 0 {
 		s.delayPos = (s.delayPos + 1) % s.delayLen
-		for pe := range s.reps {
-			for _, rep := range s.reps[pe] {
-				for i := range rep.ports {
-					p := &rep.ports[i]
-					amt := p.delay[s.delayPos]
-					if amt == 0 {
-						continue
-					}
-					p.delay[s.delayPos] = 0
-					if !rep.alive || !rep.active || !s.hosts[rep.host].up {
-						continue
-					}
-					if dropped := p.enqueue(amt); dropped > 0 {
-						s.m.DroppedTotal += dropped
-						s.m.PerPEDropped[pe] += dropped
-					}
-				}
-			}
-		}
+		s.kern.Phase(s.phaseDelayFn)
 	}
 
-	// Source emission with optional glitch noise. The configuration's rate
-	// vector is hoisted out of the source loop.
+	// Source emission with optional glitch noise, serial: the rng draws,
+	// monitor accumulation and emission totals are shared state and keep
+	// their canonical source order. Deliveries are staged on the emission
+	// log and fanned out by the parallel delivery phase.
 	rates := s.d.Configs[cfg].Rates
 	glitch := s.cfg.GlitchAmplitude
+	s.emitLog = s.emitLog[:0]
 	for _, src := range s.srcs {
 		rate := rates[src.srcIdx]
 		if glitch > 0 {
@@ -575,30 +722,38 @@ func (s *Simulation) doTick(dt float64) {
 		s.monitor.Accumulate(src.srcIdx, n)
 		s.emittedSample += n
 		s.m.EmittedTotal += n
-		s.deliver(src.comp, n, CtrlHost)
+		s.emitLog = append(s.emitLog, emitEntry{comp: src.comp, fromHost: CtrlHost, n: n})
+	}
+	if len(s.emitLog) > 0 {
+		s.kern.Phase(s.phaseDeliverFn)
 	}
 
-	// CPU allocation and processing, host by host.
-	for h, hst := range s.hosts {
-		if !hst.up {
-			continue
-		}
-		s.processHost(h, dt)
+	// CPU allocation and processing, host by host within each shard, then
+	// a serial host-order reduce of the cycle partials.
+	s.kern.Phase(s.phaseProcessFn)
+	for h := range s.hostCycles {
+		s.m.CPUCyclesTotal += s.hostCycles[h]
+		s.hostCycles[h] = 0
+		s.m.OverheadCyclesTotal += s.hostOverhead[h]
+		s.hostOverhead[h] = 0
 	}
 
-	// Primary election and output forwarding. Outputs land in successor
-	// queues after processing, so they are consumed starting next tick.
-	app := s.d.App
-	for _, id := range app.PEs() {
-		pe := app.PEIndex(id)
-		prim := s.primary(pe)
+	// Forwarding commit, serial in PE order: account the primaries'
+	// processing and stage their outputs. Outputs land in successor queues
+	// after processing (next delivery phase), so they are consumed
+	// starting next tick — the one-tick hand-off is the conservative
+	// lookahead window that lets the phases above run shard-parallel.
+	s.emitLog = s.emitLog[:0]
+	for pe := range s.reps {
+		prim := s.primScratch[pe]
 		if prim == nil {
 			continue
 		}
 		s.m.ProcessedTotal += prim.processedTick
 		s.m.PerPEProcessed[pe] += prim.processedTick
 		if prim.producedTick > 0 {
-			s.deliver(id, prim.producedTick, prim.host)
+			id := s.peComp[pe]
+			s.emitLog = append(s.emitLog, emitEntry{comp: id, fromHost: prim.host, n: prim.producedTick})
 			if n := s.sinkEdges[id]; n > 0 {
 				out := prim.producedTick * float64(n)
 				s.m.SinkTotal += out
@@ -606,57 +761,169 @@ func (s *Simulation) doTick(dt float64) {
 			}
 		}
 	}
-	for _, reps := range s.reps {
-		for _, rep := range reps {
+	if len(s.emitLog) > 0 {
+		s.kern.Phase(s.phaseDeliverFn)
+	}
+
+	s.kern.Phase(s.phaseResetFn)
+
+	// Ledger reduce: fold the shard-owned drop/loss/partition partials
+	// into the shared totals in canonical (PE, replica) order. Skipped
+	// entirely on the drop-free fast path.
+	dirty := false
+	for sh := range s.shardDirty {
+		if s.shardDirty[sh] {
+			dirty = true
+			s.shardDirty[sh] = false
+		}
+	}
+	if dirty {
+		for pe := range s.reps {
+			for _, rep := range s.reps[pe] {
+				if rep.dropTick != 0 {
+					s.m.DroppedTotal += rep.dropTick
+					s.m.PerPEDropped[pe] += rep.dropTick
+					rep.dropTick = 0
+				}
+				if rep.lossTick != 0 {
+					s.m.RouteLossTotal += rep.lossTick
+					rep.lossTick = 0
+				}
+				if rep.partDropTick != 0 {
+					s.m.PartitionDroppedTotal += rep.partDropTick
+					rep.partDropTick = 0
+				}
+				if rep.partLostTick != 0 {
+					s.m.PartitionLostProcessing += rep.partLostTick
+					rep.partLostTick = 0
+				}
+			}
+		}
+	}
+}
+
+// phaseElect computes this tick's primary for every PE into primScratch.
+// PEs are partitioned into contiguous blocks (the phase only reads host
+// and replica state, so the blocks need not follow host ownership).
+func (s *Simulation) phaseElect(sh int) {
+	lo := sh * len(s.reps) / s.nShards
+	hi := (sh + 1) * len(s.reps) / s.nShards
+	for pe := lo; pe < hi; pe++ {
+		s.primScratch[pe] = s.primary(pe)
+	}
+}
+
+// phaseDelay lands matured route-delay ring slots into the shard's input
+// queues. Amounts arriving at a dead or idle replica were lost on the
+// wire: they never entered the conservation ledger and are discarded
+// silently.
+func (s *Simulation) phaseDelay(sh int) {
+	dirty := false
+	for _, h := range s.shardHosts[sh] {
+		for _, rep := range s.hostReps[h] {
+			for i := range rep.ports {
+				p := &rep.ports[i]
+				amt := p.delay[s.delayPos]
+				if amt == 0 {
+					continue
+				}
+				p.delay[s.delayPos] = 0
+				if !rep.alive || !rep.active || !s.hosts[rep.host].up {
+					continue
+				}
+				if dropped := p.enqueue(amt); dropped > 0 {
+					rep.dropTick += dropped
+					dirty = true
+				}
+			}
+		}
+	}
+	if dirty {
+		s.shardDirty[sh] = true
+	}
+}
+
+// phaseDeliver drains the staged emission log into the shard's input
+// queues: every log entry (component, amount, sender host) fans out to
+// the shard-owned destinations in shardDeliver, in log order — exactly
+// the serial delivery order restricted to this shard's replicas. Copies
+// crossing a cut link are dropped and counted; when the drop starves the
+// PE's current primary the downstream processing it would have caused is
+// accumulated so the IC bound can be checked net of partitions. The
+// RouteLoss and RouteDelay knobs apply per delivered copy.
+func (s *Simulation) phaseDeliver(sh int) {
+	dirty := false
+	table := s.shardDeliver[sh]
+	for _, en := range s.emitLog {
+		dst := table[en.comp]
+		if len(dst) == 0 {
+			continue
+		}
+		n := en.n
+		for i := range dst {
+			dr := &dst[i]
+			rep := dr.rep
+			if !rep.alive || !rep.active || !s.hosts[rep.host].up {
+				continue
+			}
+			if s.anyLinks && s.linkCut(en.fromHost, rep.host) {
+				rep.partDropTick += n
+				if s.primScratch[dr.pe] == rep {
+					rep.partLostTick += n * dr.weight
+				}
+				dirty = true
+				continue
+			}
+			amt := n
+			if s.keep != 1 {
+				amt = n * s.keep
+				rep.lossTick += n - amt
+				dirty = true
+			}
+			if s.delayLen > 0 {
+				rep.ports[dr.port].delay[(s.delayPos+s.delaySlots)%s.delayLen] += amt
+				continue
+			}
+			if dropped := rep.ports[dr.port].enqueue(amt); dropped > 0 {
+				rep.dropTick += dropped
+				dirty = true
+			}
+		}
+	}
+	if dirty {
+		s.shardDirty[sh] = true
+	}
+}
+
+// phaseProcess runs the CPU water-filling step on every live host of the
+// shard.
+func (s *Simulation) phaseProcess(sh int) {
+	dt := s.tickDt
+	for _, h := range s.shardHosts[sh] {
+		if !s.hosts[h].up {
+			continue
+		}
+		s.processHost(h, dt, sh)
+	}
+}
+
+// phaseReset clears the per-tick processing counters of the shard's
+// replicas.
+func (s *Simulation) phaseReset(sh int) {
+	for _, h := range s.shardHosts[sh] {
+		for _, rep := range s.hostReps[h] {
 			rep.processedTick = 0
 			rep.producedTick = 0
 		}
 	}
 }
 
-// deliver enqueues n tuples from component comp (sending from fromHost;
-// CtrlHost for sources) into every live, active replica of each successor
-// PE, counting overflow drops per PE. Copies crossing a cut link are
-// dropped and counted; when the drop starves the PE's current primary the
-// downstream processing it would have caused is accumulated so the IC
-// bound can be checked net of partitions. The RouteLoss and RouteDelay
-// knobs apply per delivered copy.
-func (s *Simulation) deliver(comp core.ComponentID, n float64, fromHost int) {
-	for _, rt := range s.routes[comp] {
-		for _, rep := range s.reps[rt.pe] {
-			if !rep.alive || !rep.active || !s.hosts[rep.host].up {
-				continue
-			}
-			if s.anyLinks && s.linkCut(fromHost, rep.host) {
-				s.m.PartitionDroppedTotal += n
-				if s.primary(rt.pe) == rep {
-					s.m.PartitionLostProcessing += n * rt.weight
-				}
-				continue
-			}
-			amt := n
-			if s.keep != 1 {
-				amt = n * s.keep
-				s.m.RouteLossTotal += n - amt
-			}
-			if s.delayLen > 0 {
-				rep.ports[rt.port].delay[(s.delayPos+s.delaySlots)%s.delayLen] += amt
-				continue
-			}
-			if dropped := rep.ports[rt.port].enqueue(amt); dropped > 0 {
-				s.m.DroppedTotal += dropped
-				s.m.PerPEDropped[rt.pe] += dropped
-			}
-		}
-	}
-}
-
 // processHost water-fills the host's cycle budget across its runnable
 // replicas and lets each drain its queues proportionally. It reuses the
-// simulation-wide scratch buffer, so the per-tick inner loop performs no
+// owning shard's scratch buffer, so the per-tick inner loop performs no
 // allocation.
-func (s *Simulation) processHost(h int, dt float64) {
-	run := s.runScratch[:0]
+func (s *Simulation) processHost(h int, dt float64, sh int) {
+	run := s.shardRun[sh][:0]
 	for _, rep := range s.hostReps[h] {
 		if !rep.alive || !rep.active {
 			continue
@@ -669,7 +936,7 @@ func (s *Simulation) processHost(h int, dt float64) {
 			run = append(run, runnable{rep: rep, demand: demand})
 		}
 	}
-	s.runScratch = run[:0]
+	s.shardRun[sh] = run[:0]
 	if len(run) == 0 {
 		return
 	}
@@ -686,7 +953,7 @@ func (s *Simulation) processHost(h int, dt float64) {
 			alloc = share
 		}
 		budget -= alloc
-		s.processReplica(run[i].rep, alloc, run[i].demand)
+		s.processReplica(run[i].rep, alloc, run[i].demand, h)
 	}
 }
 
@@ -710,8 +977,10 @@ func sortRunnables(run []runnable) {
 // processReplica spends alloc CPU cycles: pending checkpoint/restore
 // overhead is paid first (it blocks tuple processing, as persisting state
 // does on a real operator), then the ports drain proportionally to their
-// queued work.
-func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
+// queued work. Shared cycle totals accumulate into the host's per-tick
+// partial (reduced serially in host order by doTick); PerReplicaCycles is
+// replica-owned, so it is written directly.
+func (s *Simulation) processReplica(rep *replica, alloc, demand float64, h int) {
 	if alloc <= 0 {
 		return
 	}
@@ -725,8 +994,8 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
 		demand -= pay
 		rep.cycles += pay
 		rep.cyclesWindow += pay
-		s.m.CPUCyclesTotal += pay
-		s.m.OverheadCyclesTotal += pay
+		s.hostCycles[h] += pay
+		s.hostOverhead[h] += pay
 		s.m.PerReplicaCycles[rep.pe][rep.idx] += pay
 		if alloc <= 0 || demand <= 0 {
 			return
@@ -751,7 +1020,7 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64) {
 	used := demand * frac
 	rep.cycles += used
 	rep.cyclesWindow += used
-	s.m.CPUCyclesTotal += used
+	s.hostCycles[h] += used
 	s.m.PerReplicaCycles[rep.pe][rep.idx] += used
 }
 
@@ -936,7 +1205,7 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 		rep.overheadCycles = 0
 		if s.cfg.RecoverAfter > 0 {
 			pe, k := ev.PE, ev.Replica
-			s.kern.After(s.cfg.RecoverAfter, func() {
+			s.kern.AfterShard(int(s.shardOfHost[rep.host]), s.cfg.RecoverAfter, func() {
 				s.applyFailure(FailureEvent{Kind: ReplicaUp, PE: pe, Replica: k})
 			})
 		}
@@ -946,8 +1215,8 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 		rep.overheadCycles += s.cfg.RestoreCycles
 	case HostDown:
 		s.hosts[ev.Host].up = false
-		for _, pr := range s.asg.ReplicasOn(ev.Host) {
-			s.reps[pr[0]][pr[1]].clearQueues()
+		for _, rep := range s.hostReps[ev.Host] {
+			rep.clearQueues()
 		}
 	case HostUp:
 		s.hosts[ev.Host].up = true

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+// BenchmarkHugeCell measures the sharded engine on the production-shaped
+// workload: ONE cell with 120k deployed PE-replicas (60k PEs × K=2)
+// across ~468 hosts, driven tick by tick. Sub-benchmarks sweep the shard
+// count; ns/tick-entity (time per tick divided by deployed replicas) is
+// the scaling figure EXPERIMENTS.md tracks, and allocs/op is gated at the
+// DoTick ceiling per shard count by laarbench. Construction and warm-up
+// are excluded from the timer; the warm-up ticks fill every pipeline
+// layer so the measured ticks process steady-state load.
+func BenchmarkHugeCell(b *testing.B) {
+	gen, err := appgen.HugeCell(appgen.HugeCellParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	numPEs, k := gen.Desc.App.NumPEs(), gen.Assignment.K
+	entities := float64(numPEs * k)
+	sr := core.AllActive(gen.Desc.NumConfigs(), numPEs, k)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(gen.Desc, gen.Assignment, sr, tr, Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			s.applyConfig(s.tr.ConfigAt(0))
+			dt := s.cfg.Tick
+			for i := 0; i < 16; i++ {
+				s.doTick(dt)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.doTick(dt)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/entities, "ns/tick-entity")
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+// shardPlan is a failure plan exercising every event family the sharded
+// executor routes differently: host-addressed kinds ride shard-local
+// queues, link and controller kinds stay global.
+var shardPlan = []FailureEvent{
+	{Time: 20, Kind: ReplicaDown, PE: 1, Replica: 0},
+	{Time: 35, Kind: HostSlow, Host: 2, Factor: 0.4},
+	{Time: 50, Kind: HostDown, Host: 0},
+	{Time: 70, Kind: LinkDown, Host: 1, HostB: 3},
+	{Time: 90, Kind: ControllerCrash, Host: 0},
+	{Time: 110, Kind: ControllerRecover, Host: 0},
+	{Time: 130, Kind: LinkUp, Host: 1, HostB: 3},
+	{Time: 150, Kind: HostUp, Host: 0},
+	{Time: 170, Kind: HostNormal, Host: 2},
+	{Time: 200, Kind: LinkDown, Host: 4, HostB: CtrlHost},
+	{Time: 240, Kind: LinkUp, Host: 4, HostB: CtrlHost},
+}
+
+// runSharded executes one fixed scenario — glitch noise, route loss and
+// delay, checkpointing, replica auto-recovery, replicated controllers and
+// the full failure plan — at the given shard count and returns its metrics.
+func runSharded(t *testing.T, shards int) *Metrics {
+	t.Helper()
+	gen, err := appgen.Generate(appgen.Params{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.AllActive(2, gen.Desc.App.NumPEs(), 2)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(gen.Desc, gen.Assignment, sr, tr, Config{
+		Shards:             shards,
+		Seed:               7,
+		GlitchAmplitude:    0.1,
+		RouteLoss:          0.01,
+		RouteDelay:         0.25,
+		CheckpointInterval: 30,
+		CheckpointCycles:   1e6,
+		RecoverAfter:       45,
+		RestoreCycles:      5e5,
+		Controllers:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(shardPlan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedRunBitIdentical is the engine-level serial ≡ sharded
+// differential: the complete Metrics struct — every floating-point total,
+// per-PE vector, event counter and time-series sample — must be
+// bit-for-bit identical at 1, 2, 4 and 8 shards (8 clamps to the 5-host
+// deployment). The canonical-order reduces exist exactly for this.
+func TestShardedRunBitIdentical(t *testing.T) {
+	serial := runSharded(t, 1)
+	if serial.EventsByKind != [NumFailureKinds]int{1, 1, 1, 1, 2, 2, 1, 1, 1, 1} {
+		t.Fatalf("scenario did not apply the full plan: EventsByKind = %v", serial.EventsByKind)
+	}
+	if serial.DroppedTotal == 0 || serial.RouteLossTotal == 0 || serial.PartitionDroppedTotal == 0 {
+		t.Fatalf("scenario exercises no drop/loss/partition accounting (dropped=%v loss=%v partition=%v)",
+			serial.DroppedTotal, serial.RouteLossTotal, serial.PartitionDroppedTotal)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := runSharded(t, shards)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("metrics diverge between 1 and %d shards:\nserial:  %+v\nsharded: %+v", shards, *serial, *got)
+		}
+	}
+}
+
+// TestShardedDoTickDoesNotAllocate extends the hot-path allocation guard
+// to every shard count: per-shard scratch (water-filling lists, delivery
+// tables, staged emission log) and the persistent phase executor must keep
+// a steady-state tick at zero allocations regardless of Config.Shards.
+func TestShardedDoTickDoesNotAllocate(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		gen, err := appgen.Generate(appgen.Params{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := core.AllActive(2, gen.Desc.App.NumPEs(), 2)
+		tr, err := trace.Alternating(300, 90, 1.0/3.0, gen.LowCfg, gen.HighCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(gen.Desc, gen.Assignment, sr, tr, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.applyConfig(s.tr.ConfigAt(0))
+		dt := s.cfg.Tick
+		s.doTick(dt) // warm up: first tick grows scratch and worker stacks
+		allocs := testing.AllocsPerRun(100, func() { s.doTick(dt) })
+		s.Close()
+		if allocs > 0 {
+			t.Errorf("doTick at %d shards allocates %.1f objects per tick, want 0", shards, allocs)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Executor is a persistent fork-join worker pool for per-shard phase
+// functions. Workers are spawned once and block on their own buffered
+// channel between phases, so a phase dispatch is one channel send per
+// worker plus a WaitGroup rendezvous — no goroutine creation, no closure
+// allocation (callers pass pre-bound function values), and no spinning
+// (testing.AllocsPerRun pins GOMAXPROCS to 1; a spin-wait would deadlock
+// the measurement). With n == 1 no workers exist and Run calls fn inline.
+type Executor struct {
+	n      int
+	work   []chan func(int)
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewExecutor creates a pool driving n shards: shard 0 runs on the calling
+// goroutine, shards 1..n-1 each on a dedicated persistent worker.
+func NewExecutor(n int) *Executor {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: executor needs at least 1 shard, got %d", n))
+	}
+	x := &Executor{n: n, work: make([]chan func(int), n)}
+	for w := 1; w < n; w++ {
+		ch := make(chan func(int), 1)
+		x.work[w] = ch
+		go func(w int) {
+			for fn := range ch {
+				fn(w)
+				x.wg.Done()
+			}
+		}(w)
+	}
+	return x
+}
+
+// NumShards returns the pool width.
+func (x *Executor) NumShards() int { return x.n }
+
+// Run executes fn(shard) for every shard and returns when all are done.
+// fn must only touch state owned by its shard (plus shared read-only
+// state); the barrier on return is the only synchronization provided.
+func (x *Executor) Run(fn func(shard int)) {
+	if x.n == 1 {
+		fn(0)
+		return
+	}
+	x.wg.Add(x.n - 1)
+	for w := 1; w < x.n; w++ {
+		x.work[w] <- fn
+	}
+	fn(0)
+	x.wg.Wait()
+}
+
+// Close terminates the worker goroutines. Close is idempotent; Run must
+// not be called after Close.
+func (x *Executor) Close() {
+	if x.closed {
+		return
+	}
+	x.closed = true
+	for w := 1; w < x.n; w++ {
+		close(x.work[w])
+	}
+}
+
+// ShardedEngine partitions the event queue by shard while keeping one
+// virtual clock: the embedded Engine holds the global queue (periodic
+// schedules, cross-shard events), and every shard owns a local queue for
+// events that touch only its hosts. Event execution stays strictly serial
+// and time-ordered — parallelism lives exclusively in Phase, which the
+// engine invokes at safe points inside a tick event. Determinism:
+//
+//   - Events at distinct times run in time order across all queues.
+//   - Events at equal times run locals-before-global, lowest shard first,
+//     then per-queue insertion order. The rule does not depend on the
+//     shard count, and same-time events living in different queues are
+//     required by contract to commute (they address disjoint hosts).
+type ShardedEngine struct {
+	Engine
+	locals []queue
+	exec   *Executor
+}
+
+// NewSharded creates an engine with the given number of shard-local
+// queues (at least 1) and a matching phase executor.
+func NewSharded(shards int) *ShardedEngine {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: need at least 1 shard, got %d", shards))
+	}
+	return &ShardedEngine{locals: make([]queue, shards), exec: NewExecutor(shards)}
+}
+
+// NumShards returns the number of shard-local queues.
+func (s *ShardedEngine) NumShards() int { return len(s.locals) }
+
+// Phase runs fn(shard) once per shard on the executor and returns when
+// every shard is done (fork-join barrier).
+func (s *ShardedEngine) Phase(fn func(shard int)) { s.exec.Run(fn) }
+
+// Close shuts down the phase executor's workers. Idempotent.
+func (s *ShardedEngine) Close() { s.exec.Close() }
+
+// AtShard schedules fn at virtual time t on the shard's local queue. Like
+// At, scheduling in the past panics.
+func (s *ShardedEngine) AtShard(shard int, t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, s.now))
+	}
+	q := &s.locals[shard]
+	q.push(q.take(t, fn))
+}
+
+// AfterShard schedules fn d seconds from now on the shard's local queue.
+func (s *ShardedEngine) AfterShard(shard int, d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: AfterShard called with negative delay %v (now %v, would schedule at %v)", d, s.now, s.now+d))
+	}
+	s.AtShard(shard, s.now+d, fn)
+}
+
+// Pending returns the number of scheduled events across all queues.
+func (s *ShardedEngine) Pending() int {
+	n := len(s.q.pq)
+	for i := range s.locals {
+		n += len(s.locals[i].pq)
+	}
+	return n
+}
+
+// next picks the queue holding the earliest event under the documented
+// tie rule, or nil when every queue is empty.
+func (s *ShardedEngine) next() *queue {
+	var best *queue
+	for i := range s.locals {
+		q := &s.locals[i]
+		if len(q.pq) > 0 && (best == nil || q.pq[0].time < best.pq[0].time) {
+			best = q
+		}
+	}
+	if q := &s.q; len(q.pq) > 0 && (best == nil || q.pq[0].time < best.pq[0].time) {
+		best = q
+	}
+	return best
+}
+
+// Step executes the earliest pending event across all queues, advancing
+// the clock to its time. It reports whether an event was executed.
+func (s *ShardedEngine) Step() bool {
+	q := s.next()
+	if q == nil {
+		return false
+	}
+	ev := q.pop()
+	s.now = ev.time
+	q.execute(ev)
+	return true
+}
+
+// Run executes events across all queues in order until none remain at or
+// before until, then advances the clock to until.
+func (s *ShardedEngine) Run(until float64) {
+	for {
+		q := s.next()
+		if q == nil || q.pq[0].time > until {
+			break
+		}
+		ev := q.pop()
+		s.now = ev.time
+		q.execute(ev)
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes every pending event across all queues until drained.
+func (s *ShardedEngine) RunAll() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestAfterReusesPooledEvents is the free-list regression guard: a steady
+// stream of one-shot After events must recycle the popped *event structs
+// instead of allocating a fresh one per schedule (the old container/heap
+// path boxed every Pop and allocated every At).
+func TestAfterReusesPooledEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	e.Run(10) // warm up: seeds the free list and the heap backing array
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + 50)
+	})
+	if count == 0 {
+		t.Fatal("chain never fired")
+	}
+	if allocs > 0 {
+		t.Fatalf("steady-state one-shot rescheduling allocates %.1f objects per 50 events, want 0", allocs)
+	}
+}
+
+// TestShardedAfterShardDoesNotAllocate extends the free-list guard to the
+// shard-local queues.
+func TestShardedAfterShardDoesNotAllocate(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.AfterShard(count%2, 1, tick)
+	}
+	s.AfterShard(0, 1, tick)
+	s.Run(10)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Run(s.Now() + 50)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state shard-local rescheduling allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestShardedTimeOrderAcrossQueues proves events interleave in global time
+// order regardless of which queue holds them.
+func TestShardedTimeOrderAcrossQueues(t *testing.T) {
+	s := NewSharded(3)
+	defer s.Close()
+	var got []int
+	s.AtShard(2, 5, func() { got = append(got, 5) })
+	s.At(4, func() { got = append(got, 4) })
+	s.AtShard(0, 1, func() { got = append(got, 1) })
+	s.AtShard(1, 3, func() { got = append(got, 3) })
+	s.At(2, func() { got = append(got, 2) })
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("execution order = %v", got)
+		}
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+}
+
+// TestShardedTieRule pins the documented equal-time rule: shard-local
+// events run before global ones, lower shards before higher ones, and
+// insertion order within one queue — independent of scheduling order.
+func TestShardedTieRule(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+	var got []string
+	s.At(1, func() { got = append(got, "g1") })
+	s.AtShard(1, 1, func() { got = append(got, "s1a") })
+	s.AtShard(0, 1, func() { got = append(got, "s0a") })
+	s.At(1, func() { got = append(got, "g2") })
+	s.AtShard(0, 1, func() { got = append(got, "s0b") })
+	s.RunAll()
+	want := []string{"s0a", "s0b", "s1a", "g1", "g2"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShardedRunHorizon mirrors the Engine horizon contract for the merged
+// loop: events strictly past until stay pending, the clock lands on until.
+func TestShardedRunHorizon(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+	ran := false
+	s.AtShard(1, 5, func() { ran = true })
+	s.Run(4)
+	if ran || s.Now() != 4 || s.Pending() != 1 {
+		t.Fatalf("ran=%v Now=%v Pending=%d, want false 4 1", ran, s.Now(), s.Pending())
+	}
+	s.Run(5)
+	if !ran {
+		t.Fatal("event at the horizon not executed")
+	}
+}
+
+// TestShardedRecurRidesGlobalQueue checks periodic schedules created via
+// the embedded Engine interleave with shard-local events correctly.
+func TestShardedRecurRidesGlobalQueue(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+	var got []string
+	s.Recur(2, 1, func() { got = append(got, "tick") }).Times(3).Start()
+	s.AtShard(1, 4, func() { got = append(got, "local") }) // ties with tick@4: local first
+	s.Run(10)
+	want := []string{"tick", "local", "tick", "tick"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestExecutorCoversAllShards drives the fork-join pool directly: every
+// phase invocation must run fn exactly once per shard before returning.
+// Under -race this also exercises the barrier's happens-before edges.
+func TestExecutorCoversAllShards(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		x := NewExecutor(n)
+		counts := make([]int64, n)
+		var phase func(sh int)
+		phase = func(sh int) { atomic.AddInt64(&counts[sh], 1) }
+		const rounds = 200
+		for r := 0; r < rounds; r++ {
+			x.Run(phase)
+		}
+		for sh, c := range counts {
+			if c != rounds {
+				t.Fatalf("n=%d: shard %d ran %d times, want %d", n, sh, c, rounds)
+			}
+		}
+		x.Close()
+		x.Close() // idempotent
+	}
+}
+
+// TestExecutorPhasesAreBarriers checks that writes made by one phase are
+// visible to every shard of the next phase (the fork-join barrier is the
+// only synchronization the engine's tick phases rely on).
+func TestExecutorPhasesAreBarriers(t *testing.T) {
+	const n = 4
+	x := NewExecutor(n)
+	defer x.Close()
+	buf := make([]int, n)
+	sum := make([]int, n)
+	for round := 1; round <= 100; round++ {
+		r := round
+		x.Run(func(sh int) { buf[sh] = r * (sh + 1) })
+		x.Run(func(sh int) {
+			// Each shard reads every other shard's previous-phase write.
+			total := 0
+			for _, v := range buf {
+				total += v
+			}
+			sum[sh] = total
+		})
+		want := r * n * (n + 1) / 2
+		for sh, got := range sum {
+			if got != want {
+				t.Fatalf("round %d shard %d saw %d, want %d", r, sh, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedPanicsMirrorEngine keeps the causality guards intact on the
+// shard-local path.
+func TestShardedPanicsMirrorEngine(t *testing.T) {
+	s := NewSharded(2)
+	defer s.Close()
+	s.At(5, func() {})
+	s.Run(5)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AtShard(past)", func() { s.AtShard(0, 4, func() {}) })
+	mustPanic("AfterShard(-1)", func() { s.AfterShard(1, -1, func() {}) })
+	mustPanic("NewSharded(0)", func() { NewSharded(0) })
+}

@@ -3,55 +3,125 @@
 // stream-processing engine schedules its processing ticks, monitor scans,
 // controller commands and failure injections as events on this kernel, so
 // every experiment is exactly reproducible and runs decoupled from wall-
-// clock time.
+// clock time. For host-partitioned runs, ShardedEngine adds per-shard
+// event queues and a fork-join phase executor on top of the same clock.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Events created by At/After are pooled:
+// once executed they return to the owning queue's free list and the next
+// one-shot schedule reuses them, so a steady stream of one-shot events
+// costs no heap allocation. A Recurring's embedded event is not pooled —
+// the Recurring re-arms the same struct itself.
 type event struct {
-	time float64
-	seq  int64 // insertion order breaks ties deterministically
-	fn   func()
+	time   float64
+	seq    int64 // insertion order breaks ties deterministically
+	pooled bool
+	fn     func()
 }
 
-type eventHeap []*event
+// queue is one priority queue of events ordered by (time, seq). The heap
+// is hand-rolled: container/heap would box every *event into an interface
+// value on Push/Pop, which is exactly the allocation the free list exists
+// to avoid.
+type queue struct {
+	pq   []*event
+	seq  int64
+	free []*event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (q *queue) less(i, j int) bool {
+	a, b := q.pq[i], q.pq[j]
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push assigns the next sequence number and sifts ev into the heap.
+func (q *queue) push(ev *event) {
+	q.seq++
+	ev.seq = q.seq
+	q.pq = append(q.pq, ev)
+	i := len(q.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.pq[i], q.pq[parent] = q.pq[parent], q.pq[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The caller guarantees the
+// queue is non-empty.
+func (q *queue) pop() *event {
+	ev := q.pq[0]
+	n := len(q.pq) - 1
+	q.pq[0] = q.pq[n]
+	q.pq[n] = nil
+	q.pq = q.pq[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(r, l) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q.pq[i], q.pq[c] = q.pq[c], q.pq[i]
+		i = c
+	}
+	return ev
+}
+
+// take returns a recycled or fresh one-shot event bound to fn at time t.
+func (q *queue) take(t float64, fn func()) *event {
+	var ev *event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		ev = &event{pooled: true}
+	}
+	ev.time = t
+	ev.fn = fn
+	return ev
+}
+
+// execute runs ev's callback, recycling pooled events first so a callback
+// that schedules a new one-shot event reuses the struct it just vacated.
+func (q *queue) execute(ev *event) {
+	fn := ev.fn
+	if ev.pooled {
+		ev.fn = nil
+		q.free = append(q.free, ev)
+	}
+	fn()
 }
 
 // Engine owns the virtual clock and the pending-event queue. The zero value
 // is ready to use with time starting at 0.
 type Engine struct {
 	now float64
-	pq  eventHeap
-	seq int64
+	q   queue
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
 // Pending returns the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.q.pq) }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it would silently corrupt causality.
@@ -59,16 +129,12 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now (%v)", t, e.now))
 	}
-	e.push(&event{time: t, fn: fn})
+	e.q.push(e.q.take(t, fn))
 }
 
-// push assigns the next sequence number and enqueues ev at ev.time. The
-// caller guarantees ev.time ≥ e.now.
-func (e *Engine) push(ev *event) {
-	e.seq++
-	ev.seq = e.seq
-	heap.Push(&e.pq, ev)
-}
+// push enqueues a caller-owned (non-pooled) event at ev.time. The caller
+// guarantees ev.time ≥ e.now.
+func (e *Engine) push(ev *event) { e.q.push(ev) }
 
 // After schedules fn to run d seconds from now. A negative delay panics,
 // reporting the offending delta (At would only report the resulting
@@ -84,12 +150,12 @@ func (e *Engine) After(d float64, fn func()) {
 // Step executes the earliest pending event, advancing the clock to its
 // time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	if len(e.q.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
+	ev := e.q.pop()
 	e.now = ev.time
-	ev.fn()
+	e.q.execute(ev)
 	return true
 }
 
@@ -98,7 +164,7 @@ func (e *Engine) Step() bool {
 // time ≥ until... precisely: at until if events ran out earlier than until,
 // the clock is still advanced to until.
 func (e *Engine) Run(until float64) {
-	for len(e.pq) > 0 && e.pq[0].time <= until {
+	for len(e.q.pq) > 0 && e.q.pq[0].time <= until {
 		e.Step()
 	}
 	if e.now < until {
@@ -118,8 +184,9 @@ func (e *Engine) RunAll() {
 // i·interval (absolute multiples, so floating-point accumulation can never
 // add or lose an occurrence), and the kernel re-arms the same event struct
 // after each firing. A self-perpetuating schedule built from At callbacks
-// allocates one closure and one heap event per occurrence; a Recurring
-// allocates nothing after Start.
+// reuses pooled events but still pays the heap sift per occurrence through
+// the generic path; a Recurring allocates nothing after Start and keeps
+// its identity across occurrences.
 type Recurring struct {
 	eng      *Engine
 	interval float64
