@@ -1,0 +1,128 @@
+// Command laarcluster runs a LAAR deployment as separate OS processes
+// talking over real TCP: one process per HAController, per host (its
+// replica slots), and one gateway feeding tuples in. Every inter-node
+// link is relayed through a fault proxy, so a chaos schedule can kill
+// and restart processes, sever and heal links, and inject loss or delay
+// while the run-level invariant registry judges the outcome.
+//
+// Usage:
+//
+//	laarcluster -hosts 4 -controllers 3              # default chaos schedule
+//	laarcluster -chaos "500ms kill ctrl0; 2s restart ctrl0"
+//	laarcluster -chaos "" -duration 3s               # fault-free soak
+//	laarcluster -hosts 2 -controllers 1 -duration 2s -poll 100ms -v
+//
+// Chaos schedules are ";"-separated "<offset> <verb> <args>" events:
+//
+//	500ms kill ctrl0            kill a node process (SIGKILL)
+//	2s restart ctrl0            respawn it (new incarnation, new port)
+//	800ms cut host0 ctrl1       sever one link (both directions)
+//	1600ms heal host0 ctrl1     restore it
+//	1s loss 0.3                 global loss on data frames
+//	1s loss host0 host1 0.5     per-link loss override
+//	1s delay gw host0 5ms       per-link delay override
+//	900ms target 0              switch the activation target config
+//
+// The same binary is its own child: the supervisor re-execs it with
+// -node, feeding the node spec on stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"laar/internal/cluster"
+)
+
+func main() {
+	var (
+		node     = flag.Bool("node", false, "child mode: run one cluster node from a spec on stdin (used by the supervisor, not by hand)")
+		hosts    = flag.Int("hosts", 2, "host processes")
+		ctrls    = flag.Int("controllers", 2, "HAController processes")
+		pes      = flag.Int("pes", 2, "pipeline stages (PEs)")
+		replicas = flag.Int("replicas", 2, "replicas per PE")
+		duration = flag.Duration("duration", 4*time.Second, "total run wall time (the schedule must fit inside it)")
+		poll     = flag.Duration("poll", 200*time.Millisecond, "stats poll interval")
+		chaos    = flag.String("chaos", cluster.DefaultScheduleText, "chaos schedule; empty runs fault-free")
+		tick     = flag.Int("tick", 25, "node tick interval in ms")
+		ttl      = flag.Int("ttl", 0, "lease TTL in ms (0 = 8×tick)")
+		seed     = flag.Int64("seed", 1, "fault fabric seed (loss draws)")
+		verbose  = flag.Bool("v", false, "forward child output and supervisor progress")
+	)
+	flag.Parse()
+
+	if *node {
+		if err := cluster.RunChild(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sched, err := cluster.ParseSchedule(*chaos)
+	if err != nil {
+		fatal(err)
+	}
+	if n := len(sched); n > 0 && sched[n-1].At >= *duration {
+		fatal(fmt.Errorf("schedule's last event at %v does not fit inside -duration %v", sched[n-1].At, *duration))
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	sup := &cluster.Supervisor{
+		Top: cluster.Topology{
+			Hosts:       *hosts,
+			Controllers: *ctrls,
+			PEs:         *pes,
+			Replicas:    *replicas,
+		},
+		TickMs:     *tick,
+		LeaseTTLMs: *ttl,
+		Command:    []string{self, "-node"},
+		Seed:       *seed,
+	}
+	if *verbose {
+		sup.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	if err := sup.Start(); err != nil {
+		fatal(err)
+	}
+	report, err := sup.Run(sched, *duration, *poll)
+	sup.Shutdown()
+	if err != nil {
+		fatal(err)
+	}
+
+	violations := cluster.CheckAll(report)
+	fmt.Printf("laarcluster: %d ctrls, %d hosts, %d PEs × %d replicas; %d chaos events over %v, %d polls\n",
+		*ctrls, *hosts, *pes, *replicas, len(sched), *duration, len(report.Polls))
+	if final := len(report.Polls) - 1; final >= 0 {
+		p := report.Polls[final]
+		for _, c := range p.Ctrls {
+			if c != nil && c.Leading {
+				fmt.Printf("laarcluster: final leader ctrl%d epoch %d, cfg %d, %d pending\n", c.ID, c.Epoch, c.Cfg, c.Pending)
+			}
+		}
+		if p.Gateway != nil {
+			fmt.Printf("laarcluster: gateway sent %d tuples\n", p.Gateway.Sent)
+		}
+	}
+	if len(violations) == 0 {
+		fmt.Println("laarcluster: all invariants hold")
+		return
+	}
+	for _, v := range violations {
+		fmt.Printf("laarcluster: VIOLATION %v\n", v)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laarcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Package cluster is the distributed live runtime: replicas, controllers
+// and the ingest gateway run as separate OS processes connected by real
+// TCP through the netx frame codec. The nodes are thin shells around the
+// same transport-agnostic control-plane kernel (internal/controlplane)
+// the in-process runtimes use — the lease elector, command sequencer and
+// replica proxy state — so the guarantees the model checker proves about
+// the kernel are the guarantees the process cluster inherits.
+//
+// The moving parts:
+//
+//   - Controller nodes run the lease elector and, while leading, the
+//     acknowledged command protocol toward every replica slot.
+//   - Host nodes carry the replica slots of the demo pipeline, apply
+//     activation commands through per-slot proxy state, and forward data
+//     tuples down the pipeline.
+//   - The gateway ingests an external tuple stream and fans it out to the
+//     hosts carrying the pipeline's first stage.
+//   - A Supervisor (cmd/laarcluster) spawns the processes, wires every
+//     inter-node link through a netx.FaultProxy, replays a chaos
+//     schedule, and checks the run-level invariant registry on the stats
+//     it polls.
+//
+// All inter-node dials go through the fault fabric's stable proxy
+// addresses, so a restarted node (fresh OS process, fresh port) is
+// reachable at the same address and chaos link events map one-to-one
+// onto real TCP connections.
+package cluster
+
+import "fmt"
+
+// GatewayEndpoint is the fault-fabric endpoint of the ingest gateway,
+// chosen far below the controller endpoint range so it can never collide
+// with ControllerEndpoint(j) for a realistic controller count.
+const GatewayEndpoint = -1000
+
+// ControllerEndpoint maps controller index j to its fault-fabric
+// endpoint, matching the live runtime's convention (-1 is controller 0).
+func ControllerEndpoint(j int) int { return -(j + 1) }
+
+// Topology fixes the shape of the demo deployment: a linear pipeline of
+// PEs stages with Replicas replicas each, spread over Hosts host
+// processes and Controllers controller processes.
+type Topology struct {
+	Hosts       int
+	Controllers int
+	PEs         int
+	Replicas    int
+}
+
+// HostOf places replica (pe, k) on a host, striping replicas of the same
+// PE across distinct hosts so one host failure never takes out a whole
+// replica set (for Replicas <= Hosts).
+func (t Topology) HostOf(pe, k int) int { return (pe + k) % t.Hosts }
+
+// Slots calls fn for every replica slot living on host h.
+func (t Topology) Slots(h int, fn func(pe, k int)) {
+	for pe := 0; pe < t.PEs; pe++ {
+		for k := 0; k < t.Replicas; k++ {
+			if t.HostOf(pe, k) == h {
+				fn(pe, k)
+			}
+		}
+	}
+}
+
+// Validate rejects shapes the runtime cannot carry.
+func (t Topology) Validate() error {
+	switch {
+	case t.Hosts < 1:
+		return fmt.Errorf("cluster: need at least 1 host, have %d", t.Hosts)
+	case t.Controllers < 1:
+		return fmt.Errorf("cluster: need at least 1 controller, have %d", t.Controllers)
+	case t.PEs < 1 || t.Replicas < 1:
+		return fmt.Errorf("cluster: need at least 1 PE and 1 replica, have %d×%d", t.PEs, t.Replicas)
+	}
+	return nil
+}
+
+// WantActive is the target activation function: configuration 0 keeps
+// only replica 0 of each PE active (minimum fault tolerance, minimum
+// cost), any other configuration activates every replica — the two
+// operating points the LAAR cost/availability trade-off moves between.
+func WantActive(cfg, k int) bool { return cfg != 0 || k == 0 }
+
+// NodeSpec is everything one node process needs to join the cluster. The
+// supervisor serialises it as JSON onto the child's stdin; in-process
+// tests construct it directly.
+type NodeSpec struct {
+	// Kind is "controller", "host" or "gateway"; Index identifies the
+	// node within its kind.
+	Kind  string
+	Index int
+	Top   Topology
+
+	// Incarnation distinguishes process lifetimes of the same host index:
+	// the supervisor bumps it on every respawn, and the leader resets its
+	// command slots for a host whose incarnation changed (the old acks
+	// described a process that no longer exists).
+	Incarnation uint64
+	// BallotFloor seeds a controller's highest-ballot watermark. The
+	// supervisor passes the highest epoch it has ever polled, so a
+	// restarted controller (which lost its elector state) cannot reclaim
+	// an epoch that was already held.
+	BallotFloor uint64
+
+	// TickMs is the node's control loop period; LeaseTTLMs the lease
+	// freshness window. Zero values select the defaults.
+	TickMs     int
+	LeaseTTLMs int
+
+	// CtrlAddrs[j] is the address this node dials to reach controller j
+	// (through the fault fabric). Hosts fill all slots; controllers leave
+	// their own slot empty; the gateway may leave it nil.
+	CtrlAddrs []string
+	// HostAddrs[h] is the address this node dials to reach host h. Hosts
+	// leave their own slot empty; controllers leave it nil (commands ride
+	// the host→controller connections).
+	HostAddrs []string
+
+	// ListenAddr is where the node's own server listens; empty picks
+	// 127.0.0.1:0.
+	ListenAddr string
+}
+
+// withDefaults fills the tunables.
+func (s NodeSpec) withDefaults() NodeSpec {
+	if s.TickMs <= 0 {
+		s.TickMs = 25
+	}
+	if s.LeaseTTLMs <= 0 {
+		s.LeaseTTLMs = 8 * s.TickMs
+	}
+	if s.ListenAddr == "" {
+		s.ListenAddr = "127.0.0.1:0"
+	}
+	return s
+}
+
+// Validate rejects specs a node cannot start from.
+func (s NodeSpec) Validate() error {
+	if err := s.Top.Validate(); err != nil {
+		return err
+	}
+	switch s.Kind {
+	case "controller":
+		if s.Index < 0 || s.Index >= s.Top.Controllers {
+			return fmt.Errorf("cluster: controller index %d out of range", s.Index)
+		}
+	case "host":
+		if s.Index < 0 || s.Index >= s.Top.Hosts {
+			return fmt.Errorf("cluster: host index %d out of range", s.Index)
+		}
+	case "gateway":
+		if s.Index != 0 {
+			return fmt.Errorf("cluster: gateway index must be 0, have %d", s.Index)
+		}
+	default:
+		return fmt.Errorf("cluster: unknown node kind %q", s.Kind)
+	}
+	return nil
+}

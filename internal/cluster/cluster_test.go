@@ -1,0 +1,488 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCluster runs a full topology in-process: real TCP between nodes,
+// every link through the fault fabric, but no child processes — the
+// supervisor's exec path is exercised by cmd/laarcluster.
+type testCluster struct {
+	t      *testing.T
+	top    Topology
+	fabric *Fabric
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+	incs  map[string]uint64
+	floor uint64
+	polls []Poll
+}
+
+const (
+	testTickMs = 10
+	testTTLMs  = 80
+)
+
+func startCluster(t *testing.T, top Topology) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:     t,
+		top:   top,
+		nodes: make(map[string]*Node),
+		incs:  make(map[string]uint64),
+	}
+	fabric, err := BuildFabric(top, tc.resolve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.fabric = fabric
+	t.Cleanup(tc.close)
+	for j := 0; j < top.Controllers; j++ {
+		tc.spawn("controller", j)
+	}
+	for h := 0; h < top.Hosts; h++ {
+		tc.spawn("host", h)
+	}
+	tc.spawn("gateway", 0)
+	return tc
+}
+
+func (tc *testCluster) resolve(kind string, index int) (string, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	n := tc.nodes[nodeName(kind, index)]
+	if n == nil {
+		return "", fmt.Errorf("%s down", nodeName(kind, index))
+	}
+	return n.Addr(), nil
+}
+
+func (tc *testCluster) spawn(kind string, index int) {
+	tc.t.Helper()
+	name := nodeName(kind, index)
+	tc.mu.Lock()
+	tc.incs[name]++
+	spec := tc.fabric.SpecFor(kind, index, tc.top, testTickMs, testTTLMs)
+	spec.Incarnation = tc.incs[name]
+	spec.BallotFloor = tc.floor
+	tc.mu.Unlock()
+	n, err := StartNode(spec)
+	if err != nil {
+		tc.t.Fatalf("start %s: %v", name, err)
+	}
+	tc.mu.Lock()
+	tc.nodes[name] = n
+	tc.mu.Unlock()
+}
+
+func (tc *testCluster) stopNode(name string) {
+	tc.mu.Lock()
+	n := tc.nodes[name]
+	delete(tc.nodes, name)
+	tc.mu.Unlock()
+	if n != nil {
+		n.Stop()
+	}
+}
+
+// poll sweeps every node's stats in-process and records the poll (so a
+// test can finish with CheckAll over its whole history).
+func (tc *testCluster) poll() Poll {
+	p := Poll{At: time.Duration(len(tc.polls)) /* ordinal, not wall time */}
+	p.Ctrls = make([]*CtrlStats, tc.top.Controllers)
+	p.Hosts = make([]*HostStats, tc.top.Hosts)
+	tc.mu.Lock()
+	nodes := make(map[string]*Node, len(tc.nodes))
+	for k, v := range tc.nodes {
+		nodes[k] = v
+	}
+	tc.mu.Unlock()
+	for j := 0; j < tc.top.Controllers; j++ {
+		if n := nodes[nodeName("controller", j)]; n != nil {
+			p.Ctrls[j] = n.Stats().Ctrl
+		}
+	}
+	for h := 0; h < tc.top.Hosts; h++ {
+		if n := nodes[nodeName("host", h)]; n != nil {
+			p.Hosts[h] = n.Stats().Host
+		}
+	}
+	if n := nodes["gw"]; n != nil {
+		p.Gateway = n.Stats().Gateway
+	}
+	tc.mu.Lock()
+	for _, c := range p.Ctrls {
+		if c != nil && c.MaxSeen > tc.floor {
+			tc.floor = c.MaxSeen
+		}
+	}
+	tc.polls = append(tc.polls, p)
+	tc.mu.Unlock()
+	return p
+}
+
+// waitFor polls until cond accepts a poll, failing after 15 s.
+func (tc *testCluster) waitFor(what string, cond func(p Poll) bool) Poll {
+	tc.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		p := tc.poll()
+		if cond(p) {
+			return p
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatalf("timed out waiting for %s; last poll: %+v", what, p)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (tc *testCluster) close() {
+	tc.mu.Lock()
+	nodes := tc.nodes
+	tc.nodes = make(map[string]*Node)
+	tc.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+	tc.fabric.Close()
+}
+
+// converged accepts a poll where controller j leads with nothing pending
+// and every slot has adopted its epoch and the target activation.
+func converged(top Topology, leader int) func(p Poll) bool {
+	return func(p Poll) bool {
+		c := p.Ctrls[leader]
+		if c == nil || !c.Leading || c.Pending != 0 {
+			return false
+		}
+		for _, h := range p.Hosts {
+			if h == nil {
+				return false
+			}
+			for _, sl := range h.Slots {
+				if sl.ProxyEpoch != c.Epoch || sl.Active != WantActive(c.Cfg, sl.K) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// slotOf finds one slot's state in a poll.
+func slotOf(p Poll, top Topology, pe, k int) *SlotState {
+	h := p.Hosts[top.HostOf(pe, k)]
+	if h == nil {
+		return nil
+	}
+	for i := range h.Slots {
+		if h.Slots[i].PE == pe && h.Slots[i].K == k {
+			return &h.Slots[i]
+		}
+	}
+	return nil
+}
+
+// TestClusterConvergesAndFailsOver is the core distributed scenario:
+// boot, converge under ctrl0, deliver end to end, kill ctrl0 (ctrl1
+// takes the lease), restart ctrl0 (it reclaims above everything seen),
+// and end with zero run-level invariant violations.
+func TestClusterConvergesAndFailsOver(t *testing.T) {
+	top := Topology{Hosts: 2, Controllers: 2, PEs: 2, Replicas: 2}
+	tc := startCluster(t, top)
+
+	first := tc.waitFor("initial convergence under ctrl0", converged(top, 0))
+	epoch0 := first.Ctrls[0].Epoch
+
+	// Tuples flow through to the sink stage.
+	tc.waitFor("sink delivery", func(p Poll) bool {
+		sl := slotOf(p, top, top.PEs-1, 0)
+		return sl != nil && sl.Processed > 0
+	})
+
+	// Kill the leader: the next controller claims a higher ballot and
+	// reconverges every slot under it.
+	tc.stopNode("ctrl0")
+	after := tc.waitFor("failover to ctrl1", converged(top, 1))
+	epoch1 := after.Ctrls[1].Epoch
+	if epoch1 <= epoch0 {
+		t.Fatalf("ctrl1 claimed epoch %d, not above ctrl0's %d", epoch1, epoch0)
+	}
+
+	// Bring ctrl0 back (new incarnation, ballot floor from the polls):
+	// lowest id wins the lease back, above everything ever claimed.
+	tc.spawn("controller", 0)
+	final := tc.waitFor("ctrl0 reclaims", converged(top, 0))
+	if got := final.Ctrls[0].Epoch; got <= epoch1 {
+		t.Fatalf("restarted ctrl0 claimed epoch %d, not above ctrl1's %d", got, epoch1)
+	}
+
+	// Delivery resumed: take two more spaced polls for the progress
+	// invariant, then judge the full history.
+	time.Sleep(100 * time.Millisecond)
+	tc.poll()
+	time.Sleep(100 * time.Millisecond)
+	tc.poll()
+	report := &RunReport{Top: top, Polls: tc.polls}
+	if vs := CheckAll(report); len(vs) != 0 {
+		t.Fatalf("invariant violations: %v", vs)
+	}
+}
+
+// TestClusterHostRestartReissuesCommands covers the incarnation path: a
+// restarted host process lost its proxy state, and the leader must
+// reset those slots (ResetSlot) and re-establish them rather than trust
+// acks granted to the dead process.
+func TestClusterHostRestartReissuesCommands(t *testing.T) {
+	top := Topology{Hosts: 2, Controllers: 1, PEs: 1, Replicas: 2}
+	tc := startCluster(t, top)
+
+	tc.waitFor("initial convergence", converged(top, 0))
+
+	// Switch to configuration 0: replica (0,1) on host1 deactivates.
+	if err := sendOnce(tc.nodes["ctrl0"].Addr(), MTTarget, encode(Target{Cfg: 0})); err != nil {
+		t.Fatal(err)
+	}
+	tc.waitFor("target 0 applied", func(p Poll) bool {
+		sl := slotOf(p, top, 0, 1)
+		return converged(top, 0)(p) && sl != nil && !sl.Active
+	})
+
+	// Restart host1: fresh process, fresh (empty) proxy state, higher
+	// incarnation. The leader must drive its slot back to the target.
+	tc.stopNode("host1")
+	tc.spawn("host", 1)
+	final := tc.waitFor("host1 re-established", func(p Poll) bool {
+		h := p.Hosts[1]
+		return h != nil && h.Incarnation == 2 && converged(top, 0)(p)
+	})
+	sl := slotOf(final, top, 0, 1)
+	if sl.Active {
+		t.Fatal("restarted host1 slot ended active; target 0 wants it inactive")
+	}
+	if sl.ProxyEpoch != final.Ctrls[0].Epoch {
+		t.Fatalf("restarted slot proxy epoch %d, leader epoch %d", sl.ProxyEpoch, final.Ctrls[0].Epoch)
+	}
+}
+
+// TestClusterReconnectPreservesAckedCommands is the acceptance reconnect
+// scenario: sever a live host↔controller TCP link, flip the target while
+// it is down (the command cannot be delivered), then heal. The dialer
+// must redial on the capped backoff schedule — a bounded handful of
+// attempts, not a storm — and after the heal the undeliverable command
+// lands while every command acked before the cut stays exactly as acked
+// (same proxy sequence numbers, no re-delivery).
+func TestClusterReconnectPreservesAckedCommands(t *testing.T) {
+	top := Topology{Hosts: 2, Controllers: 1, PEs: 2, Replicas: 2}
+	tc := startCluster(t, top)
+
+	before := tc.waitFor("initial convergence", converged(top, 0))
+	// Slot (1,1) lives on host0 ((1+1)%2) and is active under cfg 1.
+	pre11 := *slotOf(before, top, 1, 1)
+	pre00 := *slotOf(before, top, 0, 0)
+	if !pre11.Active {
+		t.Fatal("slot (1,1) should be active under the all-active target")
+	}
+	drops0 := before.Hosts[0].Drops
+
+	// Sever host0 ↔ ctrl0 and flip the target: slot (1,1) must
+	// deactivate, but its host is unreachable.
+	if err := tc.fabric.Proxy.Cut(0, ControllerEndpoint(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendOnce(tc.nodes["ctrl0"].Addr(), MTTarget, encode(Target{Cfg: 0})); err != nil {
+		t.Fatal(err)
+	}
+
+	// host1's slot (0,1) converges (its link is whole); host0's slot
+	// (1,1) cannot — the command retries behind the cut.
+	mid := tc.waitFor("host1 side converges during cut", func(p Poll) bool {
+		sl := slotOf(p, top, 0, 1)
+		c := p.Ctrls[0]
+		return sl != nil && !sl.Active && c != nil && c.Pending > 0
+	})
+	if sl := slotOf(mid, top, 1, 1); sl == nil || !sl.Active {
+		t.Fatal("slot (1,1) flipped while its controller link was cut")
+	}
+
+	// Hold the cut long enough for several redial attempts.
+	time.Sleep(600 * time.Millisecond)
+	during := tc.poll()
+	dropsDuring := during.Hosts[0].Drops - drops0
+	if dropsDuring < 2 {
+		t.Fatalf("expected several redial attempts during the cut, saw %d drops", dropsDuring)
+	}
+	if dropsDuring > 40 {
+		t.Fatalf("reconnect storm: %d connection drops during a 600ms cut (backoff not capping)", dropsDuring)
+	}
+
+	// Heal: the host redials, the pending command lands, and the slots
+	// acked before the cut are untouched (same proxy sequence — the
+	// sequencer remembered their acks across the reconnect).
+	if err := tc.fabric.Proxy.Heal(0, ControllerEndpoint(0)); err != nil {
+		t.Fatal(err)
+	}
+	final := tc.waitFor("reconverged after heal", converged(top, 0))
+	post11 := slotOf(final, top, 1, 1)
+	if post11.Active {
+		t.Fatal("slot (1,1) still active after heal; the pending command was lost")
+	}
+	if post11.ProxyEpoch != pre11.ProxyEpoch {
+		t.Fatalf("leader changed across the cut (epoch %d → %d); test expects a stable leader", pre11.ProxyEpoch, post11.ProxyEpoch)
+	}
+	post00 := slotOf(final, top, 0, 0)
+	if *post00 != pre00 {
+		if post00.ProxySeq != pre00.ProxySeq || post00.Active != pre00.Active {
+			t.Fatalf("slot (0,0) acked before the cut changed across reconnect: %+v → %+v", pre00, *post00)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("800ms cut host0 ctrl1; 500ms kill ctrl0; 1600ms heal host0 ctrl1; 2s restart ctrl0; 1s loss 0.3; 1200ms delay gw host0 5ms; 900ms target 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(s))
+	}
+	// Sorted by time.
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatalf("schedule not sorted: %v", s)
+		}
+	}
+	if s[0].Kind != EvKill || s[0].Node != "ctrl0" || s[0].At != 500*time.Millisecond {
+		t.Fatalf("first event = %+v, want kill ctrl0 at 500ms", s[0])
+	}
+	if s[1].Kind != EvCut || s[1].A != 0 || s[1].B != ControllerEndpoint(1) {
+		t.Fatalf("cut event = %+v", s[1])
+	}
+	if s[2].Kind != EvTarget || s[2].Cfg != 0 {
+		t.Fatalf("target event = %+v", s[2])
+	}
+	if s[4].Kind != EvLinkDelay || s[4].A != GatewayEndpoint || s[4].D != 5*time.Millisecond {
+		t.Fatalf("delay event = %+v", s[4])
+	}
+
+	for _, bad := range []string{
+		"500ms explode ctrl0",
+		"nonsense kill ctrl0",
+		"500ms kill gw",
+		"500ms cut host0",
+		"500ms loss 1.5",
+		"500ms kill frobnicator0",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+	if len(DefaultSchedule()) == 0 {
+		t.Fatal("DefaultSchedule is empty")
+	}
+}
+
+// TestInvariantsCatchViolations feeds the registry synthetic reports
+// that each breach one invariant.
+func TestInvariantsCatchViolations(t *testing.T) {
+	top := Topology{Hosts: 1, Controllers: 2, PEs: 1, Replicas: 1}
+	clean := func() *RunReport {
+		mk := func(sent, processed uint64) Poll {
+			return Poll{
+				Ctrls: []*CtrlStats{
+					{ID: 0, Leading: true, Epoch: 256, MaxSeen: 256, Cfg: 1},
+					{ID: 1, Leading: false, Epoch: 0, MaxSeen: 256},
+				},
+				Hosts: []*HostStats{
+					{Host: 0, Slots: []SlotState{{PE: 0, K: 0, Active: true, ProxyEpoch: 256, ProxySeq: 1, Processed: processed}}},
+				},
+				Gateway: &GatewayStats{Sent: sent},
+			}
+		}
+		return &RunReport{Top: top, Polls: []Poll{mk(10, 5), mk(20, 12)}}
+	}
+	if vs := CheckAll(clean()); len(vs) != 0 {
+		t.Fatalf("clean report flagged: %v", vs)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(r *RunReport)
+	}{
+		{"nodes-responsive", func(r *RunReport) { r.Polls[1].Hosts[0] = nil }},
+		{"leader-unique-lowest", func(r *RunReport) { r.Polls[1].Ctrls[1].Leading = true }},
+		{"ballot-holder", func(r *RunReport) { r.Polls[1].Ctrls[0].Epoch = 257 }}, // holder id 1
+		{"lease-epochs-monotone", func(r *RunReport) { r.Polls[0].Ctrls[0].Epoch = 512 }},
+		{"commands-converged", func(r *RunReport) { r.Polls[1].Ctrls[0].Pending = 3 }},
+		{"activation-matches-target", func(r *RunReport) { r.Polls[1].Hosts[0].Slots[0].Active = false }},
+		{"proxy-converged", func(r *RunReport) { r.Polls[1].Hosts[0].Slots[0].ProxyEpoch = 128 }},
+		{"delivery-resumed", func(r *RunReport) { r.Polls[1].Hosts[0].Slots[0].Processed = 5 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := clean()
+			c.mutate(r)
+			vs := CheckAll(r)
+			found := false
+			for _, v := range vs {
+				if v.Invariant == c.name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("mutation not caught by %s; violations: %v", c.name, vs)
+			}
+		})
+	}
+}
+
+// TestRunChildProtocol drives the supervisor↔child handshake without a
+// process: spec on stdin, address line on stdout, stats over TCP, stdin
+// EOF for shutdown.
+func TestRunChildProtocol(t *testing.T) {
+	top := Topology{Hosts: 1, Controllers: 1, PEs: 1, Replicas: 1}
+	spec := NodeSpec{Kind: "gateway", Top: top, Incarnation: 1, TickMs: 10}
+
+	stdinR, stdinW := io.Pipe()
+	stdoutR, stdoutW := io.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- RunChild(stdinR, stdoutW) }()
+	go func() {
+		stdinW.Write(append(encode(spec), '\n'))
+	}()
+
+	line := make([]byte, 256)
+	n, err := stdoutR.Read(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(string(line[:n]))
+	addr, ok := strings.CutPrefix(out, addrLinePrefix)
+	if !ok {
+		t.Fatalf("child printed %q, want an address line", out)
+	}
+	resp, err := QueryStats(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Gateway == nil {
+		t.Fatalf("stats = %+v, want gateway stats", resp)
+	}
+
+	stdinW.Close() // EOF: the child must stop and return
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunChild returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("child did not stop on stdin EOF")
+	}
+}

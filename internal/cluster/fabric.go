@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"laar/internal/netx"
+)
+
+// Fabric is the fault-injectable network between the cluster's nodes:
+// one netx.FaultProxy route per directed inter-node link, with stable
+// listen addresses the dialing nodes are configured with. Chaos link
+// events address routes by the endpoint-pair convention shared with the
+// in-process live runtime (hosts ≥ 0, ControllerEndpoint(j) < 0,
+// GatewayEndpoint), so a schedule written for one runtime drives the
+// other.
+type Fabric struct {
+	Proxy *netx.FaultProxy
+
+	// HostToCtrl[h][j] is the address host h dials to reach controller
+	// j; CtrlToCtrl[i][j] the address controller i dials to reach peer j
+	// ("" on the diagonal); HostToHost[g][h] likewise for tuple
+	// forwarding; GwToHost[h] the gateway's address for host h.
+	HostToCtrl [][]string
+	CtrlToCtrl [][]string
+	HostToHost [][]string
+	GwToHost   []string
+}
+
+// Resolver returns the current real address of a node; the supervisor
+// backs it with its table of live child processes, in-process tests with
+// their node registry. It is consulted on every relayed connection, so a
+// node that restarts on a new port is picked up transparently.
+type Resolver func(kind string, index int) (string, error)
+
+// BuildFabric creates every route of the topology on a fresh FaultProxy.
+func BuildFabric(t Topology, resolve Resolver, seed int64) (*Fabric, error) {
+	f := &Fabric{
+		Proxy:      netx.NewFaultProxy(seed),
+		HostToCtrl: make([][]string, t.Hosts),
+		CtrlToCtrl: make([][]string, t.Controllers),
+		HostToHost: make([][]string, t.Hosts),
+		GwToHost:   make([]string, t.Hosts),
+	}
+	resolveNode := func(kind string, index int) func() (string, error) {
+		return func() (string, error) { return resolve(kind, index) }
+	}
+	var err error
+	add := func(a, b int, kind string, index int) string {
+		if err != nil {
+			return ""
+		}
+		var addr string
+		addr, err = f.Proxy.AddRoute(a, b, resolveNode(kind, index))
+		return addr
+	}
+	for h := 0; h < t.Hosts; h++ {
+		f.HostToCtrl[h] = make([]string, t.Controllers)
+		for j := 0; j < t.Controllers; j++ {
+			f.HostToCtrl[h][j] = add(h, ControllerEndpoint(j), "controller", j)
+		}
+	}
+	for i := 0; i < t.Controllers; i++ {
+		f.CtrlToCtrl[i] = make([]string, t.Controllers)
+		for j := 0; j < t.Controllers; j++ {
+			if i != j {
+				f.CtrlToCtrl[i][j] = add(ControllerEndpoint(i), ControllerEndpoint(j), "controller", j)
+			}
+		}
+	}
+	for g := 0; g < t.Hosts; g++ {
+		f.HostToHost[g] = make([]string, t.Hosts)
+		for h := 0; h < t.Hosts; h++ {
+			if g != h {
+				f.HostToHost[g][h] = add(g, h, "host", h)
+			}
+		}
+	}
+	for h := 0; h < t.Hosts; h++ {
+		f.GwToHost[h] = add(GatewayEndpoint, h, "host", h)
+	}
+	if err != nil {
+		f.Proxy.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// SpecFor assembles the NodeSpec for one node, wiring its dial tables to
+// the fabric's stable proxy addresses.
+func (f *Fabric) SpecFor(kind string, index int, t Topology, tickMs, ttlMs int) NodeSpec {
+	s := NodeSpec{Kind: kind, Index: index, Top: t, TickMs: tickMs, LeaseTTLMs: ttlMs}
+	switch kind {
+	case "controller":
+		s.CtrlAddrs = f.CtrlToCtrl[index]
+	case "host":
+		s.CtrlAddrs = f.HostToCtrl[index]
+		s.HostAddrs = f.HostToHost[index]
+	case "gateway":
+		s.HostAddrs = f.GwToHost
+	}
+	return s
+}
+
+// Close tears the fabric down, dropping every relayed connection.
+func (f *Fabric) Close() { f.Proxy.Close() }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"laar/internal/netx"
+)
+
+// gatewayNode is the thin ingest tier: it turns the external tuple
+// stream (here: a monotone counter, one tuple per tick) into deliveries
+// to the hosts carrying the pipeline's first stage, spreading the same
+// tuple across every replica of that stage — active replication means
+// each active replica processes the full stream, and the per-slot
+// dedup-by-ID on the hosts keeps redundant paths from double counting.
+type gatewayNode struct {
+	spec NodeSpec
+
+	mu   sync.Mutex
+	next uint64
+	sent uint64
+
+	// hosts[h] is the connection to host h, nil when h carries no
+	// first-stage replica (the gateway only talks to source endpoints).
+	hosts []*netx.Conn
+}
+
+func newGatewayNode(spec NodeSpec) *gatewayNode {
+	g := &gatewayNode{spec: spec, hosts: make([]*netx.Conn, spec.Top.Hosts)}
+	srcHosts := map[int]bool{}
+	for k := 0; k < spec.Top.Replicas; k++ {
+		srcHosts[spec.Top.HostOf(0, k)] = true
+	}
+	hello := encode(Hello{Kind: "gateway"})
+	for h := range g.hosts {
+		if !srcHosts[h] || h >= len(spec.HostAddrs) || spec.HostAddrs[h] == "" {
+			continue
+		}
+		o := connOptions(spec, 977+int64(h))
+		o.OnConnect = func(c *netx.Conn) { c.Send(MTHello, hello) }
+		g.hosts[h] = netx.Dial(spec.HostAddrs[h], o)
+	}
+	return g
+}
+
+func (g *gatewayNode) handle(*netx.Peer, byte, []byte) {}
+
+// tick emits one tuple of the external stream to every first-stage host
+// currently reachable. A tuple that reaches no host is simply lost
+// upstream of the system under test — the gateway does not buffer.
+func (g *gatewayNode) tick(time.Time) {
+	g.mu.Lock()
+	g.next++
+	id := g.next
+	g.sent++
+	conns := g.hosts
+	g.mu.Unlock()
+	msg := encode(Tuple{PE: 0, ID: id})
+	for _, c := range conns {
+		if c != nil {
+			c.Send(MTTuple, msg)
+		}
+	}
+}
+
+func (g *gatewayNode) stats() StatsResp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return StatsResp{Gateway: &GatewayStats{Sent: g.sent}}
+}
+
+func (g *gatewayNode) close() {
+	for _, c := range g.hosts {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

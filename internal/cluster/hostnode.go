@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"laar/internal/controlplane"
+	"laar/internal/netx"
+)
+
+// hostNode is one host process: it carries the replica slots the
+// topology assigns to it, judges activation commands through per-slot
+// proxy state (the kernel's idempotency machine), heartbeats every
+// controller, and moves data tuples down the pipeline.
+type hostNode struct {
+	spec NodeSpec
+
+	mu    sync.Mutex
+	slots map[[2]int]*hostSlot
+
+	// ctrl[j] is the duplex connection to controller j: hellos and beats
+	// flow up, commands come back down, acks answer on the same link.
+	ctrl []*netx.Conn
+	// hosts[h] carries forwarded tuples to host h (nil for self).
+	hosts []*netx.Conn
+	// next[h] is true when host h carries a replica of some stage this
+	// host feeds (computed once; topology is static).
+	downstream map[int][]int // pe → distinct hosts carrying stage pe+1
+}
+
+// hostSlot is one replica living on this host.
+type hostSlot struct {
+	proxy     controlplane.ProxyState
+	active    bool
+	lastID    uint64
+	processed uint64
+}
+
+func newHostNode(spec NodeSpec) *hostNode {
+	h := &hostNode{
+		spec:       spec,
+		slots:      make(map[[2]int]*hostSlot),
+		ctrl:       make([]*netx.Conn, spec.Top.Controllers),
+		hosts:      make([]*netx.Conn, spec.Top.Hosts),
+		downstream: make(map[int][]int),
+	}
+	spec.Top.Slots(spec.Index, func(pe, k int) {
+		h.slots[[2]int{pe, k}] = &hostSlot{}
+	})
+	// Precompute where each stage this host carries forwards to.
+	for pe := 0; pe < spec.Top.PEs-1; pe++ {
+		if !h.carries(pe) {
+			continue
+		}
+		seen := map[int]bool{}
+		for k := 0; k < spec.Top.Replicas; k++ {
+			g := spec.Top.HostOf(pe+1, k)
+			if !seen[g] {
+				seen[g] = true
+				h.downstream[pe] = append(h.downstream[pe], g)
+			}
+		}
+	}
+
+	hello := encode(Hello{Kind: "host", Index: spec.Index, Incarnation: spec.Incarnation})
+	for j := range h.ctrl {
+		if j >= len(spec.CtrlAddrs) || spec.CtrlAddrs[j] == "" {
+			continue
+		}
+		o := connOptions(spec, int64(spec.Index)*131+int64(j))
+		o.OnConnect = func(c *netx.Conn) { c.Send(MTHello, hello) }
+		o.OnMessage = h.onCtrlMessage(j)
+		h.ctrl[j] = netx.Dial(spec.CtrlAddrs[j], o)
+	}
+	for g := range h.hosts {
+		if g == spec.Index || g >= len(spec.HostAddrs) || spec.HostAddrs[g] == "" {
+			continue
+		}
+		h.hosts[g] = netx.Dial(spec.HostAddrs[g], connOptions(spec, int64(spec.Index)*151+int64(g)))
+	}
+	return h
+}
+
+func (h *hostNode) carries(pe int) bool {
+	for k := 0; k < h.spec.Top.Replicas; k++ {
+		if h.spec.Top.HostOf(pe, k) == h.spec.Index {
+			return true
+		}
+	}
+	return false
+}
+
+// onCtrlMessage handles frames arriving on the connection to controller
+// j — activation commands, answered with acks on the same link.
+func (h *hostNode) onCtrlMessage(j int) func(typ byte, payload []byte) {
+	return func(typ byte, payload []byte) {
+		if typ != MTCommand {
+			return
+		}
+		var cmd CommandMsg
+		if decode(payload, &cmd) != nil {
+			return
+		}
+		h.mu.Lock()
+		sl, ok := h.slots[[2]int{cmd.PE, cmd.K}]
+		if !ok {
+			h.mu.Unlock()
+			return // not our slot: a misrouted command is dropped, not acked
+		}
+		ack := AckMsg{Epoch: cmd.Epoch, Seq: cmd.Seq, PE: cmd.PE, K: cmd.K}
+		switch sl.proxy.Admit(cmd.Epoch, cmd.Seq) {
+		case controlplane.CmdApplied:
+			sl.active = cmd.Active
+			ack.Applied = true
+		case controlplane.CmdDuplicate:
+			ack.Applied = true // re-ack without re-applying
+		case controlplane.CmdStale:
+			ack.Applied = false
+			ack.Adopted = sl.proxy.Epoch
+		}
+		conn := h.ctrl[j]
+		h.mu.Unlock()
+		if conn != nil {
+			conn.Send(MTAck, encode(ack))
+		}
+	}
+}
+
+// handle processes server frames: tuples from the gateway and from
+// upstream hosts.
+func (h *hostNode) handle(p *netx.Peer, typ byte, payload []byte) {
+	switch typ {
+	case MTHello:
+		// Data-plane dialers (gateway, upstream hosts) introduce
+		// themselves too; nothing to track yet.
+	case MTTuple:
+		var t Tuple
+		if decode(payload, &t) != nil {
+			return
+		}
+		h.deliver(t.PE, t.ID)
+	}
+}
+
+// deliver offers one tuple to the local replicas of stage pe and, when
+// any active replica processed it, forwards it to the hosts carrying the
+// next stage. Replicas deduplicate by tuple ID (IDs are monotone), so
+// redundant deliveries from multiple active upstream replicas do not
+// inflate the processed counters.
+func (h *hostNode) deliver(pe int, id uint64) {
+	if pe < 0 || pe >= h.spec.Top.PEs {
+		return
+	}
+	h.mu.Lock()
+	processedAny := false
+	for k := 0; k < h.spec.Top.Replicas; k++ {
+		sl, ok := h.slots[[2]int{pe, k}]
+		if !ok || !sl.active || id <= sl.lastID {
+			continue
+		}
+		sl.lastID = id
+		sl.processed++
+		processedAny = true
+	}
+	targets := h.downstream[pe]
+	h.mu.Unlock()
+	if !processedAny {
+		return
+	}
+	msg := encode(Tuple{PE: pe + 1, ID: id})
+	for _, g := range targets {
+		if g == h.spec.Index {
+			h.deliver(pe+1, id) // next stage lives here too
+			continue
+		}
+		if c := h.hosts[g]; c != nil {
+			c.Send(MTTuple, msg)
+		}
+	}
+}
+
+// tick heartbeats every controller with the host's slot states.
+func (h *hostNode) tick(time.Time) {
+	b := encode(Beat{Host: h.spec.Index, Incarnation: h.spec.Incarnation, Slots: h.slotStates()})
+	for _, c := range h.ctrl {
+		if c != nil {
+			c.Send(MTBeat, b)
+		}
+	}
+}
+
+func (h *hostNode) slotStates() []SlotState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []SlotState
+	h.spec.Top.Slots(h.spec.Index, func(pe, k int) {
+		sl := h.slots[[2]int{pe, k}]
+		out = append(out, SlotState{
+			PE: pe, K: k,
+			Active:     sl.active,
+			ProxyEpoch: sl.proxy.Epoch,
+			ProxySeq:   sl.proxy.Seq,
+			Processed:  sl.processed,
+		})
+	})
+	return out
+}
+
+func (h *hostNode) stats() StatsResp {
+	var dials, drops int64
+	for _, c := range h.ctrl {
+		if c != nil {
+			s := c.Stats()
+			dials += s.Dials
+			drops += s.Drops
+		}
+	}
+	return StatsResp{Host: &HostStats{
+		Host:        h.spec.Index,
+		Incarnation: h.spec.Incarnation,
+		Dials:       dials,
+		Drops:       drops,
+		Slots:       h.slotStates(),
+	}}
+}
+
+func (h *hostNode) close() {
+	for _, c := range h.ctrl {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range h.hosts {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"laar/internal/controlplane"
+)
+
+// Poll is one stats sweep over the cluster: what every node reported at
+// one instant. A nil entry means the node did not answer (dead, still
+// restarting, or unreachable).
+type Poll struct {
+	At      time.Duration
+	Ctrls   []*CtrlStats
+	Hosts   []*HostStats
+	Gateway *GatewayStats
+}
+
+// RunReport is what a chaos run leaves behind: the topology, and the
+// time series of polls. The run-level invariants judge it after the
+// schedule has drained and the cluster has had time to settle.
+type RunReport struct {
+	Top   Topology
+	Polls []Poll
+}
+
+// Violation is one invariant breach found in a run report.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Invariant is one run-level check.
+type Invariant struct {
+	Name  string
+	Doc   string
+	Check func(r *RunReport) []Violation
+}
+
+// final returns the last poll, or nil when the report is empty.
+func (r *RunReport) final() *Poll {
+	if len(r.Polls) == 0 {
+		return nil
+	}
+	return &r.Polls[len(r.Polls)-1]
+}
+
+// finalLeader returns the last poll's unique leading controller, or nil.
+func (r *RunReport) finalLeader() *CtrlStats {
+	p := r.final()
+	if p == nil {
+		return nil
+	}
+	var leader *CtrlStats
+	for _, c := range p.Ctrls {
+		if c != nil && c.Leading {
+			if leader != nil {
+				return nil // not unique
+			}
+			leader = c
+		}
+	}
+	return leader
+}
+
+// Registry returns the run-level invariants a healed cluster must
+// satisfy once the chaos schedule has drained.
+func Registry() []Invariant {
+	return []Invariant{
+		{
+			Name: "nodes-responsive",
+			Doc:  "every node answers the final stats poll",
+			Check: func(r *RunReport) []Violation {
+				p := r.final()
+				if p == nil {
+					return []Violation{{"nodes-responsive", "no polls collected"}}
+				}
+				var out []Violation
+				for j, c := range p.Ctrls {
+					if c == nil {
+						out = append(out, Violation{"nodes-responsive", fmt.Sprintf("ctrl%d silent at final poll", j)})
+					}
+				}
+				for h, s := range p.Hosts {
+					if s == nil {
+						out = append(out, Violation{"nodes-responsive", fmt.Sprintf("host%d silent at final poll", h)})
+					}
+				}
+				if p.Gateway == nil {
+					out = append(out, Violation{"nodes-responsive", "gateway silent at final poll"})
+				}
+				return out
+			},
+		},
+		{
+			Name: "leader-unique-lowest",
+			Doc:  "exactly one controller leads at the end, and it is the lowest responsive id (the lease rule)",
+			Check: func(r *RunReport) []Violation {
+				p := r.final()
+				if p == nil {
+					return nil
+				}
+				leading := -1
+				n := 0
+				lowest := -1
+				for j, c := range p.Ctrls {
+					if c == nil {
+						continue
+					}
+					if lowest == -1 {
+						lowest = j
+					}
+					if c.Leading {
+						leading = j
+						n++
+					}
+				}
+				switch {
+				case n == 0:
+					return []Violation{{"leader-unique-lowest", "no controller leading at final poll"}}
+				case n > 1:
+					return []Violation{{"leader-unique-lowest", fmt.Sprintf("%d controllers leading at final poll", n)}}
+				case leading != lowest:
+					return []Violation{{"leader-unique-lowest", fmt.Sprintf("ctrl%d leads but ctrl%d is the lowest responsive id", leading, lowest)}}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "ballot-holder",
+			Doc:  "every leading controller's epoch encodes its own id (ballots cannot be stolen)",
+			Check: func(r *RunReport) []Violation {
+				var out []Violation
+				for i := range r.Polls {
+					for _, c := range r.Polls[i].Ctrls {
+						if c != nil && c.Leading && controlplane.BallotHolder(c.Epoch) != c.ID {
+							out = append(out, Violation{"ballot-holder",
+								fmt.Sprintf("poll %d: ctrl%d leads under epoch %d held by id %d", i, c.ID, c.Epoch, controlplane.BallotHolder(c.Epoch))})
+						}
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name: "lease-epochs-monotone",
+			Doc:  "a controller's leading epochs only move up across the run — a restarted controller must not reclaim an epoch it already held",
+			Check: func(r *RunReport) []Violation {
+				var out []Violation
+				high := map[int]uint64{}
+				for i := range r.Polls {
+					for _, c := range r.Polls[i].Ctrls {
+						if c == nil || !c.Leading {
+							continue
+						}
+						if prev, ok := high[c.ID]; ok && c.Epoch < prev {
+							out = append(out, Violation{"lease-epochs-monotone",
+								fmt.Sprintf("poll %d: ctrl%d leads under epoch %d after having led under %d", i, c.ID, c.Epoch, prev)})
+						}
+						if c.Epoch > high[c.ID] {
+							high[c.ID] = c.Epoch
+						}
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name: "commands-converged",
+			Doc:  "the final leader has no command in flight — every slot acked the target activation",
+			Check: func(r *RunReport) []Violation {
+				leader := r.finalLeader()
+				if leader == nil {
+					return nil // leader-unique-lowest reports this case
+				}
+				if leader.Pending != 0 {
+					return []Violation{{"commands-converged", fmt.Sprintf("final leader ctrl%d has %d commands pending", leader.ID, leader.Pending)}}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "activation-matches-target",
+			Doc:  "every replica slot ends in the activation state the target configuration wants",
+			Check: func(r *RunReport) []Violation {
+				leader := r.finalLeader()
+				p := r.final()
+				if leader == nil || p == nil {
+					return nil
+				}
+				var out []Violation
+				for _, h := range p.Hosts {
+					if h == nil {
+						continue
+					}
+					for _, sl := range h.Slots {
+						if want := WantActive(leader.Cfg, sl.K); sl.Active != want {
+							out = append(out, Violation{"activation-matches-target",
+								fmt.Sprintf("host%d slot (%d,%d): active=%v, target cfg %d wants %v", h.Host, sl.PE, sl.K, sl.Active, leader.Cfg, want)})
+						}
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name: "proxy-converged",
+			Doc:  "every replica slot has adopted the final leader's epoch — no slot still obeys a deposed leader",
+			Check: func(r *RunReport) []Violation {
+				leader := r.finalLeader()
+				p := r.final()
+				if leader == nil || p == nil {
+					return nil
+				}
+				var out []Violation
+				for _, h := range p.Hosts {
+					if h == nil {
+						continue
+					}
+					for _, sl := range h.Slots {
+						if sl.ProxyEpoch != leader.Epoch {
+							out = append(out, Violation{"proxy-converged",
+								fmt.Sprintf("host%d slot (%d,%d): proxy epoch %d, leader epoch %d", h.Host, sl.PE, sl.K, sl.ProxyEpoch, leader.Epoch)})
+						}
+					}
+				}
+				return out
+			},
+		},
+		{
+			Name: "delivery-resumed",
+			Doc:  "after the last fault heals, the gateway keeps feeding and the sink stage keeps processing — tuples flow end to end again",
+			Check: func(r *RunReport) []Violation {
+				if len(r.Polls) < 2 {
+					return []Violation{{"delivery-resumed", "need at least two polls to judge progress"}}
+				}
+				prev, last := &r.Polls[len(r.Polls)-2], &r.Polls[len(r.Polls)-1]
+				var out []Violation
+				if prev.Gateway != nil && last.Gateway != nil && last.Gateway.Sent <= prev.Gateway.Sent {
+					out = append(out, Violation{"delivery-resumed",
+						fmt.Sprintf("gateway sent stalled at %d", last.Gateway.Sent)})
+				}
+				sink := func(p *Poll) (uint64, bool) {
+					var total uint64
+					seen := false
+					for _, h := range p.Hosts {
+						if h == nil {
+							return 0, false
+						}
+						for _, sl := range h.Slots {
+							if sl.PE == r.Top.PEs-1 {
+								total += sl.Processed
+								seen = true
+							}
+						}
+					}
+					return total, seen
+				}
+				a, okA := sink(prev)
+				b, okB := sink(last)
+				switch {
+				case !okA || !okB:
+					out = append(out, Violation{"delivery-resumed", "sink stage unobservable in the final polls"})
+				case b <= a:
+					out = append(out, Violation{"delivery-resumed",
+						fmt.Sprintf("sink processed stalled at %d across the final polls", b)})
+				}
+				return out
+			},
+		},
+	}
+}
+
+// CheckAll runs every registry invariant over the report.
+func CheckAll(r *RunReport) []Violation {
+	var out []Violation
+	for _, inv := range Registry() {
+		out = append(out, inv.Check(r)...)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"laar/internal/netx"
+)
+
+// nodeImpl is the kind-specific half of a node: the controller, host and
+// gateway implement it over the shared serve/tick/stats plumbing.
+type nodeImpl interface {
+	// handle processes one inbound server frame.
+	handle(p *netx.Peer, typ byte, payload []byte)
+	// tick advances the node's control loop.
+	tick(now time.Time)
+	// stats snapshots the node for the supervisor's polls.
+	stats() StatsResp
+	// close releases the impl's dialed connections.
+	close()
+}
+
+// Node is one running cluster node (any kind). Tests run several Nodes
+// in-process; cmd/laarcluster runs exactly one per child process.
+type Node struct {
+	spec NodeSpec
+	srv  *netx.Server
+	impl nodeImpl
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartNode validates the spec, starts the node's server and control
+// loop, and returns. The node runs until Stop.
+func StartNode(spec NodeSpec) (*Node, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{spec: spec, stop: make(chan struct{}), done: make(chan struct{})}
+
+	var impl nodeImpl
+	switch spec.Kind {
+	case "controller":
+		impl = newCtrlNode(spec)
+	case "host":
+		impl = newHostNode(spec)
+	case "gateway":
+		impl = newGatewayNode(spec)
+	}
+	n.impl = impl
+
+	tick := time.Duration(spec.TickMs) * time.Millisecond
+	srv, err := netx.Serve(spec.ListenAddr, netx.ServerOptions{
+		// A peer that goes fully silent for many ticks is gone; its
+		// dialer redials through the fabric when the link allows.
+		IdleTimeout: 20 * tick,
+		Handler: func(p *netx.Peer, typ byte, payload []byte) {
+			if typ == MTStatsReq {
+				p.Send(MTStatsResp, encode(impl.stats()))
+				return
+			}
+			impl.handle(p, typ, payload)
+		},
+		OnDisconnect: func(p *netx.Peer) {
+			if c, ok := impl.(*ctrlNode); ok {
+				c.peerGone(p)
+			}
+		},
+	})
+	if err != nil {
+		impl.close()
+		return nil, err
+	}
+	n.srv = srv
+
+	go n.run(tick)
+	return n, nil
+}
+
+// Addr returns the node's real listen address (the one behind the fault
+// fabric).
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Spec returns the node's (defaulted) spec.
+func (n *Node) Spec() NodeSpec { return n.spec }
+
+// Stats snapshots the node directly (in-process callers; remote callers
+// use MTStatsReq).
+func (n *Node) Stats() StatsResp { return n.impl.stats() }
+
+// Stop shuts the node down: control loop, server, dialed connections.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+func (n *Node) run(tick time.Duration) {
+	defer close(n.done)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			n.srv.Close()
+			n.impl.close()
+			return
+		case now := <-t.C:
+			n.impl.tick(now)
+		}
+	}
+}
+
+// connOptions are the dial settings every inter-node connection uses:
+// keepalive at twice the tick, redial backoff from one tick up to eight,
+// jittered so many dialers severed by one cut do not redial in lockstep.
+func connOptions(spec NodeSpec, seed int64) netx.ConnOptions {
+	tick := time.Duration(spec.TickMs) * time.Millisecond
+	return netx.ConnOptions{
+		PingEvery: 2 * tick,
+		Backoff:   netx.BackoffPolicy{Min: tick, Max: 8 * tick, Jitter: 0.2},
+		Seed:      seed,
+	}
+}
+
+// nodeName renders a node identity for logs and schedules: "ctrl1",
+// "host0", "gw".
+func nodeName(kind string, index int) string {
+	switch kind {
+	case "gateway":
+		return "gw"
+	case "controller":
+		return fmt.Sprintf("ctrl%d", index)
+	default:
+		return fmt.Sprintf("%s%d", kind, index)
+	}
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventKind enumerates chaos schedule events. Process events (kill,
+// restart) go to the supervisor; link events go to the fault fabric,
+// mapping one-to-one onto the in-process NetFault surface.
+type EventKind int
+
+const (
+	// EvKill terminates a node process (SIGKILL — no goodbye).
+	EvKill EventKind = iota
+	// EvRestart spawns a fresh process for a previously killed node,
+	// with a bumped incarnation and (for controllers) the ballot floor.
+	EvRestart
+	// EvCut severs the link between two endpoints; EvHeal restores it.
+	EvCut
+	EvHeal
+	// EvLoss sets the global frame-loss probability; EvLinkLoss
+	// overrides it for one endpoint pair.
+	EvLoss
+	EvLinkLoss
+	// EvDelay sets the global link delay; EvLinkDelay one pair's.
+	EvDelay
+	EvLinkDelay
+	// EvTarget switches the activation target configuration.
+	EvTarget
+)
+
+// Event is one scheduled chaos action.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Node string        // EvKill/EvRestart: node name ("ctrl0", "host1")
+	A, B int           // link events: endpoint pair
+	P    float64       // loss probability
+	D    time.Duration // delay
+	Cfg  int           // EvTarget: configuration index
+}
+
+// Schedule is a chaos schedule, kept sorted by time.
+type Schedule []Event
+
+// ParseEndpoint maps a node name to its fault-fabric endpoint: "hostN"
+// → N, "ctrlN" → ControllerEndpoint(N), "gw" → GatewayEndpoint.
+func ParseEndpoint(s string) (int, error) {
+	switch {
+	case s == "gw":
+		return GatewayEndpoint, nil
+	case strings.HasPrefix(s, "host"):
+		n, err := strconv.Atoi(s[len("host"):])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("cluster: bad host endpoint %q", s)
+		}
+		return n, nil
+	case strings.HasPrefix(s, "ctrl"):
+		n, err := strconv.Atoi(s[len("ctrl"):])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("cluster: bad controller endpoint %q", s)
+		}
+		return ControllerEndpoint(n), nil
+	}
+	return 0, fmt.Errorf("cluster: unknown endpoint %q", s)
+}
+
+// ParseSchedule parses a compact schedule: events separated by ";", each
+// "<time> <verb> <args>". Verbs:
+//
+//	500ms kill ctrl0          1200ms restart ctrl0
+//	600ms cut host0 ctrl1     1500ms heal host0 ctrl1
+//	700ms loss 0.2            800ms loss host0 host1 0.5
+//	900ms delay 5ms           1s delay gw host0 10ms
+//	2s target 0
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Fields(part)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("cluster: bad schedule event %q", part)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad event time in %q: %v", part, err)
+		}
+		ev := Event{At: at}
+		verb, args := fields[1], fields[2:]
+		bad := func() error { return fmt.Errorf("cluster: bad %s event %q", verb, part) }
+		switch verb {
+		case "kill", "restart":
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			if _, err := ParseEndpoint(args[0]); err != nil || args[0] == "gw" {
+				return nil, bad()
+			}
+			ev.Kind, ev.Node = EvKill, args[0]
+			if verb == "restart" {
+				ev.Kind = EvRestart
+			}
+		case "cut", "heal":
+			if len(args) != 2 {
+				return nil, bad()
+			}
+			if ev.A, err = ParseEndpoint(args[0]); err != nil {
+				return nil, err
+			}
+			if ev.B, err = ParseEndpoint(args[1]); err != nil {
+				return nil, err
+			}
+			ev.Kind = EvCut
+			if verb == "heal" {
+				ev.Kind = EvHeal
+			}
+		case "loss":
+			switch len(args) {
+			case 1:
+				ev.Kind = EvLoss
+				if ev.P, err = strconv.ParseFloat(args[0], 64); err != nil {
+					return nil, bad()
+				}
+			case 3:
+				ev.Kind = EvLinkLoss
+				if ev.A, err = ParseEndpoint(args[0]); err != nil {
+					return nil, err
+				}
+				if ev.B, err = ParseEndpoint(args[1]); err != nil {
+					return nil, err
+				}
+				if ev.P, err = strconv.ParseFloat(args[2], 64); err != nil {
+					return nil, bad()
+				}
+			default:
+				return nil, bad()
+			}
+			if ev.P < 0 || ev.P > 1 {
+				return nil, fmt.Errorf("cluster: loss probability %v outside [0,1] in %q", ev.P, part)
+			}
+		case "delay":
+			switch len(args) {
+			case 1:
+				ev.Kind = EvDelay
+				if ev.D, err = time.ParseDuration(args[0]); err != nil {
+					return nil, bad()
+				}
+			case 3:
+				ev.Kind = EvLinkDelay
+				if ev.A, err = ParseEndpoint(args[0]); err != nil {
+					return nil, err
+				}
+				if ev.B, err = ParseEndpoint(args[1]); err != nil {
+					return nil, err
+				}
+				if ev.D, err = time.ParseDuration(args[2]); err != nil {
+					return nil, bad()
+				}
+			default:
+				return nil, bad()
+			}
+		case "target":
+			if len(args) != 1 {
+				return nil, bad()
+			}
+			ev.Kind = EvTarget
+			if ev.Cfg, err = strconv.Atoi(args[0]); err != nil || ev.Cfg < 0 {
+				return nil, bad()
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unknown schedule verb %q in %q", verb, part)
+		}
+		sched = append(sched, ev)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// DefaultScheduleText is the acceptance scenario: kill the leading
+// controller, cut a host off the interim leader, heal, and bring the old
+// leader back — the cluster must re-elect twice and reconverge with zero
+// invariant violations.
+const DefaultScheduleText = "500ms kill ctrl0; 800ms cut host0 ctrl1; 1600ms heal host0 ctrl1; 2s restart ctrl0"
+
+// DefaultSchedule returns DefaultScheduleText parsed.
+func DefaultSchedule() Schedule {
+	s, err := ParseSchedule(DefaultScheduleText)
+	if err != nil {
+		panic(err) // the literal above must parse
+	}
+	return s
+}

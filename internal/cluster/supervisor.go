@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"laar/internal/netx"
+)
+
+// addrLinePrefix is the line a child node prints once it is listening;
+// the supervisor scrapes the address off it.
+const addrLinePrefix = "LAARCLUSTER_ADDR "
+
+// Supervisor runs a cluster as separate OS processes: it spawns one
+// child per node, wires every inter-node link through a fault fabric,
+// applies chaos schedules (process kills and restarts, link cuts, loss,
+// delay), and polls stats for the run-level invariants.
+//
+// The child protocol is deliberately primitive: the supervisor writes
+// one JSON NodeSpec to the child's stdin, the child prints
+// "LAARCLUSTER_ADDR <addr>" once listening, and stdin EOF tells the
+// child to shut down. Children that vanish without ceremony (EvKill) are
+// simply respawned with a higher incarnation.
+type Supervisor struct {
+	Top        Topology
+	TickMs     int
+	LeaseTTLMs int
+	// Command is the argv prefix that execs one child node, typically
+	// [self, "-node"]; the spec arrives on stdin.
+	Command []string
+	// Logf receives child output and supervisor progress; nil discards.
+	Logf func(format string, args ...any)
+	// Seed drives the fault fabric's loss draws.
+	Seed int64
+
+	fabric *Fabric
+	mu     sync.Mutex
+	procs  map[string]*nodeProc
+	addrs  map[string]string
+	incs   map[string]uint64
+	floor  uint64
+	polls  []Poll
+	began  time.Time
+}
+
+type nodeProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Start builds the fault fabric and spawns every node process.
+func (s *Supervisor) Start() error {
+	if err := s.Top.Validate(); err != nil {
+		return err
+	}
+	if len(s.Command) == 0 {
+		return fmt.Errorf("cluster: supervisor needs a child command")
+	}
+	s.procs = make(map[string]*nodeProc)
+	s.addrs = make(map[string]string)
+	s.incs = make(map[string]uint64)
+	s.began = time.Now()
+	fabric, err := BuildFabric(s.Top, s.AddrOf, s.Seed)
+	if err != nil {
+		return err
+	}
+	s.fabric = fabric
+	for j := 0; j < s.Top.Controllers; j++ {
+		if err := s.spawn("controller", j); err != nil {
+			return err
+		}
+	}
+	for h := 0; h < s.Top.Hosts; h++ {
+		if err := s.spawn("host", h); err != nil {
+			return err
+		}
+	}
+	return s.spawn("gateway", 0)
+}
+
+// AddrOf resolves a node's current real address — the fabric consults it
+// for every relayed connection, so restarts (new ports) are transparent.
+func (s *Supervisor) AddrOf(kind string, index int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr := s.addrs[nodeName(kind, index)]
+	if addr == "" {
+		return "", fmt.Errorf("cluster: %s is down", nodeName(kind, index))
+	}
+	return addr, nil
+}
+
+// spawn execs one child node and waits for its address line.
+func (s *Supervisor) spawn(kind string, index int) error {
+	name := nodeName(kind, index)
+	s.mu.Lock()
+	if s.procs[name] != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: %s is already running", name)
+	}
+	s.incs[name]++
+	spec := s.fabric.SpecFor(kind, index, s.Top, s.TickMs, s.LeaseTTLMs)
+	spec.Incarnation = s.incs[name]
+	spec.BallotFloor = s.floor
+	s.mu.Unlock()
+
+	cmd := exec.Command(s.Command[0], s.Command[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: spawn %s: %w", name, err)
+	}
+	go s.forward(name+"!", stderr)
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return err
+	}
+	if _, err := stdin.Write(append(specJSON, '\n')); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("cluster: feed spec to %s: %w", name, err)
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if addr, ok := strings.CutPrefix(line, addrLinePrefix); ok {
+				select {
+				case addrCh <- strings.TrimSpace(addr):
+					continue
+				default:
+				}
+			}
+			s.logf("%s: %s", name, line)
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		s.mu.Lock()
+		s.procs[name] = &nodeProc{cmd: cmd, stdin: stdin}
+		s.addrs[name] = addr
+		s.mu.Unlock()
+		s.logf("spawned %s (incarnation %d) at %s", name, spec.Incarnation, addr)
+		return nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("cluster: %s never reported its address", name)
+	}
+}
+
+func (s *Supervisor) forward(tag string, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		s.logf("%s %s", tag, sc.Text())
+	}
+}
+
+// Kill terminates a node process without ceremony (SIGKILL).
+func (s *Supervisor) Kill(name string) error {
+	s.mu.Lock()
+	p := s.procs[name]
+	delete(s.procs, name)
+	delete(s.addrs, name)
+	s.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("cluster: %s is not running", name)
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	s.logf("killed %s", name)
+	return nil
+}
+
+// Restart respawns a previously killed node with a bumped incarnation
+// and the current ballot floor.
+func (s *Supervisor) Restart(name string) error {
+	kind, index, err := parseNodeName(name)
+	if err != nil {
+		return err
+	}
+	return s.spawn(kind, index)
+}
+
+// parseNodeName inverts nodeName.
+func parseNodeName(name string) (kind string, index int, err error) {
+	ep, err := ParseEndpoint(name)
+	switch {
+	case err != nil:
+		return "", 0, err
+	case ep == GatewayEndpoint:
+		return "gateway", 0, nil
+	case ep < 0:
+		return "controller", -(ep + 1), nil
+	default:
+		return "host", ep, nil
+	}
+}
+
+// Apply executes one chaos event against the processes and the fabric.
+func (s *Supervisor) Apply(ev Event) error {
+	switch ev.Kind {
+	case EvKill:
+		return s.Kill(ev.Node)
+	case EvRestart:
+		return s.Restart(ev.Node)
+	case EvCut:
+		s.logf("cut %d-%d", ev.A, ev.B)
+		return s.fabric.Proxy.Cut(ev.A, ev.B)
+	case EvHeal:
+		s.logf("heal %d-%d", ev.A, ev.B)
+		return s.fabric.Proxy.Heal(ev.A, ev.B)
+	case EvLoss:
+		s.fabric.Proxy.SetLoss(ev.P)
+	case EvLinkLoss:
+		s.fabric.Proxy.SetLinkLoss(ev.A, ev.B, ev.P)
+	case EvDelay:
+		s.fabric.Proxy.SetDelay(ev.D)
+	case EvLinkDelay:
+		s.fabric.Proxy.SetLinkDelay(ev.A, ev.B, ev.D)
+	case EvTarget:
+		s.SendTarget(ev.Cfg)
+	default:
+		return fmt.Errorf("cluster: unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// SendTarget pushes a target-configuration switch to every responsive
+// controller (directly, not through the fabric — it is an operator
+// action, not cluster traffic).
+func (s *Supervisor) SendTarget(cfg int) {
+	for j := 0; j < s.Top.Controllers; j++ {
+		addr, err := s.AddrOf("controller", j)
+		if err != nil {
+			continue
+		}
+		sendOnce(addr, MTTarget, encode(Target{Cfg: cfg}))
+	}
+}
+
+// Poll sweeps every node's stats, records the poll, and lifts the ballot
+// floor to the highest epoch observed — the floor a restarted controller
+// is seeded with.
+func (s *Supervisor) Poll() Poll {
+	p := Poll{At: time.Since(s.began)}
+	p.Ctrls = make([]*CtrlStats, s.Top.Controllers)
+	p.Hosts = make([]*HostStats, s.Top.Hosts)
+	const timeout = time.Second
+	for j := 0; j < s.Top.Controllers; j++ {
+		if addr, err := s.AddrOf("controller", j); err == nil {
+			if r, err := QueryStats(addr, timeout); err == nil && r.Ctrl != nil {
+				p.Ctrls[j] = r.Ctrl
+			}
+		}
+	}
+	for h := 0; h < s.Top.Hosts; h++ {
+		if addr, err := s.AddrOf("host", h); err == nil {
+			if r, err := QueryStats(addr, timeout); err == nil && r.Host != nil {
+				p.Hosts[h] = r.Host
+			}
+		}
+	}
+	if addr, err := s.AddrOf("gateway", 0); err == nil {
+		if r, err := QueryStats(addr, timeout); err == nil && r.Gateway != nil {
+			p.Gateway = r.Gateway
+		}
+	}
+	s.mu.Lock()
+	for _, c := range p.Ctrls {
+		if c != nil {
+			if c.MaxSeen > s.floor {
+				s.floor = c.MaxSeen
+			}
+			if c.Epoch > s.floor {
+				s.floor = c.Epoch
+			}
+		}
+	}
+	s.polls = append(s.polls, p)
+	s.mu.Unlock()
+	return p
+}
+
+// Run replays a schedule over total wall time, polling stats every
+// pollEvery, and returns the report. Event application errors abort the
+// run — a schedule that fails to apply is a broken experiment, not a
+// finding.
+func (s *Supervisor) Run(sched Schedule, total, pollEvery time.Duration) (*RunReport, error) {
+	start := time.Now()
+	next := 0
+	for {
+		now := time.Since(start)
+		for next < len(sched) && sched[next].At <= now {
+			if err := s.Apply(sched[next]); err != nil {
+				return nil, fmt.Errorf("cluster: apply %v: %w", sched[next], err)
+			}
+			next++
+		}
+		if now >= total {
+			break
+		}
+		sleep := pollEvery
+		if next < len(sched) && sched[next].At-now < sleep {
+			sleep = sched[next].At - now
+		}
+		if rest := total - now; rest < sleep {
+			sleep = rest
+		}
+		time.Sleep(sleep)
+		// Poll after the sleep, never back-to-back: the progress
+		// invariants compare the final two polls, which must be a real
+		// interval apart for counters to be able to move between them.
+		s.Poll()
+	}
+	return s.Report(), nil
+}
+
+// Report returns the polls collected so far.
+func (s *Supervisor) Report() *RunReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &RunReport{Top: s.Top, Polls: append([]Poll(nil), s.polls...)}
+}
+
+// Shutdown stops every child (stdin EOF, then kill after a grace
+// period) and tears the fabric down.
+func (s *Supervisor) Shutdown() {
+	s.mu.Lock()
+	procs := s.procs
+	s.procs = make(map[string]*nodeProc)
+	s.addrs = make(map[string]string)
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	for name, p := range procs {
+		wg.Add(1)
+		go func(name string, p *nodeProc) {
+			defer wg.Done()
+			p.stdin.Close() // EOF: the child stops itself
+			done := make(chan struct{})
+			go func() { p.cmd.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Second):
+				p.cmd.Process.Kill()
+				<-done
+			}
+		}(name, p)
+	}
+	wg.Wait()
+	if s.fabric != nil {
+		s.fabric.Close()
+	}
+}
+
+// QueryStats asks one node (by real address) for its stats snapshot.
+func QueryStats(addr string, timeout time.Duration) (StatsResp, error) {
+	var resp StatsResp
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return resp, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := netx.WriteFrame(nc, MTStatsReq, nil); err != nil {
+		return resp, err
+	}
+	fr := netx.NewFrameReader(nc, 0)
+	for {
+		typ, payload, err := fr.Next()
+		if err != nil {
+			return resp, err
+		}
+		if typ != MTStatsResp {
+			continue
+		}
+		return resp, decode(payload, &resp)
+	}
+}
+
+// sendOnce dials a real address, writes one frame, and hangs up.
+func sendOnce(addr string, typ byte, payload []byte) error {
+	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	return netx.WriteFrame(nc, typ, payload)
+}
+
+// RunChild is the body of a child node process: read the spec from
+// stdin, start the node, report its address, and run until stdin closes.
+// cmd/laarcluster calls it in -node mode.
+func RunChild(stdin io.Reader, stdout io.Writer) error {
+	dec := json.NewDecoder(stdin)
+	var spec NodeSpec
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("cluster: read node spec: %w", err)
+	}
+	n, err := StartNode(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s%s\n", addrLinePrefix, n.Addr())
+	// Block until the supervisor hangs up (or dies — either way, EOF).
+	io.Copy(io.Discard, dec.Buffered())
+	io.Copy(io.Discard, stdin)
+	n.Stop()
+	return nil
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Frame types of the cluster wire protocol. Payloads are JSON — the
+// volume is control-plane scale (beats, commands, small tuples), so
+// debuggability beats compactness here; the frame layer beneath is
+// binary and bounded either way.
+const (
+	// MTHello introduces a dialing node to a server (first frame on every
+	// connection, replayed on each reconnect).
+	MTHello byte = 1
+	// MTBeat is a host's heartbeat to a controller: liveness,
+	// incarnation, and per-slot state.
+	MTBeat byte = 2
+	// MTCommand is an activation command, controller → host, riding the
+	// host's dialed connection in reverse.
+	MTCommand byte = 3
+	// MTAck answers a command, host → controller: applied or refused
+	// (stale ballot, carrying the adopted one).
+	MTAck byte = 4
+	// MTCtrlBeat is controller → controller gossip: liveness, ballot
+	// watermark, lease role, and the target configuration.
+	MTCtrlBeat byte = 5
+	// MTTuple is one data tuple moving down the pipeline.
+	MTTuple byte = 6
+	// MTTarget switches the target configuration (sent to controllers).
+	MTTarget byte = 7
+	// MTStatsReq asks a node for its stats snapshot; MTStatsResp answers.
+	MTStatsReq  byte = 8
+	MTStatsResp byte = 9
+)
+
+// Hello identifies a dialing node.
+type Hello struct {
+	Kind        string
+	Index       int
+	Incarnation uint64
+}
+
+// SlotState is one replica slot's state as reported in beats and stats.
+type SlotState struct {
+	PE, K      int
+	Active     bool
+	ProxyEpoch uint64
+	ProxySeq   uint64
+	Processed  uint64
+}
+
+// Beat is a host heartbeat.
+type Beat struct {
+	Host        int
+	Incarnation uint64
+	Slots       []SlotState
+}
+
+// CommandMsg carries one sequencer command to a replica slot.
+type CommandMsg struct {
+	Epoch  uint64
+	Seq    uint64
+	PE, K  int
+	Active bool
+}
+
+// AckMsg answers a CommandMsg. Applied false is a NACK: the command's
+// ballot was stale, and Adopted carries the ballot the proxy holds so
+// the deposed leader can re-claim above it.
+type AckMsg struct {
+	Epoch   uint64
+	Seq     uint64
+	PE, K   int
+	Applied bool
+	Adopted uint64
+}
+
+// CtrlBeat is controller gossip.
+type CtrlBeat struct {
+	ID      int
+	MaxSeen uint64
+	Epoch   uint64
+	Leading bool
+	Cfg     int
+	CfgSeq  uint64
+}
+
+// Tuple is one data-plane tuple addressed to a pipeline stage.
+type Tuple struct {
+	PE int
+	ID uint64
+}
+
+// Target switches the activation target. CfgSeq orders concurrent
+// switches; controllers adopt the highest they have seen and gossip it,
+// so a leader elected after the switch still drives the right target.
+type Target struct {
+	Cfg    int
+	CfgSeq uint64
+}
+
+// CtrlStats is a controller's stats snapshot.
+type CtrlStats struct {
+	ID      int
+	Leading bool
+	Epoch   uint64
+	MaxSeen uint64
+	Pending int
+	Cfg     int
+	CfgSeq  uint64
+}
+
+// HostStats is a host's stats snapshot. Dials and Drops aggregate the
+// host's controller connections (successful dials and established
+// connections subsequently lost) — the observable a reconnect test uses
+// to tell a backoff-capped redial schedule from a reconnect storm.
+type HostStats struct {
+	Host        int
+	Incarnation uint64
+	Dials       int64
+	Drops       int64
+	Slots       []SlotState
+}
+
+// GatewayStats is the gateway's stats snapshot.
+type GatewayStats struct {
+	Sent uint64
+}
+
+// StatsResp is the union stats reply; exactly one pointer is set,
+// matching the node's kind.
+type StatsResp struct {
+	Ctrl    *CtrlStats    `json:",omitempty"`
+	Host    *HostStats    `json:",omitempty"`
+	Gateway *GatewayStats `json:",omitempty"`
+}
+
+// encode marshals a wire message, panicking on the impossible case (all
+// wire types marshal cleanly by construction).
+func encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: encode %T: %v", v, err))
+	}
+	return b
+}
+
+// decode unmarshals a wire message into v.
+func decode(payload []byte, v any) error {
+	return json.Unmarshal(payload, v)
+}

@@ -1,0 +1,47 @@
+package controlplane
+
+import "testing"
+
+// TestAckedMatchRejectsStaleAck pins the asynchronous-ack hardening: an
+// acknowledgement must name the in-flight command exactly — a re-ack of
+// an earlier command (duplicate delivery racing a retransmission) or one
+// under a stale ballot cannot complete a newer command.
+func TestAckedMatchRejectsStaleAck(t *testing.T) {
+	s := NewCommandSequencer(1, 1, RetryPolicy{Min: 1, Max: 2})
+	s.BeginEpoch(256)
+
+	cmd1, send, _ := s.Step(0, 0, true, 0)
+	if !send {
+		t.Fatal("first command not sent")
+	}
+	if s.AckedMatch(0, 0, cmd1.Epoch, cmd1.Seq); s.Pending() != 0 {
+		t.Fatalf("matching ack left %d pending", s.Pending())
+	}
+
+	// A newer command in flight: the old command's re-ack must not
+	// complete it.
+	cmd2, send, _ := s.Step(0, 0, false, 0)
+	if !send || cmd2.Seq <= cmd1.Seq {
+		t.Fatalf("second command: send=%v seq=%d (first %d)", send, cmd2.Seq, cmd1.Seq)
+	}
+	if s.AckedMatch(0, 0, cmd1.Epoch, cmd1.Seq) {
+		t.Fatal("stale re-ack of the first command was applied")
+	}
+	if s.AckedMatch(0, 0, cmd2.Epoch+1, cmd2.Seq) {
+		t.Fatal("ack under a foreign ballot was applied")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the second command still in flight", s.Pending())
+	}
+	if !s.AckedMatch(0, 0, cmd2.Epoch, cmd2.Seq) {
+		t.Fatal("exact ack of the in-flight command was refused")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after the exact ack", s.Pending())
+	}
+
+	// On an idle slot every ack is a no-op.
+	if s.AckedMatch(0, 0, cmd2.Epoch, cmd2.Seq) {
+		t.Fatal("ack applied to a slot with nothing in flight")
+	}
+}

@@ -1,0 +1,56 @@
+package controlplane
+
+import "testing"
+
+// TestResetSlotForgetsAckedState covers the host-restart path: after a
+// slot converged, ResetSlot returns it to unknown, so the next Step
+// issues a fresh command even though the wanted state never changed.
+func TestResetSlotForgetsAckedState(t *testing.T) {
+	s := NewCommandSequencer(2, 2, RetryPolicy{Min: 10, Max: 80})
+	s.BeginEpoch(PackBallot(1, 0))
+
+	cmd, send, _ := s.Step(1, 0, true, 0)
+	if !send {
+		t.Fatal("fresh slot should send")
+	}
+	s.Acked(1, 0)
+	if _, send, _ := s.Step(1, 0, true, 0); send {
+		t.Fatal("converged slot should stay quiet")
+	}
+
+	s.ResetSlot(1, 0)
+	cmd2, send, retry := s.Step(1, 0, true, 0)
+	if !send || retry {
+		t.Fatalf("reset slot: send=%v retry=%v, want a fresh send", send, retry)
+	}
+	if cmd2.Seq <= cmd.Seq {
+		t.Fatalf("reset slot reissued seq %d after %d; must advance", cmd2.Seq, cmd.Seq)
+	}
+	// The untouched neighbour slot is unaffected.
+	s.Acked(1, 0)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("pending = %d after ack, want 0", got)
+	}
+}
+
+// TestResetSlotClearsPending covers resetting a slot with a command in
+// flight: the pending count drops and the reissued command supersedes the
+// lost one.
+func TestResetSlotClearsPending(t *testing.T) {
+	s := NewCommandSequencer(1, 1, RetryPolicy{Min: 10, Max: 80})
+	s.BeginEpoch(PackBallot(1, 0))
+
+	if _, send, _ := s.Step(0, 0, true, 0); !send {
+		t.Fatal("fresh slot should send")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.ResetSlot(0, 0)
+	if s.Pending() != 0 {
+		t.Fatalf("pending after reset = %d, want 0", s.Pending())
+	}
+	if _, send, retry := s.Step(0, 0, true, 5); !send || retry {
+		t.Fatal("reset slot must reissue immediately as a fresh command")
+	}
+}

@@ -156,7 +156,9 @@ func (s *CommandSequencer) Step(pe, k int, want bool, now int64) (cmd Command, s
 }
 
 // Acked marks the slot's in-flight command acknowledged: the commanded
-// activation state is now the slot's known state.
+// activation state is now the slot's known state. It is the right form
+// for synchronous transports, where the ack answers the transmission
+// that just happened; asynchronous transports use AckedMatch.
 func (s *CommandSequencer) Acked(pe, k int) {
 	sl := &s.slots[pe*s.k+k]
 	if !sl.pending {
@@ -169,6 +171,36 @@ func (s *CommandSequencer) Acked(pe, k int) {
 	}
 	sl.pending = false
 	s.pendingN--
+}
+
+// AckedMatch marks the slot acknowledged only when the acknowledgement
+// names the slot's in-flight command exactly: issued under the current
+// ballot with the same sequence number. Asynchronous transports need
+// this form — a duplicate command re-acknowledged by the replica proxy
+// carries the sequence of the last applied command, and a stale re-ack
+// arriving late must not complete a newer command still in flight. It
+// reports whether the ack was applied.
+func (s *CommandSequencer) AckedMatch(pe, k int, epoch, seq uint64) bool {
+	sl := &s.slots[pe*s.k+k]
+	if !sl.pending || epoch != s.epoch || seq != sl.cmd.Seq {
+		return false
+	}
+	s.Acked(pe, k)
+	return true
+}
+
+// ResetSlot forgets everything known about one replica slot — the
+// acknowledged activation state and any in-flight command — returning it
+// to the post-BeginEpoch unknown state, so the next Step issues a fresh
+// command. The leader calls it when a host restarts under a new
+// incarnation: the replica's proxy state died with the old process, so
+// acks granted by the previous incarnation no longer describe it.
+func (s *CommandSequencer) ResetSlot(pe, k int) {
+	sl := &s.slots[pe*s.k+k]
+	if sl.pending {
+		s.pendingN--
+	}
+	*sl = slot{acked: ackUnknown}
 }
 
 // Failed schedules the slot's retransmission: the next attempt waits the

@@ -46,7 +46,11 @@ func (perfectTransport) DropData(a, b int) bool       { return false }
 func (perfectTransport) Delay(a, b int) time.Duration { return 0 }
 
 // NetFault is a mutable Transport for fault injection: cut and heal
-// endpoint pairs, set a seeded data-loss probability, and add link delay.
+// endpoint pairs, set a seeded data-loss probability, and add link delay —
+// globally or per endpoint pair. A per-link setting overrides the global
+// one for that pair until ClearLink; this is the same fault surface the
+// TCP FaultProxy in internal/netx exposes, so one fault schedule can
+// drive the in-process runtime and the process cluster interchangeably.
 // All methods are safe for concurrent use with the runtime's delivery and
 // heartbeat paths.
 type NetFault struct {
@@ -54,13 +58,26 @@ type NetFault struct {
 	cut   map[[2]int]bool
 	lossP float64
 	delay time.Duration
+	links map[[2]int]linkFault
 	rng   *rand.Rand
+}
+
+// linkFault is a per-pair override of the global loss/delay settings.
+type linkFault struct {
+	hasLoss  bool
+	lossP    float64
+	hasDelay bool
+	delay    time.Duration
 }
 
 // NewNetFault returns a fault-free transport whose loss decisions are
 // driven by the given seed (equal seeds give equal drop sequences).
 func NewNetFault(seed int64) *NetFault {
-	return &NetFault{cut: make(map[[2]int]bool), rng: rand.New(rand.NewSource(seed))}
+	return &NetFault{
+		cut:   make(map[[2]int]bool),
+		links: make(map[[2]int]linkFault),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
 }
 
 // pairKey normalises an endpoint pair so Cut(a,b) and Reachable(b,a) agree.
@@ -120,6 +137,35 @@ func (n *NetFault) SetDelay(d time.Duration) {
 	n.mu.Unlock()
 }
 
+// SetLinkLoss overrides the data-loss probability for one endpoint pair
+// (unordered, like Cut); the override wins over the global setting until
+// ClearLink removes it.
+func (n *NetFault) SetLinkLoss(a, b int, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.links[pairKey(a, b)]
+	lf.hasLoss, lf.lossP = true, p
+	n.links[pairKey(a, b)] = lf
+}
+
+// SetLinkDelay overrides the heartbeat delay for one endpoint pair.
+func (n *NetFault) SetLinkDelay(a, b int, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lf := n.links[pairKey(a, b)]
+	lf.hasDelay, lf.delay = true, d
+	n.links[pairKey(a, b)] = lf
+}
+
+// ClearLink removes the pair's loss and delay overrides, falling back to
+// the global settings. Clearing a pair without overrides is a no-op: an
+// override is a dial, not a lifecycle like Cut/Heal.
+func (n *NetFault) ClearLink(a, b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, pairKey(a, b))
+}
+
 // Reachable implements Transport.
 func (n *NetFault) Reachable(a, b int) bool {
 	n.mu.Lock()
@@ -134,12 +180,19 @@ func (n *NetFault) DropData(a, b int) bool {
 	if n.cut[pairKey(a, b)] {
 		return true
 	}
-	return n.lossP > 0 && n.rng.Float64() < n.lossP
+	p := n.lossP
+	if lf, ok := n.links[pairKey(a, b)]; ok && lf.hasLoss {
+		p = lf.lossP
+	}
+	return p > 0 && n.rng.Float64() < p
 }
 
 // Delay implements Transport.
 func (n *NetFault) Delay(a, b int) time.Duration {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if lf, ok := n.links[pairKey(a, b)]; ok && lf.hasDelay {
+		return lf.delay
+	}
 	return n.delay
 }

@@ -46,6 +46,108 @@ func TestCutHealLifecycleErrors(t *testing.T) {
 	}
 }
 
+// TestPerLinkOverrides pins the override-then-global precedence of the
+// per-pair loss and delay settings: an override wins on its (unordered)
+// pair, every other pair sees the global value, and ClearLink falls back.
+func TestPerLinkOverrides(t *testing.T) {
+	net := NewNetFault(1)
+
+	net.SetLoss(1.0)
+	net.SetLinkLoss(0, 1, 0)
+	if net.DropData(0, 1) || net.DropData(1, 0) {
+		t.Error("per-link loss override (0) lost to global loss (1); pair should be unordered")
+	}
+	if !net.DropData(0, 2) {
+		t.Error("global loss 1.0 did not drop on an un-overridden pair")
+	}
+
+	net.SetDelay(10 * time.Millisecond)
+	net.SetLinkDelay(1, 0, 30*time.Millisecond)
+	if got := net.Delay(0, 1); got != 30*time.Millisecond {
+		t.Errorf("Delay(0,1) = %v, want per-link override via reversed pair", got)
+	}
+	if got := net.Delay(0, 2); got != 10*time.Millisecond {
+		t.Errorf("Delay(0,2) = %v, want global", got)
+	}
+
+	net.ClearLink(0, 1)
+	if got := net.Delay(0, 1); got != 10*time.Millisecond {
+		t.Errorf("after ClearLink, Delay(0,1) = %v, want global", got)
+	}
+	net.SetLoss(0)
+	if net.DropData(0, 1) {
+		t.Error("after ClearLink, loss should follow the (zero) global setting")
+	}
+	net.ClearLink(5, 6) // no override set: a no-op, not an error
+
+	// A cut still dominates any per-link setting.
+	net.SetLinkLoss(0, 1, 0)
+	if err := net.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !net.DropData(0, 1) {
+		t.Error("cut pair must drop data regardless of per-link loss 0")
+	}
+}
+
+// TestPerLinkDelayDemotesOneHost drives the runtime on a fake clock and
+// delays only the host-0 ↔ controller link beyond the heartbeat timeout:
+// replicas on host 0 go stale and lose their elections while host 1's
+// replicas take over, and clearing the override restores the original
+// primaries.
+func TestPerLinkDelayDemotesOneHost(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	net := NewNetFault(1)
+	d, asg, ids := buildApp(t)
+	fc := NewFakeClock(time.Unix(0, 0))
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, Config{
+		QueueLen:        64,
+		MonitorInterval: interval,
+		Clock:           fc,
+		Transport:       net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	step := func() {
+		fc.Advance(interval)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	step()
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("initial primary = %d, want 0", got)
+	}
+
+	// Replica r lives on host r, so delaying host 0's controller link
+	// beyond the timeout demotes replica 0 only; replica 1 takes over.
+	net.SetLinkDelay(ControllerHost, 0, 4*interval)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != 1 {
+		t.Fatalf("primary with host-0 link delayed = %d, want 1", got)
+	}
+	if got := rt.Primary(ids[2]); got != 1 {
+		t.Fatalf("PE2 primary with host-0 link delayed = %d, want 1", got)
+	}
+
+	net.ClearLink(ControllerHost, 0)
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	if got := rt.Primary(ids[1]); got != 0 {
+		t.Fatalf("primary after override cleared = %d, want 0", got)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDelayOrderingUnderFakeClock pins the zero- versus positive-delay
 // semantics on a deterministic clock: heartbeats age by the link delay, so
 // a delay under HeartbeatTimeout only shifts their timestamps and the

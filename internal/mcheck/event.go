@@ -34,8 +34,16 @@ const (
 	EvDropAck
 	// EvFlip switches the wanted activation target to configuration A.
 	EvFlip
+	// EvDupCmd re-delivers a stale duplicate of slot B's last applied
+	// command to its proxy — a retransmission that raced its own
+	// acknowledgement. The proxy must judge it CmdDuplicate (re-acknowledge
+	// without re-applying), and the re-ack, carrying the applied sequence,
+	// returns to the up leading instances — which must ignore it unless it
+	// names their in-flight command exactly. Appended after EvFlip so the
+	// kind integers of serialized repro artifacts stay stable.
+	EvDupCmd
 
-	numEventKinds = int(EvFlip) + 1
+	numEventKinds = int(EvDupCmd) + 1
 )
 
 // String names the kind for schedules and artifacts.
@@ -59,6 +67,8 @@ func (k EventKind) String() string {
 		return "drop-ack"
 	case EvFlip:
 		return "flip"
+	case EvDupCmd:
+		return "dup-cmd"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -86,6 +96,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s(inst=%d,slot=%d)", e.Kind, e.A, e.B)
 	case EvFlip:
 		return fmt.Sprintf("flip(%d)", e.A)
+	case EvDupCmd:
+		return fmt.Sprintf("dup-cmd(slot=%d)", e.B)
 	}
 	return fmt.Sprintf("%v(%d,%d)", e.Kind, e.A, e.B)
 }
@@ -124,6 +136,9 @@ func (w *world) enabled(e Event) bool {
 		return e.Kind == EvDeliver && in.seqr.Superseded(pe, k, want)
 	case EvFlip:
 		return (e.A == 0 || e.A == 1) && e.A != w.target
+	case EvDupCmd:
+		// A duplicate needs an applied command to re-deliver.
+		return e.B >= 0 && e.B < len(w.prox) && w.prox[e.B].Seq > 0
 	}
 	return false
 }
@@ -156,6 +171,32 @@ func (w *world) apply(e Event) {
 		w.transmit(e.A, e.B, true, false)
 	case EvFlip:
 		w.target = e.A
+	case EvDupCmd:
+		w.duplicate(e.B)
+	}
+}
+
+// duplicate re-delivers the command slot's proxy last applied — same
+// (epoch, seq) — modelling a retransmitted copy that raced its own
+// acknowledgement. The correct proxy re-acknowledges without applying,
+// and the re-ack reaches every up leading instance, which applies it
+// only when it names its in-flight command exactly (AckedMatch) — a
+// stale re-ack must never complete a newer command.
+func (w *world) duplicate(slot int) {
+	p := &w.prox[slot]
+	epoch, seq := p.Epoch, p.Seq
+	if p.Admit(epoch, seq) == controlplane.CmdDuplicate && w.opt.Fault == FaultDupReapplies {
+		// The injected bug: the proxy treats the duplicate as new and
+		// rewinds its dedup cursor to re-apply it — breaking the
+		// at-most-once guarantee (proxy-monotone must fire).
+		p.Seq--
+	}
+	pe, k := slot/w.opt.K, slot%w.opt.K
+	for i := range w.insts {
+		in := &w.insts[i]
+		if in.up && in.elect.Leading() {
+			in.seqr.AckedMatch(pe, k, epoch, seq)
+		}
 	}
 }
 
@@ -293,6 +334,11 @@ func (w *world) appendEnabled(buf []Event) []Event {
 			} else if in.seqr.Superseded(pe, k, want) {
 				buf = append(buf, Event{Kind: EvDeliver, A: i, B: slot})
 			}
+		}
+	}
+	for slot := range w.prox {
+		if w.prox[slot].Seq > 0 {
+			buf = append(buf, Event{Kind: EvDupCmd, B: slot})
 		}
 	}
 	return buf

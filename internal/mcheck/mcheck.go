@@ -38,6 +38,10 @@ const (
 	// ballot verbatim instead of claiming strictly above it with its own id
 	// — ballot-holder must fire.
 	FaultClaimAdoptsSeen
+	// FaultDupReapplies makes a replica proxy re-apply a duplicate command
+	// instead of re-acknowledging it, rewinding its dedup cursor —
+	// proxy-monotone must fire.
+	FaultDupReapplies
 )
 
 // String names the fault for reports and artifacts.
@@ -49,13 +53,15 @@ func (f Fault) String() string {
 		return "crash-keeps-pending"
 	case FaultClaimAdoptsSeen:
 		return "claim-adopts-seen"
+	case FaultDupReapplies:
+		return "dup-reapplies"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
 
 // ParseFault resolves a fault name from the CLI.
 func ParseFault(s string) (Fault, error) {
-	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen} {
+	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen, FaultDupReapplies} {
 		if f.String() == s {
 			return f, nil
 		}

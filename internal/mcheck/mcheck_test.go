@@ -79,6 +79,7 @@ func TestExploreInjectedFaults(t *testing.T) {
 	}{
 		{FaultClaimAdoptsSeen, "ballot-holder"},
 		{FaultCrashKeepsPending, "no-zombie-commands"},
+		{FaultDupReapplies, "proxy-monotone"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fault.String(), func(t *testing.T) {
@@ -161,6 +162,93 @@ func TestShrinkClaimFaultToOneEvent(t *testing.T) {
 	_, sevents := Shrink(opt, res.Counterexample.Events, res.Counterexample.Invariant)
 	if len(sevents) != 1 || sevents[0].Kind != EvTick {
 		t.Fatalf("minimal schedule = %v, want a single tick", sevents)
+	}
+}
+
+// TestShrinkDupFault: the duplicate-reapplication bug needs exactly an
+// election, one applied command, and the duplicate that rewinds the
+// proxy — a 3-event minimal schedule over a single instance and slot.
+func TestShrinkDupFault(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Fault = FaultDupReapplies
+	res, err := Explore(opt)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	ce := res.Counterexample
+	if ce == nil {
+		t.Fatalf("no counterexample for the injected fault")
+	}
+	sopt, sevents := Shrink(opt, ce.Events, ce.Invariant)
+	if !minimize.IsOneMinimal(sevents, func(evs []Event) bool {
+		return failsWith(sopt, evs, ce.Invariant)
+	}) {
+		t.Fatalf("shrunk schedule not 1-minimal: %v", sevents)
+	}
+	if len(sevents) != 3 {
+		t.Fatalf("minimal schedule has %d events, want 3: %v", len(sevents), sevents)
+	}
+	if last := sevents[len(sevents)-1]; last.Kind != EvDupCmd {
+		t.Fatalf("minimal schedule does not end in the duplicate: %v", sevents)
+	}
+	if sopt.Instances != 1 || sopt.PEs != 1 || sopt.K != 1 {
+		t.Fatalf("shrink did not minimise the world shape: %+v", sopt)
+	}
+}
+
+// TestDuplicationIsHarmless is the dedup self-test on the correct kernel:
+// duplicates hammered between every protocol step — after the apply,
+// after a lost ack, after a target flip with a newer command in flight —
+// never violate an invariant, never toggle a replica, and never let a
+// stale re-ack complete a newer command. (The exhaustive exploration
+// covers these interleavings too; this test documents the exact property
+// and fails with a readable schedule.)
+func TestDuplicationIsHarmless(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Instances = 1
+	events := []Event{
+		{Kind: EvTick},                // elects instance 0
+		{Kind: EvDeliver, A: 0, B: 0}, // slot 0 activates, acked
+		{Kind: EvDupCmd, B: 0},        // duplicate of the applied command
+		{Kind: EvDupCmd, B: 0},        // and again
+		{Kind: EvDropAck, A: 0, B: 1}, // slot 1 applies, ack lost
+		{Kind: EvDupCmd, B: 1},        // the duplicate's re-ack completes it
+		{Kind: EvFlip, A: 1},          // target flips: slot 1 must deactivate
+		{Kind: EvTick},
+		{Kind: EvDropAck, A: 0, B: 1}, // deactivation applies, ack lost again
+		{Kind: EvDupCmd, B: 0},        // stale re-ack of slot 0 meanwhile
+		{Kind: EvDupCmd, B: 1},        // re-ack of the deactivation completes it
+	}
+	vs, at, err := Replay(opt, events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("duplication schedule violates %v at event %d", vs, at)
+	}
+
+	// The same schedule minus the final re-acks, replayed by hand, pins
+	// the sequencer-side property: a duplicate's re-ack names the applied
+	// sequence and must not complete a newer in-flight command.
+	w := newWorld(opt.withDefaults())
+	for _, e := range events[:9] {
+		if w.enabled(e) {
+			w.apply(e)
+		}
+	}
+	in := &w.insts[0]
+	if in.seqr.Pending() != 1 {
+		t.Fatalf("pending = %d after the lost deactivation ack, want 1", in.seqr.Pending())
+	}
+	// Duplicate of slot 0's old command: its re-ack names slot 0, not the
+	// in-flight deactivation of slot 1 — pending must not move.
+	w.apply(Event{Kind: EvDupCmd, B: 0})
+	if in.seqr.Pending() != 1 {
+		t.Fatalf("a stale duplicate re-ack completed a newer command (pending = %d)", in.seqr.Pending())
+	}
+	w.apply(Event{Kind: EvDupCmd, B: 1})
+	if in.seqr.Pending() != 0 {
+		t.Fatalf("the matching re-ack did not complete the command (pending = %d)", in.seqr.Pending())
 	}
 }
 

@@ -1,0 +1,69 @@
+package netx
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy bounds a capped exponential backoff: the first wait is
+// Min, each further wait doubles, capped at Max. Jitter, in [0, 1),
+// scales each wait by a uniform factor in [1-Jitter, 1], spreading the
+// redials of many clients severed by the same cut so the heal does not
+// produce a thundering reconnect herd.
+type BackoffPolicy struct {
+	Min, Max time.Duration
+	Jitter   float64
+}
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.Min <= 0 {
+		p.Min = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 8 * p.Min
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// Backoff is one capped-exponential schedule instance. Not safe for
+// concurrent use; each Conn owns one.
+type Backoff struct {
+	policy BackoffPolicy
+	cur    time.Duration
+	rng    *rand.Rand
+}
+
+// NewBackoff builds a schedule under the policy; equal seeds draw equal
+// jitter sequences.
+func NewBackoff(p BackoffPolicy, seed int64) *Backoff {
+	return &Backoff{policy: p.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the wait preceding the next attempt and advances the
+// schedule: Min on the first call (or after Reset), then doubling up to
+// Max, each draw scaled down by the jitter factor.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.policy.Min
+	} else {
+		b.cur *= 2
+		if b.cur > b.policy.Max {
+			b.cur = b.policy.Max
+		}
+	}
+	d := b.cur
+	if j := b.policy.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j*b.rng.Float64()))
+	}
+	return d
+}
+
+// Reset rewinds the schedule to its initial state, so the next wait is
+// Min again. Conn calls it after a connection proves stable.
+func (b *Backoff) Reset() { b.cur = 0 }

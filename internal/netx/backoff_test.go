@@ -1,0 +1,99 @@
+package netx
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy BackoffPolicy
+		want   []time.Duration
+	}{
+		{
+			name:   "defaults double to cap",
+			policy: BackoffPolicy{},
+			want: []time.Duration{
+				100 * time.Millisecond, 200 * time.Millisecond,
+				400 * time.Millisecond, 800 * time.Millisecond,
+				800 * time.Millisecond, 800 * time.Millisecond,
+			},
+		},
+		{
+			name:   "explicit min and max",
+			policy: BackoffPolicy{Min: 50 * time.Millisecond, Max: 150 * time.Millisecond},
+			want: []time.Duration{
+				50 * time.Millisecond, 100 * time.Millisecond,
+				150 * time.Millisecond, 150 * time.Millisecond,
+			},
+		},
+		{
+			name:   "max below min clamps to min",
+			policy: BackoffPolicy{Min: 200 * time.Millisecond, Max: 10 * time.Millisecond},
+			want:   []time.Duration{200 * time.Millisecond, 200 * time.Millisecond},
+		},
+		{
+			name:   "invalid jitter ignored",
+			policy: BackoffPolicy{Min: 10 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 1.5},
+			want: []time.Duration{
+				10 * time.Millisecond, 20 * time.Millisecond,
+				40 * time.Millisecond, 40 * time.Millisecond,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBackoff(tc.policy, 1)
+			for i, want := range tc.want {
+				if got := b.Next(); got != want {
+					t.Fatalf("Next()[%d] = %v, want %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(BackoffPolicy{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond}, 1)
+	b.Next()
+	b.Next()
+	b.Next()
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want Min", got)
+	}
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	p := BackoffPolicy{Min: 100 * time.Millisecond, Max: 800 * time.Millisecond, Jitter: 0.5}
+	a := NewBackoff(p, 42)
+	b := NewBackoff(p, 42)
+	base := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for i, full := range base {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("draw %d: equal seeds diverged: %v vs %v", i, da, db)
+		}
+		lo := time.Duration(float64(full) * 0.5)
+		if da < lo || da > full {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, da, lo, full)
+		}
+	}
+	// A different seed should produce a different jitter sequence.
+	c := NewBackoff(p, 43)
+	a2 := NewBackoff(p, 42)
+	same := true
+	for i := 0; i < 5; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}

@@ -1,0 +1,337 @@
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotConnected is returned by Send while the managed connection is
+// down (dialing, backing off, or closed). Senders with delivery
+// guarantees retry at the protocol layer — the command sequencer's
+// ack/retransmit cycle — rather than queueing in the transport.
+var ErrNotConnected = errors.New("netx: not connected")
+
+// ErrReservedType is returned by Send for frame types in the transport's
+// reserved range.
+var ErrReservedType = errors.New("netx: reserved frame type")
+
+// ConnOptions configures a managed connection. The zero value works: wall
+// clock, TCP dialing, 2 s dial/write timeouts, no keepalive, and the
+// default backoff policy.
+type ConnOptions struct {
+	// DialTimeout bounds one dial attempt. Default 2 s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a peer that stops draining
+	// (half-open connection, full kernel buffers) fails the write and
+	// triggers a reconnect. Default 2 s.
+	WriteTimeout time.Duration
+	// PingEvery enables keepalive: the Conn sends a ping frame every
+	// interval and requires some inbound frame (the server answers pong)
+	// within 3 intervals, detecting half-open links from both directions.
+	// 0 disables keepalive.
+	PingEvery time.Duration
+	// StableAfter is how long a connection must survive for the backoff
+	// schedule to reset. A connection that dies younger keeps doubling the
+	// wait, so a flapping link (or a FaultProxy cut that accepts and
+	// immediately closes) produces capped-exponential redials rather than
+	// a reconnect storm. Default 4 × Backoff.Min.
+	StableAfter time.Duration
+	// Backoff is the redial schedule.
+	Backoff BackoffPolicy
+	// Seed drives the backoff jitter; equal seeds give equal schedules.
+	Seed int64
+	// MaxFrame caps inbound payloads. Default DefaultMaxFrame.
+	MaxFrame int
+	// Clock supplies time to the redial/keepalive waits. Default wall.
+	Clock Clock
+	// Dial opens the transport connection. Default net.DialTimeout "tcp".
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// OnConnect runs on the maintainer goroutine after every successful
+	// dial, before any frame is read — the place to replay a hello.
+	OnConnect func(c *Conn)
+	// OnMessage receives every non-keepalive inbound frame on the reader
+	// goroutine. The payload is only valid during the call.
+	OnMessage func(typ byte, payload []byte)
+	// OnDown runs after an established connection is lost, with the error
+	// that ended it.
+	OnDown func(err error)
+}
+
+func (o ConnOptions) withDefaults() ConnOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	o.Backoff = o.Backoff.withDefaults()
+	if o.StableAfter <= 0 {
+		o.StableAfter = 4 * o.Backoff.Min
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.Clock == nil {
+		o.Clock = WallClock()
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return o
+}
+
+// ConnStats is a point-in-time snapshot of a managed connection.
+type ConnStats struct {
+	// Connected reports a connection is currently established.
+	Connected bool
+	// Dials counts successful dials, DialFailures failed attempts, and
+	// Drops established connections subsequently lost.
+	Dials, DialFailures, Drops int64
+	// FramesSent and FramesReceived count non-keepalive frames.
+	FramesSent, FramesReceived int64
+}
+
+// Conn is a managed client connection: it dials the address in the
+// background, reconnects with capped-exponential jittered backoff when
+// the connection is lost, enforces write timeouts, and (optionally)
+// exchanges keepalive pings. Send and the callbacks are safe for
+// concurrent use.
+type Conn struct {
+	addr string
+	o    ConnOptions
+
+	mu      sync.Mutex
+	nc      net.Conn // nil while down
+	scratch []byte
+	closed  bool
+
+	closeCh chan struct{}
+	done    chan struct{}
+
+	dials, dialFails, drops atomic.Int64
+	sent, received          atomic.Int64
+	connected               atomic.Bool
+}
+
+// Dial starts maintaining a managed connection to addr and returns
+// immediately; the first dial happens on the background goroutine.
+func Dial(addr string, o ConnOptions) *Conn {
+	c := &Conn{
+		addr:    addr,
+		o:       o.withDefaults(),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.maintain()
+	return c
+}
+
+// Addr returns the dialed address.
+func (c *Conn) Addr() string { return c.addr }
+
+// Connected reports whether a connection is currently established.
+func (c *Conn) Connected() bool { return c.connected.Load() }
+
+// Stats snapshots the connection counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Connected:      c.connected.Load(),
+		Dials:          c.dials.Load(),
+		DialFailures:   c.dialFails.Load(),
+		Drops:          c.drops.Load(),
+		FramesSent:     c.sent.Load(),
+		FramesReceived: c.received.Load(),
+	}
+}
+
+// Send writes one frame on the current connection. It fails immediately
+// with ErrNotConnected while the connection is down; a write error tears
+// the connection down (the maintainer redials) and is returned.
+func (c *Conn) Send(typ byte, payload []byte) error {
+	if typ >= TypeReserved {
+		return ErrReservedType
+	}
+	if err := c.send(typ, payload); err != nil {
+		return err
+	}
+	c.sent.Add(1)
+	return nil
+}
+
+func (c *Conn) send(typ byte, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		return ErrNotConnected
+	}
+	c.scratch = AppendFrame(c.scratch[:0], typ, payload)
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.o.WriteTimeout)); err != nil {
+		c.nc.Close()
+		return err
+	}
+	if _, err := c.nc.Write(c.scratch); err != nil {
+		c.nc.Close() // the reader notices and the maintainer redials
+		return err
+	}
+	return nil
+}
+
+// Close tears the connection down for good and waits for the maintainer
+// to exit. Further Sends return ErrNotConnected.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	close(c.closeCh)
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+// maintain is the reconnect state machine: dial, serve the connection
+// until it dies, then redial after a backoff that doubles (with jitter)
+// up to the cap, resetting only once a connection has proved stable.
+func (c *Conn) maintain() {
+	defer close(c.done)
+	defer c.connected.Store(false)
+	bo := NewBackoff(c.o.Backoff, c.o.Seed)
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		default:
+		}
+		nc, err := c.o.Dial(c.addr, c.o.DialTimeout)
+		if err != nil {
+			c.dialFails.Add(1)
+			if !c.wait(bo.Next()) {
+				return
+			}
+			continue
+		}
+		c.dials.Add(1)
+		start := c.o.Clock.Now()
+		if !c.install(nc) {
+			nc.Close()
+			return
+		}
+		if c.o.OnConnect != nil {
+			c.o.OnConnect(c)
+		}
+		err = c.serve(nc)
+		c.uninstall(nc)
+		c.drops.Add(1)
+		if c.o.OnDown != nil {
+			c.o.OnDown(err)
+		}
+		select {
+		case <-c.closeCh:
+			return
+		default:
+		}
+		if c.o.Clock.Now().Sub(start) >= c.o.StableAfter {
+			bo.Reset() // the link was healthy: redial immediately
+			continue
+		}
+		if !c.wait(bo.Next()) {
+			return
+		}
+	}
+}
+
+// wait blocks for d on the injected clock; false means the Conn closed.
+func (c *Conn) wait(d time.Duration) bool {
+	select {
+	case <-c.o.Clock.After(d):
+		return true
+	case <-c.closeCh:
+		return false
+	}
+}
+
+func (c *Conn) install(nc net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.nc = nc
+	c.connected.Store(true)
+	return true
+}
+
+func (c *Conn) uninstall(nc net.Conn) {
+	c.mu.Lock()
+	if c.nc == nc {
+		c.nc = nil
+		c.connected.Store(false)
+	}
+	c.mu.Unlock()
+	nc.Close()
+}
+
+// serve reads frames until the connection dies, running the keepalive
+// pinger alongside when enabled.
+func (c *Conn) serve(nc net.Conn) error {
+	stopPing := make(chan struct{})
+	defer close(stopPing)
+	if c.o.PingEvery > 0 {
+		go c.pinger(stopPing)
+	}
+	fr := NewFrameReader(nc, c.o.MaxFrame)
+	for {
+		if c.o.PingEvery > 0 {
+			if err := nc.SetReadDeadline(time.Now().Add(3 * c.o.PingEvery)); err != nil {
+				return err
+			}
+		}
+		typ, payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		if typ >= TypeReserved {
+			continue // keepalive traffic is the transport's own
+		}
+		c.received.Add(1)
+		if c.o.OnMessage != nil {
+			c.o.OnMessage(typ, payload)
+		}
+	}
+}
+
+// pinger emits keepalive pings until the connection incarnation ends.
+func (c *Conn) pinger(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.closeCh:
+			return
+		case <-c.o.Clock.After(c.o.PingEvery):
+			if err := c.send(TypePing, nil); err != nil && err != ErrNotConnected {
+				return
+			}
+		}
+	}
+}
+
+// String renders the connection for logs.
+func (c *Conn) String() string {
+	state := "down"
+	if c.Connected() {
+		state = "up"
+	}
+	return fmt.Sprintf("netx.Conn(%s, %s)", c.addr, state)
+}

@@ -1,0 +1,116 @@
+package netx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame layout: an 8-byte header — magic uint16, version byte, type byte,
+// payload length uint32, all big-endian — followed by the payload. The
+// magic and version bytes make a desynchronised or garbage stream fail
+// fast instead of being misread as a gigantic length, and the length is
+// validated against the reader's cap before any allocation happens.
+const (
+	frameMagic   uint16 = 0x4C58 // "LX"
+	frameVersion byte   = 1
+
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 8
+
+	// DefaultMaxFrame is the payload cap readers use when none is given.
+	DefaultMaxFrame = 1 << 20
+)
+
+// Reserved frame types: the top 16 values belong to the transport itself.
+// Applications must use types below TypeReserved.
+const (
+	// TypeReserved is the first transport-internal frame type.
+	TypeReserved byte = 0xF0
+	// TypePing is the keepalive probe a managed Conn emits.
+	TypePing byte = 0xFF
+	// TypePong is the keepalive reply a Server returns for every ping.
+	TypePong byte = 0xFE
+)
+
+// FrameError is a framing-layer decode failure: bad magic, an unsupported
+// version, or a length beyond the reader's cap. A FrameError means the
+// stream is desynchronised and the connection must be torn down.
+type FrameError struct {
+	Reason string
+}
+
+func (e *FrameError) Error() string { return "netx: " + e.Reason }
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. It is the single-buffer path Send uses so one frame goes out in
+// one Write call.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = typ
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame encodes and writes one frame. Callers that interleave writers
+// must serialise calls themselves.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(payload)), typ, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// FrameReader decodes frames from a stream, reusing one payload buffer.
+// The payload returned by Next is valid only until the following call.
+type FrameReader struct {
+	r   io.Reader
+	max int
+	hdr [HeaderSize]byte
+	buf []byte
+}
+
+// NewFrameReader wraps r with a payload cap; max <= 0 selects
+// DefaultMaxFrame.
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &FrameReader{r: r, max: max}
+}
+
+// Next reads one frame. A truncated stream returns io.EOF (clean close on
+// a frame boundary) or io.ErrUnexpectedEOF (mid-frame); malformed headers
+// and oversized lengths return a *FrameError before any payload
+// allocation, so a hostile length cannot force an over-allocation.
+func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return 0, nil, err
+		}
+		return 0, nil, err
+	}
+	if m := binary.BigEndian.Uint16(fr.hdr[0:2]); m != frameMagic {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("bad magic 0x%04x", m)}
+	}
+	if v := fr.hdr[2]; v != frameVersion {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("unsupported frame version %d", v)}
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[4:8])
+	if int64(n) > int64(fr.max) {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("frame length %d exceeds cap %d", n, fr.max)}
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return fr.hdr[3], fr.buf, nil
+}

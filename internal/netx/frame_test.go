@@ -1,0 +1,111 @@
+package netx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello cluster"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", i, err)
+		}
+	}
+	fr := NewFrameReader(&buf, 0)
+	for i, p := range payloads {
+		typ, got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type = %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("Next past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderBadMagic(t *testing.T) {
+	raw := []byte{0xDE, 0xAD, 1, 1, 0, 0, 0, 0}
+	fr := NewFrameReader(bytes.NewReader(raw), 0)
+	_, _, err := fr.Next()
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("bad magic: err = %v, want *FrameError", err)
+	}
+}
+
+func TestFrameReaderBadVersion(t *testing.T) {
+	frame := AppendFrame(nil, 1, []byte("ok"))
+	frame[2] = 99
+	fr := NewFrameReader(bytes.NewReader(frame), 0)
+	_, _, err := fr.Next()
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("bad version: err = %v, want *FrameError", err)
+	}
+}
+
+func TestFrameReaderOversizedLength(t *testing.T) {
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = 1
+	binary.BigEndian.PutUint32(hdr[4:8], 0xFFFFFFFF)
+	fr := NewFrameReader(bytes.NewReader(hdr[:]), 1024)
+	_, _, err := fr.Next()
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized length: err = %v, want *FrameError", err)
+	}
+}
+
+func TestFrameReaderTruncation(t *testing.T) {
+	full := AppendFrame(nil, 7, []byte("truncate me"))
+	for cut := 1; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		_, _, err := fr.Next()
+		if err != io.ErrUnexpectedEOF && err != io.EOF {
+			t.Fatalf("cut at %d: err = %v, want EOF-ish", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{1}, 1000)
+	if err := WriteFrame(&buf, 1, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, 2, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf, 0)
+	_, p1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &p1[0]
+	_, p2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) != 5 || &p2[0] != first {
+		t.Fatalf("second payload should reuse the first buffer (len=%d)", len(p2))
+	}
+}

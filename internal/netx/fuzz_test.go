@@ -1,0 +1,47 @@
+package netx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameCodec feeds arbitrary bytes to the frame reader: truncated
+// frames, oversized lengths and garbage must surface as errors — never a
+// panic, never an allocation beyond the reader's cap — and every valid
+// frame must round-trip byte-for-byte through AppendFrame.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, 1, []byte("seed")))
+	f.Add(AppendFrame(nil, 0xFF, nil))
+	f.Add([]byte{0x4C, 0x58, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // huge length
+	f.Add([]byte{0x4C, 0x58, 1, 1, 0, 0, 0, 9, 'p'})        // truncated payload
+	f.Add(bytes.Repeat([]byte{0x4C}, 64))                   // garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cap = 1 << 12
+		fr := NewFrameReader(bytes.NewReader(data), cap)
+		for {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				// The only acceptable failure modes: clean EOF, truncation,
+				// or a framing error. Anything else is a bug.
+				var fe *FrameError
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.As(err, &fe) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(payload) > cap {
+				t.Fatalf("payload %d bytes exceeds reader cap %d", len(payload), cap)
+			}
+			// A decoded frame must re-encode to the same wire bytes.
+			reenc := AppendFrame(nil, typ, payload)
+			fr2 := NewFrameReader(bytes.NewReader(reenc), cap)
+			typ2, payload2, err := fr2.Next()
+			if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+				t.Fatalf("re-encode mismatch: typ %d->%d err=%v", typ, typ2, err)
+			}
+		}
+	})
+}

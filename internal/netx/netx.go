@@ -1,0 +1,17 @@
+// Package netx is the real-network leg of the LAAR runtimes: a
+// length-prefixed binary frame codec, a managed client connection with
+// write timeouts, ping/pong keepalive and capped-exponential reconnect
+// with jittered backoff, a minimal frame server, and a frame-aware
+// FaultProxy TCP relay that implements link cuts, message loss and link
+// delay per endpoint pair.
+//
+// The package is deliberately protocol-agnostic: frames carry an opaque
+// type byte and payload, and the cluster runtime (internal/cluster)
+// defines the actual message vocabulary on top. The FaultProxy exposes
+// exactly the fault surface of the in-process live.NetFault shim —
+// Cut/Heal per endpoint pair, global and per-link loss probability and
+// delay — so the chaos link events that drive the single-process runtime
+// map one-to-one onto real TCP connections. Its Reachable/DropData/Delay
+// methods satisfy the live.Transport interface structurally, letting one
+// fault table drive an in-process runtime and a process cluster at once.
+package netx

@@ -1,0 +1,336 @@
+package netx
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultProxy is a frame-aware TCP relay that injects link faults between
+// endpoint pairs. Each route (a, b) gets its own stable listen address;
+// the dialing side connects to the proxy instead of the target, and the
+// proxy forwards whole frames to the real target address (re-resolved on
+// every accept, so targets may restart on new ports behind a stable proxy
+// address).
+//
+// The fault surface mirrors the in-process live.NetFault shim, keyed by
+// the same unordered endpoint pair:
+//
+//   - Cut/Heal sever and restore a pair: existing relayed connections are
+//     closed and new accepts are refused (accept-then-close, which the
+//     dialer's backoff schedule absorbs).
+//   - Loss drops individual application frames; keepalive frames always
+//     pass, so loss degrades delivery without masquerading as a dead link.
+//   - Delay holds application frames back before forwarding
+//     (head-of-line, like a slow link); keepalive is likewise exempt.
+//
+// Reachable, DropData and Delay satisfy the live.Transport interface
+// structurally, so one fault table can drive both runtimes.
+type FaultProxy struct {
+	mu     sync.Mutex
+	cut    map[[2]int]bool
+	lossP  float64
+	delay  time.Duration
+	links  map[[2]int]linkFault
+	conns  map[[2]int]map[net.Conn]struct{}
+	lns    []net.Listener
+	rng    *rand.Rand
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// linkFault is a per-pair override of the global loss/delay settings.
+type linkFault struct {
+	hasLoss  bool
+	lossP    float64
+	hasDelay bool
+	delay    time.Duration
+}
+
+// proxyPairKey normalises an unordered endpoint pair, matching the
+// normalisation live.NetFault applies.
+func proxyPairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// NewFaultProxy builds a proxy with no routes and no faults. The seed
+// drives the loss draws, so equal seeds replay equal loss patterns.
+func NewFaultProxy(seed int64) *FaultProxy {
+	return &FaultProxy{
+		cut:   make(map[[2]int]bool),
+		links: make(map[[2]int]linkFault),
+		conns: make(map[[2]int]map[net.Conn]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddRoute opens a listener relaying the directed route from endpoint a
+// to endpoint b and returns its stable listen address. The target address
+// is obtained from resolve on every accepted connection, so a restarted
+// target (new port) is picked up without reconfiguring dialers.
+func (fp *FaultProxy) AddRoute(a, b int, resolve func() (string, error)) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	fp.mu.Lock()
+	if fp.closed {
+		fp.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("netx: proxy closed")
+	}
+	fp.lns = append(fp.lns, ln)
+	fp.wg.Add(1)
+	fp.mu.Unlock()
+	go fp.acceptLoop(ln, proxyPairKey(a, b), resolve)
+	return ln.Addr().String(), nil
+}
+
+func (fp *FaultProxy) acceptLoop(ln net.Listener, pair [2]int, resolve func() (string, error)) {
+	defer fp.wg.Done()
+	for {
+		client, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fp.mu.Lock()
+		if fp.closed {
+			fp.mu.Unlock()
+			client.Close()
+			return
+		}
+		severed := fp.cut[pair]
+		fp.mu.Unlock()
+		if severed {
+			client.Close() // refuse while the pair is cut
+			continue
+		}
+		addr, err := resolve()
+		if err != nil {
+			client.Close()
+			continue
+		}
+		target, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		fp.track(pair, client, target)
+		fp.wg.Add(2)
+		go fp.relay(pair, client, target)
+		go fp.relay(pair, target, client)
+	}
+}
+
+func (fp *FaultProxy) track(pair [2]int, conns ...net.Conn) {
+	fp.mu.Lock()
+	set := fp.conns[pair]
+	if set == nil {
+		set = make(map[net.Conn]struct{})
+		fp.conns[pair] = set
+	}
+	for _, c := range conns {
+		set[c] = struct{}{}
+	}
+	fp.mu.Unlock()
+}
+
+func (fp *FaultProxy) untrack(pair [2]int, conns ...net.Conn) {
+	fp.mu.Lock()
+	if set := fp.conns[pair]; set != nil {
+		for _, c := range conns {
+			delete(set, c)
+		}
+	}
+	fp.mu.Unlock()
+}
+
+// relay forwards frames one direction, applying per-pair faults. Closing
+// either side ends both directions: each direction closes its write side
+// on exit, and the peer relay's read then fails.
+func (fp *FaultProxy) relay(pair [2]int, src, dst net.Conn) {
+	defer fp.wg.Done()
+	defer src.Close()
+	defer dst.Close()
+	defer fp.untrack(pair, src, dst)
+	fr := NewFrameReader(src, 0)
+	var scratch []byte
+	for {
+		typ, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if typ < TypeReserved {
+			// Loss and delay shape application traffic only; keepalive
+			// frames pass clean so injected faults degrade delivery
+			// without masquerading as a dead link (cuts do that).
+			if d := fp.Delay(pair[0], pair[1]); d > 0 {
+				time.Sleep(d)
+			}
+			if fp.DropData(pair[0], pair[1]) {
+				continue // lost on the wire
+			}
+		}
+		scratch = AppendFrame(scratch[:0], typ, payload)
+		if err := dst.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			return
+		}
+		if _, err := dst.Write(scratch); err != nil {
+			return
+		}
+	}
+}
+
+// Cut severs the pair: relayed connections drop and new ones are refused
+// until Heal. Cutting a pair that is already cut is a lifecycle error,
+// matching live.NetFault.
+func (fp *FaultProxy) Cut(a, b int) error {
+	k := proxyPairKey(a, b)
+	fp.mu.Lock()
+	if fp.cut[k] {
+		fp.mu.Unlock()
+		return fmt.Errorf("netx: link %d-%d already cut", a, b)
+	}
+	fp.cut[k] = true
+	doomed := make([]net.Conn, 0, len(fp.conns[k]))
+	for c := range fp.conns[k] {
+		doomed = append(doomed, c)
+	}
+	fp.mu.Unlock()
+	for _, c := range doomed {
+		c.Close()
+	}
+	return nil
+}
+
+// Heal restores a previously cut pair. Healing an intact pair is a
+// lifecycle error.
+func (fp *FaultProxy) Heal(a, b int) error {
+	k := proxyPairKey(a, b)
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if !fp.cut[k] {
+		return fmt.Errorf("netx: link %d-%d not cut", a, b)
+	}
+	delete(fp.cut, k)
+	return nil
+}
+
+// SetLoss sets the global per-frame loss probability in [0, 1].
+func (fp *FaultProxy) SetLoss(p float64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.lossP = clamp01(p)
+}
+
+// SetDelay sets the global per-frame forwarding delay.
+func (fp *FaultProxy) SetDelay(d time.Duration) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	fp.delay = d
+}
+
+// SetLinkLoss overrides the loss probability for one pair; the override
+// wins over the global setting until ClearLink.
+func (fp *FaultProxy) SetLinkLoss(a, b int, p float64) {
+	k := proxyPairKey(a, b)
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	lf := fp.links[k]
+	lf.hasLoss, lf.lossP = true, clamp01(p)
+	fp.links[k] = lf
+}
+
+// SetLinkDelay overrides the forwarding delay for one pair.
+func (fp *FaultProxy) SetLinkDelay(a, b int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := proxyPairKey(a, b)
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	lf := fp.links[k]
+	lf.hasDelay, lf.delay = true, d
+	fp.links[k] = lf
+}
+
+// ClearLink removes the pair's loss and delay overrides, falling back to
+// the global settings.
+func (fp *FaultProxy) ClearLink(a, b int) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	delete(fp.links, proxyPairKey(a, b))
+}
+
+// Reachable implements the live.Transport read of the cut table.
+func (fp *FaultProxy) Reachable(a, b int) bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return !fp.cut[proxyPairKey(a, b)]
+}
+
+// DropData draws one loss decision for the pair: the per-link override
+// if present, otherwise the global probability.
+func (fp *FaultProxy) DropData(a, b int) bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	p := fp.lossP
+	if lf, ok := fp.links[proxyPairKey(a, b)]; ok && lf.hasLoss {
+		p = lf.lossP
+	}
+	if p <= 0 {
+		return false
+	}
+	return fp.rng.Float64() < p
+}
+
+// Delay reports the pair's forwarding delay: the per-link override if
+// present, otherwise the global setting.
+func (fp *FaultProxy) Delay(a, b int) time.Duration {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if lf, ok := fp.links[proxyPairKey(a, b)]; ok && lf.hasDelay {
+		return lf.delay
+	}
+	return fp.delay
+}
+
+// Close stops all routes, drops every relayed connection, and waits for
+// the relay goroutines to exit.
+func (fp *FaultProxy) Close() {
+	fp.mu.Lock()
+	if fp.closed {
+		fp.mu.Unlock()
+		fp.wg.Wait()
+		return
+	}
+	fp.closed = true
+	for _, ln := range fp.lns {
+		ln.Close()
+	}
+	for _, set := range fp.conns {
+		for c := range set {
+			c.Close()
+		}
+	}
+	fp.mu.Unlock()
+	fp.wg.Wait()
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

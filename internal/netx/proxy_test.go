@@ -1,0 +1,244 @@
+package netx_test
+
+import (
+	"testing"
+	"time"
+
+	"laar/internal/live"
+	"laar/internal/netx"
+)
+
+// The proxy's fault surface must satisfy the in-process transport
+// interface, so one fault table can drive both runtimes.
+var _ live.Transport = (*netx.FaultProxy)(nil)
+
+// echoServer starts a frame echo server and returns it.
+func echoServer(t *testing.T) *netx.Server {
+	t.Helper()
+	srv, err := netx.Serve("127.0.0.1:0", netx.ServerOptions{
+		Handler: func(p *netx.Peer, typ byte, payload []byte) { p.Send(typ, payload) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// dialVia connects a managed Conn through the proxy route and returns it
+// plus the echo channel.
+func dialVia(t *testing.T, addr string) (*netx.Conn, chan string) {
+	t.Helper()
+	echoes := make(chan string, 64)
+	c := netx.Dial(addr, netx.ConnOptions{
+		OnMessage: func(typ byte, payload []byte) { echoes <- string(payload) },
+		Backoff:   netx.BackoffPolicy{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		PingEvery: 20 * time.Millisecond,
+	})
+	t.Cleanup(c.Close)
+	return c, echoes
+}
+
+func expectEcho(t *testing.T, c *netx.Conn, echoes chan string, msg string) {
+	t.Helper()
+	waitCond2(t, "echo "+msg, func() bool {
+		if err := c.Send(1, []byte(msg)); err != nil {
+			return false
+		}
+		select {
+		case got := <-echoes:
+			return got == msg
+		case <-time.After(100 * time.Millisecond):
+			return false
+		}
+	})
+}
+
+func waitCond2(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFaultProxyRelaysFrames(t *testing.T) {
+	srv := echoServer(t)
+	fp := netx.NewFaultProxy(1)
+	defer fp.Close()
+	addr, err := fp.AddRoute(0, 1, func() (string, error) { return srv.Addr(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, echoes := dialVia(t, addr)
+	expectEcho(t, c, echoes, "through the proxy")
+}
+
+func TestFaultProxyCutAndHeal(t *testing.T) {
+	srv := echoServer(t)
+	fp := netx.NewFaultProxy(1)
+	defer fp.Close()
+	addr, err := fp.AddRoute(0, 1, func() (string, error) { return srv.Addr(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, echoes := dialVia(t, addr)
+	expectEcho(t, c, echoes, "before cut")
+
+	if err := fp.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Cut(1, 0); err == nil {
+		t.Fatal("double cut (reversed pair) should be a lifecycle error")
+	}
+	if fp.Reachable(0, 1) || fp.Reachable(1, 0) {
+		t.Fatal("cut pair still reachable")
+	}
+	waitCond2(t, "disconnect after cut", func() bool { return !c.Connected() })
+
+	// While cut, redials are refused (accept-then-close), so the dialer
+	// keeps backing off without ever holding a working connection.
+	time.Sleep(50 * time.Millisecond)
+	if c.Connected() {
+		t.Fatal("connection came back up across a cut link")
+	}
+
+	if err := fp.Heal(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Heal(0, 1); err == nil {
+		t.Fatal("healing an intact pair should be a lifecycle error")
+	}
+	expectEcho(t, c, echoes, "after heal")
+	if s := c.Stats(); s.Dials < 2 {
+		t.Fatalf("expected a redial across cut/heal, stats = %+v", s)
+	}
+}
+
+func TestFaultProxyLossDropsDataNotKeepalive(t *testing.T) {
+	srv := echoServer(t)
+	fp := netx.NewFaultProxy(1)
+	defer fp.Close()
+	addr, err := fp.AddRoute(0, 1, func() (string, error) { return srv.Addr(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, echoes := dialVia(t, addr)
+	expectEcho(t, c, echoes, "lossless")
+
+	fp.SetLinkLoss(0, 1, 1.0) // total data loss on this pair
+	for i := 0; i < 5; i++ {
+		c.Send(1, []byte("doomed"))
+	}
+	select {
+	case got := <-echoes:
+		t.Fatalf("frame %q survived total loss", got)
+	case <-time.After(150 * time.Millisecond):
+	}
+	// Keepalive frames are exempt from loss, so the connection holds.
+	if !c.Connected() {
+		t.Fatal("total data loss killed the connection; keepalive should hold it")
+	}
+
+	fp.ClearLink(0, 1)
+	expectEcho(t, c, echoes, "after clearing loss")
+}
+
+func TestFaultProxyDelay(t *testing.T) {
+	srv := echoServer(t)
+	fp := netx.NewFaultProxy(1)
+	defer fp.Close()
+	addr, err := fp.AddRoute(0, 1, func() (string, error) { return srv.Addr(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No keepalive here: the injected delay would overrun a short ping
+	// deadline and read as a dead link, which is exactly what delay must
+	// NOT do — it only slows traffic down.
+	echoes := make(chan string, 64)
+	c := netx.Dial(addr, netx.ConnOptions{
+		OnMessage: func(typ byte, payload []byte) { echoes <- string(payload) },
+		Backoff:   netx.BackoffPolicy{Min: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	t.Cleanup(c.Close)
+	expectEcho(t, c, echoes, "warm up")
+
+	const d = 40 * time.Millisecond
+	fp.SetLinkDelay(0, 1, d)
+	start := time.Now()
+	if err := c.Send(1, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-echoes:
+		if got != "slow" {
+			t.Fatalf("echo = %q", got)
+		}
+		// Request and reply each cross the delayed link once.
+		if elapsed := time.Since(start); elapsed < 2*d {
+			t.Fatalf("round trip took %v, want >= %v", elapsed, 2*d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed echo never arrived")
+	}
+}
+
+func TestFaultProxyOverridePrecedence(t *testing.T) {
+	fp := netx.NewFaultProxy(7)
+	defer fp.Close()
+
+	fp.SetLoss(1.0)
+	fp.SetLinkLoss(0, 1, 0)
+	if fp.DropData(0, 1) {
+		t.Fatal("per-link loss override (0) should beat global loss (1)")
+	}
+	if !fp.DropData(0, 2) {
+		t.Fatal("global loss 1.0 should drop on an un-overridden pair")
+	}
+
+	fp.SetDelay(10 * time.Millisecond)
+	fp.SetLinkDelay(0, 1, 30*time.Millisecond)
+	if got := fp.Delay(1, 0); got != 30*time.Millisecond {
+		t.Fatalf("Delay(1,0) = %v, want per-link override (pair is unordered)", got)
+	}
+	if got := fp.Delay(0, 2); got != 10*time.Millisecond {
+		t.Fatalf("Delay(0,2) = %v, want global", got)
+	}
+
+	fp.ClearLink(0, 1)
+	if got := fp.Delay(0, 1); got != 10*time.Millisecond {
+		t.Fatalf("after ClearLink, Delay = %v, want global", got)
+	}
+}
+
+// TestFaultProxyResolvesTargetPerConnection checks the restart story: a
+// target that comes back on a new port is reached through the same
+// stable proxy address.
+func TestFaultProxyResolvesTargetPerConnection(t *testing.T) {
+	srv1 := echoServer(t)
+	var cur string
+	curCh := make(chan string, 1)
+	curCh <- srv1.Addr()
+	fp := netx.NewFaultProxy(1)
+	defer fp.Close()
+	addr, err := fp.AddRoute(0, 1, func() (string, error) {
+		select {
+		case cur = <-curCh:
+		default:
+		}
+		return cur, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, echoes := dialVia(t, addr)
+	expectEcho(t, c, echoes, "first incarnation")
+
+	srv2 := echoServer(t) // the "restarted" target on a fresh port
+	curCh <- srv2.Addr()
+	srv1.Close() // drops the relayed connection; the dialer redials the proxy
+	expectEcho(t, c, echoes, "second incarnation")
+}

@@ -1,0 +1,181 @@
+package netx
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerOptions configures a frame server. The zero value works: default
+// frame cap, 2 s write timeout, no idle timeout.
+type ServerOptions struct {
+	// MaxFrame caps inbound payloads. Default DefaultMaxFrame.
+	MaxFrame int
+	// WriteTimeout bounds each outbound frame write. Default 2 s.
+	WriteTimeout time.Duration
+	// IdleTimeout drops a peer that sends nothing (not even keepalive
+	// pings) for the duration. 0 disables the idle check.
+	IdleTimeout time.Duration
+	// Handler receives every non-keepalive inbound frame on the peer's
+	// reader goroutine. The payload is only valid during the call.
+	Handler func(p *Peer, typ byte, payload []byte)
+	// OnDisconnect runs after a peer's connection ends, before the peer is
+	// forgotten.
+	OnDisconnect func(p *Peer)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// Server accepts framed connections and dispatches inbound frames to a
+// handler. It answers keepalive pings itself, so managed Conns pointed at
+// a Server get liveness for free.
+type Server struct {
+	o  ServerOptions
+	ln net.Listener
+
+	mu     sync.Mutex
+	peers  map[*Peer]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Peer is one accepted connection. Sends are safe for concurrent use.
+type Peer struct {
+	srv *Server
+	nc  net.Conn
+
+	mu      sync.Mutex
+	scratch []byte
+
+	// Tag carries the application's identity for the peer (set once the
+	// peer introduces itself) across handler invocations.
+	Tag atomic.Value
+}
+
+// Serve starts a server listening on addr ("host:0" picks a free port).
+func Serve(addr string, o ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{o: o.withDefaults(), ln: ln, peers: make(map[*Peer]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address, e.g. "127.0.0.1:41873".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes every peer, and waits for the serving
+// goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for p := range s.peers {
+		p.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p := &Peer{srv: s, nc: nc}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.peers[p] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.servePeer(p)
+	}
+}
+
+func (s *Server) servePeer(p *Peer) {
+	defer s.wg.Done()
+	defer func() {
+		p.nc.Close()
+		s.mu.Lock()
+		delete(s.peers, p)
+		s.mu.Unlock()
+		if s.o.OnDisconnect != nil {
+			s.o.OnDisconnect(p)
+		}
+	}()
+	fr := NewFrameReader(p.nc, s.o.MaxFrame)
+	for {
+		if s.o.IdleTimeout > 0 {
+			if err := p.nc.SetReadDeadline(time.Now().Add(s.o.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		typ, payload, err := fr.Next()
+		if err != nil {
+			return
+		}
+		switch {
+		case typ == TypePing:
+			p.send(TypePong, nil)
+		case typ >= TypeReserved:
+			// Unknown transport-internal frame: ignore for forward compat.
+		default:
+			if s.o.Handler != nil {
+				s.o.Handler(p, typ, payload)
+			}
+		}
+	}
+}
+
+// RemoteAddr returns the peer's remote address.
+func (p *Peer) RemoteAddr() string { return p.nc.RemoteAddr().String() }
+
+// Send writes one frame back to the peer. A write error closes the
+// connection (the reader goroutine then runs the disconnect path).
+func (p *Peer) Send(typ byte, payload []byte) error {
+	if typ >= TypeReserved {
+		return ErrReservedType
+	}
+	return p.send(typ, payload)
+}
+
+func (p *Peer) send(typ byte, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.scratch = AppendFrame(p.scratch[:0], typ, payload)
+	if err := p.nc.SetWriteDeadline(time.Now().Add(p.srv.o.WriteTimeout)); err != nil {
+		p.nc.Close()
+		return err
+	}
+	if _, err := p.nc.Write(p.scratch); err != nil {
+		p.nc.Close()
+		return err
+	}
+	return nil
+}
+
+// Close drops the peer's connection.
+func (p *Peer) Close() { p.nc.Close() }
