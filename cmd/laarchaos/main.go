@@ -39,7 +39,7 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "base seed; run i uses seed+i")
 		runs       = flag.Int("runs", 1, "seeds to run per scenario class")
-		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | ctrl-crash | ctrl-partition | ctrl-spike | all")
+		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | ctrl-crash | ctrl-partition | ctrl-spike | domain-crash | checkpoint-restore | all")
 		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
 		supervised = flag.Bool("supervised", false, "supervised-recovery mode: replay faults against the supervised live runtime, withholding scheduled recoveries")
 		controller = flag.Bool("controller", false, "control-plane mode: replay controller crashes, blackouts and controller↔controller cuts against the replicated live control plane")

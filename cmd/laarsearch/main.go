@@ -31,6 +31,8 @@ func main() {
 		maxLat   = flag.Float64("max-latency", 0, "maximum-latency SLA bound in seconds (0 = none)")
 		fuse     = flag.Bool("fuse", false, "apply operator fusion before placement and solving")
 		fuseMax  = flag.Float64("fuse-max", 0, "per-PE cost ceiling for fusion (cycles/tuple, 0 = unlimited)")
+		ckptOvh  = flag.Float64("ckpt-overhead", -1, "fractional CPU overhead of checkpoint mode (enables the hybrid {active, checkpoint, nothing} decision space; < 0 = off)")
+		ckptPhi  = flag.Float64("ckpt-phi", 0.9, "completeness guarantee credited to a checkpointed pair (with -ckpt-overhead)")
 		out      = flag.String("o", "", "strategy output file (default stdout)")
 	)
 	flag.Parse()
@@ -55,13 +57,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := laar.Solve(rates, asg, laar.SolveOptions{
+	opts := laar.SolveOptions{
 		ICMin:         *ic,
 		Deadline:      *deadline,
 		Workers:       *workers,
 		PenaltyLambda: *lambda,
 		MaxLatency:    *maxLat,
-	})
+	}
+	if *ckptOvh >= 0 {
+		opts.Checkpoint = &laar.CheckpointOptions{OverheadFrac: *ckptOvh, Phi: *ckptPhi}
+	}
+	res, err := laar.Solve(rates, asg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,6 +79,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "cost=%.4g cycles  IC=%.4f  first/optimal cost=%.3f  active=%d/%d\n",
 		res.Cost, res.IC, res.FirstCost/res.Cost,
 		res.Strategy.TotalActive(), res.Strategy.NumConfigs()*res.Strategy.NumPEs()*res.Strategy.K)
+	if res.FT != nil {
+		active, none, ckpt := res.FT.Counts()
+		fmt.Fprintf(os.Stderr, "ft plan: active=%d checkpoint=%d none=%d (per configuration × PE)\n",
+			active, ckpt, none)
+	}
 	for p := laar.PruneCPU; p <= laar.PruneDOM; p++ {
 		fmt.Fprintf(os.Stderr, "pruning %-5s: fired %d times, avg height %.1f\n",
 			p, res.Stats.Prunes[p], res.Stats.AvgPruneHeight(p))

@@ -3,8 +3,11 @@
 // crashes, correlated multi-host crashes, replica kill/recover churn,
 // network partitions (host↔host and host↔controller link cuts), gray
 // slowdowns (degraded-but-alive hosts), load spikes, input-rate glitch
-// bursts and control-plane failures (HAController crashes, blackouts and
-// controller↔controller partitions) — from a compact Scenario spec, drives
+// bursts, control-plane failures (HAController crashes, blackouts and
+// controller↔controller partitions), whole-fault-domain (rack) crashes
+// against a domain-anti-affine placement, and checkpointed-primary kills
+// under a hybrid active/checkpoint FT plan — from a compact Scenario spec,
+// drives
 // the discrete-event engine
 // (and, through a fake clock, the goroutine live runtime) through the
 // schedule, and checks a registry of LAAR invariants after every run:
@@ -23,7 +26,11 @@
 //   - tuple-conservation: every tuple offered to a replica is processed,
 //     dropped, discarded by a crash/deactivation clear, or still queued;
 //   - monotone-recovery: after the last failure clears, the output rate
-//     recovers to the failure-free expectation.
+//     recovers to the failure-free expectation;
+//   - no-shared-domain: with a fault-domain map, no PE keeps two replicas
+//     inside one domain at the placed anti-affinity level;
+//   - recovery-time-bound: every crashed checkpointed replica restores
+//     within the checkpoint policy's declared restore delay.
 //
 // Beyond engine runs, Diff replays a schedule differentially on the engine
 // and the live runtime, Supervised replays its faults against the
@@ -86,20 +93,33 @@ const (
 	// CtrlSpike combines a load spike with a leader crash inside the spike:
 	// the control plane fails over exactly when a reconfiguration is due.
 	CtrlSpike
+	// DomainCrash crashes whole fault domains (racks) atomically: the system
+	// is placed with domain-aware anti-affinity (placement.LPTDomains over a
+	// host⊂rack⊂zone map), then entire racks go dark and recover. Exercises
+	// the correlated-failure model end to end — placement, engine domain
+	// events, and the no-shared-domain invariant.
+	DomainCrash
+	// CheckpointRestore derives a hybrid FT plan from the activation
+	// strategy — single-active pairs run in checkpoint mode — and repeatedly
+	// crashes checkpointed primaries, asserting each one restores from its
+	// checkpoint within the declared restore delay (recovery-time-bound).
+	CheckpointRestore
 )
 
 var classNames = map[Class]string{
-	HostCrash:       "host-crash",
-	CorrelatedCrash: "correlated-crash",
-	ReplicaChurn:    "replica-churn",
-	LoadSpike:       "load-spike",
-	GlitchBurst:     "glitch-burst",
-	Mixed:           "mixed",
-	Partition:       "partition",
-	GraySlow:        "gray-slow",
-	CtrlCrash:       "ctrl-crash",
-	CtrlPartition:   "ctrl-partition",
-	CtrlSpike:       "ctrl-spike",
+	HostCrash:         "host-crash",
+	CorrelatedCrash:   "correlated-crash",
+	ReplicaChurn:      "replica-churn",
+	LoadSpike:         "load-spike",
+	GlitchBurst:       "glitch-burst",
+	Mixed:             "mixed",
+	Partition:         "partition",
+	GraySlow:          "gray-slow",
+	CtrlCrash:         "ctrl-crash",
+	CtrlPartition:     "ctrl-partition",
+	CtrlSpike:         "ctrl-spike",
+	DomainCrash:       "domain-crash",
+	CheckpointRestore: "checkpoint-restore",
 }
 
 // String returns the class's schedule-spec name.
@@ -112,7 +132,7 @@ func (c Class) String() string {
 
 // Classes lists every schedule class in declaration order.
 func Classes() []Class {
-	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow, CtrlCrash, CtrlPartition, CtrlSpike}
+	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow, CtrlCrash, CtrlPartition, CtrlSpike, DomainCrash, CheckpointRestore}
 }
 
 // ParseClass resolves a schedule-spec name ("host-crash", "mixed", ...).
@@ -171,7 +191,12 @@ func (sc Scenario) withDefaults() Scenario {
 		sc.NumPEs = 6
 	}
 	if sc.NumHosts == 0 {
-		sc.NumHosts = 3
+		if sc.Class == DomainCrash {
+			// Domain-aware anti-affinity needs at least two racks of two.
+			sc.NumHosts = 4
+		} else {
+			sc.NumHosts = 3
+		}
 	}
 	if sc.NumSources == 0 {
 		sc.NumSources = 1
@@ -196,6 +221,10 @@ func (sc Scenario) withDefaults() Scenario {
 			sc.Faults = 1
 		case CtrlPartition:
 			sc.Faults = 2
+		case DomainCrash:
+			sc.Faults = 1
+		case CheckpointRestore:
+			sc.Faults = 4
 		}
 	}
 	if sc.Controllers == 0 {
@@ -233,6 +262,9 @@ func (sc Scenario) validate() error {
 	}
 	if sc.Class == CtrlPartition && sc.Controllers < 2 {
 		return fmt.Errorf("chaos: ctrl-partition needs at least 2 controllers, got %d", sc.Controllers)
+	}
+	if sc.Class == DomainCrash && sc.NumHosts < 4 {
+		return fmt.Errorf("chaos: domain-crash needs at least 4 hosts (two racks of two), got %d", sc.NumHosts)
 	}
 	return nil
 }

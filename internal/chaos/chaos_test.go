@@ -10,7 +10,7 @@ import (
 // the goroutine live runtime and demands sink-count agreement within the
 // derived tolerance, plus a settled live primary election at quiescence.
 func TestDifferential(t *testing.T) {
-	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, Partition} {
+	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, Partition, DomainCrash, CheckpointRestore} {
 		class := class
 		t.Run(class.String(), func(t *testing.T) {
 			t.Parallel()
@@ -178,7 +178,7 @@ func TestLastClearCoversClearingEvents(t *testing.T) {
 // demands the supervisor alone restores full replication with a clean
 // primary topology.
 func TestSupervisedRecovery(t *testing.T) {
-	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, Partition} {
+	for _, class := range []Class{HostCrash, CorrelatedCrash, ReplicaChurn, Partition, DomainCrash} {
 		class := class
 		t.Run(class.String(), func(t *testing.T) {
 			t.Parallel()

@@ -81,7 +81,7 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	sched.Glitch = 0
 	sched.Events = diffableEvents(sched.Events)
 
-	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{Shards: sc.Shards})
+	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{Shards: sc.Shards, Domains: sys.Domains})
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +169,10 @@ func pipelineSystem(duration float64) (*System, []core.ComponentID, error) {
 		LowCfg:   0,
 		HighCfg:  1,
 		ICTarget: 1,
+		// One rack per host: a domain-crash schedule degrades to single-host
+		// crashes both legs can realise identically.
+		Domains:     core.UniformDomains(2, 1, 1),
+		DomainLevel: core.LevelRack,
 	}
 	return sys, []core.ComponentID{src, p1, p2, p3, sink}, nil
 }
@@ -293,6 +297,18 @@ func applyLiveEvent(rt *live.Runtime, net *live.NetFault, sys *System, peID []co
 	case engine.HostUp:
 		for _, pr := range sys.Asg.ReplicasOn(ev.Host) {
 			bump(pr[0], pr[1], -1)
+		}
+	case engine.DomainCrash:
+		for _, h := range sys.Domains.HostsIn(ev.Level, ev.Host) {
+			for _, pr := range sys.Asg.ReplicasOn(h) {
+				bump(pr[0], pr[1], +1)
+			}
+		}
+	case engine.DomainRecover:
+		for _, h := range sys.Domains.HostsIn(ev.Level, ev.Host) {
+			for _, pr := range sys.Asg.ReplicasOn(h) {
+				bump(pr[0], pr[1], -1)
+			}
 		}
 	case engine.LinkDown:
 		net.Cut(ev.Host, ev.HostB)

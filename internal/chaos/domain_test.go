@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/engine"
+)
+
+// TestDomainCrashScenario pins the class-specific shape of domain-crash
+// runs: the system carries a fault-domain map, the placement is anti-affine
+// at the placed level, the schedule crashes whole racks via domain events,
+// and — because no rack holds two replicas of any PE — the run stays inside
+// the pessimistic model, so the IC bound is actually asserted.
+func TestDomainCrashScenario(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		res, violations, err := RunAndCheck(Scenario{Seed: seed, Class: DomainCrash})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		sys := res.System
+		if sys.Domains == nil {
+			t.Fatalf("seed %d: no domain map on a domain-crash system", seed)
+		}
+		if err := sys.Asg.ValidateDomains(sys.Domains, sys.DomainLevel); err != nil {
+			t.Errorf("seed %d: placement not anti-affine: %v", seed, err)
+		}
+		var crashes, recovers int
+		for _, ev := range res.Schedule.Events {
+			switch ev.Kind {
+			case engine.DomainCrash:
+				crashes++
+				if ev.Level != core.LevelRack {
+					t.Errorf("seed %d: domain crash at level %v, want rack", seed, ev.Level)
+				}
+			case engine.DomainRecover:
+				recovers++
+			default:
+				t.Errorf("seed %d: unexpected event kind %v in a domain-crash schedule", seed, ev.Kind)
+			}
+		}
+		if crashes == 0 || crashes != recovers {
+			t.Errorf("seed %d: %d domain crashes, %d recovers", seed, crashes, recovers)
+		}
+		if !res.Schedule.WithinModel {
+			t.Errorf("seed %d: domain-crash schedule out of model despite anti-affine placement", seed)
+		}
+	}
+}
+
+// TestCheckpointRestoreScenario pins the checkpoint-restore class: the
+// system derives a hybrid FT plan with at least one checkpointed pair, the
+// schedule only kills checkpointed primaries, and the engine records the
+// checkpoint restores the explicit recoveries trigger.
+func TestCheckpointRestoreScenario(t *testing.T) {
+	sawRestore := false
+	for seed := int64(1); seed <= 5; seed++ {
+		res, violations, err := RunAndCheck(Scenario{Seed: seed, Class: CheckpointRestore})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range violations {
+			t.Errorf("seed %d: %v", seed, v)
+		}
+		sys := res.System
+		if sys.FT == nil || sys.Ckpt == nil {
+			t.Fatalf("seed %d: no FT plan on a checkpoint-restore system", seed)
+		}
+		ckptPEs := sys.FT.CheckpointPEs()
+		for _, ev := range res.Schedule.Events {
+			if ev.Kind == engine.ReplicaDown && !ckptPEs[ev.PE] {
+				t.Errorf("seed %d: schedule kills replica of non-checkpointed PE %d", seed, ev.PE)
+			}
+		}
+		if res.Metrics.CheckpointRestores > 0 {
+			sawRestore = true
+		}
+	}
+	if !sawRestore {
+		t.Error("no seed recorded a checkpoint restore")
+	}
+}
+
+// TestCheckpointKillsFallsBackWithoutPlan: a system without a derived FT
+// plan (the fixed differential pipeline) degrades checkpoint-restore
+// schedules to plain replica churn instead of producing an empty schedule.
+func TestCheckpointKillsFallsBackWithoutPlan(t *testing.T) {
+	sc := Scenario{Seed: 2, Class: CheckpointRestore, Duration: 60}.withDefaults()
+	sys, _, err := pipelineSystem(sc.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildSchedule(sc, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downs int
+	for _, ev := range sched.Events {
+		if ev.Kind == engine.ReplicaDown {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Error("fallback schedule has no replica kills")
+	}
+}
+
+// TestFTPlanFromStrategy pins the strategy→plan derivation rule on a
+// hand-built strategy.
+func TestFTPlanFromStrategy(t *testing.T) {
+	s := core.NewStrategy(1, 3, 2)
+	s.Set(0, 0, 0, true)
+	s.Set(0, 0, 1, true) // both active  → FTActive
+	s.Set(0, 1, 1, true) // one active   → FTCheckpoint
+	// PE 2 inactive → FTNone
+	ft := ftPlanFromStrategy(s, 1, 3)
+	want := []core.FTMode{core.FTActive, core.FTCheckpoint, core.FTNone}
+	for pe, w := range want {
+		if ft.Mode[0][pe] != w {
+			t.Errorf("PE %d mode = %v, want %v", pe, ft.Mode[0][pe], w)
+		}
+	}
+	active, none, ckpt := ft.Counts()
+	if active != 1 || none != 1 || ckpt != 1 {
+		t.Errorf("Counts() = (%d, %d, %d), want (1, 1, 1)", active, none, ckpt)
+	}
+}

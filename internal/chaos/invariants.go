@@ -205,6 +205,54 @@ func Registry() []Invariant {
 				return nil
 			},
 		},
+		{
+			Name: "no-shared-domain",
+			Doc:  "with a fault-domain map, no PE has two replicas in the same domain at the placed anti-affinity level",
+			Check: func(r *Result) error {
+				if r.System.Domains == nil {
+					return nil
+				}
+				return r.System.Asg.ValidateDomains(r.System.Domains, r.System.DomainLevel)
+			},
+		},
+		{
+			Name: "recovery-time-bound",
+			Doc:  "every crashed checkpointed replica is alive again within the checkpoint policy's restore delay",
+			Check: func(r *Result) error {
+				if r.System.FT == nil || r.System.Ckpt == nil {
+					return nil
+				}
+				ckptPEs := r.System.FT.CheckpointPEs()
+				const slack = 2 // probe granularity + restore scheduling jitter
+				for _, ev := range r.Schedule.Events {
+					if ev.Kind != engine.ReplicaDown || ev.PE >= len(ckptPEs) || !ckptPEs[ev.PE] {
+						continue
+					}
+					deadline := ev.Time + r.System.Ckpt.RestoreDelay + slack
+					checked := false
+					for _, p := range r.Probes {
+						if p.Time < deadline {
+							continue
+						}
+						for _, rp := range p.Replicas {
+							if rp.PE == ev.PE && rp.Replica == ev.Replica {
+								if !rp.Alive {
+									return fmt.Errorf("checkpointed replica (%d,%d) crashed at t=%.1f still dead at t=%.1f (restore bound %.1fs)",
+										ev.PE, ev.Replica, ev.Time, p.Time, r.System.Ckpt.RestoreDelay)
+								}
+								checked = true
+							}
+						}
+						break
+					}
+					if !checked {
+						return fmt.Errorf("no probe after t=%.1f to verify the restore of replica (%d,%d)",
+							deadline, ev.PE, ev.Replica)
+					}
+				}
+				return nil
+			},
+		},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"laar/internal/core"
 	"laar/internal/engine"
 )
 
@@ -150,6 +151,31 @@ func TestRegistrySelfTest(t *testing.T) {
 			mutate: func(r *Result) {
 				for i := range r.Metrics.Series {
 					r.Metrics.Series[i].OutputRate = 0
+				}
+			},
+		},
+		{
+			name: "two replicas of one PE share a fault domain",
+			want: "no-shared-domain",
+			mutate: func(r *Result) {
+				// Collapse every host into one rack: any replicated PE now
+				// violates rack-level anti-affinity.
+				r.System.Domains = core.UniformDomains(r.System.Asg.NumHosts, r.System.Asg.NumHosts, 1)
+				r.System.DomainLevel = core.LevelRack
+			},
+		},
+		{
+			name: "checkpointed replica still dead past the restore bound",
+			want: "recovery-time-bound",
+			mutate: func(r *Result) {
+				ft := core.NewFTPlan(r.System.Desc.NumConfigs(), r.System.Asg.NumPEs())
+				ft.Mode[0][0] = core.FTCheckpoint
+				r.System.FT = ft
+				r.System.Ckpt = defaultCheckpointPolicy()
+				r.Schedule.Events = append(r.Schedule.Events,
+					engine.FailureEvent{Time: 1, Kind: engine.ReplicaDown, PE: 0, Replica: 0})
+				for i := range r.Probes {
+					r.Probes[i].Replicas[0].Alive = false
 				}
 			},
 		},

@@ -22,12 +22,24 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, engine.Config{
+	cfg := engine.Config{
 		GlitchAmplitude: sched.Glitch,
 		Seed:            subSeed(sc.Seed, 0x911c4),
 		Controllers:     sc.Controllers,
 		Shards:          sc.Shards,
-	})
+		Domains:         sys.Domains,
+	}
+	if sys.FT != nil && sys.Ckpt != nil {
+		// The schedule carries explicit ReplicaUp events at the restore
+		// delay, so CheckpointRestoreDelay stays unset here: auto-restore
+		// would double-recover, and the differential legs replay the same
+		// explicit events.
+		cfg.CheckpointPEs = sys.FT.CheckpointPEs()
+		cfg.CheckpointInterval = sys.Ckpt.Interval
+		cfg.CheckpointCycles = sys.Ckpt.Cycles
+		cfg.RestoreCycles = sys.Ckpt.RestoreCycles
+	}
+	sim, err := engine.New(sys.Desc, sys.Asg, sys.Strat, sched.Trace, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: building simulation: %w", err)
 	}

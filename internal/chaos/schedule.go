@@ -104,12 +104,16 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 		sd.ctrlPartitions(sc, rng, sc.Faults, winLo, winHi)
 	case CtrlSpike:
 		sd.ctrlSpikeCrash(sc, sys, rng, winLo, winHi)
+	case DomainCrash:
+		sd.domainCrashes(sc, sys, rng, sc.Faults, winLo, winHi)
+	case CheckpointRestore:
+		sd.checkpointKills(sc, sys, rng, sc.Faults, winLo, winHi)
 	}
 	sort.SliceStable(sd.Events, func(a, b int) bool { return sd.Events[a].Time < sd.Events[b].Time })
 	sort.SliceStable(sd.CtrlCuts, func(a, b int) bool { return sd.CtrlCuts[a].Time < sd.CtrlCuts[b].Time })
 	for _, ev := range sd.Events {
 		switch ev.Kind {
-		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover:
+		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover, engine.DomainRecover:
 			if ev.Time > sd.LastClear {
 				sd.LastClear = ev.Time
 			}
@@ -120,7 +124,7 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 			sd.LastClear = cut.Time
 		}
 	}
-	sd.WithinModel = withinPessimisticModel(sd.Events, sys.Asg)
+	sd.WithinModel = withinPessimisticModel(sd.Events, sys.Asg, sys.Domains)
 	return sd, nil
 }
 
@@ -321,6 +325,81 @@ func (sd *Schedule) ctrlSpikeCrash(sc Scenario, sys *System, rng *rand.Rand, lo,
 	)
 }
 
+// domainCrashes schedules n whole-rack crash/recover pairs: every host of
+// the chosen rack goes dark atomically and recovers together. With the
+// domain-anti-affine placement BuildSystem produced, every PE keeps its
+// sibling replica in another rack, so the schedule stays inside the
+// pessimistic model despite crashing multiple hosts at once.
+func (sd *Schedule) domainCrashes(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	if sys.Domains == nil {
+		return
+	}
+	racks := sys.Domains.DistinctDomains(core.LevelRack)
+	busyUntil := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		down := 6 + rng.Float64()*8
+		at := fitDowntime(rng, lo, hi, &down)
+		rack := rng.Intn(racks)
+		if at < busyUntil[rack] {
+			continue // same rack still down: skip this draw
+		}
+		busyUntil[rack] = at + down + 1
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.DomainCrash, Host: rack, Level: core.LevelRack},
+			engine.FailureEvent{Time: at + down, Kind: engine.DomainRecover, Host: rack, Level: core.LevelRack},
+		)
+	}
+}
+
+// checkpointKills schedules n kill/restore pairs on checkpointed primaries:
+// replicas that are the lone active copy of an FTCheckpoint pair. The
+// downtime is pinned to the checkpoint policy's restore delay, so the
+// recovery-time-bound invariant can assert every victim is back within the
+// declared bound. Without a derived FT plan (e.g. the fixed differential
+// pipeline) it degrades to plain replica churn.
+func (sd *Schedule) checkpointKills(sc Scenario, sys *System, rng *rand.Rand, n int, lo, hi float64) {
+	if sys.FT == nil || sys.Ckpt == nil {
+		sd.replicaChurn(sc, sys, rng, n, lo, hi)
+		return
+	}
+	var candidates [][2]int
+	seen := make(map[[2]int]bool)
+	for c := range sys.FT.Mode {
+		for pe, m := range sys.FT.Mode[c] {
+			if m != core.FTCheckpoint {
+				continue
+			}
+			for k := 0; k < sys.Asg.K; k++ {
+				key := [2]int{pe, k}
+				if sys.Strat.IsActive(c, pe, k) && !seen[key] {
+					seen[key] = true
+					candidates = append(candidates, key)
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		sd.replicaChurn(sc, sys, rng, n, lo, hi)
+		return
+	}
+	down := sys.Ckpt.RestoreDelay
+	busyUntil := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		at := fitDowntime(rng, lo, hi, &down)
+		key := candidates[rng.Intn(len(candidates))]
+		if at < busyUntil[key] {
+			continue // same replica still restoring: skip this draw
+		}
+		// Margin past the restore so the recovery-time-bound probe check
+		// cannot race the victim's next scheduled crash.
+		busyUntil[key] = at + down + 4
+		sd.Events = append(sd.Events,
+			engine.FailureEvent{Time: at, Kind: engine.ReplicaDown, PE: key[0], Replica: key[1]},
+			engine.FailureEvent{Time: at + down, Kind: engine.ReplicaUp, PE: key[0], Replica: key[1]},
+		)
+	}
+}
+
 // withinPessimisticModel replays the failure timeline and reports whether
 // every PE keeps at least one alive replica on an up, controller-reachable
 // host at all times — the physical precondition for the pessimistic-model
@@ -329,7 +408,7 @@ func (sd *Schedule) ctrlSpikeCrash(sc Scenario, sys *System, rng *rand.Rand, lo,
 // measured IC is corrected by it before the bound is checked. Gray
 // slowdowns put the schedule outside the model outright: a degraded-but-
 // alive host is not a crash-stop failure, so the bound makes no promise.
-func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) bool {
+func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment, dom *core.DomainMap) bool {
 	hostUp := make([]bool, asg.NumHosts)
 	ctrlCut := make([]bool, asg.NumHosts)
 	for h := range hostUp {
@@ -360,6 +439,20 @@ func withinPessimisticModel(events []engine.FailureEvent, asg *core.Assignment) 
 			hostUp[ev.Host] = false
 		case engine.HostUp:
 			hostUp[ev.Host] = true
+		case engine.DomainCrash:
+			if dom == nil {
+				return false
+			}
+			for _, h := range dom.HostsIn(ev.Level, ev.Host) {
+				hostUp[h] = false
+			}
+		case engine.DomainRecover:
+			if dom == nil {
+				return false
+			}
+			for _, h := range dom.HostsIn(ev.Level, ev.Host) {
+				hostUp[h] = true
+			}
 		case engine.HostSlow:
 			return false
 		case engine.ControllerCrash:
@@ -395,7 +488,7 @@ func (sd *Schedule) Renormalize(numCtrl int, end float64) {
 	sd.LastClear = 0
 	for _, ev := range sd.Events {
 		switch ev.Kind {
-		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover:
+		case engine.ReplicaUp, engine.HostUp, engine.LinkUp, engine.HostNormal, engine.ControllerRecover, engine.DomainRecover:
 			if ev.Time > sd.LastClear {
 				sd.LastClear = ev.Time
 			}

@@ -119,6 +119,13 @@ func Supervised(sc Scenario) (*SupervisedResult, error) {
 				for _, pr := range sys.Asg.ReplicasOn(ev.Host) {
 					kill(pr[0], pr[1])
 				}
+			case engine.DomainCrash:
+				for _, h := range sys.Domains.HostsIn(ev.Level, ev.Host) {
+					for _, pr := range sys.Asg.ReplicasOn(h) {
+						kill(pr[0], pr[1])
+					}
+				}
+				// DomainRecover withheld like the other recovery kinds.
 			case engine.LinkDown:
 				net.Cut(ev.Host, ev.HostB)
 			case engine.LinkUp:

@@ -5,6 +5,7 @@ import (
 
 	"laar/internal/appgen"
 	"laar/internal/core"
+	"laar/internal/placement"
 	"laar/internal/strategy"
 )
 
@@ -21,6 +22,62 @@ type System struct {
 	// ICTarget is the target the strategy was actually built with, after
 	// any relaxation steps.
 	ICTarget float64
+	// Domains and DomainLevel are set for DomainCrash scenarios: the fault-
+	// domain map the placement was made anti-affine against, and the
+	// strongest level every PE's replicas provably spread across.
+	Domains     *core.DomainMap
+	DomainLevel core.DomainLevel
+	// FT and Ckpt are set for CheckpointRestore scenarios: the per-pair
+	// fault-tolerance plan derived from the activation strategy and the
+	// checkpoint policy the engine runs the checkpointed PEs under.
+	FT   *core.FTPlan
+	Ckpt *CheckpointPolicy
+}
+
+// CheckpointPolicy is the fixed, deterministic checkpoint configuration
+// CheckpointRestore scenarios run under.
+type CheckpointPolicy struct {
+	// Interval is the periodic checkpoint interval in seconds.
+	Interval float64
+	// Cycles is the CPU cost of taking one checkpoint.
+	Cycles float64
+	// RestoreCycles is the CPU cost of loading the last checkpoint.
+	RestoreCycles float64
+	// RestoreDelay is how long a crashed checkpointed replica stays down
+	// before its restore completes; the recovery-time-bound invariant
+	// asserts every checkpointed primary is back within this bound.
+	RestoreDelay float64
+}
+
+// defaultCheckpointPolicy is shared by every CheckpointRestore run.
+func defaultCheckpointPolicy() *CheckpointPolicy {
+	return &CheckpointPolicy{Interval: 2, Cycles: 1e6, RestoreCycles: 5e6, RestoreDelay: 4}
+}
+
+// ftPlanFromStrategy derives a hybrid FT plan from an activation strategy:
+// fully replicated pairs are FTActive, single-active pairs run their lone
+// replica in checkpoint mode (FTCheckpoint), inactive pairs are FTNone.
+func ftPlanFromStrategy(s *core.Strategy, numConfigs, numPEs int) *core.FTPlan {
+	ft := core.NewFTPlan(numConfigs, numPEs)
+	for c := 0; c < numConfigs; c++ {
+		for pe := 0; pe < numPEs; pe++ {
+			active := 0
+			for k := 0; k < 2; k++ {
+				if s.IsActive(c, pe, k) {
+					active++
+				}
+			}
+			switch active {
+			case 0:
+				ft.Mode[c][pe] = core.FTNone
+			case 1:
+				ft.Mode[c][pe] = core.FTCheckpoint
+			default:
+				ft.Mode[c][pe] = core.FTActive
+			}
+		}
+	}
+	return ft
 }
 
 // BuildSystem generates the system under test for a scenario: a calibrated
@@ -47,21 +104,42 @@ func BuildSystem(sc Scenario) (*System, error) {
 			lastErr = err
 			continue
 		}
-		for _, target := range []float64{sc.ICTarget, sc.ICTarget / 2, 0} {
-			s, err := strategy.ICGreedy(gen.Rates, gen.Assignment, target)
+		asg := gen.Assignment
+		var dom *core.DomainMap
+		var level core.DomainLevel
+		if sc.Class == DomainCrash {
+			// Re-place with domain-aware anti-affinity over racks of two so
+			// a whole-rack crash never takes out both replicas of a PE.
+			dom = core.UniformDomains(sc.NumHosts, 2, 1)
+			pl, err := placement.LPTDomains(gen.Rates, asg.K, dom)
 			if err != nil {
 				lastErr = err
 				continue
 			}
-			return &System{
-				Desc:     gen.Desc,
-				Rates:    gen.Rates,
-				Asg:      gen.Assignment,
-				Strat:    s,
-				LowCfg:   gen.LowCfg,
-				HighCfg:  gen.HighCfg,
-				ICTarget: target,
-			}, nil
+			asg, level = pl.Asg, pl.Level
+		}
+		for _, target := range []float64{sc.ICTarget, sc.ICTarget / 2, 0} {
+			s, err := strategy.ICGreedy(gen.Rates, asg, target)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			sys := &System{
+				Desc:        gen.Desc,
+				Rates:       gen.Rates,
+				Asg:         asg,
+				Strat:       s,
+				LowCfg:      gen.LowCfg,
+				HighCfg:     gen.HighCfg,
+				ICTarget:    target,
+				Domains:     dom,
+				DomainLevel: level,
+			}
+			if sc.Class == CheckpointRestore {
+				sys.FT = ftPlanFromStrategy(s, gen.Desc.NumConfigs(), gen.Desc.App.NumPEs())
+				sys.Ckpt = defaultCheckpointPolicy()
+			}
+			return sys, nil
 		}
 	}
 	return nil, fmt.Errorf("chaos: could not build a system for seed %d: %w", sc.Seed, lastErr)

@@ -1,0 +1,270 @@
+package core
+
+import "fmt"
+
+// DomainLevel selects one tier of the fault-domain hierarchy host ⊂ rack ⊂
+// zone. Host is the weakest tier (every host is its own fault domain — the
+// paper's independent-crash world); zone is the strongest.
+type DomainLevel int8
+
+const (
+	// LevelHost treats every host as its own fault domain.
+	LevelHost DomainLevel = iota
+	// LevelRack groups hosts by rack (shared top-of-rack switch / PDU).
+	LevelRack
+	// LevelZone groups racks by zone (shared power feed / cooling / room).
+	LevelZone
+)
+
+var levelNames = [...]string{"host", "rack", "zone"}
+
+// String names a domain level for diagnostics.
+func (l DomainLevel) String() string {
+	if l >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// DomainMap assigns every host to a hierarchy of fault domains: each host
+// lives in exactly one rack and each rack in exactly one zone, so a rack
+// outage (switch, PDU) takes down all its hosts at once and a zone outage
+// all its racks. The map is the ground truth both for domain-aware placement
+// anti-affinity and for the correlated failure model; the engine uses it to
+// crash whole domains atomically.
+//
+// Rack and zone indices need not be dense: domains with no hosts are legal
+// (a degenerate but reachable state when hosts are decommissioned), and all
+// validators and placement routines must survive them.
+type DomainMap struct {
+	// NumHosts is |H|.
+	NumHosts int
+	// Rack[h] is the rack index of host h, in [0, NumHosts).
+	Rack []int
+	// Zone[h] is the zone index of host h, in [0, NumHosts). All hosts of a
+	// rack must share one zone (rack ⊂ zone).
+	Zone []int
+}
+
+// UniformDomains builds the regular layout: hosts 0..n-1 packed into racks
+// of hostsPerRack, racks packed into zones of racksPerZone. The trailing
+// rack/zone may be smaller. hostsPerRack and racksPerZone values below 1 are
+// treated as 1.
+func UniformDomains(numHosts, hostsPerRack, racksPerZone int) *DomainMap {
+	if hostsPerRack < 1 {
+		hostsPerRack = 1
+	}
+	if racksPerZone < 1 {
+		racksPerZone = 1
+	}
+	m := &DomainMap{
+		NumHosts: numHosts,
+		Rack:     make([]int, numHosts),
+		Zone:     make([]int, numHosts),
+	}
+	for h := 0; h < numHosts; h++ {
+		m.Rack[h] = h / hostsPerRack
+		m.Zone[h] = m.Rack[h] / racksPerZone
+	}
+	return m
+}
+
+// Validate checks the map is well formed: slice lengths match NumHosts,
+// rack and zone indices are in [0, NumHosts), and no rack spans two zones.
+func (m *DomainMap) Validate() error {
+	if m.NumHosts < 1 {
+		return fmt.Errorf("core: domain map over %d hosts", m.NumHosts)
+	}
+	if len(m.Rack) != m.NumHosts || len(m.Zone) != m.NumHosts {
+		return fmt.Errorf("core: domain map over %d hosts has %d rack and %d zone entries",
+			m.NumHosts, len(m.Rack), len(m.Zone))
+	}
+	zoneOfRack := make(map[int]int, m.NumHosts)
+	for h := 0; h < m.NumHosts; h++ {
+		r, z := m.Rack[h], m.Zone[h]
+		if r < 0 || r >= m.NumHosts {
+			return fmt.Errorf("core: host %d in invalid rack %d (want [0, %d))", h, r, m.NumHosts)
+		}
+		if z < 0 || z >= m.NumHosts {
+			return fmt.Errorf("core: host %d in invalid zone %d (want [0, %d))", h, z, m.NumHosts)
+		}
+		if zPrev, ok := zoneOfRack[r]; ok && zPrev != z {
+			return fmt.Errorf("core: rack %d spans zones %d and %d (rack ⊂ zone violated at host %d)", r, zPrev, z, h)
+		}
+		zoneOfRack[r] = z
+	}
+	return nil
+}
+
+// DomainOf returns the fault-domain index of the host at the level. At
+// LevelHost the domain is the host itself.
+func (m *DomainMap) DomainOf(host int, level DomainLevel) int {
+	switch level {
+	case LevelRack:
+		return m.Rack[host]
+	case LevelZone:
+		return m.Zone[host]
+	default:
+		return host
+	}
+}
+
+// DistinctDomains counts the distinct non-empty fault domains at the level —
+// the number a placement can actually spread replicas across. Empty domains
+// (indices with no hosts) do not count.
+func (m *DomainMap) DistinctDomains(level DomainLevel) int {
+	if level == LevelHost {
+		return m.NumHosts
+	}
+	seen := make(map[int]bool, m.NumHosts)
+	for h := 0; h < m.NumHosts; h++ {
+		seen[m.DomainOf(h, level)] = true
+	}
+	return len(seen)
+}
+
+// HostsIn returns the hosts belonging to the fault domain with the given
+// index at the level, in host order. The result is empty for an empty or
+// unknown domain index.
+func (m *DomainMap) HostsIn(level DomainLevel, domain int) []int {
+	var out []int
+	for h := 0; h < m.NumHosts; h++ {
+		if m.DomainOf(h, level) == domain {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// SameDomain reports whether two hosts share a fault domain at the level.
+func (m *DomainMap) SameDomain(a, b int, level DomainLevel) bool {
+	return m.DomainOf(a, level) == m.DomainOf(b, level)
+}
+
+// ValidateDomains checks domain-level anti-affinity: no two replicas of the
+// same PE share a fault domain at the level. At LevelHost this is exactly
+// Validate(true)'s anti-affinity check.
+func (a *Assignment) ValidateDomains(dom *DomainMap, level DomainLevel) error {
+	if dom.NumHosts != a.NumHosts {
+		return fmt.Errorf("core: domain map covers %d hosts, assignment %d", dom.NumHosts, a.NumHosts)
+	}
+	for p := range a.Host {
+		seen := make(map[int]bool, a.K)
+		for r, h := range a.Host[p] {
+			if h < 0 || h >= a.NumHosts {
+				return fmt.Errorf("core: replica (%d,%d) assigned to invalid host %d of %d", p, r, h, a.NumHosts)
+			}
+			d := dom.DomainOf(h, level)
+			if seen[d] {
+				return fmt.Errorf("core: PE %d has multiple replicas in %s domain %d", p, level, d)
+			}
+			seen[d] = true
+		}
+	}
+	return nil
+}
+
+// Correlated is the correlated-failure counterpart of Independent: hosts
+// fail independently with probability PHost, but whole racks additionally
+// fail together with probability PRack and whole zones with PZone (shared
+// switches, PDUs and power feeds — the correlated regime "Tolerating
+// Correlated Failures in Massively Parallel Stream Processing Engines"
+// shows dominates at scale). A PE processes its input as long as at least
+// one host carrying an *active* replica of it is up, so
+//
+//	φ = 1 − ∏_z [P_Z + (1−P_Z)·∏_{r⊂z} [P_R + (1−P_R)·∏_{h∈r} P_H]]
+//
+// over the zones, racks and hosts that carry active replicas. Replicas that
+// share a rack or zone hang off the same correlated term instead of
+// multiplying independently, so the model prices shared-domain placements
+// strictly worse than spread ones — the quantitative argument for
+// domain-aware anti-affinity. With PRack = PZone = 0 it reduces exactly to
+// Independent over the distinct hosts used.
+//
+// Unlike the paper's models, φ depends on where replicas run, so the model
+// captures the placement and domain map at construction.
+type Correlated struct {
+	// Domains maps hosts to racks and zones.
+	Domains *DomainMap
+	// Asg is the replicated placement φ is evaluated against.
+	Asg *Assignment
+	// PHost, PRack and PZone are the independent outage probabilities of a
+	// host, a whole rack and a whole zone, each in [0, 1].
+	PHost, PRack, PZone float64
+}
+
+// NewCorrelated validates the inputs and builds the model.
+func NewCorrelated(dom *DomainMap, asg *Assignment, pHost, pRack, pZone float64) (Correlated, error) {
+	if err := dom.Validate(); err != nil {
+		return Correlated{}, err
+	}
+	if dom.NumHosts != asg.NumHosts {
+		return Correlated{}, fmt.Errorf("core: domain map covers %d hosts, assignment %d", dom.NumHosts, asg.NumHosts)
+	}
+	for _, p := range []float64{pHost, pRack, pZone} {
+		if !(p >= 0 && p <= 1) {
+			return Correlated{}, fmt.Errorf("core: outage probability %v outside [0, 1]", p)
+		}
+	}
+	return Correlated{Domains: dom, Asg: asg, PHost: pHost, PRack: pRack, PZone: pZone}, nil
+}
+
+// Phi implements FailureModel.
+func (m Correlated) Phi(s *Strategy, cfg, peIdx int) float64 {
+	// Distinct hosts carrying an active replica of the PE. K is tiny, so a
+	// linear scan beats any set structure.
+	var hosts [8]int
+	n := 0
+	for k := 0; k < s.K; k++ {
+		if !s.IsActive(cfg, peIdx, k) {
+			continue
+		}
+		h := m.Asg.HostOf(peIdx, k)
+		dup := false
+		for i := 0; i < n; i++ {
+			if hosts[i] == h {
+				dup = true
+				break
+			}
+		}
+		if !dup && n < len(hosts) {
+			hosts[n] = h
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// P(every active host down), grouped zone → rack → host so shared
+	// domains correlate.
+	pAllDown := 1.0
+	var zoneDone [8]bool
+	for i := 0; i < n; i++ {
+		if zoneDone[i] {
+			continue
+		}
+		z := m.Domains.Zone[hosts[i]]
+		prodRack := 1.0
+		var rackDone [8]bool
+		for j := i; j < n; j++ {
+			if rackDone[j] || m.Domains.Zone[hosts[j]] != z {
+				continue
+			}
+			r := m.Domains.Rack[hosts[j]]
+			prodHost := 1.0
+			for l := j; l < n; l++ {
+				if m.Domains.Zone[hosts[l]] == z && m.Domains.Rack[hosts[l]] == r {
+					rackDone[l] = true
+					zoneDone[l] = true
+					prodHost *= m.PHost
+				}
+			}
+			prodRack *= m.PRack + (1-m.PRack)*prodHost
+		}
+		pAllDown *= m.PZone + (1-m.PZone)*prodRack
+	}
+	return 1 - pAllDown
+}
+
+// Name implements FailureModel.
+func (m Correlated) Name() string { return "correlated" }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// domainAsg places one PE's replicas on the given hosts (k = len(hosts)).
+func domainAsg(numHosts int, hosts ...int) *Assignment {
+	a := NewAssignment(1, len(hosts), numHosts)
+	copy(a.Host[0], hosts)
+	return a
+}
+
+// TestCorrelatedPhiClosedForm pins the correlated φ against hand-computed
+// closed-form numbers for 2-domain and 3-domain layouts. pH = 0.1,
+// pR = 0.05, pZ = 0.01 throughout.
+func TestCorrelatedPhiClosedForm(t *testing.T) {
+	const pH, pR, pZ = 0.1, 0.05, 0.01
+	cases := []struct {
+		name   string
+		dom    *DomainMap
+		hosts  []int // replica placement, all active
+		active []bool
+		want   float64
+	}{
+		{
+			// Two hosts in two racks of one zone: per-rack term
+			// 0.05 + 0.95·0.1 = 0.145, φ = 1 − (0.01 + 0.99·0.145²).
+			name:  "2-domains-spread",
+			dom:   &DomainMap{NumHosts: 2, Rack: []int{0, 1}, Zone: []int{0, 0}},
+			hosts: []int{0, 1},
+			want:  0.96918525,
+		},
+		{
+			// Same two hosts crammed into one rack: the rack outage now
+			// takes both replicas, φ = 1 − (0.01 + 0.99·(0.05 + 0.95·0.01)).
+			name:  "2-domains-shared-rack",
+			dom:   &DomainMap{NumHosts: 2, Rack: []int{0, 0}, Zone: []int{0, 0}},
+			hosts: []int{0, 1},
+			want:  0.931095,
+		},
+		{
+			// Three hosts in three racks in three zones: per-zone term
+			// 0.01 + 0.99·0.145 = 0.15355, φ = 1 − 0.15355³.
+			name:  "3-domains-spread",
+			dom:   &DomainMap{NumHosts: 3, Rack: []int{0, 1, 2}, Zone: []int{0, 1, 2}},
+			hosts: []int{0, 1, 2},
+			want:  0.996379659136125,
+		},
+		{
+			// Three hosts: two share rack 0 / zone 0, one alone in zone 1.
+			// Zone-0 term 0.01 + 0.99·(0.05 + 0.95·0.01) = 0.068905,
+			// zone-1 term 0.15355, φ = 1 − 0.068905·0.15355.
+			name:  "3-hosts-mixed-domains",
+			dom:   &DomainMap{NumHosts: 3, Rack: []int{0, 0, 1}, Zone: []int{0, 0, 1}},
+			hosts: []int{0, 1, 2},
+			want:  0.98941963725,
+		},
+		{
+			// Only replica 0 active: φ reduces to the single-host chain
+			// 1 − (0.01 + 0.99·(0.05 + 0.95·0.1)).
+			name:   "single-active",
+			dom:    &DomainMap{NumHosts: 2, Rack: []int{0, 1}, Zone: []int{0, 0}},
+			hosts:  []int{0, 1},
+			active: []bool{true, false},
+			want:   0.84645,
+		},
+		{
+			// No active replica: φ = 0 by liveness.
+			name:   "none-active",
+			dom:    &DomainMap{NumHosts: 2, Rack: []int{0, 1}, Zone: []int{0, 0}},
+			hosts:  []int{0, 1},
+			active: []bool{false, false},
+			want:   0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			asg := domainAsg(tc.dom.NumHosts, tc.hosts...)
+			m, err := NewCorrelated(tc.dom, asg, pH, pR, pZ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := AllActive(1, 1, len(tc.hosts))
+			for k, a := range tc.active {
+				s.Set(0, 0, k, a)
+			}
+			got := m.Phi(s, 0, 0)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Phi = %.15f, want %.15f", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCorrelatedReducesToIndependent checks that with zero rack and zone
+// outage probabilities the correlated model equals Independent whenever the
+// active replicas sit on distinct hosts.
+func TestCorrelatedReducesToIndependent(t *testing.T) {
+	dom := UniformDomains(4, 2, 2)
+	asg := domainAsg(4, 0, 3)
+	m, err := NewCorrelated(dom, asg, 0.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := Independent{P: 0.2}
+	for _, active := range [][]bool{{true, true}, {true, false}, {false, true}} {
+		s := NewStrategy(1, 1, 2)
+		for k, a := range active {
+			s.Set(0, 0, k, a)
+		}
+		got, want := m.Phi(s, 0, 0), ind.Phi(s, 0, 0)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("active %v: correlated %.12f != independent %.12f", active, got, want)
+		}
+	}
+}
+
+// TestCorrelatedPricesSharedDomains checks the monotonicity argument for
+// domain-aware placement: the same strategy scores strictly lower φ when
+// its replicas share a rack than when they are spread.
+func TestCorrelatedPricesSharedDomains(t *testing.T) {
+	spread := &DomainMap{NumHosts: 2, Rack: []int{0, 1}, Zone: []int{0, 0}}
+	shared := &DomainMap{NumHosts: 2, Rack: []int{0, 0}, Zone: []int{0, 0}}
+	asg := domainAsg(2, 0, 1)
+	s := AllActive(1, 1, 2)
+	mSpread, err := NewCorrelated(spread, asg, 0.1, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mShared, err := NewCorrelated(shared, asg, 0.1, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phiSpread, phiShared := mSpread.Phi(s, 0, 0), mShared.Phi(s, 0, 0); phiSpread <= phiShared {
+		t.Fatalf("spread φ %.6f not above shared-rack φ %.6f", phiSpread, phiShared)
+	}
+}
+
+func TestDomainMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		dom  *DomainMap
+		ok   bool
+	}{
+		{"uniform", UniformDomains(6, 2, 2), true},
+		{"empty-rack-index", &DomainMap{NumHosts: 3, Rack: []int{0, 2, 2}, Zone: []int{0, 0, 0}}, true},
+		{"no-hosts", &DomainMap{NumHosts: 0}, false},
+		{"length-mismatch", &DomainMap{NumHosts: 2, Rack: []int{0}, Zone: []int{0, 0}}, false},
+		{"rack-out-of-range", &DomainMap{NumHosts: 2, Rack: []int{0, 5}, Zone: []int{0, 0}}, false},
+		{"negative-zone", &DomainMap{NumHosts: 2, Rack: []int{0, 1}, Zone: []int{0, -1}}, false},
+		{"rack-spans-zones", &DomainMap{NumHosts: 3, Rack: []int{0, 0, 1}, Zone: []int{0, 1, 1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.dom.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDomainMapQueries(t *testing.T) {
+	dom := UniformDomains(6, 2, 2) // racks {0,1}{2,3}{4,5}, zones {0..3}{4,5}
+	if got := dom.DistinctDomains(LevelHost); got != 6 {
+		t.Fatalf("DistinctDomains(host) = %d, want 6", got)
+	}
+	if got := dom.DistinctDomains(LevelRack); got != 3 {
+		t.Fatalf("DistinctDomains(rack) = %d, want 3", got)
+	}
+	if got := dom.DistinctDomains(LevelZone); got != 2 {
+		t.Fatalf("DistinctDomains(zone) = %d, want 2", got)
+	}
+	if got := dom.HostsIn(LevelRack, 1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("HostsIn(rack, 1) = %v, want [2 3]", got)
+	}
+	if got := dom.HostsIn(LevelZone, 1); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("HostsIn(zone, 1) = %v, want [4 5]", got)
+	}
+	if dom.HostsIn(LevelRack, 9) != nil {
+		t.Fatal("HostsIn of unknown domain not empty")
+	}
+	if !dom.SameDomain(0, 1, LevelRack) || dom.SameDomain(1, 2, LevelRack) {
+		t.Fatal("SameDomain(rack) wrong")
+	}
+	if !dom.SameDomain(0, 3, LevelZone) || dom.SameDomain(3, 4, LevelZone) {
+		t.Fatal("SameDomain(zone) wrong")
+	}
+}
+
+func TestValidateDomains(t *testing.T) {
+	dom := UniformDomains(4, 2, 2) // racks {0,1}{2,3}, one zone
+	spread := domainAsg(4, 0, 2)   // distinct racks
+	if err := spread.ValidateDomains(dom, LevelRack); err != nil {
+		t.Fatalf("spread placement rejected: %v", err)
+	}
+	shared := domainAsg(4, 0, 1) // same rack, distinct hosts
+	if err := shared.ValidateDomains(dom, LevelHost); err != nil {
+		t.Fatalf("host-level check rejected distinct hosts: %v", err)
+	}
+	if err := shared.ValidateDomains(dom, LevelRack); err == nil {
+		t.Fatal("rack-level check accepted a shared rack")
+	}
+	if err := spread.ValidateDomains(dom, LevelZone); err == nil {
+		t.Fatal("zone-level check accepted a shared zone")
+	}
+	if err := spread.ValidateDomains(UniformDomains(3, 1, 1), LevelRack); err == nil {
+		t.Fatal("host-count mismatch accepted")
+	}
+}
+
+func TestFTPlanRoundTripAndQueries(t *testing.T) {
+	p := NewFTPlan(2, 3)
+	p.Mode[0][1] = FTCheckpoint
+	p.Mode[1][2] = FTNone
+	if got := p.CheckpointPEs(); !got[1] || got[0] || got[2] {
+		t.Fatalf("CheckpointPEs = %v, want [false true false]", got)
+	}
+	a, n, c := p.Counts()
+	if a != 4 || n != 1 || c != 1 {
+		t.Fatalf("Counts = %d,%d,%d, want 4,1,1", a, n, c)
+	}
+	enc, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FTPlan
+	if err := back.UnmarshalJSON(enc); err != nil {
+		t.Fatal(err)
+	}
+	for cfg := range p.Mode {
+		for pe := range p.Mode[cfg] {
+			if back.Mode[cfg][pe] != p.Mode[cfg][pe] {
+				t.Fatalf("round trip changed (%d,%d): %v != %v", cfg, pe, back.Mode[cfg][pe], p.Mode[cfg][pe])
+			}
+		}
+	}
+	if err := back.UnmarshalJSON([]byte(`{"mode":[["bogus"]]}`)); err == nil {
+		t.Fatal("unknown mode name accepted")
+	}
+}
+
+func TestCheckpointPhi(t *testing.T) {
+	if got := CheckpointPhi(100, 4, 4); math.Abs(got-0.94) > 1e-12 {
+		t.Fatalf("CheckpointPhi(100, 4, 4) = %v, want 0.94", got)
+	}
+	if got := CheckpointPhi(0, 4, 4); got != 0 {
+		t.Fatalf("zero mtbf: got %v", got)
+	}
+	if got := CheckpointPhi(1, 10, 10); got != 0 {
+		t.Fatalf("dominated mtbf not clamped: got %v", got)
+	}
+}
+
+func TestCheckpointAwareModel(t *testing.T) {
+	plan := NewFTPlan(1, 2)
+	plan.Mode[0][0] = FTCheckpoint
+	plan.Mode[0][1] = FTNone
+	m := CheckpointAware{Base: Pessimistic{}, Plan: plan, CkptPhi: 0.9}
+	s := NewStrategy(1, 2, 2)
+	s.Set(0, 0, 0, true) // PE 0: single active, checkpointed
+	s.Set(0, 1, 0, true) // PE 1: single active, unprotected
+	if got := m.Phi(s, 0, 0); got != 0.9 {
+		t.Fatalf("checkpointed pair φ = %v, want 0.9", got)
+	}
+	if got := m.Phi(s, 0, 1); got != 0 {
+		t.Fatalf("unprotected pair φ = %v, want 0 (pessimistic)", got)
+	}
+	// The base model wins when it already prices the pair higher.
+	full := AllActive(1, 2, 2)
+	if got := m.Phi(full, 0, 0); got != 1 {
+		t.Fatalf("fully active checkpointed pair φ = %v, want 1", got)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// FTMode is the fault-tolerance mechanism chosen for one (configuration, PE)
+// pair. The paper's decision space is {R0, R1, BOTH} — which replica(s) of
+// an active pair to keep hot; FTMode widens it with the passive alternative
+// the related work contrasts active replication against (Khaos, PAPERS.md):
+// a single active replica that periodically checkpoints its state and
+// replays from the last checkpoint after a crash.
+type FTMode int8
+
+const (
+	// FTActive keeps every replica of the PE active (active replication:
+	// instant failover, double cost).
+	FTActive FTMode = iota
+	// FTNone runs a single active replica with no passive protection: a
+	// crash loses the operator until an external recovery.
+	FTNone
+	// FTCheckpoint runs a single active replica that checkpoints
+	// periodically and restores from the last checkpoint after a crash,
+	// replaying the lost window (bounded recovery time, small steady-state
+	// overhead).
+	FTCheckpoint
+)
+
+var ftModeNames = [...]string{"active", "none", "checkpoint"}
+
+// String names a mode for reports.
+func (m FTMode) String() string {
+	if m >= 0 && int(m) < len(ftModeNames) {
+		return ftModeNames[m]
+	}
+	return fmt.Sprintf("ftmode(%d)", int(m))
+}
+
+// FTPlan records the per-(configuration, PE) fault-tolerance mechanism a
+// solver chose alongside the activation strategy. It is the passive-FT
+// companion of Strategy: the strategy says which replicas are active, the
+// plan says what protects the PEs that run singly.
+type FTPlan struct {
+	// Mode[cfg][peIdx] is the mechanism for the PE in that configuration.
+	Mode [][]FTMode
+}
+
+// NewFTPlan returns a plan with every (configuration, PE) at FTActive.
+func NewFTPlan(numConfigs, numPEs int) *FTPlan {
+	p := &FTPlan{Mode: make([][]FTMode, numConfigs)}
+	for c := range p.Mode {
+		p.Mode[c] = make([]FTMode, numPEs)
+	}
+	return p
+}
+
+// NumConfigs returns the number of input configurations the plan covers.
+func (p *FTPlan) NumConfigs() int { return len(p.Mode) }
+
+// NumPEs returns the number of PEs the plan covers.
+func (p *FTPlan) NumPEs() int {
+	if len(p.Mode) == 0 {
+		return 0
+	}
+	return len(p.Mode[0])
+}
+
+// CheckpointPEs flattens the plan to the per-PE view the runtimes need: a
+// PE is checkpointed iff the plan picks FTCheckpoint for it in at least one
+// configuration (the checkpointing machinery runs continuously; which
+// configurations *credit* it is the solver's concern).
+func (p *FTPlan) CheckpointPEs() []bool {
+	out := make([]bool, p.NumPEs())
+	for _, row := range p.Mode {
+		for pe, m := range row {
+			if m == FTCheckpoint {
+				out[pe] = true
+			}
+		}
+	}
+	return out
+}
+
+// Counts tallies the plan's modes over all (configuration, PE) pairs.
+func (p *FTPlan) Counts() (active, none, checkpoint int) {
+	for _, row := range p.Mode {
+		for _, m := range row {
+			switch m {
+			case FTActive:
+				active++
+			case FTNone:
+				none++
+			case FTCheckpoint:
+				checkpoint++
+			}
+		}
+	}
+	return
+}
+
+type ftPlanJSON struct {
+	Mode [][]string `json:"mode"`
+}
+
+// MarshalJSON encodes the plan with symbolic mode names.
+func (p *FTPlan) MarshalJSON() ([]byte, error) {
+	out := ftPlanJSON{Mode: make([][]string, len(p.Mode))}
+	for c, row := range p.Mode {
+		out.Mode[c] = make([]string, len(row))
+		for pe, m := range row {
+			out.Mode[c][pe] = m.String()
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a plan written by MarshalJSON.
+func (p *FTPlan) UnmarshalJSON(data []byte) error {
+	var in ftPlanJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p.Mode = make([][]FTMode, len(in.Mode))
+	for c, row := range in.Mode {
+		p.Mode[c] = make([]FTMode, len(row))
+		for pe, name := range row {
+			found := false
+			for m, n := range ftModeNames {
+				if n == name {
+					p.Mode[c][pe] = FTMode(m)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: unknown FT mode %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckpointPhi is the closed-form availability credited to a checkpointed
+// operator: over a mean time between failures mtbf, the operator is dark for
+// restoreDelay (detection + restore) plus half a checkpoint interval of
+// replay on average per failure, so
+//
+//	φ ≈ 1 − (restoreDelay + interval/2) / mtbf
+//
+// clamped to [0, 1]. It is the knob that turns Khaos's checkpoint-interval
+// vs recovery-time tradeoff into a number FT-Search can weigh against an
+// active replica's φ = 1.
+func CheckpointPhi(mtbf, restoreDelay, interval float64) float64 {
+	if mtbf <= 0 {
+		return 0
+	}
+	phi := 1 - (restoreDelay+interval/2)/mtbf
+	if phi < 0 {
+		return 0
+	}
+	if phi > 1 {
+		return 1
+	}
+	return phi
+}
+
+// CheckpointAware wraps a base failure model with an FT plan: pairs the plan
+// protects with FTCheckpoint are credited φ = Phi (the checkpointed
+// operator's availability) when the base model would price them lower;
+// everything else falls through to the base model. It lets IC/FIC evaluate
+// a (strategy, plan) pair the way FT-Search priced it.
+type CheckpointAware struct {
+	// Base prices pairs the plan does not checkpoint.
+	Base FailureModel
+	// Plan marks the checkpointed pairs.
+	Plan *FTPlan
+	// CkptPhi is the availability of a checkpointed operator
+	// (CheckpointPhi).
+	CkptPhi float64
+}
+
+// Phi implements FailureModel.
+func (m CheckpointAware) Phi(s *Strategy, cfg, peIdx int) float64 {
+	base := m.Base.Phi(s, cfg, peIdx)
+	if m.Plan != nil && cfg < len(m.Plan.Mode) && peIdx < len(m.Plan.Mode[cfg]) &&
+		m.Plan.Mode[cfg][peIdx] == FTCheckpoint && m.CkptPhi > base {
+		return m.CkptPhi
+	}
+	return base
+}
+
+// Name implements FailureModel.
+func (m CheckpointAware) Name() string { return "checkpoint-aware(" + m.Base.Name() + ")" }

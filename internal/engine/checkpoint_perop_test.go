@@ -1,0 +1,205 @@
+package engine
+
+import "testing"
+
+// perOpCfg is the shared per-operator checkpoint configuration: only PE0
+// checkpoints (every 2 s), and its replicas auto-restore 8 s after a
+// crash regardless of the global RecoverAfter.
+func perOpCfg() Config {
+	return Config{
+		CheckpointInterval:     2,
+		CheckpointCycles:       1e6,
+		CheckpointPEs:          []bool{true, false},
+		RestoreCycles:          5e7,
+		CheckpointRestoreDelay: 8,
+	}
+}
+
+// TestPerOpCheckpointReplayAccounting crashes the checkpointed PE's only
+// active replica 1 s after a checkpoint boundary and checks the restore
+// bill: the restore cost plus the replayed window land in overhead
+// cycles, the replayed tuples are tallied separately, and ProcessedTotal
+// never re-counts them — the measured-IC correction the search layer
+// relies on.
+func TestPerOpCheckpointReplayAccounting(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+
+	sim, err := New(d, asg, nrStrategy(), tr, perOpCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Time: 41, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := New(d, asg, nrStrategy(), tr, perOpCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mClean, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if m.CheckpointRestores != 1 {
+		t.Errorf("CheckpointRestores = %d, want 1", m.CheckpointRestores)
+	}
+	// The window since the last checkpoint (t=40) spans one second of
+	// 4 t/s processing.
+	if m.CheckpointReplayedTotal < 2 || m.CheckpointReplayedTotal > 9 {
+		t.Errorf("CheckpointReplayedTotal = %v, want ≈ 4 (one 1-second window)", m.CheckpointReplayedTotal)
+	}
+	// Overhead = periodic checkpoints (≤ 60 × 1e6, some skipped while the
+	// replica is down) + one restore (5e7) + the replayed window at 1e8
+	// cycles per tuple.
+	replayCycles := m.CheckpointReplayedTotal * 1e8
+	minOverhead := 5e7 + replayCycles + 50*1e6
+	maxOverhead := 5e7 + replayCycles + 62*1e6
+	if m.OverheadCyclesTotal < minOverhead || m.OverheadCyclesTotal > maxOverhead {
+		t.Errorf("OverheadCyclesTotal = %v, want in [%v, %v]", m.OverheadCyclesTotal, minOverhead, maxOverhead)
+	}
+	// The 8-second outage loses ≈ 32 tuples at each of the two PEs; if
+	// replay were credited back into ProcessedTotal the gap would shrink.
+	lost := mClean.ProcessedTotal - m.ProcessedTotal
+	if lost < 50 || lost > 80 {
+		t.Errorf("crash cost %v processed tuples, want ≈ 64", lost)
+	}
+	if mClean.CheckpointRestores != 0 || mClean.CheckpointReplayedTotal != 0 {
+		t.Errorf("clean run recorded restores: %d replayed %v",
+			mClean.CheckpointRestores, mClean.CheckpointReplayedTotal)
+	}
+}
+
+// TestPerOpCheckpointChargesOnlyTrackedPEs pins the per-operator
+// checkpoint bill: with only PE0 checkpointing, exactly one replica pays
+// the periodic cost — half of what the global mode charges for the same
+// deployment (TestCheckpointOverheadCharged).
+func TestPerOpCheckpointChargesOnlyTrackedPEs(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 100, 0)
+	sim, err := New(d, asg, nrStrategy(), tr, Config{
+		CheckpointInterval: 2,
+		CheckpointCycles:   1e7,
+		CheckpointPEs:      []bool{true, false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOverhead := 49 * 1e7
+	if m.OverheadCyclesTotal < 0.9*wantOverhead || m.OverheadCyclesTotal > 1.1*wantOverhead {
+		t.Errorf("OverheadCyclesTotal = %v, want ≈ %v (one tracked replica)", m.OverheadCyclesTotal, wantOverhead)
+	}
+}
+
+// TestCheckpointRestoreDelayPrecedence: a checkpointed PE's replica comes
+// back after CheckpointRestoreDelay even when the global RecoverAfter is
+// much longer; an untracked PE still waits out RecoverAfter.
+func TestCheckpointRestoreDelayPrecedence(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	cfg := perOpCfg()
+	cfg.RecoverAfter = 30
+
+	// Checkpointed PE0: back at t ≈ 48, output restored well before the
+	// 30-second RecoverAfter would allow.
+	tr := constantTrace(t, 120, 0)
+	simA, err := New(d, asg, nrStrategy(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simA.Inject(FailureEvent{Time: 40, Kind: ReplicaDown, PE: 0, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	mA, err := simA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := mA.PeakOutputRate(func(t float64) bool { return t > 52 && t < 68 }); rate < 3.5 {
+		t.Errorf("checkpointed PE output at t∈(52,68) = %v, want ≈ 4 (restored after 8 s)", rate)
+	}
+	if mA.CheckpointRestores != 1 {
+		t.Errorf("CheckpointRestores = %d, want 1", mA.CheckpointRestores)
+	}
+
+	// Untracked PE1: the same crash shape stays dark until RecoverAfter.
+	simB, err := New(d, asg, nrStrategy(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simB.Inject(FailureEvent{Time: 40, Kind: ReplicaDown, PE: 1, Replica: 0}); err != nil {
+		t.Fatal(err)
+	}
+	mB, err := simB.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := mB.PeakOutputRate(func(t float64) bool { return t > 52 && t < 68 }); rate > 0.5 {
+		t.Errorf("untracked PE output at t∈(52,68) = %v, want 0 (RecoverAfter=30)", rate)
+	}
+	if rate := mB.PeakOutputRate(func(t float64) bool { return t > 75 && t < 115 }); rate < 3.5 {
+		t.Errorf("untracked PE output after recovery = %v, want ≈ 4", rate)
+	}
+	if mB.CheckpointRestores != 0 {
+		t.Errorf("untracked crash recorded %d checkpoint restores", mB.CheckpointRestores)
+	}
+}
+
+// TestHostCrashRestoresCheckpointedReplicas: a host crash dirties the
+// checkpoint window of every tracked replica on the host, and the host
+// recovery replays it — without any per-replica events in the plan.
+func TestHostCrashRestoresCheckpointedReplicas(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 120, 0)
+	cfg := perOpCfg()
+	cfg.CheckpointRestoreDelay = 0 // host recovery drives the restore
+	sim, err := New(d, asg, nrStrategy(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PE0's primary lives on host 0 (pipelineSetup pins replica r to host r).
+	plan, err := HostCrashPlan(2, 0, 41, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckpointRestores != 1 {
+		t.Errorf("CheckpointRestores = %d, want 1", m.CheckpointRestores)
+	}
+	if m.CheckpointReplayedTotal < 2 || m.CheckpointReplayedTotal > 9 {
+		t.Errorf("CheckpointReplayedTotal = %v, want ≈ 4", m.CheckpointReplayedTotal)
+	}
+	if rate := m.PeakOutputRate(func(t float64) bool { return t > 55 && t < 115 }); rate < 3.5 {
+		t.Errorf("output after host recovery = %v, want ≈ 4", rate)
+	}
+}
+
+func TestPerOpCheckpointValidation(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	strat := nrStrategy()
+	if _, err := New(d, asg, strat, tr, Config{CheckpointPEs: []bool{true, false}}); err == nil {
+		t.Error("accepted CheckpointPEs without an interval")
+	}
+	if _, err := New(d, asg, strat, tr, Config{
+		CheckpointInterval: 2, CheckpointCycles: 1e6, CheckpointPEs: []bool{true},
+	}); err == nil {
+		t.Error("accepted CheckpointPEs of the wrong length")
+	}
+	if _, err := New(d, asg, strat, tr, Config{CheckpointRestoreDelay: -1}); err == nil {
+		t.Error("accepted negative CheckpointRestoreDelay")
+	}
+}

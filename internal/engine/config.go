@@ -9,7 +9,11 @@
 // and in milliseconds instead of cluster-minutes.
 package engine
 
-import "fmt"
+import (
+	"fmt"
+
+	"laar/internal/core"
+)
 
 // Config holds the simulation parameters.
 type Config struct {
@@ -64,6 +68,28 @@ type Config struct {
 	// explicit ReplicaUp events in the failure plan are unaffected.
 	RecoverAfter  float64
 	RestoreCycles float64
+	// CheckpointPEs switches checkpointing from the global mode above to
+	// the per-operator passive-FT mode: only the flagged PEs (typically
+	// core.FTPlan.CheckpointPEs()) pay the periodic CheckpointCycles, and
+	// the engine tracks each flagged replica's work since its last
+	// checkpoint. A crash loses that window; on recovery the replica is
+	// charged RestoreCycles plus the lost window's cycles (the replay),
+	// counted in Metrics.CheckpointReplayedTotal — replayed work is pure
+	// overhead, never re-counted as tuple processing, so the measured IC
+	// stays honest. Requires CheckpointInterval > 0; length must equal the
+	// application's PE count.
+	CheckpointPEs []bool
+	// CheckpointRestoreDelay, when positive, auto-recovers crashed replicas
+	// of checkpointed PEs after this many seconds (failure detection plus
+	// restore from the last checkpoint). It is the per-operator counterpart
+	// of RecoverAfter and takes precedence over it for checkpointed PEs.
+	CheckpointRestoreDelay float64
+
+	// Domains assigns hosts to hierarchical fault domains (host ⊂ rack ⊂
+	// zone) and is required for DomainCrash/DomainRecover events, which
+	// crash or recover every host of a fault domain atomically. Nil when
+	// the deployment has no domain model.
+	Domains *core.DomainMap
 
 	// RouteLoss drops this deterministic fraction of every inter-component
 	// delivery (fluid-model message loss on all routes), counted in
@@ -152,6 +178,12 @@ func (c Config) validate() error {
 	if c.RecoverAfter < 0 || c.RestoreCycles < 0 {
 		return fmt.Errorf("engine: negative recovery parameters (%v, %v)", c.RecoverAfter, c.RestoreCycles)
 	}
+	if c.CheckpointRestoreDelay < 0 {
+		return fmt.Errorf("engine: negative checkpoint restore delay %v", c.CheckpointRestoreDelay)
+	}
+	if c.CheckpointPEs != nil && c.CheckpointInterval <= 0 {
+		return fmt.Errorf("engine: per-operator checkpoint mode requires a positive checkpoint interval")
+	}
 	if c.RouteLoss < 0 || c.RouteLoss >= 1 {
 		return fmt.Errorf("engine: route loss %v outside [0, 1)", c.RouteLoss)
 	}
@@ -205,6 +237,13 @@ const (
 	// the controller index). If the deployment is leaderless the recovered
 	// instance takes the lease after Config.FailoverDelay.
 	ControllerRecover
+	// DomainCrash crashes every host of one fault domain atomically (Host
+	// is the domain index at Level): the correlated rack/zone outage a
+	// staggered burst of HostDown events only approximates. Requires
+	// Config.Domains.
+	DomainCrash
+	// DomainRecover recovers every host of a fault domain.
+	DomainRecover
 
 	// NumFailureKinds bounds the FailureKind enumeration (for per-kind
 	// counter arrays).
@@ -219,6 +258,7 @@ var kindNames = [NumFailureKinds]string{
 	"replica-down", "replica-up", "host-down", "host-up",
 	"link-down", "link-up", "host-slow", "host-normal",
 	"controller-crash", "controller-recover",
+	"domain-crash", "domain-recover",
 }
 
 // String names a failure kind for error messages and reports.
@@ -236,14 +276,18 @@ type FailureEvent struct {
 	// PE and Replica address a replica for ReplicaDown/ReplicaUp.
 	PE, Replica int
 	// Host addresses a host for HostDown/HostUp/HostSlow/HostNormal, the
-	// first endpoint for LinkDown/LinkUp, and the controller index for
-	// ControllerCrash/ControllerRecover.
+	// first endpoint for LinkDown/LinkUp, the controller index for
+	// ControllerCrash/ControllerRecover, and the fault-domain index for
+	// DomainCrash/DomainRecover.
 	Host int
 	// HostB is the second endpoint for LinkDown/LinkUp; CtrlHost partitions
 	// Host from the controller side (sources, sinks, election).
 	HostB int
 	// Factor is the capacity multiplier for HostSlow, in (0, 1).
 	Factor float64
+	// Level is the fault-domain level Host indexes for DomainCrash/
+	// DomainRecover (host, rack or zone).
+	Level core.DomainLevel
 }
 
 // PastEventError reports a failure event scheduled before the simulation

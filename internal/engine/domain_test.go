@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// fourHostSetup spreads the pipeline over four hosts so that a whole rack
+// can crash without taking the entire deployment with it: PE replicas 0
+// land on rack 0 (hosts 0, 1), replicas 1 on rack 1 (hosts 2, 3).
+func fourHostSetup(t *testing.T) (*core.Descriptor, *core.Assignment, *core.DomainMap) {
+	t.Helper()
+	d, _, _ := pipelineSetup(t)
+	asg := core.NewAssignment(2, 2, 4)
+	asg.Host[0] = []int{0, 2}
+	asg.Host[1] = []int{1, 3}
+	dom := core.UniformDomains(4, 2, 1) // racks {0,1} and {2,3}, one zone each
+	if err := asg.ValidateDomains(dom, core.LevelRack); err != nil {
+		t.Fatal(err)
+	}
+	return d, asg, dom
+}
+
+// TestDomainCrashEquivalence pins the semantics of the atomic domain
+// crash: DomainCrash/DomainRecover on rack 0 must produce bit-identical
+// metrics to a CorrelatedCrashPlan hitting the same member hosts with
+// zero stagger — only the event-kind tallies may differ (one domain event
+// versus one host event per member).
+func TestDomainCrashEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		d, asg, dom := fourHostSetup(t)
+		tr := constantTrace(t, 120, 0)
+		cfg := Config{Domains: dom, Shards: shards}
+
+		domSim, err := New(d, asg, core.AllActive(2, 2, 2), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := DomainCrashPlan(dom, core.LevelRack, 0, 40, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := domSim.InjectAll(plan); err != nil {
+			t.Fatal(err)
+		}
+		mDom, err := domSim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		hostSim, err := New(d, asg, core.AllActive(2, 2, 2), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := dom.HostsIn(core.LevelRack, 0)
+		hostPlan, err := CorrelatedCrashPlan(4, hosts, 40, 0, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hostSim.InjectAll(hostPlan); err != nil {
+			t.Fatal(err)
+		}
+		mHost, err := hostSim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if mDom.EventsByKind[DomainCrash] != 1 || mDom.EventsByKind[DomainRecover] != 1 {
+			t.Errorf("shards=%d: domain run counted %d crashes, %d recovers, want 1 each",
+				shards, mDom.EventsByKind[DomainCrash], mDom.EventsByKind[DomainRecover])
+		}
+		if mHost.EventsByKind[HostDown] != len(hosts) || mHost.EventsByKind[HostUp] != len(hosts) {
+			t.Errorf("shards=%d: host run counted %d downs, %d ups, want %d each",
+				shards, mHost.EventsByKind[HostDown], mHost.EventsByKind[HostUp], len(hosts))
+		}
+		mDom.EventsByKind = [NumFailureKinds]int{}
+		mHost.EventsByKind = [NumFailureKinds]int{}
+		if !reflect.DeepEqual(mDom, mHost) {
+			t.Errorf("shards=%d: domain crash diverged from zero-stagger correlated crash:\n dom  %+v\n host %+v",
+				shards, mDom, mHost)
+		}
+		// The crash must actually bite: rack 0 holds one replica of each
+		// PE, so with full activation the outage shows up as lost CPU
+		// work versus a clean run, not lost output.
+		if mDom.SinkTotal < 470 {
+			t.Errorf("shards=%d: surviving rack delivered only %v of ≈480 tuples", shards, mDom.SinkTotal)
+		}
+	}
+}
+
+// TestDomainCrashIdempotentOverlap overlaps a host crash with a domain
+// crash covering the same host: the domain events must not double-apply
+// to the already-down host, and recovery order must leave every host up.
+func TestDomainCrashIdempotentOverlap(t *testing.T) {
+	d, asg, dom := fourHostSetup(t)
+	tr := constantTrace(t, 120, 0)
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{Domains: dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := []FailureEvent{
+		{Time: 30, Kind: HostDown, Host: 0},
+		{Time: 40, Kind: DomainCrash, Host: 0, Level: core.LevelRack},
+		{Time: 60, Kind: DomainRecover, Host: 0, Level: core.LevelRack},
+	}
+	if err := sim.InjectAll(plan); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four hosts serve again after t=60; full activation means the
+	// sink sees close to the full 480 tuples.
+	after := m.PeakOutputRate(func(t float64) bool { return t > 65 })
+	if after < 3.5 {
+		t.Errorf("output after domain recovery = %v, want ≈ 4", after)
+	}
+}
+
+func TestDomainEventValidation(t *testing.T) {
+	d, asg, dom := fourHostSetup(t)
+	tr := constantTrace(t, 10, 0)
+
+	noDom, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noDom.Inject(FailureEvent{Kind: DomainCrash, Host: 0, Level: core.LevelRack}); err == nil {
+		t.Error("domain crash accepted without Config.Domains")
+	}
+
+	sim, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{Domains: dom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Inject(FailureEvent{Kind: DomainCrash, Host: 7, Level: core.LevelRack}); err == nil {
+		t.Error("empty rack accepted")
+	}
+	if err := sim.Inject(FailureEvent{Kind: DomainRecover, Host: 0, Level: core.DomainLevel(9)}); err == nil {
+		t.Error("unknown domain level accepted")
+	}
+
+	// New() must reject a domain map that does not cover the deployment.
+	small := core.UniformDomains(2, 2, 1)
+	if _, err := New(d, asg, core.AllActive(2, 2, 2), tr, Config{Domains: small}); err == nil {
+		t.Error("domain map over 2 hosts accepted for a 4-host deployment")
+	}
+
+	if _, err := DomainCrashPlan(nil, core.LevelRack, 0, 0, 1); err == nil {
+		t.Error("DomainCrashPlan accepted nil map")
+	}
+	if _, err := DomainCrashPlan(dom, core.LevelZone, 5, 0, 1); err == nil {
+		t.Error("DomainCrashPlan accepted empty zone")
+	}
+	if _, err := DomainCrashPlan(dom, core.LevelRack, 0, -1, 1); err == nil {
+		t.Error("DomainCrashPlan accepted negative start")
+	}
+}

@@ -64,6 +64,16 @@ type replica struct {
 	processedTick float64 // tuples processed during the current tick
 	producedTick  float64 // tuples produced during the current tick
 
+	// Per-operator checkpoint mode (Config.CheckpointPEs): ckptTrack marks
+	// replicas of checkpointed PEs, ckptTuples/ckptCycles accumulate the
+	// work since the last checkpoint (the window a crash loses and a
+	// restore replays), and ckptDirty records that state was lost — set on
+	// crash, cleared when the restore charges the replay.
+	ckptTrack  bool
+	ckptDirty  bool
+	ckptTuples float64
+	ckptCycles float64
+
 	// Per-tick shard-owned partials for the metrics accumulators shared
 	// across replicas (drop/loss/partition counters). Parallel tick phases
 	// write only here; a serial reduce folds them into Metrics in canonical
@@ -297,6 +307,17 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 	if tr.NumConfigs() > d.NumConfigs() {
 		return nil, fmt.Errorf("engine: trace uses config %d, descriptor has %d configs", tr.NumConfigs()-1, d.NumConfigs())
 	}
+	if cfg.Domains != nil {
+		if err := cfg.Domains.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Domains.NumHosts != asg.NumHosts {
+			return nil, fmt.Errorf("engine: domain map covers %d hosts, deployment has %d", cfg.Domains.NumHosts, asg.NumHosts)
+		}
+	}
+	if cfg.CheckpointPEs != nil && len(cfg.CheckpointPEs) != app.NumPEs() {
+		return nil, fmt.Errorf("engine: checkpoint plan covers %d PEs, application has %d", len(cfg.CheckpointPEs), app.NumPEs())
+	}
 	nShards := cfg.Shards
 	if nShards < 1 {
 		nShards = 1
@@ -342,6 +363,9 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 		s.reps[pe] = make([]*replica, asg.K)
 		for k := 0; k < asg.K; k++ {
 			rep := &replica{pe: pe, idx: k, host: asg.HostOf(pe, k), alive: true, ports: make([]port, len(in))}
+			if cfg.CheckpointPEs != nil && cfg.CheckpointPEs[pe] {
+				rep.ckptTrack = true
+			}
 			for pi, e := range in {
 				rep.ports[pi] = port{from: e.From, sel: e.Selectivity, cost: e.CostCycles, cap: s.portCapacity(e.From)}
 				if s.delayLen > 0 {
@@ -563,6 +587,16 @@ func (s *Simulation) Inject(ev FailureEvent) error {
 		if ev.Host < 0 || ev.Host >= len(s.ctrlUp) {
 			return fmt.Errorf("engine: controller event addresses unknown controller %d (%d configured)", ev.Host, len(s.ctrlUp))
 		}
+	case DomainCrash, DomainRecover:
+		if s.cfg.Domains == nil {
+			return fmt.Errorf("engine: %v event requires Config.Domains", ev.Kind)
+		}
+		if ev.Level < core.LevelHost || ev.Level > core.LevelZone {
+			return fmt.Errorf("engine: %v event at unknown domain level %d", ev.Kind, int(ev.Level))
+		}
+		if len(s.cfg.Domains.HostsIn(ev.Level, ev.Host)) == 0 {
+			return fmt.Errorf("engine: %v event addresses empty %s domain %d", ev.Kind, ev.Level, ev.Host)
+		}
 	default:
 		return fmt.Errorf("engine: unknown failure kind %d", ev.Kind)
 	}
@@ -640,8 +674,8 @@ func (s *Simulation) Run() (*Metrics, error) {
 func (s *Simulation) Close() { s.kern.Close() }
 
 // shardOf maps a failure event to the shard owning its host, reporting
-// false for kinds that span shards (links, controllers) and must execute
-// from the global queue.
+// false for kinds that span shards (links, controllers, whole fault
+// domains) and must execute from the global queue.
 func (s *Simulation) shardOf(ev FailureEvent) (int, bool) {
 	switch ev.Kind {
 	case ReplicaDown, ReplicaUp:
@@ -655,13 +689,24 @@ func (s *Simulation) shardOf(ev FailureEvent) (int, bool) {
 // tickFn is the pre-bound recurring tick callback.
 func (s *Simulation) tickFn() { s.doTick(s.cfg.Tick) }
 
-// doCheckpoint charges every live active replica the periodic state-
-// persistence overhead.
+// doCheckpoint charges the periodic state-persistence overhead: every live
+// active replica in the legacy global mode, or only the replicas of
+// checkpointed PEs in the per-operator mode (Config.CheckpointPEs), where a
+// successful checkpoint also resets the replica's replay window — work
+// persisted to the checkpoint no longer needs replaying after a crash.
 func (s *Simulation) doCheckpoint() {
+	perOp := s.cfg.CheckpointPEs != nil
 	for _, reps := range s.reps {
 		for _, rep := range reps {
+			if perOp && !rep.ckptTrack {
+				continue
+			}
 			if rep.alive && rep.active && s.hosts[rep.host].up {
 				rep.overheadCycles += s.cfg.CheckpointCycles
+				if rep.ckptTrack {
+					rep.ckptTuples = 0
+					rep.ckptCycles = 0
+				}
 			}
 		}
 	}
@@ -1005,6 +1050,7 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64, h int) 
 	if frac > 1 {
 		frac = 1
 	}
+	var procd float64
 	for i := range rep.ports {
 		p := &rep.ports[i]
 		if p.queue == 0 {
@@ -1013,6 +1059,7 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64, h int) 
 		processed := p.queue * frac
 		p.queue -= processed
 		p.done += processed
+		procd += processed
 		rep.processedTick += processed
 		rep.processedWindow += processed
 		rep.producedTick += processed * p.sel
@@ -1022,6 +1069,12 @@ func (s *Simulation) processReplica(rep *replica, alloc, demand float64, h int) 
 	rep.cyclesWindow += used
 	s.hostCycles[h] += used
 	s.m.PerReplicaCycles[rep.pe][rep.idx] += used
+	if rep.ckptTrack {
+		// The replay window: work done since the last checkpoint, lost on a
+		// crash and redone (as overhead) on restore.
+		rep.ckptTuples += procd
+		rep.ckptCycles += used
+	}
 }
 
 // primary returns the PE's current primary replica: the lowest-indexed one
@@ -1203,23 +1256,39 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 		rep.alive = false
 		rep.clearQueues()
 		rep.overheadCycles = 0
-		if s.cfg.RecoverAfter > 0 {
+		if rep.ckptTrack {
+			rep.ckptDirty = true
+		}
+		recoverAfter := s.cfg.RecoverAfter
+		if rep.ckptTrack && s.cfg.CheckpointRestoreDelay > 0 {
+			recoverAfter = s.cfg.CheckpointRestoreDelay
+		}
+		if recoverAfter > 0 {
 			pe, k := ev.PE, ev.Replica
-			s.kern.AfterShard(int(s.shardOfHost[rep.host]), s.cfg.RecoverAfter, func() {
+			s.kern.AfterShard(int(s.shardOfHost[rep.host]), recoverAfter, func() {
 				s.applyFailure(FailureEvent{Kind: ReplicaUp, PE: pe, Replica: k})
 			})
 		}
 	case ReplicaUp:
 		rep := s.reps[ev.PE][ev.Replica]
 		rep.alive = true
-		rep.overheadCycles += s.cfg.RestoreCycles
-	case HostDown:
-		s.hosts[ev.Host].up = false
-		for _, rep := range s.hostReps[ev.Host] {
-			rep.clearQueues()
+		if rep.ckptTrack {
+			s.restoreFromCheckpoint(rep)
+		} else {
+			rep.overheadCycles += s.cfg.RestoreCycles
 		}
+	case HostDown:
+		s.hostDown(ev.Host)
 	case HostUp:
-		s.hosts[ev.Host].up = true
+		s.hostUp(ev.Host)
+	case DomainCrash:
+		for _, h := range s.cfg.Domains.HostsIn(ev.Level, ev.Host) {
+			s.hostDown(h)
+		}
+	case DomainRecover:
+		for _, h := range s.cfg.Domains.HostsIn(ev.Level, ev.Host) {
+			s.hostUp(h)
+		}
 	case LinkDown:
 		s.setLink(ev.Host, ev.HostB, true)
 	case LinkUp:
@@ -1242,6 +1311,57 @@ func (s *Simulation) applyFailure(ev FailureEvent) {
 			s.kern.After(s.cfg.FailoverDelay, s.electController)
 		}
 	}
+}
+
+// hostDown takes a host offline and clears the queues of every replica
+// pinned to it. Idempotent: crashing an already-down host (a DomainCrash
+// overlapping an earlier HostDown) is a no-op, so checkpoint windows are
+// not double-dirtied. Queues cannot refill while the host is down —
+// phaseDeliver skips replicas on down hosts — so the clear here is final
+// until hostUp.
+func (s *Simulation) hostDown(h int) {
+	if !s.hosts[h].up {
+		return
+	}
+	s.hosts[h].up = false
+	for _, rep := range s.hostReps[h] {
+		rep.clearQueues()
+		if rep.ckptTrack && rep.alive {
+			rep.ckptDirty = true
+		}
+	}
+}
+
+// hostUp brings a host back online. Checkpointed replicas that lost state
+// while the host was down restore from their last checkpoint on the way
+// up; everything else resumes with whatever the host-crash left behind,
+// exactly as the plain HostUp event always has.
+func (s *Simulation) hostUp(h int) {
+	if s.hosts[h].up {
+		return
+	}
+	s.hosts[h].up = true
+	for _, rep := range s.hostReps[h] {
+		if rep.ckptTrack && rep.alive {
+			s.restoreFromCheckpoint(rep)
+		}
+	}
+}
+
+// restoreFromCheckpoint charges a checkpointed replica the cost of coming
+// back from its last snapshot: the restore itself plus replaying every
+// cycle processed since that snapshot. The replayed work is billed as
+// overhead — never re-counted into ProcessedTotal — so measured IC stays
+// honest about what the downstream actually received exactly once.
+func (s *Simulation) restoreFromCheckpoint(rep *replica) {
+	if !rep.ckptDirty {
+		return
+	}
+	rep.ckptDirty = false
+	rep.overheadCycles += s.cfg.RestoreCycles + rep.ckptCycles
+	s.m.CheckpointReplayedTotal += rep.ckptTuples
+	s.m.CheckpointRestores++
+	rep.ckptTuples, rep.ckptCycles = 0, 0
 }
 
 // prepareSamples sizes the sample series and its flat arenas for capacity

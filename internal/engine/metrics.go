@@ -69,6 +69,15 @@ type Metrics struct {
 	PartitionLostProcessing float64
 	// RouteLossTotal counts tuples lost to the Config.RouteLoss knob.
 	RouteLossTotal float64
+	// CheckpointRestores counts checkpoint-mode replicas restored from
+	// their last snapshot after a crash (per-operator mode only).
+	CheckpointRestores int
+	// CheckpointReplayedTotal counts the tuples replayed from the last
+	// checkpoint across all restores. Replay is billed into
+	// OverheadCyclesTotal, never into ProcessedTotal: replayed tuples were
+	// already delivered downstream once, so counting them again would
+	// inflate measured IC.
+	CheckpointReplayedTotal float64
 	// EventsByKind counts the failure-plan events applied, per kind.
 	EventsByKind [NumFailureKinds]int
 	// ControllerFailovers counts standby controllers taking the lease after

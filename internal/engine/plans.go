@@ -147,6 +147,35 @@ func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float6
 	return plan, nil
 }
 
+// DomainCrashPlan takes an entire fault domain — every host whose rack or
+// zone is the given domain index — offline at the given time and recovers
+// the whole domain after the given downtime. The crash is atomic: unlike
+// CorrelatedCrashPlan, which staggers per-host events, a domain crash hits
+// all member hosts in the same instant, the way a rack power loss or a
+// zone outage actually lands. The simulation must be built with
+// Config.Domains set to the same map.
+func DomainCrashPlan(dom *core.DomainMap, level core.DomainLevel, domainIdx int, at, downtime float64) ([]FailureEvent, error) {
+	if dom == nil {
+		return nil, fmt.Errorf("engine: DomainCrashPlan: nil domain map")
+	}
+	if err := dom.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: DomainCrashPlan: %w", err)
+	}
+	if level < core.LevelHost || level > core.LevelZone {
+		return nil, fmt.Errorf("engine: DomainCrashPlan: unknown domain level %d", level)
+	}
+	if len(dom.HostsIn(level, domainIdx)) == 0 {
+		return nil, fmt.Errorf("engine: DomainCrashPlan: %s domain %d has no hosts", level, domainIdx)
+	}
+	if err := checkPlanWindow("DomainCrashPlan", at, downtime); err != nil {
+		return nil, err
+	}
+	return []FailureEvent{
+		{Time: at, Kind: DomainCrash, Host: domainIdx, Level: level},
+		{Time: at + downtime, Kind: DomainRecover, Host: domainIdx, Level: level},
+	}, nil
+}
+
 // ControllerCrashPlan crashes one HAController instance at the given time
 // and recovers it after the given downtime. numControllers is the control-
 // plane size the plan targets (Config.Controllers). Crashing the acting

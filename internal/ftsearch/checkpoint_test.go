@@ -1,0 +1,150 @@
+package ftsearch
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// TestCheckpointCheaperThanReplication is the acceptance case for the
+// hybrid decision space: at ICMin = 0.6 the plain solver must fully
+// replicate at Low (cost 4.8e11, TestSolvePipelineOptimal); with a
+// checkpoint option at 10% overhead and φ = 0.95 the optimum switches
+// both Low pairs to checkpoint mode — IC 0.95·(4 + 0.95·4)/12 ≈ 0.617
+// still clears the SLA at roughly 2/3 of the replication cost.
+func TestCheckpointCheaperThanReplication(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	ck := &CheckpointOptions{OverheadFrac: 0.1, Phi: 0.95}
+
+	plain, err := Solve(r, asg, Options{ICMin: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(r, asg, Options{ICMin: 0.6, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	// Low: both PEs checkpointed at 1.1 × 4e8; High: bare singles.
+	// cost = 300·(0.8·2·4.4e8 + 0.2·2·8e8) = 3.072e11.
+	if math.Abs(res.Cost-3.072e11) > 1e-3 {
+		t.Errorf("Cost = %v, want 3.072e11", res.Cost)
+	}
+	if res.Cost >= plain.Cost {
+		t.Errorf("checkpoint solve cost %v not below replication cost %v", res.Cost, plain.Cost)
+	}
+	if res.IC < 0.6 {
+		t.Errorf("IC = %v below the SLA", res.IC)
+	}
+	if res.FT == nil {
+		t.Fatal("no FT plan on a solved result")
+	}
+	// Two optima tie at 3.072e11 (checkpoint both Low pairs, or one Low
+	// pair plus both High pairs); either way no pair is actively
+	// replicated and at least two are checkpointed.
+	active, _, checkpoint := res.FT.Counts()
+	if active != 0 || checkpoint < 2 {
+		t.Errorf("FT plan has %d active and %d checkpointed pairs, want 0 active, ≥ 2 checkpointed",
+			active, checkpoint)
+	}
+	if err := res.Strategy.Validate(); err != nil {
+		t.Errorf("returned strategy invalid: %v", err)
+	}
+	// The plain solver must report an all-active/none plan.
+	if plain.FT == nil {
+		t.Fatal("plain solve missing FT plan")
+	}
+	if _, _, ckN := plain.FT.Counts(); ckN != 0 {
+		t.Errorf("plain solve reports %d checkpointed pairs", ckN)
+	}
+}
+
+// TestCheckpointUnlocksInfeasibleInstance: ICMin = 0.9 is provably
+// infeasible with active replication (the High configuration cannot hold
+// four replicas under the capacity constraint), but the checkpoint branch
+// protects the High pairs without doubling their load.
+func TestCheckpointUnlocksInfeasibleInstance(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	plain, err := Solve(r, asg, Options{ICMin: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Outcome != Infeasible {
+		t.Fatalf("plain outcome = %v, want NUL", plain.Outcome)
+	}
+	res, err := Solve(r, asg, Options{ICMin: 0.9, Checkpoint: &CheckpointOptions{OverheadFrac: 0.1, Phi: 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	if res.IC < 0.9 {
+		t.Errorf("IC = %v below the 0.9 SLA", res.IC)
+	}
+	if _, _, ckN := res.FT.Counts(); ckN == 0 {
+		t.Error("no pair solved into checkpoint mode")
+	}
+	if _, _, over := core.Overloaded(r, res.Strategy, asg); over {
+		t.Error("checkpoint strategy overloads a host (overhead not accounted?)")
+	}
+}
+
+// TestCheckpointParallelMatchesSequential: the widened value order must
+// keep the parallel prefix split exploring the same tree.
+func TestCheckpointParallelMatchesSequential(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	opts := Options{ICMin: 0.6, Checkpoint: &CheckpointOptions{OverheadFrac: 0.1, Phi: 0.95}}
+	seq, err := Solve(r, asg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := Solve(r, asg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Outcome != seq.Outcome || math.Abs(par.Cost-seq.Cost) > 1e-3 || math.Abs(par.IC-seq.IC) > 1e-9 {
+		t.Errorf("parallel (%v, %v, %v) != sequential (%v, %v, %v)",
+			par.Outcome, par.Cost, par.IC, seq.Outcome, seq.Cost, seq.IC)
+	}
+}
+
+// TestCheckpointUselessWhenDominated: with φ = 0 a checkpointed replica
+// is a strictly worse single replica, so the optimum never selects one
+// and matches the plain solve exactly.
+func TestCheckpointUselessWhenDominated(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	res, err := Solve(r, asg, Options{ICMin: 0.6, Checkpoint: &CheckpointOptions{OverheadFrac: 0.1, Phi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Optimal {
+		t.Fatalf("Outcome = %v, want BST", res.Outcome)
+	}
+	if math.Abs(res.Cost-4.8e11) > 1e-3 {
+		t.Errorf("Cost = %v, want the plain 4.8e11 optimum", res.Cost)
+	}
+	if _, _, ckN := res.FT.Counts(); ckN != 0 {
+		t.Errorf("%d pairs checkpointed with φ = 0", ckN)
+	}
+}
+
+func TestCheckpointOptionValidation(t *testing.T) {
+	r, asg := pipelineInstance(t)
+	if _, err := Solve(r, asg, Options{Checkpoint: &CheckpointOptions{OverheadFrac: -0.1, Phi: 0.5}}); err == nil {
+		t.Error("accepted negative overhead")
+	}
+	if _, err := Solve(r, asg, Options{Checkpoint: &CheckpointOptions{Phi: 1.5}}); err == nil {
+		t.Error("accepted φ > 1")
+	}
+	if _, err := Solve(r, asg, Options{
+		Checkpoint:    &CheckpointOptions{Phi: 0.5},
+		PenaltyLambda: 1e9,
+	}); err == nil {
+		t.Error("accepted checkpoint + penalty combination")
+	}
+}

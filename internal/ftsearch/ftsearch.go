@@ -7,7 +7,11 @@
 //
 // The search considers twofold replication (k = 2), so each (PE, input
 // configuration) pair has three possible activation states — replica 0 only,
-// replica 1 only, or both — and the space has size 3^(|P|·|C|). Branches are
+// replica 1 only, or both — and the space has size 3^(|P|·|C|). With
+// Options.Checkpoint the space widens to five states per pair: either
+// replica may instead run in checkpoint mode, trading a fractional CPU
+// overhead for a passive-FT completeness guarantee between the extremes of
+// no protection and active replication. Branches are
 // pruned with the paper's four strategies: CPU-constraint pruning, IC
 // upper-bound pruning, cost lower-bound pruning, and forward domain
 // propagation of the no-replication-forwarding condition. Exploration
@@ -35,16 +39,22 @@ const (
 	valueR0   value = iota // only replica 0 active
 	valueR1                // only replica 1 active
 	valueBoth              // both replicas active
+	valueC0                // replica 0 active and checkpointing, replica 1 cold
+	valueC1                // replica 1 active and checkpointing, replica 0 cold
 	numValues
 	valueUnassigned value = -1
 )
 
-// domain bits; bit v set means value v is still available.
+// domain bits; bit v set means value v is still available. The checkpoint
+// bits only enter domains when Options.Checkpoint is set.
 const (
 	domR0   uint8 = 1 << 0
 	domR1   uint8 = 1 << 1
 	domBoth uint8 = 1 << 2
+	domC0   uint8 = 1 << 3
+	domC1   uint8 = 1 << 4
 	domAll  uint8 = domR0 | domR1 | domBoth
+	domCkpt uint8 = domC0 | domC1
 )
 
 // Pruning identifies one of the four pruning strategies for statistics and
@@ -144,6 +154,15 @@ type Options struct {
 	// assignments; the CPU pruning already removes the overloaded (and
 	// hence infinite-latency) subtrees early.
 	MaxLatency float64
+	// Checkpoint, when non-nil, widens the per-(PE, configuration) decision
+	// space from {replica 0, replica 1, both} to the hybrid
+	// {active replica, checkpointed replica, nothing}: a pair may run one
+	// replica in checkpoint mode, paying OverheadFrac extra CPU on that
+	// replica's host in exchange for a passive-FT completeness guarantee of
+	// Phi (instead of the pessimistic model's 0 for an unreplicated pair
+	// and 1 for full replication). The solved FT plan is reported in
+	// Result.FT. Incompatible with PenaltyLambda.
+	Checkpoint *CheckpointOptions
 	// PenaltyLambda, when positive, switches the solver to the penalty
 	// model of the paper's future work (Section 6): instead of enforcing
 	// IC ≥ ICMin as a hard constraint, the objective becomes
@@ -155,6 +174,20 @@ type Options struct {
 	// constraint remains hard. IC upper-bound pruning is replaced by an
 	// objective lower bound, so the Disable[PruneIC] flag is ignored.
 	PenaltyLambda float64
+}
+
+// CheckpointOptions parameterises the checkpoint branch of the hybrid
+// decision space (Options.Checkpoint).
+type CheckpointOptions struct {
+	// OverheadFrac is the fractional CPU overhead of periodic
+	// checkpointing: a checkpointed replica loads its host (and bills)
+	// (1 + OverheadFrac) times the plain per-replica cost.
+	OverheadFrac float64
+	// Phi is the completeness guarantee credited to a checkpointed pair
+	// under the failure model, in [0, 1] — typically
+	// core.CheckpointPhi(mtbf, restoreDelay, interval): the expected
+	// fraction of tuples not lost to a crash-and-restore cycle.
+	Phi float64
 }
 
 // Stats aggregates search instrumentation: node counts and, per pruning
@@ -191,6 +224,11 @@ func (s *Stats) AvgPruneHeight(p Pruning) float64 {
 type Result struct {
 	Outcome  Outcome
 	Strategy *core.Strategy // nil unless Outcome is Optimal or Feasible
+	// FT is the per-(configuration, PE) fault-tolerance mode of the
+	// returned strategy: FTActive for replicated pairs, FTCheckpoint for
+	// pairs solved into checkpoint mode (only with Options.Checkpoint),
+	// FTNone for single unprotected replicas. Nil when Strategy is nil.
+	FT *core.FTPlan
 	// Cost is the strategy's execution cost (Eq. 13), in CPU cycles over
 	// the billing period.
 	Cost float64
@@ -224,6 +262,17 @@ func Solve(r *core.Rates, asg *core.Assignment, opts Options) (*Result, error) {
 	}
 	if opts.ICMin < 0 || opts.ICMin > 1 {
 		return nil, fmt.Errorf("ftsearch: IC constraint %v outside [0, 1]", opts.ICMin)
+	}
+	if ck := opts.Checkpoint; ck != nil {
+		if opts.PenaltyLambda > 0 {
+			return nil, fmt.Errorf("ftsearch: checkpoint decision space and the penalty objective cannot be combined")
+		}
+		if !(ck.OverheadFrac >= 0) {
+			return nil, fmt.Errorf("ftsearch: checkpoint overhead fraction %v outside [0, ∞)", ck.OverheadFrac)
+		}
+		if !(ck.Phi >= 0 && ck.Phi <= 1) {
+			return nil, fmt.Errorf("ftsearch: checkpoint completeness %v outside [0, 1]", ck.Phi)
+		}
 	}
 	if err := asg.Validate(false); err != nil {
 		return nil, err

@@ -48,6 +48,22 @@ type instance struct {
 	penalty   bool
 	lamPerFic float64
 
+	// Checkpoint-hybrid parameters (Options.Checkpoint != nil): a
+	// checkpointed replica costs ckptFactor = 1 + OverheadFrac units of the
+	// per-replica load/cost and contributes ckptPhi of the pair's FIC.
+	// initDom is the per-variable starting domain (checkpoint bits only
+	// when enabled); fwdMask is the set of values that can forward tuples
+	// downstream under the pessimistic model (domBoth, plus the checkpoint
+	// bits when ckptPhi > 0); pruneMask is what forward domain propagation
+	// removes from provably input-less PEs (replication and checkpointing
+	// are both useless there, single activation stays for liveness).
+	ckpt       bool
+	ckptFactor float64
+	ckptPhi    float64
+	initDom    uint8
+	fwdMask    uint8
+	pruneMask  uint8
+
 	capacity float64
 	// hostOf[pe] lists the hosts of replicas 0 and 1.
 	hostOf [][2]int
@@ -120,6 +136,20 @@ func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
 		}
 	}
 
+	inst.initDom = domAll
+	inst.fwdMask = domBoth
+	inst.pruneMask = domBoth
+	if ck := opts.Checkpoint; ck != nil {
+		inst.ckpt = true
+		inst.ckptFactor = 1 + ck.OverheadFrac
+		inst.ckptPhi = ck.Phi
+		inst.initDom |= domCkpt
+		inst.pruneMask |= domCkpt
+		if ck.Phi > 0 {
+			inst.fwdMask |= domCkpt
+		}
+	}
+
 	inst.suffixFICMax = make([]float64, inst.numVars+1)
 	inst.suffixCostMin = make([]float64, inst.numVars+1)
 	for i := inst.numVars - 1; i >= 0; i-- {
@@ -176,9 +206,9 @@ func (inst *instance) strategyOf(assign []value) *core.Strategy {
 	for i, v := range assign {
 		c, pe := inst.varCfg[i], inst.varPE[i]
 		switch v {
-		case valueR0:
+		case valueR0, valueC0:
 			s.Set(c, pe, 0, true)
-		case valueR1:
+		case valueR1, valueC1:
 			s.Set(c, pe, 1, true)
 		case valueBoth:
 			s.Set(c, pe, 0, true)
@@ -186,4 +216,21 @@ func (inst *instance) strategyOf(assign []value) *core.Strategy {
 		}
 	}
 	return s
+}
+
+// ftPlanOf converts a full assignment vector into the per-(configuration,
+// PE) fault-tolerance plan: replicated pairs are FTActive, checkpointed
+// pairs FTCheckpoint, bare single replicas FTNone.
+func (inst *instance) ftPlanOf(assign []value) *core.FTPlan {
+	ft := core.NewFTPlan(inst.numCfgs, inst.numPEs)
+	for i, v := range assign {
+		c, pe := inst.varCfg[i], inst.varPE[i]
+		switch v {
+		case valueR0, valueR1:
+			ft.Mode[c][pe] = core.FTNone
+		case valueC0, valueC1:
+			ft.Mode[c][pe] = core.FTCheckpoint
+		}
+	}
+	return ft
 }

@@ -109,7 +109,7 @@ func newSearcher(inst *instance, coord *coordinator, start time.Time) *searcher 
 	}
 	for i := range s.assign {
 		s.assign[i] = valueUnassigned
-		s.domain[i] = domAll
+		s.domain[i] = inst.initDom
 	}
 	for c := 0; c < inst.numCfgs; c++ {
 		s.hostLoad[c] = make([]float64, inst.asg.NumHosts)
@@ -136,11 +136,13 @@ func (s *searcher) checkDeadline() {
 }
 
 // valueOrder fixes the default exploration order of activation states:
-// replication first, so that IC-feasible solutions are found early.
+// replication first, so that IC-feasible solutions are found early, with
+// the checkpoint states (masked out of domains unless enabled) next — they
+// carry the second-strongest completeness guarantee.
 // Options.SinglesFirst selects valueOrderSingles instead.
 var (
-	valueOrder        = [numValues]value{valueBoth, valueR0, valueR1}
-	valueOrderSingles = [numValues]value{valueR0, valueR1, valueBoth}
+	valueOrder        = [numValues]value{valueBoth, valueC0, valueC1, valueR0, valueR1}
+	valueOrderSingles = [numValues]value{valueR0, valueR1, valueC0, valueC1, valueBoth}
 )
 
 // values returns the exploration order for this searcher's options.
@@ -236,7 +238,7 @@ func (s *searcher) estMaxLatency() float64 {
 			stage := 0.0
 			v := s.assign[inst.varIdx[c][pe]]
 			for rep := 0; rep < Replication; rep++ {
-				if v != valueBoth && int(v) != rep {
+				if !activeOn(v, rep) {
 					continue
 				}
 				free := inst.capacity - s.hostLoad[c][inst.hostOf[pe][rep]]
@@ -266,6 +268,20 @@ func (s *searcher) estMaxLatency() float64 {
 		}
 	}
 	return worst
+}
+
+// activeOn reports whether value v runs replica rep (checkpointed
+// replicas process tuples like any single active replica).
+func activeOn(v value, rep int) bool {
+	switch v {
+	case valueBoth:
+		return true
+	case valueR0, valueR1:
+		return int(v) == rep
+	case valueC0, valueC1:
+		return int(v-valueC0) == rep
+	}
+	return false
 }
 
 // objective returns the penalty-mode objective of the current complete
@@ -312,20 +328,35 @@ func (s *searcher) place(i int, v value) (violated bool) {
 			violated = true
 		}
 		s.cost += 2 * inst.w[i]
+	case valueC0, valueC1:
+		violated = s.addLoad(c, inst.hostOf[pe][int(v-valueC0)], u*inst.ckptFactor)
+		s.cost += inst.w[i] * inst.ckptFactor
 	}
-	// Δ̂ and FIC contribution under the pessimistic model: φ = 1 only for
-	// twofold replication.
-	if v == valueBoth {
+	// Δ̂ and FIC contribution under the failure model: φ = 1 for twofold
+	// replication, φ = ckptPhi for a checkpointed replica, 0 otherwise.
+	switch {
+	case v == valueBoth:
 		in := inst.srcIn[c][pe]
 		hat := inst.srcSel[c][pe]
 		for _, pr := range inst.predsPE[pe] {
 			in += s.deltaHat[c][pr.pe]
 			hat += pr.sel * s.deltaHat[c][pr.pe]
 		}
-		contrib := inst.r.Descriptor().Configs[c].Prob * in
-		s.fic += contrib
+		s.fic += inst.r.Descriptor().Configs[c].Prob * in
 		s.deltaHat[c][pe] = hat
-	} else {
+	case v == valueC0 || v == valueC1:
+		in := inst.srcIn[c][pe]
+		hat := inst.srcSel[c][pe]
+		for _, pr := range inst.predsPE[pe] {
+			in += s.deltaHat[c][pr.pe]
+			hat += pr.sel * s.deltaHat[c][pr.pe]
+		}
+		s.fic += inst.ckptPhi * inst.r.Descriptor().Configs[c].Prob * in
+		s.deltaHat[c][pe] = inst.ckptPhi * hat
+		if s.deltaHat[c][pe] == 0 && !inst.opts.Disable[PruneDOM] {
+			s.propagateDOM(c, pe)
+		}
+	default:
 		s.deltaHat[c][pe] = 0
 		if !inst.opts.Disable[PruneDOM] {
 			s.propagateDOM(c, pe)
@@ -355,6 +386,14 @@ func (s *searcher) unplace(i int, v value, mark int) {
 			in += s.deltaHat[c][pr.pe]
 		}
 		s.fic -= inst.r.Descriptor().Configs[c].Prob * in
+	case valueC0, valueC1:
+		s.removeLoad(c, inst.hostOf[pe][int(v-valueC0)], u*inst.ckptFactor)
+		s.cost -= inst.w[i] * inst.ckptFactor
+		in := inst.srcIn[c][pe]
+		for _, pr := range inst.predsPE[pe] {
+			in += s.deltaHat[c][pr.pe]
+		}
+		s.fic -= inst.ckptPhi * inst.r.Descriptor().Configs[c].Prob * in
 	}
 	s.deltaHat[c][pe] = 0
 	for len(s.trail) > mark {
@@ -405,14 +444,14 @@ func (s *searcher) propagateDOM(c, start int) {
 	for head := 0; head < len(queue); head++ {
 		q := queue[head]
 		vi := inst.varIdx[c][q]
-		if s.assign[vi] != valueUnassigned || s.domain[vi]&domBoth == 0 {
+		if s.assign[vi] != valueUnassigned || s.domain[vi]&inst.pruneMask == 0 {
 			continue
 		}
 		if !s.noReplicationForwarding(c, q) {
 			continue
 		}
 		s.trail = append(s.trail, trailEntry{varIdx: vi, old: s.domain[vi]})
-		s.domain[vi] &^= domBoth
+		s.domain[vi] &^= inst.pruneMask
 		s.stats.DomRemovals++
 		s.stats.Prunes[PruneDOM]++
 		s.stats.PruneHeights[PruneDOM] += int64(inst.numVars - vi - 1)
@@ -434,7 +473,7 @@ func (s *searcher) noReplicationForwarding(c, q int) bool {
 			if s.deltaHat[c][pr.pe] != 0 {
 				return false
 			}
-		} else if s.domain[pv]&domBoth != 0 {
+		} else if s.domain[pv]&inst.fwdMask != 0 {
 			return false
 		}
 	}
@@ -449,6 +488,7 @@ func (inst *instance) result(coord *coordinator, timedOut bool, stats Stats, ela
 	T := inst.r.Descriptor().BillingPeriod
 	if coord.best != nil {
 		res.Strategy = inst.strategyOf(coord.best)
+		res.FT = inst.ftPlanOf(coord.best)
 		res.Objective = coord.bestCost() * T
 		if inst.penalty {
 			// In penalty mode the coordinator tracks the objective; report

@@ -1,0 +1,134 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// singleActiveStrategy activates only replica 0 of every PE in every
+// configuration — the deployment shape of a checkpointed (passive-FT) PE.
+func singleActiveStrategy() *core.Strategy {
+	s := core.AllActive(2, 2, 2)
+	for c := 0; c < 2; c++ {
+		for pe := 0; pe < 2; pe++ {
+			s.Set(c, pe, 1, false)
+		}
+	}
+	return s
+}
+
+// TestCheckpointRestoreOnCrash: a checkpointed PE's lone active replica
+// crashes; there is no live primary to sync from, so the recovery path must
+// restore the operator from the control plane's last periodic checkpoint.
+func TestCheckpointRestoreOnCrash(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	ops := make(map[[2]int]*countingOp)
+	var mu sync.Mutex
+	factory := func(pe core.ComponentID, replica int) Operator {
+		op := &countingOp{}
+		mu.Lock()
+		ops[[2]int{int(pe), replica}] = op
+		mu.Unlock()
+		return op
+	}
+	cfg := testConfig()
+	cfg.CheckpointPEs = []bool{true, true}
+	cfg.CheckpointInterval = cfg.MonitorInterval
+	rt, err := New(d, asg, singleActiveStrategy(), factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rt.Push(ids[0], i)
+		time.Sleep(500 * time.Microsecond)
+	}
+	pe1 := int(ids[1])
+	primaryOp := ops[[2]int{pe1, 0}]
+	waitFor(t, 2*time.Second, func() bool { return primaryOp.value() >= 100 }, "primary processing")
+	// Wait out two full checkpoint intervals so at least one snapshot
+	// covers the processed batch.
+	taken0, _ := rt.CheckpointStats()
+	waitFor(t, 2*time.Second, func() bool {
+		taken, _ := rt.CheckpointStats()
+		return taken >= taken0+2
+	}, "post-batch checkpoints")
+
+	if err := rt.KillReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the dead replica's in-memory state: a recovery without a
+	// checkpoint restore would come back with this empty state.
+	primaryOp.Restore(0)
+	if err := rt.RecoverReplica(ids[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := primaryOp.value(); got < 100 {
+		t.Errorf("recovered replica state = %d, want ≥ 100 (restored from checkpoint)", got)
+	}
+	if _, restored := rt.CheckpointStats(); restored < 1 {
+		t.Errorf("CheckpointStats restored = %d, want ≥ 1", restored)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointYieldsToPrimarySync: with a live stateful primary the
+// joining replica syncs from it and the checkpoint store is left unused.
+func TestCheckpointYieldsToPrimarySync(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	ops := make(map[[2]int]*countingOp)
+	var mu sync.Mutex
+	factory := func(pe core.ComponentID, replica int) Operator {
+		op := &countingOp{}
+		mu.Lock()
+		ops[[2]int{int(pe), replica}] = op
+		mu.Unlock()
+		return op
+	}
+	cfg := testConfig()
+	cfg.CheckpointPEs = []bool{true, true}
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.KillReplica(ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rt.Push(ids[0], i)
+		time.Sleep(500 * time.Microsecond)
+	}
+	pe1 := int(ids[1])
+	waitFor(t, 2*time.Second, func() bool { return ops[[2]int{pe1, 0}].value() >= 50 }, "primary processing")
+	if err := rt.RecoverReplica(ids[1], 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops[[2]int{pe1, 1}].value(); got < 50 {
+		t.Errorf("recovered replica state = %d, want ≥ 50 (synced from primary)", got)
+	}
+	if _, restored := rt.CheckpointStats(); restored != 0 {
+		t.Errorf("CheckpointStats restored = %d, want 0 (primary sync available)", restored)
+	}
+	if _, err := rt.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointConfigValidation(t *testing.T) {
+	d, asg, _ := buildApp(t)
+	cfg := testConfig()
+	cfg.CheckpointPEs = []bool{true} // application has 2 PEs
+	if _, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, cfg); err == nil {
+		t.Error("accepted CheckpointPEs of the wrong length")
+	}
+}

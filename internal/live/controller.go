@@ -306,6 +306,7 @@ func (rt *Runtime) ctrlScan(c *controller, now time.Time) {
 	if rt.cfg.Supervise {
 		rt.supervise(now)
 	}
+	rt.checkpointTick(now)
 }
 
 // setApplied publishes a configuration decision, counting real changes.

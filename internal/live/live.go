@@ -99,6 +99,15 @@ type Config struct {
 	// attempt. Defaults: MonitorInterval and
 	// controlplane.DefaultRetryMaxFactor × CommandRetryMin.
 	CommandRetryMin, CommandRetryMax time.Duration
+	// CheckpointPEs marks PEs (by dense index) that run under passive FT:
+	// the leader periodically snapshots the PE's primary StatefulOperator,
+	// and a replica joining without a live stateful primary to sync from is
+	// restored from the last checkpoint instead of starting empty. Must be
+	// empty or cover every PE.
+	CheckpointPEs []bool
+	// CheckpointInterval is the period of the leader's checkpoint snapshots.
+	// Default MonitorInterval.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CommandRetryMax <= 0 {
 		c.CommandRetryMax = controlplane.DefaultRetryMaxFactor * c.CommandRetryMin
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = c.MonitorInterval
 	}
 	return c
 }
@@ -262,6 +274,15 @@ type Runtime struct {
 	sinkN      atomic.Int64
 	switches   atomic.Int64
 
+	// Checkpoint state (Config.CheckpointPEs): the last per-PE snapshot and
+	// its take time, plus the taken/restored tallies. ckptState is nil when
+	// no PE checkpoints.
+	ckptMu       sync.Mutex
+	ckptState    []any
+	ckptLastNs   []int64
+	ckptTaken    atomic.Int64
+	ckptRestored atomic.Int64
+
 	// fence enables the replica-side lease check. With the default perfect
 	// transport the controller's view can never go stale, so the check is
 	// skipped and wall-clock scheduling hiccups cannot fence a healthy
@@ -301,6 +322,9 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	if cfg.Controllers > controlplane.MaxControllers {
 		return nil, fmt.Errorf("live: %d controllers exceed the %d the ballot encoding carries", cfg.Controllers, controlplane.MaxControllers)
 	}
+	if len(cfg.CheckpointPEs) != 0 && len(cfg.CheckpointPEs) != app.NumPEs() {
+		return nil, fmt.Errorf("live: CheckpointPEs covers %d PEs, application has %d", len(cfg.CheckpointPEs), app.NumPEs())
+	}
 	rt := &Runtime{
 		d:         d,
 		asg:       asg,
@@ -311,6 +335,13 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 		emitted:   make(map[core.ComponentID]*atomic.Int64),
 		primaries: make([]atomic.Int32, app.NumPEs()),
 		stop:      make(chan struct{}),
+	}
+	for _, ck := range cfg.CheckpointPEs {
+		if ck {
+			rt.ckptState = make([]any, app.NumPEs())
+			rt.ckptLastNs = make([]int64, app.NumPEs())
+			break
+		}
 	}
 	_, perfect := cfg.Transport.(perfectTransport)
 	rt.fence = !perfect

@@ -1,5 +1,7 @@
 package live
 
+import "time"
+
 // StatefulOperator extends Operator with state snapshot/restore, enabling
 // the re-synchronisation step of Section 4.6: "when activated again, they
 // re-synchronize their state with one of the active replicas and restart
@@ -43,8 +45,72 @@ func (rt *Runtime) syncState(pe int, joining *replica) bool {
 
 // markJoining is called whenever a replica becomes eligible for processing
 // again (activation command or recovery): state is synced from the primary
-// before the replica re-enters the pool.
+// before the replica re-enters the pool. When no live stateful primary can
+// serve the sync — the usual case for a checkpointed PE, whose lone active
+// replica is the one that just crashed — the replica is restored from the
+// PE's last checkpoint instead.
 func (rt *Runtime) markJoining(pe int, rep *replica) {
-	rt.syncState(pe, rep)
+	if !rt.syncState(pe, rep) {
+		rt.restoreFromCheckpoint(pe, rep)
+	}
 	rt.beat(rep, rt.cfg.Clock.Now())
+}
+
+// checkpointTick is the leader's periodic checkpoint step: for every PE in
+// Config.CheckpointPEs whose interval has elapsed, the current primary's
+// StatefulOperator is snapshotted into the runtime's checkpoint store.
+func (rt *Runtime) checkpointTick(now time.Time) {
+	if rt.ckptState == nil {
+		return
+	}
+	nowNs := now.UnixNano()
+	rt.ckptMu.Lock()
+	defer rt.ckptMu.Unlock()
+	for pe, ck := range rt.cfg.CheckpointPEs {
+		if !ck || nowNs-rt.ckptLastNs[pe] < int64(rt.cfg.CheckpointInterval) {
+			continue
+		}
+		prim := rt.primaries[pe].Load()
+		if prim < 0 {
+			continue
+		}
+		rep := rt.replicas[pe][prim]
+		if !rep.alive.Load() {
+			continue
+		}
+		src, ok := rep.op.(StatefulOperator)
+		if !ok {
+			continue
+		}
+		rt.ckptState[pe] = src.Snapshot()
+		rt.ckptLastNs[pe] = nowNs
+		rt.ckptTaken.Add(1)
+	}
+}
+
+// restoreFromCheckpoint loads the PE's last checkpoint into a joining
+// replica's operator, returning whether a restore happened.
+func (rt *Runtime) restoreFromCheckpoint(pe int, rep *replica) bool {
+	if rt.ckptState == nil || pe >= len(rt.cfg.CheckpointPEs) || !rt.cfg.CheckpointPEs[pe] {
+		return false
+	}
+	dst, ok := rep.op.(StatefulOperator)
+	if !ok {
+		return false
+	}
+	rt.ckptMu.Lock()
+	state := rt.ckptState[pe]
+	rt.ckptMu.Unlock()
+	if state == nil {
+		return false
+	}
+	dst.Restore(state)
+	rt.ckptRestored.Add(1)
+	return true
+}
+
+// CheckpointStats reports how many periodic checkpoints the control plane
+// has taken and how many joining replicas were restored from one.
+func (rt *Runtime) CheckpointStats() (taken, restored int64) {
+	return rt.ckptTaken.Load(), rt.ckptRestored.Load()
 }

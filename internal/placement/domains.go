@@ -1,0 +1,190 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"laar/internal/core"
+)
+
+// UnsatisfiableError reports that anti-affinity became unsatisfiable
+// mid-assignment: scanning every host found none that admits the given
+// replica without putting two replicas of the PE in the same fault domain.
+// It is a typed error so callers (and the fuzzer) can distinguish a
+// well-formed "no placement exists" outcome from a validation bug.
+type UnsatisfiableError struct {
+	// PE and Replica identify the replica that could not be placed.
+	PE, Replica int
+	// Level is the anti-affinity level in force (LevelHost for the plain
+	// host anti-affinity of RoundRobin/LPT).
+	Level core.DomainLevel
+	// NumHosts is how many candidate hosts were scanned before giving up.
+	NumHosts int
+}
+
+// Error implements error.
+func (e *UnsatisfiableError) Error() string {
+	return fmt.Sprintf("placement: no host admits replica %d of PE %d under %s anti-affinity (all %d hosts scanned)",
+		e.Replica, e.PE, e.Level, e.NumHosts)
+}
+
+// scanHost returns the first host in the cyclic order next, next+1, … that
+// ok admits, trying at most numHosts candidates, together with the advanced
+// cursor (one past the chosen host). found is false when no host qualifies
+// — the bounded replacement for an unbounded skip-forward loop, which would
+// spin forever on exactly the degenerate inputs a fuzzer finds.
+func scanHost(next, numHosts int, ok func(h int) bool) (h, cursor int, found bool) {
+	for off := 0; off < numHosts; off++ {
+		h = (next + off) % numHosts
+		if ok(h) {
+			return h, next + off + 1, true
+		}
+	}
+	return 0, next, false
+}
+
+// DomainPlacement is an assignment together with the anti-affinity level it
+// actually achieves. When the domain hierarchy is too shallow for the
+// requested replication (fewer distinct zones or racks than k), the
+// placement degrades gracefully to the strongest satisfiable level and
+// says so in Fallback instead of failing or silently weakening.
+type DomainPlacement struct {
+	// Asg is the replicated assignment.
+	Asg *core.Assignment
+	// Level is the strongest anti-affinity level the assignment satisfies:
+	// every PE's replicas occupy k distinct fault domains at this level.
+	Level core.DomainLevel
+	// Fallback is empty when zone-level anti-affinity was achieved;
+	// otherwise it is a human-readable diagnostic explaining which levels
+	// were infeasible and why.
+	Fallback string
+}
+
+// strongestLevel picks the strictest anti-affinity level the domain map can
+// support for k replicas, preferring zone ⊃ rack ⊃ host spread. Only
+// non-empty domains count: a rack index with no hosts cannot host a replica.
+func strongestLevel(dom *core.DomainMap, k int) (core.DomainLevel, string, error) {
+	if zones := dom.DistinctDomains(core.LevelZone); zones >= k {
+		return core.LevelZone, "", nil
+	}
+	zones := dom.DistinctDomains(core.LevelZone)
+	if racks := dom.DistinctDomains(core.LevelRack); racks >= k {
+		return core.LevelRack, fmt.Sprintf(
+			"placement: %d zone(s) cannot hold %d replicas apart; falling back to rack anti-affinity",
+			zones, k), nil
+	}
+	racks := dom.DistinctDomains(core.LevelRack)
+	if dom.NumHosts >= k {
+		return core.LevelHost, fmt.Sprintf(
+			"placement: %d zone(s) and %d rack(s) cannot hold %d replicas apart; falling back to host anti-affinity",
+			zones, racks, k), nil
+	}
+	return 0, "", fmt.Errorf("placement: %d hosts cannot satisfy anti-affinity for %d replicas", dom.NumHosts, k)
+}
+
+// LPTDomains is the domain-aware variant of LPT: replicas of a PE are
+// spread across distinct fault domains at the strongest level the map
+// supports (zone, then rack, then host), choosing the least-loaded host of
+// each still-unused domain. The achieved level and any fallback diagnostic
+// are reported in the result.
+func LPTDomains(r *core.Rates, k int, dom *core.DomainMap) (*DomainPlacement, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: non-positive replication factor %d", k)
+	}
+	if err := dom.Validate(); err != nil {
+		return nil, err
+	}
+	level, fallback, err := strongestLevel(dom, k)
+	if err != nil {
+		return nil, err
+	}
+	numPEs := r.Descriptor().App.NumPEs()
+	maxCfg := r.MaxConfig()
+	loads := make([]float64, numPEs)
+	for p := 0; p < numPEs; p++ {
+		loads[p] = r.UnitLoad(p, maxCfg)
+	}
+	asg, err := lptDomainsByLoad(loads, numPEs, k, dom, level)
+	if err != nil {
+		return nil, err
+	}
+	return &DomainPlacement{Asg: asg, Level: level, Fallback: fallback}, nil
+}
+
+// lptDomainsByLoad runs the LPT loop under domain anti-affinity at the
+// given level: PEs in decreasing load order, each replica on the
+// least-loaded host whose fault domain the PE does not already occupy.
+func lptDomainsByLoad(loads []float64, numPEs, k int, dom *core.DomainMap, level core.DomainLevel) (*core.Assignment, error) {
+	numHosts := dom.NumHosts
+	order := make([]int, numPEs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	asg := core.NewAssignment(numPEs, k, numHosts)
+	hostLoad := make([]float64, numHosts)
+	hosts := make([]int, numHosts)
+	for _, p := range order {
+		for i := range hosts {
+			hosts[i] = i
+		}
+		sort.SliceStable(hosts, func(a, b int) bool { return hostLoad[hosts[a]] < hostLoad[hosts[b]] })
+		usedDom := make(map[int]bool, k)
+		rep := 0
+		for _, h := range hosts {
+			if rep == k {
+				break
+			}
+			d := dom.DomainOf(h, level)
+			if usedDom[d] {
+				continue
+			}
+			asg.Host[p][rep] = h
+			hostLoad[h] += loads[p]
+			usedDom[d] = true
+			rep++
+		}
+		if rep < k {
+			// Unreachable when strongestLevel chose the level, but degenerate
+			// maps must fail loudly rather than return a half-assignment.
+			return nil, &UnsatisfiableError{PE: p, Replica: rep, Level: level, NumHosts: numHosts}
+		}
+	}
+	return asg, nil
+}
+
+// RoundRobinDomains is the domain-aware variant of RoundRobin: replica
+// slots advance cyclically over hosts, skipping hosts whose fault domain
+// the PE already occupies at the strongest level the map supports. The
+// skip-forward scan is bounded by the host count, so degenerate domain maps
+// produce a typed UnsatisfiableError instead of an infinite loop.
+func RoundRobinDomains(numPEs, k int, dom *core.DomainMap) (*DomainPlacement, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: non-positive replication factor %d", k)
+	}
+	if err := dom.Validate(); err != nil {
+		return nil, err
+	}
+	level, fallback, err := strongestLevel(dom, k)
+	if err != nil {
+		return nil, err
+	}
+	numHosts := dom.NumHosts
+	asg := core.NewAssignment(numPEs, k, numHosts)
+	next := 0
+	for p := 0; p < numPEs; p++ {
+		usedDom := make(map[int]bool, k)
+		for rep := 0; rep < k; rep++ {
+			h, cursor, found := scanHost(next, numHosts, func(h int) bool {
+				return !usedDom[dom.DomainOf(h, level)]
+			})
+			if !found {
+				return nil, &UnsatisfiableError{PE: p, Replica: rep, Level: level, NumHosts: numHosts}
+			}
+			asg.Host[p][rep] = h
+			usedDom[dom.DomainOf(h, level)] = true
+			next = cursor
+		}
+	}
+	return &DomainPlacement{Asg: asg, Level: level, Fallback: fallback}, nil
+}

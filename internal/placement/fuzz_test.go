@@ -1,0 +1,104 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"laar/internal/core"
+)
+
+// FuzzPlacement asserts that host-level and domain-level anti-affinity
+// never break for any (numPEs, k, numHosts, domain shape): every placement
+// either validates at the level it claims or fails with a typed error, and
+// no input — including degenerate domain maps with empty domains or every
+// host crammed into one rack — makes a placement spin, panic, or return a
+// half-assignment.
+func FuzzPlacement(f *testing.F) {
+	// Degenerate maps found while hardening the validators: every host in
+	// one rack (forces the host-level fallback), and a sparse rack index
+	// with an empty rack between two populated ones.
+	f.Add(4, 2, 3, []byte{0}, []byte{0})
+	f.Add(4, 2, 3, []byte{0, 2, 2}, []byte{0})
+	f.Add(6, 2, 4, []byte{0, 0, 1, 1}, []byte{0, 1})
+	f.Add(3, 3, 3, []byte{0, 1, 2}, []byte{0})
+	f.Add(1, 4, 2, []byte{}, []byte{})
+
+	f.Fuzz(func(t *testing.T, numPEs, k, numHosts int, rackSpec, zoneSpec []byte) {
+		numPEs = 1 + abs(numPEs)%16
+		k = 1 + abs(k)%4
+		numHosts = 1 + abs(numHosts)%16
+
+		// Decode an arbitrary — but always well-formed — domain map: racks
+		// from rackSpec, one zone per rack from zoneSpec, so rack ⊂ zone
+		// holds by construction and Validate must accept.
+		dom := &core.DomainMap{
+			NumHosts: numHosts,
+			Rack:     make([]int, numHosts),
+			Zone:     make([]int, numHosts),
+		}
+		for h := 0; h < numHosts; h++ {
+			if len(rackSpec) > 0 {
+				dom.Rack[h] = int(rackSpec[h%len(rackSpec)]) % numHosts
+			}
+			if len(zoneSpec) > 0 {
+				dom.Zone[h] = int(zoneSpec[dom.Rack[h]%len(zoneSpec)]) % numHosts
+			}
+		}
+		if err := dom.Validate(); err != nil {
+			t.Fatalf("constructed map rejected: %v", err)
+		}
+
+		if asg, err := RoundRobin(numPEs, k, numHosts); err != nil {
+			if numHosts >= k {
+				t.Fatalf("RoundRobin failed on a feasible instance: %v", err)
+			}
+		} else if err := asg.Validate(true); err != nil {
+			t.Fatalf("RoundRobin broke host anti-affinity: %v", err)
+		}
+
+		pl, err := RoundRobinDomains(numPEs, k, dom)
+		if err != nil {
+			var uerr *UnsatisfiableError
+			if numHosts >= k && !errors.As(err, &uerr) {
+				t.Fatalf("RoundRobinDomains failed on a feasible instance: %v", err)
+			}
+			return
+		}
+		if err := pl.Asg.Validate(true); err != nil {
+			t.Fatalf("RoundRobinDomains broke host anti-affinity: %v", err)
+		}
+		if err := pl.Asg.ValidateDomains(dom, pl.Level); err != nil {
+			t.Fatalf("RoundRobinDomains broke %s anti-affinity: %v", pl.Level, err)
+		}
+		if pl.Level != core.LevelZone && pl.Fallback == "" {
+			t.Fatalf("fallback to %s level produced no diagnostic", pl.Level)
+		}
+
+		// The LPT loop must satisfy the same contract at the achieved level.
+		loads := make([]float64, numPEs)
+		for i := range loads {
+			loads[i] = float64(1 + (i*7)%5)
+		}
+		asg, err := lptDomainsByLoad(loads, numPEs, k, dom, pl.Level)
+		if err != nil {
+			t.Fatalf("lptDomainsByLoad failed at the feasible level %s: %v", pl.Level, err)
+		}
+		if err := asg.Validate(true); err != nil {
+			t.Fatalf("lptDomainsByLoad broke host anti-affinity: %v", err)
+		}
+		if err := asg.ValidateDomains(dom, pl.Level); err != nil {
+			t.Fatalf("lptDomainsByLoad broke %s anti-affinity: %v", pl.Level, err)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		// Avoid the lone overflow case: -MinInt is MinInt again.
+		if x == -int(^uint(0)>>1)-1 {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

@@ -63,7 +63,11 @@ func lptByLoad(sortKey []float64, perReplica func(p int) float64, numPEs, k, num
 
 // RoundRobin assigns replica j of PE p to host (p·k + j) mod numHosts,
 // skipping forward when anti-affinity would be violated. It is the naive
-// baseline used in placement ablations. Requires numHosts ≥ k.
+// baseline used in placement ablations. Requires numHosts ≥ k. The
+// skip-forward scan is bounded by the host count: if no host admits a
+// replica (unreachable when numHosts ≥ k, but cheap insurance against
+// future variants relaxing that guard), it returns a typed
+// *UnsatisfiableError instead of spinning.
 func RoundRobin(numPEs, k, numHosts int) (*core.Assignment, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("placement: non-positive replication factor %d", k)
@@ -76,14 +80,13 @@ func RoundRobin(numPEs, k, numHosts int) (*core.Assignment, error) {
 	for p := 0; p < numPEs; p++ {
 		used := make(map[int]bool, k)
 		for rep := 0; rep < k; rep++ {
-			h := next % numHosts
-			for used[h] {
-				next++
-				h = next % numHosts
+			h, cursor, found := scanHost(next, numHosts, func(h int) bool { return !used[h] })
+			if !found {
+				return nil, &UnsatisfiableError{PE: p, Replica: rep, Level: core.LevelHost, NumHosts: numHosts}
 			}
 			asg.Host[p][rep] = h
 			used[h] = true
-			next++
+			next = cursor
 		}
 	}
 	return asg, nil

@@ -86,6 +86,36 @@ type (
 	Independent = core.Independent
 	// SingleSurvivor keeps one uniformly random replica alive.
 	SingleSurvivor = core.SingleSurvivor
+	// DomainMap nests hosts into racks and zones — the correlated fault
+	// domains of the deployment.
+	DomainMap = core.DomainMap
+	// DomainLevel selects a fault-domain granularity (host, rack, zone).
+	DomainLevel = core.DomainLevel
+	// Correlated is the failure model that crashes a whole fault domain at
+	// once, taking the worst case over every domain at a level.
+	Correlated = core.Correlated
+	// FTPlan assigns every (configuration, PE) pair a fault-tolerance mode:
+	// active replication, passive checkpointing, or nothing.
+	FTPlan = core.FTPlan
+	// FTMode is one fault-tolerance mode of an FTPlan.
+	FTMode = core.FTMode
+	// CheckpointAware wraps a base FailureModel, substituting the
+	// checkpoint availability for PEs an FTPlan marks FTCheckpoint.
+	CheckpointAware = core.CheckpointAware
+)
+
+// Fault-domain levels.
+const (
+	LevelHost = core.LevelHost
+	LevelRack = core.LevelRack
+	LevelZone = core.LevelZone
+)
+
+// Fault-tolerance modes.
+const (
+	FTNone       = core.FTNone
+	FTActive     = core.FTActive
+	FTCheckpoint = core.FTCheckpoint
 )
 
 // Component kinds.
@@ -108,6 +138,29 @@ func NewRates(d *Descriptor) *Rates { return core.NewRates(d) }
 // NewStrategy returns an all-inactive strategy of the given shape.
 func NewStrategy(numConfigs, numPEs, k int) *Strategy {
 	return core.NewStrategy(numConfigs, numPEs, k)
+}
+
+// NewFTPlan returns an all-FTNone fault-tolerance plan of the given shape.
+func NewFTPlan(numConfigs, numPEs int) *FTPlan { return core.NewFTPlan(numConfigs, numPEs) }
+
+// UniformDomains builds a regular host ⊂ rack ⊂ zone topology: hostsPerRack
+// hosts per rack, racksPerZone racks per zone.
+func UniformDomains(numHosts, hostsPerRack, racksPerZone int) *DomainMap {
+	return core.UniformDomains(numHosts, hostsPerRack, racksPerZone)
+}
+
+// NewCorrelated builds the correlated failure model over the deployment's
+// fault domains with per-level crash probabilities.
+func NewCorrelated(dom *DomainMap, asg *Assignment, pHost, pRack, pZone float64) (Correlated, error) {
+	return core.NewCorrelated(dom, asg, pHost, pRack, pZone)
+}
+
+// CheckpointPhi returns the availability of a checkpointed (passive-FT)
+// operator: the expected fraction of tuples that survive a crash with mean
+// time between failures mtbf, restore delay restoreDelay and checkpoint
+// interval interval.
+func CheckpointPhi(mtbf, restoreDelay, interval float64) float64 {
+	return core.CheckpointPhi(mtbf, restoreDelay, interval)
 }
 
 // CrossConfigs builds the Cartesian product of per-source rate alternatives
@@ -162,6 +215,27 @@ func PlaceRoundRobin(numPEs, k, numHosts int) (*Assignment, error) {
 	return placement.RoundRobin(numPEs, k, numHosts)
 }
 
+// DomainPlacement is a placement that satisfies anti-affinity at some
+// fault-domain level, reporting the strictest level achieved.
+type DomainPlacement = placement.DomainPlacement
+
+// PlacementUnsatisfiableError explains why no placement satisfies the
+// domain anti-affinity constraint (detectable via errors.As).
+type PlacementUnsatisfiableError = placement.UnsatisfiableError
+
+// PlaceLPTDomains computes an LPT placement with domain-aware
+// anti-affinity: replicas of a PE land in distinct zones when possible,
+// falling back to distinct racks, then distinct hosts.
+func PlaceLPTDomains(r *Rates, k int, dom *DomainMap) (*DomainPlacement, error) {
+	return placement.LPTDomains(r, k, dom)
+}
+
+// PlaceRoundRobinDomains computes the round-robin baseline with the same
+// domain-aware anti-affinity fallback as PlaceLPTDomains.
+func PlaceRoundRobinDomains(numPEs, k int, dom *DomainMap) (*DomainPlacement, error) {
+	return placement.RoundRobinDomains(numPEs, k, dom)
+}
+
 // RefinePlacement re-places replicas to balance the expected active load of
 // a solved strategy (the placement ↔ activation interaction of the paper's
 // future work).
@@ -183,6 +257,10 @@ type (
 	SolveStats = ftsearch.Stats
 	// PruningStrategy identifies one of the four pruning rules.
 	PruningStrategy = ftsearch.Pruning
+	// CheckpointOptions enables the hybrid FT decision space: Solve may
+	// assign each (configuration, PE) pair passive checkpointing instead of
+	// active replication or nothing, reporting the choice in SolveResult.FT.
+	CheckpointOptions = ftsearch.CheckpointOptions
 )
 
 // Solver outcomes.
@@ -289,6 +367,8 @@ const (
 	HostNormal        = engine.HostNormal
 	ControllerCrash   = engine.ControllerCrash
 	ControllerRecover = engine.ControllerRecover
+	DomainCrash       = engine.DomainCrash
+	DomainRecover     = engine.DomainRecover
 )
 
 // CtrlHost addresses the controller/outside-world endpoint in link events.
@@ -322,6 +402,12 @@ func PartitionPlan(numHosts, hostA, hostB int, at, duration float64) ([]FailureE
 // downtime seconds after its own crash.
 func CorrelatedCrashPlan(numHosts int, hosts []int, at, stagger, downtime float64) ([]FailureEvent, error) {
 	return engine.CorrelatedCrashPlan(numHosts, hosts, at, stagger, downtime)
+}
+
+// DomainCrashPlan crashes every host of one fault domain (a rack or zone)
+// at the given time and recovers the domain after the downtime.
+func DomainCrashPlan(dom *DomainMap, level DomainLevel, domainIdx int, at, downtime float64) ([]FailureEvent, error) {
+	return engine.DomainCrashPlan(dom, level, domainIdx, at, downtime)
 }
 
 // GraySlowdownPlan degrades one host to factor of its CPU capacity for the
@@ -588,17 +674,19 @@ type (
 
 // Chaos schedule classes.
 const (
-	ChaosHostCrash       = chaos.HostCrash
-	ChaosCorrelatedCrash = chaos.CorrelatedCrash
-	ChaosReplicaChurn    = chaos.ReplicaChurn
-	ChaosLoadSpike       = chaos.LoadSpike
-	ChaosGlitchBurst     = chaos.GlitchBurst
-	ChaosMixed           = chaos.Mixed
-	ChaosPartition       = chaos.Partition
-	ChaosGraySlow        = chaos.GraySlow
-	ChaosCtrlCrash       = chaos.CtrlCrash
-	ChaosCtrlPartition   = chaos.CtrlPartition
-	ChaosCtrlSpike       = chaos.CtrlSpike
+	ChaosHostCrash         = chaos.HostCrash
+	ChaosCorrelatedCrash   = chaos.CorrelatedCrash
+	ChaosReplicaChurn      = chaos.ReplicaChurn
+	ChaosLoadSpike         = chaos.LoadSpike
+	ChaosGlitchBurst       = chaos.GlitchBurst
+	ChaosMixed             = chaos.Mixed
+	ChaosPartition         = chaos.Partition
+	ChaosGraySlow          = chaos.GraySlow
+	ChaosCtrlCrash         = chaos.CtrlCrash
+	ChaosCtrlPartition     = chaos.CtrlPartition
+	ChaosCtrlSpike         = chaos.CtrlSpike
+	ChaosDomainCrash       = chaos.DomainCrash
+	ChaosCheckpointRestore = chaos.CheckpointRestore
 )
 
 // Chaos sweep modes.
