@@ -161,15 +161,35 @@ func TestEnforceCeilingsHugeCell(t *testing.T) {
 		entry("BenchmarkHugeCell/shards=1", "laar/internal/engine", 100, 0),
 		entry("BenchmarkHugeCell/shards=4", "laar/internal/engine", 100, maxDoTickAllocs),
 	)
-	if err := enforceCeilings(ok, maxDoTickAllocs, maxSimTickAllocs); err != nil {
+	if err := enforceCeilings(ok, maxDoTickAllocs, maxSimTickAllocs, maxWarmResolveAllocs); err != nil {
 		t.Fatalf("at-ceiling report rejected: %v", err)
 	}
 	bad := rep(
 		entry("BenchmarkHugeCell/shards=1", "laar/internal/engine", 100, 0),
 		entry("BenchmarkHugeCell/shards=4", "laar/internal/engine", 100, maxDoTickAllocs+1),
 	)
-	if err := enforceCeilings(bad, maxDoTickAllocs, maxSimTickAllocs); err == nil {
+	if err := enforceCeilings(bad, maxDoTickAllocs, maxSimTickAllocs, maxWarmResolveAllocs); err == nil {
 		t.Fatal("sharded tick allocation regression passed the ceiling gate")
+	}
+}
+
+// TestEnforceCeilingsWarmResolve verifies the warm incremental-resolve
+// sub-benchmark is held to its own allocation ceiling: a warm Resolve
+// runs out of the retained solver's arenas, so allocating per explored
+// node must fail the gate.
+func TestEnforceCeilingsWarmResolve(t *testing.T) {
+	ok := rep(
+		entry("BenchmarkIncrementalResolve/cold", "laar", 100, 10*maxWarmResolveAllocs),
+		entry("BenchmarkIncrementalResolve/warm", "laar", 100, maxWarmResolveAllocs),
+	)
+	if err := enforceCeilings(ok, maxDoTickAllocs, maxSimTickAllocs, maxWarmResolveAllocs); err != nil {
+		t.Fatalf("at-ceiling report rejected: %v", err)
+	}
+	bad := rep(
+		entry("BenchmarkIncrementalResolve/warm", "laar", 100, maxWarmResolveAllocs+1),
+	)
+	if err := enforceCeilings(bad, maxDoTickAllocs, maxSimTickAllocs, maxWarmResolveAllocs); err == nil {
+		t.Fatal("warm-resolve allocation regression passed the ceiling gate")
 	}
 }
 

@@ -51,6 +51,14 @@ const maxDoTickAllocs = 4
 // one-slice-per-PE regression class (hundreds of objects) out.
 const maxSimTickAllocs = 100
 
+// maxWarmResolveAllocs is the checked-in ceiling for
+// BenchmarkIncrementalResolve/warm allocs/op. A warm re-solve runs
+// entirely out of the retained solver's arenas — around 29 allocs/op for
+// the result, strategy clone and shift bookkeeping — so the ceiling keeps
+// the per-explored-node allocation regression class (tens of thousands of
+// objects per op) out while tolerating incidental result-shape growth.
+const maxWarmResolveAllocs = 64
+
 // BenchEntry is one parsed `go test -bench` result line.
 type BenchEntry struct {
 	Name        string  `json:"name"`
@@ -107,6 +115,7 @@ func main() {
 		workers    = flag.Int("matrix-workers", 0, "parallel matrix workers (0 = max(8, NumCPU))")
 		maxAllocs  = flag.Float64("max-tick-allocs", maxDoTickAllocs, "fail when BenchmarkDoTick allocs/op exceeds this ceiling")
 		maxSimTick = flag.Float64("max-simtick-allocs", maxSimTickAllocs, "fail when BenchmarkSimulationTick allocs/op (run phase of 1000 ticks) exceeds this ceiling")
+		maxWarm    = flag.Float64("max-warm-resolve-allocs", maxWarmResolveAllocs, "fail when BenchmarkIncrementalResolve/warm allocs/op exceeds this ceiling")
 
 		driftDir   = flag.String("drift-baselines", ".", "directory scanned for BENCH_<n>.json baselines (highest numeric suffix wins)")
 		allocsFrac = flag.Float64("drift-allocs-frac", 0.10, "fractional allocs/op headroom over the baseline before the drift gate fails")
@@ -155,7 +164,7 @@ func main() {
 	}
 	fmt.Println(")")
 
-	if err := enforceCeilings(rep, *maxAllocs, *maxSimTick); err != nil {
+	if err := enforceCeilings(rep, *maxAllocs, *maxSimTick, *maxWarm); err != nil {
 		fatal(err)
 	}
 	if !*skipDrift && len(rep.Benchmarks) > 0 {
@@ -320,7 +329,7 @@ func timeMatrix(corpus []*experiments.AppRun, workers, reps int) (time.Duration,
 // BenchmarkHugeCell sub-benchmarks share BenchmarkDoTick's ceiling: the
 // sharded tick must stay allocation-free at every shard count, on the
 // 120k-replica corpus as much as on the default deployment.
-func enforceCeilings(rep *Report, maxTickAllocs, maxSimTickAllocs float64) error {
+func enforceCeilings(rep *Report, maxTickAllocs, maxSimTickAllocs, maxWarmResolve float64) error {
 	for _, e := range rep.Benchmarks {
 		if e.Name == "BenchmarkDoTick" && e.AllocsPerOp > maxTickAllocs {
 			return fmt.Errorf("BenchmarkDoTick allocates %.0f objects/op, ceiling is %.0f — the engine hot path regressed",
@@ -333,6 +342,10 @@ func enforceCeilings(rep *Report, maxTickAllocs, maxSimTickAllocs float64) error
 		if e.Name == "BenchmarkSimulationTick" && e.AllocsPerOp > maxSimTickAllocs {
 			return fmt.Errorf("BenchmarkSimulationTick allocates %.0f objects per 1000-tick run, ceiling is %.0f — the monitor/sample path regressed",
 				e.AllocsPerOp, maxSimTickAllocs)
+		}
+		if e.Name == "BenchmarkIncrementalResolve/warm" && e.AllocsPerOp > maxWarmResolve {
+			return fmt.Errorf("BenchmarkIncrementalResolve/warm allocates %.0f objects/op, ceiling is %.0f — a warm re-solve must run out of the retained solver's arenas, not allocate per explored node",
+				e.AllocsPerOp, maxWarmResolve)
 		}
 	}
 	return nil

@@ -39,7 +39,7 @@ func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "base seed; run i uses seed+i")
 		runs       = flag.Int("runs", 1, "seeds to run per scenario class")
-		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | ctrl-crash | ctrl-partition | ctrl-spike | domain-crash | checkpoint-restore | all")
+		scenario   = flag.String("scenario", "all", "schedule class: host-crash | correlated-crash | replica-churn | load-spike | glitch-burst | mixed | partition | gray-slow | ctrl-crash | ctrl-partition | ctrl-spike | domain-crash | checkpoint-restore | rate-shift-reconfig | reconfig-churn | all")
 		diff       = flag.Bool("diff", false, "differential mode: run each scenario on the engine and the live runtime and compare sink counts")
 		supervised = flag.Bool("supervised", false, "supervised-recovery mode: replay faults against the supervised live runtime, withholding scheduled recoveries")
 		controller = flag.Bool("controller", false, "control-plane mode: replay controller crashes, blackouts and controller↔controller cuts against the replicated live control plane")
@@ -59,7 +59,8 @@ func main() {
 		depth      = flag.Int("depth", 8, "exhaustive mode: schedule length bound in events")
 		instances  = flag.Int("instances", 2, "exhaustive mode: controller instances in the explored world")
 		statesMax  = flag.Int("states-max", 0, "exhaustive mode: visited-state cap (0 = unlimited); hitting it reports a truncated search")
-		inject     = flag.String("inject", "none", "exhaustive mode: deliberate kernel bug to inject: none | crash-keeps-pending | claim-adopts-seen | dup-reapplies")
+		inject     = flag.String("inject", "none", "exhaustive mode: deliberate kernel bug to inject: none | crash-keeps-pending | claim-adopts-seen | dup-reapplies | deactivate-first")
+		migration  = flag.Bool("migration", false, "exhaustive mode: model staged primary-swap migrations (two-wave flips advanced by flip-step events)")
 		shrink     = flag.Bool("shrink", false, "model mode: ddmin-shrink the first failing schedule to a minimal reproducer")
 		reproOut   = flag.String("repro", "", "write the (shrunk) violating schedule to this JSON artifact")
 		replayPath = flag.String("replay", "", "replay a repro artifact written by -repro and exit")
@@ -79,7 +80,7 @@ func main() {
 		fatal(fmt.Errorf("-diff, -supervised, -controller, -model and -exhaustive are mutually exclusive"))
 	}
 	if *exhaustive {
-		runExhaustive(*instances, *depth, *statesMax, *inject, *reproOut)
+		runExhaustive(*instances, *depth, *statesMax, *migration, *inject, *reproOut)
 		return
 	}
 	if *shrink && !*model {
@@ -214,7 +215,7 @@ func report(run laar.ChaosSweepRun, verbose bool) int {
 // runExhaustive runs the bounded exhaustive explorer, shrinks any
 // counterexample to a 1-minimal schedule, and optionally writes it as a
 // replayable artifact. A violation (or a truncated search) exits nonzero.
-func runExhaustive(instances, depth, statesMax int, inject, reproOut string) {
+func runExhaustive(instances, depth, statesMax int, migration bool, inject, reproOut string) {
 	fault, err := laar.ParseMCheckFault(inject)
 	if err != nil {
 		fatal(err)
@@ -223,6 +224,7 @@ func runExhaustive(instances, depth, statesMax int, inject, reproOut string) {
 	opt.Instances = instances
 	opt.Depth = depth
 	opt.MaxStates = statesMax
+	opt.Migration = migration
 	opt.Fault = fault
 	res, err := laar.ExhaustiveCheck(opt)
 	if err != nil {

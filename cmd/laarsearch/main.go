@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"laar"
@@ -33,6 +34,10 @@ func main() {
 		fuseMax  = flag.Float64("fuse-max", 0, "per-PE cost ceiling for fusion (cycles/tuple, 0 = unlimited)")
 		ckptOvh  = flag.Float64("ckpt-overhead", -1, "fractional CPU overhead of checkpoint mode (enables the hybrid {active, checkpoint, nothing} decision space; < 0 = off)")
 		ckptPhi  = flag.Float64("ckpt-phi", 0.9, "completeness guarantee credited to a checkpointed pair (with -ckpt-overhead)")
+		warm     = flag.Bool("warm", false, "after the solve, replay a rate-shift schedule through the retained incremental solver and report per-shift resolve latency, explored nodes and the warm-vs-cold node ratio")
+		shifts   = flag.String("shifts", "", "comma-separated cfg=scale rate shifts for -warm (default: a 1.05/0.95/1.0 scale ladder over every configuration)")
+		anytime  = flag.Bool("anytime", false, "run -warm re-solves in anytime mode: each Resolve returns its best incumbent when -resolve-budget expires")
+		rbudget  = flag.Duration("resolve-budget", 50*time.Millisecond, "per-Resolve wall-clock budget for -anytime")
 		out      = flag.String("o", "", "strategy output file (default stdout)")
 	)
 	flag.Parse()
@@ -88,6 +93,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pruning %-5s: fired %d times, avg height %.1f\n",
 			p, res.Stats.Prunes[p], res.Stats.AvgPruneHeight(p))
 	}
+	if *warm {
+		var budget time.Duration
+		if *anytime {
+			budget = *rbudget
+		}
+		if err := warmSweep(rates, asg, opts, budget, *shifts); err != nil {
+			fatal(err)
+		}
+	}
 	enc, err := json.MarshalIndent(res.Strategy, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -99,6 +113,110 @@ func main() {
 	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// warmSweep replays a rate-shift schedule twice — once through a retained
+// incremental solver (warm) and once through a fresh solver per shift
+// (cold) — and reports each shift's resolve latency, explored nodes and
+// the warm-vs-cold node ratio. A positive budget runs the warm leg in
+// anytime mode.
+func warmSweep(rates *laar.Rates, asg *laar.Assignment, opts laar.SolveOptions, budget time.Duration, spec string) error {
+	shifts, err := parseShifts(spec, rates.Descriptor().NumConfigs())
+	if err != nil {
+		return err
+	}
+	sv, err := laar.NewSolver(rates, asg, laar.SolverConfig{Opts: opts, ResolveBudget: budget})
+	if err != nil {
+		return err
+	}
+	if _, err := sv.Solve(); err != nil {
+		return err
+	}
+	mode := "exhaustive"
+	if budget > 0 {
+		mode = fmt.Sprintf("anytime, budget %v", budget)
+	}
+	fmt.Fprintf(os.Stderr, "warm sweep: %d shifts (%s)\n", len(shifts), mode)
+	scales := make([]float64, rates.Descriptor().NumConfigs())
+	for i := range scales {
+		scales[i] = 1
+	}
+	var warmTotal, coldTotal int64
+	for i, sh := range shifts {
+		start := time.Now()
+		wres, err := sv.Resolve(sh)
+		if err != nil {
+			return err
+		}
+		latency := time.Since(start)
+
+		// The cold reference: a fresh solver, handed the accumulated scales
+		// in one Resolve, searches the identical shifted instance with no
+		// incumbent to seed from.
+		scales[sh.Cfg] = sh.Scale
+		cold, err := laar.NewSolver(rates, asg, laar.SolverConfig{Opts: opts})
+		if err != nil {
+			return err
+		}
+		var all []laar.Shift
+		for cfg, scale := range scales {
+			all = append(all, laar.Shift{Cfg: cfg, Scale: scale})
+		}
+		cres, err := cold.Resolve(all...)
+		if err != nil {
+			return err
+		}
+		warmTotal += wres.Stats.Nodes
+		coldTotal += cres.Stats.Nodes
+		ratio := float64(cres.Stats.Nodes) / float64(max64(wres.Stats.Nodes, 1))
+		fmt.Fprintf(os.Stderr,
+			"  shift %d: cfg=%d scale=%.2f  outcome=%v warm=%v latency=%v nodes=%d  cold nodes=%d  ratio=%.1fx\n",
+			i+1, sh.Cfg, sh.Scale, wres.Outcome, wres.WarmStart,
+			latency.Round(time.Microsecond), wres.Stats.Nodes, cres.Stats.Nodes, ratio)
+	}
+	if warmTotal > 0 {
+		fmt.Fprintf(os.Stderr, "  total: warm nodes=%d cold nodes=%d  ratio=%.1fx\n",
+			warmTotal, coldTotal, float64(coldTotal)/float64(warmTotal))
+	}
+	return nil
+}
+
+// parseShifts parses a comma-separated cfg=scale list; an empty spec
+// expands to a 1.05/0.95/1.0 scale ladder over every configuration —
+// shifts gentle enough for the incumbent to survive and seed the warm
+// re-solve.
+func parseShifts(spec string, numConfigs int) ([]laar.Shift, error) {
+	if spec == "" {
+		var out []laar.Shift
+		for cfg := 0; cfg < numConfigs; cfg++ {
+			for _, scale := range []float64{1.05, 0.95, 1.0} {
+				out = append(out, laar.Shift{Cfg: cfg, Scale: scale})
+			}
+		}
+		return out, nil
+	}
+	var out []laar.Shift
+	for _, part := range strings.Split(spec, ",") {
+		var sh laar.Shift
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d=%f", &sh.Cfg, &sh.Scale); err != nil {
+			return nil, fmt.Errorf("bad shift %q (want cfg=scale): %w", part, err)
+		}
+		if sh.Cfg < 0 || sh.Cfg >= numConfigs {
+			return nil, fmt.Errorf("shift %q names configuration %d outside [0,%d)", part, sh.Cfg, numConfigs)
+		}
+		if sh.Scale <= 0 {
+			return nil, fmt.Errorf("shift %q has non-positive scale", part)
+		}
+		out = append(out, sh)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

@@ -30,7 +30,11 @@
 //   - no-shared-domain: with a fault-domain map, no PE keeps two replicas
 //     inside one domain at the placed anti-affinity level;
 //   - recovery-time-bound: every crashed checkpointed replica restores
-//     within the checkpoint policy's declared restore delay.
+//     within the checkpoint policy's declared restore delay;
+//   - ic-floor-during-migration: every staged live migration (engine
+//     live-resolve mode) holds the old ∪ new union pattern between its
+//     waves, and the union's IC never dips below the weaker endpoint's IC
+//     in either configuration.
 //
 // Beyond engine runs, Diff replays a schedule differentially on the engine
 // and the live runtime, Supervised replays its faults against the
@@ -104,6 +108,18 @@ const (
 	// crashes checkpointed primaries, asserting each one restores from its
 	// checkpoint within the declared restore delay (recovery-time-bound).
 	CheckpointRestore
+	// RateShiftReconfig injects no failures but drives the input through a
+	// fast-alternating trace under live-resolve mode: every rate shift makes
+	// the controller re-solve FT-Search incrementally and stage the strategy
+	// diff as an IC-safe two-wave migration. The strategy is built by the
+	// same solver, so the re-solves are exact reproductions and the ic-bound
+	// invariant stays sharp; ic-floor-during-migration checks every staged
+	// union pattern against the weaker endpoint's IC.
+	RateShiftReconfig
+	// ReconfigChurn overlays replica kill/recover churn on the
+	// RateShiftReconfig regime: staged migrations race replica failures, so
+	// activation waves must confirm against replicas that may be down.
+	ReconfigChurn
 )
 
 var classNames = map[Class]string{
@@ -120,6 +136,8 @@ var classNames = map[Class]string{
 	CtrlSpike:         "ctrl-spike",
 	DomainCrash:       "domain-crash",
 	CheckpointRestore: "checkpoint-restore",
+	RateShiftReconfig: "rate-shift-reconfig",
+	ReconfigChurn:     "reconfig-churn",
 }
 
 // String returns the class's schedule-spec name.
@@ -132,7 +150,7 @@ func (c Class) String() string {
 
 // Classes lists every schedule class in declaration order.
 func Classes() []Class {
-	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow, CtrlCrash, CtrlPartition, CtrlSpike, DomainCrash, CheckpointRestore}
+	return []Class{HostCrash, CorrelatedCrash, ReplicaChurn, LoadSpike, GlitchBurst, Mixed, Partition, GraySlow, CtrlCrash, CtrlPartition, CtrlSpike, DomainCrash, CheckpointRestore, RateShiftReconfig, ReconfigChurn}
 }
 
 // ParseClass resolves a schedule-spec name ("host-crash", "mixed", ...).
@@ -143,6 +161,13 @@ func ParseClass(name string) (Class, error) {
 		}
 	}
 	return 0, fmt.Errorf("chaos: unknown scenario class %q", name)
+}
+
+// reconfigClass reports whether a class runs the engine in live-resolve
+// mode: the controller re-solves FT-Search incrementally on every rate
+// shift and stages each strategy diff as an IC-safe two-wave migration.
+func reconfigClass(c Class) bool {
+	return c == RateShiftReconfig || c == ReconfigChurn
 }
 
 // Scenario is the compact spec a schedule is generated from. The zero
@@ -224,6 +249,10 @@ func (sc Scenario) withDefaults() Scenario {
 		case DomainCrash:
 			sc.Faults = 1
 		case CheckpointRestore:
+			sc.Faults = 4
+		case RateShiftReconfig:
+			sc.Faults = 0
+		case ReconfigChurn:
 			sc.Faults = 4
 		}
 	}

@@ -38,6 +38,16 @@ type CPView struct {
 	Instances []CPInstanceView
 	// Proxies is the replica-side idempotency state, one per replica slot.
 	Proxies []controlplane.ProxyState
+	// Active is the replica-side activation state, one bit per slot
+	// (PE-major, SlotsPerPE slots each). Consumed only by the migration
+	// floor invariant, which stays inert unless SlotsPerPE is set.
+	Active []bool
+	// MigrationWave is the staged-migration wave in flight
+	// (controlplane.WaveIdle when no migration is running).
+	MigrationWave int
+	// SlotsPerPE groups Active into PEs for the migration floor invariant;
+	// 0 disables the check for callers that do not model activation.
+	SlotsPerPE int
 	// FailSafe views the replica-side fail-safe tracker.
 	FailSafeEngaged     bool
 	FailSafeHorizon     int64
@@ -48,8 +58,10 @@ type CPView struct {
 // ready for in-place refilling.
 func NewCPView(instances, slots int) *CPView {
 	return &CPView{
-		Instances: make([]CPInstanceView, instances),
-		Proxies:   make([]controlplane.ProxyState, slots),
+		Instances:     make([]CPInstanceView, instances),
+		Proxies:       make([]controlplane.ProxyState, slots),
+		Active:        make([]bool, slots),
+		MigrationWave: controlplane.WaveIdle,
 	}
 }
 
@@ -185,6 +197,27 @@ func CPRegistry() []CPInvariant {
 				for i, p := range cur.Proxies {
 					if p.Epoch > max {
 						return fmt.Errorf("proxy %d follows ballot %d above every watermark (max %d)", i, p.Epoch, max)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "ic-floor-during-migration",
+			Doc:  "while a staged migration is in flight, no PE's last active replica is deactivated — the live pattern never drops below both migration endpoints",
+			Check: func(prev, cur *CPView) error {
+				if prev == nil || cur.SlotsPerPE <= 0 || cur.MigrationWave == controlplane.WaveIdle {
+					return nil
+				}
+				k := cur.SlotsPerPE
+				for pe := 0; pe*k < len(cur.Active); pe++ {
+					had, has := false, false
+					for s := pe * k; s < (pe+1)*k && s < len(cur.Active); s++ {
+						had = had || prev.Active[s]
+						has = has || cur.Active[s]
+					}
+					if had && !has {
+						return fmt.Errorf("PE %d lost its last active replica mid-migration (wave %d)", pe, cur.MigrationWave)
 					}
 				}
 				return nil

@@ -149,6 +149,16 @@ func TestCPRegistrySelfTest(t *testing.T) {
 			},
 		},
 		{
+			name: "migration deactivates a PE's last active replica",
+			want: "ic-floor-during-migration",
+			mutate: func(prev, cur *CPView) {
+				prev.SlotsPerPE, cur.SlotsPerPE = 2, 2
+				prev.MigrationWave = controlplane.WaveDeactivate
+				cur.MigrationWave = controlplane.WaveDeactivate
+				prev.Active[0] = true
+			},
+		},
+		{
 			name: "fail-safe engaged before the horizon",
 			want: "failsafe-consistent",
 			mutate: func(_, cur *CPView) {

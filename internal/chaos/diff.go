@@ -29,6 +29,13 @@ type DiffResult struct {
 	Tolerance float64
 	// LivePrimaries[pe] is the live runtime's primary at quiescence.
 	LivePrimaries []int
+	// LiveMigrations is the live leg's staged-migration history (reconfig
+	// classes run the live leg with the two-wave protocol while the engine
+	// leg flips instantaneously — the comparison proves the staging is
+	// behaviour-preserving); FloorErr is the first
+	// ic-floor-during-migration breach found in it, nil when clean.
+	LiveMigrations []live.MigrationRecord
+	FloorErr       error
 }
 
 // Agree reports whether the two legs match within tolerance.
@@ -36,8 +43,12 @@ func (dr *DiffResult) Agree() bool {
 	return math.Abs(dr.EngineSink-dr.LiveSink) <= dr.Tolerance
 }
 
-// Err returns nil when the legs agree and a descriptive error otherwise.
+// Err returns nil when the legs agree (and the live leg's staged
+// migrations, if any, held the IC floor) and a descriptive error otherwise.
 func (dr *DiffResult) Err() error {
+	if dr.FloorErr != nil {
+		return fmt.Errorf("chaos: live leg ic-floor-during-migration: %w (%s)", dr.FloorErr, dr.Schedule.Describe())
+	}
 	if dr.Agree() {
 		return nil
 	}
@@ -69,6 +80,20 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	staged := reconfigClass(sc.Class)
+	if staged {
+		// LAAR-style strategy: both replicas active at Low, only replica 0
+		// at High, so every trace boundary carries a real activation diff
+		// for the live leg to migrate through. Replica 0 stays active in
+		// both configurations, so the primary (and hence the sink count) is
+		// independent of the staging, and the instantaneous engine flip
+		// remains the behavioural reference.
+		strat := sys.Strat.Clone()
+		for pe := 0; pe < sys.Asg.NumPEs(); pe++ {
+			strat.Set(sys.HighCfg, pe, 1, false)
+		}
+		sys.Strat = strat
+	}
 	sched, err := BuildSchedule(sc, sys)
 	if err != nil {
 		return nil, err
@@ -93,9 +118,16 @@ func Diff(sc Scenario) (*DiffResult, error) {
 		return nil, err
 	}
 
-	liveSink, primaries, err := runLiveLeg(sys, ids, sched, sc.Duration)
+	liveSink, primaries, migrations, err := runLiveLeg(sys, ids, sched, sc.Duration, staged)
 	if err != nil {
 		return nil, err
+	}
+	var floorErr error
+	for i, rec := range migrations {
+		if err := migrationFloorErr(sys.Rates, rec.FromCfg, rec.ToCfg, rec.Old, rec.Mid, rec.New); err != nil {
+			floorErr = fmt.Errorf("migration %d (cfg %d→%d): %w", i, rec.FromCfg, rec.ToCfg, err)
+			break
+		}
 	}
 
 	maxRate := math.Max(sys.Desc.Configs[sys.LowCfg].Rates[0], sys.Desc.Configs[sys.HighCfg].Rates[0])
@@ -116,12 +148,14 @@ func Diff(sc Scenario) (*DiffResult, error) {
 	cutLag := (3*liveMonitor + liveMonitor + liveQuantum).Seconds()
 	tol := 0.03*em.SinkTotal + float64(downs)*lag*maxRate + float64(cuts)*cutLag*maxRate + 10
 	return &DiffResult{
-		Scenario:      sc,
-		Schedule:      sched,
-		EngineSink:    em.SinkTotal,
-		LiveSink:      float64(liveSink),
-		Tolerance:     tol,
-		LivePrimaries: primaries,
+		Scenario:       sc,
+		Schedule:       sched,
+		EngineSink:     em.SinkTotal,
+		LiveSink:       float64(liveSink),
+		Tolerance:      tol,
+		LivePrimaries:  primaries,
+		LiveMigrations: migrations,
+		FloorErr:       floorErr,
 	}, nil
 }
 
@@ -181,33 +215,39 @@ func pipelineSystem(duration float64) (*System, []core.ComponentID, error) {
 // per quantum it applies the due failure events, pushes the trace's tuple
 // quota (credit accumulation, so rates are exact over time), and advances
 // fake time. A drain phase lets in-flight tuples reach the sink before the
-// counts are read.
-func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration float64) (sunk int64, primaries []int, err error) {
+// counts are read. With staged set, configuration switches run through the
+// two-wave IC-safe migration protocol (strategy fixed — the solver stays
+// off so both legs drive the same activation patterns).
+func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration float64, staged bool) (sunk int64, primaries []int, migrations []live.MigrationRecord, err error) {
 	fc := live.NewFakeClock(time.Unix(0, 0))
 	net := live.NewNetFault(0)
+	cfg := live.Config{
+		QueueLen:        256,
+		MonitorInterval: liveMonitor,
+		InitialConfig:   sched.Trace.ConfigAt(0),
+		Clock:           fc,
+		Transport:       net,
+		// The engine leg has no replica-side fail-safe for data-plane
+		// partitions, so the live leg must not unfence stale primaries
+		// past the horizon either — the legs would diverge under long
+		// host↔controller cuts.
+		FailSafeHorizon: -1,
+	}
+	if staged {
+		cfg.Resolve = &live.ResolveConfig{StageOnly: true}
+	}
 	rt, err := live.New(sys.Desc, sys.Asg, sys.Strat,
 		func(core.ComponentID, int) live.Operator {
 			return live.OperatorFunc(func(t live.Tuple) []any { return []any{t.Data} })
 		},
-		live.Config{
-			QueueLen:        256,
-			MonitorInterval: liveMonitor,
-			InitialConfig:   sched.Trace.ConfigAt(0),
-			Clock:           fc,
-			Transport:       net,
-			// The engine leg has no replica-side fail-safe for data-plane
-			// partitions, so the live leg must not unfence stale primaries
-			// past the horizon either — the legs would diverge under long
-			// host↔controller cuts.
-			FailSafeHorizon: -1,
-		})
+		cfg)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	var delivered atomic.Int64
 	rt.OnSink(func(core.ComponentID, live.Tuple) { delivered.Add(1) })
 	if err := rt.Start(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 
 	peID := sys.Desc.App.PEs() // dense PE index → component ID
@@ -225,7 +265,7 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 		credit += sys.Desc.Configs[sched.Trace.ConfigAt(t)].Rates[0] * dt
 		for ; credit >= 1; credit-- {
 			if err := rt.Push(ids[0], i); err != nil {
-				return 0, nil, err
+				return 0, nil, nil, err
 			}
 		}
 		// Yield real time so the replica goroutines drain their queues
@@ -245,9 +285,9 @@ func runLiveLeg(sys *System, ids []core.ComponentID, sched *Schedule, duration f
 		primaries = append(primaries, rt.Primary(peID[pe]))
 	}
 	if _, err := rt.Stop(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return delivered.Load(), primaries, nil
+	return delivered.Load(), primaries, rt.MigrationHistory(), nil
 }
 
 // diffableEvents filters a schedule down to the kinds both legs can

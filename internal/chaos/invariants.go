@@ -216,6 +216,18 @@ func Registry() []Invariant {
 			},
 		},
 		{
+			Name: "ic-floor-during-migration",
+			Doc:  "every staged migration holds the old ∪ new union between its waves, and the union's IC never dips below the weaker endpoint in either configuration",
+			Check: func(r *Result) error {
+				for i, rec := range r.Metrics.MigrationLog {
+					if err := migrationFloorErr(r.System.Rates, rec.FromCfg, rec.ToCfg, rec.Old, rec.Mid, rec.New); err != nil {
+						return fmt.Errorf("migration %d (t=%.1f, cfg %d→%d): %w", i, rec.Time, rec.FromCfg, rec.ToCfg, err)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name: "recovery-time-bound",
 			Doc:  "every crashed checkpointed replica is alive again within the checkpoint policy's restore delay",
 			Check: func(r *Result) error {
@@ -296,6 +308,34 @@ func expectedSinkRate(sys *System, cfg int) float64 {
 		sum += sys.Rates.Rate(sink, cfg)
 	}
 	return sum
+}
+
+// migrationFloorErr checks one staged migration's pattern triple: mid must
+// be exactly old ∪ new, and its per-configuration IC must dominate the
+// weaker endpoint's — min(IC(old), IC(new)) — under both the source and the
+// target configuration. This is the ic-floor-during-migration invariant,
+// shared by the engine-run registry, the model checker's inline check, and
+// the differential runner's live-leg audit. Configurations below zero (the
+// initial application has no source) are skipped.
+func migrationFloorErr(rates *core.Rates, fromCfg, toCfg int, old, mid, new [][]bool) error {
+	for pe := range mid {
+		for k := range mid[pe] {
+			if mid[pe][k] != (old[pe][k] || new[pe][k]) {
+				return fmt.Errorf("mid pattern is not old ∪ new at replica (%d,%d)", pe, k)
+			}
+		}
+	}
+	for _, cfg := range [2]int{fromCfg, toCfg} {
+		if cfg < 0 {
+			continue
+		}
+		icMid := core.ConfigPatternIC(rates, cfg, mid)
+		floor := math.Min(core.ConfigPatternIC(rates, cfg, old), core.ConfigPatternIC(rates, cfg, new))
+		if icMid < floor-1e-9 {
+			return fmt.Errorf("union IC %.6f below endpoint floor %.6f in configuration %d", icMid, floor, cfg)
+		}
+	}
+	return nil
 }
 
 // traceIC evaluates the IC mathematics against the probability mass the

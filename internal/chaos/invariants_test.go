@@ -180,6 +180,31 @@ func TestRegistrySelfTest(t *testing.T) {
 			},
 		},
 		{
+			name: "migration deactivates the old replica before activating the new",
+			want: "ic-floor-during-migration",
+			mutate: func(r *Result) {
+				// A deactivate-first schedule: the mid pattern equals the new
+				// pattern instead of old ∪ new, so replica (0,0) goes dark
+				// while (0,1) is not yet covering for it.
+				pat := func(fill func(pe, k int) bool) [][]bool {
+					p := make([][]bool, r.System.Asg.NumPEs())
+					for pe := range p {
+						p[pe] = make([]bool, r.System.Asg.K)
+						for k := range p[pe] {
+							p[pe][k] = fill(pe, k)
+						}
+					}
+					return p
+				}
+				old := pat(func(pe, k int) bool { return k == 0 })
+				new := pat(func(pe, k int) bool { return k == 1 })
+				r.Metrics.MigrationLog = append(r.Metrics.MigrationLog, engine.MigrationRecord{
+					Time: 10, FromCfg: r.System.LowCfg, ToCfg: r.System.HighCfg,
+					Old: old, Mid: new, New: new,
+				})
+			},
+		},
+		{
 			name: "PE dark at quiescence",
 			want: "monotone-recovery",
 			mutate: func(r *Result) {

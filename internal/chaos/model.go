@@ -3,8 +3,10 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"laar/internal/controlplane"
+	"laar/internal/core"
 	"laar/internal/engine"
 )
 
@@ -65,9 +67,15 @@ type ModelResult struct {
 	// past the fail-safe horizon; FailSafeObserved that the tracker engaged;
 	// FailSafeCleared that it is disengaged at quiescence.
 	FailSafeExpected, FailSafeObserved, FailSafeCleared bool
-	// StepViolations are the per-state invariant breaches (CPRegistry)
-	// observed during the run, at most one per invariant name, each
-	// annotated with the step it first fired at.
+	// Migrations counts the staged migrations leaders began (reconfig
+	// classes drive every configuration switch through a
+	// MigrationSequencer); MigrationCycles counts those that completed both
+	// waves.
+	Migrations, MigrationCycles int
+	// StepViolations are the per-state invariant breaches (CPRegistry plus
+	// the inline ic-floor-during-migration audit) observed during the run,
+	// at most one per invariant name, each annotated with the step it first
+	// fired at.
 	StepViolations []Violation
 }
 
@@ -115,12 +123,18 @@ func (mr *ModelResult) Err() error {
 }
 
 // modelInstance is one controller instance of the model: the three
-// leader-side machines plus liveness.
+// leader-side machines plus liveness, and — for the reconfig classes — the
+// staged-migration wave machine with the endpoints of the migration it is
+// currently driving.
 type modelInstance struct {
 	up    bool
 	elect *controlplane.LeaseElector
 	seqr  *controlplane.CommandSequencer
 	mon   *controlplane.RateMonitor
+
+	msq            *controlplane.MigrationSequencer
+	migOld, migNew [][]bool
+	migFrom, migTo int
 }
 
 // Model replays one scenario directly on the controlplane machines. The
@@ -176,12 +190,19 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 	maxCfg := sys.Rates.MaxConfig()
 	policy := controlplane.RetryPolicy{Min: modelRetryMin, Max: modelRetryMax}
 
+	staged := reconfigClass(sc.Class)
 	newInst := func(id int, now int64) *modelInstance {
 		inst := &modelInstance{
 			up:    true,
 			elect: controlplane.NewLeaseElector(id, numCtrl, modelLeaseTTL, now),
 			seqr:  controlplane.NewCommandSequencer(numPEs, repK, policy),
 			mon:   controlplane.NewRateMonitor(cfgRates, maxCfg),
+		}
+		if staged {
+			inst.msq = controlplane.NewMigrationSequencer(numPEs, repK)
+			inst.migOld = newModelPattern(numPEs, repK)
+			inst.migNew = newModelPattern(numPEs, repK)
+			inst.migFrom, inst.migTo = -1, -1
 		}
 		return inst
 	}
@@ -231,6 +252,44 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 	}
 	fillView(prevView, 0)
 	stepSeen := map[string]bool{}
+	recordStep := func(name string, err error) {
+		if stepSeen[name] {
+			return
+		}
+		stepSeen[name] = true
+		res.StepViolations = append(res.StepViolations, Violation{Invariant: name, Err: err})
+	}
+
+	// Staged-migration planning: beginStaged starts (or supersedes) one
+	// leader's two-wave migration between two configurations' patterns,
+	// mirroring the live runtime's stageSwitch — a migration still in flight
+	// folds its wanted slots into the old pattern, so the handover never
+	// commands down a slot the superseded plan still needs. fromCfg < 0 is
+	// the claim re-plan: the migration starts from the empty pattern, so a
+	// fresh leader activates and confirms everything the applied pattern
+	// needs before its scan deactivates anything. The planned triple is
+	// audited against the IC floor on the spot.
+	curPat := newModelPattern(numPEs, repK)
+	beginStaged := func(inst *modelInstance, fromCfg, toCfg int, now int64) {
+		inflight := inst.msq.InFlight()
+		for pe := 0; pe < numPEs; pe++ {
+			for k := 0; k < repK; k++ {
+				o := false
+				if fromCfg >= 0 {
+					o = sys.Strat.IsActive(fromCfg, pe, k) || (inflight && inst.msq.Want(pe, k))
+				}
+				inst.migOld[pe][k] = o
+				inst.migNew[pe][k] = sys.Strat.IsActive(toCfg, pe, k)
+			}
+		}
+		inst.migFrom, inst.migTo = fromCfg, toCfg
+		inst.msq.Begin(inst.migOld, inst.migNew)
+		res.Migrations++
+		mid := controlplane.Union(nil, inst.migOld, inst.migNew)
+		if err := migrationFloorErr(sys.Rates, fromCfg, toCfg, inst.migOld, mid, inst.migNew); err != nil {
+			recordStep("ic-floor-during-migration", fmt.Errorf("step %d (cfg %d→%d): %w", now, fromCfg, toCfg, err))
+		}
+	}
 
 	dt := 1.0 / modelStepsPerSec
 	steps := int(sc.Duration*modelStepsPerSec+0.5) + modelDrainSteps
@@ -252,6 +311,9 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 					if inst.elect.Leading() {
 						inst.elect.StepDown()
 						inst.seqr.DropPending()
+						if inst.msq != nil {
+							inst.msq.Abort()
+						}
 					}
 				}
 			case engine.ControllerRecover:
@@ -305,9 +367,19 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 				res.Epochs = append(res.Epochs, epoch)
 				inst.seqr.BeginEpoch(epoch)
 				inst.mon.SetApplied(applied)
+				if inst.msq != nil {
+					// The claim reset the command table, so the fresh leader
+					// cannot vouch for any slot: re-plan convergence as a
+					// migration from the empty pattern, activating first.
+					inst.msq.Abort()
+					beginStaged(inst, -1, applied, now)
+				}
 			case controlplane.LeaseYield:
 				inst.elect.StepDown()
 				inst.seqr.DropPending()
+				if inst.msq != nil {
+					inst.msq.Abort()
+				}
 			}
 		}
 
@@ -323,6 +395,9 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 			}
 			if atBoundary && inst.elect.Leading() {
 				if cfg := inst.mon.Scan(1.0); cfg != inst.mon.Applied() {
+					if inst.msq != nil {
+						beginStaged(inst, inst.mon.Applied(), cfg, now)
+					}
 					inst.mon.SetApplied(cfg)
 					applied = cfg
 				}
@@ -336,25 +411,67 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 				continue
 			}
 			anyLeader = true
-			want := inst.mon.Applied()
+			wantCfg := inst.mon.Applied()
 			for pe := 0; pe < numPEs; pe++ {
 				for k := 0; k < repK; k++ {
-					cmd, send, _ := inst.seqr.Step(pe, k, sys.Strat.IsActive(want, pe, k), now)
-					if !send {
+					want := sys.Strat.IsActive(wantCfg, pe, k)
+					staging := inst.msq != nil && inst.msq.InFlight()
+					if staging {
+						want = inst.msq.Want(pe, k)
+						if !want && inst.msq.Wave() == controlplane.WaveActivate {
+							// No deactivation leaves the leader until every
+							// slot of the activation wave is confirmed.
+							continue
+						}
+					}
+					cmd, send, _ := inst.seqr.Step(pe, k, want, now)
+					if send {
+						p := &proxies[pe*repK+k]
+						switch p.Admit(cmd.Epoch, cmd.Seq) {
+						case controlplane.CmdApplied:
+							active[pe*repK+k] = cmd.Active
+							inst.seqr.Acked(pe, k)
+						case controlplane.CmdDuplicate:
+							inst.seqr.Acked(pe, k)
+						case controlplane.CmdStale:
+							// NACK: the replica reports its adopted ballot; the
+							// deposed leader re-claims above it next step.
+							inst.elect.Observe(p.Epoch)
+							inst.seqr.Failed(pe, k, now)
+						}
+					}
+					if staging {
+						// A slot converged to the wave's want — whether by the
+						// ack just applied or an earlier one — feeds the wave
+						// machine; the last confirmation advances the wave.
+						if act, known := inst.seqr.AckedState(pe, k); known && act == want {
+							if inst.msq.Applied(pe, k, act) && !inst.msq.InFlight() {
+								res.MigrationCycles++
+							}
+						}
+					}
+				}
+			}
+			if inst.msq != nil && inst.msq.InFlight() {
+				// Between the waves the deployment runs the live pattern, not
+				// either endpoint: audit the actual activation state against
+				// the migration's IC floor at every intermediate step.
+				for pe := 0; pe < numPEs; pe++ {
+					for k := 0; k < repK; k++ {
+						curPat[pe][k] = active[pe*repK+k]
+					}
+				}
+				for _, cfg := range [2]int{inst.migFrom, inst.migTo} {
+					if cfg < 0 {
 						continue
 					}
-					p := &proxies[pe*repK+k]
-					switch p.Admit(cmd.Epoch, cmd.Seq) {
-					case controlplane.CmdApplied:
-						active[pe*repK+k] = cmd.Active
-						inst.seqr.Acked(pe, k)
-					case controlplane.CmdDuplicate:
-						inst.seqr.Acked(pe, k)
-					case controlplane.CmdStale:
-						// NACK: the replica reports its adopted ballot; the
-						// deposed leader re-claims above it next step.
-						inst.elect.Observe(p.Epoch)
-						inst.seqr.Failed(pe, k, now)
+					icNow := core.ConfigPatternIC(sys.Rates, cfg, curPat)
+					floor := math.Min(core.ConfigPatternIC(sys.Rates, cfg, inst.migOld),
+						core.ConfigPatternIC(sys.Rates, cfg, inst.migNew))
+					if icNow < floor-1e-9 {
+						recordStep("ic-floor-during-migration",
+							fmt.Errorf("step %d: live pattern IC %.6f below endpoint floor %.6f in configuration %d",
+								now, icNow, floor, cfg))
 					}
 				}
 			}
@@ -370,11 +487,7 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 
 		fillView(curView, now)
 		for _, v := range CheckCPStep(prevView, curView) {
-			if !stepSeen[v.Invariant] {
-				stepSeen[v.Invariant] = true
-				res.StepViolations = append(res.StepViolations,
-					Violation{Invariant: v.Invariant, Err: fmt.Errorf("step %d: %w", now, v.Err)})
-			}
+			recordStep(v.Invariant, fmt.Errorf("step %d: %w", now, v.Err))
 		}
 		prevView, curView = curView, prevView
 	}
@@ -408,6 +521,15 @@ func modelRun(sc Scenario, sys *System, sched *Schedule) (*ModelResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// newModelPattern allocates an all-false [pe][replica] activation pattern.
+func newModelPattern(numPEs, k int) [][]bool {
+	p := make([][]bool, numPEs)
+	for pe := range p {
+		p[pe] = make([]bool, k)
+	}
+	return p
 }
 
 // forceActivationFlips mirrors controllerSystem's twist on a generated

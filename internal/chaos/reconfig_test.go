@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestReconfigClassesEngine exercises the reconfig chaos classes against the
+// discrete-event engine: the fast-alternating trace must actually drive
+// incremental re-solves and staged migrations, and every registry invariant
+// — including ic-floor-during-migration — must hold over the resulting log.
+func TestReconfigClassesEngine(t *testing.T) {
+	for _, class := range []Class{RateShiftReconfig, ReconfigChurn} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				res, violations, err := RunAndCheck(Scenario{Seed: seed, Class: class})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, v := range violations {
+					t.Errorf("seed %d (%s): %v", seed, res.Schedule.Describe(), v)
+				}
+				if res.Metrics.ResolveCount == 0 {
+					t.Errorf("seed %d: live-resolve mode ran no re-solves", seed)
+				}
+				if len(res.Metrics.MigrationLog) == 0 {
+					t.Errorf("seed %d: no staged migrations were logged", seed)
+				}
+				if res.Metrics.MigrationCycles == 0 {
+					t.Errorf("seed %d: no migration completed both waves", seed)
+				}
+				warm := 0
+				for _, rec := range res.Metrics.MigrationLog {
+					if rec.WarmStart {
+						warm++
+					}
+				}
+				if warm == 0 {
+					t.Errorf("seed %d: no re-solve warm-started from the incumbent", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestReconfigModel drives the same classes through the control-plane model:
+// leaders must route replica wants through the MigrationSequencer, complete
+// whole migration cycles, and never dip the live activation pattern below
+// the IC floor of either migration endpoint.
+func TestReconfigModel(t *testing.T) {
+	for _, class := range []Class{RateShiftReconfig, ReconfigChurn} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				mr, err := Model(Scenario{Seed: seed, Class: class})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := mr.Err(); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+				if mr.Migrations == 0 {
+					t.Errorf("seed %d: model leaders began no staged migrations", seed)
+				}
+				if mr.MigrationCycles == 0 {
+					t.Errorf("seed %d: model completed no migration cycles", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestReconfigDiff runs the staged live leg against the instantaneous-flip
+// engine leg: the real-TCP runtime must log staged migrations whose
+// old ∪ new unions satisfy the IC floor, while sink counts still agree —
+// staging is behaviour-preserving for the delivered stream.
+func TestReconfigDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP differential leg")
+	}
+	dr, err := Diff(Scenario{Seed: 1, Class: RateShiftReconfig, Duration: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.Err(); err != nil {
+		t.Error(err)
+	}
+	if len(dr.LiveMigrations) == 0 {
+		t.Error("staged live leg recorded no migrations")
+	}
+}

@@ -29,6 +29,14 @@ func Run(sc Scenario) (*Result, error) {
 		Shards:          sc.Shards,
 		Domains:         sys.Domains,
 	}
+	if reconfigClass(sc.Class) {
+		// Live-resolve mode: every monitor-driven rate shift re-solves
+		// FT-Search incrementally and stages the diff as a two-wave
+		// migration. No node budget and no wall deadline, so each re-solve
+		// runs to proven optimality and the run stays a pure function of the
+		// seed; the ic-floor-during-migration invariant audits the log.
+		cfg.LiveResolve = &engine.LiveResolveConfig{ICMin: sys.ICTarget}
+	}
 	if sys.FT != nil && sys.Ckpt != nil {
 		// The schedule carries explicit ReplicaUp events at the restore
 		// delay, so CheckpointRestoreDelay stays unset here: auto-restore
@@ -54,6 +62,10 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Run promises to be a pure function of the scenario, but the engine
+	// records real solver wall time for operators; zero it so sharded and
+	// parallel-sweep differentials can compare Metrics bit for bit.
+	m.ResolveWallNanos = 0
 	res.Metrics = m
 
 	bound, expected, err := traceIC(sys, sched)

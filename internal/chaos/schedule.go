@@ -67,6 +67,11 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 2+rng.Intn(3), 5, 15, rng)
 	case Mixed:
 		sd.Trace, err = trace.Spikes(sc.Duration, sys.LowCfg, sys.HighCfg, 1+rng.Intn(2), 8, 16, rng)
+	case RateShiftReconfig, ReconfigChurn:
+		// Twice the default switching rate: every boundary is a rate shift
+		// the live-resolve controller must re-solve and migrate through, so
+		// a run exercises several staged migrations.
+		sd.Trace, err = trace.Alternating(sc.Duration, sc.Duration/6, 0.5, sys.LowCfg, sys.HighCfg)
 	default:
 		sd.Trace, err = trace.Alternating(sc.Duration, sc.Duration/3, 1.0/3.0, sys.LowCfg, sys.HighCfg)
 	}
@@ -108,6 +113,8 @@ func BuildSchedule(sc Scenario, sys *System) (*Schedule, error) {
 		sd.domainCrashes(sc, sys, rng, sc.Faults, winLo, winHi)
 	case CheckpointRestore:
 		sd.checkpointKills(sc, sys, rng, sc.Faults, winLo, winHi)
+	case ReconfigChurn:
+		sd.replicaChurn(sc, sys, rng, sc.Faults, winLo, winHi)
 	}
 	sort.SliceStable(sd.Events, func(a, b int) bool { return sd.Events[a].Time < sd.Events[b].Time })
 	sort.SliceStable(sd.CtrlCuts, func(a, b int) bool { return sd.CtrlCuts[a].Time < sd.CtrlCuts[b].Time })

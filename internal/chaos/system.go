@@ -5,6 +5,7 @@ import (
 
 	"laar/internal/appgen"
 	"laar/internal/core"
+	"laar/internal/ftsearch"
 	"laar/internal/placement"
 	"laar/internal/strategy"
 )
@@ -80,8 +81,31 @@ func ftPlanFromStrategy(s *core.Strategy, numConfigs, numPEs int) *core.FTPlan {
 	return ft
 }
 
+// buildStrategy computes the activation strategy for one IC target. Most
+// classes use the fast ICGreedy heuristic. The reconfig classes instead run
+// FT-Search itself (sequential, no deadline — fully deterministic): the
+// engine's live-resolve mode re-solves the same instance through an
+// incremental Solver on every rate shift, and seeding the run with the
+// exact solver optimum means every re-solve at nominal rates reproduces the
+// identical strategy, keeping the ic-bound invariant — which is evaluated
+// against the seed strategy — sharp for the whole run.
+func buildStrategy(sc Scenario, r *core.Rates, asg *core.Assignment, target float64) (*core.Strategy, error) {
+	if !reconfigClass(sc.Class) {
+		return strategy.ICGreedy(r, asg, target)
+	}
+	res, err := ftsearch.Solve(r, asg, ftsearch.Options{ICMin: target})
+	if err != nil {
+		return nil, err
+	}
+	if res.Strategy == nil {
+		return nil, fmt.Errorf("chaos: FT-Search found no strategy at IC target %.2f (%s)", target, res.Outcome)
+	}
+	return res.Strategy, nil
+}
+
 // BuildSystem generates the system under test for a scenario: a calibrated
-// appgen application plus an ICGreedy activation strategy. The IC target
+// appgen application plus an activation strategy (ICGreedy, or the exact
+// FT-Search optimum for the reconfig classes). The IC target
 // is relaxed stepwise when the instance cannot support it, and the
 // application draw is retried with a derived seed when even the minimal
 // deployment is infeasible — both deterministically, so equal scenarios
@@ -119,7 +143,7 @@ func BuildSystem(sc Scenario) (*System, error) {
 			asg, level = pl.Asg, pl.Level
 		}
 		for _, target := range []float64{sc.ICTarget, sc.ICTarget / 2, 0} {
-			s, err := strategy.ICGreedy(gen.Rates, asg, target)
+			s, err := buildStrategy(sc, gen.Rates, asg, target)
 			if err != nil {
 				lastErr = err
 				continue

@@ -189,6 +189,16 @@ func (s *CommandSequencer) AckedMatch(pe, k int, epoch, seq uint64) bool {
 	return true
 }
 
+// AckedState returns the slot's last acknowledged activation state and
+// whether any state has been acknowledged at all in the current epoch. A
+// migration sequencer driven over this protocol polls it to learn when a
+// slot has converged to the wave's wanted state — whether through an ack
+// the caller just applied or one from an earlier scan.
+func (s *CommandSequencer) AckedState(pe, k int) (active, known bool) {
+	sl := &s.slots[pe*s.k+k]
+	return sl.acked == ackActive, sl.acked != ackUnknown
+}
+
 // ResetSlot forgets everything known about one replica slot — the
 // acknowledged activation state and any in-flight command — returning it
 // to the post-BeginEpoch unknown state, so the next Step issues a fresh

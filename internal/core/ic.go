@@ -61,6 +61,60 @@ func FIC(r *Rates, s *Strategy, model FailureModel) float64 {
 	return d.BillingPeriod * sum
 }
 
+// ConfigPatternIC returns the internal completeness of one input
+// configuration under an explicit activation pattern (active[pe][k] =
+// replica k of PE pe running) and the pessimistic failure model: the
+// per-configuration FIC over the per-configuration BIC, with Φ = 1 exactly
+// for fully-replicated PEs. Unlike FIC it needs no Strategy, which is what
+// lets the migration checkers evaluate the transient union patterns a live
+// reconfiguration moves through. Returns 1 when the configuration carries
+// no input. The pattern's Φ is monotone in the activation bits and every
+// selectivity is non-negative, so the result is monotone in the pattern —
+// the invariant behind the ic-floor-during-migration check.
+func ConfigPatternIC(r *Rates, cfg int, active [][]bool) float64 {
+	d := r.Descriptor()
+	app := d.App
+	phiOf := func(pe int) float64 {
+		row := active[pe]
+		for _, a := range row {
+			if !a {
+				return 0
+			}
+		}
+		return 1
+	}
+	hat := make([]float64, app.NumComponents())
+	var fic, bic float64
+	for _, id := range app.Topo() {
+		switch app.Component(id).Kind {
+		case KindSource:
+			hat[id] = d.SourceRate(id, cfg)
+		case KindPE:
+			pe := app.PEIndex(id)
+			bic += r.InRate(pe, cfg)
+			phi := phiOf(pe)
+			var in float64
+			for _, e := range app.In(id) {
+				in += e.Selectivity * hat[e.From]
+			}
+			if phi > 0 {
+				var raw float64
+				for _, e := range app.In(id) {
+					raw += hat[e.From]
+				}
+				fic += phi * raw
+			}
+			hat[id] = phi * in
+		case KindSink:
+			hat[id] = 0
+		}
+	}
+	if bic == 0 {
+		return 1
+	}
+	return fic / bic
+}
+
 // IC returns the internal completeness metric (Eq. 8): FIC(s)/BIC, the
 // fraction of the failure-free tuple-processing volume that survives under
 // the failure model. Returns 1 when BIC is zero (an application with no

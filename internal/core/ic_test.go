@@ -233,3 +233,74 @@ func TestFICZeroProbConfigSkipped(t *testing.T) {
 		t.Fatalf("IC = %v, want 1", got)
 	}
 }
+
+// patternOf extracts a strategy's activation pattern for one configuration.
+func patternOf(s *Strategy, cfg, numPEs, k int) [][]bool {
+	p := make([][]bool, numPEs)
+	for pe := 0; pe < numPEs; pe++ {
+		p[pe] = make([]bool, k)
+		for r := 0; r < k; r++ {
+			p[pe][r] = s.IsActive(cfg, pe, r)
+		}
+	}
+	return p
+}
+
+// TestConfigPatternICMatchesFIC cross-checks the pattern-based
+// per-configuration IC against the strategy-based FIC: weighting the
+// per-configuration values by probability and the per-configuration BIC
+// must reproduce IC under the pessimistic model.
+func TestConfigPatternICMatchesFIC(t *testing.T) {
+	_, d := buildPipeline(t)
+	r := NewRates(d)
+	for _, s := range []*Strategy{laarPipelineStrategy(), AllActive(2, 2, 2), NewStrategy(2, 2, 2)} {
+		var fic, bic float64
+		for c := 0; c < 2; c++ {
+			var per float64
+			for pe := 0; pe < 2; pe++ {
+				per += r.InRate(pe, c)
+			}
+			bic += d.Configs[c].Prob * per
+			fic += d.Configs[c].Prob * per * ConfigPatternIC(r, c, patternOf(s, c, 2, 2))
+		}
+		got := fic / bic
+		want := IC(r, s, Pessimistic{})
+		if !almostEqual(got, want) {
+			t.Fatalf("pattern IC %v != strategy IC %v", got, want)
+		}
+	}
+}
+
+// TestConfigPatternICMonotone checks the monotonicity lemma the migration
+// protocol's IC floor rests on: adding activations never lowers a
+// configuration's pattern IC, so the union of two patterns dominates both.
+func TestConfigPatternICMonotone(t *testing.T) {
+	_, d := buildDiamond(t)
+	r := NewRates(d)
+	const numPEs, k = 4, 2
+	for mask := 0; mask < 1<<numPEs; mask++ {
+		base := make([][]bool, numPEs)
+		for pe := 0; pe < numPEs; pe++ {
+			base[pe] = []bool{true, mask&(1<<pe) != 0}
+		}
+		ic := ConfigPatternIC(r, 0, base)
+		for pe := 0; pe < numPEs; pe++ {
+			if base[pe][1] {
+				continue
+			}
+			more := patternClone(base)
+			more[pe][1] = true
+			if up := ConfigPatternIC(r, 0, more); up < ic-1e-12 {
+				t.Fatalf("activating (%d,1) on mask %b dropped IC %v -> %v", pe, mask, ic, up)
+			}
+		}
+	}
+}
+
+func patternClone(p [][]bool) [][]bool {
+	q := make([][]bool, len(p))
+	for i := range p {
+		q[i] = append([]bool(nil), p[i]...)
+	}
+	return q
+}

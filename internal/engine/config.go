@@ -127,6 +127,35 @@ type Config struct {
 	// CommandRetryInterval is the controller's command retransmission
 	// period in seconds. Default MonitorInterval.
 	CommandRetryInterval float64
+
+	// LiveResolve, when non-nil, switches the HAController from reading the
+	// precomputed activation strategy to re-solving FT-Search incrementally
+	// on every monitor-driven configuration shift, and stages each strategy
+	// diff as an IC-safe two-wave migration (activations first, then
+	// deactivations) instead of an instantaneous flip. Requires k = 2.
+	LiveResolve *LiveResolveConfig
+}
+
+// LiveResolveConfig parameterises the engine's live-resolve mode
+// (Config.LiveResolve). All knobs are deterministic: the solver runs under
+// a node budget rather than a wall clock, and the resolve latency billed
+// into simulated time is a fixed constant, so runs with equal seeds stay
+// bit-for-bit identical regardless of machine speed. The real (wall) time
+// spent resolving is still recorded in Metrics.ResolveWallNanos for
+// reporting, but never fed back into the simulation.
+type LiveResolveConfig struct {
+	// ICMin is the internal-completeness constraint passed to the solver.
+	ICMin float64
+	// NodeBudget bounds each incremental re-solve by explored node count
+	// (anytime mode, best-so-far); 0 solves to optimality.
+	NodeBudget int64
+	// ResolveLatency is the simulated seconds the controller spends
+	// re-solving, added to the command delay of the resulting migration.
+	ResolveLatency float64
+	// MigrationStep is the simulated seconds between the activation wave
+	// and the deactivation wave of a staged migration. Defaults to the
+	// tick quantum.
+	MigrationStep float64
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -154,6 +183,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CommandRetryInterval <= 0 {
 		c.CommandRetryInterval = c.MonitorInterval
+	}
+	if c.LiveResolve != nil && c.LiveResolve.MigrationStep <= 0 {
+		lr := *c.LiveResolve
+		lr.MigrationStep = c.Tick
+		c.LiveResolve = &lr
 	}
 	return c
 }
@@ -195,6 +229,17 @@ func (c Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("engine: negative shard count %d", c.Shards)
+	}
+	if lr := c.LiveResolve; lr != nil {
+		if lr.ICMin < 0 || lr.ICMin > 1 {
+			return fmt.Errorf("engine: live-resolve IC constraint %v outside [0, 1]", lr.ICMin)
+		}
+		if lr.NodeBudget < 0 {
+			return fmt.Errorf("engine: negative live-resolve node budget %d", lr.NodeBudget)
+		}
+		if lr.ResolveLatency < 0 {
+			return fmt.Errorf("engine: negative live-resolve latency %v", lr.ResolveLatency)
+		}
 	}
 	return nil
 }

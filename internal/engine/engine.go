@@ -7,6 +7,7 @@ import (
 
 	"laar/internal/controlplane"
 	"laar/internal/core"
+	"laar/internal/ftsearch"
 	"laar/internal/sim"
 	"laar/internal/trace"
 )
@@ -247,6 +248,12 @@ type Simulation struct {
 	// reconfigurations do not allocate a fresh closure each.
 	reconfigPool []*reconfig
 
+	// Live-resolve mode (Config.LiveResolve): the retained incremental
+	// FT-Search solver and the generation counter that lets a newer staged
+	// migration supersede an older one's pending waves.
+	lrSolver *ftsearch.Solver
+	migGen   int
+
 	// Flat sample arenas, carved per sample by doSample: utilArena backs
 	// the per-replica utilisation matrices, rowArena their row headers,
 	// qlArena the queue+latency vectors. Sized once by Run for the whole
@@ -457,6 +464,11 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, tr *tra
 	}
 	for pe := range s.m.PerReplicaCycles {
 		s.m.PerReplicaCycles[pe] = make([]float64, asg.K)
+	}
+	if cfg.LiveResolve != nil {
+		if err := s.initLiveResolve(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -1177,6 +1189,10 @@ func (s *Simulation) doMonitor() {
 			s.m.CommandRetries += retries
 			delay += float64(retries) * s.cfg.CommandRetryInterval
 		}
+	}
+	if s.lrSolver != nil {
+		s.liveReconfig(cfg, delay)
+		return
 	}
 	if delay > 0 {
 		s.scheduleApply(delay, cfg)

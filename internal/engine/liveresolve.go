@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"time"
+
+	"laar/internal/controlplane"
+	"laar/internal/ftsearch"
+)
+
+// MigrationRecord documents one staged live migration: the activation
+// patterns ([pe][replica]) the deployment moved through. Mid is the
+// old ∪ new union pattern live between the activation and deactivation
+// waves; under the pessimistic model its per-configuration IC dominates
+// both endpoints (IC is monotone in the pattern), which is the IC-floor
+// invariant the chaos checker verifies against this log.
+type MigrationRecord struct {
+	// Time is the simulated decision time of the migration.
+	Time float64
+	// FromCfg and ToCfg are the input configurations the Rate Monitor
+	// switched between (FromCfg is -1 for the initial application).
+	FromCfg, ToCfg int
+	// Old, Mid and New are the activation patterns before, between and
+	// after the waves.
+	Old, Mid, New [][]bool
+	// ResolveNodes is the search nodes the incremental re-solve explored.
+	ResolveNodes int64
+	// WarmStart reports whether the re-solve was seeded by a surviving
+	// incumbent.
+	WarmStart bool
+}
+
+// initLiveResolve builds the retained incremental solver. Called from New
+// when Config.LiveResolve is set.
+func (s *Simulation) initLiveResolve() error {
+	lr := s.cfg.LiveResolve
+	sv, err := ftsearch.NewSolver(s.r, s.asg, ftsearch.SolverConfig{
+		Opts: ftsearch.Options{ICMin: lr.ICMin, NodeBudget: lr.NodeBudget},
+	})
+	if err != nil {
+		return err
+	}
+	s.lrSolver = sv
+	return nil
+}
+
+// migration is one staged two-wave reconfiguration in flight. A newer
+// decision supersedes an older one via the generation counter: stale waves
+// no-op, so overlapping migrations cannot deactivate replicas a newer plan
+// still needs.
+type migration struct {
+	s             *Simulation
+	gen           int
+	toCfg         int
+	union, target [][]bool
+	fireA, fireB  func()
+}
+
+// liveReconfig is the live-resolve counterpart of scheduleApply: re-solve
+// the strategy incrementally, then stage the diff between the current
+// activation pattern and the solved pattern as an activation wave followed
+// by a deactivation wave.
+func (s *Simulation) liveReconfig(toCfg int, delay float64) {
+	lr := s.cfg.LiveResolve
+	wallStart := time.Now()
+	res, err := s.lrSolver.Resolve()
+	s.m.ResolveWallNanos += time.Since(wallStart).Nanoseconds()
+	s.m.ResolveCount++
+	if res != nil {
+		s.m.ResolveNodes += res.Stats.Nodes
+	}
+	delay += lr.ResolveLatency
+	if err != nil || res.Strategy == nil {
+		// No usable strategy: keep the current table and fall back to the
+		// plain delayed switch.
+		s.m.ResolveFailures++
+		if delay > 0 {
+			s.scheduleApply(delay, toCfg)
+		} else {
+			s.applyConfig(toCfg)
+		}
+		return
+	}
+	s.strat = res.Strategy
+
+	numPEs, k := len(s.reps), s.asg.K
+	old := make([][]bool, numPEs)
+	target := make([][]bool, numPEs)
+	for pe := range s.reps {
+		old[pe] = make([]bool, k)
+		target[pe] = make([]bool, k)
+		for r, rep := range s.reps[pe] {
+			old[pe][r] = rep.active
+			target[pe][r] = s.strat.IsActive(toCfg, pe, r)
+		}
+	}
+	union := controlplane.Union(nil, old, target)
+	s.m.MigrationLog = append(s.m.MigrationLog, MigrationRecord{
+		Time:         s.kern.Now(),
+		FromCfg:      s.monitor.Applied(),
+		ToCfg:        toCfg,
+		Old:          old,
+		Mid:          union,
+		New:          target,
+		ResolveNodes: res.Stats.Nodes,
+		WarmStart:    res.WarmStart,
+	})
+
+	s.migGen++
+	m := &migration{s: s, gen: s.migGen, toCfg: toCfg, union: union, target: target}
+	m.fireA = m.activationWave
+	m.fireB = m.deactivationWave
+	if delay > 0 {
+		s.kern.After(delay, m.fireA)
+	} else {
+		m.activationWave()
+	}
+}
+
+// activationWave establishes the union pattern: every replica the new
+// pattern adds goes active; nothing is deactivated yet. The configuration
+// switch is acknowledged here — the union supports both configurations.
+func (m *migration) activationWave() {
+	s := m.s
+	if m.gen != s.migGen {
+		return // superseded by a newer migration
+	}
+	if m.toCfg != s.monitor.Applied() {
+		if s.monitor.Applied() >= 0 {
+			s.m.ConfigSwitches++
+		}
+		s.monitor.SetApplied(m.toCfg)
+	}
+	for pe, reps := range s.reps {
+		for k, rep := range reps {
+			if m.union[pe][k] && !rep.active {
+				rep.active = true
+			}
+		}
+	}
+	s.m.MigrationSteps++
+	s.kern.After(s.cfg.LiveResolve.MigrationStep, m.fireB)
+}
+
+// deactivationWave completes the migration: the slots only the old pattern
+// used go inactive (discarding their buffered input, like any
+// deactivation).
+func (m *migration) deactivationWave() {
+	s := m.s
+	if m.gen != s.migGen {
+		return
+	}
+	for pe, reps := range s.reps {
+		for k, rep := range reps {
+			if rep.active && !m.target[pe][k] {
+				rep.active = false
+				rep.clearQueues()
+			}
+		}
+	}
+	s.m.MigrationSteps++
+	s.m.MigrationCycles++
+}

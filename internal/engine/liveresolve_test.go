@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"laar/internal/core"
+	"laar/internal/trace"
+)
+
+// runLiveResolve executes the alternating-load pipeline under live-resolve
+// mode and returns the metrics.
+func runLiveResolve(t *testing.T, lr LiveResolveConfig) *Metrics {
+	t.Helper()
+	d, _, asg := pipelineSetup(t)
+	tr, err := trace.Alternating(300, 90, 1.0/3.0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(d, asg, laarStrategy(), tr, Config{LiveResolve: &lr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLiveResolveStagedMigrations(t *testing.T) {
+	m := runLiveResolve(t, LiveResolveConfig{ICMin: 0.5})
+	if m.ConfigSwitches < 5 {
+		t.Errorf("ConfigSwitches = %d, want ≥ 5", m.ConfigSwitches)
+	}
+	if m.ResolveCount < 5 {
+		t.Errorf("ResolveCount = %d, want one per shift", m.ResolveCount)
+	}
+	if m.ResolveFailures != 0 {
+		t.Errorf("ResolveFailures = %d, want 0", m.ResolveFailures)
+	}
+	if m.ResolveNodes <= 0 {
+		t.Error("ResolveNodes not billed")
+	}
+	if m.MigrationCycles < 5 || m.MigrationSteps != 2*m.MigrationCycles {
+		t.Errorf("MigrationSteps = %d, MigrationCycles = %d, want two waves per cycle",
+			m.MigrationSteps, m.MigrationCycles)
+	}
+	if len(m.MigrationLog) != m.ResolveCount-m.ResolveFailures {
+		t.Errorf("MigrationLog has %d records for %d successful resolves",
+			len(m.MigrationLog), m.ResolveCount-m.ResolveFailures)
+	}
+	warm := 0
+	r := core.NewRates(mustDescriptor(t))
+	for i, rec := range m.MigrationLog {
+		if rec.WarmStart {
+			warm++
+		}
+		for pe := range rec.Mid {
+			for k := range rec.Mid[pe] {
+				if rec.Mid[pe][k] != (rec.Old[pe][k] || rec.New[pe][k]) {
+					t.Fatalf("record %d: Mid is not the union at (%d,%d)", i, pe, k)
+				}
+			}
+		}
+		// IC floor at every intermediate step, under both endpoint
+		// configurations' rates.
+		for _, cfg := range []int{rec.FromCfg, rec.ToCfg} {
+			if cfg < 0 {
+				continue
+			}
+			mid := core.ConfigPatternIC(r, cfg, rec.Mid)
+			floor := math.Min(core.ConfigPatternIC(r, cfg, rec.Old), core.ConfigPatternIC(r, cfg, rec.New))
+			if mid < floor-1e-9 {
+				t.Fatalf("record %d: IC(mid) = %v below floor %v in config %d", i, mid, floor, cfg)
+			}
+		}
+	}
+	if warm == 0 {
+		t.Error("no re-solve warm-started from the retained incumbent")
+	}
+}
+
+// TestLiveResolveDeterministic checks the mode stays a pure function of
+// its inputs: the solver runs under a node budget and wall time never
+// leaks into the simulation.
+func TestLiveResolveDeterministic(t *testing.T) {
+	a := runLiveResolve(t, LiveResolveConfig{ICMin: 0.5, NodeBudget: 256, ResolveLatency: 0.2})
+	b := runLiveResolve(t, LiveResolveConfig{ICMin: 0.5, NodeBudget: 256, ResolveLatency: 0.2})
+	if a.ResolveCount != b.ResolveCount || a.ResolveNodes != b.ResolveNodes ||
+		a.MigrationSteps != b.MigrationSteps || a.ConfigSwitches != b.ConfigSwitches ||
+		a.ProcessedTotal != b.ProcessedTotal {
+		t.Fatalf("live-resolve runs diverged: %+v vs %+v",
+			[5]interface{}{a.ResolveCount, a.ResolveNodes, a.MigrationSteps, a.ConfigSwitches, a.ProcessedTotal},
+			[5]interface{}{b.ResolveCount, b.ResolveNodes, b.MigrationSteps, b.ConfigSwitches, b.ProcessedTotal})
+	}
+}
+
+// TestLiveResolveRejectsBadConfig covers validation.
+func TestLiveResolveRejectsBadConfig(t *testing.T) {
+	d, _, asg := pipelineSetup(t)
+	tr := constantTrace(t, 10, 0)
+	for _, lr := range []LiveResolveConfig{
+		{ICMin: -0.1},
+		{ICMin: 1.5},
+		{ICMin: 0.5, NodeBudget: -1},
+		{ICMin: 0.5, ResolveLatency: -1},
+	} {
+		lr := lr
+		if _, err := New(d, asg, laarStrategy(), tr, Config{LiveResolve: &lr}); err == nil {
+			t.Errorf("config %+v accepted", lr)
+		}
+	}
+}
+
+func mustDescriptor(t *testing.T) *core.Descriptor {
+	t.Helper()
+	d, _, _ := pipelineSetup(t)
+	return d
+}

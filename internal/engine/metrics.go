@@ -93,6 +93,27 @@ type Metrics struct {
 	// FailSafeActivations counts fail-safe reversions to full activation
 	// (the deployment stayed leaderless past Config.FailSafeAfter).
 	FailSafeActivations int
+	// ResolveCount counts the incremental FT-Search re-solves the
+	// controller ran in live-resolve mode (Config.LiveResolve).
+	ResolveCount int
+	// ResolveFailures counts re-solves that produced no usable strategy
+	// (proven infeasible, or the node budget expired before any solution);
+	// the controller then falls back to the current strategy table.
+	ResolveFailures int
+	// ResolveNodes is the total search nodes explored across all re-solves.
+	ResolveNodes int64
+	// ResolveWallNanos is the real (wall-clock) time spent in the solver,
+	// for reporting only — simulated time is charged the deterministic
+	// LiveResolveConfig.ResolveLatency instead.
+	ResolveWallNanos int64
+	// MigrationSteps counts executed migration waves (activation and
+	// deactivation waves each count one).
+	MigrationSteps int
+	// MigrationCycles counts completed staged migrations.
+	MigrationCycles int
+	// MigrationLog records every staged migration's activation-pattern
+	// triple for the ic-floor-during-migration invariant check.
+	MigrationLog []MigrationRecord
 	// Series is the per-second time series.
 	Series []Sample
 }

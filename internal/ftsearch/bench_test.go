@@ -3,6 +3,8 @@ package ftsearch
 import (
 	"math/rand"
 	"testing"
+
+	"laar/internal/core"
 )
 
 func solveBench(b *testing.B, numPEs, numHosts int, opts Options) {
@@ -31,4 +33,53 @@ func BenchmarkSolveMediumParallel(b *testing.B) {
 
 func BenchmarkSolvePenalty(b *testing.B) {
 	solveBench(b, 6, 3, Options{ICMin: 0.7, PenaltyLambda: 1e12})
+}
+
+// BenchmarkIncrementalResolve compares a cold one-shot solve of a shifted
+// instance against the incremental Solver's warm re-solve of the same shift
+// (cold/warm ns/op and allocs/op are the paper's re-provisioning latency
+// argument in miniature). The warm loop alternates the shift scale so every
+// iteration applies a real rate change and re-solves.
+func BenchmarkIncrementalResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	r, asg := randomInstance(b, rng, 8, 3)
+	opts := Options{ICMin: 0.5}
+	shifted := func(scale float64) *core.Rates {
+		d := *r.Descriptor()
+		d.Configs = append([]core.InputConfig(nil), d.Configs...)
+		cfg := d.Configs[1]
+		cfg.Rates = append([]float64(nil), cfg.Rates...)
+		for i := range cfg.Rates {
+			cfg.Rates[i] *= scale
+		}
+		d.Configs[1] = cfg
+		return core.NewRates(&d)
+	}
+	b.Run("cold", func(b *testing.B) {
+		rates := [2]*core.Rates{shifted(1.05), shifted(1.0)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(rates[i%2], asg, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		sv, err := NewSolver(r, asg, SolverConfig{Opts: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sv.Solve(); err != nil {
+			b.Fatal(err)
+		}
+		scales := [2]float64{1.05, 1.0}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sv.Resolve(Shift{Cfg: 1, Scale: scales[i%2]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,238 @@
+package ftsearch
+
+import (
+	"math"
+	"sort"
+)
+
+// The incremental Solver's second retained structure (next to the incumbent):
+// per-configuration Pareto frontiers of (FIC contribution, cost) over the
+// *relaxed* per-configuration subproblem that drops the CPU-capacity and
+// latency constraints. The search instance decomposes exactly along input
+// configurations — capacity (Eq. 11), latency and domain propagation are all
+// per-configuration; only the IC sum (Eq. 10) and the additive cost couple
+// the blocks — so for any partial assignment the cheapest completion of the
+// untouched configuration blocks is lower-bounded by a frontier query: the
+// minimum relaxed cost at which the remaining blocks can still deliver the
+// missing FIC. That bound is admissible (the relaxed feasible set is a
+// superset of the true one), which is why warm searches that use it stay
+// exhaustive and return the same outcome and optimal cost as a cold solve,
+// while pruning the under-provisioned prefixes a plain cost-sum bound cannot
+// see until far deeper in the tree.
+//
+// Every frontier point's FIC and cost are linear in the configuration's
+// source rates, so a rate shift rescales a frontier exactly in O(points) —
+// the frontiers are enumerated once at solver construction and never again.
+
+// frontierPoint is one Pareto point: delivering at least fic of (scaled,
+// unnormalised) FIC from the covered configuration blocks costs at least
+// cost (billing period factored out, like searcher.cost).
+type frontierPoint struct {
+	fic  float64
+	cost float64
+}
+
+// maxFrontierPoints caps a frontier's size. Thinning replaces a run of
+// points by (max fic of run, min cost of run), which only ever lowers the
+// answer of a query — the thinned frontier stays an admissible bound.
+const maxFrontierPoints = 256
+
+// maxFrontierLeaves bounds the enumeration work buildFrontiers is willing
+// to do per configuration; larger instances fall back to incumbent seeding
+// without frontier bounds.
+const maxFrontierLeaves = 1 << 21
+
+// buildFrontiers enumerates the relaxed per-configuration frontiers at
+// nominal scale and derives the per-block-suffix combined frontiers. It
+// requires enableShifts (nominal baselines) and is skipped — leaving the
+// solver on the plain suffix bounds — in penalty mode (the objective bound
+// has different semantics) and when the per-configuration space is too
+// large to enumerate.
+func (inst *instance) buildFrontiers() {
+	if inst.penalty || inst.scale == nil {
+		return
+	}
+	choices := 2.0
+	if inst.ckpt {
+		choices = 3
+	}
+	if math.Pow(choices, float64(inst.numPEs)) > maxFrontierLeaves {
+		return
+	}
+	inst.baseFront = make([][]frontierPoint, inst.numCfgs)
+	for c := 0; c < inst.numCfgs; c++ {
+		pts := inst.enumConfig(c)
+		inst.baseFront[c] = buildFrontier(pts)
+	}
+	inst.curFront = make([][]frontierPoint, inst.numCfgs)
+	inst.sufFront = make([][]frontierPoint, inst.numCfgs+1)
+	inst.recomputeSuffixFrontiers()
+}
+
+// enumConfig enumerates every relaxed activation pattern of configuration c
+// — per PE: single replica (φ = 0), both replicas (φ = 1), or a
+// checkpointed replica (φ = ckptPhi) when enabled — computing each
+// pattern's exact FIC contribution via the Δ̂ recursion and its cost, both
+// at nominal scale.
+func (inst *instance) enumConfig(c int) []frontierPoint {
+	hat := make([]float64, inst.numPEs)
+	var pts []frontierPoint
+	var rec func(k int, cost, fic float64)
+	rec = func(k int, cost, fic float64) {
+		if k == len(inst.topoPEs) {
+			pts = append(pts, frontierPoint{fic: fic, cost: cost})
+			return
+		}
+		pe := inst.topoPEs[k]
+		w := inst.prob[c] * inst.baseUnitLoad[c][pe]
+		// Single replica: no completeness contribution.
+		hat[pe] = 0
+		rec(k+1, cost+w, fic)
+		// Both replicas: φ = 1.
+		in := inst.baseSrcIn[c][pe]
+		sel := inst.baseSrcSel[c][pe]
+		for _, pr := range inst.predsPE[pe] {
+			in += hat[pr.pe]
+			sel += pr.sel * hat[pr.pe]
+		}
+		hat[pe] = sel
+		rec(k+1, cost+2*w, fic+inst.prob[c]*in)
+		// Checkpointed replica: φ = ckptPhi.
+		if inst.ckpt {
+			hat[pe] = inst.ckptPhi * sel
+			rec(k+1, cost+w*inst.ckptFactor, fic+inst.ckptPhi*inst.prob[c]*in)
+		}
+		hat[pe] = 0
+	}
+	rec(0, 0, 0)
+	return pts
+}
+
+// buildFrontier reduces raw (fic, cost) points to a thinned Pareto frontier
+// sorted by ascending fic with strictly ascending cost, answering
+// "minimum cost with fic ≥ f" queries by binary search.
+func buildFrontier(pts []frontierPoint) []frontierPoint {
+	if len(pts) == 0 {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].fic != pts[j].fic {
+			return pts[i].fic < pts[j].fic
+		}
+		return pts[i].cost < pts[j].cost
+	})
+	// Sweep from the highest fic down, keeping each point's effective cost:
+	// the cheapest cost among all points with fic at least as large.
+	min := math.Inf(1)
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].cost < min {
+			min = pts[i].cost
+		}
+		pts[i].cost = min
+	}
+	// Keep, per distinct effective cost, only the largest fic it covers.
+	out := pts[:0]
+	for i := 0; i < len(pts); i++ {
+		if i+1 < len(pts) && pts[i+1].cost == pts[i].cost {
+			continue
+		}
+		out = append(out, pts[i])
+	}
+	return thinFrontier(out)
+}
+
+// thinFrontier caps a frontier at maxFrontierPoints by replacing each run
+// of consecutive points with (largest fic of run, smallest cost of run) —
+// an under-approximation of cost for any fic requirement, so queries stay
+// admissible lower bounds.
+func thinFrontier(f []frontierPoint) []frontierPoint {
+	if len(f) <= maxFrontierPoints {
+		return append([]frontierPoint(nil), f...)
+	}
+	out := make([]frontierPoint, 0, maxFrontierPoints)
+	stride := (len(f) + maxFrontierPoints - 1) / maxFrontierPoints
+	for lo := 0; lo < len(f); lo += stride {
+		hi := lo + stride
+		if hi > len(f) {
+			hi = len(f)
+		}
+		// Costs ascend within the run, so the first point is cheapest; fic
+		// ascends, so the last point has the largest fic.
+		out = append(out, frontierPoint{fic: f[hi-1].fic, cost: f[lo].cost})
+	}
+	return out
+}
+
+// scaleFrontier writes src rescaled by s into dst (both fic and cost are
+// linear in the configuration's source rates).
+func scaleFrontier(dst, src []frontierPoint, s float64) []frontierPoint {
+	dst = dst[:0]
+	for _, p := range src {
+		dst = append(dst, frontierPoint{fic: p.fic * s, cost: p.cost * s})
+	}
+	return dst
+}
+
+// convolve combines two frontiers by min-plus convolution over the fic
+// requirement: delivering f in total from both groups costs at least
+// min over splits of the summed costs.
+func convolve(a, b []frontierPoint) []frontierPoint {
+	pts := make([]frontierPoint, 0, len(a)*len(b))
+	for _, pa := range a {
+		for _, pb := range b {
+			pts = append(pts, frontierPoint{fic: pa.fic + pb.fic, cost: pa.cost + pb.cost})
+		}
+	}
+	return buildFrontier(pts)
+}
+
+// recomputeSuffixFrontiers rebuilds the per-block-suffix combined frontiers
+// from the nominal per-configuration frontiers and the current scales.
+// sufFront[b] covers the variable-order blocks b..numCfgs-1; block b holds
+// configuration cfgOrder[b]. sufFront[0] is never queried (no variable
+// precedes block 0), so the loop stops at 1.
+func (inst *instance) recomputeSuffixFrontiers() {
+	if inst.baseFront == nil {
+		return
+	}
+	numBlocks := inst.numCfgs
+	inst.sufFront[numBlocks] = nil
+	for b := numBlocks - 1; b >= 1; b-- {
+		c := inst.cfgOrder[b]
+		inst.curFront[b] = scaleFrontier(inst.curFront[b], inst.baseFront[c], inst.scale[c])
+		if b == numBlocks-1 {
+			inst.sufFront[b] = inst.curFront[b]
+		} else {
+			inst.sufFront[b] = convolve(inst.curFront[b], inst.sufFront[b+1])
+		}
+	}
+}
+
+// querySuffixFrontier returns a lower bound on the cost of extracting at
+// least `needed` FIC from the variable-order blocks b..numCfgs-1, or +Inf
+// when they provably cannot deliver it.
+func (inst *instance) querySuffixFrontier(b int, needed float64) float64 {
+	if b >= inst.numCfgs {
+		if needed > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	f := inst.sufFront[b]
+	if len(f) == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := 0, len(f)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f[mid].fic >= needed {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(f) {
+		return math.Inf(1)
+	}
+	return f[lo].cost
+}

@@ -129,6 +129,14 @@ type Options struct {
 	ICMin float64
 	// Deadline bounds the search wall-clock time; zero means unlimited.
 	Deadline time.Duration
+	// NodeBudget, when positive, bounds the search by explored node count
+	// instead of wall-clock time: the search stops (anytime, best-so-far)
+	// after this many nodes. Unlike Deadline the cut is deterministic —
+	// equal budgets explore equal trees on any machine — which is what the
+	// engine's live-resolve mode needs to stay a pure function of its
+	// seed. An exhausted budget maps to the same SOL/TMO outcomes as an
+	// expired deadline.
+	NodeBudget int64
 	// Workers is the number of parallel search goroutines; values < 2 run
 	// the deterministic sequential search.
 	Workers int
@@ -247,34 +255,47 @@ type Result struct {
 	BestTime time.Duration
 	// Elapsed is the total search time.
 	Elapsed time.Duration
-	Stats   Stats
+	// WarmStart reports whether this result came from an incremental
+	// Resolve whose retained incumbent survived the shift and seeded the
+	// search's cost bound (always false for Solve and cold solver runs).
+	WarmStart bool
+	Stats     Stats
+}
+
+// validateInputs checks a search problem's inputs, shared by the one-shot
+// Solve and the incremental NewSolver.
+func validateInputs(r *core.Rates, asg *core.Assignment, opts Options) error {
+	if asg.K != Replication {
+		return fmt.Errorf("ftsearch: replication factor %d not supported, want %d", asg.K, Replication)
+	}
+	if asg.NumPEs() != r.Descriptor().App.NumPEs() {
+		return fmt.Errorf("ftsearch: assignment covers %d PEs, descriptor has %d",
+			asg.NumPEs(), r.Descriptor().App.NumPEs())
+	}
+	if opts.ICMin < 0 || opts.ICMin > 1 {
+		return fmt.Errorf("ftsearch: IC constraint %v outside [0, 1]", opts.ICMin)
+	}
+	if opts.NodeBudget < 0 {
+		return fmt.Errorf("ftsearch: negative node budget %d", opts.NodeBudget)
+	}
+	if ck := opts.Checkpoint; ck != nil {
+		if opts.PenaltyLambda > 0 {
+			return fmt.Errorf("ftsearch: checkpoint decision space and the penalty objective cannot be combined")
+		}
+		if !(ck.OverheadFrac >= 0) {
+			return fmt.Errorf("ftsearch: checkpoint overhead fraction %v outside [0, ∞)", ck.OverheadFrac)
+		}
+		if !(ck.Phi >= 0 && ck.Phi <= 1) {
+			return fmt.Errorf("ftsearch: checkpoint completeness %v outside [0, 1]", ck.Phi)
+		}
+	}
+	return asg.Validate(false)
 }
 
 // Solve runs FT-Search on the instance defined by the rates and the
 // replicated assignment. The assignment must use k = 2.
 func Solve(r *core.Rates, asg *core.Assignment, opts Options) (*Result, error) {
-	if asg.K != Replication {
-		return nil, fmt.Errorf("ftsearch: replication factor %d not supported, want %d", asg.K, Replication)
-	}
-	if asg.NumPEs() != r.Descriptor().App.NumPEs() {
-		return nil, fmt.Errorf("ftsearch: assignment covers %d PEs, descriptor has %d",
-			asg.NumPEs(), r.Descriptor().App.NumPEs())
-	}
-	if opts.ICMin < 0 || opts.ICMin > 1 {
-		return nil, fmt.Errorf("ftsearch: IC constraint %v outside [0, 1]", opts.ICMin)
-	}
-	if ck := opts.Checkpoint; ck != nil {
-		if opts.PenaltyLambda > 0 {
-			return nil, fmt.Errorf("ftsearch: checkpoint decision space and the penalty objective cannot be combined")
-		}
-		if !(ck.OverheadFrac >= 0) {
-			return nil, fmt.Errorf("ftsearch: checkpoint overhead fraction %v outside [0, ∞)", ck.OverheadFrac)
-		}
-		if !(ck.Phi >= 0 && ck.Phi <= 1) {
-			return nil, fmt.Errorf("ftsearch: checkpoint completeness %v outside [0, 1]", ck.Phi)
-		}
-	}
-	if err := asg.Validate(false); err != nil {
+	if err := validateInputs(r, asg, opts); err != nil {
 		return nil, err
 	}
 	inst := newInstance(r, asg, opts)

@@ -10,8 +10,13 @@ type predRef struct {
 	sel float64
 }
 
-// instance is the immutable, preprocessed form of a search problem. All
-// searcher workers share one instance.
+// instance is the preprocessed form of a search problem. All searcher
+// workers share one instance; it is immutable during a search. The
+// incremental Solver additionally retains an instance across calls and
+// rescales its per-configuration rate caches in place between searches
+// (enableShifts / setScale), which is why the searcher hot path reads
+// rates exclusively through the unitLoad/prob caches below rather than
+// through the shared core.Rates.
 type instance struct {
 	r    *core.Rates
 	asg  *core.Assignment
@@ -32,6 +37,11 @@ type instance struct {
 	w []float64
 	// Per-variable maximum FIC contribution, P_C(c)·inRate(pe,c).
 	ficMax []float64
+	// prob[c] and unitLoad[c][pe] cache the configuration probability and
+	// the per-replica load so the hot path never dereferences the shared
+	// descriptor — and so the Solver can rescale a configuration in place.
+	prob     []float64
+	unitLoad [][]float64
 	// Suffix sums over the variable order, indexed so suffix[i] covers
 	// variables i..numVars-1 (suffix[numVars] = 0).
 	suffixFICMax  []float64
@@ -81,6 +91,30 @@ type instance struct {
 	// order for the path recursion.
 	cyclesPT [][]float64
 	topoPEs  []int
+
+	// Shift support (incremental Solver only): nominal-rate baselines of
+	// every scalable cache plus the current per-configuration scale. All
+	// derived quantities are linear in a configuration's source rates, so
+	// setScale is exact: the rescaled instance equals a fresh instance
+	// built from a descriptor with that configuration's rates scaled.
+	// scaled reports whether any configuration is currently off nominal.
+	baseW        []float64
+	baseFicMax   []float64
+	baseUnitLoad [][]float64
+	baseSrcIn    [][]float64
+	baseSrcSel   [][]float64
+	scale        []float64
+	scaled       bool
+
+	// cfgOrder[b] is the configuration explored in variable-order block b.
+	cfgOrder []int
+	// Relaxed per-configuration Pareto frontiers (see frontier.go):
+	// baseFront[c] at nominal scale, curFront[b] the block's frontier at the
+	// current scale, sufFront[b] the combined frontier of blocks b..end.
+	// Nil unless the incremental Solver built them.
+	baseFront [][]frontierPoint
+	curFront  [][]frontierPoint
+	sufFront  [][]frontierPoint
 }
 
 func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
@@ -103,6 +137,7 @@ func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
 		}
 	}
 	topo := app.TopoPEs()
+	inst.cfgOrder = cfgOrder
 	inst.varCfg = make([]int, 0, inst.numVars)
 	inst.varPE = make([]int, 0, inst.numVars)
 	inst.varIdx = make([][]int, inst.numCfgs)
@@ -117,23 +152,28 @@ func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
 		}
 	}
 
+	inst.prob = make([]float64, inst.numCfgs)
+	inst.unitLoad = make([][]float64, inst.numCfgs)
+	for c := 0; c < inst.numCfgs; c++ {
+		inst.prob[c] = d.Configs[c].Prob
+		inst.unitLoad[c] = make([]float64, inst.numPEs)
+		for pe := 0; pe < inst.numPEs; pe++ {
+			inst.unitLoad[c][pe] = r.UnitLoad(pe, c)
+		}
+	}
 	inst.w = make([]float64, inst.numVars)
 	inst.ficMax = make([]float64, inst.numVars)
 	for i := 0; i < inst.numVars; i++ {
 		c, pe := inst.varCfg[i], inst.varPE[i]
-		p := d.Configs[c].Prob
-		inst.w[i] = p * r.UnitLoad(pe, c)
+		p := inst.prob[c]
+		inst.w[i] = p * inst.unitLoad[c][pe]
 		inst.ficMax[i] = p * r.InRate(pe, c)
-		inst.bicNorm += inst.ficMax[i]
 	}
-	inst.icTarget = opts.ICMin * inst.bicNorm
-	inst.icEps = 1e-9 * (1 + inst.bicNorm)
+	inst.suffixFICMax = make([]float64, inst.numVars+1)
+	inst.suffixCostMin = make([]float64, inst.numVars+1)
+	inst.recomputeDerived()
 	if opts.PenaltyLambda > 0 {
 		inst.penalty = true
-		T := d.BillingPeriod
-		if inst.bicNorm > 0 {
-			inst.lamPerFic = opts.PenaltyLambda / (T * inst.bicNorm)
-		}
 	}
 
 	inst.initDom = domAll
@@ -148,13 +188,6 @@ func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
 		if ck.Phi > 0 {
 			inst.fwdMask |= domCkpt
 		}
-	}
-
-	inst.suffixFICMax = make([]float64, inst.numVars+1)
-	inst.suffixCostMin = make([]float64, inst.numVars+1)
-	for i := inst.numVars - 1; i >= 0; i-- {
-		inst.suffixFICMax[i] = inst.suffixFICMax[i+1] + inst.ficMax[i]
-		inst.suffixCostMin[i] = inst.suffixCostMin[i+1] + inst.w[i]
 	}
 
 	inst.hostOf = make([][2]int, inst.numPEs)
@@ -198,6 +231,170 @@ func newInstance(r *core.Rates, asg *core.Assignment, opts Options) *instance {
 		}
 	}
 	return inst
+}
+
+// recomputeDerived rebuilds every quantity derived from the per-variable
+// caches — bicNorm, the IC target and tolerance, the penalty conversion
+// factor, and the suffix bound arrays — in O(numVars). Called once at
+// construction and again after every setScale.
+func (inst *instance) recomputeDerived() {
+	inst.bicNorm = 0
+	for i := 0; i < inst.numVars; i++ {
+		inst.bicNorm += inst.ficMax[i]
+	}
+	inst.icTarget = inst.opts.ICMin * inst.bicNorm
+	inst.icEps = 1e-9 * (1 + inst.bicNorm)
+	inst.lamPerFic = 0
+	if inst.opts.PenaltyLambda > 0 && inst.bicNorm > 0 {
+		inst.lamPerFic = inst.opts.PenaltyLambda / (inst.r.Descriptor().BillingPeriod * inst.bicNorm)
+	}
+	for i := inst.numVars - 1; i >= 0; i-- {
+		inst.suffixFICMax[i] = inst.suffixFICMax[i+1] + inst.ficMax[i]
+		inst.suffixCostMin[i] = inst.suffixCostMin[i+1] + inst.w[i]
+	}
+	inst.recomputeSuffixFrontiers()
+}
+
+// enableShifts snapshots the nominal-rate baselines so setScale can later
+// rescale configurations in place. Only the incremental Solver calls this.
+func (inst *instance) enableShifts() {
+	if inst.scale != nil {
+		return
+	}
+	inst.baseW = append([]float64(nil), inst.w...)
+	inst.baseFicMax = append([]float64(nil), inst.ficMax...)
+	inst.baseUnitLoad = make([][]float64, inst.numCfgs)
+	inst.baseSrcIn = make([][]float64, inst.numCfgs)
+	inst.baseSrcSel = make([][]float64, inst.numCfgs)
+	inst.scale = make([]float64, inst.numCfgs)
+	for c := 0; c < inst.numCfgs; c++ {
+		inst.baseUnitLoad[c] = append([]float64(nil), inst.unitLoad[c]...)
+		inst.baseSrcIn[c] = append([]float64(nil), inst.srcIn[c]...)
+		inst.baseSrcSel[c] = append([]float64(nil), inst.srcSel[c]...)
+		inst.scale[c] = 1
+	}
+}
+
+// setScale rescales configuration c's source rates to s times their nominal
+// (descriptor) values. Every derived per-variable quantity of the
+// configuration — unit load, source input, FIC ceiling, cost weight — is
+// linear in the source rates, so multiplying the baselines by s reproduces
+// exactly the instance a cold build would produce from the shifted
+// descriptor. The caller must recomputeDerived afterwards; requires
+// enableShifts. cyclesPT (cycles per tuple) is a rate ratio and therefore
+// scale-invariant.
+func (inst *instance) setScale(c int, s float64) {
+	inst.scale[c] = s
+	for pe := 0; pe < inst.numPEs; pe++ {
+		inst.unitLoad[c][pe] = inst.baseUnitLoad[c][pe] * s
+		inst.srcIn[c][pe] = inst.baseSrcIn[c][pe] * s
+		inst.srcSel[c][pe] = inst.baseSrcSel[c][pe] * s
+	}
+	for pe := 0; pe < inst.numPEs; pe++ {
+		i := inst.varIdx[c][pe]
+		inst.w[i] = inst.baseW[i] * s
+		inst.ficMax[i] = inst.baseFicMax[i] * s
+	}
+	inst.scaled = false
+	for _, sc := range inst.scale {
+		if sc != 1 {
+			inst.scaled = true
+			break
+		}
+	}
+}
+
+// costOf returns the execution cost (billing period factored out) of a full
+// assignment, from the instance's scaled weight cache.
+func (inst *instance) costOf(assign []value) float64 {
+	var cost float64
+	for i, v := range assign {
+		switch v {
+		case valueR0, valueR1:
+			cost += inst.w[i]
+		case valueBoth:
+			cost += 2 * inst.w[i]
+		case valueC0, valueC1:
+			cost += inst.w[i] * inst.ckptFactor
+		}
+	}
+	return cost
+}
+
+// evalAssign re-evaluates a full assignment against the instance's current
+// (possibly rescaled) caches: its cost, FIC partial sum, and whether it
+// satisfies the hard constraints (CPU capacity, the latency SLA when
+// configured, and — outside penalty mode — the IC floor). The scratch
+// slices must be sized [numCfgs][numHosts], [numCfgs][numPEs] and [numPEs];
+// they are overwritten. This is how the Solver decides whether the retained
+// incumbent survives a rate shift and can seed the next search.
+func (inst *instance) evalAssign(assign []value, hostLoad, hat [][]float64, acc []float64) (cost, fic float64, feasible bool) {
+	for c := 0; c < inst.numCfgs; c++ {
+		for h := range hostLoad[c] {
+			hostLoad[c][h] = 0
+		}
+		for pe := range hat[c] {
+			hat[c][pe] = 0
+		}
+	}
+	for i, v := range assign {
+		if v == valueUnassigned {
+			return 0, 0, false
+		}
+		c, pe := inst.varCfg[i], inst.varPE[i]
+		u := inst.unitLoad[c][pe]
+		switch v {
+		case valueR0, valueR1:
+			hostLoad[c][inst.hostOf[pe][v]] += u
+			cost += inst.w[i]
+		case valueBoth:
+			hostLoad[c][inst.hostOf[pe][0]] += u
+			hostLoad[c][inst.hostOf[pe][1]] += u
+			cost += 2 * inst.w[i]
+		case valueC0, valueC1:
+			hostLoad[c][inst.hostOf[pe][int(v-valueC0)]] += u * inst.ckptFactor
+			cost += inst.w[i] * inst.ckptFactor
+		}
+	}
+	for c := 0; c < inst.numCfgs; c++ {
+		for _, h := range hostLoad[c] {
+			if h >= inst.capacity {
+				return cost, 0, false
+			}
+		}
+	}
+	// Δ̂ recursion in topological order, mirroring searcher.place.
+	for c := 0; c < inst.numCfgs; c++ {
+		for _, pe := range inst.topoPEs {
+			v := assign[inst.varIdx[c][pe]]
+			var phi float64
+			switch v {
+			case valueBoth:
+				phi = 1
+			case valueC0, valueC1:
+				phi = inst.ckptPhi
+			}
+			if phi == 0 {
+				hat[c][pe] = 0
+				continue
+			}
+			in := inst.srcIn[c][pe]
+			sel := inst.srcSel[c][pe]
+			for _, pr := range inst.predsPE[pe] {
+				in += hat[c][pr.pe]
+				sel += pr.sel * hat[c][pr.pe]
+			}
+			fic += phi * inst.prob[c] * in
+			hat[c][pe] = phi * sel
+		}
+	}
+	if inst.opts.MaxLatency > 0 && estMaxLatencyOf(inst, assign, hostLoad, acc) > inst.opts.MaxLatency {
+		return cost, fic, false
+	}
+	if !inst.penalty && fic < inst.icTarget-inst.icEps {
+		return cost, fic, false
+	}
+	return cost, fic, true
 }
 
 // strategyOf converts a full assignment vector into a core.Strategy.

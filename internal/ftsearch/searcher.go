@@ -17,6 +17,7 @@ type coordinator struct {
 
 	mu        sync.Mutex
 	best      []value
+	haveBest  bool
 	bestFIC   float64
 	bestTime  time.Duration
 	haveFirst bool
@@ -50,9 +51,23 @@ func (c *coordinator) offer(assign []value, cost, fic float64, at time.Duration)
 	}
 	c.bestCostBits.Store(math.Float64bits(cost))
 	c.best = append(c.best[:0], assign...)
+	c.haveBest = true
 	c.bestFIC = fic
 	c.bestTime = at
 	return true
+}
+
+// reset clears the coordinator for reuse by the incremental Solver,
+// keeping the incumbent buffer's capacity.
+func (c *coordinator) reset() {
+	c.bestCostBits.Store(math.Float64bits(math.Inf(1)))
+	c.best = c.best[:0]
+	c.haveBest = false
+	c.bestFIC = 0
+	c.bestTime = 0
+	c.haveFirst = false
+	c.firstCost = 0
+	c.firstTime = 0
 }
 
 // trailEntry records a domain mutation for backtracking.
@@ -90,7 +105,8 @@ type searcher struct {
 	deadline    time.Time
 	hasDeadline bool
 	timedOut    bool
-	nodeBudget  int // nodes until the next deadline check
+	nodeBudget  int   // nodes until the next deadline check
+	maxNodes    int64 // deterministic anytime node budget (0 = unlimited)
 }
 
 const deadlineCheckInterval = 4096
@@ -119,12 +135,49 @@ func newSearcher(inst *instance, coord *coordinator, start time.Time) *searcher 
 		s.hasDeadline = true
 		s.deadline = start.Add(inst.opts.Deadline)
 	}
+	s.maxNodes = inst.opts.NodeBudget
 	return s
 }
 
-// checkDeadline flips timedOut once the deadline has passed. It is called
-// every deadlineCheckInterval nodes to keep the hot loop cheap.
+// reset clears the searcher's mutable state for another search over the
+// same (possibly rescaled) instance, reusing every buffer. The deadline is
+// re-anchored at start; a zero deadline means unlimited.
+func (s *searcher) reset(start, deadline time.Time) {
+	inst := s.inst
+	for i := range s.assign {
+		s.assign[i] = valueUnassigned
+		s.domain[i] = inst.initDom
+	}
+	for c := 0; c < inst.numCfgs; c++ {
+		for h := range s.hostLoad[c] {
+			s.hostLoad[c][h] = 0
+		}
+		for pe := range s.deltaHat[c] {
+			s.deltaHat[c][pe] = 0
+		}
+	}
+	s.fic = 0
+	s.cost = 0
+	s.overCount = 0
+	s.trail = s.trail[:0]
+	s.stats = Stats{}
+	s.start = start
+	s.hasDeadline = !deadline.IsZero()
+	s.deadline = deadline
+	s.timedOut = false
+	s.nodeBudget = deadlineCheckInterval
+	s.maxNodes = inst.opts.NodeBudget
+}
+
+// checkDeadline flips timedOut once the deadline has passed (checked every
+// deadlineCheckInterval nodes to keep the hot loop cheap) or the
+// deterministic node budget is exhausted (checked every node, so equal
+// budgets cut equal trees regardless of machine speed).
 func (s *searcher) checkDeadline() {
+	if s.maxNodes > 0 && s.stats.Nodes >= s.maxNodes {
+		s.timedOut = true
+		return
+	}
 	s.nodeBudget--
 	if s.nodeBudget > 0 {
 		return
@@ -193,7 +246,7 @@ func (s *searcher) search(i int) {
 			s.stats.Prunes[PruneIC]++
 			s.stats.PruneHeights[PruneIC] += height
 		case !inst.opts.Disable[PruneCost] &&
-			s.cost+inst.suffixCostMin[i+1] >= s.coord.bestCost():
+			s.completionLB(i+1) >= s.coord.bestCost():
 			s.stats.Prunes[PruneCost]++
 			s.stats.PruneHeights[PruneCost] += height
 		default:
@@ -224,24 +277,54 @@ func (s *searcher) leaf() {
 	s.coord.offer(s.assign, s.cost, s.fic, time.Since(s.start))
 }
 
+// completionLB returns a lower bound on the total cost of any feasible
+// completion of the partial assignment covering variables 0..next-1. The
+// baseline is the plain suffix single-replica minimum; when the incremental
+// Solver's relaxed per-configuration frontiers are present, the remaining
+// *whole* configuration blocks are instead bounded by a frontier query —
+// the minimum relaxed cost at which they can still deliver the FIC the IC
+// constraint misses after crediting the current block's tail with its
+// maximum possible contribution. The query is admissible (frontier.go), so
+// pruning on this bound preserves exhaustiveness and the optimal cost.
+func (s *searcher) completionLB(next int) float64 {
+	inst := s.inst
+	if inst.sufFront == nil {
+		return s.cost + inst.suffixCostMin[next]
+	}
+	b := next / inst.numPEs
+	if next%inst.numPEs == 0 {
+		needed := inst.icTarget - inst.icEps - s.fic
+		return s.cost + inst.querySuffixFrontier(b, needed)
+	}
+	tailEnd := (b + 1) * inst.numPEs
+	tailCost := inst.suffixCostMin[next] - inst.suffixCostMin[tailEnd]
+	tailFic := inst.suffixFICMax[next] - inst.suffixFICMax[tailEnd]
+	needed := inst.icTarget - inst.icEps - s.fic - tailFic
+	return s.cost + tailCost + inst.querySuffixFrontier(b+1, needed)
+}
+
 // estMaxLatency estimates the worst end-to-end latency of the current
 // complete assignment across all configurations, using the searcher's
 // incrementally maintained host loads: per stage, the processor-sharing
 // latency on the busiest host carrying an active replica; per
 // configuration, the longest source-to-sink path of stage latencies.
 func (s *searcher) estMaxLatency() float64 {
-	inst := s.inst
+	return estMaxLatencyOf(s.inst, s.assign, s.hostLoad, s.latAcc)
+}
+
+// estMaxLatencyOf is the assignment-level latency estimator shared by the
+// searcher leaf check and the Solver's incumbent re-evaluation.
+func estMaxLatencyOf(inst *instance, assign []value, hostLoad [][]float64, acc []float64) float64 {
 	worst := 0.0
-	acc := s.latAcc
 	for c := 0; c < inst.numCfgs; c++ {
 		for _, pe := range inst.topoPEs {
 			stage := 0.0
-			v := s.assign[inst.varIdx[c][pe]]
+			v := assign[inst.varIdx[c][pe]]
 			for rep := 0; rep < Replication; rep++ {
 				if !activeOn(v, rep) {
 					continue
 				}
-				free := inst.capacity - s.hostLoad[c][inst.hostOf[pe][rep]]
+				free := inst.capacity - hostLoad[c][inst.hostOf[pe][rep]]
 				var lat float64
 				switch {
 				case inst.cyclesPT[c][pe] == 0:
@@ -314,7 +397,7 @@ func (s *searcher) place(i int, v value) (violated bool) {
 	inst := s.inst
 	c, pe := inst.varCfg[i], inst.varPE[i]
 	s.assign[i] = v
-	u := inst.r.UnitLoad(pe, c)
+	u := inst.unitLoad[c][pe]
 	switch v {
 	case valueR0:
 		violated = s.addLoad(c, inst.hostOf[pe][0], u)
@@ -342,7 +425,7 @@ func (s *searcher) place(i int, v value) (violated bool) {
 			in += s.deltaHat[c][pr.pe]
 			hat += pr.sel * s.deltaHat[c][pr.pe]
 		}
-		s.fic += inst.r.Descriptor().Configs[c].Prob * in
+		s.fic += inst.prob[c] * in
 		s.deltaHat[c][pe] = hat
 	case v == valueC0 || v == valueC1:
 		in := inst.srcIn[c][pe]
@@ -351,7 +434,7 @@ func (s *searcher) place(i int, v value) (violated bool) {
 			in += s.deltaHat[c][pr.pe]
 			hat += pr.sel * s.deltaHat[c][pr.pe]
 		}
-		s.fic += inst.ckptPhi * inst.r.Descriptor().Configs[c].Prob * in
+		s.fic += inst.ckptPhi * inst.prob[c] * in
 		s.deltaHat[c][pe] = inst.ckptPhi * hat
 		if s.deltaHat[c][pe] == 0 && !inst.opts.Disable[PruneDOM] {
 			s.propagateDOM(c, pe)
@@ -369,7 +452,7 @@ func (s *searcher) place(i int, v value) (violated bool) {
 func (s *searcher) unplace(i int, v value, mark int) {
 	inst := s.inst
 	c, pe := inst.varCfg[i], inst.varPE[i]
-	u := inst.r.UnitLoad(pe, c)
+	u := inst.unitLoad[c][pe]
 	switch v {
 	case valueR0:
 		s.removeLoad(c, inst.hostOf[pe][0], u)
@@ -385,7 +468,7 @@ func (s *searcher) unplace(i int, v value, mark int) {
 		for _, pr := range inst.predsPE[pe] {
 			in += s.deltaHat[c][pr.pe]
 		}
-		s.fic -= inst.r.Descriptor().Configs[c].Prob * in
+		s.fic -= inst.prob[c] * in
 	case valueC0, valueC1:
 		s.removeLoad(c, inst.hostOf[pe][int(v-valueC0)], u*inst.ckptFactor)
 		s.cost -= inst.w[i] * inst.ckptFactor
@@ -393,7 +476,7 @@ func (s *searcher) unplace(i int, v value, mark int) {
 		for _, pr := range inst.predsPE[pe] {
 			in += s.deltaHat[c][pr.pe]
 		}
-		s.fic -= inst.ckptPhi * inst.r.Descriptor().Configs[c].Prob * in
+		s.fic -= inst.ckptPhi * inst.prob[c] * in
 	}
 	s.deltaHat[c][pe] = 0
 	for len(s.trail) > mark {
@@ -486,15 +569,20 @@ func (inst *instance) result(coord *coordinator, timedOut bool, stats Stats, ela
 	defer coord.mu.Unlock()
 	res := &Result{Stats: stats, Elapsed: elapsed}
 	T := inst.r.Descriptor().BillingPeriod
-	if coord.best != nil {
+	if coord.haveBest {
 		res.Strategy = inst.strategyOf(coord.best)
 		res.FT = inst.ftPlanOf(coord.best)
 		res.Objective = coord.bestCost() * T
-		if inst.penalty {
+		switch {
+		case inst.penalty && inst.scaled:
 			// In penalty mode the coordinator tracks the objective; report
-			// the plain execution cost separately.
+			// the plain execution cost separately. With a rescaled instance
+			// core.Cost would read the nominal rates, so the cost comes
+			// from the instance's own scaled weight caches instead.
+			res.Cost = inst.costOf(coord.best) * T
+		case inst.penalty:
 			res.Cost = core.Cost(inst.r, res.Strategy)
-		} else {
+		default:
 			res.Cost = res.Objective
 		}
 		if inst.bicNorm > 0 {

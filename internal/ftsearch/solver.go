@@ -1,0 +1,174 @@
+package ftsearch
+
+import (
+	"fmt"
+	"time"
+
+	"laar/internal/core"
+)
+
+// Shift is one rate shift: the source rates of configuration Cfg move to
+// Scale times their nominal (descriptor) values. Scales are absolute, not
+// cumulative — Resolve(Shift{c, 1.2}) twice leaves configuration c at 1.2×
+// nominal, and Shift{c, 1} returns it to nominal. Because every derived
+// quantity of the search instance (unit load, input rate, FIC ceiling,
+// cost weight) is linear in a configuration's source rates, applying a
+// shift is an O(numPEs) in-place rescale rather than a rebuild.
+type Shift struct {
+	// Cfg is the input-configuration index the shift applies to.
+	Cfg int
+	// Scale is the multiplier on the configuration's nominal source rates;
+	// must be positive and finite.
+	Scale float64
+}
+
+// SolverConfig configures an incremental Solver.
+type SolverConfig struct {
+	// Opts are the search options shared by every solve. Workers is
+	// ignored: the incremental solver is strictly sequential, so its node
+	// counts and outcomes are deterministic and its state needs no locks.
+	Opts Options
+	// ResolveBudget, when positive, bounds each Resolve call's wall-clock
+	// time: the search returns the best strategy known at the deadline
+	// (anytime mode, outcome SOL) or TMO when none is known yet. Zero
+	// falls back to Opts.Deadline. For a deterministic anytime cut use
+	// Opts.NodeBudget instead.
+	ResolveBudget time.Duration
+}
+
+// Solver is the reusable incremental form of FT-Search. Where Solve builds
+// a fresh instance, scratch arenas and coordinator per call, a Solver
+// retains all three across calls: the instance's per-(PE, configuration)
+// cost and IC-contribution caches are rescaled in place when rates shift,
+// the searcher's assignment/domain/load/Δ̂/trail arenas are reset rather
+// than reallocated, and the incumbent strategy of the previous solve seeds
+// the next search's cost bound. A rate shift that leaves the incumbent
+// feasible therefore starts with the cost lower-bound pruning armed at
+// (near-)optimal strength from the root, which is what makes warm
+// re-solves explore orders of magnitude fewer nodes than cold ones while
+// producing the same outcome and optimal cost (the search stays
+// exhaustive: seeding only tightens a bound the search itself would have
+// discovered).
+//
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	inst  *instance
+	coord *coordinator
+	s     *searcher
+	cfg   SolverConfig
+
+	incumbent     []value
+	haveIncumbent bool
+
+	// Incumbent re-evaluation scratch, sized once at construction.
+	evalLoad [][]float64
+	evalHat  [][]float64
+	evalAcc  []float64
+}
+
+// NewSolver builds an incremental solver over the instance defined by the
+// rates and the replicated assignment. Validation matches Solve.
+func NewSolver(r *core.Rates, asg *core.Assignment, cfg SolverConfig) (*Solver, error) {
+	opts := cfg.Opts
+	opts.Workers = 0
+	if err := validateInputs(r, asg, opts); err != nil {
+		return nil, err
+	}
+	inst := newInstance(r, asg, opts)
+	inst.enableShifts()
+	inst.buildFrontiers()
+	sv := &Solver{
+		inst:  inst,
+		coord: newCoordinator(),
+		cfg:   cfg,
+	}
+	sv.s = newSearcher(inst, sv.coord, time.Now())
+	sv.evalLoad = make([][]float64, inst.numCfgs)
+	sv.evalHat = make([][]float64, inst.numCfgs)
+	for c := 0; c < inst.numCfgs; c++ {
+		sv.evalLoad[c] = make([]float64, asg.NumHosts)
+		sv.evalHat[c] = make([]float64, inst.numPEs)
+	}
+	sv.evalAcc = make([]float64, inst.numPEs)
+	sv.incumbent = make([]value, 0, inst.numVars)
+	return sv, nil
+}
+
+// Scale returns the current rate scale of a configuration (1 = nominal).
+func (sv *Solver) Scale(cfg int) float64 {
+	if cfg < 0 || cfg >= sv.inst.numCfgs {
+		return 1
+	}
+	return sv.inst.scale[cfg]
+}
+
+// Solve runs a cold search under Opts.Deadline and records the result's
+// strategy as the incumbent for later warm Resolves.
+func (sv *Solver) Solve() (*Result, error) {
+	return sv.run(false, sv.cfg.Opts.Deadline)
+}
+
+// Resolve applies the given rate shifts and re-solves warm: the retained
+// incumbent is re-evaluated against the shifted instance and, when it
+// still satisfies every constraint, seeds the search's cost bound at the
+// root. The search remains exhaustive (unless cut by the budget), so the
+// outcome and cost equal a cold solve on the shifted instance; only the
+// explored-node count differs. Runs in anytime mode under ResolveBudget.
+func (sv *Solver) Resolve(shifts ...Shift) (*Result, error) {
+	for _, sh := range shifts {
+		if sh.Cfg < 0 || sh.Cfg >= sv.inst.numCfgs {
+			return nil, fmt.Errorf("ftsearch: shift configuration %d outside [0, %d)", sh.Cfg, sv.inst.numCfgs)
+		}
+		if !(sh.Scale > 0) || sh.Scale > 1e12 {
+			return nil, fmt.Errorf("ftsearch: shift scale %v not a positive finite multiplier", sh.Scale)
+		}
+	}
+	for _, sh := range shifts {
+		sv.inst.setScale(sh.Cfg, sh.Scale)
+	}
+	if len(shifts) > 0 {
+		sv.inst.recomputeDerived()
+	}
+	budget := sv.cfg.ResolveBudget
+	if budget <= 0 {
+		budget = sv.cfg.Opts.Deadline
+	}
+	return sv.run(true, budget)
+}
+
+// run executes one search over the current instance state.
+func (sv *Solver) run(warm bool, budget time.Duration) (*Result, error) {
+	start := time.Now()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = start.Add(budget)
+	}
+	sv.coord.reset()
+	sv.s.reset(start, deadline)
+	seeded := false
+	if warm && sv.haveIncumbent {
+		cost, fic, ok := sv.inst.evalAssign(sv.incumbent, sv.evalLoad, sv.evalHat, sv.evalAcc)
+		if ok {
+			if sv.inst.penalty {
+				if short := sv.inst.icTarget - fic; short > 0 {
+					cost += sv.inst.lamPerFic * short
+				}
+			}
+			sv.coord.offer(sv.incumbent, cost, fic, 0)
+			seeded = true
+		}
+	}
+	sv.s.search(0)
+	res := sv.inst.result(sv.coord, sv.s.timedOut, sv.s.stats, time.Since(start))
+	res.WarmStart = seeded
+	if sv.coord.haveBest {
+		sv.incumbent = append(sv.incumbent[:0], sv.coord.best...)
+		sv.haveIncumbent = true
+	} else {
+		// An infeasible (or timed-out empty) result invalidates the
+		// incumbent: the shifted instance rejected it.
+		sv.incumbent = sv.incumbent[:0]
+		sv.haveIncumbent = false
+	}
+	return res, nil
+}

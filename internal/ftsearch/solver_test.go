@@ -1,0 +1,294 @@
+package ftsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"laar/internal/appgen"
+	"laar/internal/core"
+)
+
+// shiftedRates rebuilds a core.Rates from the descriptor with the source
+// rates of selected configurations scaled — the ground truth a warm
+// incremental resolve must match.
+func shiftedRates(t *testing.T, d *core.Descriptor, scales map[int]float64) *core.Rates {
+	t.Helper()
+	configs := make([]core.InputConfig, len(d.Configs))
+	for i, c := range d.Configs {
+		configs[i] = core.InputConfig{Name: c.Name, Prob: c.Prob, Rates: append([]float64(nil), c.Rates...)}
+		if s, ok := scales[i]; ok {
+			for j := range configs[i].Rates {
+				configs[i].Rates[j] *= s
+			}
+		}
+	}
+	d2 := &core.Descriptor{App: d.App, Configs: configs, HostCapacity: d.HostCapacity, BillingPeriod: d.BillingPeriod}
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("shifted descriptor invalid: %v", err)
+	}
+	return core.NewRates(d2)
+}
+
+// genInstance draws a seeded random application for the property tests.
+func genInstance(t *testing.T, seed int64, numPEs, numSources, numHosts int) *appgen.Generated {
+	t.Helper()
+	g, err := appgen.Generate(appgen.Params{
+		NumPEs:     numPEs,
+		NumSources: numSources,
+		NumHosts:   numHosts,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("appgen(seed=%d): %v", seed, err)
+	}
+	return g
+}
+
+// relEqual reports near-equality with a relative tolerance, absorbing the
+// different accumulation orders of the incremental and cold paths.
+func relEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestSolverEquivalenceProperty is the incremental-vs-cold equivalence
+// property: over seeded random instances and random shift sequences, every
+// warm Resolve must report the same outcome and the same optimal cost and
+// IC as a one-shot cold Solve on the equivalently shifted instance. (The
+// strategies themselves may differ between equal-cost optima.)
+func TestSolverEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := genInstance(t, seed, 6, 1, 3)
+		icMin := 0.3 + 0.1*float64(seed%4)
+		sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: icMin}})
+		if err != nil {
+			t.Fatalf("seed %d: NewSolver: %v", seed, err)
+		}
+		cold0, err := sv.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: cold solve: %v", seed, err)
+		}
+		ref0, err := Solve(g.Rates, g.Assignment, Options{ICMin: icMin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold0.Outcome != ref0.Outcome || !relEqual(cold0.Cost, ref0.Cost) {
+			t.Fatalf("seed %d: solver cold (%v, %g) != one-shot (%v, %g)",
+				seed, cold0.Outcome, cold0.Cost, ref0.Outcome, ref0.Cost)
+		}
+
+		rng := rand.New(rand.NewSource(seed * 7919))
+		scales := map[int]float64{}
+		for step := 0; step < 4; step++ {
+			cfg := rng.Intn(g.Desc.NumConfigs())
+			scale := 0.7 + rng.Float64()*0.7 // [0.7, 1.4): down- and up-shifts
+			scales[cfg] = scale
+			warm, err := sv.Resolve(Shift{Cfg: cfg, Scale: scale})
+			if err != nil {
+				t.Fatalf("seed %d step %d: Resolve: %v", seed, step, err)
+			}
+			refRates := shiftedRates(t, g.Desc, scales)
+			ref, err := Solve(refRates, g.Assignment, Options{ICMin: icMin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Outcome != ref.Outcome {
+				t.Fatalf("seed %d step %d (cfg %d ×%.3f): warm outcome %v, cold %v",
+					seed, step, cfg, scale, warm.Outcome, ref.Outcome)
+			}
+			if ref.Strategy != nil {
+				if !relEqual(warm.Cost, ref.Cost) {
+					t.Fatalf("seed %d step %d: warm cost %g, cold %g", seed, step, warm.Cost, ref.Cost)
+				}
+				if !relEqual(warm.IC, ref.IC) {
+					t.Fatalf("seed %d step %d: warm IC %g, cold %g", seed, step, warm.IC, ref.IC)
+				}
+				// The warm strategy must actually satisfy the constraints of
+				// the shifted instance, independently re-derived.
+				if got := core.IC(refRates, warm.Strategy, core.Pessimistic{}); got < icMin-1e-9 {
+					t.Fatalf("seed %d step %d: warm strategy IC %g below %g on shifted rates", seed, step, got, icMin)
+				}
+				if _, _, over := core.Overloaded(refRates, warm.Strategy, g.Assignment); over {
+					t.Fatalf("seed %d step %d: warm strategy overloads a host on shifted rates", seed, step)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverEquivalencePenalty runs the same equivalence property through
+// the penalty objective, where cost reporting takes the scaled-cache path.
+func TestSolverEquivalencePenalty(t *testing.T) {
+	g := genInstance(t, 11, 5, 1, 3)
+	opts := Options{ICMin: 0.7, PenaltyLambda: 5e11}
+	sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sv.Resolve(Shift{Cfg: g.HighCfg, Scale: 1.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRates := shiftedRates(t, g.Desc, map[int]float64{g.HighCfg: 1.15})
+	ref, err := Solve(refRates, g.Assignment, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Outcome != ref.Outcome || !relEqual(warm.Objective, ref.Objective) {
+		t.Fatalf("penalty warm (%v, obj %g) != cold (%v, obj %g)",
+			warm.Outcome, warm.Objective, ref.Outcome, ref.Objective)
+	}
+	if !relEqual(warm.Cost, ref.Cost) {
+		t.Fatalf("penalty warm cost %g != cold cost %g", warm.Cost, ref.Cost)
+	}
+}
+
+// TestSolverWarmNodeRatio is the acceptance bound on warm-start strength:
+// after a single-configuration rate shift, the warm incremental re-solve
+// must explore at least 10× fewer nodes than a cold solve of the same
+// shifted instance.
+func TestSolverWarmNodeRatio(t *testing.T) {
+	g := genInstance(t, 5, 10, 1, 4)
+	sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	const cfg, scale = 1, 1.05
+	warm, err := sv.Resolve(Shift{Cfg: cfg, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStart {
+		t.Fatal("incumbent did not survive a 5% single-configuration shift")
+	}
+	refRates := shiftedRates(t, g.Desc, map[int]float64{cfg: scale})
+	cold, err := Solve(refRates, g.Assignment, Options{ICMin: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Outcome != cold.Outcome || !relEqual(warm.Cost, cold.Cost) {
+		t.Fatalf("warm (%v, %g) != cold (%v, %g)", warm.Outcome, warm.Cost, cold.Outcome, cold.Cost)
+	}
+	if warm.Stats.Nodes*10 > cold.Stats.Nodes {
+		t.Fatalf("warm resolve explored %d nodes, cold %d: ratio %.1f× below the required 10×",
+			warm.Stats.Nodes, cold.Stats.Nodes, float64(cold.Stats.Nodes)/math.Max(1, float64(warm.Stats.Nodes)))
+	}
+}
+
+// TestSolverAnytimeNodeBudget checks the deterministic anytime mode: a
+// node budget cuts the search with the seeded incumbent as best-so-far
+// (outcome SOL), and equal budgets explore exactly equal trees.
+func TestSolverAnytimeNodeBudget(t *testing.T) {
+	g := genInstance(t, 3, 10, 1, 4)
+	run := func() (*Result, *Result) {
+		sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: 0.5, NodeBudget: 64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := sv.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := sv.Resolve(Shift{Cfg: 1, Scale: 1.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cold, warm
+	}
+	cold1, warm1 := run()
+	cold2, warm2 := run()
+	if cold1.Stats.Nodes != 64 {
+		t.Fatalf("cold budgeted solve explored %d nodes, want exactly 64", cold1.Stats.Nodes)
+	}
+	if cold1.Outcome != Feasible && cold1.Outcome != Timeout {
+		t.Fatalf("budget-cut cold outcome %v, want SOL or TMO", cold1.Outcome)
+	}
+	if warm1.WarmStart && warm1.Outcome != Feasible && warm1.Outcome != Optimal {
+		t.Fatalf("warm-seeded budget-cut outcome %v: the seed is a best-so-far answer", warm1.Outcome)
+	}
+	if cold1.Stats.Nodes != cold2.Stats.Nodes || warm1.Stats.Nodes != warm2.Stats.Nodes ||
+		cold1.Outcome != cold2.Outcome || warm1.Outcome != warm2.Outcome {
+		t.Fatal("node-budgeted runs are not deterministic across repeats")
+	}
+}
+
+// TestSolverAnytimeResolveBudget checks the wall-clock anytime path: with
+// an (unfillable) one-nanosecond budget and a surviving incumbent, Resolve
+// still returns a strategy — the retained best-so-far.
+func TestSolverAnytimeResolveBudget(t *testing.T) {
+	g := genInstance(t, 5, 8, 1, 4)
+	sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: 0.5}, ResolveBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Outcome != Optimal {
+		t.Fatalf("cold outcome %v, want BST", base.Outcome)
+	}
+	res, err := sv.Resolve(Shift{Cfg: 0, Scale: 1.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == nil || !res.WarmStart {
+		t.Fatalf("anytime resolve returned no best-so-far strategy (outcome %v, warm %v)", res.Outcome, res.WarmStart)
+	}
+}
+
+// TestSolverScaleAbsolute checks the absolute-scale contract: re-applying
+// a scale and returning to 1.0 reproduces the nominal solve exactly.
+func TestSolverScaleAbsolute(t *testing.T) {
+	g := genInstance(t, 9, 6, 1, 3)
+	sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Resolve(Shift{Cfg: 0, Scale: 1.3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sv.Scale(0); got != 1.3 {
+		t.Fatalf("Scale(0) = %v, want 1.3", got)
+	}
+	back, err := sv.Resolve(Shift{Cfg: 0, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Outcome != base.Outcome || back.Cost != base.Cost || back.IC != base.IC {
+		t.Fatalf("return to nominal: (%v, %g, %g) != original (%v, %g, %g)",
+			back.Outcome, back.Cost, back.IC, base.Outcome, base.Cost, base.IC)
+	}
+}
+
+// TestSolverRejectsBadShifts covers Resolve input validation.
+func TestSolverRejectsBadShifts(t *testing.T) {
+	g := genInstance(t, 2, 4, 1, 2)
+	sv, err := NewSolver(g.Rates, g.Assignment, SolverConfig{Opts: Options{ICMin: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Resolve(Shift{Cfg: -1, Scale: 1}); err == nil {
+		t.Error("accepted negative shift configuration")
+	}
+	if _, err := sv.Resolve(Shift{Cfg: 99, Scale: 1}); err == nil {
+		t.Error("accepted out-of-range shift configuration")
+	}
+	if _, err := sv.Resolve(Shift{Cfg: 0, Scale: 0}); err == nil {
+		t.Error("accepted zero scale")
+	}
+	if _, err := sv.Resolve(Shift{Cfg: 0, Scale: math.NaN()}); err == nil {
+		t.Error("accepted NaN scale")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"laar/internal/controlplane"
+	"laar/internal/ftsearch"
 )
 
 // This file is the replicated control plane: N share-nothing HAController
@@ -122,11 +123,25 @@ type controller struct {
 	measured []float64 // mon's reusable buffer; refreshed in place
 	lastSwap time.Time
 
+	// Staged-migration state (Config.Resolve): the wave machine, the
+	// instance's own incremental solver (nil with StageOnly) and the
+	// pattern scratch buffers. All nil/unused unless Resolve is set, and
+	// touched only by the instance's own goroutine.
+	msq            *controlplane.MigrationSequencer
+	solver         *ftsearch.Solver
+	oldPat, newPat [][]bool
+
 	commandsSent    atomic.Int64
 	commandsAcked   atomic.Int64
 	commandsRetried atomic.Int64
 	staleRejected   atomic.Int64
 	pendingN        atomic.Int64
+
+	resolves        atomic.Int64
+	resolveFailures atomic.Int64
+	warmResolves    atomic.Int64
+	resolveNodes    atomic.Int64
+	migCycles       atomic.Int64
 }
 
 func newController(id, numPEs, k, peers int, rates [][]float64, maxCfg, initialCfg int, cfg Config, now time.Time) *controller {
@@ -170,6 +185,13 @@ func (c *controller) stepDown() {
 	c.leader.Store(false)
 	c.seqr.DropPending()
 	c.pendingN.Store(0)
+	if c.msq != nil {
+		// Drop any in-flight migration plan: the successor re-plans from its
+		// own applied view. The union pattern this instance may have left
+		// behind dominates both endpoints, so the IC floor survives the
+		// handover.
+		c.msq.Abort()
+	}
 }
 
 // claim takes the lease for c under a fresh ballot, strictly above every
@@ -184,6 +206,7 @@ func (rt *Runtime) claim(c *controller, now time.Time) {
 	c.seqr.BeginEpoch(epoch)
 	c.pendingN.Store(0)
 	c.mon.SetApplied(int(rt.applied.Load()))
+	rt.beginClaimMigration(c)
 	c.leader.Store(true)
 	rt.leaseMu.Lock()
 	rt.leases = append(rt.leases, LeaseGrant{Epoch: epoch, Controller: c.id, Time: now})
@@ -273,31 +296,57 @@ func (c *controller) measure(rt *Runtime, now time.Time) {
 
 // ctrlScan is the leader's HAController step: select the dominating
 // configuration, drive every replica's activation state to it through the
-// ack'd command protocol, refresh elections, and supervise.
+// ack'd command protocol, refresh elections, and supervise. Under staged
+// migration (Config.Resolve) a configuration switch first re-solves the
+// strategy and begins a two-wave plan; the scan then drives the migration
+// sequencer's wanted states instead of the strategy's, and feeds confirmed
+// slots back so the sequencer advances its waves.
 func (rt *Runtime) ctrlScan(c *controller, now time.Time) {
+	strat := rt.curStrategy()
 	cfg := c.mon.Select(c.measured)
 	if cfg != c.mon.Applied() {
+		if c.msq != nil {
+			strat = rt.stageSwitch(c, c.mon.Applied(), cfg, now)
+		}
 		c.mon.SetApplied(cfg)
 		rt.setApplied(cfg)
 	}
 	nowNs := now.UnixNano()
 	applied := c.mon.Applied()
+	staging := c.msq != nil && c.msq.InFlight()
 	for pe := range rt.replicas {
 		for k, rep := range rt.replicas[pe] {
-			want := rt.strt.IsActive(applied, pe, k)
+			want := strat.IsActive(applied, pe, k)
+			if staging {
+				want = c.msq.Want(pe, k)
+				if !want && c.msq.Wave() == controlplane.WaveActivate {
+					// No deactivation command leaves the leader until every
+					// slot of the activation wave is confirmed — even for
+					// slots outside both patterns, whose table state a fresh
+					// epoch cannot vouch for.
+					continue
+				}
+			}
 			cmd, send, retry := c.seqr.Step(pe, k, want, nowNs)
-			if !send {
-				continue
+			if send {
+				c.commandsSent.Add(1)
+				if retry {
+					c.commandsRetried.Add(1)
+				}
+				if rt.deliverCommand(c, rep, cmd) {
+					c.commandsAcked.Add(1)
+					c.seqr.Acked(pe, k)
+				} else {
+					c.seqr.Failed(pe, k, nowNs)
+				}
 			}
-			c.commandsSent.Add(1)
-			if retry {
-				c.commandsRetried.Add(1)
-			}
-			if rt.deliverCommand(c, rep, cmd) {
-				c.commandsAcked.Add(1)
-				c.seqr.Acked(pe, k)
-			} else {
-				c.seqr.Failed(pe, k, nowNs)
+			if staging {
+				if act, known := c.seqr.AckedState(pe, k); known && act == want {
+					if c.msq.Applied(pe, k, act) && !c.msq.InFlight() {
+						c.migCycles.Add(1)
+					}
+					staging = c.msq.InFlight()
+				}
 			}
 		}
 	}

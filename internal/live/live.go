@@ -108,6 +108,17 @@ type Config struct {
 	// CheckpointInterval is the period of the leader's checkpoint snapshots.
 	// Default MonitorInterval.
 	CheckpointInterval time.Duration
+	// Resolve enables leader-side incremental re-solving with IC-safe
+	// staged migration (nil disables): on every configuration switch the
+	// acting leader re-solves the activation strategy with its retained
+	// incremental FT-Search solver — warm-started from the previous
+	// solution and shifted to the source rates it measured — and drives the
+	// replica set from the old activation pattern to the new one in two
+	// waves through the acknowledged command protocol: every newly needed
+	// replica is activated and confirmed before any old-only replica is
+	// deactivated, so the internal-completeness floor holds at every
+	// intermediate step. See ResolveConfig and MigrationHistory.
+	Resolve *ResolveConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +179,14 @@ type Stats struct {
 	NetDropped int64
 	// ConfigSwitches counts HAController reconfigurations.
 	ConfigSwitches int64
+	// Resolves counts leader-side incremental re-solves (Config.Resolve),
+	// ResolveFailures the ones that produced no usable strategy, and
+	// WarmResolves the ones warm-started from a surviving incumbent.
+	Resolves, ResolveFailures, WarmResolves int64
+	// ResolveNodes is the total search nodes explored across re-solves.
+	ResolveNodes int64
+	// MigrationCycles counts completed two-wave staged migrations.
+	MigrationCycles int64
 }
 
 // replica is one running PE copy with its proxy state.
@@ -240,10 +259,19 @@ func (rt *Runtime) beat(rep *replica, now time.Time) {
 // Runtime executes one application. Build with New, then Start, Push
 // tuples, and Stop.
 type Runtime struct {
-	d    *core.Descriptor
-	asg  *core.Assignment
-	strt *core.Strategy
-	cfg  Config
+	d   *core.Descriptor
+	asg *core.Assignment
+	cfg Config
+
+	// strat is the activation strategy the control plane drives — the one
+	// handed to New until a leader-side re-solve (Config.Resolve) replaces
+	// it. An atomic pointer: during a controller partition two believed
+	// leaders may read and publish it concurrently.
+	strat atomic.Pointer[core.Strategy]
+
+	// migrations is the staged-migration history (Config.Resolve).
+	migMu      sync.Mutex
+	migrations []MigrationRecord
 
 	replicas  [][]*replica
 	primaries []atomic.Int32 // per PE; -1 when dark
@@ -325,10 +353,17 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	if len(cfg.CheckpointPEs) != 0 && len(cfg.CheckpointPEs) != app.NumPEs() {
 		return nil, fmt.Errorf("live: CheckpointPEs covers %d PEs, application has %d", len(cfg.CheckpointPEs), app.NumPEs())
 	}
+	if rc := cfg.Resolve; rc != nil {
+		if rc.ICMin < 0 || rc.ICMin > 1 {
+			return nil, fmt.Errorf("live: Resolve.ICMin %v outside [0, 1]", rc.ICMin)
+		}
+		if rc.Budget < 0 {
+			return nil, fmt.Errorf("live: negative Resolve.Budget %v", rc.Budget)
+		}
+	}
 	rt := &Runtime{
 		d:         d,
 		asg:       asg,
-		strt:      strat,
 		cfg:       cfg,
 		routes:    make(map[core.ComponentID][]int),
 		sinkDst:   make(map[core.ComponentID][]core.ComponentID),
@@ -346,6 +381,7 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	_, perfect := cfg.Transport.(perfectTransport)
 	rt.fence = !perfect
 	rt.failSafeOn = (rt.fence || cfg.Controllers > 1) && cfg.FailSafeHorizon >= 0
+	rt.strat.Store(strat)
 	rt.applied.Store(int32(cfg.InitialConfig))
 	now := cfg.Clock.Now()
 	// Every instance's Rate Monitor machine shares the configuration rate
@@ -354,12 +390,18 @@ func New(d *core.Descriptor, asg *core.Assignment, strat *core.Strategy, factory
 	for c := range d.Configs {
 		cfgRates[c] = d.Configs[c].Rates
 	}
-	maxCfg := core.NewRates(d).MaxConfig()
+	rates := core.NewRates(d)
+	maxCfg := rates.MaxConfig()
 	rt.srcWindow = make([][]atomic.Int64, cfg.Controllers)
 	rt.ctrls = make([]*controller, cfg.Controllers)
 	for i := range rt.ctrls {
 		rt.srcWindow[i] = make([]atomic.Int64, app.NumSources())
 		rt.ctrls[i] = newController(i, app.NumPEs(), asg.K, cfg.Controllers, cfgRates, maxCfg, cfg.InitialConfig, cfg, now)
+	}
+	if cfg.Resolve != nil {
+		if err := rt.initResolve(rates); err != nil {
+			return nil, err
+		}
 	}
 	// Every instance starts having just heard every peer, so standbys do
 	// not contest the initial grant before the first heartbeat round. (The
@@ -671,6 +713,13 @@ func (rt *Runtime) Stop() (*Stats, error) {
 		Dropped:        rt.dropped.Load(),
 		NetDropped:     rt.netDropped.Load(),
 		ConfigSwitches: rt.switches.Load(),
+	}
+	for _, c := range rt.ctrls {
+		st.Resolves += c.resolves.Load()
+		st.ResolveFailures += c.resolveFailures.Load()
+		st.WarmResolves += c.warmResolves.Load()
+		st.ResolveNodes += c.resolveNodes.Load()
+		st.MigrationCycles += c.migCycles.Load()
 	}
 	for id, n := range rt.emitted {
 		st.Emitted[id] = n.Load()

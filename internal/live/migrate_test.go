@@ -1,0 +1,187 @@
+package live
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laar/internal/core"
+)
+
+// driveSwitches pushes alternating bursts and pauses through the runtime
+// until the controller has switched High and back Low `cycles` times. The
+// burst rate (~200 t/s) stays near the High configuration's nominal rate,
+// so the measured-rate shift keeps the re-solved instance hostable.
+func driveSwitches(t *testing.T, rt *Runtime, src core.ComponentID, cycles int) {
+	t.Helper()
+	for i := 0; i < cycles; i++ {
+		stop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rt.Push(src, 1)
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}()
+		waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 1 }, "switch to High")
+		close(stop)
+		waitFor(t, 2*time.Second, func() bool { return rt.AppliedConfig() == 0 }, "return to Low")
+	}
+}
+
+// checkFloor verifies every recorded migration's union pattern and the
+// ic-floor-during-migration invariant under both endpoint configurations.
+func checkFloor(t *testing.T, d *core.Descriptor, hist []MigrationRecord) {
+	t.Helper()
+	r := core.NewRates(d)
+	for i, rec := range hist {
+		for pe := range rec.Mid {
+			for k := range rec.Mid[pe] {
+				if rec.Mid[pe][k] != (rec.Old[pe][k] || rec.New[pe][k]) {
+					t.Fatalf("record %d: Mid is not the union at (%d,%d)", i, pe, k)
+				}
+			}
+		}
+		for _, cfg := range []int{rec.FromCfg, rec.ToCfg} {
+			if cfg < 0 {
+				continue
+			}
+			mid := core.ConfigPatternIC(r, cfg, rec.Mid)
+			floor := math.Min(core.ConfigPatternIC(r, cfg, rec.Old), core.ConfigPatternIC(r, cfg, rec.New))
+			if mid < floor-1e-9 {
+				t.Fatalf("record %d: IC(mid) = %v below floor %v in config %d", i, mid, floor, cfg)
+			}
+		}
+	}
+}
+
+// TestStagedMigrationStageOnly drives configuration switches through the
+// two-wave migration plan with the strategy fixed: every switch must be
+// recorded, every union pattern must hold the IC floor, and the waves must
+// complete so the deployment converges to the plain per-config pattern.
+func TestStagedMigrationStageOnly(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	// LAAR-style strategy: both replicas at Low, single replicas at High.
+	strat := core.AllActive(2, 2, 2)
+	strat.Set(1, 0, 1, false)
+	strat.Set(1, 1, 0, false)
+	cfg := testConfig()
+	cfg.Resolve = &ResolveConfig{StageOnly: true}
+	rt, err := New(d, asg, strat, identityFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	driveSwitches(t, rt, ids[0], 2)
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := rt.MigrationHistory()
+	if len(hist) < 4 {
+		t.Fatalf("MigrationHistory has %d records, want ≥ 4 (two full cycles)", len(hist))
+	}
+	if int64(len(hist)) != stats.ConfigSwitches {
+		t.Errorf("%d migration records for %d switches", len(hist), stats.ConfigSwitches)
+	}
+	checkFloor(t, d, hist)
+	if stats.MigrationCycles == 0 {
+		t.Error("no staged migration completed both waves")
+	}
+	if stats.Resolves != 0 {
+		t.Errorf("Resolves = %d with StageOnly", stats.Resolves)
+	}
+	// Low→High migrations must stage through a real union: the High
+	// pattern deactivates one replica per PE, so Mid ≠ New.
+	widened := false
+	for _, rec := range hist {
+		if rec.ToCfg != 1 {
+			continue
+		}
+		for pe := range rec.Mid {
+			for k := range rec.Mid[pe] {
+				if rec.Mid[pe][k] && !rec.New[pe][k] {
+					widened = true
+				}
+			}
+		}
+	}
+	if !widened {
+		t.Error("no Low→High migration held an old-only replica up through the activation wave")
+	}
+}
+
+// TestStagedMigrationResolves runs the full leader-side loop: each switch
+// re-solves the strategy incrementally against the measured rates, swaps
+// it in, and stages the diff. Later re-solves must warm-start from the
+// incumbent the first one left behind.
+func TestStagedMigrationResolves(t *testing.T) {
+	d, asg, ids := buildApp(t)
+	cfg := testConfig()
+	cfg.Resolve = &ResolveConfig{ICMin: 0.5, Budget: time.Second}
+	rt, err := New(d, asg, core.AllActive(2, 2, 2), identityFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	rt.OnSink(func(core.ComponentID, Tuple) { delivered.Add(1) })
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	driveSwitches(t, rt, ids[0], 2)
+	stats, err := rt.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := rt.MigrationHistory()
+	if len(hist) < 4 {
+		t.Fatalf("MigrationHistory has %d records, want ≥ 4", len(hist))
+	}
+	checkFloor(t, d, hist)
+	if stats.Resolves < 4 {
+		t.Errorf("Resolves = %d, want one per switch", stats.Resolves)
+	}
+	if stats.ResolveFailures != 0 {
+		t.Errorf("ResolveFailures = %d, want 0", stats.ResolveFailures)
+	}
+	if stats.ResolveNodes <= 0 {
+		t.Error("ResolveNodes not billed")
+	}
+	if stats.WarmResolves == 0 {
+		t.Error("no re-solve warm-started from the retained incumbent")
+	}
+	if stats.MigrationCycles == 0 {
+		t.Error("no staged migration completed both waves")
+	}
+	if rt.Strategy() == nil {
+		t.Fatal("no strategy published")
+	}
+	if delivered.Load() == 0 {
+		t.Error("nothing delivered during migrations")
+	}
+}
+
+// TestResolveConfigValidation covers the Resolve knob's validation.
+func TestResolveConfigValidation(t *testing.T) {
+	d, asg, _ := buildApp(t)
+	strat := core.AllActive(2, 2, 2)
+	for _, rc := range []ResolveConfig{
+		{ICMin: -0.1},
+		{ICMin: 1.5},
+		{ICMin: 0.5, Budget: -time.Second},
+	} {
+		rc := rc
+		cfg := testConfig()
+		cfg.Resolve = &rc
+		if _, err := New(d, asg, strat, identityFactory, cfg); err == nil {
+			t.Errorf("config %+v accepted", rc)
+		}
+	}
+}

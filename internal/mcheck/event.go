@@ -42,8 +42,15 @@ const (
 	// names their in-flight command exactly. Appended after EvFlip so the
 	// kind integers of serialized repro artifacts stay stable.
 	EvDupCmd
+	// EvFlipStep advances the in-flight staged migration one wave
+	// (Options.Migration only): the activation wave hands over to the
+	// deactivation wave once every replica the new target wants is
+	// confirmed active, and the deactivation wave retires once every
+	// leaver is confirmed inactive. Appended after EvDupCmd so the kind
+	// integers of serialized repro artifacts stay stable.
+	EvFlipStep
 
-	numEventKinds = int(EvDupCmd) + 1
+	numEventKinds = int(EvFlipStep) + 1
 )
 
 // String names the kind for schedules and artifacts.
@@ -69,6 +76,8 @@ func (k EventKind) String() string {
 		return "flip"
 	case EvDupCmd:
 		return "dup-cmd"
+	case EvFlipStep:
+		return "flip-step"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -98,6 +107,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("flip(%d)", e.A)
 	case EvDupCmd:
 		return fmt.Sprintf("dup-cmd(slot=%d)", e.B)
+	case EvFlipStep:
+		return "flip-step"
 	}
 	return fmt.Sprintf("%v(%d,%d)", e.Kind, e.A, e.B)
 }
@@ -139,6 +150,8 @@ func (w *world) enabled(e Event) bool {
 	case EvDupCmd:
 		// A duplicate needs an applied command to re-deliver.
 		return e.B >= 0 && e.B < len(w.prox) && w.prox[e.B].Seq > 0
+	case EvFlipStep:
+		return w.opt.Migration && w.wave != controlplane.WaveIdle && w.waveConverged()
 	}
 	return false
 }
@@ -170,9 +183,23 @@ func (w *world) apply(e Event) {
 	case EvDropAck:
 		w.transmit(e.A, e.B, true, false)
 	case EvFlip:
+		if w.opt.Migration {
+			// A flip begins (or supersedes) a staged migration: the previous
+			// target becomes the pattern migrated away from and the activation
+			// wave restarts. With only two targets the superseded plan folds
+			// into the same old ∪ new union, mirroring MigrationSequencer.Begin.
+			w.oldTarget = w.target
+			w.wave = controlplane.WaveActivate
+		}
 		w.target = e.A
 	case EvDupCmd:
 		w.duplicate(e.B)
+	case EvFlipStep:
+		if w.wave == controlplane.WaveActivate {
+			w.wave = controlplane.WaveDeactivate
+		} else {
+			w.wave = controlplane.WaveIdle
+		}
 	}
 }
 
@@ -340,6 +367,9 @@ func (w *world) appendEnabled(buf []Event) []Event {
 		if w.prox[slot].Seq > 0 {
 			buf = append(buf, Event{Kind: EvDupCmd, B: slot})
 		}
+	}
+	if w.opt.Migration && w.wave != controlplane.WaveIdle && w.waveConverged() {
+		buf = append(buf, Event{Kind: EvFlipStep})
 	}
 	return buf
 }

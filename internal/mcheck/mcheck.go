@@ -42,6 +42,11 @@ const (
 	// instead of re-acknowledging it, rewinding its dedup cursor —
 	// proxy-monotone must fire.
 	FaultDupReapplies
+	// FaultDeactivateFirst swaps the staged-migration wave order: the
+	// activation wave presents the bare new pattern instead of old ∪ new,
+	// so the old primary can be deactivated before its replacement is up —
+	// ic-floor-during-migration must fire. Requires Options.Migration.
+	FaultDeactivateFirst
 )
 
 // String names the fault for reports and artifacts.
@@ -55,13 +60,15 @@ func (f Fault) String() string {
 		return "claim-adopts-seen"
 	case FaultDupReapplies:
 		return "dup-reapplies"
+	case FaultDeactivateFirst:
+		return "deactivate-first"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
 
 // ParseFault resolves a fault name from the CLI.
 func ParseFault(s string) (Fault, error) {
-	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen, FaultDupReapplies} {
+	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen, FaultDupReapplies, FaultDeactivateFirst} {
 		if f.String() == s {
 			return f, nil
 		}
@@ -89,6 +96,12 @@ type Options struct {
 	RetryMin int64 `json:"retryMin"`
 	RetryMax int64 `json:"retryMax"`
 	FailSafe int64 `json:"failSafe"`
+	// Migration switches the explored world to staged primary-swap
+	// migrations: target 0 wants replica 0 of each PE, target 1 wants
+	// replica 1, and a flip runs the two-wave protocol (activate the
+	// union, then deactivate the leavers) instead of changing wants
+	// instantly. EvFlipStep advances the wave once it has converged.
+	Migration bool `json:"migration,omitempty"`
 	// Fault injects a deliberate kernel bug (see Fault).
 	Fault Fault `json:"fault,omitempty"`
 }
@@ -153,6 +166,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("mcheck: bad timing (ttl=%d retry=[%d,%d])", o.TTL, o.RetryMin, o.RetryMax)
 	case o.FailSafe < 1:
 		return fmt.Errorf("mcheck: non-positive fail-safe horizon %d", o.FailSafe)
+	case o.Migration && o.K < 2:
+		return fmt.Errorf("mcheck: migration mode swaps primaries between replicas 0 and 1, need K ≥ 2 (got %d)", o.K)
 	}
 	return nil
 }
@@ -176,6 +191,10 @@ type world struct {
 	prox   []controlplane.ProxyState
 	active []bool
 	fs     *controlplane.FailSafeTracker[int64]
+	// Staged-migration state (Options.Migration): the wave in flight and
+	// the target being migrated away from. WaveIdle when no migration runs.
+	wave      int
+	oldTarget int
 }
 
 // newWorld builds the initial state: every instance up, all links intact,
@@ -188,6 +207,7 @@ func newWorld(opt Options) *world {
 		prox:   make([]controlplane.ProxyState, opt.PEs*opt.K),
 		active: make([]bool, opt.PEs*opt.K),
 		fs:     controlplane.NewFailSafeTracker[int64](opt.FailSafe, 0),
+		wave:   controlplane.WaveIdle,
 	}
 	policy := controlplane.RetryPolicy{Min: opt.RetryMin, Max: opt.RetryMax}
 	for i := range w.insts {
@@ -200,11 +220,42 @@ func newWorld(opt Options) *world {
 	return w
 }
 
-// wantActive is the activation strategy: target 0 activates every replica,
-// target 1 only replica 0 of each PE — the flip that forces real
-// (de)activation commands through the sequencer.
+// wantActive is the activation strategy. Without Migration, target 0
+// activates every replica and target 1 only replica 0 of each PE — the
+// flip that forces real (de)activation commands through the sequencer.
+// With Migration, the targets are primary swaps (target t wants replica t
+// of each PE) and an in-flight activation wave wants the old ∪ new union
+// — unless FaultDeactivateFirst strips the union down to the bare new
+// pattern, the injected bug that lets a PE go dark mid-migration.
 func (w *world) wantActive(slot int) bool {
-	return w.target == 0 || slot%w.opt.K == 0
+	if !w.opt.Migration {
+		return w.target == 0 || slot%w.opt.K == 0
+	}
+	k := slot % w.opt.K
+	if w.wave == controlplane.WaveActivate && w.opt.Fault != FaultDeactivateFirst {
+		return k == w.target || k == w.oldTarget
+	}
+	return k == w.target
+}
+
+// waveConverged reports the in-flight wave's completion condition: every
+// replica the new target wants is active (activation wave), or every
+// replica it does not want is inactive (deactivation wave).
+func (w *world) waveConverged() bool {
+	for slot := range w.active {
+		inNew := slot%w.opt.K == w.target
+		switch w.wave {
+		case controlplane.WaveActivate:
+			if inNew && !w.active[slot] {
+				return false
+			}
+		case controlplane.WaveDeactivate:
+			if !inNew && w.active[slot] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // cutAt reads the link matrix.
@@ -238,6 +289,9 @@ func (w *world) fillView(v *chaos.CPView) {
 		}
 	}
 	copy(v.Proxies, w.prox)
+	copy(v.Active, w.active)
+	v.MigrationWave = w.wave
+	v.SlotsPerPE = w.opt.K
 	fs := w.fs.Snapshot()
 	v.FailSafeEngaged, v.FailSafeHorizon, v.FailSafeLastContact = fs.Engaged, fs.Horizon, fs.LastContact
 }
@@ -263,21 +317,29 @@ func (w *world) fingerprint(f *controlplane.Fingerprint) uint64 {
 	for _, a := range w.active {
 		f.Bool(a)
 	}
+	if w.opt.Migration {
+		// Hashed only in migration mode so the fingerprints (and serialized
+		// repro artifacts) of non-migration explorations stay stable.
+		f.I64(int64(w.wave))
+		f.I64(int64(w.oldTarget))
+	}
 	controlplane.HashFailSafe(f, w.fs.Snapshot(), w.now)
 	return f.Sum()
 }
 
 // wsnap is a reusable world snapshot for branch-and-restore exploration.
 type wsnap struct {
-	now    int64
-	target int
-	up     []bool
-	elect  []controlplane.LeaseSnapshot
-	seqr   []controlplane.SequencerSnapshot
-	cut    []bool
-	prox   []controlplane.ProxyState
-	active []bool
-	fs     controlplane.FailSafeSnapshot[int64]
+	now       int64
+	target    int
+	wave      int
+	oldTarget int
+	up        []bool
+	elect     []controlplane.LeaseSnapshot
+	seqr      []controlplane.SequencerSnapshot
+	cut       []bool
+	prox      []controlplane.ProxyState
+	active    []bool
+	fs        controlplane.FailSafeSnapshot[int64]
 }
 
 // newSnap allocates a snapshot sized for the world.
@@ -295,6 +357,7 @@ func newSnap(opt Options) *wsnap {
 // save captures the world into the snapshot, reusing its buffers.
 func (s *wsnap) save(w *world) {
 	s.now, s.target = w.now, w.target
+	s.wave, s.oldTarget = w.wave, w.oldTarget
 	for i := range w.insts {
 		s.up[i] = w.insts[i].up
 		w.insts[i].elect.SnapshotInto(&s.elect[i])
@@ -309,6 +372,7 @@ func (s *wsnap) save(w *world) {
 // restore rewinds the world to the snapshot.
 func (s *wsnap) restore(w *world) {
 	w.now, w.target = s.now, s.target
+	w.wave, w.oldTarget = s.wave, s.oldTarget
 	for i := range w.insts {
 		w.insts[i].up = s.up[i]
 		w.insts[i].elect.Restore(s.elect[i])

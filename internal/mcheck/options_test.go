@@ -8,7 +8,7 @@ import (
 // TestFaultNames asserts String and ParseFault are inverses over every
 // fault, so artifact files and -inject flags round-trip.
 func TestFaultNames(t *testing.T) {
-	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen} {
+	for _, f := range []Fault{FaultNone, FaultCrashKeepsPending, FaultClaimAdoptsSeen, FaultDupReapplies, FaultDeactivateFirst} {
 		got, err := ParseFault(f.String())
 		if err != nil || got != f {
 			t.Fatalf("ParseFault(%q) = %v, %v", f.String(), got, err)
@@ -35,6 +35,7 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *Options) { o.RetryMin = -1 },
 		func(o *Options) { o.RetryMin = 3; o.RetryMax = 2 },
 		func(o *Options) { o.FailSafe = -1 },
+		func(o *Options) { o.Migration = true; o.K = 1 },
 	}
 	for i, mutate := range bad {
 		opt := DefaultOptions()
@@ -65,6 +66,8 @@ func TestRenderers(t *testing.T) {
 		{Event{Kind: EvDropCmd, A: 0, B: 1}, "drop-cmd(inst=0,slot=1)"},
 		{Event{Kind: EvDropAck, A: 0, B: 0}, "drop-ack(inst=0,slot=0)"},
 		{Event{Kind: EvFlip, A: 1}, "flip(1)"},
+		{Event{Kind: EvDupCmd, B: 1}, "dup-cmd(slot=1)"},
+		{Event{Kind: EvFlipStep}, "flip-step"},
 	}
 	for _, tc := range cases {
 		if got := tc.e.String(); got != tc.want {

@@ -285,6 +285,28 @@ func Solve(r *Rates, asg *Assignment, opts SolveOptions) (*SolveResult, error) {
 	return ftsearch.Solve(r, asg, opts)
 }
 
+// Incremental FT-Search (see internal/ftsearch.Solver).
+type (
+	// Solver is the retained incremental form of FT-Search: incumbent,
+	// caches and scratch arenas survive across calls, so a rate shift
+	// re-solves warm — same outcome and optimal cost as a cold solve,
+	// orders of magnitude fewer explored nodes.
+	Solver = ftsearch.Solver
+	// SolverConfig configures an incremental Solver: the base solve
+	// options plus the per-Resolve anytime budget.
+	SolverConfig = ftsearch.SolverConfig
+	// Shift is one rate shift handed to Solver.Resolve: configuration Cfg
+	// moves to Scale times its nominal source rates (absolute, not
+	// cumulative).
+	Shift = ftsearch.Shift
+)
+
+// NewSolver builds an incremental solver over the instance defined by the
+// rates and the replicated assignment.
+func NewSolver(r *Rates, asg *Assignment, cfg SolverConfig) (*Solver, error) {
+	return ftsearch.NewSolver(r, asg, cfg)
+}
+
 // Baseline strategies.
 
 // StaticStrategy returns the static active replication variant (SR).
